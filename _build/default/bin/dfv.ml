@@ -1,0 +1,178 @@
+(* The dfv command-line tool: run the design-for-verification flows on
+   the bundled design pairs.
+
+     dfv list                     enumerate bundled designs
+     dfv audit  <design>          Section 3/4 checks on the pair
+     dfv sec    <design>          sequential equivalence check
+     dfv sim    <design> [-n N]   simulation-based comparison
+     dfv verify <design>          audit + SEC (or simulation fallback)
+
+   Bugs can be planted with --bug (see `dfv list`) to watch the flows
+   catch them. *)
+
+open Cmdliner
+module Checker = Dfv_sec.Checker
+open Dfv_designs
+open Dfv_core
+
+(* --- bundled designs -------------------------------------------------- *)
+
+let alu_bugs =
+  List.map (fun b -> (Alu.bug_name b, Some b)) Alu.all_bugs @ [ ("none", None) ]
+
+let make_pair design bug =
+  match design with
+  | "gcd" ->
+    if bug <> "none" then failwith "gcd has no bug variants";
+    let t = Gcd.make ~width:4 in
+    Pair.create ~name:"gcd" ~slm:t.Gcd.slm ~rtl:t.Gcd.rtl ~spec:t.Gcd.spec
+  | "alu" ->
+    let bug =
+      match List.assoc_opt bug alu_bugs with
+      | Some b -> b
+      | None -> failwith (Printf.sprintf "unknown alu bug %s" bug)
+    in
+    let t = Alu.make ?bug ~width:8 () in
+    Pair.create ~name:"alu" ~slm:t.Alu.slm ~rtl:t.Alu.rtl ~spec:t.Alu.spec
+  | "fir" ->
+    let t = Fir.make ~taps:[ 3; -5; 7; 2 ] () in
+    let slm =
+      if bug = "cstyle" then t.Fir.slm_cstyle
+      else if bug = "none" then t.Fir.slm_exact
+      else failwith "fir bugs: cstyle"
+    in
+    Pair.create ~name:"fir" ~slm ~rtl:t.Fir.rtl ~spec:t.Fir.spec
+  | "fir-hot" ->
+    let t = Fir.make ~taps:[ 127; 127; 127; -128 ] () in
+    let slm =
+      if bug = "cstyle" then t.Fir.slm_cstyle
+      else if bug = "none" then t.Fir.slm_exact
+      else failwith "fir-hot bugs: cstyle"
+    in
+    Pair.create ~name:"fir-hot" ~slm ~rtl:t.Fir.rtl ~spec:t.Fir.spec
+  | "conv" ->
+    let clamped = bug <> "wrap" in
+    if bug <> "none" && bug <> "wrap" then failwith "conv bugs: wrap";
+    let good = Conv_image.make ~kernel:Conv_image.sharpen ~shift:2 () in
+    let rtl =
+      if clamped then good.Conv_image.rtl_window
+      else
+        (Conv_image.make ~clamped:false ~kernel:Conv_image.sharpen ~shift:2 ())
+          .Conv_image.rtl_window
+    in
+    Pair.create ~name:"conv" ~slm:good.Conv_image.slm_window ~rtl
+      ~spec:good.Conv_image.window_spec
+  | "uart" ->
+    let t = Uart.make ~baud_div:4 () in
+    let rtl =
+      if bug = "baud" then (Uart.make ~baud_div:5 ()).Uart.rtl
+      else if bug = "none" then t.Uart.rtl
+      else failwith "uart bugs: baud"
+    in
+    Pair.create ~name:"uart" ~slm:t.Uart.slm ~rtl ~spec:t.Uart.spec
+  | "chain" ->
+    let buggy =
+      match bug with
+      | "none" -> None
+      | "brightness" -> Some Image_chain.Brightness
+      | "convolution" -> Some Image_chain.Convolution
+      | "threshold" -> Some Image_chain.Threshold
+      | _ -> failwith "chain bugs: brightness | convolution | threshold"
+    in
+    let t = Image_chain.make ?buggy () in
+    Pair.create ~name:"chain" ~slm:t.Image_chain.slm ~rtl:t.Image_chain.rtl_top
+      ~spec:t.Image_chain.chain_spec
+  | d -> failwith (Printf.sprintf "unknown design %s (try `dfv list`)" d)
+
+let designs_doc =
+  [ ("gcd", "4-bit Euclid: HWIR SLM vs sequential RTL datapath");
+    ("alu", "8-bit ALU; bugs: unsigned-slt, truncated-shift-amount, missing-carry, swapped-or-xor");
+    ("fir", "4-tap saturating FIR (mild taps); bugs: cstyle");
+    ("fir-hot", "4-tap saturating FIR (overflowing taps); bugs: cstyle");
+    ("conv", "3x3 convolution window datapath; bugs: wrap");
+    ("uart", "UART transmitter vs frame function; bugs: baud (divisor mismatch)");
+    ("chain", "brightness|conv|threshold pipeline; bugs: brightness, convolution, threshold") ]
+
+(* --- commands ----------------------------------------------------------- *)
+
+let list_cmd =
+  let doc = "List the bundled design pairs and their plantable bugs." in
+  let run () =
+    List.iter (fun (n, d) -> Printf.printf "%-8s %s\n" n d) designs_doc;
+    0
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let design_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN")
+
+let bug_arg =
+  Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG" ~doc:"Plant a bug variant.")
+
+let wrap run = fun design bug ->
+  match run (make_pair design bug) with
+  | () -> 0
+  | exception Failure m ->
+    Printf.eprintf "error: %s\n" m;
+    1
+
+let audit_cmd =
+  let doc = "Run the design-for-verification audit on a pair." in
+  let run pair = Format.printf "%a" Pair.pp_audit (Pair.audit pair) in
+  Cmd.v (Cmd.info "audit" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
+
+let sec_cmd =
+  let doc = "Run sequential equivalence checking on a pair." in
+  let run pair =
+    match Flow.sec pair with
+    | Checker.Equivalent stats ->
+      Printf.printf
+        "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
+        stats.Checker.aig_ands stats.Checker.sat_conflicts
+        stats.Checker.sat_decisions stats.Checker.wall_seconds
+    | Checker.Not_equivalent (cex, stats) ->
+      Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
+        stats.Checker.wall_seconds;
+      List.iter
+        (fun (n, v) ->
+          match v with
+          | Dfv_hwir.Interp.Vint bv ->
+            Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
+          | Dfv_hwir.Interp.Varr a ->
+            Printf.printf "  %s = [%s]\n" n
+              (String.concat "; "
+                 (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
+        cex.Checker.params
+  in
+  Cmd.v (Cmd.info "sec" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
+
+let vectors_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
+
+let sim_cmd =
+  let doc = "Run simulation-based SLM/RTL comparison on a pair." in
+  let run vectors = fun design bug ->
+    let pair = make_pair design bug in
+    match Flow.simulate ~vectors pair with
+    | Flow.Sim_clean { vectors } ->
+      Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
+      0
+    | Flow.Sim_mismatch { vector_index; _ } ->
+      Printf.printf "MISMATCH at transaction %d\n" vector_index;
+      0
+    | exception Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      1
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(const run $ vectors_arg $ design_arg $ bug_arg)
+
+let verify_cmd =
+  let doc = "Audit, then SEC (or simulation when SEC is blocked)." in
+  let run pair = Format.printf "%a" Flow.pp_report (Flow.verify pair) in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
+
+let () =
+  let doc = "design-for-verification flows between system-level models and RTL" in
+  let info = Cmd.info "dfv" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd ]))

@@ -1,0 +1,1 @@
+examples/fir_bitaccuracy.ml: Array Checker Dfv_bitvec Dfv_designs Dfv_hwir Dfv_sec Fir List Printf Random String

@@ -1,0 +1,1 @@
+examples/fpu_constraints.ml: Checker Dfv_bitvec Dfv_designs Dfv_hwir Dfv_sec Dfv_softfloat F32 Hashtbl List Minifloat Option Printf Random

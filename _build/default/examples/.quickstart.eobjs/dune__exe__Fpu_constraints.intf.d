@@ -1,0 +1,1 @@
+examples/fpu_constraints.mli:

@@ -1,0 +1,1 @@
+examples/image_pipeline.ml: Array Checker Conv_image Dfv_bitvec Dfv_cosim Dfv_designs Dfv_hwir Dfv_sec Image_chain List Printf Random String

@@ -1,0 +1,1 @@
+examples/memsys_cosim.ml: Array Bitvec Dfv_bitvec Dfv_cosim Dfv_designs Dfv_slm Hashtbl Kernel List Memsys Option Printf Scoreboard String Tlm Txn_engine

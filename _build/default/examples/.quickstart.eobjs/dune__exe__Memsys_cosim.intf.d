@@ -1,0 +1,1 @@
+examples/memsys_cosim.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dfv_behsyn Dfv_bitvec Dfv_core Dfv_designs Dfv_hwir Dfv_rtl Dfv_sec Expr Flow Format Gcd List Netlist Pair Printf String

@@ -1,0 +1,81 @@
+(* Fixed-point bit-accuracy (Section 3.1.1) on a saturating FIR filter.
+
+   Two SLMs for the same filter: one saturates after every MAC step (the
+   bit-accurate model), one accumulates in a wide C int and saturates
+   once at the end (the masked-overflow idiom).  Saturation is not a
+   ring operation, so the two differ precisely when an intermediate sum
+   overflows -- which the wide int silently absorbs.
+
+   Run with: dune exec examples/fir_bitaccuracy.exe *)
+
+open Dfv_designs
+open Dfv_sec
+
+let section title = Printf.printf "\n=== %s ===\n" title
+
+let () =
+  section "1. A hot filter: taps large enough to overflow intermediates";
+  let t = Fir.make ~taps:[ 127; 127; 127; -128 ] () in
+  Printf.printf "taps = [%s], samples %d-bit, accumulator %d-bit saturating\n"
+    (String.concat "; " (List.map string_of_int t.Fir.taps))
+    t.Fir.width t.Fir.acc_width;
+
+  section "2. The divergence, concretely";
+  let window = [| 127; 127; 127; 127 |] in
+  Printf.printf "window [127;127;127;127]:\n";
+  Printf.printf "  per-step saturation (= RTL): %d\n" (Fir.golden_exact t window);
+  Printf.printf "  wide C accumulator         : %d  <- masked overflow\n"
+    (Fir.golden_cstyle t window);
+
+  section "3. Divergence rate over random windows";
+  let st = Random.State.make [| 1 |] in
+  let n = 20_000 in
+  let diverging = ref 0 in
+  for _ = 1 to n do
+    let w = Array.init 4 (fun _ -> Random.State.int st 256) in
+    if Fir.golden_exact t w <> Fir.golden_cstyle t w then incr diverging
+  done;
+  Printf.printf "%d / %d random windows diverge (%.1f%%)\n" !diverging n
+    (100.0 *. float_of_int !diverging /. float_of_int n);
+
+  section "4. SEC verdicts";
+  let report name slm =
+    match Checker.check_slm_rtl ~slm ~rtl:t.Fir.rtl ~spec:t.Fir.spec () with
+    | Checker.Equivalent stats ->
+      Printf.printf "  %-22s: EQUIVALENT (%.3fs)\n" name stats.Checker.wall_seconds
+    | Checker.Not_equivalent (cex, stats) ->
+      Printf.printf "  %-22s: NOT EQUIVALENT (%.3fs)" name stats.Checker.wall_seconds;
+      (match List.assoc "x" cex.Checker.params with
+      | Dfv_hwir.Interp.Varr a ->
+        Printf.printf "  cex window [%s]\n"
+          (String.concat "; "
+             (Array.to_list
+                (Array.map
+                   (fun v -> string_of_int (Dfv_bitvec.Bitvec.to_signed_int v))
+                   a)))
+      | _ -> print_newline ())
+  in
+  report "bit-accurate SLM" t.Fir.slm_exact;
+  report "C-style SLM" t.Fir.slm_cstyle;
+
+  section "5. With mild taps, both models are right";
+  let mild = Fir.make ~taps:[ 3; -5; 7; 2 ] () in
+  (match
+     Checker.check_slm_rtl ~slm:mild.Fir.slm_cstyle ~rtl:mild.Fir.rtl
+       ~spec:mild.Fir.spec ()
+   with
+  | Checker.Equivalent stats ->
+    Printf.printf
+      "  C-style SLM with taps [3;-5;7;2]: EQUIVALENT (%.3fs)\n\
+      \  (intermediates cannot overflow -- SEC tells you exactly when the\n\
+      \   C idiom is safe and when it is not)\n"
+      stats.Checker.wall_seconds
+  | Checker.Not_equivalent _ -> print_endline "unexpected!");
+
+  section "6. Streaming RTL vs whole-signal SLM (transactor-based cosim)";
+  let st = Random.State.make [| 2 |] in
+  let signal = Array.init 256 (fun _ -> Random.State.int st 256) in
+  let expected = Fir.filter_signal mild signal in
+  let got, cycles = Fir.run_rtl_stream mild signal in
+  Printf.printf "  %d samples, %d RTL cycles: %s\n" (Array.length signal) cycles
+    (if expected = got then "streams IDENTICAL" else "DIFFER!")

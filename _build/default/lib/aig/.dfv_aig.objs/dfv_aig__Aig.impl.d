@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Array Dfv_sat Hashtbl List Printf

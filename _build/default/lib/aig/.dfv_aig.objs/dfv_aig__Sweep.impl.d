@@ -1,0 +1,1 @@
+lib/aig/sweep.ml: Aig Array Dfv_sat Hashtbl List Option Random

@@ -1,0 +1,1 @@
+lib/aig/word.ml: Aig Array Dfv_bitvec List Printf Sys

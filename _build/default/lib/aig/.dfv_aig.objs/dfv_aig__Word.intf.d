@@ -1,0 +1,1 @@
+lib/aig/word.mli: Aig Dfv_bitvec

@@ -1,0 +1,249 @@
+(* And-Inverter Graphs with structural hashing.
+
+   Node array layout: node 0 is the constant-false node.  Each node is
+   either an input (fanins (-1, input_number)) or an AND of two literals
+   (fanin0, fanin1) with fanin0 >= fanin1, both strictly smaller than the
+   node's own positive literal — so node order is a topological order. *)
+
+type lit = int
+
+type node =
+  | Const
+  | Input of int (* input number *)
+  | And of lit * lit
+
+type t = {
+  mutable nodes : node array;
+  mutable n : int; (* number of nodes in use *)
+  strash : (int * int, int) Hashtbl.t; (* (fanin0, fanin1) -> node id *)
+  mutable names : string array;
+  mutable ninputs : int;
+}
+
+let false_ : lit = 0
+let true_ : lit = 1
+
+let create () =
+  {
+    nodes = Array.make 64 Const;
+    n = 1;
+    strash = Hashtbl.create 256;
+    names = Array.make 16 "";
+    ninputs = 0;
+  }
+
+let push_node g node =
+  if g.n = Array.length g.nodes then begin
+    let a = Array.make (2 * g.n) Const in
+    Array.blit g.nodes 0 a 0 g.n;
+    g.nodes <- a
+  end;
+  g.nodes.(g.n) <- node;
+  g.n <- g.n + 1;
+  g.n - 1
+
+let input ?name g =
+  let k = g.ninputs in
+  if k = Array.length g.names then begin
+    let a = Array.make (2 * k) "" in
+    Array.blit g.names 0 a 0 k;
+    g.names <- a
+  end;
+  g.names.(k) <- (match name with Some s -> s | None -> Printf.sprintf "i%d" k);
+  g.ninputs <- k + 1;
+  let id = push_node g (Input k) in
+  id * 2
+
+let num_inputs g = g.ninputs
+
+let num_ands g =
+  let c = ref 0 in
+  for i = 0 to g.n - 1 do
+    match g.nodes.(i) with And _ -> incr c | Const | Input _ -> ()
+  done;
+  !c
+
+let input_name g i =
+  if i < 0 || i >= g.ninputs then invalid_arg "Aig.input_name";
+  g.names.(i)
+
+let not_ l = l lxor 1
+let is_const l = l lsr 1 = 0
+
+let and_ g a b =
+  (* Order fanins for canonicity. *)
+  let a, b = if a >= b then (a, b) else (b, a) in
+  if b = false_ then false_
+  else if b = true_ then a
+  else if a = b then a
+  else if a = not_ b then false_
+  else begin
+    match Hashtbl.find_opt g.strash (a, b) with
+    | Some id -> id * 2
+    | None ->
+      let id = push_node g (And (a, b)) in
+      Hashtbl.add g.strash (a, b) id;
+      id * 2
+  end
+
+let or_ g a b = not_ (and_ g (not_ a) (not_ b))
+let implies g a b = or_ g (not_ a) b
+
+let xor_ g a b =
+  (* a^b = (a|b) & ~(a&b); structural hashing shares subterms. *)
+  and_ g (or_ g a b) (not_ (and_ g a b))
+
+let mux g ~sel a b = or_ g (and_ g sel a) (and_ g (not_ sel) b)
+
+let and_list g = List.fold_left (and_ g) true_
+let or_list g = List.fold_left (or_ g) false_
+
+(* --- simulation ----------------------------------------------------- *)
+
+let lit_of_node_value values l = values.(l lsr 1) <> (l land 1 = 1)
+
+let simulate g inputs =
+  let values = Array.make g.n false in
+  for i = 0 to g.n - 1 do
+    match g.nodes.(i) with
+    | Const -> values.(i) <- false
+    | Input k ->
+      values.(i) <- (if k < Array.length inputs then inputs.(k) else false)
+    | And (a, b) ->
+      values.(i) <- lit_of_node_value values a && lit_of_node_value values b
+  done;
+  values
+
+let eval g env l =
+  let inputs = Array.init g.ninputs env in
+  lit_of_node_value (simulate g inputs) l
+
+let word_mask = (1 lsl 62) - 1
+
+let simulate_words g inputs =
+  let values = Array.make g.n 0 in
+  for i = 0 to g.n - 1 do
+    match g.nodes.(i) with
+    | Const -> values.(i) <- 0
+    | Input k ->
+      values.(i) <-
+        (if k < Array.length inputs then inputs.(k) land word_mask else 0)
+    | And (a, b) ->
+      let va =
+        let v = values.(a lsr 1) in
+        if a land 1 = 1 then lnot v land word_mask else v
+      in
+      let vb =
+        let v = values.(b lsr 1) in
+        if b land 1 = 1 then lnot v land word_mask else v
+      in
+      values.(i) <- va land vb
+  done;
+  values
+
+let node_fanins g n =
+  match g.nodes.(n) with
+  | And (a, b) -> Some (a, b)
+  | Const | Input _ -> None
+
+let node_input g n =
+  match g.nodes.(n) with Input k -> Some k | Const | And _ -> None
+
+let num_nodes g = g.n
+
+(* --- Tseitin conversion ---------------------------------------------- *)
+
+module S = Dfv_sat.Solver
+module L = Dfv_sat.Lit
+
+type cnf_map = { solver : S.t; vars : (int, L.t) Hashtbl.t; graph : t }
+
+let sat_lit m l =
+  let v = Hashtbl.find m.vars (l lsr 1) in
+  if l land 1 = 1 then L.negate v else v
+
+let encode_cone m root =
+  (* Iterative DFS over the cone of [root]; nodes are numbered in
+     topological order so a simple upward sweep also works, but DFS keeps
+     the encoding restricted to the cone of influence. *)
+  let g = m.graph and s = m.solver in
+  let stack = ref [ root lsr 1 ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | id :: rest ->
+      if Hashtbl.mem m.vars id then stack := rest
+      else begin
+        match g.nodes.(id) with
+        | Const ->
+          Hashtbl.add m.vars id (S.false_lit s);
+          stack := rest
+        | Input _ ->
+          Hashtbl.add m.vars id (L.pos (S.new_var s));
+          stack := rest
+        | And (a, b) ->
+          let ia = a lsr 1 and ib = b lsr 1 in
+          let need_a = not (Hashtbl.mem m.vars ia) in
+          let need_b = not (Hashtbl.mem m.vars ib) in
+          if need_a || need_b then begin
+            stack :=
+              (if need_a then [ ia ] else [])
+              @ (if need_b then [ ib ] else [])
+              @ !stack
+          end
+          else begin
+            let n = L.pos (S.new_var s) in
+            let la = sat_lit m a and lb = sat_lit m b in
+            (* n <-> la & lb *)
+            S.add_clause s [ L.negate n; la ];
+            S.add_clause s [ L.negate n; lb ];
+            S.add_clause s [ n; L.negate la; L.negate lb ];
+            Hashtbl.add m.vars id n;
+            stack := rest
+          end
+      end
+  done
+
+let to_solver g s roots =
+  let m = { solver = s; vars = Hashtbl.create 1024; graph = g } in
+  List.iter (encode_cone m) roots;
+  m
+
+let encoder g s = { solver = s; vars = Hashtbl.create 1024; graph = g }
+
+let encode m l =
+  encode_cone m l;
+  sat_lit m l
+
+(* --- one-shot checks -------------------------------------------------- *)
+
+let witness_of_model m =
+  let g = m.graph in
+  let w = Array.make g.ninputs false in
+  for id = 0 to g.n - 1 do
+    match g.nodes.(id) with
+    | Input k ->
+      (match Hashtbl.find_opt m.vars id with
+      | Some sl -> w.(k) <- S.value m.solver sl
+      | None -> () (* input outside the encoded cone: don't-care *))
+    | Const | And _ -> ()
+  done;
+  w
+
+let check_sat ?(assumptions = []) g l =
+  if l = false_ then `Unsat
+  else begin
+    let s = S.create () in
+    let m = to_solver g s (l :: assumptions) in
+    S.add_clause s [ sat_lit m l ];
+    List.iter (fun a -> S.add_clause s [ sat_lit m a ]) assumptions;
+    match S.solve s with
+    | S.Sat -> `Sat (witness_of_model m)
+    | S.Unsat -> `Unsat
+  end
+
+let equivalent g a b =
+  let miter = xor_ g a b in
+  match check_sat g miter with
+  | `Unsat -> `Yes
+  | `Sat w -> `No w

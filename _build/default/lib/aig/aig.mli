@@ -1,0 +1,120 @@
+(** And-Inverter Graphs.
+
+    The formal-netlist representation used by the sequential equivalence
+    checker: every combinational function is reduced to two-input AND
+    gates and inverters, with structural hashing so that syntactically
+    identical subfunctions share nodes.  Literals follow the AIGER
+    convention: literal [2*n] is node [n], literal [2*n+1] is its
+    complement; node 0 is the constant, so literal 0 is [false] and
+    literal 1 is [true]. *)
+
+type t
+(** A mutable AIG under construction. *)
+
+type lit = int
+(** An AIG literal (node index with complement bit). *)
+
+val create : unit -> t
+(** An empty graph (just the constant node). *)
+
+val false_ : lit
+val true_ : lit
+
+val input : ?name:string -> t -> lit
+(** Allocate a fresh primary input and return its positive literal. *)
+
+val num_inputs : t -> int
+(** Number of primary inputs allocated so far. *)
+
+val num_ands : t -> int
+(** Number of AND nodes (a size measure for experiment reporting). *)
+
+val input_name : t -> int -> string
+(** [input_name g i] is the name of input [i] (a generated one if the
+    input was anonymous). *)
+
+val not_ : lit -> lit
+(** Complement a literal (free: flips the complement bit). *)
+
+val and_ : t -> lit -> lit -> lit
+(** AND with constant folding ([x & 0 = 0], [x & 1 = x], [x & x = x],
+    [x & ~x = 0]) and structural hashing. *)
+
+val or_ : t -> lit -> lit -> lit
+val xor_ : t -> lit -> lit -> lit
+val implies : t -> lit -> lit -> lit
+
+val mux : t -> sel:lit -> lit -> lit -> lit
+(** [mux g ~sel a b] is [a] when [sel] is true, else [b]. *)
+
+val and_list : t -> lit list -> lit
+val or_list : t -> lit list -> lit
+
+val is_const : lit -> bool
+(** Whether a literal is the constant true or false. *)
+
+val eval : t -> (int -> bool) -> lit -> bool
+(** [eval g env l] evaluates [l] with primary input [i] set to [env i].
+    Cost is linear in the graph; use {!simulate} for many literals. *)
+
+val simulate : t -> bool array -> bool array
+(** [simulate g inputs] evaluates the whole graph under the given input
+    assignment and returns the value of every *node* (indexed by node,
+    not literal).  Read literal [l] as
+    [values.(l lsr 1) <> (l land 1 = 1)]. *)
+
+val lit_of_node_value : bool array -> lit -> bool
+(** Read a literal's value out of a {!simulate} result. *)
+
+val simulate_words : t -> int array -> int array
+(** Bit-parallel simulation: input [k] carries a 62-bit pattern word;
+    the result gives each node's 62 evaluations packed the same way.
+    This powers the candidate detection of SAT sweeping. *)
+
+val node_fanins : t -> int -> (lit * lit) option
+(** [node_fanins g n] is [Some (a, b)] when node [n] is an AND of
+    literals [a] and [b]; [None] for the constant and inputs. *)
+
+val node_input : t -> int -> int option
+(** [node_input g n] is [Some k] when node [n] is primary input [k]. *)
+
+val num_nodes : t -> int
+(** Total nodes including the constant and inputs; node indices are
+    [0 .. num_nodes - 1] in topological order. *)
+
+(** {1 SAT bridge} *)
+
+type cnf_map
+(** A mapping from AIG literals to solver literals produced by
+    {!to_solver}. *)
+
+val to_solver : t -> Dfv_sat.Solver.t -> lit list -> cnf_map
+(** [to_solver g s roots] adds Tseitin clauses for the cones of [roots]
+    to the solver and returns the literal map.  Incremental: calling it
+    again with more roots on the same [cnf_map]'s solver reuses the
+    variables already allocated (pass the same graph and solver; a fresh
+    map is returned that shares the encoding). *)
+
+val sat_lit : cnf_map -> lit -> Dfv_sat.Lit.t
+(** Solver literal for an encoded AIG literal.  Raises [Not_found] if the
+    literal's node was not in any encoded cone. *)
+
+val encoder : t -> Dfv_sat.Solver.t -> cnf_map
+(** An empty mapping for incremental use: encode literals on demand with
+    {!encode}.  The sequential equivalence checker uses one encoder per
+    session so successive bounded queries share learnt clauses. *)
+
+val encode : cnf_map -> lit -> Dfv_sat.Lit.t
+(** Encode the cone of a literal (if not already encoded) and return its
+    solver literal. *)
+
+val check_sat :
+  ?assumptions:lit list -> t -> lit -> [ `Sat of bool array | `Unsat ]
+(** [check_sat g l] decides whether some input assignment makes [l] true;
+    on [`Sat], the witness assigns each primary input (indexed by input
+    number).  One-shot convenience wrapper over {!to_solver}. *)
+
+val equivalent : t -> lit -> lit -> [ `Yes | `No of bool array ]
+(** [equivalent g a b] checks functional equivalence of two literals by
+    deciding the miter [a xor b]; [`No w] carries a distinguishing input
+    assignment. *)

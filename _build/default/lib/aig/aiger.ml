@@ -1,0 +1,188 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+(* --- writing ----------------------------------------------------------- *)
+
+let to_string g ~outputs =
+  (* Restrict to the cones of the outputs; renumber inputs first. *)
+  let n = Aig.num_nodes g in
+  let needed = Array.make n false in
+  let rec need node =
+    if not needed.(node) then begin
+      needed.(node) <- true;
+      match Aig.node_fanins g node with
+      | Some (a, b) ->
+        need (a lsr 1);
+        need (b lsr 1)
+      | None -> ()
+    end
+  in
+  List.iter (fun (_, l) -> need (l lsr 1)) outputs;
+  (* All inputs are declared even if outside the cones: symbol stability
+     matters more than minimality for interchange. *)
+  let input_nodes = ref [] in
+  for node = n - 1 downto 0 do
+    if Aig.node_input g node <> None then input_nodes := node :: !input_nodes
+  done;
+  let input_nodes = !input_nodes in
+  let var = Array.make n (-1) in
+  let next = ref 1 in
+  List.iter
+    (fun node ->
+      var.(node) <- !next;
+      incr next)
+    input_nodes;
+  let and_nodes = ref [] in
+  for node = 0 to n - 1 do
+    if needed.(node) && Aig.node_fanins g node <> None then begin
+      var.(node) <- !next;
+      incr next;
+      and_nodes := node :: !and_nodes
+    end
+  done;
+  let and_nodes = List.rev !and_nodes in
+  let lit l =
+    let node = l lsr 1 in
+    if node = 0 then l land 1
+    else begin
+      let v = var.(node) in
+      assert (v > 0);
+      (2 * v) lor (l land 1)
+    end
+  in
+  let buf = Buffer.create 1024 in
+  let m = !next - 1 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" m (List.length input_nodes)
+       (List.length outputs) (List.length and_nodes));
+  List.iter
+    (fun node -> Buffer.add_string buf (Printf.sprintf "%d\n" (2 * var.(node))))
+    input_nodes;
+  List.iter
+    (fun (_, l) -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit l)))
+    outputs;
+  List.iter
+    (fun node ->
+      match Aig.node_fanins g node with
+      | Some (a, b) ->
+        Buffer.add_string buf
+          (Printf.sprintf "%d %d %d\n" (2 * var.(node)) (lit a) (lit b))
+      | None -> assert false)
+    and_nodes;
+  (* Symbol table. *)
+  List.iteri
+    (fun i node ->
+      Buffer.add_string buf
+        (Printf.sprintf "i%d %s\n" i
+           (match Aig.node_input g node with
+           | Some k -> Aig.input_name g k
+           | None -> assert false)))
+    input_nodes;
+  List.iteri
+    (fun i (name, _) -> Buffer.add_string buf (Printf.sprintf "o%d %s\n" i name))
+    outputs;
+  Buffer.contents buf
+
+let write_file path g ~outputs =
+  let oc = open_out path in
+  output_string oc (to_string g ~outputs);
+  close_out oc
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> fail "empty file"
+  | header :: rest ->
+    let m, i, l, o, a =
+      match String.split_on_char ' ' header |> List.filter (( <> ) "") with
+      | [ "aag"; m; i; l; o; a ] -> (
+        match
+          ( int_of_string_opt m, int_of_string_opt i, int_of_string_opt l,
+            int_of_string_opt o, int_of_string_opt a )
+        with
+        | Some m, Some i, Some l, Some o, Some a -> (m, i, l, o, a)
+        | _ -> fail "bad header numbers")
+      | "aig" :: _ -> fail "binary aig format not supported (use aag)"
+      | _ -> fail "bad header"
+    in
+    if l <> 0 then fail "latches are not supported (combinational only)";
+    if List.length rest < i + o + a then fail "truncated file";
+    let take k lst =
+      let rec go k acc = function
+        | rest when k = 0 -> (List.rev acc, rest)
+        | [] -> fail "truncated file"
+        | x :: rest -> go (k - 1) (x :: acc) rest
+      in
+      go k [] lst
+    in
+    let input_lines, rest = take i rest in
+    let output_lines, rest = take o rest in
+    let and_lines, rest = take a rest in
+    let symbols =
+      List.filter_map
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some sp
+            when String.length line > 1
+                 && (line.[0] = 'i' || line.[0] = 'o' || line.[0] = 'l') ->
+            Some (String.sub line 0 sp, String.sub line (sp + 1) (String.length line - sp - 1))
+          | _ -> None)
+        rest
+    in
+    let g = Aig.create () in
+    (* var -> our literal *)
+    let map = Array.make (m + 1) (-1) in
+    let int_of s =
+      match int_of_string_opt s with
+      | Some v when v >= 0 -> v
+      | _ -> fail "bad literal %s" s
+    in
+    List.iteri
+      (fun idx line ->
+        let v = int_of line in
+        if v land 1 = 1 || v = 0 then fail "bad input literal %d" v;
+        let name =
+          match List.assoc_opt (Printf.sprintf "i%d" idx) symbols with
+          | Some n -> n
+          | None -> Printf.sprintf "i%d" idx
+        in
+        map.(v lsr 1) <- Aig.input ~name g)
+      input_lines;
+    let lit v =
+      if v lsr 1 > m then fail "literal %d out of range" v;
+      if v lsr 1 = 0 then if v land 1 = 1 then Aig.true_ else Aig.false_
+      else begin
+        let base = map.(v lsr 1) in
+        if base < 0 then fail "literal %d used before definition" v;
+        base lxor (v land 1)
+      end
+    in
+    List.iter
+      (fun line ->
+        match
+          String.split_on_char ' ' line |> List.filter (( <> ) "") |> List.map int_of
+        with
+        | [ lhs; r0; r1 ] ->
+          if lhs land 1 = 1 then fail "and lhs must be even";
+          map.(lhs lsr 1) <- Aig.and_ g (lit r0) (lit r1)
+        | _ -> fail "bad and line %s" line)
+      and_lines;
+    let outputs =
+      List.mapi
+        (fun idx line ->
+          let name =
+            match List.assoc_opt (Printf.sprintf "o%d" idx) symbols with
+            | Some n -> n
+            | None -> Printf.sprintf "o%d" idx
+          in
+          (name, lit (int_of line)))
+        output_lines
+    in
+    (g, outputs)

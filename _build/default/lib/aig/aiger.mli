@@ -1,0 +1,24 @@
+(** AIGER (ASCII, [aag]) interchange.
+
+    Lets miters and synthesized cones leave this ecosystem — to ABC, to
+    external SAT/model-checking flows — and lets externally produced
+    combinational AIGs come in.  Only the combinational subset is
+    supported (no latches): the sequential side of SEC is handled by
+    unrolling before export.
+
+    Variables are renumbered on write: inputs first (in creation order),
+    then AND nodes in topological order, as mainstream consumers
+    expect. *)
+
+val to_string : Aig.t -> outputs:(string * Aig.lit) list -> string
+(** Render the cones of the named outputs in [aag] format, with a symbol
+    table carrying the input and output names. *)
+
+val write_file : string -> Aig.t -> outputs:(string * Aig.lit) list -> unit
+
+exception Parse_error of string
+
+val of_string : string -> Aig.t * (string * Aig.lit) list
+(** Parse an [aag] file (combinational only; latches raise
+    {!Parse_error}).  Returns the graph and the named outputs (generated
+    names [o0], [o1], ... when the symbol table is absent). *)

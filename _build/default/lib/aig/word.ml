@@ -1,0 +1,248 @@
+module Bitvec = Dfv_bitvec.Bitvec
+
+type w = Aig.lit array
+
+let const bv =
+  Array.init (Bitvec.width bv) (fun i ->
+      if Bitvec.get bv i then Aig.true_ else Aig.false_)
+
+let inputs ?name g n =
+  Array.init n (fun i ->
+      let name =
+        match name with
+        | Some s -> Some (Printf.sprintf "%s[%d]" s i)
+        | None -> None
+      in
+      Aig.input ?name g)
+
+let width = Array.length
+
+let to_bitvec _g values w =
+  Bitvec.of_bits (Array.map (Aig.lit_of_node_value values) w)
+
+let check_same name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Word.%s: width mismatch (%d vs %d)" name
+        (Array.length a) (Array.length b))
+
+(* --- bitwise --------------------------------------------------------- *)
+
+let lognot a = Array.map Aig.not_ a
+
+let map2 name f g a b =
+  check_same name a b;
+  Array.init (Array.length a) (fun i -> f g a.(i) b.(i))
+
+let logand g a b = map2 "logand" Aig.and_ g a b
+let logor g a b = map2 "logor" Aig.or_ g a b
+let logxor g a b = map2 "logxor" Aig.xor_ g a b
+
+(* --- structure -------------------------------------------------------- *)
+
+let select a ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= Array.length a then
+    invalid_arg "Word.select: range out of bounds";
+  Array.sub a lo (hi - lo + 1)
+
+let concat parts =
+  (* Head is most significant: reverse so LSB-first concatenation works. *)
+  Array.concat (List.rev parts)
+
+let uresize a n =
+  let w = Array.length a in
+  if n <= w then Array.sub a 0 n
+  else Array.append a (Array.make (n - w) Aig.false_)
+
+let sresize a n =
+  let w = Array.length a in
+  if n <= w then Array.sub a 0 n
+  else Array.append a (Array.make (n - w) a.(w - 1))
+
+let repeat a n =
+  if n < 1 then invalid_arg "Word.repeat";
+  Array.concat (List.init n (fun _ -> a))
+
+(* --- arithmetic ------------------------------------------------------- *)
+
+let full_adder g a b cin =
+  let s = Aig.xor_ g (Aig.xor_ g a b) cin in
+  let cout = Aig.or_ g (Aig.and_ g a b) (Aig.and_ g cin (Aig.xor_ g a b)) in
+  (s, cout)
+
+let add_with_carry g a b cin =
+  check_same "add" a b;
+  let n = Array.length a in
+  let out = Array.make n Aig.false_ in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let s, c = full_adder g a.(i) b.(i) !carry in
+    out.(i) <- s;
+    carry := c
+  done;
+  (out, !carry)
+
+let add g a b = fst (add_with_carry g a b Aig.false_)
+let sub g a b = fst (add_with_carry g a (lognot b) Aig.true_)
+
+let neg g a =
+  fst (add_with_carry g (Array.map (fun _ -> Aig.false_) a) (lognot a) Aig.true_)
+
+let mux g ~sel a b = map2 "mux" (fun g x y -> Aig.mux g ~sel x y) g a b
+
+let mul g a b =
+  check_same "mul" a b;
+  let n = Array.length a in
+  let acc = ref (Array.make n Aig.false_) in
+  for i = 0 to n - 1 do
+    (* Partial product: (a << i) masked by b.(i). *)
+    let pp =
+      Array.init n (fun j ->
+          if j < i then Aig.false_ else Aig.and_ g a.(j - i) b.(i))
+    in
+    acc := add g !acc pp
+  done;
+  !acc
+
+let ult g a b =
+  check_same "ult" a b;
+  (* Borrow out of a - b: a < b iff no carry out of a + ~b + 1. *)
+  let _, carry = add_with_carry g a (lognot b) Aig.true_ in
+  Aig.not_ carry
+
+let ule g a b = Aig.not_ (ult g b a)
+
+let slt g a b =
+  check_same "slt" a b;
+  let n = Array.length a in
+  let sa = a.(n - 1) and sb = b.(n - 1) in
+  let sign_differs = Aig.xor_ g sa sb in
+  Aig.mux g ~sel:sign_differs sa (ult g a b)
+
+let sle g a b = Aig.not_ (slt g b a)
+
+let eq g a b =
+  check_same "eq" a b;
+  let bits =
+    Array.to_list (Array.init (Array.length a) (fun i -> Aig.not_ (Aig.xor_ g a.(i) b.(i))))
+  in
+  Aig.and_list g bits
+
+let ne g a b = Aig.not_ (eq g a b)
+
+let reduce_and g a = Aig.and_list g (Array.to_list a)
+let reduce_or g a = Aig.or_list g (Array.to_list a)
+let reduce_xor g a = Array.fold_left (Aig.xor_ g) Aig.false_ a
+
+(* --- shifts ----------------------------------------------------------- *)
+
+let shift_left _g a n =
+  if n < 0 then invalid_arg "Word.shift_left";
+  let w = Array.length a in
+  Array.init w (fun i -> if i < n then Aig.false_ else a.(i - n))
+
+let shift_right_logical _g a n =
+  if n < 0 then invalid_arg "Word.shift_right_logical";
+  let w = Array.length a in
+  Array.init w (fun i -> if i + n < w then a.(i + n) else Aig.false_)
+
+let shift_right_arith _g a n =
+  if n < 0 then invalid_arg "Word.shift_right_arith";
+  let w = Array.length a in
+  let sign = a.(w - 1) in
+  Array.init w (fun i -> if i + n < w then a.(i + n) else sign)
+
+(* Barrel shifter over a constant-shift primitive: stage k shifts by 2^k
+   when amount bit k is set; amounts >= width zero (or sign-fill) the
+   word via the overflow guard. *)
+let barrel g shift_const ~overflow_fill a amount =
+  let w = Array.length a in
+  let wa = Array.length amount in
+  (* Bits of [amount] that can matter: 2^k < w. *)
+  let stages = ref a in
+  let k = ref 0 in
+  while !k < wa && 1 lsl !k < w do
+    let shifted = shift_const g !stages (1 lsl !k) in
+    stages := mux g ~sel:amount.(!k) shifted !stages;
+    incr k
+  done;
+  (* If any higher amount bit is set, the shift overflows the width. *)
+  let high_bits = Array.to_list (Array.sub amount !k (wa - !k)) in
+  let overflow = Aig.or_list g high_bits in
+  mux g ~sel:overflow overflow_fill !stages
+
+let shift_left_var g a amount =
+  let fill = Array.make (Array.length a) Aig.false_ in
+  barrel g shift_left ~overflow_fill:fill a amount
+
+let shift_right_logical_var g a amount =
+  let fill = Array.make (Array.length a) Aig.false_ in
+  barrel g shift_right_logical ~overflow_fill:fill a amount
+
+let shift_right_arith_var g a amount =
+  let sign = a.(Array.length a - 1) in
+  let fill = Array.make (Array.length a) sign in
+  barrel g shift_right_arith ~overflow_fill:fill a amount
+
+(* --- division --------------------------------------------------------- *)
+
+(* Restoring division, bit-serial from the MSB.  Division by zero is made
+   total: quotient all-ones, remainder = dividend (documented in the
+   interface; SEC flows constrain the divisor instead). *)
+let udivrem g a b =
+  check_same "udiv" a b;
+  let w = Array.length a in
+  let q = Array.make w Aig.false_ in
+  let r = ref (Array.make w Aig.false_) in
+  for i = w - 1 downto 0 do
+    (* r = (r << 1) | a.(i) *)
+    let shifted = shift_left g !r 1 in
+    shifted.(0) <- a.(i);
+    let diff, carry = add_with_carry g shifted (lognot b) Aig.true_ in
+    (* carry = 1 iff shifted >= b *)
+    q.(i) <- carry;
+    r := mux g ~sel:carry diff shifted
+  done;
+  let zero_div = Aig.not_ (reduce_or g b) in
+  let all_ones = Array.make w Aig.true_ in
+  (mux g ~sel:zero_div all_ones q, mux g ~sel:zero_div a !r)
+
+let udiv g a b = fst (udivrem g a b)
+let urem g a b = snd (udivrem g a b)
+
+let abs_s g a =
+  let w = Array.length a in
+  mux g ~sel:a.(w - 1) (neg g a) a
+
+let sdiv g a b =
+  check_same "sdiv" a b;
+  let w = Array.length a in
+  let q = udiv g (abs_s g a) (abs_s g b) in
+  let sign_differs = Aig.xor_ g a.(w - 1) b.(w - 1) in
+  mux g ~sel:sign_differs (neg g q) q
+
+let srem g a b =
+  check_same "srem" a b;
+  let w = Array.length a in
+  let r = urem g (abs_s g a) (abs_s g b) in
+  mux g ~sel:a.(w - 1) (neg g r) r
+
+(* --- indexed selection ------------------------------------------------ *)
+
+let mux_index g ~default idx words =
+  let n = Array.length words in
+  let wi = Array.length idx in
+  let result = ref default in
+  for k = 0 to n - 1 do
+    (* Indices not representable in [idx]'s width can never be selected. *)
+    if wi >= Sys.int_size - 2 || k < 1 lsl wi then begin
+      let kbits =
+        Array.init wi (fun b ->
+            if (k lsr b) land 1 = 1 then Aig.true_ else Aig.false_)
+      in
+      let sel = eq g idx kbits in
+      result := mux g ~sel words.(k) !result
+    end
+  done;
+  (* Out-of-range indices (k >= n representable in idx) fall through to
+     default because no select fires. *)
+  !result

@@ -1,0 +1,95 @@
+(** Word-level construction over AIGs.
+
+    Bit-blasting of the RTL/HWIR operators onto {!Aig} literals.  A word
+    is an array of AIG literals, LSB first.  Every operator here mirrors
+    one in {!Dfv_bitvec.Bitvec}, and the test suite checks them against
+    each other exhaustively at small widths and randomly at large ones —
+    the consistency web that makes the equivalence checker trustworthy. *)
+
+type w = Aig.lit array
+(** A word: AIG literals, LSB first.  Width is the array length. *)
+
+val const : Dfv_bitvec.Bitvec.t -> w
+(** Constant word from a bit-vector value. *)
+
+val inputs : ?name:string -> Aig.t -> int -> w
+(** [inputs g n] allocates [n] fresh primary inputs as a word.  Inputs
+    are named [name[i]] when [name] is given. *)
+
+val width : w -> int
+
+val to_bitvec : Aig.t -> bool array -> w -> Dfv_bitvec.Bitvec.t
+(** Read a word's value out of a {!Aig.simulate} node-value array. *)
+
+(** {1 Bitwise} *)
+
+val lognot : w -> w
+val logand : Aig.t -> w -> w -> w
+val logor : Aig.t -> w -> w -> w
+val logxor : Aig.t -> w -> w -> w
+
+(** {1 Structure} *)
+
+val select : w -> hi:int -> lo:int -> w
+val concat : w list -> w
+(** Head of the list is the most significant part (Verilog [{...}]). *)
+
+val uresize : w -> int -> w
+val sresize : w -> int -> w
+val repeat : w -> int -> w
+
+(** {1 Arithmetic} *)
+
+val add : Aig.t -> w -> w -> w
+val sub : Aig.t -> w -> w -> w
+val neg : Aig.t -> w -> w
+val mul : Aig.t -> w -> w -> w
+val udiv : Aig.t -> w -> w -> w
+(** Combinational restoring divider.  Division by zero yields all-ones
+    (a fixed, documented total semantics; the RTL simulator raises
+    instead, so SEC flows add a nonzero-divisor constraint). *)
+
+val urem : Aig.t -> w -> w -> w
+(** Remainder from the restoring divider; by-zero yields the dividend. *)
+
+val sdiv : Aig.t -> w -> w -> w
+(** Signed division truncating toward zero, built on {!udiv} with sign
+    correction.  By-zero follows {!udiv} on the magnitudes. *)
+
+val srem : Aig.t -> w -> w -> w
+(** Signed remainder with the sign of the dividend. *)
+
+(** {1 Shifts} *)
+
+val shift_left : Aig.t -> w -> int -> w
+val shift_right_logical : Aig.t -> w -> int -> w
+val shift_right_arith : Aig.t -> w -> int -> w
+
+val shift_left_var : Aig.t -> w -> w -> w
+(** Barrel shifter: shift amount is itself a word.  Amounts [>= width]
+    produce zero (matching [Bitvec] semantics for clamped dynamic
+    shifts). *)
+
+val shift_right_logical_var : Aig.t -> w -> w -> w
+val shift_right_arith_var : Aig.t -> w -> w -> w
+
+(** {1 Predicates (1-bit results)} *)
+
+val eq : Aig.t -> w -> w -> Aig.lit
+val ne : Aig.t -> w -> w -> Aig.lit
+val ult : Aig.t -> w -> w -> Aig.lit
+val ule : Aig.t -> w -> w -> Aig.lit
+val slt : Aig.t -> w -> w -> Aig.lit
+val sle : Aig.t -> w -> w -> Aig.lit
+val reduce_and : Aig.t -> w -> Aig.lit
+val reduce_or : Aig.t -> w -> Aig.lit
+val reduce_xor : Aig.t -> w -> Aig.lit
+
+(** {1 Selection} *)
+
+val mux : Aig.t -> sel:Aig.lit -> w -> w -> w
+(** [mux g ~sel a b] is [a] when [sel] else [b]; widths must match. *)
+
+val mux_index : Aig.t -> default:w -> w -> w array -> w
+(** [mux_index g ~default idx words] selects [words.(idx)], or [default]
+    when [idx] is out of range — the read-port decoder for memories. *)

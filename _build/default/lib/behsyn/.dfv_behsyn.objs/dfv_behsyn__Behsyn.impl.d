@@ -1,0 +1,1 @@
+lib/behsyn/behsyn.ml: Array Dfv_bitvec Dfv_hwir Dfv_rtl Dfv_sec Hashtbl List Printf

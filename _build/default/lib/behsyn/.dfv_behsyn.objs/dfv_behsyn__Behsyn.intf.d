@@ -1,0 +1,1 @@
+lib/behsyn/behsyn.mli: Dfv_hwir Dfv_rtl Dfv_sec

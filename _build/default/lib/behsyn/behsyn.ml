@@ -1,0 +1,431 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module A = Dfv_hwir.Ast
+module E = Dfv_rtl.Expr
+module Netlist = Dfv_rtl.Netlist
+module Spec = Dfv_sec.Spec
+
+exception Not_synthesizable of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Not_synthesizable m)) fmt
+
+(* --- static cycle bound --------------------------------------------------- *)
+
+let rec bound_stmts stmts = List.fold_left (fun acc s -> acc + bound_stmt s) 0 stmts
+
+and bound_stmt = function
+  | A.Assign _ -> 1
+  | A.If (_, t, f) -> 1 + max (bound_stmts t) (bound_stmts f)
+  | A.For { count; body; _ } ->
+    (* init + per-iteration (test + body + incr) + final test *)
+    1 + (count * (2 + bound_stmts body)) + 1
+  | A.Bounded_while { max_iter; body; _ } ->
+    1 + (max_iter * (2 + bound_stmts body)) + 1
+  | A.Return _ -> 1
+  | A.While _ -> fail "data-dependent loop cannot be synthesized"
+  | A.Alloc _ -> fail "dynamic allocation cannot be synthesized"
+  | A.Alias _ -> fail "pointer aliasing cannot be synthesized"
+  | A.Extern_call _ -> fail "external call cannot be synthesized"
+
+let entry_of p =
+  match A.find_func p p.A.entry with
+  | Some f -> f
+  | None -> fail "entry function %s not found" p.A.entry
+
+let cycle_bound p = bound_stmts (entry_of p).A.body + 1
+
+(* --- expression translation ------------------------------------------------ *)
+
+(* Variable environment: scalar name -> (width, signed);
+   array name -> (element width, signed, size). *)
+type env = {
+  scalars : (string, int * bool) Hashtbl.t;
+  arrays : (string, int * bool * int) Hashtbl.t;
+}
+
+let scalar env n =
+  match Hashtbl.find_opt env.scalars n with
+  | Some ws -> ws
+  | None -> fail "unknown scalar %s" n
+
+(* Translate an HWIR expression to an RTL expression over the datapath
+   registers; returns the expression and its signedness. *)
+let rec tr env (e : A.expr) : E.t * bool =
+  match e with
+  | A.Int (bv, signed) -> (E.of_bitvec bv, signed)
+  | A.Bool b -> (E.const ~width:1 (if b then 1 else 0), false)
+  | A.Var n ->
+    let _, signed = scalar env n in
+    (E.sig_ n, signed)
+  | A.Index (a, i) -> (
+    match Hashtbl.find_opt env.arrays a with
+    | Some (_, signed, size) ->
+      let ei, _ = tr env i in
+      (* Memory addresses are sized by the elaborated netlist; resize the
+         index to the address width with zero extension (indices are
+         unsigned by typecheck). *)
+      let aw =
+        let rec go k = if 1 lsl k >= size then k else go (k + 1) in
+        max 1 (go 0)
+      in
+      (E.mem_read a (resize_u ei (width_of env i) aw), signed)
+    | None -> fail "unknown array %s" a)
+  | A.Unop (A.Not, a) ->
+    let ea, sa = tr env a in
+    (E.( ~: ) ea, sa)
+  | A.Unop (A.Neg, a) ->
+    let ea, sa = tr env a in
+    (E.negate ea, sa)
+  | A.Unop (A.Lnot, a) ->
+    let ea, _ = tr env a in
+    (E.( ~: ) ea, false)
+  | A.Binop (op, a, b) -> (
+    let ea, sa = tr env a in
+    let eb, _ = tr env b in
+    let open E in
+    match op with
+    | A.Add -> (ea +: eb, sa)
+    | A.Sub -> (ea -: eb, sa)
+    | A.Mul -> (ea *: eb, sa)
+    | A.Div -> ((if sa then Binop (Sdiv, ea, eb) else ea /: eb), sa)
+    | A.Rem -> ((if sa then Binop (Srem, ea, eb) else ea %: eb), sa)
+    | A.And -> (ea &: eb, sa)
+    | A.Or -> (ea |: eb, sa)
+    | A.Xor -> (ea ^: eb, sa)
+    | A.Shl -> (ea <<: eb, sa)
+    | A.Shr -> ((if sa then ea >>+ eb else ea >>: eb), sa)
+    | A.Eq -> (ea ==: eb, false)
+    | A.Ne -> (ea <>: eb, false)
+    | A.Lt -> ((if sa then ea <+ eb else ea <: eb), false)
+    | A.Le -> ((if sa then ea <=+ eb else ea <=: eb), false)
+    | A.Land -> (ea &: eb, false)
+    | A.Lor -> (ea |: eb, false))
+  | A.Cond (c, a, b) ->
+    let ec, _ = tr env c in
+    let ea, sa = tr env a in
+    let eb, _ = tr env b in
+    (E.mux ec ea eb, sa)
+  | A.Cast (A.Tint { width; signed }, a) ->
+    let ea, sa = tr env a in
+    let wa = width_of env a in
+    let e =
+      if width = wa then ea
+      else if width < wa then E.slice ea ~hi:(width - 1) ~lo:0
+      else if sa then E.sext ea width
+      else E.zext ea width
+    in
+    (e, signed)
+  | A.Cast (A.Tarray _, _) -> fail "array cast"
+  | A.Bitsel (a, hi, lo) ->
+    let ea, _ = tr env a in
+    (E.slice ea ~hi ~lo, false)
+  | A.Call (f, _) ->
+    fail "call to %s: inline calls before behavioral synthesis" f
+
+and width_of env (e : A.expr) : int =
+  match e with
+  | A.Int (bv, _) -> Bitvec.width bv
+  | A.Bool _ -> 1
+  | A.Var n -> fst (scalar env n)
+  | A.Index (a, _) -> (
+    match Hashtbl.find_opt env.arrays a with
+    | Some (w, _, _) -> w
+    | None -> fail "unknown array %s" a)
+  | A.Unop ((A.Not | A.Neg), a) -> width_of env a
+  | A.Unop (A.Lnot, _) -> 1
+  | A.Binop ((A.Eq | A.Ne | A.Lt | A.Le | A.Land | A.Lor), _, _) -> 1
+  | A.Binop (_, a, _) -> width_of env a
+  | A.Cond (_, a, _) -> width_of env a
+  | A.Cast (A.Tint { width; _ }, _) -> width
+  | A.Cast (A.Tarray _, _) -> fail "array cast"
+  | A.Bitsel (_, hi, lo) -> hi - lo + 1
+  | A.Call _ -> fail "call in expression"
+
+and resize_u e w target =
+  if w = target then e
+  else if w > target then E.slice e ~hi:(target - 1) ~lo:0
+  else E.zext e target
+
+(* --- FSM construction ------------------------------------------------------ *)
+
+type state = {
+  mutable writes : (string * A.expr) list; (* scalar register writes *)
+  mutable mem_writes : (string * A.expr * A.expr) list; (* array, idx, value *)
+  mutable next : next_state;
+}
+
+and next_state = Goto of int | Branch of A.expr * int * int | Halt
+
+type fsm = { mutable states : state array; mutable n : int }
+
+let new_state fsm =
+  if fsm.n = Array.length fsm.states then begin
+    let a =
+      Array.make (2 * fsm.n) { writes = []; mem_writes = []; next = Halt }
+    in
+    Array.blit fsm.states 0 a 0 fsm.n;
+    fsm.states <- a
+  end;
+  fsm.states.(fsm.n) <- { writes = []; mem_writes = []; next = Halt };
+  fsm.n <- fsm.n + 1;
+  fsm.n - 1
+
+(* Compile [stmts] so control continues at state [k]; returns the entry
+   state.  Fresh loop-guard counters are appended to [counters]. *)
+let rec compile fsm counters result_name stmts k =
+  List.fold_right (fun st k -> compile_stmt fsm counters result_name st k) stmts k
+
+and compile_stmt fsm counters result_name (st : A.stmt) k =
+  match st with
+  | A.Assign (lv, e) ->
+    let s = new_state fsm in
+    (match lv with
+    | A.Lvar n -> fsm.states.(s).writes <- [ (n, e) ]
+    | A.Lindex (a, i) -> fsm.states.(s).mem_writes <- [ (a, i, e) ]);
+    fsm.states.(s).next <- Goto k;
+    s
+  | A.If (c, t, f) ->
+    let s = new_state fsm in
+    let te = compile fsm counters result_name t k in
+    let fe = compile fsm counters result_name f k in
+    fsm.states.(s).next <- Branch (c, te, fe);
+    s
+  | A.For { ivar; count; body } ->
+    let open A in
+    let init = new_state fsm in
+    let test = new_state fsm in
+    let incr = new_state fsm in
+    let body_entry = compile fsm counters result_name body incr in
+    fsm.states.(init).writes <- [ (ivar, u 32 0) ];
+    fsm.states.(init).next <- Goto test;
+    fsm.states.(test).next <- Branch (var ivar <^ u 32 count, body_entry, k);
+    fsm.states.(incr).writes <- [ (ivar, var ivar +^ u 32 1) ];
+    fsm.states.(incr).next <- Goto test;
+    init
+  | A.Bounded_while { cond; max_iter; body } ->
+    let open A in
+    let guard = Printf.sprintf "__bw%d" (List.length !counters) in
+    counters := guard :: !counters;
+    let init = new_state fsm in
+    let test = new_state fsm in
+    let incr = new_state fsm in
+    let body_entry = compile fsm counters result_name body incr in
+    fsm.states.(init).writes <- [ (guard, u 32 0) ];
+    fsm.states.(init).next <- Goto test;
+    fsm.states.(test).next <-
+      Branch ((var guard <^ u 32 max_iter) &&^ cond, body_entry, k);
+    fsm.states.(incr).writes <- [ (guard, var guard +^ u 32 1) ];
+    fsm.states.(incr).next <- Goto test;
+    init
+  | A.Return e ->
+    let s = new_state fsm in
+    fsm.states.(s).writes <- [ (result_name, e) ];
+    fsm.states.(s).next <- Halt;
+    s
+  | A.While _ -> fail "data-dependent loop cannot be synthesized"
+  | A.Alloc _ -> fail "dynamic allocation cannot be synthesized"
+  | A.Alias _ -> fail "pointer aliasing cannot be synthesized"
+  | A.Extern_call (f, _) -> fail "external call to %s cannot be synthesized" f
+
+(* --- top level -------------------------------------------------------------- *)
+
+let result_name = "__result"
+
+let synthesize ?name (p : A.program) =
+  Dfv_hwir.Typecheck.check p;
+  let fn = entry_of p in
+  (* No calls anywhere in the body (checked during translation anyway,
+     but give the friendly message early). *)
+  (match fn.A.ret with
+  | A.Tint _ -> ()
+  | A.Tarray _ -> fail "array results are not supported");
+  List.iter
+    (fun (n, ty) ->
+      match ty with
+      | A.Tint _ -> ()
+      | A.Tarray _ -> fail "array parameter %s is not supported" n)
+    fn.A.params;
+  (* Build the FSM. *)
+  let fsm = { states = Array.make 16 { writes = []; mem_writes = []; next = Halt }; n = 0 } in
+  let counters = ref [] in
+  let entry = compile fsm counters result_name fn.A.body (-1) in
+  (* Continuing "past the end" (k = -1) would mean falling off the
+     function; typecheck guarantees a Return on every path, so -1 is
+     unreachable, but wire it to a halting sink for safety. *)
+  let halt_sink = new_state fsm in
+  fsm.states.(halt_sink).next <- Halt;
+  let fix = function
+    | Goto -1 -> Goto halt_sink
+    | Branch (c, -1, e) -> Branch (c, halt_sink, e)
+    | Branch (c, t, -1) -> Branch (c, t, halt_sink)
+    | n -> n
+  in
+  for i = 0 to fsm.n - 1 do
+    fsm.states.(i).next <- fix fsm.states.(i).next
+  done;
+  let nstates = fsm.n in
+  let done_state = nstates (* a virtual pc value meaning "halted" *) in
+  let pc_w =
+    let rec go k = if 1 lsl k > done_state then k else go (k + 1) in
+    max 1 (go 0)
+  in
+  (* Environment for expression translation. *)
+  let env = { scalars = Hashtbl.create 16; arrays = Hashtbl.create 4 } in
+  List.iter
+    (fun (n, ty) ->
+      match ty with
+      | A.Tint { width; signed } -> Hashtbl.replace env.scalars n (width, signed)
+      | A.Tarray _ -> ())
+    fn.A.params;
+  List.iter
+    (fun (n, ty) ->
+      match ty with
+      | A.Tint { width; signed } -> Hashtbl.replace env.scalars n (width, signed)
+      | A.Tarray (A.Tint { width; signed }, size) ->
+        Hashtbl.replace env.arrays n (width, signed, size)
+      | A.Tarray (A.Tarray _, _) -> fail "nested array local")
+    fn.A.locals;
+  List.iter (fun g -> Hashtbl.replace env.scalars g (32, false)) !counters;
+  (match fn.A.ret with
+  | A.Tint { width; signed } -> Hashtbl.replace env.scalars result_name (width, signed)
+  | A.Tarray _ -> assert false);
+  (* For-loop index variables need registers too: collect every scalar
+     written by any state that is not yet declared. *)
+  Array.iteri
+    (fun i st ->
+      if i < nstates then
+        List.iter
+          (fun (n, _) ->
+            if not (Hashtbl.mem env.scalars n) then
+              (* Loop index: uint32 by the HWIR For rule. *)
+              Hashtbl.replace env.scalars n (32, false))
+          st.writes)
+    fsm.states;
+  (* RTL pieces. *)
+  let open E in
+  let pc = sig_ "__pc" in
+  let busy = sig_ "__busy" in
+  let accept = sig_ "start" &: ~:busy in
+  let at i = busy &: (pc ==: const ~width:pc_w i) in
+  (* pc next. *)
+  let pc_next =
+    let rec build i =
+      if i >= nstates then const ~width:pc_w done_state
+      else begin
+        let this =
+          match fsm.states.(i).next with
+          | Goto j -> const ~width:pc_w j
+          | Halt -> const ~width:pc_w done_state
+          | Branch (c, t, f) ->
+            let ec, _ = tr env c in
+            mux ec (const ~width:pc_w t) (const ~width:pc_w f)
+        in
+        mux (pc ==: const ~width:pc_w i) this (build (i + 1))
+      end
+    in
+    mux accept (const ~width:pc_w entry) (mux busy (build 0) pc)
+  in
+  (* Scalar register next values. *)
+  let writes_to n =
+    let acc = ref [] in
+    for i = nstates - 1 downto 0 do
+      List.iter
+        (fun (m, e) -> if m = n then acc := (i, e) :: !acc)
+        fsm.states.(i).writes
+    done;
+    !acc
+  in
+  let param_names = List.map fst fn.A.params in
+  let scalar_regs =
+    Hashtbl.fold
+      (fun n (w, _) acc ->
+        let cur = sig_ n in
+        let base =
+          if List.mem n param_names then mux accept (sig_ ("in_" ^ n)) cur
+          else if n = result_name then cur
+          else mux accept (const ~width:w 0) cur
+        in
+        let next =
+          List.fold_left
+            (fun acc (i, e) ->
+              let ee, _ = tr env e in
+              mux (at i) ee acc)
+            base (writes_to n)
+        in
+        Netlist.reg ~name:n ~width:w next :: acc)
+      env.scalars []
+  in
+  (* Memories. *)
+  let mems =
+    Hashtbl.fold
+      (fun n (w, _, size) acc ->
+        let ports = ref [] in
+        Array.iteri
+          (fun i st ->
+            if i < nstates then
+              List.iter
+                (fun (m, idx, v) ->
+                  if m = n then begin
+                    let ei, _ = tr env idx in
+                    let ev, _ = tr env v in
+                    let aw =
+                      let rec go k = if 1 lsl k >= size then k else go (k + 1) in
+                      max 1 (go 0)
+                    in
+                    ports :=
+                      {
+                        Netlist.wr_enable = at i;
+                        wr_addr = resize_u ei (width_of env idx) aw;
+                        wr_data = ev;
+                      }
+                      :: !ports
+                  end)
+                st.mem_writes)
+          fsm.states;
+        {
+          Netlist.mem_name = n;
+          word_width = w;
+          mem_size = size;
+          writes = List.rev !ports;
+          mem_init = None;
+        }
+        :: acc)
+      env.arrays []
+  in
+  let module_name =
+    match name with Some n -> n | None -> "behsyn_" ^ fn.A.fname
+  in
+  {
+    (Netlist.empty module_name) with
+    Netlist.inputs =
+      { Netlist.port_name = "start"; port_width = 1 }
+      :: List.map
+           (fun (n, ty) ->
+             { Netlist.port_name = "in_" ^ n; port_width = A.ty_width ty })
+           fn.A.params;
+    regs =
+      Netlist.reg ~name:"__busy" ~width:1 (busy |: sig_ "start")
+      :: Netlist.reg ~name:"__pc" ~width:pc_w pc_next
+      :: scalar_regs;
+    mems;
+    outputs =
+      [ ("result", sig_ result_name);
+        ("done_", busy &: (pc ==: const ~width:pc_w done_state)) ];
+  }
+
+let spec (p : A.program) =
+  let fn = entry_of p in
+  let cycles = cycle_bound p + 2 in
+  {
+    Spec.rtl_cycles = cycles;
+    drives =
+      ( "start",
+        Spec.At
+          (fun c -> Spec.Const (Bitvec.create ~width:1 (if c = 0 then 1 else 0)))
+      )
+      :: List.map
+           (fun (n, _) -> ("in_" ^ n, Spec.At (fun _ -> Spec.Param n)))
+           fn.A.params;
+    checks =
+      [ { Spec.rtl_port = "result"; at_cycle = cycles - 1; expect = Spec.Result } ];
+    constraints = [];
+  }

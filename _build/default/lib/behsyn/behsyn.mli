@@ -1,0 +1,44 @@
+(** Behavioral synthesis of conditioned HWIR into sequential RTL.
+
+    Section 4.3 of the paper: following the model-conditioning
+    guidelines makes an SLM usable not only for sequential equivalence
+    checking but also for "automated generation of RTL via behavioral
+    synthesis tools".  This module is that tool, in miniature: it
+    compiles a conditioned HWIR program into an FSM-plus-datapath RTL
+    module — one statement per state, loops as genuine FSM cycles (not
+    unrolled), scalars as registers, array locals as memories.
+
+    The generated block follows the start/done protocol of the
+    hand-written sequential designs in this repository:
+
+    - inputs: [start] (1 bit) and one port per scalar entry parameter;
+    - outputs: [result] and [done_] (1 bit);
+    - on [start] the parameters are latched, locals cleared and the FSM
+      launched; [done_] rises when the program returns and stays up.
+
+    Restrictions (raising {!Not_synthesizable}): the entry function must
+    be the only function reached (no calls — inline first), parameters
+    and the result must be scalars, and of course the program must obey
+    the Section 4.3 guidelines ([while]/[malloc]/aliasing/extern are
+    rejected, as in {!Dfv_hwir.Elab}).  Array locals become memories
+    initialized at reset, so a generated block runs one transaction per
+    reset — exactly the transaction SEC checks.
+
+    The point of the exercise: {!spec} produces the transaction mapping
+    for the generated block, so the synthesized RTL is immediately
+    checked against its own source SLM by {!Dfv_sec.Checker} — the
+    correct-by-construction claim is not taken on faith. *)
+
+exception Not_synthesizable of string
+
+val cycle_bound : Dfv_hwir.Ast.program -> int
+(** A static worst-case cycle count for one transaction of the
+    synthesized FSM (loops contribute their static bounds). *)
+
+val synthesize : ?name:string -> Dfv_hwir.Ast.program -> Dfv_rtl.Netlist.t
+(** Compile the program's entry function. *)
+
+val spec : Dfv_hwir.Ast.program -> Dfv_sec.Spec.t
+(** The transaction specification aligning the program (as the SLM) with
+    its synthesized RTL: parameters held on their ports, [start] pulsed
+    at cycle 0, [result] compared at the worst-case cycle. *)

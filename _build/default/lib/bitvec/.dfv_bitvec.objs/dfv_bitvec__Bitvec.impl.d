@@ -1,0 +1,1 @@
+lib/bitvec/bitvec.ml: Array Buffer Char Format List Printf Random Stdlib String Sys

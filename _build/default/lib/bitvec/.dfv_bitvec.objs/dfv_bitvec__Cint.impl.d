@@ -1,0 +1,1 @@
+lib/bitvec/cint.ml: Bitvec Format Int64

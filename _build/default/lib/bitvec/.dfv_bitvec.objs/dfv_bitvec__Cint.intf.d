@@ -1,0 +1,1 @@
+lib/bitvec/cint.mli: Bitvec Format

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Dfv_bitvec Dfv_hwir Dfv_rtl Dfv_sec Format Hashtbl List Pair Printf Random String

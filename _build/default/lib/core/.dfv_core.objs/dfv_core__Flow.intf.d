@@ -1,0 +1,1 @@
+lib/core/flow.mli: Dfv_bitvec Dfv_hwir Dfv_sec Format Pair

@@ -1,0 +1,1 @@
+lib/core/pair.ml: Dfv_hwir Dfv_rtl Dfv_sec Format List Printf

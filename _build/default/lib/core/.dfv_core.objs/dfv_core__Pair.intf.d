@@ -1,0 +1,1 @@
+lib/core/pair.mli: Dfv_hwir Dfv_rtl Dfv_sec Format

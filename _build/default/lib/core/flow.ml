@@ -1,0 +1,190 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Ast = Dfv_hwir.Ast
+module Interp = Dfv_hwir.Interp
+module Typecheck = Dfv_hwir.Typecheck
+module Netlist = Dfv_rtl.Netlist
+module Sim = Dfv_rtl.Sim
+module Spec = Dfv_sec.Spec
+module Checker = Dfv_sec.Checker
+
+type sim_outcome =
+  | Sim_clean of { vectors : int }
+  | Sim_mismatch of {
+      vector_index : int;
+      params : (string * Interp.value) list;
+      failed_checks : (Spec.check * Bitvec.t * Bitvec.t) list;
+    }
+
+let random_value st (ty : Ast.ty) =
+  match ty with
+  | Ast.Tint { width; _ } -> Interp.Vint (Bitvec.random st ~width)
+  | Ast.Tarray (Ast.Tint { width; _ }, n) ->
+    Interp.Varr (Array.init n (fun _ -> Bitvec.random st ~width))
+  | Ast.Tarray (Ast.Tarray _, _) -> failwith "Flow: nested array parameter"
+
+(* Constraints are evaluated by interpreting a wrapper function, exactly
+   mirroring how the SEC path elaborates them. *)
+let constraint_checkers (pair : Pair.t) =
+  let fn =
+    match Ast.find_func pair.Pair.slm pair.Pair.slm.Ast.entry with
+    | Some f -> f
+    | None -> failwith "Flow: SLM entry not found"
+  in
+  List.mapi
+    (fun i expr ->
+      let cname = Printf.sprintf "__sim_constraint_%d" i in
+      let wrapper =
+        {
+          Ast.funcs =
+            pair.Pair.slm.Ast.funcs
+            @ [ {
+                  Ast.fname = cname;
+                  params = fn.Ast.params;
+                  ret = Ast.bool_ty;
+                  locals = [];
+                  body = [ Ast.Return expr ];
+                } ];
+          entry = cname;
+        }
+      in
+      fun args ->
+        match Interp.run wrapper args with
+        | Interp.Vint b -> not (Bitvec.is_zero b)
+        | Interp.Varr _ -> false
+        | exception Interp.Runtime_error _ -> false)
+    pair.Pair.spec.Spec.constraints
+
+let concrete_source params (src : Spec.source) =
+  match src with
+  | Spec.Const bv -> bv
+  | Spec.Param name -> (
+    match List.assoc name params with
+    | Interp.Vint bv -> bv
+    | Interp.Varr _ -> failwith "Flow: array param used as scalar")
+  | Spec.Param_elem (name, i) -> (
+    match List.assoc name params with
+    | Interp.Varr a -> a.(i)
+    | Interp.Vint _ -> failwith "Flow: scalar param indexed")
+  | Spec.Param_bits { name; hi; lo } -> (
+    match List.assoc name params with
+    | Interp.Vint bv -> Bitvec.select bv ~hi ~lo
+    | Interp.Varr _ -> failwith "Flow: array param sliced")
+
+(* Run one concrete transaction through the RTL simulator and compare the
+   spec's checks against the SLM result. *)
+let run_transaction (pair : Pair.t) params =
+  let spec = pair.Pair.spec in
+  let slm_result = Interp.run pair.Pair.slm (List.map snd params) in
+  let sim = Sim.create pair.Pair.rtl in
+  let outputs = Array.make spec.Spec.rtl_cycles [] in
+  for t = 0 to spec.Spec.rtl_cycles - 1 do
+    let ins =
+      List.map
+        (fun (port, drive) ->
+          let src =
+            match drive with Spec.Hold bv -> Spec.Const bv | Spec.At f -> f t
+          in
+          (port, concrete_source params src))
+        spec.Spec.drives
+    in
+    outputs.(t) <- Sim.cycle sim ins
+  done;
+  let expected (c : Spec.check) =
+    match (c.Spec.expect, slm_result) with
+    | Spec.Result, Interp.Vint bv -> bv
+    | Spec.Result_elem i, Interp.Varr a -> a.(i)
+    | Spec.Result, Interp.Varr _ | Spec.Result_elem _, Interp.Vint _ ->
+      failwith "Flow: result shape does not match the spec"
+  in
+  List.filter_map
+    (fun (c : Spec.check) ->
+      let got = List.assoc c.Spec.rtl_port outputs.(c.Spec.at_cycle) in
+      let e = expected c in
+      if Bitvec.equal got e then None else Some (c, e, got))
+    spec.Spec.checks
+
+let simulate ?(seed = 0) ~vectors (pair : Pair.t) =
+  let params_sig, _ = Typecheck.entry_signature pair.Pair.slm in
+  let st = Random.State.make [| seed; Hashtbl.hash pair.Pair.name |] in
+  let checkers = constraint_checkers pair in
+  let draw () =
+    let rec go attempts =
+      if attempts > 100 * vectors then
+        failwith "Flow.simulate: constraints too tight for random stimulus";
+      let params =
+        List.map (fun (n, ty) -> (n, random_value st ty)) params_sig
+      in
+      let args = List.map snd params in
+      if List.for_all (fun c -> c args) checkers then
+        (* Vectors on which the SLM itself faults (e.g. division by
+           zero) are outside the comparison domain; redraw. *)
+        match Interp.run pair.Pair.slm args with
+        | _ -> params
+        | exception Interp.Runtime_error _ -> go (attempts + 1)
+      else go (attempts + 1)
+    in
+    go 0
+  in
+  let rec loop i =
+    if i >= vectors then Sim_clean { vectors }
+    else begin
+      let params = draw () in
+      match run_transaction pair params with
+      | [] -> loop (i + 1)
+      | failed_checks -> Sim_mismatch { vector_index = i; params; failed_checks }
+    end
+  in
+  loop 0
+
+let sec (pair : Pair.t) =
+  Checker.check_slm_rtl ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl
+    ~spec:pair.Pair.spec ()
+
+type verify_outcome =
+  | Proved of Checker.stats
+  | Refuted of Checker.cex * Checker.stats
+  | Simulated of sim_outcome
+
+type report = { audit : Pair.audit; outcome : verify_outcome }
+
+let verify ?seed ?(sim_vectors = 1000) pair =
+  let audit = Pair.audit pair in
+  let outcome =
+    if audit.Pair.sec_ready then begin
+      match sec pair with
+      | Checker.Equivalent stats -> Proved stats
+      | Checker.Not_equivalent (cex, stats) -> Refuted (cex, stats)
+    end
+    else Simulated (simulate ?seed ~vectors:sim_vectors pair)
+  in
+  { audit; outcome }
+
+let pp_value fmt = function
+  | Interp.Vint bv -> Bitvec.pp fmt bv
+  | Interp.Varr a ->
+    Format.fprintf fmt "[%s]"
+      (String.concat "; " (Array.to_list (Array.map Bitvec.to_string a)))
+
+let pp_report fmt r =
+  let open Format in
+  Pair.pp_audit fmt r.audit;
+  match r.outcome with
+  | Proved stats ->
+    fprintf fmt "verdict: EQUIVALENT (proved; %d AIG nodes, %d conflicts, %.3fs)@."
+      stats.Checker.aig_ands stats.Checker.sat_conflicts
+      stats.Checker.wall_seconds
+  | Refuted (cex, stats) ->
+    fprintf fmt "verdict: NOT EQUIVALENT (%.3fs)@." stats.Checker.wall_seconds;
+    List.iter
+      (fun (n, v) -> fprintf fmt "  %s = %a@." n pp_value v)
+      cex.Checker.params
+  | Simulated (Sim_clean { vectors }) ->
+    fprintf fmt "verdict: SIMULATION CLEAN (%d transactions; no proof)@." vectors
+  | Simulated (Sim_mismatch { vector_index; params; failed_checks }) ->
+    fprintf fmt "verdict: SIMULATION MISMATCH at transaction %d@." vector_index;
+    List.iter (fun (n, v) -> fprintf fmt "  %s = %a@." n pp_value v) params;
+    List.iter
+      (fun ((c : Spec.check), e, got) ->
+        fprintf fmt "  %s@%d: expected %a, got %a@." c.Spec.rtl_port
+          c.Spec.at_cycle Bitvec.pp e Bitvec.pp got)
+      failed_checks

@@ -1,0 +1,45 @@
+(** Verification flows over a design pair.
+
+    The paper's two ways of leveraging an SLM for RTL verification
+    (Section 2), both driven by the {e same} transaction specification:
+
+    - {!simulate}: simulation-based comparison — random transactions,
+      the SLM (interpreter) produces expected outputs, the RTL simulator
+      is driven through the spec's stimulus adapter, and the spec's
+      checks are compared;
+    - {!sec}: sequential equivalence checking via {!Dfv_sec.Checker}.
+
+    {!verify} combines them the way a design team would: audit first,
+    SEC when the model is conditioned, simulation as the fallback — and
+    always reports which path ran. *)
+
+type sim_outcome =
+  | Sim_clean of { vectors : int }
+  | Sim_mismatch of {
+      vector_index : int;  (** 0-based index of the failing transaction *)
+      params : (string * Dfv_hwir.Interp.value) list;
+      failed_checks : (Dfv_sec.Spec.check * Dfv_bitvec.Bitvec.t * Dfv_bitvec.Bitvec.t) list;
+          (** (check, expected, got) *)
+    }
+
+val simulate : ?seed:int -> vectors:int -> Pair.t -> sim_outcome
+(** Run [vectors] random transactions.  Parameter values are drawn
+    uniformly; vectors violating the spec's constraints are redrawn
+    (up to a factor of 100, then [Failure]).  Stops at the first
+    mismatch. *)
+
+val sec : Pair.t -> Dfv_sec.Checker.verdict
+(** One SEC query on the pair. *)
+
+type verify_outcome =
+  | Proved of Dfv_sec.Checker.stats
+  | Refuted of Dfv_sec.Checker.cex * Dfv_sec.Checker.stats
+  | Simulated of sim_outcome
+      (** SEC was blocked (see the audit); simulation ran instead. *)
+
+type report = { audit : Pair.audit; outcome : verify_outcome }
+
+val verify : ?seed:int -> ?sim_vectors:int -> Pair.t -> report
+(** The combined flow ([sim_vectors] defaults to 1000). *)
+
+val pp_report : Format.formatter -> report -> unit

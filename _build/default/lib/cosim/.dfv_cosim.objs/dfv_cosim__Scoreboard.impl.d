@@ -1,0 +1,1 @@
+lib/cosim/scoreboard.ml: Dfv_bitvec Hashtbl List Queue

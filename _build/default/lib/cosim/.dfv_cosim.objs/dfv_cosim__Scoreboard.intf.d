@@ -1,0 +1,1 @@
+lib/cosim/scoreboard.mli: Dfv_bitvec

@@ -1,0 +1,1 @@
+lib/cosim/stream.ml: Array Dfv_bitvec Dfv_rtl Hashtbl List Option Printf

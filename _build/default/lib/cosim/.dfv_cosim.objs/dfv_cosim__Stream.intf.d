@@ -1,0 +1,1 @@
+lib/cosim/stream.mli: Dfv_bitvec Dfv_rtl

@@ -1,0 +1,1 @@
+lib/cosim/txn_engine.ml: Dfv_bitvec Dfv_rtl List Printf String

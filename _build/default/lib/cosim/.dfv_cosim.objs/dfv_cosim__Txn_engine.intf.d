@@ -1,0 +1,1 @@
+lib/cosim/txn_engine.mli: Dfv_bitvec Dfv_rtl

@@ -1,0 +1,53 @@
+(** Tagged-transaction co-simulation engine.
+
+    For RTL blocks with request/response interfaces and variable (even
+    reordering) completion — the paper's hardest timing-alignment case
+    (Section 3.2, "out-of-order output generation ... complicated
+    transactors").  The engine issues a list of tagged requests,
+    respecting the design's ready signal, watches for tagged responses,
+    and feeds a caller-supplied scoreboard-ready stream of completions. *)
+
+type request = {
+  tag : Dfv_bitvec.Bitvec.t;
+  payload : (string * Dfv_bitvec.Bitvec.t) list;
+      (** input-port values to drive while issuing this request *)
+}
+
+type completion = {
+  c_cycle : int;
+  c_tag : Dfv_bitvec.Bitvec.t;
+  c_data : Dfv_bitvec.Bitvec.t;
+}
+
+type interface = {
+  idle : (string * Dfv_bitvec.Bitvec.t) list;
+      (** input values driven when no request is being issued; must cover
+          every input port not covered by request payloads *)
+  issue_valid : string;  (** 1-bit input: request present this cycle *)
+  req_tag : string option;
+      (** input port to drive with the request's tag while issuing;
+          [None] if the design derives tags itself (the payload must then
+          encode whatever identity the design echoes back) *)
+  ready : string option;
+      (** 1-bit output: design accepts a request this cycle; [None] =
+          always ready *)
+  resp_valid : string;  (** 1-bit output: completion this cycle *)
+  resp_tag : string;  (** output carrying the completion's tag *)
+  resp_data : string;  (** output carrying the completion's data *)
+}
+
+exception Engine_error of string
+
+val run :
+  rtl:Dfv_rtl.Netlist.elaborated ->
+  iface:interface ->
+  requests:request list ->
+  ?gap:(int -> bool) ->
+  ?max_cycles:int ->
+  unit ->
+  completion list * int
+(** Run until every request has completed (or [max_cycles], default
+    [64 * n + 256], after which {!Engine_error} is raised listing the
+    missing tags).  [gap cycle] inserts issue-side idle cycles (request
+    throttling).  Returns the completions in observation order and the
+    total cycles consumed. *)

@@ -1,0 +1,1 @@
+lib/designs/conv_image.ml: Array Dfv_bitvec Dfv_hwir Dfv_rtl Dfv_sec List Printf

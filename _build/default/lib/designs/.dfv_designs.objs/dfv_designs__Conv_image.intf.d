@@ -1,0 +1,1 @@
+lib/designs/conv_image.mli: Dfv_hwir Dfv_rtl Dfv_sec

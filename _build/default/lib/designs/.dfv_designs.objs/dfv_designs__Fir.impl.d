@@ -1,0 +1,1 @@
+lib/designs/fir.ml: Array Dfv_bitvec Dfv_cosim Dfv_hwir Dfv_rtl Dfv_sec List Printf

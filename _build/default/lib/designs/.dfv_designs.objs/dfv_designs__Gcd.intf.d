@@ -1,0 +1,1 @@
+lib/designs/gcd.mli: Dfv_hwir Dfv_rtl Dfv_sec

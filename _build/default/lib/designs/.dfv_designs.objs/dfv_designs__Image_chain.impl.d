@@ -1,0 +1,1 @@
+lib/designs/image_chain.ml: Array Conv_image Dfv_bitvec Dfv_cosim Dfv_hwir Dfv_rtl Dfv_sec List Printf

@@ -1,0 +1,1 @@
+lib/designs/image_chain.mli: Dfv_cosim Dfv_hwir Dfv_rtl Dfv_sec

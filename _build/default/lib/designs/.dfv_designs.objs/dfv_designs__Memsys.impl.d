@@ -1,0 +1,1 @@
+lib/designs/memsys.ml: Array Dfv_bitvec Dfv_cosim Dfv_rtl List Printf

@@ -1,0 +1,1 @@
+lib/designs/memsys.mli: Dfv_cosim Dfv_rtl

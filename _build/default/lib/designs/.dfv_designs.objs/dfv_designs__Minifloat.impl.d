@@ -1,0 +1,1 @@
+lib/designs/minifloat.ml: Dfv_bitvec Dfv_hwir List

@@ -1,0 +1,1 @@
+lib/designs/minifloat.mli: Dfv_hwir

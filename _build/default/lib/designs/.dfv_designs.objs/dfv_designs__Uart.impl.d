@@ -1,0 +1,1 @@
+lib/designs/uart.ml: Array Dfv_bitvec Dfv_hwir Dfv_rtl Dfv_sec List Printf

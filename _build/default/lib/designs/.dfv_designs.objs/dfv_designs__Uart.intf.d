@@ -1,0 +1,1 @@
+lib/designs/uart.mli: Dfv_hwir Dfv_rtl Dfv_sec

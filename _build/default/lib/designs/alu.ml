@@ -1,0 +1,170 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Sim = Dfv_rtl.Sim
+module Ast = Dfv_hwir.Ast
+module Interp = Dfv_hwir.Interp
+module Spec = Dfv_sec.Spec
+
+type bug =
+  | No_bug
+  | Unsigned_slt
+  | Truncated_shift_amount
+  | Missing_carry
+  | Swapped_or_xor
+
+let all_bugs =
+  [ Unsigned_slt; Truncated_shift_amount; Missing_carry; Swapped_or_xor ]
+
+let bug_name = function
+  | No_bug -> "no-bug"
+  | Unsigned_slt -> "unsigned-slt"
+  | Truncated_shift_amount -> "truncated-shift-amount"
+  | Missing_carry -> "missing-carry"
+  | Swapped_or_xor -> "swapped-or-xor"
+
+type t = {
+  width : int;
+  slm : Ast.program;
+  rtl : Netlist.elaborated;
+  spec : Spec.t;
+}
+
+let opcode_add = 0
+let opcode_sub = 1
+let opcode_and = 2
+let opcode_or = 3
+let opcode_xor = 4
+let opcode_shl = 5
+let opcode_shr = 6
+let opcode_slt = 7
+
+(* Shift amounts use the low log2(width) bits of b (width must be a
+   power of two so the semantics are crisp). *)
+let log2 w =
+  let rec go k = if 1 lsl k >= w then k else go (k + 1) in
+  go 0
+
+let slm_program width =
+  let open Ast in
+  let w = width in
+  let sh = log2 w in
+  let amount = cast (uint sh) (var "b") in
+  let signed v = cast (sint w) v in
+  let case op body tail = [ If (var "op" ==^ u 3 op, body, tail) ] in
+  let body =
+    case opcode_add [ ret (var "a" +^ var "b") ]
+    @@ case opcode_sub [ ret (var "a" -^ var "b") ]
+    @@ case opcode_and [ ret (var "a" &^ var "b") ]
+    @@ case opcode_or [ ret (var "a" |^ var "b") ]
+    @@ case opcode_xor [ ret (var "a" ^^ var "b") ]
+    @@ case opcode_shl [ ret (var "a" <<^ amount) ]
+    @@ case opcode_shr [ ret (var "a" >>^ amount) ]
+    @@ [ ret (Cond (signed (var "a") <^ signed (var "b"), u w 1, u w 0)) ]
+  in
+  {
+    funcs =
+      [ {
+          fname = "alu";
+          params = [ ("op", uint 3); ("a", uint w); ("b", uint w) ];
+          ret = uint w;
+          locals = [];
+          body;
+        } ];
+    entry = "alu";
+  }
+
+let rtl_module bug width =
+  let open Expr in
+  let w = width in
+  let sh = log2 w in
+  let a = sig_ "a" and b = sig_ "b" and op = sig_ "op" in
+  let amount_bits = match bug with Truncated_shift_amount -> sh - 1 | _ -> sh in
+  let amount = slice b ~hi:(amount_bits - 1) ~lo:0 in
+  let sub_result =
+    match bug with
+    | Missing_carry -> a +: ~:b
+    | _ -> a -: b
+  in
+  let slt_result =
+    let cmp = match bug with Unsigned_slt -> a <: b | _ -> a <+ b in
+    zext cmp w
+  in
+  let or_r, xor_r =
+    match bug with
+    | Swapped_or_xor -> (a ^: b, a |: b)
+    | _ -> (a |: b, a ^: b)
+  in
+  let sel k v rest = mux (op ==: const ~width:3 k) v rest in
+  let y =
+    sel opcode_add (a +: b)
+    @@ sel opcode_sub sub_result
+    @@ sel opcode_and (a &: b)
+    @@ sel opcode_or or_r
+    @@ sel opcode_xor xor_r
+    @@ sel opcode_shl (a <<: amount)
+    @@ sel opcode_shr (a >>: amount)
+    @@ slt_result
+  in
+  {
+    (Netlist.empty (Printf.sprintf "alu%d_%s" w (bug_name bug))) with
+    Netlist.inputs =
+      [ { Netlist.port_name = "op"; port_width = 3 };
+        { Netlist.port_name = "a"; port_width = w };
+        { Netlist.port_name = "b"; port_width = w } ];
+    outputs = [ ("y", y) ];
+  }
+
+let make ?(bug = No_bug) ~width () =
+  if width < 4 || 1 lsl log2 width <> width then
+    invalid_arg "Alu.make: width must be a power of two >= 4";
+  let rtl = Netlist.elaborate (rtl_module bug width) in
+  let spec =
+    {
+      Spec.rtl_cycles = 1;
+      drives =
+        [ ("op", Spec.At (fun _ -> Spec.Param "op"));
+          ("a", Spec.At (fun _ -> Spec.Param "a"));
+          ("b", Spec.At (fun _ -> Spec.Param "b")) ];
+      checks = [ { Spec.rtl_port = "y"; at_cycle = 0; expect = Spec.Result } ];
+      constraints = [];
+    }
+  in
+  { width; slm = slm_program width; rtl; spec }
+
+let golden ~width ~op a b =
+  let mask = (1 lsl width) - 1 in
+  let a = a land mask and b = b land mask in
+  let sh = log2 width in
+  let amount = b land ((1 lsl sh) - 1) in
+  let to_signed x = if x land (1 lsl (width - 1)) <> 0 then x - (1 lsl width) else x in
+  let r =
+    if op = opcode_add then a + b
+    else if op = opcode_sub then a - b
+    else if op = opcode_and then a land b
+    else if op = opcode_or then a lor b
+    else if op = opcode_xor then a lxor b
+    else if op = opcode_shl then a lsl amount
+    else if op = opcode_shr then a lsr amount
+    else if to_signed a < to_signed b then 1
+    else 0
+  in
+  r land mask
+
+let run_slm t ~op a b =
+  Bitvec.to_int
+    (Interp.as_int
+       (Interp.run t.slm
+          [ Interp.vint ~width:3 op;
+            Interp.vint ~width:t.width a;
+            Interp.vint ~width:t.width b ]))
+
+let run_rtl t ~op a b =
+  let sim = Sim.create t.rtl in
+  let outs =
+    Sim.cycle sim
+      [ ("op", Bitvec.create ~width:3 op);
+        ("a", Bitvec.create ~width:t.width a);
+        ("b", Bitvec.create ~width:t.width b) ]
+  in
+  Bitvec.to_int (List.assoc "y" outs)

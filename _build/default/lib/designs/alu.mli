@@ -1,0 +1,47 @@
+(** ALU design pair — the Section 3.1.1 bit-accuracy workhorse.
+
+    An 8-operation combinational ALU exercising exactly the operator
+    classes the paper blames for SLM/RTL divergence: width-sensitive
+    addition and subtraction, sign-dependent comparison, and shifts with
+    truncated amounts.  Ships with a family of realistically-buggy RTL
+    variants used by experiment C2 (time-to-counterexample) and by the
+    examples. *)
+
+type bug =
+  | No_bug
+  | Unsigned_slt  (** SLT compares unsigned — a missing sign extension *)
+  | Truncated_shift_amount
+      (** shifter uses only [b[1:0]] instead of [b[2:0]] *)
+  | Missing_carry  (** SUB computed as [a + ~b], the forgotten [+1] *)
+  | Swapped_or_xor  (** OR and XOR opcodes wired to each other *)
+
+val all_bugs : bug list
+(** Every bug variant (excludes [No_bug]). *)
+
+val bug_name : bug -> string
+
+type t = {
+  width : int;
+  slm : Dfv_hwir.Ast.program;
+      (** entry [alu : uint 3 -> uint w -> uint w -> uint w] *)
+  rtl : Dfv_rtl.Netlist.elaborated;
+      (** ports: in [op] (3), [a], [b] (w); out [y] (w) *)
+  spec : Dfv_sec.Spec.t;  (** single-cycle combinational transaction *)
+}
+
+val opcode_add : int
+val opcode_sub : int
+val opcode_and : int
+val opcode_or : int
+val opcode_xor : int
+val opcode_shl : int
+val opcode_shr : int
+val opcode_slt : int
+
+val make : ?bug:bug -> width:int -> unit -> t
+
+val golden : width:int -> op:int -> int -> int -> int
+(** Reference semantics on plain ints (inputs taken mod [2^width]). *)
+
+val run_slm : t -> op:int -> int -> int -> int
+val run_rtl : t -> op:int -> int -> int -> int

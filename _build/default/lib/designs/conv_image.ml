@@ -1,0 +1,278 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Sim = Dfv_rtl.Sim
+module Ast = Dfv_hwir.Ast
+module Spec = Dfv_sec.Spec
+
+type kernel = int array array
+
+let sharpen = [| [| 0; -1; 0 |]; [| -1; 8; -1 |]; [| 0; -1; 0 |] |]
+let box_blur = [| [| 1; 1; 1 |]; [| 1; 1; 1 |]; [| 1; 1; 1 |] |]
+
+type t = {
+  kernel : kernel;
+  shift : int;
+  clamped : bool;
+  rtl_window : Netlist.elaborated;
+  slm_window : Ast.program;
+  window_spec : Spec.t;
+}
+
+(* Accumulator width: 9 products of 8-bit pixels by small coefficients
+   fit comfortably in 20 bits. *)
+let acc_w = 20
+
+let kernel_coeffs k = Array.to_list (Array.concat (Array.to_list k))
+
+(* --- the combinational window datapath (RTL) ------------------------------ *)
+
+let window_rtl ~clamped ~shift coeffs =
+  let open Expr in
+  let products =
+    List.mapi
+      (fun i c ->
+        zext (sig_ (Printf.sprintf "p%d" i)) acc_w *: const ~width:acc_w c)
+      coeffs
+  in
+  let sum =
+    List.fold_left ( +: ) (const ~width:acc_w 0) products
+  in
+  let shifted = sum >>+ const ~width:5 shift in
+  let q =
+    if clamped then
+      mux
+        (shifted <+ const ~width:acc_w 0)
+        (const ~width:8 0)
+        (mux
+           (const ~width:acc_w 255 <+ shifted)
+           (const ~width:8 255)
+           (slice shifted ~hi:7 ~lo:0))
+    else slice shifted ~hi:7 ~lo:0
+  in
+  {
+    (Netlist.empty (if clamped then "conv_window" else "conv_window_wrap")) with
+    Netlist.inputs =
+      List.init 9 (fun i ->
+          { Netlist.port_name = Printf.sprintf "p%d" i; port_width = 8 });
+    outputs = [ ("q", q) ];
+  }
+
+(* --- the conditioned HWIR window model ------------------------------------ *)
+
+let window_slm ~clamped ~shift coeffs =
+  let open Ast in
+  let step i c =
+    [ assign "acc"
+        (var "acc"
+        +^ (cast (sint acc_w) (idx "x" (cast (uint 4) (u 32 i)))
+           *^ s acc_w c)) ]
+  in
+  let tail =
+    if clamped then
+      [ assign "sh" (var "acc" >>^ u 5 shift);
+        If (var "sh" <^ s acc_w 0, [ ret (u 8 0) ], []);
+        If (s acc_w 255 <^ var "sh", [ ret (u 8 255) ], []);
+        ret (cast (uint 8) (var "sh")) ]
+    else
+      [ assign "sh" (var "acc" >>^ u 5 shift);
+        ret (cast (uint 8) (var "sh")) ]
+  in
+  {
+    funcs =
+      [ {
+          fname = "conv";
+          params = [ ("x", Tarray (uint 8, 9)) ];
+          ret = uint 8;
+          locals = [ ("acc", sint acc_w); ("sh", sint acc_w) ];
+          body = List.concat (List.mapi step coeffs) @ tail;
+        } ];
+    entry = "conv";
+  }
+
+let make ?(clamped = true) ~kernel ~shift () =
+  if Array.length kernel <> 3 || Array.exists (fun r -> Array.length r <> 3) kernel
+  then invalid_arg "Conv_image.make: kernel must be 3x3";
+  if shift < 0 || shift > 16 then invalid_arg "Conv_image.make: bad shift";
+  let coeffs = kernel_coeffs kernel in
+  let rtl_window = Netlist.elaborate (window_rtl ~clamped ~shift coeffs) in
+  let window_spec =
+    {
+      Spec.rtl_cycles = 1;
+      drives =
+        List.init 9 (fun i ->
+            ( Printf.sprintf "p%d" i,
+              Spec.At (fun _ -> Spec.Param_elem ("x", i)) ));
+      checks = [ { Spec.rtl_port = "q"; at_cycle = 0; expect = Spec.Result } ];
+      constraints = [];
+    }
+  in
+  {
+    kernel;
+    shift;
+    clamped;
+    rtl_window;
+    slm_window = window_slm ~clamped ~shift coeffs;
+    window_spec;
+  }
+
+(* --- golden whole-image SLM ------------------------------------------------- *)
+
+let golden_pixel t window =
+  if Array.length window <> 9 then invalid_arg "Conv_image.golden_pixel";
+  let coeffs = Array.concat (Array.to_list t.kernel) in
+  let sum = ref 0 in
+  Array.iteri (fun i p -> sum := !sum + ((p land 0xff) * coeffs.(i))) window;
+  let shifted = !sum asr t.shift in
+  if t.clamped then max 0 (min 255 shifted)
+  else shifted land 0xff
+
+let golden t img =
+  let h = Array.length img in
+  if h < 3 then invalid_arg "Conv_image.golden: image too short";
+  let w = Array.length img.(0) in
+  if w < 3 then invalid_arg "Conv_image.golden: image too narrow";
+  Array.iter
+    (fun row ->
+      if Array.length row <> w then
+        invalid_arg "Conv_image.golden: ragged image")
+    img;
+  Array.init (h - 2) (fun r ->
+      Array.init (w - 2) (fun c ->
+          let window =
+            Array.init 9 (fun k -> img.(r + (k / 3)).(c + (k mod 3)))
+          in
+          golden_pixel t window))
+
+(* --- streaming RTL ----------------------------------------------------------- *)
+
+(* Line-buffer architecture.  On each accepted pixel at (row, col):
+   - lb2[col] holds the pixel two rows up, lb1[col] one row up;
+   - the 3x3 window slides right: column regs shift, the new right
+     column is (lb2[col], lb1[col], din);
+   - output is valid once row >= 2 and col >= 2 (the window covers rows
+     row-2..row and cols col-2..col), registered, so it appears one
+     cycle after the pixel that completed the window. *)
+let rtl_stream t ~width =
+  if width < 3 then invalid_arg "Conv_image.rtl_stream: width must be >= 3";
+  let open Expr in
+  let cw =
+    let rec go k = if 1 lsl k >= width then k else go (k + 1) in
+    max 1 (go 0)
+  in
+  let rw = 12 in
+  let coeffs = kernel_coeffs t.kernel in
+  let col = sig_ "col" and row = sig_ "row" in
+  let vin = sig_ "vin" and din = sig_ "din" in
+  let top = Expr.mem_read "lb2" col in
+  let mid = Expr.mem_read "lb1" col in
+  (* Window after shift, row-major: rows are (top, mid, bottom), the new
+     right column comes from the buffers + din. *)
+  let window_exprs =
+    [ sig_ "w00"; sig_ "w01"; top;
+      sig_ "w10"; sig_ "w11"; mid;
+      sig_ "w20"; sig_ "w21"; din ]
+  in
+  let products =
+    List.map2
+      (fun p c -> zext p acc_w *: const ~width:acc_w c)
+      window_exprs coeffs
+  in
+  let sum = List.fold_left ( +: ) (const ~width:acc_w 0) products in
+  let shifted = sum >>+ const ~width:5 t.shift in
+  let q =
+    if t.clamped then
+      mux
+        (shifted <+ const ~width:acc_w 0)
+        (const ~width:8 0)
+        (mux
+           (const ~width:acc_w 255 <+ shifted)
+           (const ~width:8 255)
+           (slice shifted ~hi:7 ~lo:0))
+    else slice shifted ~hi:7 ~lo:0
+  in
+  let last_col = col ==: const ~width:cw (width - 1) in
+  let window_full =
+    (const ~width:rw 2 <=: row) &: (const ~width:cw 2 <=: col)
+  in
+  let shift_reg name next =
+    Netlist.reg ~enable:vin ~name ~width:8 next
+  in
+  Netlist.elaborate
+    {
+      (Netlist.empty "conv_stream") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "din"; port_width = 8 };
+          { Netlist.port_name = "vin"; port_width = 1 } ];
+      wires = [ ("last_col", last_col); ("window_full", window_full) ];
+      mems =
+        [ {
+            Netlist.mem_name = "lb1";
+            word_width = 8;
+            mem_size = width;
+            writes =
+              [ { Netlist.wr_enable = vin; wr_addr = col; wr_data = din } ];
+            mem_init = None;
+          };
+          {
+            Netlist.mem_name = "lb2";
+            word_width = 8;
+            mem_size = width;
+            writes =
+              [ { Netlist.wr_enable = vin; wr_addr = col; wr_data = mid } ];
+            mem_init = None;
+          } ];
+      regs =
+        [ (* Window columns: left and middle (right comes from memory). *)
+          shift_reg "w00" (sig_ "w01");
+          shift_reg "w01" top;
+          shift_reg "w10" (sig_ "w11");
+          shift_reg "w11" mid;
+          shift_reg "w20" (sig_ "w21");
+          shift_reg "w21" din;
+          (* Raster counters. *)
+          Netlist.reg ~enable:vin ~name:"col" ~width:cw
+            (mux (sig_ "last_col") (const ~width:cw 0)
+               (col +: const ~width:cw 1));
+          Netlist.reg ~enable:(vin &: sig_ "last_col") ~name:"row" ~width:rw
+            (row +: const ~width:rw 1);
+          (* Registered output. *)
+          Netlist.reg ~enable:vin ~name:"result" ~width:8 q;
+          Netlist.reg ~name:"vld" ~width:1 (vin &: sig_ "window_full") ];
+      outputs = [ ("dout", sig_ "result"); ("vout", sig_ "vld") ];
+    }
+
+let run_stream t img =
+  let h = Array.length img in
+  let w = Array.length img.(0) in
+  let rtl = rtl_stream t ~width:w in
+  let sim = Sim.create rtl in
+  let outputs = ref [] in
+  let cycles = ref 0 in
+  Array.iter
+    (fun rowpix ->
+      Array.iter
+        (fun p ->
+          let outs =
+            Sim.cycle sim
+              [ ("din", Bitvec.create ~width:8 p); ("vin", Bitvec.one 1) ]
+          in
+          incr cycles;
+          if Bitvec.reduce_or (List.assoc "vout" outs) then
+            outputs := Bitvec.to_int (List.assoc "dout" outs) :: !outputs)
+        rowpix)
+    img;
+  (* One drain cycle for the registered output of the last pixel. *)
+  let outs =
+    Sim.cycle sim [ ("din", Bitvec.zero 8); ("vin", Bitvec.zero 1) ]
+  in
+  incr cycles;
+  if Bitvec.reduce_or (List.assoc "vout" outs) then
+    outputs := Bitvec.to_int (List.assoc "dout" outs) :: !outputs;
+  let flat = Array.of_list (List.rev !outputs) in
+  let oh = h - 2 and ow = w - 2 in
+  if Array.length flat <> oh * ow then
+    failwith
+      (Printf.sprintf "Conv_image.run_stream: got %d outputs, expected %d"
+         (Array.length flat) (oh * ow));
+  (Array.init oh (fun r -> Array.sub flat (r * ow) ow), !cycles)

@@ -1,0 +1,55 @@
+(** Image-processing design pair — the paper's running example.
+
+    "The SLM of an image processing block may read in the entire image
+    as a single array of pixels while the RTL reads it as a stream of
+    pixels" (Section 3.2).  This module provides a 3x3 convolution
+    (sum of products, arithmetic shift, clamp to [0, 255]):
+
+    - {!golden}: the whole-image SLM — a plain function from an image
+      to the (H-2) x (W-2) valid region, raster order;
+    - {!rtl_stream}: the streaming RTL — line buffers, window registers,
+      one pixel per cycle with a valid-out for window-complete positions;
+    - {!rtl_window} + {!slm_window}: the {e block-level} pair for SEC —
+      the combinational 3x3 datapath against its conditioned HWIR model
+      (full-image SEC through the line buffers is exactly the kind of
+      monolithic query the paper's incremental methodology avoids).
+
+    A bug variant omits the clamp (wrap instead of saturate) — found by
+    SEC in milliseconds, and by random cosim only on bright images. *)
+
+type kernel = int array array
+(** 3x3, row-major, small signed coefficients. *)
+
+val sharpen : kernel
+(** [[0,-1,0],[-1,8,-1],[0,-1,0]], shift 2 — a mild sharpening filter. *)
+
+val box_blur : kernel
+(** All-ones kernel, shift 3 (approximate mean). *)
+
+type t = {
+  kernel : kernel;
+  shift : int;  (** arithmetic right shift applied to the sum *)
+  clamped : bool;  (** false = the wrap bug variant *)
+  rtl_window : Dfv_rtl.Netlist.elaborated;
+      (** in [p0] .. [p8] (8 bits each, row-major window); out [q] (8) *)
+  slm_window : Dfv_hwir.Ast.program;
+      (** entry [conv : uint 8 array(9) -> uint 8] *)
+  window_spec : Dfv_sec.Spec.t;
+}
+
+val make : ?clamped:bool -> kernel:kernel -> shift:int -> unit -> t
+
+val golden_pixel : t -> int array -> int
+(** Apply the kernel to one 9-pixel window (row-major). *)
+
+val golden : t -> int array array -> int array array
+(** Whole-image SLM: input H x W, output (H-2) x (W-2). *)
+
+val rtl_stream : t -> width:int -> Dfv_rtl.Netlist.elaborated
+(** Streaming implementation for images [width] pixels wide (any
+    height).  Ports: in [din] (8), [vin] (1); out [dout] (8),
+    [vout] (1). *)
+
+val run_stream : t -> int array array -> int array array * int
+(** Drive an image through the streaming RTL; returns the output image
+    and cycles consumed. *)

@@ -1,0 +1,233 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Ast = Dfv_hwir.Ast
+module Interp = Dfv_hwir.Interp
+module Spec = Dfv_sec.Spec
+module Stream = Dfv_cosim.Stream
+
+type t = {
+  width : int;
+  acc_width : int;
+  taps : int list;
+  slm_exact : Ast.program;
+  slm_cstyle : Ast.program;
+  rtl : Netlist.elaborated;
+  spec : Spec.t;
+}
+
+(* Signed saturation bounds at [aw] bits. *)
+let sat_max aw = (1 lsl (aw - 1)) - 1
+let sat_min aw = -(1 lsl (aw - 1))
+
+let truncate_signed width v =
+  let m = v land ((1 lsl width) - 1) in
+  if m land (1 lsl (width - 1)) <> 0 then m - (1 lsl width) else m
+
+(* --- HWIR models --------------------------------------------------------- *)
+
+(* Exact model: saturate after every MAC step (matches the RTL). *)
+let slm_exact_program ~width ~aw taps =
+  let open Ast in
+  let n = List.length taps in
+  let aw2 = aw + 2 in
+  let idxw = max 1 (let rec go k = if 1 lsl k >= n then k else go (k + 1) in go 0) in
+  let step i tap =
+    let xi = idx "x" (cast (uint idxw) (u 32 i)) in
+    [ assign "p" (cast (sint aw2) xi *^ cast (sint aw2) (s aw2 tap));
+      assign "t" (cast (sint aw2) (var "acc") +^ var "p");
+      If
+        ( s aw2 (sat_max aw) <^ var "t",
+          [ assign "acc" (s aw (sat_max aw)) ],
+          [ If
+              ( var "t" <^ s aw2 (sat_min aw),
+                [ assign "acc" (s aw (sat_min aw)) ],
+                [ assign "acc" (cast (sint aw) (var "t")) ] )
+          ] ) ]
+  in
+  {
+    funcs =
+      [ {
+          fname = "fir";
+          params = [ ("x", Tarray (sint width, n)) ];
+          ret = sint aw;
+          locals = [ ("acc", sint aw); ("t", sint aw2); ("p", sint aw2) ];
+          body = List.concat (List.mapi step taps) @ [ ret (var "acc") ];
+        } ];
+    entry = "fir";
+  }
+
+(* C-style model: accumulate in a wide (32-bit) int, saturate once at the
+   end — the masked-overflow idiom of Section 3.1.1. *)
+let slm_cstyle_program ~width ~aw taps =
+  let open Ast in
+  let n = List.length taps in
+  let idxw = max 1 (let rec go k = if 1 lsl k >= n then k else go (k + 1) in go 0) in
+  let step i tap =
+    let xi = idx "x" (cast (uint idxw) (u 32 i)) in
+    [ assign "acc32"
+        (var "acc32" +^ (cast (sint 32) xi *^ cast (sint 32) (s 32 tap))) ]
+  in
+  {
+    funcs =
+      [ {
+          fname = "fir";
+          params = [ ("x", Tarray (sint width, n)) ];
+          ret = sint aw;
+          locals = [ ("acc32", sint 32) ];
+          body =
+            List.concat (List.mapi step taps)
+            @ [ If
+                  ( s 32 (sat_max aw) <^ var "acc32",
+                    [ ret (s aw (sat_max aw)) ],
+                    [] );
+                If
+                  ( var "acc32" <^ s 32 (sat_min aw),
+                    [ ret (s aw (sat_min aw)) ],
+                    [] );
+                ret (cast (sint aw) (var "acc32")) ];
+        } ];
+    entry = "fir";
+  }
+
+(* --- RTL ------------------------------------------------------------------ *)
+
+(* Saturating add of [p] into [acc], both Expr of width [aw]. *)
+let sat_add_expr aw acc p =
+  let open Expr in
+  let aw2 = aw + 2 in
+  let t = sext acc aw2 +: sext p aw2 in
+  let maxc = const ~width:aw2 (sat_max aw) and minc = const ~width:aw2 (sat_min aw) in
+  mux (maxc <+ t)
+    (const ~width:aw (sat_max aw))
+    (mux (t <+ minc) (const ~width:aw (sat_min aw)) (slice t ~hi:(aw - 1) ~lo:0))
+
+let rtl_module ~width ~aw taps =
+  let open Expr in
+  let n = List.length taps in
+  let aw2 = aw + 2 in
+  (* Delay line: d0 is the previous sample, d1 before that, ... *)
+  let delay_regs =
+    List.init (n - 1) (fun i ->
+        let src = if i = 0 then sig_ "din" else sig_ (Printf.sprintf "d%d" (i - 1)) in
+        Netlist.reg ~enable:(sig_ "vin") ~name:(Printf.sprintf "d%d" i)
+          ~width src)
+  in
+  (* Window newest-first: din, d0, d1, ... *)
+  let window =
+    List.init n (fun i ->
+        if i = 0 then sig_ "din" else sig_ (Printf.sprintf "d%d" (i - 1)))
+  in
+  let products =
+    List.map2
+      (fun x tap ->
+        slice (sext x aw2 *: sext (const ~width:aw2 tap) aw2) ~hi:(aw - 1) ~lo:0)
+      window taps
+  in
+  let mac =
+    List.fold_left
+      (fun acc p -> sat_add_expr aw acc p)
+      (const ~width:aw 0) products
+  in
+  {
+    (Netlist.empty (Printf.sprintf "fir%d_%dtap" width n)) with
+    Netlist.inputs =
+      [ { Netlist.port_name = "din"; port_width = width };
+        { Netlist.port_name = "vin"; port_width = 1 } ];
+    regs =
+      delay_regs
+      @ [ Netlist.reg ~enable:(sig_ "vin") ~name:"result" ~width:aw mac;
+          Netlist.reg ~name:"vld" ~width:1 (sig_ "vin") ];
+    outputs = [ ("dout", sig_ "result"); ("vout", sig_ "vld") ];
+  }
+
+let make ?(width = 8) ~taps () =
+  let n = List.length taps in
+  if n < 2 then invalid_arg "Fir.make: need at least 2 taps";
+  if width < 2 then invalid_arg "Fir.make: width must be >= 2";
+  let aw = 2 * width in
+  if aw + 4 > 30 then invalid_arg "Fir.make: width too large for the c-style model";
+  let taps = List.map (truncate_signed width) taps in
+  let rtl = Netlist.elaborate (rtl_module ~width ~aw taps) in
+  let spec =
+    {
+      (* Stream the window (newest-first SLM convention means the
+         transactor feeds x[n-1] first), then sample dout one cycle after
+         the last element. *)
+      Spec.rtl_cycles = n + 1;
+      drives =
+        [ ( "din",
+            Spec.At
+              (fun c ->
+                let i = max 0 (n - 1 - c) in
+                Spec.Param_elem ("x", i)) );
+          ( "vin",
+            Spec.At
+              (fun c ->
+                Spec.Const (Bitvec.create ~width:1 (if c < n then 1 else 0))) )
+        ];
+      checks =
+        [ { Spec.rtl_port = "dout"; at_cycle = n; expect = Spec.Result } ];
+      constraints = [];
+    }
+  in
+  {
+    width;
+    acc_width = aw;
+    taps;
+    slm_exact = slm_exact_program ~width ~aw taps;
+    slm_cstyle = slm_cstyle_program ~width ~aw taps;
+    rtl;
+    spec;
+  }
+
+(* --- golden models (native) ------------------------------------------------ *)
+
+let sat aw v = max (sat_min aw) (min (sat_max aw) v)
+
+let golden_exact t window =
+  let aw = t.acc_width in
+  if Array.length window <> List.length t.taps then
+    invalid_arg "Fir.golden_exact: window size";
+  List.fold_left
+    (fun (acc, i) tap ->
+      let x = truncate_signed t.width window.(i) in
+      (sat aw (acc + (x * tap)), i + 1))
+    (0, 0) t.taps
+  |> fst
+
+let golden_cstyle t window =
+  let aw = t.acc_width in
+  if Array.length window <> List.length t.taps then
+    invalid_arg "Fir.golden_cstyle: window size";
+  let acc, _ =
+    List.fold_left
+      (fun (acc, i) tap ->
+        let x = truncate_signed t.width window.(i) in
+        (acc + (x * tap), i + 1))
+      (0, 0) t.taps
+  in
+  sat aw acc
+
+let filter_signal t signal =
+  let n = List.length t.taps in
+  Array.mapi
+    (fun i _ ->
+      let window =
+        Array.init n (fun k -> if i - k >= 0 then signal.(i - k) else 0)
+      in
+      golden_exact t window)
+    signal
+
+let run_rtl_stream t signal =
+  let stage =
+    Stream.rtl_stage ~name:"fir" ~rtl:t.rtl ~in_port:"din" ~out_port:"dout"
+      ~in_valid:"vin" ~out_valid:"vout" ()
+  in
+  let input = Array.map (fun v -> Bitvec.create ~width:t.width v) signal in
+  let out, stats = Stream.run_stage stage input in
+  (Array.map Bitvec.to_signed_int out, stats.Stream.cycles)
+
+let run_slm_window prog ~width window =
+  let x = Interp.Varr (Array.map (fun v -> Bitvec.create ~width v) window) in
+  Bitvec.to_signed_int (Interp.as_int (Interp.run prog [ x ]))

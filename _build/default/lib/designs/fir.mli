@@ -1,0 +1,54 @@
+(** FIR filter design triple — fixed-point bit-accuracy (experiment C4).
+
+    A saturating-MAC FIR filter, the paper's Section 3.1.1 scenario made
+    concrete.  Three models of the same filter:
+
+    - {!field:rtl}: a streaming RTL datapath (one sample per cycle, delay
+      line, per-step saturating MAC, registered output with a valid);
+    - [slm_exact]: a conditioned HWIR model that saturates per MAC step —
+      bit-accurate with the RTL;
+    - [slm_cstyle]: the "C programmer's" model that accumulates in a wide
+      int and saturates once at the end — the masked-overflow mistake.
+      Saturation is not a ring operation, so this diverges from the RTL
+      exactly when an intermediate sum overflows, which wide C ints
+      silently absorb.
+
+    SEC proves [slm_exact] ≡ RTL and produces counterexamples against
+    [slm_cstyle]; simulation measures the divergence rate. *)
+
+type t = {
+  width : int;  (** sample/coefficient width (signed) *)
+  acc_width : int;  (** accumulator width = 2*width *)
+  taps : int list;  (** coefficients, two's complement at [width] bits *)
+  slm_exact : Dfv_hwir.Ast.program;
+      (** entry [fir : int w array -> int acc_width], window of
+          [List.length taps] samples, newest first *)
+  slm_cstyle : Dfv_hwir.Ast.program;  (** same signature *)
+  rtl : Dfv_rtl.Netlist.elaborated;
+      (** ports: in [din] (w), [vin] (1); out [dout] (acc), [vout] (1) *)
+  spec : Dfv_sec.Spec.t;
+      (** window transaction: stream the window, check [dout] after the
+          last sample *)
+}
+
+val make : ?width:int -> taps:int list -> unit -> t
+(** Default width 8.  Tap values are truncated to [width] bits. *)
+
+val golden_exact : t -> int array -> int
+(** Per-step-saturating window MAC on ints (newest sample first);
+    returns the accumulator as a signed int. *)
+
+val golden_cstyle : t -> int array -> int
+(** Wide accumulation, one final saturation. *)
+
+val filter_signal : t -> int array -> int array
+(** Run the exact model over a whole signal (output [i] is the window
+    ending at sample [i]; the first [taps-1] outputs use a zero-filled
+    history) — the untimed whole-signal SLM for the speed experiment. *)
+
+val run_rtl_stream : t -> int array -> int array * int
+(** Stream a signal through the RTL simulator; returns the outputs
+    (aligned with {!filter_signal}) and the cycles consumed. *)
+
+val run_slm_window : Dfv_hwir.Ast.program -> width:int -> int array -> int
+(** Interpret an SLM window model on a concrete window. *)

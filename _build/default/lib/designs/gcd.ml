@@ -1,0 +1,121 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Sim = Dfv_rtl.Sim
+module Ast = Dfv_hwir.Ast
+module Interp = Dfv_hwir.Interp
+module Spec = Dfv_sec.Spec
+
+type t = {
+  width : int;
+  slm : Ast.program;
+  rtl : Netlist.elaborated;
+  spec : Spec.t;
+  iteration_bound : int;
+}
+
+let golden a b =
+  if a < 0 || b < 0 then invalid_arg "Gcd.golden: negative input";
+  let rec go a b = if b = 0 then a else go b (a mod b) in
+  go a b
+
+(* Euclid needs at most O(log_phi 2^w) modulo steps; 2w is a safe and
+   simple static bound at every width. *)
+let bound_for width = 2 * width
+
+let slm_program width =
+  let open Ast in
+  let w = width in
+  {
+    funcs =
+      [ {
+          fname = "gcd";
+          params = [ ("a", uint w); ("b", uint w) ];
+          ret = uint w;
+          locals = [ ("x", uint w); ("y", uint w); ("t", uint w) ];
+          body =
+            [ assign "x" (var "a");
+              assign "y" (var "b");
+              Bounded_while
+                {
+                  cond = var "y" <>^ u w 0;
+                  max_iter = bound_for width;
+                  body =
+                    [ assign "t" (var "y");
+                      assign "y" (var "x" %^ var "y");
+                      assign "x" (var "t") ];
+                };
+              ret (var "x") ];
+        } ];
+    entry = "gcd";
+  }
+
+let rtl_module width =
+  let open Expr in
+  let w = width in
+  let iterate = sig_ "busy" &: (sig_ "y" <>: const ~width:w 0) in
+  let step = sig_ "start" |: sig_ "iterate" in
+  {
+    (Netlist.empty (Printf.sprintf "gcd_rtl%d" w)) with
+    Netlist.inputs =
+      [ { Netlist.port_name = "a"; port_width = w };
+        { Netlist.port_name = "b"; port_width = w };
+        { Netlist.port_name = "start"; port_width = 1 } ];
+    wires = [ ("iterate", iterate) ];
+    regs =
+      [ Netlist.reg ~enable:step ~name:"x" ~width:w
+          (mux (sig_ "start") (sig_ "a") (sig_ "y"));
+        Netlist.reg ~enable:step ~name:"y" ~width:w
+          (mux (sig_ "start") (sig_ "b") (sig_ "x" %: sig_ "y"));
+        Netlist.reg ~name:"busy" ~width:1 (sig_ "busy" |: sig_ "start") ];
+    outputs =
+      [ ("result", sig_ "x");
+        ("done_", sig_ "busy" &: (sig_ "y" ==: const ~width:w 0)) ];
+  }
+
+let make ~width =
+  if width < 2 then invalid_arg "Gcd.make: width must be >= 2";
+  let bound = bound_for width in
+  let rtl = Netlist.elaborate (rtl_module width) in
+  let cycles = bound + 3 in
+  let spec =
+    {
+      Spec.rtl_cycles = cycles;
+      drives =
+        [ ("a", Spec.At (fun _ -> Spec.Param "a"));
+          ("b", Spec.At (fun _ -> Spec.Param "b"));
+          ( "start",
+            Spec.At
+              (fun c ->
+                Spec.Const (Bitvec.create ~width:1 (if c = 0 then 1 else 0))) )
+        ];
+      checks =
+        [ { Spec.rtl_port = "result"; at_cycle = cycles - 1; expect = Spec.Result } ];
+      constraints = [];
+    }
+  in
+  { width; slm = slm_program width; rtl; spec; iteration_bound = bound }
+
+let run_slm t a b =
+  Bitvec.to_int
+    (Interp.as_int
+       (Interp.run t.slm
+          [ Interp.vint ~width:t.width a; Interp.vint ~width:t.width b ]))
+
+let run_rtl t a b =
+  let sim = Sim.create t.rtl in
+  let bv w x = Bitvec.create ~width:w x in
+  let inputs first =
+    [ ("a", bv t.width a);
+      ("b", bv t.width b);
+      ("start", bv 1 (if first then 1 else 0)) ]
+  in
+  let rec go cycle =
+    let outs = Sim.cycle sim (inputs (cycle = 0)) in
+    if Bitvec.reduce_or (List.assoc "done_" outs) then
+      (Bitvec.to_int (List.assoc "result" outs), cycle)
+    else if cycle > t.iteration_bound + 4 then
+      failwith "Gcd.run_rtl: did not finish within the iteration bound"
+    else go (cycle + 1)
+  in
+  go 0

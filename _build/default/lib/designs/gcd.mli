@@ -1,0 +1,33 @@
+(** GCD design pair — the quickstart block.
+
+    The system-level model is Euclid's algorithm in conditioned HWIR (a
+    bounded loop with a conditional exit); the RTL is a sequential
+    datapath that loads on [start] and iterates one modulo step per
+    cycle, raising [done_] when finished.  The RTL has data-dependent
+    latency, so the SEC transaction checks the result at the worst-case
+    cycle — a small instance of the paper's Section 3.2 variable-latency
+    alignment problem. *)
+
+type t = {
+  width : int;
+  slm : Dfv_hwir.Ast.program;  (** entry [gcd : uint w -> uint w -> uint w] *)
+  rtl : Dfv_rtl.Netlist.elaborated;
+      (** ports: in [a], [b] (w bits), [start] (1); out [result] (w),
+          [done_] (1) *)
+  spec : Dfv_sec.Spec.t;  (** worst-case-latency transaction *)
+  iteration_bound : int;  (** max Euclid iterations at this width *)
+}
+
+val golden : int -> int -> int
+(** Reference gcd on non-negative ints ([golden 0 0 = 0]). *)
+
+val make : width:int -> t
+(** Build the pair at a given bit width (SEC is practical up to ~5 bits
+    with the bundled CDCL solver; co-simulation at any width). *)
+
+val run_slm : t -> int -> int -> int
+(** Run the SLM (interpreter) on concrete values. *)
+
+val run_rtl : t -> int -> int -> int * int
+(** Run the RTL simulator on concrete values; returns (result, cycles
+    until [done_]). *)

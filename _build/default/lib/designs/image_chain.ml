@@ -1,0 +1,290 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Ast = Dfv_hwir.Ast
+module Spec = Dfv_sec.Spec
+module Stream = Dfv_cosim.Stream
+
+type block = Brightness | Convolution | Threshold
+
+let block_name = function
+  | Brightness -> "brightness"
+  | Convolution -> "convolution"
+  | Threshold -> "threshold"
+
+let all_blocks = [ Brightness; Convolution; Threshold ]
+
+type t = {
+  bias : int;
+  thresh : int;
+  buggy : block option;
+  slm : Ast.program;
+  rtl_top : Netlist.elaborated;
+  rtl_brightness : Netlist.elaborated;
+  rtl_conv : Netlist.elaborated;
+  rtl_threshold : Netlist.elaborated;
+  chain_spec : Spec.t;
+}
+
+(* The convolution kernel is fixed (sharpen) for this design. *)
+let kernel_coeffs =
+  Array.to_list (Array.concat (Array.to_list Conv_image.sharpen))
+
+let conv_shift = 2
+let acc_w = 20
+
+(* --- golden ---------------------------------------------------------------- *)
+
+let clamp8 v = max 0 (min 255 v)
+
+let golden_brightness ~bias p = clamp8 ((p land 0xff) + bias)
+
+let golden_conv window =
+  let coeffs = Array.of_list kernel_coeffs in
+  let sum = ref 0 in
+  Array.iteri (fun i p -> sum := !sum + ((p land 0xff) * coeffs.(i))) window;
+  clamp8 (!sum asr conv_shift)
+
+let golden_threshold ~thresh p = if p land 0xff >= thresh then 255 else 0
+
+let golden t window =
+  golden_threshold ~thresh:t.thresh
+    (golden_conv (Array.map (golden_brightness ~bias:t.bias) window))
+
+(* --- SLM (always clean) ------------------------------------------------------ *)
+
+let slm_program ~bias ~thresh =
+  let open Ast in
+  let brightness =
+    {
+      fname = "brightness";
+      params = [ ("p", uint 8) ];
+      ret = uint 8;
+      locals = [ ("t", sint 10) ];
+      body =
+        [ assign "t" (cast (sint 10) (var "p") +^ s 10 bias);
+          If (var "t" <^ s 10 0, [ ret (u 8 0) ], []);
+          If (s 10 255 <^ var "t", [ ret (u 8 255) ], []);
+          ret (cast (uint 8) (var "t")) ];
+    }
+  in
+  let conv_steps =
+    List.concat
+      (List.mapi
+         (fun i c ->
+           [ assign "acc"
+               (var "acc"
+               +^ (cast (sint acc_w) (idx "x" (cast (uint 4) (u 32 i)))
+                  *^ s acc_w c)) ])
+         kernel_coeffs)
+  in
+  let conv =
+    {
+      fname = "conv";
+      params = [ ("x", Tarray (uint 8, 9)) ];
+      ret = uint 8;
+      locals = [ ("acc", sint acc_w); ("sh", sint acc_w) ];
+      body =
+        conv_steps
+        @ [ assign "sh" (var "acc" >>^ u 5 conv_shift);
+            If (var "sh" <^ s acc_w 0, [ ret (u 8 0) ], []);
+            If (s acc_w 255 <^ var "sh", [ ret (u 8 255) ], []);
+            ret (cast (uint 8) (var "sh")) ];
+    }
+  in
+  let threshold =
+    {
+      fname = "threshold";
+      params = [ ("p", uint 8) ];
+      ret = uint 8;
+      locals = [];
+      body =
+        [ If (u 8 thresh <=^ var "p", [ ret (u 8 255) ], [ ret (u 8 0) ]) ];
+    }
+  in
+  let chain =
+    {
+      fname = "chain";
+      params = [ ("x", Tarray (uint 8, 9)) ];
+      ret = uint 8;
+      locals = [ ("y", Tarray (uint 8, 9)) ];
+      body =
+        [ For
+            {
+              ivar = "i";
+              count = 9;
+              body =
+                [ assign_idx "y"
+                    (cast (uint 4) (var "i"))
+                    (Call ("brightness", [ idx "x" (cast (uint 4) (var "i")) ]))
+                ];
+            };
+          ret (Call ("threshold", [ Call ("conv", [ var "y" ]) ])) ];
+    }
+  in
+  { funcs = [ brightness; conv; threshold; chain ]; entry = "chain" }
+
+(* --- RTL blocks --------------------------------------------------------------- *)
+
+let rtl_brightness_module ~bias ~buggy =
+  let open Expr in
+  (* The pixel is unsigned: zero-extend it (sign-extending here is the
+     very Section 3.1.1 mistake this repository exists to catch). *)
+  let t = zext (sig_ "p") 10 +: const ~width:10 bias in
+  let q =
+    if buggy then slice t ~hi:7 ~lo:0 (* missing clamp *)
+    else
+      mux (t <+ const ~width:10 0) (const ~width:8 0)
+        (mux (const ~width:10 255 <+ t) (const ~width:8 255)
+           (slice t ~hi:7 ~lo:0))
+  in
+  {
+    (Netlist.empty "brightness") with
+    Netlist.inputs = [ { Netlist.port_name = "p"; port_width = 8 } ];
+    outputs = [ ("q", q) ];
+  }
+
+let rtl_conv_module ~buggy =
+  let open Expr in
+  let products =
+    List.mapi
+      (fun i c ->
+        zext (sig_ (Printf.sprintf "p%d" i)) acc_w *: const ~width:acc_w c)
+      kernel_coeffs
+  in
+  let sum = List.fold_left ( +: ) (const ~width:acc_w 0) products in
+  let shifted = sum >>+ const ~width:5 conv_shift in
+  let q =
+    if buggy then slice shifted ~hi:7 ~lo:0 (* wrap instead of clamp *)
+    else
+      mux (shifted <+ const ~width:acc_w 0) (const ~width:8 0)
+        (mux (const ~width:acc_w 255 <+ shifted) (const ~width:8 255)
+           (slice shifted ~hi:7 ~lo:0))
+  in
+  {
+    (Netlist.empty "conv3x3") with
+    Netlist.inputs =
+      List.init 9 (fun i ->
+          { Netlist.port_name = Printf.sprintf "p%d" i; port_width = 8 });
+    outputs = [ ("q", q) ];
+  }
+
+let rtl_threshold_module ~thresh ~buggy =
+  let open Expr in
+  let hit =
+    if buggy then const ~width:8 thresh <: sig_ "p" (* off-by-one: strict *)
+    else const ~width:8 thresh <=: sig_ "p"
+  in
+  {
+    (Netlist.empty "threshold") with
+    Netlist.inputs = [ { Netlist.port_name = "p"; port_width = 8 } ];
+    outputs = [ ("q", mux hit (const ~width:8 255) (const ~width:8 0)) ];
+  }
+
+let rtl_top_module ~bias ~thresh ~buggy =
+  let open Expr in
+  let is_buggy b = buggy = Some b in
+  let bright = rtl_brightness_module ~bias ~buggy:(is_buggy Brightness) in
+  let conv = rtl_conv_module ~buggy:(is_buggy Convolution) in
+  let thr = rtl_threshold_module ~thresh ~buggy:(is_buggy Threshold) in
+  let bright_insts =
+    List.init 9 (fun i ->
+        {
+          Netlist.inst_name = Printf.sprintf "b%d" i;
+          inst_module = bright;
+          connections = [ ("p", sig_ (Printf.sprintf "p%d" i)) ];
+        })
+  in
+  let conv_inst =
+    {
+      Netlist.inst_name = "conv";
+      inst_module = conv;
+      connections =
+        List.init 9 (fun i ->
+            (Printf.sprintf "p%d" i, sig_ (Printf.sprintf "b%d.q" i)));
+    }
+  in
+  let thr_inst =
+    {
+      Netlist.inst_name = "thr";
+      inst_module = thr;
+      connections = [ ("p", sig_ "conv.q") ];
+    }
+  in
+  {
+    (Netlist.empty "image_chain") with
+    Netlist.inputs =
+      List.init 9 (fun i ->
+          { Netlist.port_name = Printf.sprintf "p%d" i; port_width = 8 });
+    instances = bright_insts @ [ conv_inst; thr_inst ];
+    outputs = [ ("q", sig_ "thr.q") ];
+  }
+
+(* --- specs ----------------------------------------------------------------- *)
+
+let window_drives =
+  List.init 9 (fun i ->
+      (Printf.sprintf "p%d" i, Spec.At (fun _ -> Spec.Param_elem ("x", i))))
+
+let scalar_drives = [ ("p", Spec.At (fun _ -> Spec.Param "p")) ]
+
+let comb_spec drives =
+  {
+    Spec.rtl_cycles = 1;
+    drives;
+    checks = [ { Spec.rtl_port = "q"; at_cycle = 0; expect = Spec.Result } ];
+    constraints = [];
+  }
+
+let block_spec = function
+  | Brightness | Threshold -> comb_spec scalar_drives
+  | Convolution -> comb_spec window_drives
+
+let make ?buggy ?(bias = 16) ?(thresh = 128) () =
+  if thresh < 1 || thresh > 255 then invalid_arg "Image_chain.make: thresh";
+  if bias < -255 || bias > 255 then invalid_arg "Image_chain.make: bias";
+  let is_buggy b = buggy = Some b in
+  {
+    bias;
+    thresh;
+    buggy;
+    slm = slm_program ~bias ~thresh;
+    rtl_top = Netlist.elaborate (rtl_top_module ~bias ~thresh ~buggy);
+    rtl_brightness =
+      Netlist.elaborate (rtl_brightness_module ~bias ~buggy:(is_buggy Brightness));
+    rtl_conv = Netlist.elaborate (rtl_conv_module ~buggy:(is_buggy Convolution));
+    rtl_threshold =
+      Netlist.elaborate
+        (rtl_threshold_module ~thresh ~buggy:(is_buggy Threshold));
+    chain_spec = comb_spec window_drives;
+  }
+
+let block_slm t block =
+  let entry =
+    match block with
+    | Brightness -> "brightness"
+    | Convolution -> "conv"
+    | Threshold -> "threshold"
+  in
+  { t.slm with Ast.entry = entry }
+
+let block_rtl t = function
+  | Brightness -> t.rtl_brightness
+  | Convolution -> t.rtl_conv
+  | Threshold -> t.rtl_threshold
+
+let slm_stage t block =
+  match block with
+  | Brightness ->
+    Stream.slm_stage ~name:"brightness"
+      (Array.map (fun p ->
+           Bitvec.create ~width:8
+             (golden_brightness ~bias:t.bias (Bitvec.to_int p))))
+  | Threshold ->
+    Stream.slm_stage ~name:"threshold"
+      (Array.map (fun p ->
+           Bitvec.create ~width:8
+             (golden_threshold ~thresh:t.thresh (Bitvec.to_int p))))
+  | Convolution ->
+    invalid_arg
+      "Image_chain.slm_stage: convolution is not an element-wise stage"

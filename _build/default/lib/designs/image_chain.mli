@@ -1,0 +1,59 @@
+(** Three-block image pipeline — partitioning, incremental SEC, and
+    plug-and-play (experiments C3 and C8).
+
+    Section 4.2 of the paper: partition the SLM and RTL consistently so
+    that "the individual blocks ... have a one-to-one correspondence and
+    cleanly defined interfaces", enabling block-level SEC and SLM/RTL
+    plug-and-play.  This design is a window pipeline with exactly that
+    structure:
+
+    {v brightness (x9) --> 3x3 convolution --> threshold v}
+
+    Both sides are partitioned identically: the SLM is an HWIR program
+    with one function per block (the entry compose them), and the RTL is
+    a hierarchical netlist with one module per block, composed through
+    instances.  Per-block SEC runs compare [slm_<block>] against
+    [rtl_<block>]; the monolithic run compares the composed entries.
+    Bug injection per block makes localization measurable: the per-block
+    runs name the guilty block, the monolithic run just says "no". *)
+
+type block = Brightness | Convolution | Threshold
+
+val block_name : block -> string
+val all_blocks : block list
+
+type t = {
+  bias : int;  (** brightness offset, signed *)
+  thresh : int;  (** threshold, 0..255 *)
+  buggy : block option;
+  slm : Dfv_hwir.Ast.program;
+      (** functions [brightness], [conv], [threshold] and the composing
+          entry [chain : uint 8 array(9) -> uint 8] *)
+  rtl_top : Dfv_rtl.Netlist.elaborated;
+      (** hierarchical: ports in [p0..p8], out [q] *)
+  rtl_brightness : Dfv_rtl.Netlist.elaborated;  (** in [p]; out [q] *)
+  rtl_conv : Dfv_rtl.Netlist.elaborated;  (** in [p0..p8]; out [q] *)
+  rtl_threshold : Dfv_rtl.Netlist.elaborated;  (** in [p]; out [q] *)
+  chain_spec : Dfv_sec.Spec.t;
+}
+
+val make : ?buggy:block -> ?bias:int -> ?thresh:int -> unit -> t
+(** [buggy] plants one realistic bug in the named RTL block: a missing
+    clamp (brightness), a wrap instead of saturate (convolution), or an
+    off-by-one comparison (threshold).  The SLM is always clean. *)
+
+val block_slm : t -> block -> Dfv_hwir.Ast.program
+(** The per-block SLM as a standalone program (entry = that block). *)
+
+val block_rtl : t -> block -> Dfv_rtl.Netlist.elaborated
+val block_spec : block -> Dfv_sec.Spec.t
+
+val golden : t -> int array -> int
+(** Reference composition on a 9-pixel window (always the clean
+    semantics, regardless of [buggy]). *)
+
+val slm_stage : t -> block -> Dfv_cosim.Stream.stage
+(** The block as an SLM pipeline stage over pixel streams (brightness
+    and threshold are element-wise; convolution is not available as a
+    single-port stream stage — use {!Conv_image} for streaming
+    convolution). *)

@@ -1,0 +1,267 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Txn_engine = Dfv_cosim.Txn_engine
+
+type config = {
+  addr_width : int;
+  data_width : int;
+  tag_width : int;
+  index_bits : int;
+  miss_penalty : int;
+}
+
+let default_config =
+  { addr_width = 8; data_width = 8; tag_width = 4; index_bits = 4; miss_penalty = 6 }
+
+type op = Read of int | Write of int * int
+
+type request = { req_tag : int; op : op }
+
+let validate c =
+  if c.addr_width < c.index_bits + 1 then
+    invalid_arg "Memsys: addr_width must exceed index_bits";
+  if c.miss_penalty < 2 then invalid_arg "Memsys: miss_penalty must be >= 2";
+  if c.addr_width > 16 then invalid_arg "Memsys: addr_width too large to simulate"
+
+(* --- the zero-delay SLM ------------------------------------------------- *)
+
+module Slm = struct
+  type t = { config : config; mem : int array }
+
+  let create c =
+    validate c;
+    { config = c; mem = Array.make (1 lsl c.addr_width) 0 }
+
+  let reset t = Array.fill t.mem 0 (Array.length t.mem) 0
+
+  let execute t r =
+    let mask a = a land ((1 lsl t.config.addr_width) - 1) in
+    let maskd d = d land ((1 lsl t.config.data_width) - 1) in
+    match r.op with
+    | Read a -> t.mem.(mask a)
+    | Write (a, d) ->
+      t.mem.(mask a) <- maskd d;
+      maskd d
+
+  let execute_all t rs = List.map (fun r -> (r.req_tag, execute t r)) rs
+end
+
+(* --- fixed-latency RTL --------------------------------------------------- *)
+
+(* A 3-stage response pipeline over a synchronous memory: requests are
+   always accepted; reads take the array value as of acceptance, writes
+   commit at acceptance and echo their data. *)
+let rtl_simple c =
+  validate c;
+  let open Expr in
+  let aw = c.addr_width and dw = c.data_width and tw = c.tag_width in
+  let stage i (name, width, src) =
+    Netlist.reg ~name:(Printf.sprintf "%s%d" name i) ~width src
+  in
+  let chain name width src =
+    [ stage 1 (name, width, src);
+      stage 2 (name, width, sig_ (name ^ "1"));
+      stage 3 (name, width, sig_ (name ^ "2")) ]
+  in
+  let read_data = mem_read "mem" (sig_ "req_addr") in
+  let data0 = mux (sig_ "req_rw") (sig_ "req_wdata") read_data in
+  Netlist.elaborate
+    {
+      (Netlist.empty "memsys_simple") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "req_valid"; port_width = 1 };
+          { Netlist.port_name = "req_rw"; port_width = 1 };
+          { Netlist.port_name = "req_addr"; port_width = aw };
+          { Netlist.port_name = "req_wdata"; port_width = dw };
+          { Netlist.port_name = "req_tag"; port_width = tw } ];
+      mems =
+        [ {
+            Netlist.mem_name = "mem";
+            word_width = dw;
+            mem_size = 1 lsl aw;
+            writes =
+              [ {
+                  Netlist.wr_enable = sig_ "req_valid" &: sig_ "req_rw";
+                  wr_addr = sig_ "req_addr";
+                  wr_data = sig_ "req_wdata";
+                } ];
+            mem_init = None;
+          } ];
+      regs =
+        chain "v" 1 (sig_ "req_valid")
+        @ chain "t" tw (sig_ "req_tag")
+        @ chain "d" dw data0;
+      outputs =
+        [ ("resp_valid", sig_ "v3");
+          ("resp_tag", sig_ "t3");
+          ("resp_data", sig_ "d3") ];
+    }
+
+(* --- cached RTL ------------------------------------------------------------ *)
+
+(* Direct-mapped cache with hit-under-miss.
+
+   Acceptance rules (all combinational from the current request):
+   - idle (no outstanding miss): accept anything; a read miss arms the
+     miss machine;
+   - miss outstanding: accept only read hits (writes and further misses
+     stall), and accept nothing on the fill cycle so the response port
+     is free for the miss response.
+
+   Responses are registered: an accepted hit/write responds the next
+   cycle; a completed miss responds the cycle after its fill. *)
+let rtl_cached c =
+  validate c;
+  let open Expr in
+  let aw = c.addr_width and dw = c.data_width and tw = c.tag_width in
+  let ib = c.index_bits in
+  let lines = 1 lsl ib in
+  let tagw = aw - ib in
+  let idx = slice (sig_ "req_addr") ~hi:(ib - 1) ~lo:0 in
+  let atag = slice (sig_ "req_addr") ~hi:(aw - 1) ~lo:ib in
+  let line_valid = bit (sig_ "cvalid" >>: idx) 0 in
+  let hit = line_valid &: (mem_read "ctag" idx ==: atag) in
+  let is_read = ~:(sig_ "req_rw") in
+  let miss_cnt_w = 4 in
+  let filling = sig_ "m_active" &: (sig_ "m_cnt" ==: const ~width:miss_cnt_w 1) in
+  let ready =
+    mux (sig_ "m_active")
+      (~:filling &: is_read &: hit)
+      (const ~width:1 1)
+  in
+  let accept = sig_ "req_valid" &: ready in
+  let read_miss = accept &: is_read &: ~:hit in
+  let m_idx = slice (sig_ "m_addr") ~hi:(ib - 1) ~lo:0 in
+  let m_atag = slice (sig_ "m_addr") ~hi:(aw - 1) ~lo:ib in
+  let fill_data = mem_read "mem" (sig_ "m_addr") in
+  Netlist.elaborate
+    {
+      (Netlist.empty "memsys_cached") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "req_valid"; port_width = 1 };
+          { Netlist.port_name = "req_rw"; port_width = 1 };
+          { Netlist.port_name = "req_addr"; port_width = aw };
+          { Netlist.port_name = "req_wdata"; port_width = dw };
+          { Netlist.port_name = "req_tag"; port_width = tw } ];
+      wires =
+        [ ("idx", idx); ("atag", atag); ("hit", hit); ("accept", accept);
+          ("read_miss", read_miss); ("filling", filling); ("ready", ready) ];
+      mems =
+        [ {
+            Netlist.mem_name = "mem";
+            word_width = dw;
+            mem_size = 1 lsl aw;
+            writes =
+              [ {
+                  (* Write-through at acceptance (writes only happen when
+                     no miss is outstanding). *)
+                  Netlist.wr_enable = sig_ "accept" &: sig_ "req_rw";
+                  wr_addr = sig_ "req_addr";
+                  wr_data = sig_ "req_wdata";
+                } ];
+            mem_init = None;
+          };
+          {
+            Netlist.mem_name = "ctag";
+            word_width = tagw;
+            mem_size = lines;
+            writes =
+              [ {
+                  Netlist.wr_enable = sig_ "filling";
+                  wr_addr = m_idx;
+                  wr_data = m_atag;
+                } ];
+            mem_init = None;
+          };
+          {
+            Netlist.mem_name = "cdata";
+            word_width = dw;
+            mem_size = lines;
+            writes =
+              [ {
+                  Netlist.wr_enable = sig_ "filling";
+                  wr_addr = m_idx;
+                  wr_data = fill_data;
+                };
+                {
+                  (* Keep the cache coherent on write hits. *)
+                  Netlist.wr_enable = sig_ "accept" &: sig_ "req_rw" &: sig_ "hit";
+                  wr_addr = idx;
+                  wr_data = sig_ "req_wdata";
+                } ];
+            mem_init = None;
+          } ];
+      regs =
+        [ (* Valid bits, one per line, as a bit mask. *)
+          Netlist.reg ~name:"cvalid" ~width:lines
+            (mux (sig_ "filling")
+               (sig_ "cvalid" |: (zext (const ~width:1 1) lines <<: m_idx))
+               (sig_ "cvalid"));
+          (* Miss machine. *)
+          Netlist.reg ~name:"m_active" ~width:1
+            (mux (sig_ "read_miss") (const ~width:1 1)
+               (mux (sig_ "filling") (const ~width:1 0) (sig_ "m_active")));
+          Netlist.reg ~enable:(sig_ "read_miss") ~name:"m_addr" ~width:aw
+            (sig_ "req_addr");
+          Netlist.reg ~enable:(sig_ "read_miss") ~name:"m_tag" ~width:tw
+            (sig_ "req_tag");
+          Netlist.reg ~name:"m_cnt" ~width:miss_cnt_w
+            (mux (sig_ "read_miss")
+               (const ~width:miss_cnt_w c.miss_penalty)
+               (mux
+                  (sig_ "m_active" &: (sig_ "m_cnt" <>: const ~width:miss_cnt_w 0))
+                  (sig_ "m_cnt" -: const ~width:miss_cnt_w 1)
+                  (sig_ "m_cnt")));
+          (* Hit/write response (next cycle). *)
+          Netlist.reg ~name:"h_valid" ~width:1 (sig_ "accept" &: ~:(sig_ "read_miss"));
+          Netlist.reg ~enable:(sig_ "accept") ~name:"h_tag" ~width:tw
+            (sig_ "req_tag");
+          Netlist.reg ~enable:(sig_ "accept") ~name:"h_data" ~width:dw
+            (mux (sig_ "req_rw") (sig_ "req_wdata") (mem_read "cdata" idx));
+          (* Miss response (cycle after the fill). *)
+          Netlist.reg ~name:"r_valid" ~width:1 (sig_ "filling");
+          Netlist.reg ~enable:(sig_ "filling") ~name:"r_tag" ~width:tw
+            (sig_ "m_tag");
+          Netlist.reg ~enable:(sig_ "filling") ~name:"r_data" ~width:dw fill_data
+        ];
+      outputs =
+        [ ("req_ready", ready);
+          ("resp_valid", sig_ "h_valid" |: sig_ "r_valid");
+          ("resp_tag", mux (sig_ "r_valid") (sig_ "r_tag") (sig_ "h_tag"));
+          ("resp_data", mux (sig_ "r_valid") (sig_ "r_data") (sig_ "h_data")) ];
+    }
+
+(* --- transaction-engine glue ------------------------------------------------ *)
+
+let iface c ~ready =
+  {
+    Txn_engine.idle =
+      [ ("req_rw", Bitvec.zero 1);
+        ("req_addr", Bitvec.zero c.addr_width);
+        ("req_wdata", Bitvec.zero c.data_width);
+        ("req_tag", Bitvec.zero c.tag_width) ];
+    issue_valid = "req_valid";
+    req_tag = Some "req_tag";
+    ready = (if ready then Some "req_ready" else None);
+    resp_valid = "resp_valid";
+    resp_tag = "resp_tag";
+    resp_data = "resp_data";
+  }
+
+let to_engine_requests c rs =
+  List.map
+    (fun r ->
+      let rw, addr, wdata =
+        match r.op with
+        | Read a -> (0, a, 0)
+        | Write (a, d) -> (1, a, d)
+      in
+      {
+        Txn_engine.tag = Bitvec.create ~width:c.tag_width r.req_tag;
+        payload =
+          [ ("req_rw", Bitvec.create ~width:1 rw);
+            ("req_addr", Bitvec.create ~width:c.addr_width addr);
+            ("req_wdata", Bitvec.create ~width:c.data_width wdata) ];
+      })
+    rs

@@ -1,0 +1,68 @@
+(** Memory subsystem design pair — variable latency and out-of-order
+    completion (experiments F2 and C7).
+
+    The paper's Section 3.2: an SLM models memory as a zero-delay array,
+    while "the RTL may even have a hierarchical memory with a cache,
+    where the latency of a memory read is a function of the state of the
+    cache", and stalls can make the RTL produce outputs in a different
+    order than the SLM.  This module provides exactly that ladder:
+
+    - {!slm_model}: the zero-delay array — request in, response out,
+      no time;
+    - {!rtl_simple}: a fixed-latency pipelined memory (in-order,
+      constant delay);
+    - {!rtl_cached}: a direct-mapped cache with hit-under-miss in front
+      of a slow backing store: hits complete in 1 cycle while a miss is
+      outstanding, so completions {e reorder} — the case that defeats
+      in-order scoreboards and requires tagged transactors.
+
+    All three expose the same request/response transaction protocol
+    (tagged; see {!Dfv_cosim.Txn_engine.interface}). *)
+
+type config = {
+  addr_width : int;  (** memory holds [2^addr_width] words *)
+  data_width : int;
+  tag_width : int;
+  index_bits : int;  (** cache has [2^index_bits] direct-mapped lines *)
+  miss_penalty : int;  (** cycles a miss spends fetching (>= 2) *)
+}
+
+val default_config : config
+(** 8-bit addresses, 8-bit data, 4-bit tags, 16 lines, 6-cycle misses. *)
+
+type op = Read of int | Write of int * int
+(** [Read addr] / [Write (addr, data)]. *)
+
+type request = { req_tag : int; op : op }
+
+(** The zero-delay SLM. *)
+module Slm : sig
+  type t
+
+  val create : config -> t
+  val reset : t -> unit
+
+  val execute : t -> request -> int
+  (** Process a request instantly; returns the response data (the read
+      value, or the written data echoed for writes). *)
+
+  val execute_all : t -> request list -> (int * int) list
+  (** [(tag, data)] per request, in program order. *)
+end
+
+val rtl_simple : config -> Dfv_rtl.Netlist.elaborated
+(** Fixed-latency (3-cycle) in-order memory.  Ports: in [req_valid],
+    [req_rw] (1 = write), [req_addr], [req_wdata], [req_tag]; out
+    [resp_valid], [resp_tag], [resp_data].  Always ready. *)
+
+val rtl_cached : config -> Dfv_rtl.Netlist.elaborated
+(** Cache + backing store with hit-under-miss.  Same ports plus the
+    [req_ready] output; while a miss is outstanding only read hits are
+    accepted (writes and further misses stall). *)
+
+val iface : config -> ready:bool -> Dfv_cosim.Txn_engine.interface
+(** Transaction-engine interface for either RTL ([ready:true] for the
+    cached design, which has a [req_ready] port). *)
+
+val to_engine_requests : config -> request list -> Dfv_cosim.Txn_engine.request list
+(** Encode requests for the transaction engine. *)

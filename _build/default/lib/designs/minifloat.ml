@@ -1,0 +1,200 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Ast = Dfv_hwir.Ast
+module Interp = Dfv_hwir.Interp
+
+type t = {
+  full : Ast.program;
+  lite : Ast.program;
+  safe_constraints : Ast.expr list;
+}
+
+(* Format: 1 sign, 4 exponent (bias 7, no specials), 3 mantissa. *)
+
+let decode x =
+  (* denormal: m/8 * 2^-6; normal: (1+m/8) * 2^(e-7) *)
+  let s = if x land 0x80 <> 0 then -1.0 else 1.0 in
+  let e = (x lsr 3) land 0xf in
+  let m = x land 7 in
+  if e = 0 then s *. (float_of_int m /. 8.0) *. (2.0 ** -6.0)
+  else s *. (float_of_int (m + 8) /. 8.0) *. (2.0 ** float_of_int (e - 7))
+
+(* --- native reference ----------------------------------------------------- *)
+
+let golden_add ~flush a b =
+  let a = a land 0xff and b = b land 0xff in
+  let squash x =
+    if flush && (x lsr 3) land 0xf = 0 then x land 0x80 else x
+  in
+  let a = squash a and b = squash b in
+  (* Order by magnitude (the encoding is magnitude-monotonic). *)
+  let x, y = if a land 0x7f >= b land 0x7f then (a, b) else (b, a) in
+  if y land 0x7f = 0 then begin
+    if x land 0x7f = 0 then x land y land 0x80 (* -0 only if both -0 *)
+    else x
+  end
+  else begin
+    let sx = x land 0x80 in
+    let unpack v =
+      let e = (v lsr 3) land 0xf and m = v land 7 in
+      if e = 0 then (1, m) else (e, m lor 8)
+    in
+    let ex, sigx = unpack x and ey, sigy = unpack y in
+    let d = ex - ey in
+    let big = sigx lsl 3 in
+    let sm = sigy lsl 3 in
+    let shifted = sm lsr d in
+    let small = shifted lor (if shifted lsl d <> sm then 1 else 0) in
+    let m = if x land 0x80 = y land 0x80 then big + small else big - small in
+    if m = 0 then 0
+    else begin
+      let m = ref m and e = ref ex in
+      while !m >= 128 do
+        m := (!m lsr 1) lor (!m land 1);
+        incr e
+      done;
+      while !m < 64 && !e > 1 do
+        m := !m lsl 1;
+        decr e
+      done;
+      let keep = ref (!m lsr 3) in
+      let g = (!m lsr 2) land 1 and st = !m land 3 in
+      if g = 1 && (st <> 0 || !keep land 1 = 1) then incr keep;
+      if !keep = 16 then begin
+        keep := 8;
+        incr e
+      end;
+      if !e > 15 then sx lor 0x7f (* saturate *)
+      else if !keep < 8 then begin
+        (* Denormal result (e = 1 here). *)
+        if flush then sx else sx lor !keep
+      end
+      else sx lor (!e lsl 3) lor (!keep - 8)
+    end
+  end
+
+(* --- HWIR model ------------------------------------------------------------ *)
+
+let program ~flush =
+  let open Ast in
+  let w = 16 in
+  let c v = u w v in
+  let v16 n = var n in
+  (* All work happens in uint16 locals. *)
+  let exf e v = assign e ((v16 v >>^ c 3) &^ c 15) in
+  let squash v =
+    if flush then
+      [ If ((v16 v >>^ c 3) &^ c 15 ==^ c 0, [ assign v (v16 v &^ c 0x80) ], []) ]
+    else []
+  in
+  let body =
+    [ assign "xv" (cast (uint w) (var "a"));
+      assign "yv" (cast (uint w) (var "b")) ]
+    @ squash "xv" @ squash "yv"
+    @ [ (* Order by magnitude. *)
+        If
+          ( v16 "xv" &^ c 0x7f <^ (v16 "yv" &^ c 0x7f),
+            [ assign "t" (v16 "xv");
+              assign "xv" (v16 "yv");
+              assign "yv" (v16 "t") ],
+            [] );
+        (* Trivial cases. *)
+        If
+          ( v16 "yv" &^ c 0x7f ==^ c 0,
+            [ If
+                ( v16 "xv" &^ c 0x7f ==^ c 0,
+                  [ ret (cast (uint 8) (v16 "xv" &^ v16 "yv" &^ c 0x80)) ],
+                  [ ret (cast (uint 8) (v16 "xv")) ] ) ],
+            [] );
+        assign "sxb" (v16 "xv" &^ c 0x80);
+        (* Unpack. *)
+        exf "ex" "xv";
+        exf "ey" "yv";
+        assign "sigx"
+          (Cond (v16 "ex" ==^ c 0, v16 "xv" &^ c 7, (v16 "xv" &^ c 7) |^ c 8));
+        assign "sigy"
+          (Cond (v16 "ey" ==^ c 0, v16 "yv" &^ c 7, (v16 "yv" &^ c 7) |^ c 8));
+        If (v16 "ex" ==^ c 0, [ assign "ex" (c 1) ], []);
+        If (v16 "ey" ==^ c 0, [ assign "ey" (c 1) ], []);
+        (* Align with a sticky bit. *)
+        assign "d" (v16 "ex" -^ v16 "ey");
+        assign "big" (v16 "sigx" <<^ c 3);
+        assign "sm" (v16 "sigy" <<^ c 3);
+        assign "shifted" (v16 "sm" >>^ v16 "d");
+        assign "small"
+          (v16 "shifted"
+          |^ Cond (v16 "shifted" <<^ v16 "d" <>^ v16 "sm", c 1, c 0));
+        (* Add or subtract magnitudes. *)
+        If
+          ( v16 "xv" &^ c 0x80 ==^ (v16 "yv" &^ c 0x80),
+            [ assign "m" (v16 "big" +^ v16 "small") ],
+            [ assign "m" (v16 "big" -^ v16 "small") ] );
+        If (v16 "m" ==^ c 0, [ ret (u 8 0) ], []);
+        assign "e" (v16 "ex");
+        (* Normalize: bounded loops with conditional exits (the paper's
+           conditioned-loop discipline on a real datapath). *)
+        Bounded_while
+          {
+            cond = c 128 <=^ v16 "m";
+            max_iter = 2;
+            body =
+              [ assign "m" ((v16 "m" >>^ c 1) |^ (v16 "m" &^ c 1));
+                assign "e" (v16 "e" +^ c 1) ];
+          };
+        Bounded_while
+          {
+            cond = (v16 "m" <^ c 64) &&^ (c 1 <^ v16 "e");
+            max_iter = 8;
+            body = [ assign "m" (v16 "m" <<^ c 1); assign "e" (v16 "e" -^ c 1) ];
+          };
+        (* Round to nearest even. *)
+        assign "keep" (v16 "m" >>^ c 3);
+        If
+          ( (v16 "m" >>^ c 2) &^ c 1 ==^ c 1
+            &&^ ((v16 "m" &^ c 3 <>^ c 0) ||^ (v16 "keep" &^ c 1 ==^ c 1)),
+            [ assign "keep" (v16 "keep" +^ c 1) ],
+            [] );
+        If
+          ( v16 "keep" ==^ c 16,
+            [ assign "keep" (c 8); assign "e" (v16 "e" +^ c 1) ],
+            [] );
+        (* Saturating overflow (the format has no infinities). *)
+        If (c 15 <^ v16 "e", [ ret (cast (uint 8) (v16 "sxb" |^ c 0x7f)) ], []);
+        (* Denormal result. *)
+        If
+          ( v16 "keep" <^ c 8,
+            [ (if flush then ret (cast (uint 8) (v16 "sxb"))
+               else ret (cast (uint 8) (v16 "sxb" |^ v16 "keep"))) ],
+            [] );
+        ret
+          (cast (uint 8)
+             (v16 "sxb" |^ (v16 "e" <<^ c 3) |^ (v16 "keep" -^ c 8))) ]
+  in
+  {
+    funcs =
+      [ {
+          fname = "fadd";
+          params = [ ("a", uint 8); ("b", uint 8) ];
+          ret = uint 8;
+          locals =
+            List.map
+              (fun n -> (n, uint w))
+              [ "xv"; "yv"; "t"; "sxb"; "ex"; "ey"; "sigx"; "sigy"; "d";
+                "big"; "sm"; "shifted"; "small"; "m"; "e"; "keep" ];
+          body;
+        } ];
+    entry = "fadd";
+  }
+
+let make () =
+  let open Ast in
+  let normal_enough v = u 4 5 <=^ Bitsel (var v, 6, 3) in
+  {
+    full = program ~flush:false;
+    lite = program ~flush:true;
+    safe_constraints = [ normal_enough "a"; normal_enough "b" ];
+  }
+
+let run prog a b =
+  Bitvec.to_int
+    (Interp.as_int
+       (Interp.run prog [ Interp.vint ~width:8 a; Interp.vint ~width:8 b ]))

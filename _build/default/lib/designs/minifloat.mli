@@ -1,0 +1,42 @@
+(** Minifloat adder pair — floating-point corner cases under SEC
+    (experiment C5's formal half).
+
+    The paper's Section 3.1.2: the SLM uses full IEEE semantics, the RTL
+    cuts denormal/special-case corners, so the pair is only conditionally
+    bit-accurate, and "the most effective technique ... is to constrain
+    the input space ... such that the differences do not show up."
+
+    Full binary32 through a SAT-based checker is out of reach of the
+    bundled solver, so this block uses an 8-bit minifloat (1 sign, 4
+    exponent, 3 mantissa; no NaN/infinity encodings, overflow saturates)
+    — wide enough to have real denormals, normalization and rounding,
+    small enough that SEC answers in milliseconds and the claims can be
+    cross-checked exhaustively (65536 input pairs).
+
+    Both models are conditioned HWIR programs (the adder's normalization
+    loop is a bounded loop with a conditional exit — the Section 4.3
+    discipline applied to a nontrivial datapath). *)
+
+type t = {
+  full : Dfv_hwir.Ast.program;
+      (** denormal-supporting adder; entry
+          [fadd : uint 8 -> uint 8 -> uint 8] *)
+  lite : Dfv_hwir.Ast.program;
+      (** flush-to-zero adder (the RTL-style shortcut), same entry *)
+  safe_constraints : Dfv_hwir.Ast.expr list;
+      (** input constraints under which the two provably agree: both
+          operands normal with exponent field >= 5, so no result can
+          land in the denormal range *)
+}
+
+val make : unit -> t
+
+val golden_add : flush:bool -> int -> int -> int
+(** Native reference implementation (used by the tests to validate both
+    HWIR models exhaustively). *)
+
+val run : Dfv_hwir.Ast.program -> int -> int -> int
+(** Interpret a model on two 8-bit patterns. *)
+
+val decode : int -> float
+(** Decode an 8-bit minifloat pattern to a host float (exact). *)

@@ -1,0 +1,140 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Netlist = Dfv_rtl.Netlist
+module Expr = Dfv_rtl.Expr
+module Sim = Dfv_rtl.Sim
+module Ast = Dfv_hwir.Ast
+module Spec = Dfv_sec.Spec
+
+type t = {
+  baud_div : int;
+  slm : Ast.program;
+  rtl : Netlist.elaborated;
+  spec : Spec.t;
+}
+
+let golden_frame byte =
+  Array.init 10 (fun i ->
+      if i = 0 then 0
+      else if i = 9 then 1
+      else (byte lsr (i - 1)) land 1)
+
+(* SLM: the frame as data (no notion of the baud clock at all). *)
+let slm_program =
+  let open Ast in
+  {
+    funcs =
+      [ {
+          fname = "frame";
+          params = [ ("data", uint 8) ];
+          ret = Tarray (uint 1, 10);
+          locals = [ ("bits", Tarray (uint 1, 10)) ];
+          body =
+            [ assign_idx "bits" (u 4 0) (u 1 0);
+              For
+                {
+                  ivar = "i";
+                  count = 8;
+                  body =
+                    [ assign_idx "bits"
+                        (cast (uint 4) (var "i" +^ u 32 1))
+                        (cast (uint 1)
+                           (Bitsel
+                              ( var "data" >>^ cast (uint 3) (var "i"),
+                                0, 0 ))) ];
+                };
+              assign_idx "bits" (u 4 9) (u 1 1);
+              ret (var "bits") ];
+        } ];
+    entry = "frame";
+  }
+
+let rtl_module baud_div =
+  let open Expr in
+  let bw =
+    let rec go k = if 1 lsl k >= baud_div then k else go (k + 1) in
+    max 1 (go 0)
+  in
+  let accept = sig_ "start" &: ~:(sig_ "busy") in
+  let tick =
+    sig_ "busy" &: (sig_ "baud" ==: const ~width:bw (baud_div - 1))
+  in
+  let last_bit = sig_ "bitcnt" ==: const ~width:4 9 in
+  {
+    (Netlist.empty (Printf.sprintf "uart_tx_div%d" baud_div)) with
+    Netlist.inputs =
+      [ { Netlist.port_name = "start"; port_width = 1 };
+        { Netlist.port_name = "data"; port_width = 8 } ];
+    wires = [ ("accept", accept); ("tick", tick); ("last_bit", last_bit) ];
+    regs =
+      [ Netlist.reg ~name:"busy" ~width:1
+          (mux (sig_ "accept") (const ~width:1 1)
+             (mux (sig_ "tick" &: sig_ "last_bit") (const ~width:1 0)
+                (sig_ "busy")));
+        Netlist.reg ~name:"shift" ~width:10
+          (mux (sig_ "accept")
+             (concat [ const ~width:1 1; sig_ "data"; const ~width:1 0 ])
+             (mux (sig_ "tick")
+                (concat [ const ~width:1 1; slice (sig_ "shift") ~hi:9 ~lo:1 ])
+                (sig_ "shift")));
+        Netlist.reg ~name:"bitcnt" ~width:4
+          (mux (sig_ "accept") (const ~width:4 0)
+             (mux (sig_ "tick") (sig_ "bitcnt" +: const ~width:4 1)
+                (sig_ "bitcnt")));
+        Netlist.reg ~name:"baud" ~width:bw
+          (mux
+             (sig_ "accept" |: sig_ "tick")
+             (const ~width:bw 0)
+             (mux (sig_ "busy") (sig_ "baud" +: const ~width:bw 1)
+                (sig_ "baud"))) ];
+    outputs =
+      [ ("line", mux (sig_ "busy") (bit (sig_ "shift") 0) (const ~width:1 1));
+        ("busy", sig_ "busy") ];
+  }
+
+let make ?(baud_div = 4) () =
+  if baud_div < 1 then invalid_arg "Uart.make: baud_div must be >= 1";
+  let rtl = Netlist.elaborate (rtl_module baud_div) in
+  (* Bit k of the frame is on the line during cycles
+     [1 + k*baud_div .. (k+1)*baud_div]; sample each at its first
+     cycle. *)
+  let cycles = (10 * baud_div) + 2 in
+  let spec =
+    {
+      Spec.rtl_cycles = cycles;
+      drives =
+        [ ( "start",
+            Spec.At
+              (fun c ->
+                Spec.Const (Bitvec.create ~width:1 (if c = 0 then 1 else 0))) );
+          ("data", Spec.At (fun _ -> Spec.Param "data")) ];
+      checks =
+        List.init 10 (fun k ->
+            {
+              Spec.rtl_port = "line";
+              at_cycle = 1 + (k * baud_div);
+              expect = Spec.Result_elem k;
+            })
+        @ [ (* And the line is idle-high again after the frame. *)
+            {
+              Spec.rtl_port = "busy";
+              at_cycle = cycles - 1;
+              expect = Spec.Result_elem 0;
+            } ];
+      constraints = [];
+    }
+  in
+  { baud_div; slm = slm_program; rtl; spec }
+
+let transmit t byte =
+  let sim = Sim.create t.rtl in
+  let cycles = (10 * t.baud_div) + 2 in
+  let trace = Array.make cycles 0 in
+  for c = 0 to cycles - 1 do
+    let outs =
+      Sim.cycle sim
+        [ ("start", Bitvec.create ~width:1 (if c = 0 then 1 else 0));
+          ("data", Bitvec.create ~width:8 byte) ]
+    in
+    trace.(c) <- Bitvec.to_int (List.assoc "line" outs)
+  done;
+  (trace, cycles)

@@ -1,0 +1,31 @@
+(** UART transmitter design pair — protocol serialization under SEC.
+
+    A classic interface-refinement case (paper Section 3.2): the SLM
+    describes {e what} goes on the wire — a 10-bit frame (start bit 0,
+    eight data bits LSB first, stop bit 1) — as a plain function from the
+    byte to the bit vector; the RTL serializes that frame onto a 1-bit
+    line at one bit per [baud_div] clock cycles.  The transaction spec
+    is the transactor: it knows at which cycle each frame bit is visible
+    on the line and compares it against the corresponding element of the
+    SLM result. *)
+
+type t = {
+  baud_div : int;  (** clock cycles per bit (>= 1) *)
+  slm : Dfv_hwir.Ast.program;
+      (** entry [frame : uint 8 -> uint 1 array(10)] *)
+  rtl : Dfv_rtl.Netlist.elaborated;
+      (** ports: in [start] (1), [data] (8); out [line] (1), [busy] (1).
+          The line idles high. *)
+  spec : Dfv_sec.Spec.t;  (** one whole frame *)
+}
+
+val make : ?baud_div:int -> unit -> t
+(** Default [baud_div] 4. *)
+
+val golden_frame : int -> int array
+(** The 10 frame bits for a byte, start bit first. *)
+
+val transmit : t -> int -> int array * int
+(** Drive one byte through the RTL simulator; returns the full line
+    trace (one sample per cycle, from the start-request cycle until the
+    line returns to idle) and the number of cycles. *)

@@ -1,0 +1,1 @@
+lib/hwir/ast.ml: Dfv_bitvec Format List

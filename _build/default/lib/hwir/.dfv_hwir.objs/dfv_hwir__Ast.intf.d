@@ -1,0 +1,1 @@
+lib/hwir/ast.mli: Dfv_bitvec Format

@@ -1,0 +1,1 @@
+lib/hwir/elab.ml: Array Ast Dfv_aig Dfv_bitvec Hashtbl List Printf Sys

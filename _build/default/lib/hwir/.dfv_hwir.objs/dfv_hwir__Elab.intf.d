@@ -1,0 +1,1 @@
+lib/hwir/elab.mli: Ast Dfv_aig

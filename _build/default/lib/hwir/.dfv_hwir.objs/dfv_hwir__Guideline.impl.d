@@ -1,0 +1,1 @@
+lib/hwir/guideline.ml: Ast Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/hwir/guideline.mli: Ast Format

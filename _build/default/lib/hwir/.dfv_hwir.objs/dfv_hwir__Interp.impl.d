@@ -1,0 +1,1 @@
+lib/hwir/interp.ml: Array Ast Dfv_bitvec Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/hwir/interp.mli: Ast Dfv_bitvec

@@ -1,0 +1,1 @@
+lib/hwir/typecheck.ml: Ast Dfv_bitvec Format Hashtbl List Printf

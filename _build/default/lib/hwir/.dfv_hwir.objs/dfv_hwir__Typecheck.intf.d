@@ -1,0 +1,1 @@
+lib/hwir/typecheck.mli: Ast

@@ -1,0 +1,90 @@
+module Bitvec = Dfv_bitvec.Bitvec
+
+type ty =
+  | Tint of { width : int; signed : bool }
+  | Tarray of ty * int
+
+type unop = Not | Neg | Lnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor
+  | Shl | Shr
+  | Eq | Ne | Lt | Le
+  | Land | Lor
+
+type expr =
+  | Int of Bitvec.t * bool
+  | Bool of bool
+  | Var of string
+  | Index of string * expr
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr
+  | Cast of ty * expr
+  | Bitsel of expr * int * int
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of { ivar : string; count : int; body : stmt list }
+  | Bounded_while of { cond : expr; max_iter : int; body : stmt list }
+  | While of expr * stmt list
+  | Return of expr
+  | Alloc of { var : string; elem : ty; size : expr }
+  | Alias of { var : string; target : string }
+  | Extern_call of string * expr list
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  locals : (string * ty) list;
+  body : stmt list;
+}
+
+type program = { funcs : func list; entry : string }
+
+let u w v = Int (Bitvec.create ~width:w v, false)
+let s w v = Int (Bitvec.create ~width:w v, true)
+let uint w = Tint { width = w; signed = false }
+let sint w = Tint { width = w; signed = true }
+let bool_ty = uint 1
+let var n = Var n
+let ( +^ ) a b = Binop (Add, a, b)
+let ( -^ ) a b = Binop (Sub, a, b)
+let ( *^ ) a b = Binop (Mul, a, b)
+let ( /^ ) a b = Binop (Div, a, b)
+let ( %^ ) a b = Binop (Rem, a, b)
+let ( ==^ ) a b = Binop (Eq, a, b)
+let ( <>^ ) a b = Binop (Ne, a, b)
+let ( <^ ) a b = Binop (Lt, a, b)
+let ( <=^ ) a b = Binop (Le, a, b)
+let ( &&^ ) a b = Binop (Land, a, b)
+let ( ||^ ) a b = Binop (Lor, a, b)
+let ( &^ ) a b = Binop (And, a, b)
+let ( |^ ) a b = Binop (Or, a, b)
+let ( ^^ ) a b = Binop (Xor, a, b)
+let ( <<^ ) a b = Binop (Shl, a, b)
+let ( >>^ ) a b = Binop (Shr, a, b)
+let idx a e = Index (a, e)
+let cast t e = Cast (t, e)
+let assign n e = Assign (Lvar n, e)
+let assign_idx a i e = Assign (Lindex (a, i), e)
+let ret e = Return e
+
+let find_func p name = List.find_opt (fun f -> f.fname = name) p.funcs
+
+let ty_width = function
+  | Tint { width; _ } -> width
+  | Tarray _ -> invalid_arg "Ast.ty_width: array type"
+
+let ty_equal a b = a = b
+
+let rec pp_ty fmt = function
+  | Tint { width; signed } ->
+    Format.fprintf fmt "%s%d" (if signed then "int" else "uint") width
+  | Tarray (e, n) -> Format.fprintf fmt "%a[%d]" pp_ty e n

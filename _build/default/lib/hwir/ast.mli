@@ -1,0 +1,120 @@
+(** The conditioned-C intermediate representation (HWIR).
+
+    An embedded imperative language that captures "algorithmic code with
+    hardware intent" (paper, Section 4.3.1): fixed-width integer types,
+    statically sized arrays, counted loops (or bounded loops with a
+    conditional exit), single entry point, self-contained programs.
+
+    The language deliberately also contains the constructs the paper's
+    guidelines *forbid* — dynamic allocation, pointer aliasing,
+    data-dependent [while] loops, external calls — so that the
+    {!Guideline} linter and the {!Elab} static elaborator have real
+    violations to catch, and experiment C6 can contrast conditioned and
+    unconditioned models of the same algorithm. *)
+
+type ty =
+  | Tint of { width : int; signed : bool }
+  | Tarray of ty * int  (** element type (must be [Tint]) and static size *)
+
+type unop =
+  | Not   (** bitwise complement *)
+  | Neg
+  | Lnot  (** logical not: bool -> bool *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | And | Or | Xor
+  | Shl | Shr  (** [Shr] is arithmetic for signed operands, logical otherwise *)
+  | Eq | Ne | Lt | Le  (** signedness from operand type; result is bool *)
+  | Land | Lor  (** logical; operands and result are bool *)
+
+type expr =
+  | Int of Dfv_bitvec.Bitvec.t * bool  (** value, signedness *)
+  | Bool of bool
+  | Var of string
+  | Index of string * expr  (** array element read *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Cond of expr * expr * expr
+  | Cast of ty * expr
+      (** Width/sign conversion: truncate or extend per the *operand's*
+          signedness (C semantics). *)
+  | Bitsel of expr * int * int  (** [Bitsel (e, hi, lo)]: the HDL-style
+      part-select that C lacks (paper: "mask and shift"). *)
+  | Call of string * expr list
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt =
+  | Assign of lvalue * expr
+  | If of expr * stmt list * stmt list
+  | For of { ivar : string; count : int; body : stmt list }
+      (** Counted loop: [ivar] ranges over [0 .. count-1] as an unsigned
+          32-bit value. *)
+  | Bounded_while of { cond : expr; max_iter : int; body : stmt list }
+      (** The conditioned loop form the paper recommends: a static bound
+          with a conditional exit. *)
+  | While of expr * stmt list
+      (** Data-dependent loop — forbidden by the guidelines, rejected by
+          the static elaborator, executable by the interpreter. *)
+  | Return of expr
+  | Alloc of { var : string; elem : ty; size : expr }
+      (** Dynamic allocation ([new]/[malloc]) — guideline violation. *)
+  | Alias of { var : string; target : string }
+      (** Pointer aliasing — guideline violation. *)
+  | Extern_call of string * expr list
+      (** Call into code outside the supplied sources — violation of
+          self-containedness. *)
+
+type func = {
+  fname : string;
+  params : (string * ty) list;
+  ret : ty;
+  locals : (string * ty) list;  (** zero-initialized *)
+  body : stmt list;
+}
+
+type program = { funcs : func list; entry : string }
+
+(** {1 Convenience constructors} *)
+
+val u : int -> int -> expr
+(** [u w v] is the unsigned [w]-bit literal [v]. *)
+
+val s : int -> int -> expr
+(** [s w v] is the signed [w]-bit literal [v]. *)
+
+val uint : int -> ty
+val sint : int -> ty
+val bool_ty : ty
+(** 1-bit unsigned. *)
+
+val var : string -> expr
+val ( +^ ) : expr -> expr -> expr
+val ( -^ ) : expr -> expr -> expr
+val ( *^ ) : expr -> expr -> expr
+val ( /^ ) : expr -> expr -> expr
+val ( %^ ) : expr -> expr -> expr
+val ( ==^ ) : expr -> expr -> expr
+val ( <>^ ) : expr -> expr -> expr
+val ( <^ ) : expr -> expr -> expr
+val ( <=^ ) : expr -> expr -> expr
+val ( &&^ ) : expr -> expr -> expr
+val ( ||^ ) : expr -> expr -> expr
+val ( &^ ) : expr -> expr -> expr
+val ( |^ ) : expr -> expr -> expr
+val ( ^^ ) : expr -> expr -> expr
+val ( <<^ ) : expr -> expr -> expr
+val ( >>^ ) : expr -> expr -> expr
+val idx : string -> expr -> expr
+val cast : ty -> expr -> expr
+val assign : string -> expr -> stmt
+val assign_idx : string -> expr -> expr -> stmt
+val ret : expr -> stmt
+
+val find_func : program -> string -> func option
+val ty_width : ty -> int
+(** Width of an integer type; raises [Invalid_argument] on arrays. *)
+
+val ty_equal : ty -> ty -> bool
+val pp_ty : Format.formatter -> ty -> unit

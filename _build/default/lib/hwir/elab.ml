@@ -1,0 +1,342 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Aig = Dfv_aig.Aig
+module Word = Dfv_aig.Word
+open Ast
+
+type shape = Word of Word.w | Bank of Word.w array
+
+exception Not_synthesizable of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Not_synthesizable m)) fmt
+
+(* Symbolic slots: like the interpreter's, but holding AIG words. *)
+type slot =
+  | Eint of { mutable w : Word.w; signed : bool }
+  | Earr of { mutable bank : Word.w array; signed : bool }
+
+type env = {
+  g : Aig.t;
+  prog : program;
+  vars : (string, slot) Hashtbl.t;
+  (* Early-return tracking: once [returned] is true (symbolically), all
+     further writes in the function are masked out. *)
+  mutable returned : Aig.lit;
+  mutable retval : shape option;
+}
+
+let truthy g (w : Word.w) = Word.reduce_or g w
+
+(* --- symbolic expression evaluation ----------------------------------- *)
+
+let elab_depth = ref 0
+
+let rec eval (env : env) (e : expr) : Word.w * bool =
+  let g = env.g in
+  match e with
+  | Int (bv, signed) -> (Word.const bv, signed)
+  | Bool b -> (Word.const (Bitvec.of_bool b), false)
+  | Var n -> (
+    match Hashtbl.find_opt env.vars n with
+    | Some (Eint { w; signed }) -> (w, signed)
+    | Some (Earr _) -> fail "array %s used as a scalar" n
+    | None -> fail "unknown variable %s" n)
+  | Index (a, i) -> (
+    match Hashtbl.find_opt env.vars a with
+    | Some (Earr { bank; signed }) ->
+      let iw, _ = eval env i in
+      let width = Array.length bank.(0) in
+      let default = Array.make width Aig.false_ in
+      (Word.mux_index g ~default iw bank, signed)
+    | Some (Eint _) -> fail "scalar %s indexed as an array" a
+    | None -> fail "unknown array %s" a)
+  | Unop (Not, a) ->
+    let w, sg = eval env a in
+    (Word.lognot w, sg)
+  | Unop (Neg, a) ->
+    let w, sg = eval env a in
+    (Word.neg g w, sg)
+  | Unop (Lnot, a) ->
+    let w, _ = eval env a in
+    ([| Aig.not_ (truthy g w) |], false)
+  | Binop (Land, a, b) ->
+    let wa, _ = eval env a and wb, _ = eval env b in
+    ([| Aig.and_ g (truthy g wa) (truthy g wb) |], false)
+  | Binop (Lor, a, b) ->
+    let wa, _ = eval env a and wb, _ = eval env b in
+    ([| Aig.or_ g (truthy g wa) (truthy g wb) |], false)
+  | Binop (op, a, b) -> (
+    let wa, sa = eval env a in
+    let wb, _ = eval env b in
+    match op with
+    | Add -> (Word.add g wa wb, sa)
+    | Sub -> (Word.sub g wa wb, sa)
+    | Mul -> (Word.mul g wa wb, sa)
+    | Div -> ((if sa then Word.sdiv g wa wb else Word.udiv g wa wb), sa)
+    | Rem -> ((if sa then Word.srem g wa wb else Word.urem g wa wb), sa)
+    | And -> (Word.logand g wa wb, sa)
+    | Or -> (Word.logor g wa wb, sa)
+    | Xor -> (Word.logxor g wa wb, sa)
+    | Shl -> (Word.shift_left_var g wa wb, sa)
+    | Shr ->
+      ( (if sa then Word.shift_right_arith_var g wa wb
+         else Word.shift_right_logical_var g wa wb),
+        sa )
+    | Eq -> ([| Word.eq g wa wb |], false)
+    | Ne -> ([| Word.ne g wa wb |], false)
+    | Lt -> ([| (if sa then Word.slt g wa wb else Word.ult g wa wb) |], false)
+    | Le -> ([| (if sa then Word.sle g wa wb else Word.ule g wa wb) |], false)
+    | Land | Lor -> assert false)
+  | Cond (c, a, b) ->
+    let wc, _ = eval env c in
+    let wa, sa = eval env a in
+    let wb, _ = eval env b in
+    (Word.mux g ~sel:(truthy g wc) wa wb, sa)
+  | Cast (Tint { width; signed }, a) ->
+    let w, sa = eval env a in
+    ((if sa then Word.sresize w width else Word.uresize w width), signed)
+  | Cast (Tarray _, _) -> fail "cast to array type"
+  | Bitsel (a, hi, lo) ->
+    let w, _ = eval env a in
+    (Word.select w ~hi ~lo, false)
+  | Call (f, args) -> (
+    match eval_call env f args with
+    | Word w ->
+      let signed =
+        match find_func env.prog f with
+        | Some { ret = Tint { signed; _ }; _ } -> signed
+        | _ -> false
+      in
+      (w, signed)
+    | Bank _ -> fail "array-returning call %s used in scalar context" f)
+
+and eval_arg env (e : expr) : shape =
+  match e with
+  | Var n -> (
+    match Hashtbl.find_opt env.vars n with
+    | Some (Eint { w; _ }) -> Word w
+    | Some (Earr { bank; _ }) -> Bank (Array.copy bank)
+    | None -> fail "unknown variable %s" n)
+  | Call (f, args) -> eval_call env f args
+  | _ ->
+    let w, _ = eval env e in
+    Word w
+
+and eval_call env f args : shape =
+  match find_func env.prog f with
+  | None -> fail "call to unknown function %s" f
+  | Some fn ->
+    let argv = List.map (eval_arg env) args in
+    elab_func env.g env.prog fn argv
+
+(* --- statement elaboration --------------------------------------------- *)
+
+and masked_write env old_w new_w =
+  (* Writes after a (symbolic) return keep the old value. *)
+  Word.mux env.g ~sel:env.returned old_w new_w
+
+and exec (env : env) (st : stmt) : unit =
+  let g = env.g in
+  match st with
+  | Assign (Lvar n, e) -> (
+    match Hashtbl.find_opt env.vars n with
+    | Some (Eint cell) ->
+      let w, _ = eval env e in
+      cell.w <- masked_write env cell.w w
+    | Some (Earr cell) -> (
+      match eval_arg env e with
+      | Bank src ->
+        if Array.length src <> Array.length cell.bank then
+          fail "array assignment to %s: size mismatch" n;
+        cell.bank <-
+          Array.mapi (fun i old -> masked_write env old src.(i)) cell.bank
+      | Word _ -> fail "scalar assigned to array %s" n)
+    | None -> fail "unknown variable %s" n)
+  | Assign (Lindex (a, i), e) -> (
+    match Hashtbl.find_opt env.vars a with
+    | Some (Earr cell) ->
+      let iw, _ = eval env i in
+      let w, _ = eval env e in
+      (* Address-decoded write, masked by the return guard. *)
+      cell.bank <-
+        Array.mapi
+          (fun k old ->
+            if
+              Array.length iw < Sys.int_size - 2
+              && k >= 1 lsl Array.length iw
+            then old (* index can never reach this element *)
+            else begin
+              let kw = Word.const (Bitvec.create ~width:(Array.length iw) k) in
+              let hit =
+                Aig.and_ g (Word.eq g iw kw) (Aig.not_ env.returned)
+              in
+              Word.mux g ~sel:hit w old
+            end)
+          cell.bank
+    | Some (Eint _) -> fail "scalar %s indexed as an array" a
+    | None -> fail "unknown array %s" a)
+  | If (c, t, e) ->
+    let wc, _ = eval env c in
+    let cond = truthy g wc in
+    exec_branches env cond t e
+  | For { ivar; count; body } ->
+    let cell = Eint { w = Word.const (Bitvec.zero 32); signed = false } in
+    Hashtbl.replace env.vars ivar cell;
+    for i = 0 to count - 1 do
+      (match cell with
+      | Eint c -> c.w <- Word.const (Bitvec.create ~width:32 i)
+      | Earr _ -> assert false);
+      List.iter (exec env) body
+    done;
+    Hashtbl.remove env.vars ivar
+  | Bounded_while { cond; max_iter; body } ->
+    (* Unroll to the static bound; each iteration guarded by the exit
+       condition — the transformation the paper prescribes. *)
+    for _ = 1 to max_iter do
+      let wc, _ = eval env cond in
+      exec_branches env (truthy g wc) body []
+    done
+  | While _ ->
+    fail
+      "data-dependent loop: cannot be statically unrolled (convert to a \
+       bounded loop with a conditional exit)"
+  | Return e ->
+    let v = eval_arg env e in
+    (match (env.retval, v) with
+    | None, v -> env.retval <- Some v
+    | Some (Word old), Word w ->
+      env.retval <- Some (Word (Word.mux g ~sel:env.returned old w))
+    | Some (Bank old), Bank b ->
+      env.retval <-
+        Some
+          (Bank
+             (Array.mapi
+                (fun i o -> Word.mux g ~sel:env.returned o b.(i))
+                old))
+    | Some (Word _), Bank _ | Some (Bank _), Word _ ->
+      fail "inconsistent return shapes");
+    env.returned <- Aig.true_
+  | Alloc { var; _ } ->
+    fail "dynamic allocation of %s: not statically analyzable" var
+  | Alias { var; target } ->
+    fail "pointer aliasing (%s = %s): not statically analyzable" var target
+  | Extern_call (callee, _) ->
+    fail "external call to %s: model is not self-contained" callee
+
+(* Execute both branches of a conditional on separate copies of the
+   environment and mux the results. *)
+and exec_branches env cond then_ else_ =
+  let g = env.g in
+  let snapshot () =
+    let vars = Hashtbl.create (Hashtbl.length env.vars) in
+    Hashtbl.iter
+      (fun k v ->
+        let v' =
+          match v with
+          | Eint { w; signed } -> Eint { w; signed }
+          | Earr { bank; signed } -> Earr { bank = Array.copy bank; signed }
+        in
+        Hashtbl.replace vars k v')
+      env.vars;
+    { env with vars }
+  in
+  let env_t = snapshot () and env_e = snapshot () in
+  List.iter (exec env_t) then_;
+  List.iter (exec env_e) else_;
+  (* Merge: for every variable, mux the two branches' values. *)
+  Hashtbl.iter
+    (fun k v ->
+      match (v, Hashtbl.find_opt env_t.vars k, Hashtbl.find_opt env_e.vars k) with
+      | Eint cell, Some (Eint t), Some (Eint e) ->
+        cell.w <- Word.mux g ~sel:cond t.w e.w
+      | Earr cell, Some (Earr t), Some (Earr e) ->
+        cell.bank <-
+          Array.mapi (fun i _ -> Word.mux g ~sel:cond t.bank.(i) e.bank.(i)) cell.bank
+      | _ -> fail "branch changed the shape of a variable")
+    env.vars;
+  env.returned <- Aig.mux g ~sel:cond env_t.returned env_e.returned;
+  env.retval <-
+    (match (env_t.retval, env_e.retval) with
+    | None, None -> None
+    | Some v, None | None, Some v -> Some v
+    | Some (Word a), Some (Word b) -> Some (Word (Word.mux g ~sel:cond a b))
+    | Some (Bank a), Some (Bank b) ->
+      Some (Bank (Array.mapi (fun i w -> Word.mux g ~sel:cond w b.(i)) a))
+    | Some (Word _), Some (Bank _) | Some (Bank _), Some (Word _) ->
+      fail "inconsistent return shapes across branches")
+
+and elab_func g prog (fn : func) (argv : shape list) : shape =
+  incr elab_depth;
+  if !elab_depth > 64 then begin
+    elab_depth := 0;
+    fail "call depth exceeded (recursion in %s?)" fn.fname
+  end;
+  let env =
+    {
+      g;
+      prog;
+      vars = Hashtbl.create 16;
+      returned = Aig.false_;
+      retval = None;
+    }
+  in
+  (try
+     List.iter2
+       (fun (name, ty) v ->
+         match (ty, v) with
+         | Tint { signed; _ }, Word w ->
+           Hashtbl.replace env.vars name (Eint { w; signed })
+         | Tarray (Tint { signed; _ }, _), Bank bank ->
+           Hashtbl.replace env.vars name (Earr { bank; signed })
+         | _ -> fail "%s: argument %s has the wrong shape" fn.fname name)
+       fn.params argv
+   with Invalid_argument _ -> fail "%s: arity mismatch" fn.fname);
+  List.iter
+    (fun (name, ty) ->
+      match ty with
+      | Tint { width; signed } ->
+        Hashtbl.replace env.vars name
+          (Eint { w = Word.const (Bitvec.zero width); signed })
+      | Tarray (Tint { width; signed }, size) ->
+        Hashtbl.replace env.vars name
+          (Earr
+             {
+               bank = Array.make size (Word.const (Bitvec.zero width));
+               signed;
+             })
+      | Tarray (Tarray _, _) -> fail "%s: nested array local" fn.fname)
+    fn.locals;
+  List.iter (exec env) fn.body;
+  decr elab_depth;
+  match env.retval with
+  | Some v -> v
+  | None -> fail "%s: no path returns a value" fn.fname
+
+let apply_func prog ~g fname args =
+  match find_func prog fname with
+  | None -> fail "function %s not found" fname
+  | Some fn ->
+    elab_depth := 0;
+    elab_func g prog fn args
+
+let apply prog ~g args = apply_func prog ~g prog.entry args
+
+let elaborate prog ~g =
+  match find_func prog prog.entry with
+  | None -> fail "entry function %s not found" prog.entry
+  | Some fn ->
+    elab_depth := 0;
+    let params =
+      List.map
+        (fun (name, ty) ->
+          match ty with
+          | Tint { width; _ } -> (name, Word (Word.inputs ~name g width))
+          | Tarray (Tint { width; _ }, size) ->
+            ( name,
+              Bank
+                (Array.init size (fun i ->
+                     Word.inputs ~name:(Printf.sprintf "%s[%d]" name i) g width)) )
+          | Tarray (Tarray _, _) -> fail "entry parameter %s: nested array" name)
+        fn.params
+    in
+    let result = elab_func g prog fn (List.map snd params) in
+    (params, result)

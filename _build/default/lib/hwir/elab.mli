@@ -1,0 +1,47 @@
+(** Static elaboration of conditioned HWIR into an AIG.
+
+    This is the "hardware-like model inferred statically from the source"
+    that the paper's Section 4.3 requires of SLMs destined for sequential
+    equivalence checking: calls are inlined, counted loops fully
+    unrolled, bounded loops unrolled to their static bound with the
+    conditional exit becoming a per-iteration guard, control flow becomes
+    multiplexing, early returns become a return-guard, and arrays become
+    decoded word banks.
+
+    Exactly the unconditioned constructs — [While], [Alloc], [Alias],
+    [Extern_call] — are rejected, with a message naming the guideline
+    violated.  Together with {!Interp} this realizes experiment C6: a
+    conditioned model both runs fast (interpreter) and admits formal
+    analysis (this elaborator); its unconditioned twin only runs. *)
+
+type shape =
+  | Word of Dfv_aig.Word.w
+  | Bank of Dfv_aig.Word.w array  (** an array value, word per element *)
+
+exception Not_synthesizable of string
+
+val elaborate :
+  Ast.program ->
+  g:Dfv_aig.Aig.t ->
+  (string * shape) list * shape
+(** [elaborate p ~g] builds the entry function of [p] as combinational
+    logic in [g], with a fresh primary input per entry-parameter bit.
+    Returns the parameter words (in declaration order; inputs are
+    allocated in this order too, array elements in index order) and the
+    result.  Raises {!Not_synthesizable} on guideline violations,
+    recursion, or a path that can fall off the end of a function.
+
+    The program must typecheck.  Semantics agree with {!Interp} except
+    that division is total here (by-zero: quotient all-ones, remainder =
+    dividend) while the interpreter raises — equivalence queries add a
+    nonzero-divisor constraint when a model divides. *)
+
+val apply : Ast.program -> g:Dfv_aig.Aig.t -> shape list -> shape
+(** [apply p ~g args] elaborates the entry function of [p] applied to
+    existing words instead of fresh inputs — how the equivalence checker
+    shares one set of primary inputs between an SLM, the RTL transaction
+    that consumes it, and the user's input constraints. *)
+
+val apply_func : Ast.program -> g:Dfv_aig.Aig.t -> string -> shape list -> shape
+(** [apply_func p ~g f args] is {!apply} for an arbitrary function of the
+    program. *)

@@ -1,0 +1,103 @@
+open Ast
+
+type violation =
+  | Dynamic_allocation of { func : string; var : string }
+  | Pointer_aliasing of { func : string; var : string; target : string }
+  | Data_dependent_loop of { func : string }
+  | External_call of { func : string; callee : string }
+  | Unreachable_function of { func : string }
+
+let is_advisory = function
+  | Unreachable_function _ -> true
+  | Dynamic_allocation _ | Pointer_aliasing _ | Data_dependent_loop _
+  | External_call _ -> false
+
+let pp_violation fmt = function
+  | Dynamic_allocation { func; var } ->
+    Format.fprintf fmt
+      "%s: dynamic allocation of %s (use a statically sized array)" func var
+  | Pointer_aliasing { func; var; target } ->
+    Format.fprintf fmt
+      "%s: %s aliases %s (use an explicit memory instead of aliasing)" func
+      var target
+  | Data_dependent_loop { func } ->
+    Format.fprintf fmt
+      "%s: data-dependent loop bound (use a static bound with a conditional \
+       exit)"
+      func
+  | External_call { func; callee } ->
+    Format.fprintf fmt "%s: call to external %s (model is not self-contained)"
+      func callee
+  | Unreachable_function { func } ->
+    Format.fprintf fmt "%s: not reachable from the entry point" func
+
+let rec scan_stmt func acc (st : stmt) =
+  match st with
+  | Assign _ | Return _ -> acc
+  | If (_, t, e) ->
+    let acc = List.fold_left (scan_stmt func) acc t in
+    List.fold_left (scan_stmt func) acc e
+  | For { body; _ } | Bounded_while { body; _ } ->
+    List.fold_left (scan_stmt func) acc body
+  | While (_, body) ->
+    List.fold_left (scan_stmt func)
+      (Data_dependent_loop { func } :: acc)
+      body
+  | Alloc { var; _ } -> Dynamic_allocation { func; var } :: acc
+  | Alias { var; target } -> Pointer_aliasing { func; var; target } :: acc
+  | Extern_call (callee, _) -> External_call { func; callee } :: acc
+
+(* Call graph reachability from the entry, for the dead-code advisory. *)
+let rec calls_in_expr acc = function
+  | Int _ | Bool _ | Var _ -> acc
+  | Index (_, e) | Unop (_, e) | Cast (_, e) | Bitsel (e, _, _) ->
+    calls_in_expr acc e
+  | Binop (_, a, b) -> calls_in_expr (calls_in_expr acc a) b
+  | Cond (c, a, b) -> calls_in_expr (calls_in_expr (calls_in_expr acc c) a) b
+  | Call (f, args) -> List.fold_left calls_in_expr (f :: acc) args
+
+let rec calls_in_stmt acc = function
+  | Assign (Lvar _, e) | Return e -> calls_in_expr acc e
+  | Assign (Lindex (_, i), e) -> calls_in_expr (calls_in_expr acc i) e
+  | If (c, t, e) ->
+    let acc = calls_in_expr acc c in
+    let acc = List.fold_left calls_in_stmt acc t in
+    List.fold_left calls_in_stmt acc e
+  | For { body; _ } -> List.fold_left calls_in_stmt acc body
+  | Bounded_while { cond; body; _ } | While (cond, body) ->
+    List.fold_left calls_in_stmt (calls_in_expr acc cond) body
+  | Alloc { size; _ } -> calls_in_expr acc size
+  | Alias _ -> acc
+  | Extern_call (_, args) -> List.fold_left calls_in_expr acc args
+
+let reachable p =
+  let seen = Hashtbl.create 8 in
+  let rec visit name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      match find_func p name with
+      | Some f ->
+        List.iter visit (List.fold_left calls_in_stmt [] f.body)
+      | None -> ()
+    end
+  in
+  visit p.entry;
+  seen
+
+let check p =
+  let structural =
+    List.concat_map
+      (fun f -> List.rev (List.fold_left (scan_stmt f.fname) [] f.body))
+      p.funcs
+  in
+  let live = reachable p in
+  let dead =
+    List.filter_map
+      (fun f ->
+        if Hashtbl.mem live f.fname then None
+        else Some (Unreachable_function { func = f.fname }))
+      p.funcs
+  in
+  structural @ dead
+
+let conditioned p = List.for_all is_advisory (check p)

@@ -1,0 +1,36 @@
+(** The design-for-verification model-conditioning linter.
+
+    Implements the paper's Section 4.3 checklist for system-level models
+    that are to be consumed by sequential equivalence checkers and
+    behavioral synthesis — tools that must infer a hardware-like model
+    from the source by static analysis:
+
+    - statically sized arrays rather than dynamic allocation;
+    - explicit memories rather than pointer aliasing;
+    - static loop bounds (with conditional exits) rather than
+      data-dependent loops;
+    - a single well-defined entry point;
+    - self-contained source (no external calls).
+
+    A program with no violations is {e conditioned}; {!Elab.elaborate} is
+    guaranteed to accept exactly the conditioned programs (plus the
+    typecheckable ones — run {!Typecheck.check} first). *)
+
+type violation =
+  | Dynamic_allocation of { func : string; var : string }
+  | Pointer_aliasing of { func : string; var : string; target : string }
+  | Data_dependent_loop of { func : string }
+  | External_call of { func : string; callee : string }
+  | Unreachable_function of { func : string }
+      (** Dead code: not reachable from the entry point (advisory). *)
+
+val is_advisory : violation -> bool
+(** Advisory violations don't block static elaboration. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check : Ast.program -> violation list
+(** All violations, in program order. *)
+
+val conditioned : Ast.program -> bool
+(** No non-advisory violations. *)

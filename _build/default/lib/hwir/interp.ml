@@ -1,0 +1,284 @@
+module Bitvec = Dfv_bitvec.Bitvec
+open Ast
+
+type value = Vint of Bitvec.t | Varr of Bitvec.t array
+
+exception Runtime_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
+
+let vint ~width v = Vint (Bitvec.create ~width v)
+let varr ~width vs = Varr (Array.map (fun v -> Bitvec.create ~width v) vs)
+
+let as_int = function
+  | Vint v -> v
+  | Varr _ -> fail "expected a scalar value, got an array"
+
+let as_arr = function
+  | Varr a -> a
+  | Vint _ -> fail "expected an array value, got a scalar"
+
+(* Runtime slots.  Aliased names share the same [Sarr] record (hence the
+   same underlying array). *)
+type slot =
+  | Sint of { mutable v : Bitvec.t; signed : bool }
+  | Sarr of { arr : Bitvec.t array; signed : bool }
+
+type scope = (string, slot) Hashtbl.t
+
+exception Returned of value
+
+let slot_of scope name =
+  match Hashtbl.find_opt scope name with
+  | Some s -> s
+  | None -> fail "unknown variable %s" name
+
+let truthy bv = Bitvec.reduce_or bv
+
+let clamp_shift amount width =
+  if Bitvec.width amount > 62 then width
+  else min (Bitvec.to_int amount) width
+
+(* Evaluation yields the value and its signedness (needed for the
+   sign-dependent operators). *)
+let rec eval prog extern (scope : scope) (e : expr) : Bitvec.t * bool =
+  match e with
+  | Int (bv, signed) -> (bv, signed)
+  | Bool b -> (Bitvec.of_bool b, false)
+  | Var n -> (
+    match slot_of scope n with
+    | Sint { v; signed } -> (v, signed)
+    | Sarr _ -> fail "array %s used as a scalar" n)
+  | Index (a, i) -> (
+    match slot_of scope a with
+    | Sarr { arr; signed } ->
+      let iv, _ = eval prog extern scope i in
+      let k = if Bitvec.width iv > 62 then max_int else Bitvec.to_int iv in
+      if k >= Array.length arr then
+        fail "index %d out of bounds for %s (size %d)" k a (Array.length arr);
+      (arr.(k), signed)
+    | Sint _ -> fail "scalar %s indexed as an array" a)
+  | Unop (Not, a) ->
+    let v, sg = eval prog extern scope a in
+    (Bitvec.lognot v, sg)
+  | Unop (Neg, a) ->
+    let v, sg = eval prog extern scope a in
+    (Bitvec.neg v, sg)
+  | Unop (Lnot, a) ->
+    let v, _ = eval prog extern scope a in
+    (Bitvec.of_bool (not (truthy v)), false)
+  | Binop (Land, a, b) ->
+    let va, _ = eval prog extern scope a in
+    if not (truthy va) then (Bitvec.of_bool false, false)
+    else begin
+      let vb, _ = eval prog extern scope b in
+      (Bitvec.of_bool (truthy vb), false)
+    end
+  | Binop (Lor, a, b) ->
+    let va, _ = eval prog extern scope a in
+    if truthy va then (Bitvec.of_bool true, false)
+    else begin
+      let vb, _ = eval prog extern scope b in
+      (Bitvec.of_bool (truthy vb), false)
+    end
+  | Binop (op, a, b) -> (
+    let va, sa = eval prog extern scope a in
+    let vb, _sb = eval prog extern scope b in
+    match op with
+    | Add -> (Bitvec.add va vb, sa)
+    | Sub -> (Bitvec.sub va vb, sa)
+    | Mul -> (Bitvec.mul va vb, sa)
+    | Div ->
+      if Bitvec.is_zero vb then fail "division by zero";
+      ((if sa then Bitvec.sdiv va vb else Bitvec.udiv va vb), sa)
+    | Rem ->
+      if Bitvec.is_zero vb then fail "remainder by zero";
+      ((if sa then Bitvec.srem va vb else Bitvec.urem va vb), sa)
+    | And -> (Bitvec.logand va vb, sa)
+    | Or -> (Bitvec.logor va vb, sa)
+    | Xor -> (Bitvec.logxor va vb, sa)
+    | Shl -> (Bitvec.shift_left va (clamp_shift vb (Bitvec.width va)), sa)
+    | Shr ->
+      let n = clamp_shift vb (Bitvec.width va) in
+      ( (if sa then Bitvec.shift_right_arith va n
+         else Bitvec.shift_right_logical va n),
+        sa )
+    | Eq -> (Bitvec.of_bool (Bitvec.equal va vb), false)
+    | Ne -> (Bitvec.of_bool (not (Bitvec.equal va vb)), false)
+    | Lt ->
+      (Bitvec.of_bool (if sa then Bitvec.slt va vb else Bitvec.ult va vb), false)
+    | Le ->
+      (Bitvec.of_bool (if sa then Bitvec.sle va vb else Bitvec.ule va vb), false)
+    | Land | Lor -> assert false)
+  | Cond (c, a, b) ->
+    let vc, _ = eval prog extern scope c in
+    if truthy vc then eval prog extern scope a else eval prog extern scope b
+  | Cast (Tint { width; signed }, a) ->
+    let v, sa = eval prog extern scope a in
+    let v' = if sa then Bitvec.sresize v width else Bitvec.uresize v width in
+    (v', signed)
+  | Cast (Tarray _, _) -> fail "cast to array type"
+  | Bitsel (a, hi, lo) ->
+    let v, _ = eval prog extern scope a in
+    (Bitvec.select v ~hi ~lo, false)
+  | Call (f, args) -> (
+    match eval_call prog extern scope f args with
+    | Vint v ->
+      let signed =
+        match find_func prog f with
+        | Some { ret = Tint { signed; _ }; _ } -> signed
+        | _ -> false
+      in
+      (v, signed)
+    | Varr _ -> fail "array-returning call %s used in scalar context" f)
+
+and eval_arg prog extern scope (e : expr) : value =
+  match e with
+  | Var n -> (
+    match slot_of scope n with
+    | Sint { v; _ } -> Vint v
+    | Sarr { arr; _ } -> Varr (Array.copy arr) (* by-value *))
+  | Call (f, args) -> eval_call prog extern scope f args
+  | _ ->
+    let v, _ = eval prog extern scope e in
+    Vint v
+
+and eval_call prog extern scope f args : value =
+  match find_func prog f with
+  | None -> fail "call to unknown function %s" f
+  | Some fn ->
+    let argv = List.map (eval_arg prog extern scope) args in
+    exec_func prog extern fn argv
+
+and exec_func prog extern (fn : func) (argv : value list) : value =
+  if List.length argv <> List.length fn.params then
+    fail "%s: expected %d arguments, got %d" fn.fname (List.length fn.params)
+      (List.length argv);
+  let scope : scope = Hashtbl.create 16 in
+  List.iter2
+    (fun (name, ty) v ->
+      match (ty, v) with
+      | Tint { width; signed }, Vint bv ->
+        if Bitvec.width bv <> width then
+          fail "%s: argument %s has width %d, expected %d" fn.fname name
+            (Bitvec.width bv) width;
+        Hashtbl.replace scope name (Sint { v = bv; signed })
+      | Tarray (Tint { width; signed }, size), Varr arr ->
+        if size >= 0 && Array.length arr <> size then
+          fail "%s: argument %s has %d elements, expected %d" fn.fname name
+            (Array.length arr) size;
+        Array.iter
+          (fun w ->
+            if Bitvec.width w <> width then
+              fail "%s: argument %s has a %d-bit element, expected %d"
+                fn.fname name (Bitvec.width w) width)
+          arr;
+        Hashtbl.replace scope name (Sarr { arr = Array.copy arr; signed })
+      | Tint _, Varr _ | Tarray _, Vint _ | Tarray (Tarray _, _), _ ->
+        fail "%s: argument %s has the wrong shape" fn.fname name)
+    fn.params argv;
+  List.iter
+    (fun (name, ty) ->
+      match ty with
+      | Tint { width; signed } ->
+        Hashtbl.replace scope name (Sint { v = Bitvec.zero width; signed })
+      | Tarray (Tint { width; signed }, size) ->
+        Hashtbl.replace scope name
+          (Sarr { arr = Array.make size (Bitvec.zero width); signed })
+      | Tarray (Tarray _, _) -> fail "%s: nested array local" fn.fname)
+    fn.locals;
+  match List.iter (exec_stmt prog extern scope) fn.body with
+  | () -> fail "%s: function finished without returning" fn.fname
+  | exception Returned v -> v
+
+and exec_stmt prog extern (scope : scope) (st : stmt) : unit =
+  match st with
+  | Assign (Lvar n, e) -> (
+    match slot_of scope n with
+    | Sint cell ->
+      let v, _ = eval prog extern scope e in
+      if Bitvec.width v <> Bitvec.width cell.v then
+        fail "assignment to %s: width %d, expected %d" n (Bitvec.width v)
+          (Bitvec.width cell.v);
+      cell.v <- v
+    | Sarr { arr; _ } -> (
+      match eval_arg prog extern scope e with
+      | Varr src ->
+        if Array.length src <> Array.length arr then
+          fail "array assignment to %s: %d elements, expected %d" n
+            (Array.length src) (Array.length arr);
+        Array.blit src 0 arr 0 (Array.length arr)
+      | Vint _ -> fail "scalar assigned to array %s" n))
+  | Assign (Lindex (a, i), e) -> (
+    match slot_of scope a with
+    | Sarr { arr; _ } ->
+      let iv, _ = eval prog extern scope i in
+      let k = if Bitvec.width iv > 62 then max_int else Bitvec.to_int iv in
+      if k >= Array.length arr then
+        fail "store index %d out of bounds for %s (size %d)" k a
+          (Array.length arr);
+      let v, _ = eval prog extern scope e in
+      arr.(k) <- v
+    | Sint _ -> fail "scalar %s indexed as an array" a)
+  | If (c, t, e) ->
+    let vc, _ = eval prog extern scope c in
+    List.iter (exec_stmt prog extern scope) (if truthy vc then t else e)
+  | For { ivar; count; body } ->
+    let cell = Sint { v = Bitvec.zero 32; signed = false } in
+    Hashtbl.replace scope ivar cell;
+    (match cell with
+    | Sint c ->
+      for i = 0 to count - 1 do
+        c.v <- Bitvec.create ~width:32 i;
+        List.iter (exec_stmt prog extern scope) body
+      done
+    | Sarr _ -> assert false);
+    Hashtbl.remove scope ivar
+  | Bounded_while { cond; max_iter; body } ->
+    (* Executes at most [max_iter] iterations — the same semantics the
+       static elaborator gives the unrolled hardware. *)
+    let rec go n =
+      if n < max_iter then begin
+        let vc, _ = eval prog extern scope cond in
+        if truthy vc then begin
+          List.iter (exec_stmt prog extern scope) body;
+          go (n + 1)
+        end
+      end
+    in
+    go 0
+  | While (cond, body) ->
+    let rec go () =
+      let vc, _ = eval prog extern scope cond in
+      if truthy vc then begin
+        List.iter (exec_stmt prog extern scope) body;
+        go ()
+      end
+    in
+    go ()
+  | Return e -> raise (Returned (eval_arg prog extern scope e))
+  | Alloc { var; elem; size } -> (
+    match elem with
+    | Tint { width; signed } ->
+      let n, _ = eval prog extern scope size in
+      let n = Bitvec.to_int n in
+      Hashtbl.replace scope var
+        (Sarr { arr = Array.make n (Bitvec.zero width); signed })
+    | Tarray _ -> fail "allocation of array-of-array")
+  | Alias { var; target } -> (
+    match slot_of scope target with
+    | Sarr _ as s -> Hashtbl.replace scope var s (* shares the array *)
+    | Sint _ -> fail "alias target %s is not an array" target)
+  | Extern_call (name, args) ->
+    let argv = List.map (eval_arg prog extern scope) args in
+    extern name argv
+
+let default_extern name _ =
+  fail "call to external function %s (model is not self-contained)" name
+
+let call ?(extern = default_extern) prog fname args =
+  match find_func prog fname with
+  | None -> fail "unknown function %s" fname
+  | Some fn -> exec_func prog extern fn args
+
+let run ?extern prog args = call ?extern prog prog.entry args

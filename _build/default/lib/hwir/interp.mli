@@ -1,0 +1,44 @@
+(** The HWIR interpreter — the executable semantics of a system-level
+    model written in the conditioned-C IR.
+
+    This is the fast, untimed functional reference the paper's Section 2
+    step 1 validates against application workloads: a pure function from
+    input values to an output value.  The static elaborator ({!Elab})
+    must agree with it bit-for-bit on conditioned programs; the test
+    suite checks that agreement on random inputs for every bundled
+    design. *)
+
+type value =
+  | Vint of Dfv_bitvec.Bitvec.t
+  | Varr of Dfv_bitvec.Bitvec.t array
+
+exception Runtime_error of string
+(** Out-of-bounds access, division by zero, missing return, call into an
+    unhandled external, or argument mismatch. *)
+
+val run :
+  ?extern:(string -> value list -> unit) ->
+  Ast.program ->
+  value list ->
+  value
+(** [run p args] evaluates the entry function of [p] on [args].  The
+    program should already typecheck; the interpreter still carries
+    enough dynamic checks to fail loudly rather than silently on broken
+    programs.  [extern] handles {!Ast.Extern_call} statements (default:
+    raise — external calls make a model non-self-contained). *)
+
+val call :
+  ?extern:(string -> value list -> unit) ->
+  Ast.program ->
+  string ->
+  value list ->
+  value
+(** [call p f args] invokes an arbitrary function of the program. *)
+
+val vint : width:int -> int -> value
+val varr : width:int -> int array -> value
+val as_int : value -> Dfv_bitvec.Bitvec.t
+(** Raises {!Runtime_error} on arrays. *)
+
+val as_arr : value -> Dfv_bitvec.Bitvec.t array
+(** Raises {!Runtime_error} on scalars. *)

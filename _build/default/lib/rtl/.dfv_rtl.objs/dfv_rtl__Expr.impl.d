@@ -1,0 +1,1 @@
+lib/rtl/expr.ml: Dfv_bitvec Format List Printf

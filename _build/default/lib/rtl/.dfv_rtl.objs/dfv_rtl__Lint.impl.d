@@ -1,0 +1,1 @@
+lib/rtl/lint.ml: Expr Format Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Dfv_bitvec Expr Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/rtl/sim.ml: Array Dfv_bitvec Expr Hashtbl List Netlist Printf

@@ -1,0 +1,1 @@
+lib/rtl/synth.ml: Array Dfv_aig Dfv_bitvec Expr Hashtbl List Netlist Printf

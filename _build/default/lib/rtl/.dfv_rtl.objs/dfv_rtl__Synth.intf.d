@@ -1,0 +1,1 @@
+lib/rtl/synth.mli: Dfv_aig Dfv_bitvec Netlist

@@ -1,0 +1,1 @@
+lib/rtl/vcd.ml: Buffer Char Dfv_bitvec Hashtbl List Netlist Printf Sim String

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Array Buffer Dfv_bitvec Expr Hashtbl List Netlist Printf String

@@ -1,0 +1,193 @@
+module Bitvec = Dfv_bitvec.Bitvec
+
+type binop =
+  | Add | Sub | Mul
+  | Udiv | Urem | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr
+  | Eq | Ne | Ult | Ule | Slt | Sle
+
+type unop = Not | Neg | Red_and | Red_or | Red_xor
+
+type t =
+  | Const of Bitvec.t
+  | Signal of string
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t
+  | Slice of t * int * int
+  | Concat of t list
+  | Zext of t * int
+  | Sext of t * int
+  | Repeat of t * int
+  | Mem_read of string * t
+
+(* --- DSL -------------------------------------------------------------- *)
+
+let const ~width v = Const (Bitvec.create ~width v)
+let of_bitvec bv = Const bv
+let sig_ n = Signal n
+let mux s a b = Mux (s, a, b)
+let slice e ~hi ~lo = Slice (e, hi, lo)
+let bit e i = Slice (e, i, i)
+let concat es = Concat es
+let zext e w = Zext (e, w)
+let sext e w = Sext (e, w)
+let repeat e n = Repeat (e, n)
+let mem_read m a = Mem_read (m, a)
+
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Udiv, a, b)
+let ( %: ) a b = Binop (Urem, a, b)
+let ( &: ) a b = Binop (And, a, b)
+let ( |: ) a b = Binop (Or, a, b)
+let ( ^: ) a b = Binop (Xor, a, b)
+let ( ~: ) a = Unop (Not, a)
+let negate a = Unop (Neg, a)
+let ( <<: ) a b = Binop (Shl, a, b)
+let ( >>: ) a b = Binop (Lshr, a, b)
+let ( >>+ ) a b = Binop (Ashr, a, b)
+let ( ==: ) a b = Binop (Eq, a, b)
+let ( <>: ) a b = Binop (Ne, a, b)
+let ( <: ) a b = Binop (Ult, a, b)
+let ( <=: ) a b = Binop (Ule, a, b)
+let ( <+ ) a b = Binop (Slt, a, b)
+let ( <=+ ) a b = Binop (Sle, a, b)
+let red_and a = Unop (Red_and, a)
+let red_or a = Unop (Red_or, a)
+let red_xor a = Unop (Red_xor, a)
+
+(* --- analysis ---------------------------------------------------------- *)
+
+exception Width_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Width_error s)) fmt
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Udiv -> "/" | Urem -> "%"
+  | Sdiv -> "/s" | Srem -> "%s" | And -> "&" | Or -> "|" | Xor -> "^"
+  | Shl -> "<<" | Lshr -> ">>" | Ashr -> ">>>" | Eq -> "==" | Ne -> "!="
+  | Ult -> "<" | Ule -> "<=" | Slt -> "<s" | Sle -> "<=s"
+
+let unop_name = function
+  | Not -> "~" | Neg -> "-" | Red_and -> "&" | Red_or -> "|" | Red_xor -> "^"
+
+let rec width_in sig_w mem_w e =
+  match e with
+  | Const bv -> Bitvec.width bv
+  | Signal n -> sig_w n
+  | Unop ((Not | Neg), a) -> width_in sig_w mem_w a
+  | Unop ((Red_and | Red_or | Red_xor), a) ->
+    ignore (width_in sig_w mem_w a);
+    1
+  | Binop (((Add | Sub | Mul | Udiv | Urem | Sdiv | Srem | And | Or | Xor) as op), a, b) ->
+    let wa = width_in sig_w mem_w a and wb = width_in sig_w mem_w b in
+    if wa <> wb then
+      fail "operator %s: operand widths %d and %d differ" (binop_name op) wa wb;
+    wa
+  | Binop ((Shl | Lshr | Ashr), a, b) ->
+    ignore (width_in sig_w mem_w b);
+    width_in sig_w mem_w a
+  | Binop (((Eq | Ne | Ult | Ule | Slt | Sle) as op), a, b) ->
+    let wa = width_in sig_w mem_w a and wb = width_in sig_w mem_w b in
+    if wa <> wb then
+      fail "comparison %s: operand widths %d and %d differ" (binop_name op) wa
+        wb;
+    1
+  | Mux (s, a, b) ->
+    let ws = width_in sig_w mem_w s in
+    if ws <> 1 then fail "mux select must be 1 bit, got %d" ws;
+    let wa = width_in sig_w mem_w a and wb = width_in sig_w mem_w b in
+    if wa <> wb then fail "mux arms have widths %d and %d" wa wb;
+    wa
+  | Slice (a, hi, lo) ->
+    let wa = width_in sig_w mem_w a in
+    if lo < 0 || hi < lo || hi >= wa then
+      fail "slice [%d:%d] out of range for width %d" hi lo wa;
+    hi - lo + 1
+  | Concat [] -> fail "empty concat"
+  | Concat es ->
+    List.fold_left (fun acc e -> acc + width_in sig_w mem_w e) 0 es
+  | Zext (a, w) | Sext (a, w) ->
+    let wa = width_in sig_w mem_w a in
+    if w < wa then fail "extension to %d narrower than operand width %d" w wa;
+    w
+  | Repeat (a, n) ->
+    if n < 1 then fail "repeat count %d" n;
+    n * width_in sig_w mem_w a
+  | Mem_read (m, a) ->
+    ignore (width_in sig_w mem_w a);
+    mem_w m
+
+let rec fold_signals acc e =
+  match e with
+  | Const _ -> acc
+  | Signal n -> n :: acc
+  | Unop (_, a) | Slice (a, _, _) | Zext (a, _) | Sext (a, _) | Repeat (a, _) ->
+    fold_signals acc a
+  | Binop (_, a, b) -> fold_signals (fold_signals acc a) b
+  | Mux (s, a, b) -> fold_signals (fold_signals (fold_signals acc s) a) b
+  | Concat es -> List.fold_left fold_signals acc es
+  | Mem_read (_, a) -> fold_signals acc a
+
+let signals e = List.sort_uniq compare (fold_signals [] e)
+
+let rec fold_mems acc e =
+  match e with
+  | Const _ | Signal _ -> acc
+  | Unop (_, a) | Slice (a, _, _) | Zext (a, _) | Sext (a, _) | Repeat (a, _) ->
+    fold_mems acc a
+  | Binop (_, a, b) -> fold_mems (fold_mems acc a) b
+  | Mux (s, a, b) -> fold_mems (fold_mems (fold_mems acc s) a) b
+  | Concat es -> List.fold_left fold_mems acc es
+  | Mem_read (m, a) -> fold_mems (m :: acc) a
+
+let memories e = List.sort_uniq compare (fold_mems [] e)
+
+let rec map_signals f e =
+  match e with
+  | Const _ -> e
+  | Signal n -> f n
+  | Unop (op, a) -> Unop (op, map_signals f a)
+  | Binop (op, a, b) -> Binop (op, map_signals f a, map_signals f b)
+  | Mux (s, a, b) -> Mux (map_signals f s, map_signals f a, map_signals f b)
+  | Slice (a, hi, lo) -> Slice (map_signals f a, hi, lo)
+  | Concat es -> Concat (List.map (map_signals f) es)
+  | Zext (a, w) -> Zext (map_signals f a, w)
+  | Sext (a, w) -> Sext (map_signals f a, w)
+  | Repeat (a, n) -> Repeat (map_signals f a, n)
+  | Mem_read (m, a) -> Mem_read (m, map_signals f a)
+
+let rec rename_memories f e =
+  match e with
+  | Const _ | Signal _ -> e
+  | Unop (op, a) -> Unop (op, rename_memories f a)
+  | Binop (op, a, b) -> Binop (op, rename_memories f a, rename_memories f b)
+  | Mux (s, a, b) ->
+    Mux (rename_memories f s, rename_memories f a, rename_memories f b)
+  | Slice (a, hi, lo) -> Slice (rename_memories f a, hi, lo)
+  | Concat es -> Concat (List.map (rename_memories f) es)
+  | Zext (a, w) -> Zext (rename_memories f a, w)
+  | Sext (a, w) -> Sext (rename_memories f a, w)
+  | Repeat (a, n) -> Repeat (rename_memories f a, n)
+  | Mem_read (m, a) -> Mem_read (f m, rename_memories f a)
+
+let rec pp fmt e =
+  match e with
+  | Const bv -> Format.pp_print_string fmt (Bitvec.to_string bv)
+  | Signal n -> Format.pp_print_string fmt n
+  | Unop (op, a) -> Format.fprintf fmt "%s(%a)" (unop_name op) pp a
+  | Binop (op, a, b) ->
+    Format.fprintf fmt "(%a %s %a)" pp a (binop_name op) pp b
+  | Mux (s, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp s pp a pp b
+  | Slice (a, hi, lo) -> Format.fprintf fmt "%a[%d:%d]" pp a hi lo
+  | Concat es ->
+    Format.fprintf fmt "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp)
+      es
+  | Zext (a, w) -> Format.fprintf fmt "zext(%a, %d)" pp a w
+  | Sext (a, w) -> Format.fprintf fmt "sext(%a, %d)" pp a w
+  | Repeat (a, n) -> Format.fprintf fmt "{%d{%a}}" n pp a
+  | Mem_read (m, a) -> Format.fprintf fmt "%s[%a]" m pp a

@@ -1,0 +1,114 @@
+(** RTL expressions.
+
+    The combinational expression language of the RTL IR.  Semantics are
+    Verilog-2001 in explicit form: every operator's result width is
+    determined by its operand widths (binary arithmetic requires equal
+    widths — extend explicitly with {!zext}/{!sext}, exactly the
+    discipline whose absence causes the paper's Fig. 1), predicates are
+    1 bit wide, and slicing/concatenation follow part-select rules. *)
+
+type binop =
+  | Add | Sub | Mul
+  | Udiv | Urem | Sdiv | Srem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr  (** second operand is the (unsigned) shift amount *)
+  | Eq | Ne | Ult | Ule | Slt | Sle
+
+type unop = Not | Neg | Red_and | Red_or | Red_xor
+
+type t =
+  | Const of Dfv_bitvec.Bitvec.t
+  | Signal of string
+      (** Reference to an input, wire, or register by name. *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Mux of t * t * t  (** [Mux (sel, then_, else_)]; [sel] is 1 bit. *)
+  | Slice of t * int * int  (** [Slice (e, hi, lo)] *)
+  | Concat of t list  (** Head is most significant. *)
+  | Zext of t * int
+  | Sext of t * int
+  | Repeat of t * int
+  | Mem_read of string * t
+      (** Asynchronous (combinational) memory read port. *)
+
+(** {1 Construction DSL} *)
+
+val const : width:int -> int -> t
+val of_bitvec : Dfv_bitvec.Bitvec.t -> t
+val sig_ : string -> t
+val mux : t -> t -> t -> t
+val slice : t -> hi:int -> lo:int -> t
+val bit : t -> int -> t
+(** [bit e i] is [slice e ~hi:i ~lo:i]. *)
+
+val concat : t list -> t
+val zext : t -> int -> t
+val sext : t -> int -> t
+val repeat : t -> int -> t
+val mem_read : string -> t -> t
+
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+(** unsigned division *)
+
+val ( %: ) : t -> t -> t
+(** unsigned remainder *)
+
+val ( &: ) : t -> t -> t
+val ( |: ) : t -> t -> t
+val ( ^: ) : t -> t -> t
+val ( ~: ) : t -> t
+(** bitwise not *)
+
+val negate : t -> t
+val ( <<: ) : t -> t -> t
+val ( >>: ) : t -> t -> t
+(** logical right shift *)
+
+val ( >>+ ) : t -> t -> t
+(** arithmetic right shift *)
+
+val ( ==: ) : t -> t -> t
+val ( <>: ) : t -> t -> t
+val ( <: ) : t -> t -> t
+(** unsigned less-than *)
+
+val ( <=: ) : t -> t -> t
+val ( <+ ) : t -> t -> t
+(** signed less-than *)
+
+val ( <=+ ) : t -> t -> t
+val red_and : t -> t
+val red_or : t -> t
+val red_xor : t -> t
+
+(** {1 Analysis} *)
+
+exception Width_error of string
+(** Raised by {!width_in} on ill-formed expressions. *)
+
+val width_in : (string -> int) -> (string -> int) -> t -> int
+(** [width_in signal_width mem_word_width e] computes (and checks) the
+    width of [e].  [signal_width name] must give the width of every
+    referenced signal; [mem_word_width name] the word width of every
+    referenced memory.  Raises {!Width_error} on any rule violation
+    (mismatched operand widths, bad slice bounds, non-1-bit mux select,
+    zero-width concat, shrinking extension). *)
+
+val signals : t -> string list
+(** Names of all signals referenced (deduplicated). *)
+
+val memories : t -> string list
+(** Names of all memories read (deduplicated). *)
+
+val map_signals : (string -> t) -> t -> t
+(** Substitute every [Signal n] by [f n] (used by the elaborator to
+    prefix hierarchical names and splice port connections). *)
+
+val rename_memories : (string -> string) -> t -> t
+(** Rename memory references (hierarchy flattening). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering (Verilog-like). *)

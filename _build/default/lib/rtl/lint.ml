@@ -1,0 +1,84 @@
+open Netlist
+
+type issue =
+  | Unused_signal of string
+  | Unread_register of string
+  | Memory_never_read of string
+  | Memory_never_written of string
+  | Constant_output of string
+  | Degenerate_mux of string
+
+let pp_issue fmt = function
+  | Unused_signal n -> Format.fprintf fmt "unused signal %s" n
+  | Unread_register n -> Format.fprintf fmt "register %s is never read" n
+  | Memory_never_read n -> Format.fprintf fmt "memory %s is never read" n
+  | Memory_never_written n -> Format.fprintf fmt "memory %s is never written" n
+  | Constant_output n -> Format.fprintf fmt "output %s is a constant" n
+  | Degenerate_mux n -> Format.fprintf fmt "wire %s contains a mux with identical arms" n
+
+let rec has_degenerate_mux (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.Signal _ -> false
+  | Expr.Mux (s, a, b) ->
+    a = b || has_degenerate_mux s || has_degenerate_mux a
+    || has_degenerate_mux b
+  | Expr.Unop (_, a)
+  | Expr.Slice (a, _, _)
+  | Expr.Zext (a, _)
+  | Expr.Sext (a, _)
+  | Expr.Repeat (a, _)
+  | Expr.Mem_read (_, a) -> has_degenerate_mux a
+  | Expr.Binop (_, a, b) -> has_degenerate_mux a || has_degenerate_mux b
+  | Expr.Concat es -> List.exists has_degenerate_mux es
+
+let check (d : elaborated) =
+  let used : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let mems_read : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  let note e =
+    List.iter (fun n -> Hashtbl.replace used n ()) (Expr.signals e);
+    List.iter (fun m -> Hashtbl.replace mems_read m ()) (Expr.memories e)
+  in
+  List.iter (fun (_, e) -> note e) d.e_wires;
+  List.iter (fun (_, e) -> note e) d.e_outputs;
+  List.iter
+    (fun r ->
+      note r.next;
+      Option.iter note r.enable)
+    d.e_regs;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun wp ->
+          note wp.wr_enable;
+          note wp.wr_addr;
+          note wp.wr_data)
+        m.writes)
+    d.e_mems;
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem used p.port_name) then add (Unused_signal p.port_name))
+    d.e_inputs;
+  List.iter
+    (fun (n, _) -> if not (Hashtbl.mem used n) then add (Unused_signal n))
+    d.e_wires;
+  List.iter
+    (fun r ->
+      if not (Hashtbl.mem used r.reg_name) then add (Unread_register r.reg_name))
+    d.e_regs;
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem mems_read m.mem_name) then
+        add (Memory_never_read m.mem_name);
+      if m.writes = [] && m.mem_init = None then
+        add (Memory_never_written m.mem_name))
+    d.e_mems;
+  List.iter
+    (fun (n, e) ->
+      match e with Expr.Const _ -> add (Constant_output n) | _ -> ())
+    d.e_outputs;
+  List.iter
+    (fun (n, e) -> if has_degenerate_mux e then add (Degenerate_mux n))
+    d.e_wires;
+  List.rev !issues

@@ -1,0 +1,24 @@
+(** Structural lint for RTL modules.
+
+    Complements {!Netlist.elaborate} (which rejects hard errors: duplicate
+    or unknown names, width violations, combinational cycles) with
+    warnings about suspicious-but-legal structure.  Part of the paper's
+    Section 4 design-for-verification checks on the RTL side. *)
+
+type issue =
+  | Unused_signal of string
+      (** A wire or input referenced by nothing (not by a wire, register,
+          memory port, or output). *)
+  | Unread_register of string
+      (** A register whose value no expression observes. *)
+  | Memory_never_read of string
+  | Memory_never_written of string
+  | Constant_output of string
+      (** An output driven by a literal constant. *)
+  | Degenerate_mux of string
+      (** A wire whose expression contains a mux with identical arms. *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Netlist.elaborated -> issue list
+(** Run all checks; issues are returned in a deterministic order. *)

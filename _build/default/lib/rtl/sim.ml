@@ -1,0 +1,190 @@
+module Bitvec = Dfv_bitvec.Bitvec
+open Netlist
+
+type t = {
+  design : elaborated;
+  values : (string, Bitvec.t) Hashtbl.t; (* inputs, wires, regs *)
+  mems : (string, Bitvec.t array) Hashtbl.t;
+  mutable ncycles : int;
+}
+
+let mem_initial mem =
+  match mem.mem_init with
+  | Some init -> Array.copy init
+  | None -> Array.make mem.mem_size (Bitvec.zero mem.word_width)
+
+let reset sim =
+  Hashtbl.reset sim.values;
+  List.iter
+    (fun r -> Hashtbl.replace sim.values r.reg_name r.init)
+    sim.design.e_regs;
+  List.iter
+    (fun m -> Hashtbl.replace sim.mems m.mem_name (mem_initial m))
+    sim.design.e_mems;
+  sim.ncycles <- 0
+
+let create design =
+  let sim =
+    { design; values = Hashtbl.create 64; mems = Hashtbl.create 8; ncycles = 0 }
+  in
+  reset sim;
+  sim
+
+let lookup sim name =
+  match Hashtbl.find_opt sim.values name with
+  | Some v -> v
+  | None -> raise Not_found
+
+(* Expression evaluation over the settled value table. *)
+let rec eval sim e =
+  match e with
+  | Expr.Const bv -> bv
+  | Expr.Signal n -> lookup sim n
+  | Expr.Unop (op, a) ->
+    let va = eval sim a in
+    (match op with
+    | Expr.Not -> Bitvec.lognot va
+    | Expr.Neg -> Bitvec.neg va
+    | Expr.Red_and -> Bitvec.of_bool (Bitvec.reduce_and va)
+    | Expr.Red_or -> Bitvec.of_bool (Bitvec.reduce_or va)
+    | Expr.Red_xor -> Bitvec.of_bool (Bitvec.reduce_xor va))
+  | Expr.Binop (op, a, b) ->
+    let va = eval sim a in
+    (match op with
+    | Expr.Shl | Expr.Lshr | Expr.Ashr ->
+      let vb = eval sim b in
+      (* Dynamic shift amount; clamp at width (Bitvec shifts by int). *)
+      let amount =
+        if Bitvec.width vb > 62 then Bitvec.width va (* saturate *)
+        else min (Bitvec.to_int vb) (Bitvec.width va)
+      in
+      (match op with
+      | Expr.Shl -> Bitvec.shift_left va amount
+      | Expr.Lshr -> Bitvec.shift_right_logical va amount
+      | Expr.Ashr -> Bitvec.shift_right_arith va amount
+      | _ -> assert false)
+    | _ ->
+      let vb = eval sim b in
+      (match op with
+      | Expr.Add -> Bitvec.add va vb
+      | Expr.Sub -> Bitvec.sub va vb
+      | Expr.Mul -> Bitvec.mul va vb
+      | Expr.Udiv -> Bitvec.udiv va vb
+      | Expr.Urem -> Bitvec.urem va vb
+      | Expr.Sdiv -> Bitvec.sdiv va vb
+      | Expr.Srem -> Bitvec.srem va vb
+      | Expr.And -> Bitvec.logand va vb
+      | Expr.Or -> Bitvec.logor va vb
+      | Expr.Xor -> Bitvec.logxor va vb
+      | Expr.Eq -> Bitvec.of_bool (Bitvec.equal va vb)
+      | Expr.Ne -> Bitvec.of_bool (not (Bitvec.equal va vb))
+      | Expr.Ult -> Bitvec.of_bool (Bitvec.ult va vb)
+      | Expr.Ule -> Bitvec.of_bool (Bitvec.ule va vb)
+      | Expr.Slt -> Bitvec.of_bool (Bitvec.slt va vb)
+      | Expr.Sle -> Bitvec.of_bool (Bitvec.sle va vb)
+      | Expr.Shl | Expr.Lshr | Expr.Ashr -> assert false))
+  | Expr.Mux (s, a, b) ->
+    if Bitvec.reduce_or (eval sim s) then eval sim a else eval sim b
+  | Expr.Slice (a, hi, lo) -> Bitvec.select (eval sim a) ~hi ~lo
+  | Expr.Concat es -> Bitvec.concat (List.map (eval sim) es)
+  | Expr.Zext (a, w) -> Bitvec.uresize (eval sim a) w
+  | Expr.Sext (a, w) -> Bitvec.sresize (eval sim a) w
+  | Expr.Repeat (a, n) -> Bitvec.repeat (eval sim a) n
+  | Expr.Mem_read (m, a) ->
+    let arr = Hashtbl.find sim.mems m in
+    let addr = eval sim a in
+    let i = if Bitvec.width addr > 62 then max_int else Bitvec.to_int addr in
+    if i < Array.length arr then arr.(i)
+    else Bitvec.zero (Bitvec.width arr.(0))
+
+let settle sim =
+  List.iter
+    (fun (n, e) -> Hashtbl.replace sim.values n (eval sim e))
+    sim.design.e_wires
+
+let apply_inputs sim inputs =
+  List.iter
+    (fun p ->
+      match List.assoc_opt p.port_name inputs with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Sim.cycle: missing input %s" p.port_name)
+      | Some v ->
+        if Bitvec.width v <> p.port_width then
+          invalid_arg
+            (Printf.sprintf "Sim.cycle: input %s has width %d, expected %d"
+               p.port_name (Bitvec.width v) p.port_width);
+        Hashtbl.replace sim.values p.port_name v)
+    sim.design.e_inputs;
+  List.iter
+    (fun (n, _) ->
+      if not (List.exists (fun p -> p.port_name = n) sim.design.e_inputs) then
+        invalid_arg (Printf.sprintf "Sim.cycle: no input port named %s" n))
+    inputs
+
+let clock_edge sim =
+  (* Compute all next-state values from settled current values, then
+     commit — registers update simultaneously. *)
+  let reg_updates =
+    List.filter_map
+      (fun r ->
+        let enabled =
+          match r.enable with
+          | None -> true
+          | Some e -> Bitvec.reduce_or (eval sim e)
+        in
+        if enabled then Some (r.reg_name, eval sim r.next) else None)
+      sim.design.e_regs
+  in
+  let mem_updates =
+    List.concat_map
+      (fun m ->
+        let arr = Hashtbl.find sim.mems m.mem_name in
+        List.filter_map
+          (fun wp ->
+            if Bitvec.reduce_or (eval sim wp.wr_enable) then begin
+              let addr = Bitvec.to_int (eval sim wp.wr_addr) in
+              if addr < Array.length arr then
+                Some (arr, addr, eval sim wp.wr_data)
+              else None
+            end
+            else None)
+          m.writes)
+      sim.design.e_mems
+  in
+  List.iter (fun (n, v) -> Hashtbl.replace sim.values n v) reg_updates;
+  List.iter (fun (arr, i, v) -> arr.(i) <- v) mem_updates
+
+let cycle sim inputs =
+  apply_inputs sim inputs;
+  settle sim;
+  let outputs =
+    List.map (fun (n, e) -> (n, eval sim e)) sim.design.e_outputs
+  in
+  clock_edge sim;
+  sim.ncycles <- sim.ncycles + 1;
+  outputs
+
+let peek sim name =
+  match Hashtbl.find_opt sim.values name with
+  | Some v -> v
+  | None ->
+    (* An un-settled wire or unknown name. *)
+    if List.mem_assoc name sim.design.e_wires then
+      invalid_arg (Printf.sprintf "Sim.peek: wire %s not settled yet" name)
+    else raise Not_found
+
+let peek_mem sim name i =
+  let arr = Hashtbl.find sim.mems name in
+  arr.(i)
+
+let cycles_run sim = sim.ncycles
+
+let run sim ~inputs ~cycles =
+  (* Explicit loop: Array.init's application order is unspecified, and
+     [cycle] is stateful. *)
+  let out = Array.make cycles [] in
+  for i = 0 to cycles - 1 do
+    out.(i) <- cycle sim (inputs i)
+  done;
+  out

@@ -1,0 +1,246 @@
+module Bitvec = Dfv_bitvec.Bitvec
+open Netlist
+
+(* --- identifier sanitation ------------------------------------------- *)
+
+let sanitize name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char b c
+      | '0' .. '9' -> if i = 0 then Buffer.add_string b "_0" else Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let keywords =
+  [ "module"; "endmodule"; "input"; "output"; "wire"; "reg"; "assign";
+    "always"; "initial"; "begin"; "end"; "if"; "else"; "posedge"; "negedge";
+    "integer"; "for"; "signed"; "case"; "endcase"; "default"; "parameter" ]
+
+type names = { table : (string, string) Hashtbl.t; used : (string, unit) Hashtbl.t }
+
+let make_names () =
+  let used = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace used k ()) keywords;
+  Hashtbl.replace used "clk" ();
+  { table = Hashtbl.create 64; used }
+
+(* [key] identifies the IR object; [base] is the preferred identifier.
+   Outputs live in their own key namespace so an output may share its
+   name with an internal signal without colliding. *)
+let intern_keyed names key base =
+  match Hashtbl.find_opt names.table key with
+  | Some s -> s
+  | None ->
+    let base = sanitize base in
+    let rec pick i =
+      let candidate = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem names.used candidate then pick (i + 1) else candidate
+    in
+    let s = pick 0 in
+    Hashtbl.replace names.used s ();
+    Hashtbl.replace names.table key s;
+    s
+
+let intern names original = intern_keyed names original original
+let intern_out names n = intern_keyed names ("out\x00" ^ n) n
+
+(* --- expression rendering --------------------------------------------- *)
+
+type ctx = {
+  design : elaborated;
+  names : names;
+  temps : Buffer.t; (* declarations + assigns for hoisted subexpressions *)
+  mutable ntemps : int;
+  mem_of : string -> memory;
+}
+
+let range w = if w = 1 then "" else Printf.sprintf "[%d:0] " (w - 1)
+
+let width_of ctx e =
+  Expr.width_in ctx.design.e_signal_width
+    (fun m -> (ctx.mem_of m).word_width)
+    e
+
+(* Hoist an expression into a named wire (needed when Verilog requires an
+   identifier, e.g. as the base of a part-select). *)
+let rec hoist ctx e =
+  match e with
+  | Expr.Signal n -> intern ctx.names n
+  | _ ->
+    let w = width_of ctx e in
+    let name = Printf.sprintf "_t%d" ctx.ntemps in
+    ctx.ntemps <- ctx.ntemps + 1;
+    Buffer.add_string ctx.temps
+      (Printf.sprintf "  wire %s%s;\n  assign %s = %s;\n" (range w) name name
+         (render ctx e));
+    name
+
+and render ctx (e : Expr.t) : string =
+  match e with
+  | Expr.Const bv -> Bitvec.to_string bv
+  | Expr.Signal n -> intern ctx.names n
+  | Expr.Unop (op, a) -> (
+    let ra = render ctx a in
+    match op with
+    | Expr.Not -> Printf.sprintf "(~%s)" ra
+    | Expr.Neg -> Printf.sprintf "(-%s)" ra
+    | Expr.Red_and -> Printf.sprintf "(&%s)" ra
+    | Expr.Red_or -> Printf.sprintf "(|%s)" ra
+    | Expr.Red_xor -> Printf.sprintf "(^%s)" ra)
+  | Expr.Binop (op, a, b) -> (
+    let ra = render ctx a and rb = render ctx b in
+    let u fmt = Printf.sprintf fmt ra rb in
+    let s fmt = Printf.sprintf fmt ra rb in
+    match op with
+    | Expr.Add -> u "(%s + %s)"
+    | Expr.Sub -> u "(%s - %s)"
+    | Expr.Mul -> u "(%s * %s)"
+    | Expr.Udiv -> u "(%s / %s)"
+    | Expr.Urem -> u "(%s %% %s)"
+    | Expr.Sdiv -> s "($signed(%s) / $signed(%s))"
+    | Expr.Srem -> s "($signed(%s) %% $signed(%s))"
+    | Expr.And -> u "(%s & %s)"
+    | Expr.Or -> u "(%s | %s)"
+    | Expr.Xor -> u "(%s ^ %s)"
+    | Expr.Shl -> u "(%s << %s)"
+    | Expr.Lshr -> u "(%s >> %s)"
+    | Expr.Ashr -> s "($signed(%s) >>> %s)"
+    | Expr.Eq -> u "(%s == %s)"
+    | Expr.Ne -> u "(%s != %s)"
+    | Expr.Ult -> u "(%s < %s)"
+    | Expr.Ule -> u "(%s <= %s)"
+    | Expr.Slt -> s "($signed(%s) < $signed(%s))"
+    | Expr.Sle -> s "($signed(%s) <= $signed(%s))")
+  | Expr.Mux (sel, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (render ctx sel) (render ctx a)
+      (render ctx b)
+  | Expr.Slice (a, hi, lo) ->
+    let base = hoist ctx a in
+    if hi = lo then Printf.sprintf "%s[%d]" base hi
+    else Printf.sprintf "%s[%d:%d]" base hi lo
+  | Expr.Concat parts ->
+    Printf.sprintf "{%s}" (String.concat ", " (List.map (render ctx) parts))
+  | Expr.Zext (a, w) ->
+    let wa = width_of ctx a in
+    if w = wa then render ctx a
+    else Printf.sprintf "{%d'd0, %s}" (w - wa) (render ctx a)
+  | Expr.Sext (a, w) ->
+    let wa = width_of ctx a in
+    if w = wa then render ctx a
+    else begin
+      let base = hoist ctx a in
+      Printf.sprintf "{{%d{%s[%d]}}, %s}" (w - wa) base (wa - 1) base
+    end
+  | Expr.Repeat (a, n) -> Printf.sprintf "{%d{%s}}" n (render ctx a)
+  | Expr.Mem_read (m, addr) ->
+    let mem = ctx.mem_of m in
+    let mname = intern ctx.names m in
+    let ra = hoist ctx addr in
+    (* The IR defines out-of-range reads as zero (Verilog would give x). *)
+    Printf.sprintf "((%s < %d) ? %s[%s] : %d'd0)" ra mem.mem_size mname ra
+      mem.word_width
+
+(* --- module emission ---------------------------------------------------- *)
+
+let emit (d : elaborated) =
+  let names = make_names () in
+  let mem_of n =
+    match List.find_opt (fun m -> m.mem_name = n) d.e_mems with
+    | Some m -> m
+    | None -> invalid_arg ("Verilog.emit: unknown memory " ^ n)
+  in
+  let ctx = { design = d; names; temps = Buffer.create 256; ntemps = 0; mem_of } in
+  (* Reserve port names first so they win the pretty identifiers. *)
+  List.iter (fun p -> ignore (intern names p.port_name)) d.e_inputs;
+  List.iter (fun (n, _) -> ignore (intern_out names n)) d.e_outputs;
+  let body = Buffer.create 1024 in
+  (* Wires. *)
+  List.iter
+    (fun (n, e) ->
+      let w = d.e_signal_width n in
+      let rhs = render ctx e in
+      Buffer.add_string body
+        (Printf.sprintf "  wire %s%s;\n  assign %s = %s;\n" (range w)
+           (intern names n) (intern names n) rhs))
+    d.e_wires;
+  (* Registers. *)
+  List.iter
+    (fun r ->
+      let name = intern names r.reg_name in
+      Buffer.add_string body
+        (Printf.sprintf "  reg %s%s;\n  initial %s = %s;\n" (range r.reg_width)
+           name name (Bitvec.to_string r.init));
+      let next = render ctx r.next in
+      let update = Printf.sprintf "%s <= %s;" name next in
+      let guarded =
+        match r.enable with
+        | None -> Printf.sprintf "    %s\n" update
+        | Some en -> Printf.sprintf "    if (%s) %s\n" (render ctx en) update
+      in
+      Buffer.add_string body
+        (Printf.sprintf "  always @(posedge clk) begin\n%s  end\n" guarded))
+    d.e_regs;
+  (* Memories. *)
+  List.iter
+    (fun m ->
+      let name = intern names m.mem_name in
+      Buffer.add_string body
+        (Printf.sprintf "  reg %s%s [0:%d];\n" (range m.word_width) name
+           (m.mem_size - 1));
+      (* Initial contents. *)
+      let idx = Printf.sprintf "_i_%s" name in
+      Buffer.add_string body (Printf.sprintf "  integer %s;\n" idx);
+      (match m.mem_init with
+      | None ->
+        Buffer.add_string body
+          (Printf.sprintf
+             "  initial for (%s = 0; %s < %d; %s = %s + 1) %s[%s] = %d'd0;\n"
+             idx idx m.mem_size idx idx name idx m.word_width)
+      | Some init ->
+        Buffer.add_string body "  initial begin\n";
+        Array.iteri
+          (fun i v ->
+            Buffer.add_string body
+              (Printf.sprintf "    %s[%d] = %s;\n" name i (Bitvec.to_string v)))
+          init;
+        Buffer.add_string body "  end\n");
+      List.iter
+        (fun wp ->
+          Buffer.add_string body
+            (Printf.sprintf
+               "  always @(posedge clk) begin\n    if (%s) %s[%s] <= %s;\n  end\n"
+               (render ctx wp.wr_enable) name (render ctx wp.wr_addr)
+               (render ctx wp.wr_data)))
+        m.writes)
+    d.e_mems;
+  (* Outputs. *)
+  List.iter
+    (fun (n, e) ->
+      Buffer.add_string body
+        (Printf.sprintf "  assign %s = %s;\n" (intern_out names n)
+           (render ctx e)))
+    d.e_outputs;
+  (* Header: needs output widths, computed through the checker. *)
+  let out_width e = width_of ctx e in
+  let ports =
+    ("input wire clk"
+    :: List.map
+         (fun p ->
+           Printf.sprintf "input wire %s%s" (range p.port_width)
+             (intern names p.port_name))
+         d.e_inputs)
+    @ List.map
+        (fun (n, e) ->
+          Printf.sprintf "output wire %s%s" (range (out_width e))
+            (intern_out names n))
+        d.e_outputs
+  in
+  Printf.sprintf
+    "// Generated from the dfv RTL IR; semantics notes in Verilog.mli.\n\
+     module %s(\n  %s\n);\n%s%s\nendmodule\n"
+    (sanitize d.e_name)
+    (String.concat ",\n  " ports)
+    (Buffer.contents ctx.temps) (Buffer.contents body)

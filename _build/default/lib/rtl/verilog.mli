@@ -1,0 +1,29 @@
+(** Verilog-2001 emission.
+
+    Renders an elaborated netlist as a synthesizable Verilog module, so
+    designs authored against this library's IR can leave the ecosystem
+    (commercial simulators, synthesis, LEC against a hand-written RTL).
+    The mapping is deliberately explicit about the semantics the IR
+    defines:
+
+    - all nets are unsigned [wire]/[reg] vectors; signed operators are
+      rendered through [$signed(...)] at their use sites, so there is no
+      reliance on Verilog's self-determined signedness rules (the very
+      rules Section 3.1.1 shows are easy to get wrong);
+    - sign/zero extension is emitted as explicit replication-concat
+      ([{{n{bit}}, e}]);
+    - registers use one implicit [clk] and become
+      [always @(posedge clk)] processes; initial values become an
+      [initial] block (matching the simulator's reset state);
+    - memories become unpacked [reg] arrays with synchronous write
+      processes and continuous-assign asynchronous reads;
+    - hierarchical names from elaboration ([u0.acc]) are sanitized to
+      legal identifiers ([u0_acc]), uniquely.
+
+    Dynamic shift amounts wider than needed, and division, follow the
+    simulator semantics documented in {!Sim}. *)
+
+val emit : Netlist.elaborated -> string
+(** The complete Verilog module text.  Port identifiers are the
+    sanitized signal names (collisions resolved by numeric suffix,
+    outputs in their own namespace). *)

@@ -1,0 +1,23 @@
+(** DIMACS CNF reading and writing.
+
+    The standalone interchange format for the SAT substrate: lets the
+    solver be exercised against external instances and lets the
+    equivalence checker dump the CNF of a miter for inspection. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+val parse_string : string -> cnf
+(** Parse DIMACS CNF text.  Comment lines ([c ...]) are skipped; the
+    problem line ([p cnf V C]) is validated.  Raises [Failure] with a
+    descriptive message on malformed input. *)
+
+val parse_file : string -> cnf
+(** {!parse_string} on a file's contents. *)
+
+val to_string : cnf -> string
+(** Render a CNF in DIMACS format. *)
+
+val load : Solver.t -> cnf -> unit
+(** Allocate the variables of [cnf] in the solver (assumes a fresh
+    solver, or at least that variables [0 .. num_vars-1] should map to
+    new solver variables) and add all clauses. *)

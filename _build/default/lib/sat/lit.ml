@@ -1,0 +1,16 @@
+type t = int
+
+let make v pos = (v * 2) + if pos then 0 else 1
+let pos v = v * 2
+let neg v = (v * 2) + 1
+let var l = l lsr 1
+let negate l = l lxor 1
+let is_pos l = l land 1 = 0
+
+let to_dimacs l = if is_pos l then var l + 1 else -(var l + 1)
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: zero";
+  if n > 0 then pos (n - 1) else neg (-n - 1)
+
+let to_string l = string_of_int (to_dimacs l)

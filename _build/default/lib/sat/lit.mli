@@ -1,0 +1,35 @@
+(** Propositional literals.
+
+    A variable is a non-negative integer; a literal packs a variable and a
+    polarity into one int ([2*var] for the positive literal, [2*var + 1]
+    for its negation).  This is the usual MiniSat encoding. *)
+
+type t = int
+
+val make : int -> bool -> t
+(** [make v pos] is the literal over variable [v] with polarity [pos]
+    ([pos = true] means the positive literal). *)
+
+val pos : int -> t
+(** [pos v] is the positive literal of variable [v]. *)
+
+val neg : int -> t
+(** [neg v] is the negative literal of variable [v]. *)
+
+val var : t -> int
+(** The underlying variable. *)
+
+val negate : t -> t
+(** The opposite literal. *)
+
+val is_pos : t -> bool
+(** Whether the literal is positive. *)
+
+val to_dimacs : t -> int
+(** DIMACS encoding: [var+1] for positive, [-(var+1)] for negative. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}.  Raises [Invalid_argument] on 0. *)
+
+val to_string : t -> string
+(** Human-readable form, e.g. ["3"] or ["-3"] (DIMACS numbering). *)

@@ -1,0 +1,584 @@
+(* CDCL SAT solver (MiniSat lineage).
+
+   Clauses are int arrays of literals with the invariant that the two
+   watched literals sit at positions 0 and 1.  [watches.(l)] lists the
+   clauses currently watching literal [l]; a clause is visited when one of
+   its watched literals becomes false. *)
+
+type clause = int array
+
+type result = Sat | Unsat
+
+(* Growable int/clause vectors: the solver's hot loops need in-place
+   push/pop without list allocation. *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 16 dummy; len = 0; dummy }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) v.dummy in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.len
+  let shrink v n = v.len <- n
+end
+
+type t = {
+  (* Per-variable state. *)
+  mutable assign : int array;   (* -1 unassigned / 0 false / 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;   (* saved polarity for decisions *)
+  mutable heap_pos : int array; (* position in [heap], or -1 *)
+  heap : int Vec.t;             (* binary max-heap of variables by activity *)
+  mutable nvars : int;
+  (* Clause database. *)
+  clauses : clause Vec.t;
+  learnts : clause Vec.t;
+  mutable watches : clause Vec.t array; (* indexed by literal *)
+  (* Trail. *)
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  (* Activity bookkeeping. *)
+  mutable var_inc : float;
+  (* Status. *)
+  mutable unsat : bool; (* conflict at level 0: permanently unsat *)
+  mutable const_true : int; (* lazily allocated always-true literal, or -1 *)
+  (* Statistics. *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable conflict_budget : int; (* -1 = unlimited; counts down in solve *)
+  (* Scratch for conflict analysis. *)
+  mutable seen : bool array;
+}
+
+let create () =
+  {
+    assign = Array.make 16 (-1);
+    level = Array.make 16 0;
+    reason = Array.make 16 None;
+    activity = Array.make 16 0.0;
+    phase = Array.make 16 false;
+    heap_pos = Array.make 16 (-1);
+    heap = Vec.create 0;
+    nvars = 0;
+    clauses = Vec.create [||];
+    learnts = Vec.create [||];
+    watches = Array.init 32 (fun _ -> Vec.create [||]);
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    var_inc = 1.0;
+    unsat = false;
+    const_true = -1;
+    conflicts = 0;
+    decisions = 0;
+    propagations = 0;
+    conflict_budget = -1;
+    seen = Array.make 16 false;
+  }
+
+let nvars s = s.nvars
+let nclauses s = Vec.size s.clauses
+let nlearnts s = Vec.size s.learnts
+let nconflicts s = s.conflicts
+let ndecisions s = s.decisions
+let npropagations s = s.propagations
+
+(* --- heap of variables ordered by activity ------------------------- *)
+
+let heap_lt s v w = s.activity.(v) > s.activity.(w)
+
+let heap_swap s i j =
+  let vi = Vec.get s.heap i and vj = Vec.get s.heap j in
+  Vec.set s.heap i vj;
+  Vec.set s.heap j vi;
+  s.heap_pos.(vi) <- j;
+  s.heap_pos.(vj) <- i
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_lt s (Vec.get s.heap i) (Vec.get s.heap p) then begin
+      heap_swap s i p;
+      heap_up s p
+    end
+  end
+
+let rec heap_down s i =
+  let n = Vec.size s.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && heap_lt s (Vec.get s.heap l) (Vec.get s.heap !best) then best := l;
+  if r < n && heap_lt s (Vec.get s.heap r) (Vec.get s.heap !best) then best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    Vec.push s.heap v;
+    s.heap_pos.(v) <- Vec.size s.heap - 1;
+    heap_up s (Vec.size s.heap - 1)
+  end
+
+let heap_pop s =
+  let top = Vec.get s.heap 0 in
+  let last = Vec.get s.heap (Vec.size s.heap - 1) in
+  Vec.shrink s.heap (Vec.size s.heap - 1);
+  s.heap_pos.(top) <- -1;
+  if Vec.size s.heap > 0 then begin
+    Vec.set s.heap 0 last;
+    s.heap_pos.(last) <- 0;
+    heap_down s 0
+  end;
+  top
+
+let heap_decrease s v = if s.heap_pos.(v) >= 0 then heap_up s s.heap_pos.(v)
+
+(* --- variables ------------------------------------------------------ *)
+
+let grow_arrays s =
+  let n = Array.length s.assign in
+  let grow a dummy =
+    let b = Array.make (2 * n) dummy in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  s.assign <- grow s.assign (-1);
+  s.level <- grow s.level 0;
+  s.reason <- grow s.reason None;
+  s.activity <- grow s.activity 0.0;
+  s.phase <- grow s.phase false;
+  s.heap_pos <- grow s.heap_pos (-1);
+  s.seen <- grow s.seen false;
+  let w = Array.init (4 * n) (fun _ -> Vec.create [||]) in
+  Array.blit s.watches 0 w 0 (2 * n);
+  s.watches <- w
+
+let new_var s =
+  if s.nvars = Array.length s.assign then grow_arrays s;
+  let v = s.nvars in
+  s.nvars <- s.nvars + 1;
+  heap_insert s v;
+  v
+
+(* --- assignment ----------------------------------------------------- *)
+
+let lit_value s l =
+  (* -1 unassigned, 0 false, 1 true *)
+  let a = s.assign.(Lit.var l) in
+  if a < 0 then -1 else if Lit.is_pos l then a else 1 - a
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s l reason =
+  let v = Lit.var l in
+  s.assign.(v) <- (if Lit.is_pos l then 1 else 0);
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Vec.push s.trail l
+
+(* --- propagation ---------------------------------------------------- *)
+
+exception Conflict of clause
+
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let p = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      s.propagations <- s.propagations + 1;
+      (* Literal [np] just became false: visit its watchers. *)
+      let np = Lit.negate p in
+      let ws = s.watches.(np) in
+      let j = ref 0 in
+      (* In-place compaction: clauses that keep watching [np] are copied
+         down to position [j]. *)
+      (try
+         let i = ref 0 in
+         while !i < Vec.size ws do
+           let c = Vec.get ws !i in
+           incr i;
+           (* Ensure the false watch is at position 1. *)
+           if c.(0) = np then begin
+             c.(0) <- c.(1);
+             c.(1) <- np
+           end;
+           if lit_value s c.(0) = 1 then begin
+             (* Clause already satisfied by the other watch. *)
+             Vec.set ws !j c;
+             incr j
+           end
+           else begin
+             (* Look for a new literal to watch. *)
+             let n = Array.length c in
+             let k = ref 2 in
+             while !k < n && lit_value s c.(!k) = 0 do
+               incr k
+             done;
+             if !k < n then begin
+               (* Move the new watch into position 1. *)
+               c.(1) <- c.(!k);
+               c.(!k) <- np;
+               Vec.push s.watches.(c.(1)) c
+               (* and drop c from ws by not copying it down *)
+             end
+             else if lit_value s c.(0) = 0 then begin
+               (* All other literals false and c.(0) false: conflict.
+                  Keep remaining watchers in place before aborting. *)
+               Vec.set ws !j c;
+               incr j;
+               while !i < Vec.size ws do
+                 Vec.set ws !j (Vec.get ws !i);
+                 incr i;
+                 incr j
+               done;
+               Vec.shrink ws !j;
+               s.qhead <- Vec.size s.trail;
+               raise (Conflict c)
+             end
+             else begin
+               (* Unit clause: propagate c.(0). *)
+               Vec.set ws !j c;
+               incr j;
+               enqueue s c.(0) (Some c)
+             end
+           end
+         done;
+         Vec.shrink ws !j
+       with Conflict _ as e -> raise e)
+    done;
+    None
+  with Conflict c -> Some c
+
+(* --- activity ------------------------------------------------------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_decrease s v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+(* --- backtracking --------------------------------------------------- *)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = Lit.var l in
+      s.phase.(v) <- Lit.is_pos l;
+      s.assign.(v) <- -1;
+      s.reason.(v) <- None;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* --- conflict analysis (1-UIP) -------------------------------------- *)
+
+let analyze s conflict =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let c = ref conflict in
+  let continue = ref true in
+  while !continue do
+    Array.iter
+      (fun q ->
+        (* Skip the asserting literal itself on non-first iterations. *)
+        if q <> !p then begin
+          let v = Lit.var q in
+          if (not s.seen.(v)) && s.level.(v) > 0 then begin
+            s.seen.(v) <- true;
+            var_bump s v;
+            if s.level.(v) >= decision_level s then incr path
+            else learnt := q :: !learnt
+          end
+        end)
+      !c;
+    (* Walk the trail backwards to the next marked literal. *)
+    while not s.seen.(Lit.var (Vec.get s.trail !idx)) do
+      decr idx
+    done;
+    let l = Vec.get s.trail !idx in
+    decr idx;
+    let v = Lit.var l in
+    s.seen.(v) <- false;
+    decr path;
+    if !path = 0 then begin
+      (* l is the 1-UIP; its negation asserts the learnt clause. *)
+      p := Lit.negate l;
+      continue := false
+    end
+    else begin
+      match s.reason.(v) with
+      | Some r ->
+        c := r;
+        p := l
+      | None -> assert false (* a decision cannot be interior to the cut *)
+    end
+  done;
+  (* Clause minimization: drop a literal whose reason's literals are all
+     already in the clause (self-subsumption, non-recursive). *)
+  let in_clause v = s.seen.(v) in
+  List.iter (fun q -> s.seen.(Lit.var q) <- true) !learnt;
+  let minimized =
+    List.filter
+      (fun q ->
+        match s.reason.(Lit.var q) with
+        | None -> true
+        | Some r ->
+          not
+            (Array.for_all
+               (fun l -> Lit.var l = Lit.var q || in_clause (Lit.var l) || s.level.(Lit.var l) = 0)
+               r))
+      !learnt
+  in
+  List.iter (fun q -> s.seen.(Lit.var q) <- false) !learnt;
+  let learnt_arr = Array.of_list (!p :: minimized) in
+  (* Find the backtrack level: the highest level among the non-asserting
+     literals (0 if the clause is unit). *)
+  let blevel = ref 0 in
+  let pos = ref 0 in
+  for i = 1 to Array.length learnt_arr - 1 do
+    let lv = s.level.(Lit.var learnt_arr.(i)) in
+    if lv > !blevel then begin
+      blevel := lv;
+      pos := i
+    end
+  done;
+  (* Put the second-highest-level literal at index 1 (watch invariant). *)
+  if Array.length learnt_arr > 1 then begin
+    let tmp = learnt_arr.(1) in
+    learnt_arr.(1) <- learnt_arr.(!pos);
+    learnt_arr.(!pos) <- tmp
+  end;
+  (learnt_arr, !blevel)
+
+(* --- clause addition ------------------------------------------------ *)
+
+let attach_clause s c =
+  Vec.push s.watches.(c.(0)) c;
+  Vec.push s.watches.(c.(1)) c
+
+let add_clause s lits =
+  if not s.unsat then begin
+    List.iter
+      (fun l ->
+        if Lit.var l >= s.nvars || l < 0 then
+          invalid_arg "Solver.add_clause: unallocated variable")
+      lits;
+    (* Normalize: sort, dedupe, drop tautologies and level-0-false lits. *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (Lit.negate l) lits) lits
+    in
+    let lits =
+      List.filter
+        (fun l ->
+          not (lit_value s l = 0 && s.level.(Lit.var l) = 0))
+        lits
+    in
+    let satisfied =
+      List.exists (fun l -> lit_value s l = 1 && s.level.(Lit.var l) = 0) lits
+    in
+    if not (tautology || satisfied) then begin
+      match lits with
+      | [] -> s.unsat <- true
+      | [ l ] ->
+        if lit_value s l = -1 then begin
+          enqueue s l None;
+          if propagate s <> None then s.unsat <- true
+        end
+      | _ ->
+        let c = Array.of_list lits in
+        Vec.push s.clauses c;
+        attach_clause s c
+    end
+  end
+
+(* --- search --------------------------------------------------------- *)
+
+let luby i =
+  (* Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+  let rec go k sz seq_i =
+    if sz - 1 = seq_i then k
+    else if seq_i >= sz / 2 then go k (sz / 2) (seq_i - (sz / 2))
+    else go (k - 1) (sz / 2) seq_i
+  in
+  let rec size k = if k = 0 then 1 else (2 * size (k - 1)) + 1 in
+  let rec find k = if size k - 1 >= i then k else find (k + 1) in
+  let k = find 0 in
+  1 lsl go k (size k) i
+
+exception Result of result
+exception Out_of_budget
+
+let solve ?(assumptions = []) s =
+  if s.unsat then Unsat
+  else begin
+    let n_assumps = List.length assumptions in
+    let assumps = Array.of_list assumptions in
+    let restart_unit = 100 in
+    let restart_idx = ref 0 in
+    let budget = ref (restart_unit * luby !restart_idx) in
+    try
+      (* Main CDCL loop. *)
+      while true do
+        match propagate s with
+        | Some conflict ->
+          s.conflicts <- s.conflicts + 1;
+          if s.conflict_budget > 0 then begin
+            s.conflict_budget <- s.conflict_budget - 1;
+            if s.conflict_budget = 0 then begin
+              cancel_until s 0;
+              raise Out_of_budget
+            end
+          end;
+          decr budget;
+          if decision_level s <= n_assumps then begin
+            (* Conflict among assumptions (or at level 0). *)
+            if decision_level s = 0 then s.unsat <- true;
+            cancel_until s 0;
+            raise (Result Unsat)
+          end;
+          let learnt, blevel = analyze s conflict in
+          (* Never backtrack past the assumption levels' consequences:
+             analyze can produce blevel below assumptions; that is fine —
+             the learnt clause stays valid, and re-deciding assumptions is
+             handled by the decision loop. *)
+          cancel_until s (max blevel 0);
+          if Array.length learnt = 1 then begin
+            if decision_level s > 0 then cancel_until s 0;
+            if lit_value s learnt.(0) = 0 then begin
+              s.unsat <- true;
+              raise (Result Unsat)
+            end
+            else if lit_value s learnt.(0) = -1 then enqueue s learnt.(0) None
+          end
+          else begin
+            Vec.push s.learnts learnt;
+            attach_clause s learnt;
+            enqueue s learnt.(0) (Some learnt)
+          end;
+          var_decay s
+        | None ->
+          if !budget <= 0 && decision_level s > n_assumps then begin
+            (* Restart. *)
+            incr restart_idx;
+            budget := restart_unit * luby !restart_idx;
+            cancel_until s n_assumps
+          end
+          else begin
+            (* Decide: first the assumptions, then free variables. *)
+            let dl = decision_level s in
+            if dl < n_assumps then begin
+              let a = assumps.(dl) in
+              if Lit.var a >= s.nvars then
+                invalid_arg "Solver.solve: assumption over unallocated variable";
+              match lit_value s a with
+              | 1 ->
+                (* Already true: open an empty level to keep indices
+                   aligned with the assumption array. *)
+                Vec.push s.trail_lim (Vec.size s.trail)
+              | 0 -> raise (Result Unsat)
+              | _ ->
+                Vec.push s.trail_lim (Vec.size s.trail);
+                enqueue s a None
+            end
+            else begin
+              (* Pick an unassigned variable by activity. *)
+              let rec pick () =
+                if Vec.size s.heap = 0 then None
+                else begin
+                  let v = heap_pop s in
+                  if s.assign.(v) < 0 then Some v else pick ()
+                end
+              in
+              match pick () with
+              | None -> raise (Result Sat)
+              | Some v ->
+                s.decisions <- s.decisions + 1;
+                Vec.push s.trail_lim (Vec.size s.trail);
+                enqueue s (Lit.make v s.phase.(v)) None
+            end
+          end
+      done;
+      assert false
+    with Result r ->
+      if r = Sat then begin
+        (* Snapshot would happen here if we cleared the trail; instead we
+           leave the trail intact so [value] can read it, and reset lazily
+           on the next solve/add. *)
+        ()
+      end;
+      r
+  end
+
+let value s l =
+  match lit_value s l with
+  | 1 -> true
+  | 0 -> false
+  | _ -> false (* unassigned vars are don't-cares; report false *)
+
+let model s = Array.init s.nvars (fun v -> s.assign.(v) = 1)
+
+let true_lit s =
+  if s.const_true < 0 then begin
+    (* Must be added at level 0. *)
+    cancel_until s 0;
+    let v = new_var s in
+    s.const_true <- Lit.pos v;
+    add_clause s [ Lit.pos v ]
+  end;
+  s.const_true
+
+let false_lit s = Lit.negate (true_lit s)
+
+(* Keep the solver reusable: callers may add clauses after a solve; make
+   sure additions happen at level 0. *)
+let add_clause s lits =
+  cancel_until s 0;
+  add_clause s lits
+
+let solve_raw = solve
+
+let solve ?assumptions s =
+  cancel_until s 0;
+  s.conflict_budget <- -1;
+  solve_raw ?assumptions s
+
+let solve_bounded ?assumptions ~max_conflicts s =
+  if max_conflicts < 1 then invalid_arg "Solver.solve_bounded";
+  cancel_until s 0;
+  s.conflict_budget <- max_conflicts;
+  match solve_raw ?assumptions s with
+  | r ->
+    s.conflict_budget <- -1;
+    Some r
+  | exception Out_of_budget ->
+    s.conflict_budget <- -1;
+    None

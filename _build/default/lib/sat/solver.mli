@@ -1,0 +1,70 @@
+(** A CDCL SAT solver.
+
+    Classic conflict-driven clause learning in the MiniSat lineage:
+    two-watched-literal propagation, 1-UIP conflict analysis with clause
+    minimization, VSIDS variable activity with phase saving, and Luby
+    restarts.  Supports incremental solving under assumptions, which is
+    what the sequential equivalence checker uses for its per-output and
+    per-frame queries. *)
+
+type t
+
+type result =
+  | Sat   (** A model was found; query it with {!value} / {!model}. *)
+  | Unsat (** The clause set (under the given assumptions) is unsatisfiable. *)
+
+val create : unit -> t
+(** A fresh solver with no variables and no clauses. *)
+
+val new_var : t -> int
+(** Allocate a fresh variable and return its index. *)
+
+val nvars : t -> int
+(** Number of allocated variables. *)
+
+val nclauses : t -> int
+(** Number of problem (non-learnt) clauses added so far. *)
+
+val nlearnts : t -> int
+(** Number of clauses learnt so far. *)
+
+val nconflicts : t -> int
+(** Total conflicts encountered across all [solve] calls. *)
+
+val ndecisions : t -> int
+(** Total decisions made across all [solve] calls. *)
+
+val npropagations : t -> int
+(** Total unit propagations across all [solve] calls. *)
+
+val add_clause : t -> Lit.t list -> unit
+(** [add_clause s lits] adds a clause.  Duplicate literals are removed; a
+    clause containing [l] and [not l] is dropped as trivially true.
+    Adding the empty clause (or a clause falsified at level 0) makes the
+    solver permanently unsatisfiable. *)
+
+val solve : ?assumptions:Lit.t list -> t -> result
+(** [solve ~assumptions s] decides satisfiability of the added clauses
+    under the given assumption literals.  The solver remains usable
+    afterwards: more variables and clauses may be added and [solve] may
+    be called again (incremental use). *)
+
+val solve_bounded :
+  ?assumptions:Lit.t list -> max_conflicts:int -> t -> result option
+(** Like {!solve} but gives up (returning [None]) after [max_conflicts]
+    conflicts.  Used by SAT sweeping, where an undecided candidate pair
+    is simply not merged. *)
+
+val value : t -> Lit.t -> bool
+(** [value s l] is the truth value of [l] in the most recent model.
+    Only meaningful directly after a [solve] that returned [Sat]. *)
+
+val model : t -> bool array
+(** The most recent model as an array indexed by variable. *)
+
+val true_lit : t -> Lit.t
+(** A literal constrained true at level 0 (lazily allocated).  Useful for
+    encoding constants. *)
+
+val false_lit : t -> Lit.t
+(** Negation of {!true_lit}. *)

@@ -1,0 +1,1 @@
+lib/sec/checker.ml: Array Dfv_aig Dfv_bitvec Dfv_hwir Dfv_rtl Dfv_sat List Printf Spec Unix

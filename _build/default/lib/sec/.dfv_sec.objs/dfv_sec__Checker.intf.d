@@ -1,0 +1,1 @@
+lib/sec/checker.mli: Dfv_bitvec Dfv_hwir Dfv_rtl Spec

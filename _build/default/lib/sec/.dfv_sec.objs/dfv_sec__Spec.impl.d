@@ -1,0 +1,1 @@
+lib/sec/spec.ml: Dfv_bitvec Dfv_hwir List

@@ -1,0 +1,1 @@
+lib/sec/spec.mli: Dfv_bitvec Dfv_hwir

@@ -1,0 +1,579 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Aig = Dfv_aig.Aig
+module Word = Dfv_aig.Word
+module Netlist = Dfv_rtl.Netlist
+module Synth = Dfv_rtl.Synth
+module Sim = Dfv_rtl.Sim
+module Ast = Dfv_hwir.Ast
+module Elab = Dfv_hwir.Elab
+module Interp = Dfv_hwir.Interp
+module Typecheck = Dfv_hwir.Typecheck
+module Solver = Dfv_sat.Solver
+
+type stats = {
+  aig_ands : int;
+  sat_conflicts : int;
+  sat_decisions : int;
+  sat_propagations : int;
+  wall_seconds : float;
+}
+
+type cex = {
+  params : (string * Interp.value) list;
+  slm_result : Interp.value option;
+  failed_checks : (Spec.check * Bitvec.t) list;
+}
+
+type verdict = Equivalent of stats | Not_equivalent of cex * stats
+
+exception Spec_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Spec_error m)) fmt
+
+let now () = Unix.gettimeofday ()
+
+let stats_of g s t0 =
+  {
+    aig_ands = Aig.num_ands g;
+    sat_conflicts = Solver.nconflicts s;
+    sat_decisions = Solver.ndecisions s;
+    sat_propagations = Solver.npropagations s;
+    wall_seconds = now () -. t0;
+  }
+
+(* Read an AIG literal's value out of a SAT model; literals whose cone was
+   never encoded are don't-cares (false). *)
+let model_lit m solver l =
+  if l = Aig.false_ then false
+  else if l = Aig.true_ then true
+  else begin
+    match Aig.sat_lit m l with
+    | sl -> Solver.value solver sl
+    | exception Not_found -> false
+  end
+
+let model_word m solver (w : Word.w) =
+  Bitvec.of_bits (Array.map (model_lit m solver) w)
+
+(* --- SLM vs RTL ------------------------------------------------------- *)
+
+(* Unroll the RTL [cycles] steps from reset inside [g], feeding inputs
+   from [input_words t].  Returns the outputs of every cycle. *)
+let unroll_rtl g (rtl : Netlist.elaborated) ~cycles ~input_words =
+  let elements = Synth.state_elements rtl in
+  let state =
+    ref
+      (List.map (fun (id, _, init) -> (id, Word.const init)) elements)
+  in
+  let outs = Array.make cycles [] in
+  for t = 0 to cycles - 1 do
+    let inputs = input_words t in
+    let o, next =
+      Synth.build rtl ~g
+        ~inputs:(fun n ->
+          match List.assoc_opt n inputs with
+          | Some w -> w
+          | None -> fail "input port %s not driven" n)
+        ~state:(fun id -> List.assoc id !state)
+    in
+    outs.(t) <- o;
+    state := next
+  done;
+  outs
+
+let source_word ~param_shapes ~port ~width (src : Spec.source) : Word.w =
+  match src with
+  | Spec.Const bv ->
+    if Bitvec.width bv <> width then
+      fail "constant for port %s has width %d, port is %d" port
+        (Bitvec.width bv) width;
+    Word.const bv
+  | Spec.Param name -> (
+    match List.assoc_opt name param_shapes with
+    | Some (Elab.Word w) ->
+      if Array.length w <> width then
+        fail "parameter %s has width %d, port %s is %d" name (Array.length w)
+          port width;
+      w
+    | Some (Elab.Bank _) -> fail "parameter %s is an array (use Param_elem)" name
+    | None -> fail "unknown SLM parameter %s" name)
+  | Spec.Param_elem (name, i) -> (
+    match List.assoc_opt name param_shapes with
+    | Some (Elab.Bank bank) ->
+      if i < 0 || i >= Array.length bank then
+        fail "element %d out of range for parameter %s" i name;
+      if Array.length bank.(i) <> width then
+        fail "elements of %s have width %d, port %s is %d" name
+          (Array.length bank.(i)) port width;
+      bank.(i)
+    | Some (Elab.Word _) -> fail "parameter %s is a scalar (use Param)" name
+    | None -> fail "unknown SLM parameter %s" name)
+  | Spec.Param_bits { name; hi; lo } -> (
+    match List.assoc_opt name param_shapes with
+    | Some (Elab.Word w) ->
+      if lo < 0 || hi < lo || hi >= Array.length w then
+        fail "bits [%d:%d] out of range for parameter %s" hi lo name;
+      if hi - lo + 1 <> width then
+        fail "bits [%d:%d] of %s have width %d, port %s is %d" hi lo name
+          (hi - lo + 1) port width;
+      Word.select w ~hi ~lo
+    | Some (Elab.Bank _) -> fail "parameter %s is an array" name
+    | None -> fail "unknown SLM parameter %s" name)
+
+let constraint_words slm ~g param_shapes constraints =
+  List.mapi
+    (fun i expr ->
+      let fn =
+        match Ast.find_func slm slm.Ast.entry with
+        | Some f -> f
+        | None -> fail "SLM entry %s not found" slm.Ast.entry
+      in
+      let cname = Printf.sprintf "__constraint_%d" i in
+      let wrapper =
+        {
+          Ast.funcs =
+            slm.Ast.funcs
+            @ [ {
+                  Ast.fname = cname;
+                  params = fn.Ast.params;
+                  ret = Ast.bool_ty;
+                  locals = [];
+                  body = [ Ast.Return expr ];
+                } ];
+          entry = cname;
+        }
+      in
+      (match Typecheck.check wrapper with
+      | () -> ()
+      | exception Typecheck.Type_error m -> fail "constraint %d: %s" i m);
+      match Elab.apply wrapper ~g (List.map snd param_shapes) with
+      | Elab.Word w when Array.length w = 1 -> w.(0)
+      | Elab.Word _ | Elab.Bank _ -> fail "constraint %d is not boolean" i)
+    constraints
+
+
+(* Deciding the miter.
+
+   Portfolio: first attempt the query directly with a bounded conflict
+   budget — cheap miters (and most refutable ones) finish immediately.
+   If the budget runs out, SAT-sweep the graph (merging internally
+   equivalent nodes so structural differences between the two sides
+   collapse locally) and re-solve without a budget.  [sweep:false]
+   disables the fallback, for ablation measurements. *)
+let direct_budget = 5_000
+
+let decide_miter ~sweep g param_shapes violated cstrs =
+  let attempt bounded g param_shapes violated cstrs =
+    let solver = Solver.create () in
+    let m = Aig.encoder g solver in
+    List.iter (fun c -> Solver.add_clause solver [ Aig.encode m c ]) cstrs;
+    let vlit = Aig.encode m violated in
+    let result =
+      if bounded then
+        Solver.solve_bounded ~assumptions:[ vlit ] ~max_conflicts:direct_budget
+          solver
+      else Some (Solver.solve ~assumptions:[ vlit ] solver)
+    in
+    (result, solver, m, g, param_shapes)
+  in
+  match attempt sweep g param_shapes violated cstrs with
+  | Some r, solver, m, g, ps -> (r, solver, m, g, ps)
+  | None, _, _, _, _ ->
+    let g2, tr = Dfv_aig.Sweep.fraig g in
+    let tr_shape = function
+      | Elab.Word w -> Elab.Word (Array.map tr w)
+      | Elab.Bank b -> Elab.Bank (Array.map (Array.map tr) b)
+    in
+    let ps = List.map (fun (n, sh) -> (n, tr_shape sh)) param_shapes in
+    (match attempt false g2 ps (tr violated) (List.map tr cstrs) with
+    | Some r, solver, m, g, ps -> (r, solver, m, g, ps)
+    | None, _, _, _, _ -> assert false)
+
+let check_slm_rtl ?(sweep = true) ~slm ~rtl ~(spec : Spec.t) () =
+  let t0 = now () in
+  Typecheck.check slm;
+  if spec.rtl_cycles < 1 then fail "rtl_cycles must be >= 1";
+  let g = Aig.create () in
+  let param_shapes, result = Elab.elaborate slm ~g in
+  (* Validate the drive list covers the RTL inputs exactly. *)
+  let port_width p =
+    match
+      List.find_opt (fun q -> q.Netlist.port_name = p) rtl.Netlist.e_inputs
+    with
+    | Some q -> q.Netlist.port_width
+    | None -> fail "no RTL input port named %s" p
+  in
+  List.iter
+    (fun p ->
+      match List.assoc_opt p.Netlist.port_name spec.drives with
+      | Some _ -> ()
+      | None -> fail "RTL input %s is not driven by the spec" p.Netlist.port_name)
+    rtl.Netlist.e_inputs;
+  List.iter (fun (p, _) -> ignore (port_width p)) spec.drives;
+  let input_words t =
+    List.map
+      (fun (port, drive) ->
+        let width = port_width port in
+        let src =
+          match drive with
+          | Spec.Hold bv -> Spec.Const bv
+          | Spec.At f -> f t
+        in
+        (port, source_word ~param_shapes ~port ~width src))
+      spec.drives
+  in
+  let outs = unroll_rtl g rtl ~cycles:spec.rtl_cycles ~input_words in
+  (* Expected words from the SLM result. *)
+  let expected_word (c : Spec.check) width =
+    match (c.expect, result) with
+    | Spec.Result, Elab.Word w ->
+      if Array.length w <> width then
+        fail "SLM result has width %d, RTL port %s is %d" (Array.length w)
+          c.rtl_port width;
+      w
+    | Spec.Result_elem i, Elab.Bank bank ->
+      if i < 0 || i >= Array.length bank then
+        fail "result element %d out of range" i;
+      if Array.length bank.(i) <> width then
+        fail "SLM result elements have width %d, RTL port %s is %d"
+          (Array.length bank.(i)) c.rtl_port width;
+      bank.(i)
+    | Spec.Result, Elab.Bank _ ->
+      fail "SLM result is an array (use Result_elem)"
+    | Spec.Result_elem _, Elab.Word _ ->
+      fail "SLM result is a scalar (use Result)"
+  in
+  if spec.checks = [] then fail "spec has no output checks";
+  let diffs =
+    List.map
+      (fun (c : Spec.check) ->
+        if c.at_cycle < 0 || c.at_cycle >= spec.rtl_cycles then
+          fail "check on %s at cycle %d outside transaction of %d cycles"
+            c.rtl_port c.at_cycle spec.rtl_cycles;
+        match List.assoc_opt c.rtl_port outs.(c.at_cycle) with
+        | None -> fail "no RTL output port named %s" c.rtl_port
+        | Some w -> Word.ne g w (expected_word c (Array.length w)))
+      spec.checks
+  in
+  let violated = Aig.or_list g diffs in
+  let cstrs = constraint_words slm ~g param_shapes spec.constraints in
+  let result, solver, m, g, param_shapes =
+    decide_miter ~sweep g param_shapes violated cstrs
+  in
+  match result with
+  | Solver.Unsat -> Equivalent (stats_of g solver t0)
+  | Solver.Sat ->
+    (* Decode the SLM arguments from the model. *)
+    let params =
+      List.map
+        (fun (name, shape) ->
+          let v =
+            match shape with
+            | Elab.Word w -> Interp.Vint (model_word m solver w)
+            | Elab.Bank bank ->
+              Interp.Varr (Array.map (model_word m solver) bank)
+          in
+          (name, v))
+        param_shapes
+    in
+    let slm_result =
+      match Interp.run slm (List.map snd params) with
+      | v -> Some v
+      | exception Interp.Runtime_error _ -> None
+    in
+    (* Re-simulate the RTL on the concrete stimulus to report the actual
+       diverging values. *)
+    let sim = Sim.create rtl in
+    let concrete_source (src : Spec.source) width =
+      match src with
+      | Spec.Const bv -> bv
+      | Spec.Param name -> (
+        match List.assoc name params with
+        | Interp.Vint bv -> bv
+        | Interp.Varr _ -> assert false)
+      | Spec.Param_elem (name, i) -> (
+        match List.assoc name params with
+        | Interp.Varr a -> a.(i)
+        | Interp.Vint _ -> assert false)
+      | Spec.Param_bits { name; hi; lo } -> (
+        match List.assoc name params with
+        | Interp.Vint bv ->
+          ignore width;
+          Bitvec.select bv ~hi ~lo
+        | Interp.Varr _ -> assert false)
+    in
+    let rtl_outputs = Array.make spec.rtl_cycles [] in
+    for t = 0 to spec.rtl_cycles - 1 do
+      let ins =
+        List.map
+          (fun (port, drive) ->
+            let width = port_width port in
+            let src =
+              match drive with
+              | Spec.Hold bv -> Spec.Const bv
+              | Spec.At f -> f t
+            in
+            (port, concrete_source src width))
+          spec.drives
+      in
+      rtl_outputs.(t) <- Sim.cycle sim ins
+    done;
+    let expected_value (c : Spec.check) =
+      match (c.expect, slm_result) with
+      | Spec.Result, Some (Interp.Vint bv) -> Some bv
+      | Spec.Result_elem i, Some (Interp.Varr a) -> Some a.(i)
+      | _, _ -> None
+    in
+    let failed_checks =
+      List.filter_map
+        (fun (c : Spec.check) ->
+          let rtl_v = List.assoc c.rtl_port rtl_outputs.(c.at_cycle) in
+          match expected_value c with
+          | Some e when Bitvec.equal e rtl_v -> None
+          | Some _ | None -> Some (c, rtl_v))
+        spec.checks
+    in
+    Not_equivalent
+      ({ params; slm_result; failed_checks }, stats_of g solver t0)
+
+(* --- SLM vs SLM -------------------------------------------------------- *)
+
+let check_slm_slm ?(sweep = true) ~a ~b ?(constraints = []) () =
+  let t0 = now () in
+  Typecheck.check a;
+  Typecheck.check b;
+  let sig_of (p : Ast.program) =
+    match Ast.find_func p p.Ast.entry with
+    | Some f -> (f.Ast.params, f.Ast.ret)
+    | None -> fail "entry %s not found" p.Ast.entry
+  in
+  if sig_of a <> sig_of b then
+    fail "entry signatures of the two SLMs differ";
+  let g = Aig.create () in
+  let param_shapes, result_a = Elab.elaborate a ~g in
+  let result_b = Elab.apply b ~g (List.map snd param_shapes) in
+  let violated =
+    match (result_a, result_b) with
+    | Elab.Word wa, Elab.Word wb -> Word.ne g wa wb
+    | Elab.Bank ba, Elab.Bank bb ->
+      if Array.length ba <> Array.length bb then
+        fail "result banks have different sizes";
+      Aig.or_list g
+        (Array.to_list (Array.map2 (fun wa wb -> Word.ne g wa wb) ba bb))
+    | Elab.Word _, Elab.Bank _ | Elab.Bank _, Elab.Word _ ->
+      fail "result shapes differ"
+  in
+  let cstrs = constraint_words a ~g param_shapes constraints in
+  let result, solver, m, g, param_shapes =
+    decide_miter ~sweep g param_shapes violated cstrs
+  in
+  match result with
+  | Solver.Unsat -> Equivalent (stats_of g solver t0)
+  | Solver.Sat ->
+    let params =
+      List.map
+        (fun (name, shape) ->
+          let v =
+            match shape with
+            | Elab.Word w -> Interp.Vint (model_word m solver w)
+            | Elab.Bank bank ->
+              Interp.Varr (Array.map (model_word m solver) bank)
+          in
+          (name, v))
+        param_shapes
+    in
+    let slm_result =
+      match Interp.run a (List.map snd params) with
+      | v -> Some v
+      | exception Interp.Runtime_error _ -> None
+    in
+    Not_equivalent
+      ({ params; slm_result; failed_checks = [] }, stats_of g solver t0)
+
+(* --- RTL vs RTL -------------------------------------------------------- *)
+
+type rtl_cex = {
+  inputs_per_cycle : (string * Bitvec.t) list array;
+  diverging_cycle : int;
+  diverging_port : string;
+  value_a : Bitvec.t;
+  value_b : Bitvec.t;
+}
+
+type rtl_verdict =
+  | Rtl_equivalent_to_bound of int * stats
+  | Rtl_proved of int * stats
+  | Rtl_not_equivalent of rtl_cex * stats
+
+let check_port_compatibility (a : Netlist.elaborated) (b : Netlist.elaborated) =
+  let sig_of d =
+    List.sort compare
+      (List.map (fun p -> (p.Netlist.port_name, p.Netlist.port_width)) d.Netlist.e_inputs)
+  in
+  if sig_of a <> sig_of b then
+    fail "designs %s and %s have different input ports" a.Netlist.e_name
+      b.Netlist.e_name;
+  let outs d = List.sort compare (List.map fst d.Netlist.e_outputs) in
+  if outs a <> outs b then
+    fail "designs %s and %s have different output ports" a.Netlist.e_name
+      b.Netlist.e_name
+
+(* Shared unrolling used by BMC and the induction step. *)
+let unroll_product g a b ~initial_a ~initial_b ~cycles =
+  let input_log = Array.make cycles [] in
+  let miters = Array.make cycles Aig.false_ in
+  let state_a = ref initial_a and state_b = ref initial_b in
+  for t = 0 to cycles - 1 do
+    let inputs =
+      List.map
+        (fun p ->
+          ( p.Netlist.port_name,
+            Word.inputs ~name:(Printf.sprintf "%s@%d" p.Netlist.port_name t) g
+              p.Netlist.port_width ))
+        a.Netlist.e_inputs
+    in
+    input_log.(t) <- inputs;
+    let outs_a, next_a =
+      Synth.build a ~g
+        ~inputs:(fun n -> List.assoc n inputs)
+        ~state:(fun id -> List.assoc id !state_a)
+    in
+    let outs_b, next_b =
+      Synth.build b ~g
+        ~inputs:(fun n -> List.assoc n inputs)
+        ~state:(fun id -> List.assoc id !state_b)
+    in
+    state_a := next_a;
+    state_b := next_b;
+    let diffs =
+      List.map
+        (fun (name, wa) ->
+          let wb = List.assoc name outs_b in
+          if Array.length wa <> Array.length wb then
+            fail "output %s has width %d in %s but %d in %s" name
+              (Array.length wa) a.Netlist.e_name (Array.length wb)
+              b.Netlist.e_name;
+          Word.ne g wa wb)
+        outs_a
+    in
+    miters.(t) <- Aig.or_list g diffs
+  done;
+  (input_log, miters)
+
+let reset_state (d : Netlist.elaborated) =
+  List.map (fun (id, _, init) -> (id, Word.const init)) (Synth.state_elements d)
+
+let find_divergence a b inputs_per_cycle =
+  let sim_a = Sim.create a and sim_b = Sim.create b in
+  let n = Array.length inputs_per_cycle in
+  let rec go t =
+    if t >= n then None
+    else begin
+      let outs_a = Sim.cycle sim_a inputs_per_cycle.(t) in
+      let outs_b = Sim.cycle sim_b inputs_per_cycle.(t) in
+      let diff =
+        List.find_opt
+          (fun (name, va) -> not (Bitvec.equal va (List.assoc name outs_b)))
+          outs_a
+      in
+      match diff with
+      | Some (name, va) -> Some (t, name, va, List.assoc name outs_b)
+      | None -> go (t + 1)
+    end
+  in
+  go 0
+
+let check_rtl_rtl ~a ~b ~bound () =
+  let t0 = now () in
+  if bound < 1 then fail "bound must be >= 1";
+  check_port_compatibility a b;
+  let g = Aig.create () in
+  let input_log, miters =
+    unroll_product g a b ~initial_a:(reset_state a) ~initial_b:(reset_state b)
+      ~cycles:bound
+  in
+  let solver = Solver.create () in
+  let m = Aig.encoder g solver in
+  let rec frames t =
+    if t >= bound then Rtl_equivalent_to_bound (bound, stats_of g solver t0)
+    else begin
+      let lit = Aig.encode m miters.(t) in
+      match Solver.solve ~assumptions:[ lit ] solver with
+      | Solver.Unsat ->
+        (* This frame can never diverge (given earlier frames were also
+           checked); block it and move on. *)
+        Solver.add_clause solver [ Dfv_sat.Lit.negate lit ];
+        frames (t + 1)
+      | Solver.Sat ->
+        let concrete =
+          Array.map
+            (fun inputs ->
+              List.map (fun (n, w) -> (n, model_word m solver w)) inputs)
+            input_log
+        in
+        (match find_divergence a b concrete with
+        | Some (t, port, va, vb) ->
+          Rtl_not_equivalent
+            ( {
+                inputs_per_cycle = concrete;
+                diverging_cycle = t;
+                diverging_port = port;
+                value_a = va;
+                value_b = vb;
+              },
+              stats_of g solver t0 )
+        | None ->
+          (* The model satisfied the miter symbolically, so simulation
+             must reproduce it; not doing so is a checker bug. *)
+          fail "internal: SAT model did not re-simulate to a divergence")
+    end
+  in
+  frames 0
+
+let prove_rtl_rtl ~a ~b ~k () =
+  let t0 = now () in
+  if k < 1 then fail "k must be >= 1";
+  (* Base case. *)
+  match check_rtl_rtl ~a ~b ~bound:k () with
+  | Rtl_not_equivalent _ as v -> v
+  | Rtl_proved _ -> assert false
+  | Rtl_equivalent_to_bound (_, base_stats) -> (
+    (* Inductive step: arbitrary initial states, k agreeing cycles imply
+       agreement at cycle k (0-based: frames 0..k-1 agree => frame k
+       agrees). *)
+    check_port_compatibility a b;
+    let g = Aig.create () in
+    let arb d tag =
+      List.map
+        (fun (id, w, _) ->
+          ( id,
+            Word.inputs
+              ~name:(Printf.sprintf "%s.%s#0" tag (Synth.state_id_name id))
+              g w ))
+        (Synth.state_elements d)
+    in
+    let _, miters =
+      unroll_product g a b ~initial_a:(arb a "a") ~initial_b:(arb b "b")
+        ~cycles:(k + 1)
+    in
+    let solver = Solver.create () in
+    let m = Aig.encoder g solver in
+    for t = 0 to k - 1 do
+      Solver.add_clause solver
+        [ Dfv_sat.Lit.negate (Aig.encode m miters.(t)) ]
+    done;
+    let final = Aig.encode m miters.(k) in
+    match Solver.solve ~assumptions:[ final ] solver with
+    | Solver.Unsat ->
+      let s = stats_of g solver t0 in
+      Rtl_proved
+        ( k,
+          {
+            s with
+            sat_conflicts = s.sat_conflicts + base_stats.sat_conflicts;
+            sat_decisions = s.sat_decisions + base_stats.sat_decisions;
+            sat_propagations = s.sat_propagations + base_stats.sat_propagations;
+          } )
+    | Solver.Sat ->
+      (* Induction failed: only the bounded claim survives. *)
+      Rtl_equivalent_to_bound (k, stats_of g solver t0))

@@ -1,0 +1,118 @@
+(** The sequential equivalence checker.
+
+    Two entry points:
+
+    - {!check_slm_rtl}: the paper's headline flow — an SLM block (a
+      conditioned HWIR program, statically elaborated to combinational
+      logic) against an RTL block, under a transaction {!Spec.t}.  The
+      RTL is unrolled [rtl_cycles] steps from its reset state, inputs
+      are tied to the SLM's parameters per the spec, and a SAT query
+      decides whether any constraint-satisfying input makes an observed
+      output differ.
+
+    - {!check_rtl_rtl}: RTL-vs-RTL sequential equivalence on a product
+      machine — bounded model checking from reset with shared inputs,
+      plus {!prove_rtl_rtl} for unbounded proofs by k-induction.
+
+    All verdicts carry solver statistics so the experiments can report
+    effort (time-to-counterexample, conflicts, graph sizes). *)
+
+type stats = {
+  aig_ands : int;
+  sat_conflicts : int;
+  sat_decisions : int;
+  sat_propagations : int;
+  wall_seconds : float;
+}
+
+type cex = {
+  params : (string * Dfv_hwir.Interp.value) list;
+      (** SLM argument values that exhibit the divergence. *)
+  slm_result : Dfv_hwir.Interp.value option;
+      (** The SLM's output on those arguments ([None] if the interpreter
+          rejected them, e.g. division by zero). *)
+  failed_checks : (Spec.check * Dfv_bitvec.Bitvec.t) list;
+      (** Which observations differ, with the RTL's value (from
+          re-simulation of the counterexample). *)
+}
+
+type verdict =
+  | Equivalent of stats
+  | Not_equivalent of cex * stats
+
+exception Spec_error of string
+(** Malformed specification: undriven RTL input, unknown port or
+    parameter, width mismatch, out-of-range cycle, non-bool constraint. *)
+
+val check_slm_rtl :
+  ?sweep:bool ->
+  slm:Dfv_hwir.Ast.program ->
+  rtl:Dfv_rtl.Netlist.elaborated ->
+  spec:Spec.t ->
+  unit ->
+  verdict
+(** Run one SLM-vs-RTL transaction equivalence query.  The SLM program
+    must typecheck and be conditioned (statically elaborable); the
+    checker raises {!Dfv_hwir.Elab.Not_synthesizable} otherwise — the
+    tool-flow consequence of violating the Section 4.3 guidelines.
+    Solving is a portfolio: a bounded direct attempt first, then SAT
+    sweeping ({!Dfv_aig.Sweep}) plus an unbounded query; [sweep:false]
+    disables the sweeping fallback (for ablation measurements), making
+    the direct attempt unbounded instead. *)
+
+val check_slm_slm :
+  ?sweep:bool ->
+  a:Dfv_hwir.Ast.program ->
+  b:Dfv_hwir.Ast.program ->
+  ?constraints:Dfv_hwir.Ast.expr list ->
+  unit ->
+  verdict
+(** Equivalence of two SLM blocks with identical entry signatures —
+    the cross-abstraction consistency check (e.g. an IEEE-faithful float
+    model against its corner-cutting twin, experiment C5).  Both are
+    statically elaborated over one shared set of inputs; [constraints]
+    restrict the input space as in {!check_slm_rtl}.  The returned
+    counterexample's [slm_result] is model [a]'s output; [failed_checks]
+    is empty (there is no RTL to re-simulate) — interpret both models on
+    [params] to see the divergence. *)
+
+type rtl_cex = {
+  inputs_per_cycle : (string * Dfv_bitvec.Bitvec.t) list array;
+  diverging_cycle : int;
+  diverging_port : string;
+  value_a : Dfv_bitvec.Bitvec.t;
+  value_b : Dfv_bitvec.Bitvec.t;
+}
+
+type rtl_verdict =
+  | Rtl_equivalent_to_bound of int * stats
+      (** No divergence within the bound (bounded claim only). *)
+  | Rtl_proved of int * stats
+      (** Proved equivalent for all time by k-induction at depth k. *)
+  | Rtl_not_equivalent of rtl_cex * stats
+
+val check_rtl_rtl :
+  a:Dfv_rtl.Netlist.elaborated ->
+  b:Dfv_rtl.Netlist.elaborated ->
+  bound:int ->
+  unit ->
+  rtl_verdict
+(** BMC on the product machine: both designs start at reset, share input
+    values by port name (the designs must have identical input and
+    output port lists), and every common output is compared at every
+    cycle up to [bound].  Queries are incremental — one solver session
+    per call, frames added as needed — which is what makes the paper's
+    "incremental runs localize divergence quickly" observation hold. *)
+
+val prove_rtl_rtl :
+  a:Dfv_rtl.Netlist.elaborated ->
+  b:Dfv_rtl.Netlist.elaborated ->
+  k:int ->
+  unit ->
+  rtl_verdict
+(** k-induction: base case = BMC to depth [k]; inductive step = from an
+    arbitrary pair of states, [k] cycles of output agreement imply
+    agreement at cycle [k+1].  Returns [Rtl_proved] on success,
+    [Rtl_not_equivalent] on a real (reset-reachable) divergence, and
+    [Rtl_equivalent_to_bound] when the induction step fails (the bounded
+    claim still holds). *)

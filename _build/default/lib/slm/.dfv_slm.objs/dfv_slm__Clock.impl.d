@@ -1,0 +1,1 @@
+lib/slm/clock.ml: Kernel

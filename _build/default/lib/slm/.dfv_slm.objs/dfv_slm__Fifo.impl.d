@@ -1,0 +1,1 @@
+lib/slm/fifo.ml: Kernel Queue

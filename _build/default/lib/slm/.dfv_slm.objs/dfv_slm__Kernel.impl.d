@@ -1,0 +1,1 @@
+lib/slm/kernel.ml: Effect Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/slm/tlm.ml: Fifo Kernel

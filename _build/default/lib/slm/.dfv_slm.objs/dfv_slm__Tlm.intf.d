@@ -1,0 +1,1 @@
+lib/slm/tlm.mli: Kernel

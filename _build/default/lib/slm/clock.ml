@@ -1,0 +1,24 @@
+type t = {
+  kernel : Kernel.t;
+  clk_period : int;
+  edge : Kernel.event;
+  mutable nedges : int;
+}
+
+let create k name ~period =
+  if period < 1 then invalid_arg "Clock.create: period must be >= 1";
+  let t =
+    { kernel = k; clk_period = period; edge = Kernel.event k (name ^ ".posedge"); nedges = 0 }
+  in
+  Kernel.thread k ~name:(name ^ ".driver") (fun () ->
+      while true do
+        Kernel.wait_time k period;
+        t.nedges <- t.nedges + 1;
+        Kernel.notify t.edge
+      done);
+  t
+
+let posedge t = t.edge
+let wait_posedge t = Kernel.wait_event t.edge
+let cycles t = t.nedges
+let period t = t.clk_period

@@ -1,0 +1,18 @@
+(** Simulation clocks for cycle-approximate SLMs.
+
+    A clock fires a positive-edge event every [period] ticks (first edge
+    at [t = period]).  Clocked SLM processes are threads that
+    {!wait_posedge} each iteration — the cycle-approximate abstraction
+    level of the experiment C1 ladder. *)
+
+type t
+
+val create : Kernel.t -> string -> period:int -> t
+val posedge : t -> Kernel.event
+val wait_posedge : t -> unit
+(** Suspend the calling thread until the next positive edge. *)
+
+val cycles : t -> int
+(** Number of edges fired so far. *)
+
+val period : t -> int

@@ -1,0 +1,52 @@
+type 'a t = {
+  fifo_name : string;
+  cap : int;
+  items : 'a Queue.t;
+  written_ev : Kernel.event;
+  read_ev : Kernel.event;
+}
+
+let create k name ~capacity =
+  if capacity < 1 then invalid_arg "Fifo.create: capacity must be >= 1";
+  {
+    fifo_name = name;
+    cap = capacity;
+    items = Queue.create ();
+    written_ev = Kernel.event k (name ^ ".written");
+    read_ev = Kernel.event k (name ^ ".read");
+  }
+
+let length f = Queue.length f.items
+let capacity f = f.cap
+let name f = f.fifo_name
+let data_written f = f.written_ev
+let data_read f = f.read_ev
+
+let try_write f v =
+  if Queue.length f.items >= f.cap then false
+  else begin
+    Queue.push v f.items;
+    Kernel.notify f.written_ev;
+    true
+  end
+
+let try_read f =
+  match Queue.pop f.items with
+  | v ->
+    Kernel.notify f.read_ev;
+    Some v
+  | exception Queue.Empty -> None
+
+let rec write f v =
+  if try_write f v then ()
+  else begin
+    Kernel.wait_event f.read_ev;
+    write f v
+  end
+
+let rec read f =
+  match try_read f with
+  | Some v -> v
+  | None ->
+    Kernel.wait_event f.written_ev;
+    read f

@@ -1,0 +1,230 @@
+(* Discrete-event kernel with SystemC semantics.
+
+   Thread processes are effect-handled coroutines: [wait_*] performs the
+   [Wait] effect; the handler packages the continuation as a resumption
+   closure that the scheduler re-runs when the trigger fires.
+
+   A delta cycle is: evaluate (drain the runnable queue), update (run
+   requested update callbacks), delta-notify (move waiters of delta-
+   notified events to the runnable queue).  Time advances only when a
+   delta cycle ends with nothing runnable. *)
+
+type trigger = On_event of event_rec | On_any of event_rec list | On_time of int
+
+and outcome = Finished | Suspended of trigger * (unit -> outcome)
+
+and resumption = { proc_name : string; mutable fired : bool; resume : unit -> outcome }
+(* [fired] guards multi-event waits: the first firing event claims the
+   resumption; the others find it spent. *)
+
+and event_rec = {
+  ev_name : string;
+  kernel : t;
+  mutable waiters : waiter list;
+}
+
+and waiter = Resume of resumption | Run_method of method_rec
+
+and method_rec = { m_name : string; body : unit -> unit }
+
+and t = {
+  mutable time : int;
+  runnable : (string * (unit -> outcome)) Queue.t;
+  mutable updates : (unit -> unit) list;
+  mutable delta_pending : event_rec list;
+  (* Timed notifications: time -> events to fire. *)
+  timed : (int, event_rec list) Hashtbl.t;
+  mutable timed_times : int list; (* sorted ascending, lazily maintained *)
+  mutable deltas : int;
+  mutable activations : int;
+  mutable stopping : bool;
+  mutable blocked : (string, unit) Hashtbl.t;
+}
+
+type event = event_rec
+
+exception Not_in_thread
+
+let create () =
+  {
+    time = 0;
+    runnable = Queue.create ();
+    updates = [];
+    delta_pending = [];
+    timed = Hashtbl.create 64;
+    timed_times = [];
+    deltas = 0;
+    activations = 0;
+    stopping = false;
+    blocked = Hashtbl.create 16;
+  }
+
+let now k = k.time
+let delta_count k = k.deltas
+let activations k = k.activations
+
+let event k name = { ev_name = name; kernel = k; waiters = [] }
+
+(* --- effects ---------------------------------------------------------- *)
+
+type _ Effect.t += Wait : trigger -> unit Effect.t
+
+let make_runner body : unit -> outcome =
+ fun () ->
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> Finished);
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait trg ->
+            Some
+              (fun (kont : (a, outcome) Effect.Deep.continuation) ->
+                Suspended (trg, fun () -> Effect.Deep.continue kont ()))
+          | _ -> None);
+    }
+
+let wait_event e =
+  try Effect.perform (Wait (On_event e)) with Effect.Unhandled _ -> raise Not_in_thread
+
+let wait_any es =
+  match es with
+  | [] -> invalid_arg "Kernel.wait_any: empty event list"
+  | _ -> (
+    try Effect.perform (Wait (On_any es)) with Effect.Unhandled _ -> raise Not_in_thread)
+
+let wait_time _k d =
+  if d < 1 then invalid_arg "Kernel.wait_time: delay must be >= 1";
+  try Effect.perform (Wait (On_time d)) with Effect.Unhandled _ -> raise Not_in_thread
+
+(* --- scheduling ------------------------------------------------------- *)
+
+let schedule_timed k at ev =
+  (match Hashtbl.find_opt k.timed at with
+  | Some evs -> Hashtbl.replace k.timed at (ev :: evs)
+  | None ->
+    Hashtbl.add k.timed at [ ev ];
+    k.timed_times <- List.merge compare [ at ] k.timed_times);
+  ()
+
+let notify e =
+  let k = e.kernel in
+  if not (List.memq e k.delta_pending) then
+    k.delta_pending <- e :: k.delta_pending
+
+let notify_in e d =
+  if d < 1 then invalid_arg "Kernel.notify_in: delay must be >= 1";
+  let k = e.kernel in
+  schedule_timed k (k.time + d) e
+
+let request_update k f = k.updates <- f :: k.updates
+
+(* A private per-thread timeout event used by On_time. *)
+let register_waiter k (trg : trigger) (r : resumption) =
+  Hashtbl.replace k.blocked r.proc_name ();
+  match trg with
+  | On_event e -> e.waiters <- e.waiters @ [ Resume r ]
+  | On_any es -> List.iter (fun e -> e.waiters <- e.waiters @ [ Resume r ]) es
+  | On_time d ->
+    let e = event k (r.proc_name ^ ".timeout") in
+    e.waiters <- [ Resume r ];
+    schedule_timed k (k.time + d) e
+
+let enqueue_runnable k name fn = Queue.push (name, fn) k.runnable
+
+let thread k ~name body = enqueue_runnable k name (make_runner body)
+
+let method_ k ~name ~sensitive body =
+  let m = { m_name = name; body } in
+  List.iter (fun e -> e.waiters <- e.waiters @ [ Run_method m ]) sensitive;
+  (* Initial run at simulation start. *)
+  enqueue_runnable k name (fun () ->
+      body ();
+      Finished)
+
+let wait_delta k =
+  let e = event k "delta" in
+  notify e;
+  wait_event e
+
+let stop k = k.stopping <- true
+
+let fire k e =
+  let ws = e.waiters in
+  (* Method waiters stay registered (static sensitivity); resumptions are
+     one-shot. *)
+  e.waiters <-
+    List.filter (function Run_method _ -> true | Resume _ -> false) ws;
+  List.iter
+    (fun w ->
+      match w with
+      | Run_method m ->
+        enqueue_runnable k m.m_name (fun () ->
+            m.body ();
+            Finished)
+      | Resume r ->
+        if not r.fired then begin
+          r.fired <- true;
+          Hashtbl.remove k.blocked r.proc_name;
+          enqueue_runnable k r.proc_name r.resume
+        end)
+    ws
+
+let eval_phase k =
+  while not (Queue.is_empty k.runnable) do
+    let name, fn = Queue.pop k.runnable in
+    k.activations <- k.activations + 1;
+    match fn () with
+    | Finished -> ()
+    | Suspended (trg, resume) ->
+      register_waiter k trg { proc_name = name; fired = false; resume }
+  done
+
+let update_phase k =
+  let us = List.rev k.updates in
+  k.updates <- [];
+  List.iter (fun f -> f ()) us
+
+let delta_notify_phase k =
+  let evs = List.rev k.delta_pending in
+  k.delta_pending <- [];
+  List.iter (fire k) evs
+
+let run_deltas k =
+  let continue_ = ref true in
+  while !continue_ do
+    k.deltas <- k.deltas + 1;
+    eval_phase k;
+    update_phase k;
+    delta_notify_phase k;
+    if k.stopping then begin
+      Queue.clear k.runnable;
+      continue_ := false
+    end
+    else if Queue.is_empty k.runnable then continue_ := false
+  done
+
+let run ?until k =
+  run_deltas k;
+  let continue_ = ref (not k.stopping) in
+  while !continue_ do
+    match k.timed_times with
+    | [] -> continue_ := false
+    | t :: rest ->
+      let past_limit = match until with Some u -> t > u | None -> false in
+      if past_limit then continue_ := false
+      else begin
+        k.timed_times <- rest;
+        let evs = try Hashtbl.find k.timed t with Not_found -> [] in
+        Hashtbl.remove k.timed t;
+        k.time <- t;
+        List.iter (fire k) (List.rev evs);
+        run_deltas k;
+        if k.stopping then continue_ := false
+      end
+  done
+
+let blocked_threads k =
+  Hashtbl.fold (fun name () acc -> name :: acc) k.blocked []
+  |> List.sort compare

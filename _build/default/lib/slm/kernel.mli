@@ -1,0 +1,99 @@
+(** The system-level modeling kernel.
+
+    A discrete-event simulation kernel with SystemC semantics: evaluate /
+    update phases, delta cycles, timed event notification, thread
+    processes (coroutines that [wait]) and method processes (re-run on
+    sensitivity).  This is the substrate on which the repository's SLMs
+    are written — the role SystemC (or a home-grown C++ kernel) plays in
+    the paper.
+
+    Thread processes are OCaml 5 effect handlers: [wait] performs an
+    effect that suspends the coroutine until its trigger fires, giving
+    SLM authors the straight-line style of [SC_THREAD].
+
+    Determinism: runnable processes execute in a fixed (registration,
+    then FIFO) order, so simulations are exactly reproducible. *)
+
+type t
+(** A simulation kernel. *)
+
+type event
+(** A notification channel processes can wait on. *)
+
+val create : unit -> t
+(** A fresh kernel at time 0 with no processes. *)
+
+val now : t -> int
+(** Current simulation time (abstract ticks; designs typically treat one
+    tick as 1 ns). *)
+
+val delta_count : t -> int
+(** Total delta cycles executed — a cost measure for experiment C1. *)
+
+val activations : t -> int
+(** Total process activations executed — the kernel-load measure used by
+    the speed experiments. *)
+
+(** {1 Events} *)
+
+val event : t -> string -> event
+(** Create a named event. *)
+
+val notify : event -> unit
+(** Delta notification: waiters run in the next delta cycle. *)
+
+val notify_in : event -> int -> unit
+(** [notify_in e d] fires [e] at time [now + d] ([d >= 1]).  Multiple
+    pending timed notifications all fire (simplified from SystemC's
+    single-pending-notification rule; documented divergence, none of the
+    bundled models depend on it). *)
+
+(** {1 Processes} *)
+
+val thread : t -> name:string -> (unit -> unit) -> unit
+(** Register a thread process.  It starts when the simulation runs
+    (time 0, first delta) and may call the [wait_*] functions. *)
+
+val method_ : t -> name:string -> sensitive:event list -> (unit -> unit) -> unit
+(** Register a method process: runs once at start, then re-runs whenever
+    any event in its sensitivity list fires.  Must not call [wait_*]. *)
+
+(** {1 Waiting (inside thread processes only)} *)
+
+val wait_event : event -> unit
+(** Suspend until the event fires. *)
+
+val wait_any : event list -> unit
+(** Suspend until any of the events fires. *)
+
+val wait_time : t -> int -> unit
+(** Suspend for [d >= 1] time units. *)
+
+val wait_delta : t -> unit
+(** Suspend for one delta cycle (SystemC [wait(SC_ZERO_TIME)]). *)
+
+exception Not_in_thread
+(** Raised when a [wait_*] function is called outside a thread process. *)
+
+(** {1 Update phase (for channel implementors)} *)
+
+val request_update : t -> (unit -> unit) -> unit
+(** Schedule a callback for the update phase of the current delta cycle.
+    Used by {!Signal} and {!Fifo} to implement request/update semantics;
+    ordinary models never need it. *)
+
+(** {1 Running} *)
+
+val run : ?until:int -> t -> unit
+(** Run the simulation until no activity remains, or just past [until]
+    (events at times [<= until] are processed).  May be called repeatedly
+    to advance further.  Returning with {!blocked_threads} non-empty is
+    normal (e.g. a consumer parked on an empty FIFO at end of input). *)
+
+val blocked_threads : t -> string list
+(** Names of thread processes still suspended on an event — the
+    diagnostic for distinguishing "finished" from "starved" models. *)
+
+val stop : t -> unit
+(** Request the simulation to stop at the end of the current delta cycle
+    (SystemC [sc_stop]). *)

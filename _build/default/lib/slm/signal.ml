@@ -1,0 +1,39 @@
+type 'a t = {
+  kernel : Kernel.t;
+  sig_name : string;
+  equal : 'a -> 'a -> bool;
+  mutable cur : 'a;
+  mutable nxt : 'a;
+  mutable update_requested : bool;
+  changed_ev : Kernel.event;
+}
+
+let create ?(equal = ( = )) k name ~init =
+  {
+    kernel = k;
+    sig_name = name;
+    equal;
+    cur = init;
+    nxt = init;
+    update_requested = false;
+    changed_ev = Kernel.event k (name ^ ".changed");
+  }
+
+let read s = s.cur
+
+let commit s () =
+  s.update_requested <- false;
+  if not (s.equal s.cur s.nxt) then begin
+    s.cur <- s.nxt;
+    Kernel.notify s.changed_ev
+  end
+
+let write s v =
+  s.nxt <- v;
+  if not s.update_requested then begin
+    s.update_requested <- true;
+    Kernel.request_update s.kernel (commit s)
+  end
+
+let changed s = s.changed_ev
+let name s = s.sig_name

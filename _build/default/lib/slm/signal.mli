@@ -1,0 +1,24 @@
+(** Signals: request/update channels with delta semantics.
+
+    The SLM counterpart of [sc_signal]: writes are requests that commit
+    in the update phase of the current delta cycle, so every process that
+    reads the signal in a given evaluation phase sees the same value —
+    the determinism property co-simulation depends on. *)
+
+type 'a t
+
+val create : ?equal:('a -> 'a -> bool) -> Kernel.t -> string -> init:'a -> 'a t
+(** A signal with an initial value.  [equal] (default [(=)]) decides
+    whether a commit is a change (and hence whether [changed] fires). *)
+
+val read : 'a t -> 'a
+(** Current (committed) value. *)
+
+val write : 'a t -> 'a -> unit
+(** Request a new value; commits at this delta's update phase.  The last
+    write in an evaluation phase wins. *)
+
+val changed : 'a t -> Kernel.event
+(** Fires (delta) whenever a commit changes the value. *)
+
+val name : 'a t -> string

@@ -1,0 +1,48 @@
+type ('req, 'rsp) kind =
+  | Untimed of ('req -> 'rsp)
+  | Loosely_timed of { kernel : Kernel.t; latency : int; f : 'req -> 'rsp }
+  | Queued of {
+      kernel : Kernel.t;
+      requests : ('req * 'rsp option ref * Kernel.event) Fifo.t;
+    }
+
+type ('req, 'rsp) target = {
+  kind : ('req, 'rsp) kind;
+  mutable count : int;
+}
+
+let untimed f = { kind = Untimed f; count = 0 }
+
+let loosely_timed kernel ~latency f =
+  if latency < 1 then invalid_arg "Tlm.loosely_timed: latency must be >= 1";
+  { kind = Loosely_timed { kernel; latency; f }; count = 0 }
+
+let queued kernel ~name ~depth ~service_time f =
+  if service_time < 1 then invalid_arg "Tlm.queued: service_time must be >= 1";
+  let requests = Fifo.create kernel (name ^ ".q") ~capacity:depth in
+  Kernel.thread kernel ~name:(name ^ ".server") (fun () ->
+      while true do
+        let req, cell, done_ev = Fifo.read requests in
+        Kernel.wait_time kernel service_time;
+        cell := Some (f req);
+        Kernel.notify done_ev
+      done);
+  { kind = Queued { kernel; requests }; count = 0 }
+
+let transport t req =
+  t.count <- t.count + 1;
+  match t.kind with
+  | Untimed f -> f req
+  | Loosely_timed { kernel; latency; f } ->
+    Kernel.wait_time kernel latency;
+    f req
+  | Queued { kernel; requests } ->
+    let cell = ref None in
+    let done_ev = Kernel.event kernel "tlm.done" in
+    Fifo.write requests (req, cell, done_ev);
+    Kernel.wait_event done_ev;
+    (match !cell with
+    | Some rsp -> rsp
+    | None -> failwith "Tlm.transport: server signalled before responding")
+
+let transactions t = t.count

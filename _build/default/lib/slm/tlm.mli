@@ -1,0 +1,47 @@
+(** Transaction-level modeling sockets.
+
+    Section 4.4 of the paper: separate the computational kernel from the
+    communication so the same functional core can be reused from the
+    untimed architectural model down to the verification model — "the
+    primary recommendation of transaction-based modeling".
+
+    A {!target} wraps a computation behind a blocking-transport
+    interface; initiators call {!transport}.  Three constructors give the
+    three abstraction levels:
+
+    - {!untimed}: a pure function call — zero simulation time;
+    - {!loosely_timed}: the same function plus a latency annotation —
+      the caller's thread waits, but there is no per-cycle activity;
+    - {!queued}: a server thread drains requests through a FIFO, one per
+      [service_time] — contention and back-pressure become visible.
+
+    All three run the {e same} computation function, which is exactly the
+    reuse the paper prescribes. *)
+
+type ('req, 'rsp) target
+
+val untimed : ('req -> 'rsp) -> ('req, 'rsp) target
+
+val loosely_timed :
+  Kernel.t -> latency:int -> ('req -> 'rsp) -> ('req, 'rsp) target
+(** Each transport call consumes [latency] time units of the calling
+    thread. *)
+
+val queued :
+  Kernel.t ->
+  name:string ->
+  depth:int ->
+  service_time:int ->
+  ('req -> 'rsp) ->
+  ('req, 'rsp) target
+(** A server process with a request FIFO of [depth]: transports block
+    when the queue is full, and each request takes [service_time] units
+    to serve, in order.  Must be created before the simulation runs. *)
+
+val transport : ('req, 'rsp) target -> 'req -> 'rsp
+(** Blocking transport.  For {!loosely_timed} and {!queued} targets this
+    must be called from a thread process. *)
+
+val transactions : ('req, 'rsp) target -> int
+(** Number of transports completed — the utilization counter for
+    architectural studies. *)

@@ -1,0 +1,1 @@
+lib/softfloat/f32.ml: Dfv_bitvec Int32 Printf

@@ -1,0 +1,1 @@
+lib/softfloat/f32.mli: Dfv_bitvec

@@ -1,0 +1,193 @@
+(* Software binary32 with round-to-nearest-even.
+
+   Computation uses a wide fixed-point significand: a finite value is
+   (sign, e, m) with value = m * 2^(e - 127 - 23 - 32), i.e. the 24-bit
+   significand carries 32 extra low bits.  Normal numbers have m in
+   [2^55, 2^56).  With 32 guard bits, operand alignment in addition is
+   *exact* for exponent differences up to 32, and beyond that the
+   truncated low bits are folded into bit 0 as a sticky marker — which
+   can change the result only when the exact value was already strictly
+   inside a rounding interval, so round-to-nearest-even is preserved.
+   Everything fits comfortably in OCaml's 63-bit ints (m < 2^57). *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+
+type t = int
+
+type profile = { flush_denormals : bool; no_specials : bool }
+
+let ieee = { flush_denormals = false; no_specials = false }
+let rtl_lite = { flush_denormals = true; no_specials = true }
+
+let mask32 = 0xFFFFFFFF
+let extra = 32
+
+let sign x = x lsr 31 = 1
+let exponent x = (x lsr 23) land 0xff
+let mantissa x = x land 0x7fffff
+
+let of_parts ~sign ~exponent ~mantissa =
+  if exponent < 0 || exponent > 255 then invalid_arg "F32.of_parts: exponent";
+  if mantissa < 0 || mantissa > 0x7fffff then
+    invalid_arg "F32.of_parts: mantissa";
+  ((if sign then 1 else 0) lsl 31) lor (exponent lsl 23) lor mantissa
+
+let is_nan x = exponent x = 255 && mantissa x <> 0
+let is_infinity x = exponent x = 255 && mantissa x = 0
+let is_denormal x = exponent x = 0 && mantissa x <> 0
+let is_zero x = exponent x = 0 && mantissa x = 0
+
+let quiet_nan = 0x7fc00000
+let infinity s = of_parts ~sign:s ~exponent:255 ~mantissa:0
+let max_finite s = of_parts ~sign:s ~exponent:254 ~mantissa:0x7fffff
+let zero s = if s then 1 lsl 31 else 0
+
+let of_float f = Int32.to_int (Int32.bits_of_float f) land mask32
+let to_float x = Int32.float_of_bits (Int32.of_int x)
+
+let of_bitvec bv =
+  if Bitvec.width bv <> 32 then invalid_arg "F32.of_bitvec: width must be 32";
+  Bitvec.to_int bv
+
+let to_bitvec x = Bitvec.create ~width:32 x
+
+let equal_numeric a b =
+  if is_nan a && is_nan b then true
+  else if is_zero a && is_zero b then true
+  else a = b
+
+let to_string x = Printf.sprintf "0x%08x (%h)" x (to_float x)
+
+(* --- profile input conditioning ---------------------------------------- *)
+
+let squash p x =
+  let x = if p.flush_denormals && is_denormal x then zero (sign x) else x in
+  if p.no_specials && exponent x = 255 then max_finite (sign x) else x
+
+(* --- pack: normalize, subnormalize, round, encode ----------------------- *)
+
+let normal_lo = 1 lsl (23 + extra) (* 2^55 *)
+let normal_hi = 1 lsl (24 + extra) (* 2^56 *)
+
+let shift_right_sticky m shift =
+  if shift <= 0 then m
+  else if shift >= 62 then if m <> 0 then 1 else 0
+  else begin
+    let lost = m land ((1 lsl shift) - 1) in
+    (m lsr shift) lor (if lost <> 0 then 1 else 0)
+  end
+
+let pack p s e m =
+  if m = 0 then zero s
+  else begin
+    let e = ref e and m = ref m in
+    (* Normalize down (carry-out). *)
+    while !m >= normal_hi do
+      m := shift_right_sticky !m 1;
+      incr e
+    done;
+    (* Normalize up (cancellation / denormal operands). *)
+    while !m < normal_lo && !e > 1 do
+      m := !m lsl 1;
+      decr e
+    done;
+    (* Subnormal range: align to the e = 1 scale. *)
+    if !e < 1 then begin
+      m := shift_right_sticky !m (1 - !e);
+      e := 1
+    end;
+    (* Round to nearest, ties to even, at the [extra]-bit boundary. *)
+    let keep = !m lsr extra in
+    let guard = (!m lsr (extra - 1)) land 1 in
+    let sticky = !m land ((1 lsl (extra - 1)) - 1) in
+    let keep =
+      if guard = 1 && (sticky <> 0 || keep land 1 = 1) then keep + 1 else keep
+    in
+    let keep, e = if keep = 1 lsl 24 then (1 lsl 23, !e + 1) else (keep, !e) in
+    if e >= 255 then begin
+      if p.no_specials then max_finite s else infinity s
+    end
+    else if keep < 1 lsl 23 then begin
+      (* Subnormal (e = 1 here) or zero. *)
+      if keep = 0 then zero s
+      else if p.flush_denormals then zero s
+      else of_parts ~sign:s ~exponent:0 ~mantissa:keep
+    end
+    else of_parts ~sign:s ~exponent:e ~mantissa:(keep - (1 lsl 23))
+  end
+
+(* Unpack a finite (possibly denormal) value to (sign, e, sig24). *)
+let unpack_finite x =
+  let s = sign x and e = exponent x and f = mantissa x in
+  if e = 0 then (s, 1, f) else (s, e, f lor (1 lsl 23))
+
+(* --- addition ------------------------------------------------------------ *)
+
+let add p a b =
+  let a = squash p a and b = squash p b in
+  if is_nan a || is_nan b then quiet_nan
+  else if is_infinity a || is_infinity b then begin
+    match (is_infinity a, is_infinity b) with
+    | true, true -> if sign a = sign b then a else quiet_nan
+    | true, false -> a
+    | false, true -> b
+    | false, false -> assert false
+  end
+  else if is_zero a && is_zero b then
+    (* +0 + +0 = +0; -0 + -0 = -0; mixed = +0 (RNE). *)
+    zero (sign a && sign b)
+  else if is_zero a then b
+  else if is_zero b then a
+  else begin
+    let sa, ea, ma = unpack_finite a in
+    let sb, eb, mb = unpack_finite b in
+    (* Put the larger magnitude first. *)
+    let (sa, ea, ma), (sb, eb, mb) =
+      if ea > eb || (ea = eb && ma >= mb) then ((sa, ea, ma), (sb, eb, mb))
+      else ((sb, eb, mb), (sa, ea, ma))
+    in
+    let big = ma lsl extra in
+    let small = shift_right_sticky (mb lsl extra) (ea - eb) in
+    if sa = sb then pack p sa ea (big + small)
+    else begin
+      let diff = big - small in
+      if diff = 0 then zero false else pack p sa ea diff
+    end
+  end
+
+let neg32 x = x lxor (1 lsl 31)
+
+let sub p a b = add p a (neg32 b)
+
+(* --- multiplication -------------------------------------------------------- *)
+
+let mul p a b =
+  let a = squash p a and b = squash p b in
+  if is_nan a || is_nan b then quiet_nan
+  else begin
+    let s = sign a <> sign b in
+    if is_infinity a || is_infinity b then begin
+      if is_zero a || is_zero b then quiet_nan else infinity s
+    end
+    else if is_zero a || is_zero b then zero s
+    else begin
+      let _, ea, ma = unpack_finite a in
+      let _, eb, mb = unpack_finite b in
+      (* Normalize denormal significands into [2^23, 2^24). *)
+      let norm e m =
+        let e = ref e and m = ref m in
+        while !m < 1 lsl 23 do
+          m := !m lsl 1;
+          decr e
+        done;
+        (!e, !m)
+      in
+      let ea, ma = norm ea ma in
+      let eb, mb = norm eb mb in
+      (* prod in [2^46, 2^48); value = prod * 2^(ea+eb-300).
+         Fixed point: value = m * 2^(e-182) with m = prod << 8, so
+         e = ea + eb - 126 makes the scales match exactly. *)
+      let prod = ma * mb in
+      pack p s (ea + eb - 126) (prod lsl 8)
+    end
+  end

@@ -1,0 +1,85 @@
+(** Software IEEE-754 binary32 arithmetic, with RTL corner-cutting
+    profiles.
+
+    Section 3.1.2 of the paper: system-level models use the language's
+    native IEEE floating point, while "RTL designers often do not
+    implement the full IEEE standard" — denormals, NaN and infinity
+    handling are "prohibitively costly in hardware" and are omitted when
+    input constraints make the corner cases unreachable.  This module
+    implements binary32 addition, subtraction and multiplication
+    bit-exactly (round-to-nearest-even) under a {!profile} that can
+    disable exactly those corner cases, so experiment C5 can measure the
+    SLM/RTL divergence the paper describes and show the constrained-SEC
+    remedy.
+
+    Values are 32-bit patterns carried in an OCaml [int]. *)
+
+type t = int
+(** A binary32 bit pattern (0 .. 2^32-1). *)
+
+type profile = {
+  flush_denormals : bool;
+      (** Treat denormal inputs as (signed) zero and flush denormal
+          results to zero — the classic hardware FTZ/DAZ shortcut. *)
+  no_specials : bool;
+      (** No NaN/infinity datapath: inputs with exponent 255 are clamped
+          to the largest finite value of their sign, and overflow
+          saturates to largest-finite instead of producing infinity. *)
+}
+
+val ieee : profile
+(** Full IEEE behaviour: [{ flush_denormals = false; no_specials = false }]. *)
+
+val rtl_lite : profile
+(** The corner-cutting RTL profile: both shortcuts enabled. *)
+
+(** {1 Encoding} *)
+
+val of_float : float -> t
+(** Round a host float to binary32 (correctly, via the host's double
+    rounding — innocuous for a single conversion). *)
+
+val to_float : t -> float
+
+val of_bitvec : Dfv_bitvec.Bitvec.t -> t
+(** Reinterpret a 32-bit vector.  Raises [Invalid_argument] on other
+    widths. *)
+
+val to_bitvec : t -> Dfv_bitvec.Bitvec.t
+
+val of_parts : sign:bool -> exponent:int -> mantissa:int -> t
+(** Assemble from fields ([exponent] is the biased 8-bit field,
+    [mantissa] the 23-bit fraction field). *)
+
+val sign : t -> bool
+val exponent : t -> int
+val mantissa : t -> int
+
+val is_nan : t -> bool
+val is_infinity : t -> bool
+val is_denormal : t -> bool
+val is_zero : t -> bool
+
+val quiet_nan : t
+val infinity : bool -> t
+(** [infinity sign]. *)
+
+val max_finite : bool -> t
+(** Largest-magnitude finite value of the given sign. *)
+
+(** {1 Arithmetic} *)
+
+val add : profile -> t -> t -> t
+(** Round-to-nearest-even addition under the profile.  With {!ieee} this
+    is bit-exact IEEE-754 (the test suite checks it against the host FPU
+    exhaustively near corner cases and randomly elsewhere). *)
+
+val sub : profile -> t -> t -> t
+val mul : profile -> t -> t -> t
+
+val equal_numeric : t -> t -> bool
+(** Equality treating all NaNs as equal and [+0 = -0] — the comparison
+    the cosim scoreboard uses for float payloads. *)
+
+val to_string : t -> string
+(** Hex pattern and decoded value, e.g. ["0x3f800000 (1.0)"]. *)

@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Bitvec Dfv_aig Dfv_bitvec List Printf Random Word

@@ -1,0 +1,1 @@
+test/test_aiger.ml: Aig Aiger Alcotest Array Dfv_aig Dfv_bitvec List Printf Random String Word

@@ -1,0 +1,1 @@
+test/test_behsyn.ml: Alcotest Alu Ast Bitvec Checker Dfv_behsyn Dfv_bitvec Dfv_designs Dfv_hwir Dfv_rtl Dfv_sec Fir Gcd Image_chain Interp List Minifloat Netlist Option Random Sim Typecheck

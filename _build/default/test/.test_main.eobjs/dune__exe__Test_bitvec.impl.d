@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Dfv_bitvec List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cint.ml: Alcotest Bitvec Cint Dfv_bitvec Int64 List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Alu Array Ast Bitvec Checker Dfv_bitvec Dfv_core Dfv_cosim Dfv_designs Dfv_hwir Dfv_sec Flow Format Gcd Image_chain Interp List Pair Random Spec String

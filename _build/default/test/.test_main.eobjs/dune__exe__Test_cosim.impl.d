@@ -1,0 +1,1 @@
+test/test_cosim.ml: Alcotest Array Bitvec Dfv_bitvec Dfv_cosim Dfv_rtl Expr List Netlist Printf Scoreboard Stream String Txn_engine

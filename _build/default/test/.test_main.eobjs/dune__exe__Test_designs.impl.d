@@ -1,0 +1,1 @@
+test/test_designs.ml: Alcotest Alu Array Bitvec Checker Conv_image Dfv_bitvec Dfv_cosim Dfv_designs Dfv_hwir Dfv_sec Fir Gcd Interp List Memsys Minifloat Random Scoreboard String Txn_engine Uart

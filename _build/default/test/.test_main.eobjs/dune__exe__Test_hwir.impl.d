@@ -1,0 +1,1 @@
+test/test_hwir.ml: Aig Alcotest Array Ast Bitvec Dfv_aig Dfv_bitvec Dfv_hwir Elab Guideline Hashtbl Interp List Random String Typecheck Word

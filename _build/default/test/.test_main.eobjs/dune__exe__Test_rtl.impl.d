@@ -1,0 +1,1 @@
+test/test_rtl.ml: Aig Alcotest Array Bitvec Buffer Dfv_aig Dfv_bitvec Dfv_rtl Expr Hashtbl Lint List Netlist Printf Random Sim String Synth Vcd Word

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Dfv_sat Dimacs List Lit Printf QCheck QCheck_alcotest Solver String

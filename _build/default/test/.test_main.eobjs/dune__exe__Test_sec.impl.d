@@ -1,0 +1,1 @@
+test/test_sec.ml: Alcotest Array Ast Bitvec Checker Dfv_bitvec Dfv_hwir Dfv_rtl Dfv_sec Expr Interp List Netlist Sim Spec String

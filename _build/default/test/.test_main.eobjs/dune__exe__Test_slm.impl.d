@@ -1,0 +1,1 @@
+test/test_slm.ml: Alcotest Clock Dfv_slm Fifo Kernel List Signal

@@ -1,0 +1,1 @@
+test/test_softfloat.ml: Alcotest Dfv_softfloat F32 List Printf Random

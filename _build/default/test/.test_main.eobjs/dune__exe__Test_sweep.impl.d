@@ -1,0 +1,1 @@
+test/test_sweep.ml: Aig Alcotest Array Bitvec Dfv_aig Dfv_bitvec List Random Sweep Word

@@ -1,0 +1,1 @@
+test/test_tlm.ml: Alcotest Array Dfv_slm Kernel List Printf Tlm

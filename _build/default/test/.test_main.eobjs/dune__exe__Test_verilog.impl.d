@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Alu Bitvec Conv_image Dfv_bitvec Dfv_designs Dfv_rtl Expr Fir Gcd Image_chain List Memsys Netlist String Verilog

@@ -1,0 +1,120 @@
+(* Tests for AIGER interchange: round-trips preserve functions. *)
+
+open Dfv_aig
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let test_roundtrip_simple () =
+  let g = Aig.create () in
+  let a = Aig.input ~name:"a" g and b = Aig.input ~name:"b" g in
+  let f = Aig.xor_ g a b in
+  let text = Aiger.to_string g ~outputs:[ ("f", f) ] in
+  let g2, outs = Aiger.of_string text in
+  check_int "one output" 1 (List.length outs);
+  let name, l2 = List.hd outs in
+  check_bool "name preserved" true (name = "f");
+  (* Function check over all four assignments. *)
+  List.iter
+    (fun (va, vb) ->
+      let v1 = Aig.eval g (fun i -> if i = 0 then va else vb) f in
+      let v2 = Aig.eval g2 (fun i -> if i = 0 then va else vb) l2 in
+      check_bool "same function" v1 v2)
+    [ (false, false); (false, true); (true, false); (true, true) ]
+
+let test_roundtrip_random () =
+  let st = Random.State.make [| 404 |] in
+  for _ = 1 to 20 do
+    let g = Aig.create () in
+    let ninputs = 3 + Random.State.int st 5 in
+    let inputs = Array.init ninputs (fun _ -> Aig.input g) in
+    let pool = ref (Array.to_list inputs) in
+    for _ = 1 to 30 do
+      let pick () =
+        let l = List.nth !pool (Random.State.int st (List.length !pool)) in
+        if Random.State.bool st then Aig.not_ l else l
+      in
+      pool := Aig.and_ g (pick ()) (pick ()) :: !pool
+    done;
+    let outputs =
+      List.mapi (fun i l -> (Printf.sprintf "out%d" i, l))
+        (List.filteri (fun i _ -> i < 4) !pool)
+    in
+    let g2, outs2 = Aiger.of_string (Aiger.to_string g ~outputs) in
+    for _ = 1 to 40 do
+      let assignment = Array.init ninputs (fun _ -> Random.State.bool st) in
+      let v1 = Aig.simulate g assignment in
+      let v2 = Aig.simulate g2 assignment in
+      List.iter2
+        (fun (_, l1) (_, l2) ->
+          check_bool "round-trip function" (Aig.lit_of_node_value v1 l1)
+            (Aig.lit_of_node_value v2 l2))
+        outputs outs2
+    done
+  done
+
+let test_constant_outputs () =
+  let g = Aig.create () in
+  let a = Aig.input g in
+  let z = Aig.and_ g a (Aig.not_ a) in
+  let text =
+    Aiger.to_string g ~outputs:[ ("zero", z); ("one", Aig.not_ z) ]
+  in
+  let _, outs = Aiger.of_string text in
+  check_bool "zero is false" true (List.assoc "zero" outs = Aig.false_);
+  check_bool "one is true" true (List.assoc "one" outs = Aig.true_)
+
+let test_header_counts () =
+  let g = Aig.create () in
+  let a = Aig.input g and b = Aig.input g in
+  let f = Aig.and_ g a b in
+  let text = Aiger.to_string g ~outputs:[ ("f", f) ] in
+  match String.split_on_char '\n' text with
+  | header :: _ ->
+    check_bool "header" true (header = "aag 3 2 0 1 1")
+  | [] -> Alcotest.fail "empty"
+
+let test_word_level_export () =
+  (* A whole adder cone exports and re-imports functionally. *)
+  let g = Aig.create () in
+  let a = Word.inputs ~name:"a" g 8 and b = Word.inputs ~name:"b" g 8 in
+  let s = Word.add g a b in
+  let outputs = Array.to_list (Array.mapi (fun i l -> (Printf.sprintf "s%d" i, l)) s) in
+  let g2, outs2 = Aiger.of_string (Aiger.to_string g ~outputs) in
+  let st = Random.State.make [| 8 |] in
+  for _ = 1 to 100 do
+    let x = Random.State.int st 256 and y = Random.State.int st 256 in
+    let bits =
+      Array.append
+        (Dfv_bitvec.Bitvec.to_bits (Dfv_bitvec.Bitvec.create ~width:8 x))
+        (Dfv_bitvec.Bitvec.to_bits (Dfv_bitvec.Bitvec.create ~width:8 y))
+    in
+    let v2 = Aig.simulate g2 bits in
+    let got =
+      List.fold_left
+        (fun acc (_, l) ->
+          (2 * acc) + if Aig.lit_of_node_value v2 l then 1 else 0)
+        0 (List.rev outs2)
+    in
+    check_int "sum" ((x + y) land 0xff) got
+  done
+
+let test_parse_errors () =
+  let expect s =
+    match Aiger.of_string s with
+    | exception Aiger.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect "";
+  expect "aag 1 1 1 0 0\n2\n2 2\n" (* latches unsupported *);
+  expect "aig 1 1 0 0 0\n" (* binary format *);
+  expect "aag x y z w v\n";
+  expect "aag 1 1 0 1 0\n2\n" (* truncated: missing output line *)
+
+let suite =
+  [ Alcotest.test_case "roundtrip simple" `Quick test_roundtrip_simple;
+    Alcotest.test_case "roundtrip random" `Quick test_roundtrip_random;
+    Alcotest.test_case "constant outputs" `Quick test_constant_outputs;
+    Alcotest.test_case "header counts" `Quick test_header_counts;
+    Alcotest.test_case "word-level export" `Quick test_word_level_export;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors ]

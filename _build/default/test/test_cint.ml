@@ -1,0 +1,185 @@
+(* Tests for Cint: C/C++ integer semantics (the int-based SLM substrate). *)
+
+open Dfv_bitvec
+
+let ci = Alcotest.testable Cint.pp Cint.equal
+let check_ci = Alcotest.check ci
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let i8 = Cint.make Cint.I8
+let u8 = Cint.make Cint.U8
+let i16 = Cint.make Cint.I16
+let u16 = Cint.make Cint.U16
+let i32 = Cint.make Cint.I32
+let u32 = Cint.make Cint.U32
+let i64 = Cint.make Cint.I64
+let u64 = Cint.make Cint.U64
+
+let test_make_normalizes () =
+  check_int "u8 wraps" 44 (Cint.value (u8 300));
+  check_int "i8 wraps" (-128) (Cint.value (i8 128));
+  check_int "u16" 65535 (Cint.value (u16 (-1)));
+  check_int "i32 id" (-5) (Cint.value (i32 (-5)));
+  check_int "u32 wrap" 0xFFFFFFFF (Cint.value (u32 (-1)))
+
+let test_promotion () =
+  (* char + char computes in int: no 8-bit wrap (Fig 1 masked in C). *)
+  let r = Cint.add (i8 100) (i8 100) in
+  check_bool "result is int" true (Cint.ctype r = Cint.I32);
+  check_int "no wrap at 8 bits" 200 (Cint.value r);
+  (* unsigned char also promotes to *signed* int. *)
+  let r2 = Cint.add (u8 200) (u8 200) in
+  check_bool "uchar promotes to int" true (Cint.ctype r2 = Cint.I32);
+  check_int "value" 400 (Cint.value r2)
+
+let test_usual_conversions () =
+  (* int + unsigned -> unsigned *)
+  let a, b = Cint.usual_conversions (i32 (-1)) (u32 1) in
+  check_bool "common type u32" true (Cint.ctype a = Cint.U32 && Cint.ctype b = Cint.U32);
+  (* u32 + i64 -> i64 (signed of greater rank represents all u32) *)
+  let a, _ = Cint.usual_conversions (u32 5) (i64 5) in
+  check_bool "u32+i64 -> i64" true (Cint.ctype a = Cint.I64);
+  (* u64 + i64 -> u64 *)
+  let a, _ = Cint.usual_conversions (u64 5) (i64 5) in
+  check_bool "u64+i64 -> u64" true (Cint.ctype a = Cint.U64);
+  (* i16 + u16 both promote to int -> int *)
+  let a, _ = Cint.usual_conversions (i16 5) (u16 5) in
+  check_bool "i16+u16 -> i32" true (Cint.ctype a = Cint.I32)
+
+let test_signed_unsigned_pitfall () =
+  (* The classic: -1 < 1u is FALSE in C. *)
+  check_bool "-1 < 1u is false" false (Cint.lt (i32 (-1)) (u32 1));
+  check_bool "-1 > 1u is true" true (Cint.gt (i32 (-1)) (u32 1));
+  (* But at rank 64 with signed winner it behaves mathematically. *)
+  check_bool "-1 < u32 1 as i64" true (Cint.lt (i64 (-1)) (u32 1))
+
+let test_arith () =
+  check_ci "add" (i32 7) (Cint.add (i32 3) (i32 4));
+  check_ci "sub" (i32 (-1)) (Cint.sub (i32 3) (i32 4));
+  check_ci "mul" (i32 12) (Cint.mul (i32 3) (i32 4));
+  check_ci "div trunc" (i32 (-3)) (Cint.div (i32 (-7)) (i32 2));
+  check_ci "rem sign" (i32 (-1)) (Cint.rem (i32 (-7)) (i32 2));
+  check_ci "neg" (i32 (-3)) (Cint.neg (i32 3));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Cint.div (i32 1) (i32 0)))
+
+let test_unsigned_div () =
+  (* 0xFFFFFFFF / 2 as unsigned. *)
+  check_int "u32 div" 0x7FFFFFFF (Cint.value (Cint.div (u32 (-1)) (u32 2)));
+  check_int "u32 rem" 1 (Cint.value (Cint.rem (u32 (-1)) (u32 2)))
+
+let test_wrap_at_32 () =
+  (* int overflow wraps (and is recorded). *)
+  Cint.reset_overflow_count ();
+  let r = Cint.add (i32 0x7FFFFFFF) (i32 1) in
+  check_int "wraps to min" (-0x80000000) (Cint.value r);
+  check_bool "overflow recorded" true (Cint.overflow_occurred ());
+  Cint.reset_overflow_count ();
+  let _ = Cint.add (i32 1) (i32 1) in
+  check_bool "no spurious overflow" false (Cint.overflow_occurred ())
+
+let test_overflow_masking_vs_bitvec () =
+  (* Fig 1 in C: (64+64)+(-1) at type int gives 127 in both association
+     orders; the 8-bit RTL diverges.  The C model masks the overflow. *)
+  Cint.reset_overflow_count ();
+  let o1 = Cint.add (Cint.add (i8 64) (i8 64)) (i8 (-1)) in
+  let o2 = Cint.add (Cint.add (i8 64) (i8 (-1))) (i8 64) in
+  check_bool "C model associative" true (Cint.eq o1 o2);
+  check_int "C result" 127 (Cint.value o1);
+  check_bool "and no overflow is even recorded" false (Cint.overflow_occurred ())
+
+let test_shifts () =
+  check_int "shl" 8 (Cint.value (Cint.shift_left (i32 1) 3));
+  check_int "shr signed" (-4) (Cint.value (Cint.shift_right (i32 (-8)) 1));
+  check_int "shr unsigned" 0x7FFFFFFF
+    (Cint.value (Cint.shift_right (u32 (-1)) 1));
+  (* shift promotes: u8 << 4 computes at int width. *)
+  check_int "u8 shl no wrap" 0xFF0 (Cint.value (Cint.shift_left (u8 0xFF) 4));
+  Alcotest.check_raises "shift oob"
+    (Invalid_argument "Cint.shift_left: shift amount out of range") (fun () ->
+      ignore (Cint.shift_left (i32 1) 32))
+
+let test_logic () =
+  (* The paper's mask-and-shift idiom for selecting bits [23:16]. *)
+  let x = i32 0x00ab0000 in
+  let sel = Cint.shift_right (Cint.logand x (i32 0x00ff0000)) 16 in
+  check_int "mask+shift select" 0xab (Cint.value sel);
+  check_int "or" 0xff (Cint.value (Cint.logor (i32 0xf0) (i32 0x0f)));
+  check_int "xor" 0x33 (Cint.value (Cint.logxor (i32 0x3c) (i32 0x0f)));
+  check_int "not" (-1) (Cint.value (Cint.lognot (i32 0)))
+
+let test_cast () =
+  check_int "i32 -> u8" 44 (Cint.value (Cint.cast Cint.U8 (i32 300)));
+  check_int "u8 -> i8" (-1) (Cint.value (Cint.cast Cint.I8 (u8 255)));
+  check_int "i64 -> i32 wrap" 0
+    (Cint.value (Cint.cast Cint.I32 (Cint.shift_left (i64 1) 32)))
+
+let test_bitvec_bridge () =
+  let x = i32 (-5) in
+  let bv = Cint.to_bitvec x in
+  check_int "width" 32 (Bitvec.width bv);
+  check_int "signed value" (-5) (Bitvec.to_signed_int bv);
+  check_ci "roundtrip i32" x (Cint.of_bitvec Cint.I32 bv);
+  let y = i64 (-123456789) in
+  check_ci "roundtrip i64" y (Cint.of_bitvec Cint.I64 (Cint.to_bitvec y));
+  let z = u8 200 in
+  check_ci "roundtrip u8" z (Cint.of_bitvec Cint.U8 (Cint.to_bitvec z))
+
+let test_u64 () =
+  let x = u64 (-1) in
+  check_bool "u64 max not in int" true
+    (match Cint.value x with exception Failure _ -> true | _ -> false);
+  check_bool "u64 bits" true (Int64.equal (Cint.value_i64 x) (-1L));
+  check_int "u64 via bitvec popcount" 64 (Bitvec.popcount (Cint.to_bitvec x))
+
+(* --- properties ------------------------------------------------------ *)
+
+let prop_add_matches_bitvec =
+  (* On u32 operands, C addition and 32-bit bit-vector addition agree. *)
+  QCheck.Test.make ~name:"u32 add = bitvec add" ~count:1000
+    QCheck.(pair int int)
+    (fun (x, y) ->
+      let c = Cint.add (Cint.make Cint.U32 x) (Cint.make Cint.U32 y) in
+      let b =
+        Bitvec.add (Bitvec.create ~width:32 x) (Bitvec.create ~width:32 y)
+      in
+      Bitvec.equal (Cint.to_bitvec c) b)
+
+let prop_mul_matches_bitvec =
+  QCheck.Test.make ~name:"u32 mul = bitvec mul" ~count:1000
+    QCheck.(pair int int)
+    (fun (x, y) ->
+      let c = Cint.mul (Cint.make Cint.U32 x) (Cint.make Cint.U32 y) in
+      let b =
+        Bitvec.mul (Bitvec.create ~width:32 x) (Bitvec.create ~width:32 y)
+      in
+      Bitvec.equal (Cint.to_bitvec c) b)
+
+let prop_cast_roundtrip =
+  QCheck.Test.make ~name:"bitvec bridge roundtrip" ~count:500 QCheck.int
+    (fun x ->
+      let v = Cint.make Cint.I16 x in
+      Cint.equal v (Cint.of_bitvec Cint.I16 (Cint.to_bitvec v)))
+
+let qcheck_props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_matches_bitvec; prop_mul_matches_bitvec; prop_cast_roundtrip ]
+
+let suite =
+  [ Alcotest.test_case "make normalizes" `Quick test_make_normalizes;
+    Alcotest.test_case "integer promotion" `Quick test_promotion;
+    Alcotest.test_case "usual conversions" `Quick test_usual_conversions;
+    Alcotest.test_case "signed/unsigned pitfall" `Quick
+      test_signed_unsigned_pitfall;
+    Alcotest.test_case "arithmetic" `Quick test_arith;
+    Alcotest.test_case "unsigned division" `Quick test_unsigned_div;
+    Alcotest.test_case "wrap at 32" `Quick test_wrap_at_32;
+    Alcotest.test_case "Fig.1 masked in C" `Quick
+      test_overflow_masking_vs_bitvec;
+    Alcotest.test_case "shifts" `Quick test_shifts;
+    Alcotest.test_case "logic / mask+shift" `Quick test_logic;
+    Alcotest.test_case "casts" `Quick test_cast;
+    Alcotest.test_case "bitvec bridge" `Quick test_bitvec_bridge;
+    Alcotest.test_case "u64" `Quick test_u64 ]
+  @ qcheck_props

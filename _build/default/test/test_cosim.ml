@@ -1,0 +1,365 @@
+(* Tests for the co-simulation framework: scoreboards, stream stages,
+   pipelines, and the tagged transaction engine. *)
+
+open Dfv_bitvec
+open Dfv_rtl
+open Dfv_cosim
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let bv w x = Bitvec.create ~width:w x
+
+(* --- scoreboard ---------------------------------------------------------- *)
+
+let test_scoreboard_exact () =
+  let sb = Scoreboard.create Scoreboard.Exact_cycle in
+  Scoreboard.expect sb ~cycle:3 (bv 8 42);
+  Scoreboard.expect sb ~cycle:4 (bv 8 43);
+  Scoreboard.observe sb ~cycle:3 (bv 8 42);
+  Scoreboard.observe sb ~cycle:4 (bv 8 43);
+  let r = Scoreboard.report sb in
+  check_bool "ok" true (Scoreboard.ok r);
+  check_int "matched" 2 r.Scoreboard.matched;
+  check_bool "latencies all zero" true
+    (List.for_all (( = ) 0) r.Scoreboard.latencies)
+
+let test_scoreboard_exact_rejects_late () =
+  (* Value correct but one cycle late: Exact_cycle flags it — the
+     paper's point that cycle-approximate SLMs can't use this policy. *)
+  let sb = Scoreboard.create Scoreboard.Exact_cycle in
+  Scoreboard.expect sb ~cycle:3 (bv 8 42);
+  Scoreboard.observe sb ~cycle:4 (bv 8 42);
+  let r = Scoreboard.report sb in
+  check_bool "not ok" false (Scoreboard.ok r);
+  check_int "one mismatch" 1 (List.length r.Scoreboard.mismatches)
+
+let test_scoreboard_in_order () =
+  (* Same data, late and jittery: In_order accepts and records latency. *)
+  let sb = Scoreboard.create Scoreboard.In_order in
+  Scoreboard.expect sb ~cycle:0 (bv 8 1);
+  Scoreboard.expect sb ~cycle:1 (bv 8 2);
+  Scoreboard.expect sb ~cycle:2 (bv 8 3);
+  Scoreboard.observe sb ~cycle:5 (bv 8 1);
+  Scoreboard.observe sb ~cycle:9 (bv 8 2);
+  Scoreboard.observe sb ~cycle:10 (bv 8 3);
+  let r = Scoreboard.report sb in
+  check_bool "ok" true (Scoreboard.ok r);
+  check_bool "latencies recorded" true (r.Scoreboard.latencies = [ 5; 8; 8 ])
+
+let test_scoreboard_in_order_value_mismatch () =
+  let sb = Scoreboard.create Scoreboard.In_order in
+  Scoreboard.expect sb ~cycle:0 (bv 8 1);
+  Scoreboard.observe sb ~cycle:1 (bv 8 9);
+  let r = Scoreboard.report sb in
+  check_bool "not ok" false (Scoreboard.ok r);
+  match r.Scoreboard.mismatches with
+  | [ m ] ->
+    check_bool "expected recorded" true (m.Scoreboard.expected = Some (bv 8 1));
+    check_bool "observed recorded" true (Bitvec.equal m.Scoreboard.observed (bv 8 9))
+  | _ -> Alcotest.fail "expected exactly one mismatch"
+
+let test_scoreboard_in_order_rejects_reorder () =
+  (* Reordered completions break the in-order policy... *)
+  let sb = Scoreboard.create Scoreboard.In_order in
+  Scoreboard.expect sb ~cycle:0 (bv 8 1);
+  Scoreboard.expect sb ~cycle:0 (bv 8 2);
+  Scoreboard.observe sb ~cycle:1 (bv 8 2);
+  Scoreboard.observe sb ~cycle:2 (bv 8 1);
+  check_bool "reorder rejected" false (Scoreboard.ok (Scoreboard.report sb))
+
+let test_scoreboard_out_of_order () =
+  (* ... and the tagged policy absorbs exactly the same trace. *)
+  let sb = Scoreboard.create Scoreboard.Out_of_order in
+  Scoreboard.expect sb ~tag:(bv 4 0) ~cycle:0 (bv 8 1);
+  Scoreboard.expect sb ~tag:(bv 4 1) ~cycle:0 (bv 8 2);
+  Scoreboard.observe sb ~tag:(bv 4 1) ~cycle:1 (bv 8 2);
+  Scoreboard.observe sb ~tag:(bv 4 0) ~cycle:2 (bv 8 1);
+  check_bool "reorder accepted" true (Scoreboard.ok (Scoreboard.report sb));
+  (* Same tag used twice FIFOs per tag. *)
+  let sb2 = Scoreboard.create Scoreboard.Out_of_order in
+  Scoreboard.expect sb2 ~tag:(bv 4 7) ~cycle:0 (bv 8 1);
+  Scoreboard.expect sb2 ~tag:(bv 4 7) ~cycle:1 (bv 8 2);
+  Scoreboard.observe sb2 ~tag:(bv 4 7) ~cycle:3 (bv 8 1);
+  Scoreboard.observe sb2 ~tag:(bv 4 7) ~cycle:4 (bv 8 2);
+  check_bool "per-tag fifo" true (Scoreboard.ok (Scoreboard.report sb2))
+
+let test_scoreboard_unconsumed () =
+  let sb = Scoreboard.create Scoreboard.In_order in
+  Scoreboard.expect sb ~cycle:0 (bv 8 1);
+  Scoreboard.expect sb ~cycle:0 (bv 8 2);
+  Scoreboard.observe sb ~cycle:1 (bv 8 1);
+  let r = Scoreboard.report sb in
+  check_bool "not ok" false (Scoreboard.ok r);
+  check_int "one unconsumed" 1 r.Scoreboard.unconsumed
+
+(* --- stream stages --------------------------------------------------------- *)
+
+(* One-cycle-latency incrementer with a valid chain. *)
+let rtl_inc_stream () =
+  let open Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "inc_stream") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "din"; port_width = 8 };
+          { Netlist.port_name = "vin"; port_width = 1 } ];
+      regs =
+        [ Netlist.reg ~name:"d1" ~width:8 (sig_ "din" +: const ~width:8 1);
+          Netlist.reg ~name:"v1" ~width:1 (sig_ "vin") ];
+      outputs = [ ("dout", sig_ "d1"); ("vout", sig_ "v1") ];
+    }
+
+let test_rtl_stage_with_valid () =
+  let stage =
+    Stream.rtl_stage ~name:"inc" ~rtl:(rtl_inc_stream ()) ~in_port:"din"
+      ~out_port:"dout" ~in_valid:"vin" ~out_valid:"vout" ()
+  in
+  let input = Array.init 10 (fun i -> bv 8 i) in
+  let out, stats = Stream.run_stage stage input in
+  check_int "count" 10 (Array.length out);
+  Array.iteri
+    (fun i v -> check_int (Printf.sprintf "elem %d" i) (i + 1) (Bitvec.to_int v))
+    out;
+  check_bool "rtl kind" true (stats.Stream.kind = `Rtl);
+  check_int "cycles = n + latency" 11 stats.Stream.cycles
+
+let test_rtl_stage_with_stalls () =
+  (* Stall every third cycle: output data unchanged, cycles increase —
+     the variable-latency scenario of experiment C7. *)
+  let stage_stalled =
+    Stream.rtl_stage ~name:"inc" ~rtl:(rtl_inc_stream ()) ~in_port:"din"
+      ~out_port:"dout" ~in_valid:"vin" ~out_valid:"vout"
+      ~stall:(fun c -> c mod 3 = 2) ()
+  in
+  let input = Array.init 9 (fun i -> bv 8 (10 + i)) in
+  let out, stats = Stream.run_stage stage_stalled input in
+  check_int "count" 9 (Array.length out);
+  Array.iteri
+    (fun i v ->
+      check_int (Printf.sprintf "elem %d" i) (11 + i) (Bitvec.to_int v))
+    out;
+  check_bool "stalls cost cycles" true (stats.Stream.cycles > 10)
+
+let test_rtl_stage_budget_error () =
+  (* A design whose valid never rises exhausts the budget. *)
+  let open Expr in
+  let dead =
+    Netlist.elaborate
+      {
+        (Netlist.empty "dead") with
+        Netlist.inputs =
+          [ { Netlist.port_name = "din"; port_width = 8 };
+            { Netlist.port_name = "vin"; port_width = 1 } ];
+        outputs =
+          [ ("dout", sig_ "din"); ("vout", const ~width:1 0) ];
+      }
+  in
+  let stage =
+    Stream.rtl_stage ~name:"dead" ~rtl:dead ~in_port:"din" ~out_port:"dout"
+      ~in_valid:"vin" ~out_valid:"vout" ~max_cycles:50 ()
+  in
+  check_bool "raises" true
+    (match Stream.run_stage stage (Array.init 4 (fun i -> bv 8 i)) with
+    | exception Stream.Stage_error _ -> true
+    | _ -> false)
+
+let test_rtl_stage_unknown_port () =
+  check_bool "raises" true
+    (match
+       Stream.rtl_stage ~name:"x" ~rtl:(rtl_inc_stream ()) ~in_port:"nope"
+         ~out_port:"dout" ()
+     with
+    | exception Stream.Stage_error _ -> true
+    | _ -> false)
+
+let test_pipeline_plug_and_play () =
+  (* SLM 3-stage pipeline: +1, *2, -3.  Swap the middle stage for RTL and
+     the end-to-end result must not change (paper Section 4.2). *)
+  let slm_inc = Stream.slm_stage ~name:"inc" (Array.map (fun v -> Bitvec.add v (bv 8 1))) in
+  let slm_dbl =
+    Stream.slm_stage ~name:"dbl" (Array.map (fun v -> Bitvec.shift_left v 1))
+  in
+  let slm_sub =
+    Stream.slm_stage ~name:"sub" (Array.map (fun v -> Bitvec.sub v (bv 8 3)))
+  in
+  let open Expr in
+  let rtl_dbl =
+    Netlist.elaborate
+      {
+        (Netlist.empty "dbl") with
+        Netlist.inputs =
+          [ { Netlist.port_name = "din"; port_width = 8 };
+            { Netlist.port_name = "vin"; port_width = 1 } ];
+        regs =
+          [ Netlist.reg ~name:"d1" ~width:8
+              (sig_ "din" <<: const ~width:1 1);
+            Netlist.reg ~name:"v1" ~width:1 (sig_ "vin") ];
+        outputs = [ ("dout", sig_ "d1"); ("vout", sig_ "v1") ];
+      }
+  in
+  let rtl_stage_dbl =
+    Stream.rtl_stage ~name:"dbl_rtl" ~rtl:rtl_dbl ~in_port:"din"
+      ~out_port:"dout" ~in_valid:"vin" ~out_valid:"vout" ()
+  in
+  let input = Array.init 16 (fun i -> bv 8 (i * 3)) in
+  let pure, _ = Stream.run_pipeline [ slm_inc; slm_dbl; slm_sub ] input in
+  let mixed, stats =
+    Stream.run_pipeline [ slm_inc; rtl_stage_dbl; slm_sub ] input
+  in
+  check_bool "outputs equal" true
+    (Array.for_all2 Bitvec.equal pure mixed);
+  check_int "three stages" 3 (List.length stats)
+
+(* --- transaction engine ------------------------------------------------------ *)
+
+(* Fixed 2-cycle-latency echo: resp_data = data + 1, tag carried along. *)
+let rtl_echo () =
+  let open Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "echo") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "valid"; port_width = 1 };
+          { Netlist.port_name = "tag"; port_width = 4 };
+          { Netlist.port_name = "data"; port_width = 8 } ];
+      regs =
+        [ Netlist.reg ~name:"v1" ~width:1 (sig_ "valid");
+          Netlist.reg ~name:"t1" ~width:4 (sig_ "tag");
+          Netlist.reg ~name:"d1" ~width:8 (sig_ "data" +: const ~width:8 1);
+          Netlist.reg ~name:"v2" ~width:1 (sig_ "v1");
+          Netlist.reg ~name:"t2" ~width:4 (sig_ "t1");
+          Netlist.reg ~name:"d2" ~width:8 (sig_ "d1") ];
+      outputs =
+        [ ("resp_valid", sig_ "v2");
+          ("resp_tag", sig_ "t2");
+          ("resp_data", sig_ "d2") ];
+    }
+
+let echo_iface =
+  {
+    Txn_engine.idle = [ ("tag", bv 4 0); ("data", bv 8 0) ];
+    issue_valid = "valid";
+    req_tag = Some "tag";
+    ready = None;
+    resp_valid = "resp_valid";
+    resp_tag = "resp_tag";
+    resp_data = "resp_data";
+  }
+
+let test_txn_engine_basic () =
+  let requests =
+    List.init 8 (fun i ->
+        { Txn_engine.tag = bv 4 i; payload = [ ("data", bv 8 (10 * i)) ] })
+  in
+  let completions, cycles =
+    Txn_engine.run ~rtl:(rtl_echo ()) ~iface:echo_iface ~requests ()
+  in
+  check_int "all complete" 8 (List.length completions);
+  List.iteri
+    (fun i (c : Txn_engine.completion) ->
+      check_int (Printf.sprintf "tag %d" i) i (Bitvec.to_int c.Txn_engine.c_tag);
+      check_int
+        (Printf.sprintf "data %d" i)
+        ((10 * i) + 1)
+        (Bitvec.to_int c.Txn_engine.c_data);
+      check_int (Printf.sprintf "cycle %d" i) (i + 2) c.Txn_engine.c_cycle)
+    completions;
+  check_bool "cycle count sane" true (cycles >= 10)
+
+let test_txn_engine_with_gaps () =
+  let requests =
+    List.init 4 (fun i ->
+        { Txn_engine.tag = bv 4 i; payload = [ ("data", bv 8 i) ] })
+  in
+  let completions, cycles =
+    Txn_engine.run ~rtl:(rtl_echo ()) ~iface:echo_iface ~requests
+      ~gap:(fun c -> c mod 2 = 1)
+      ()
+  in
+  check_int "all complete" 4 (List.length completions);
+  check_bool "gaps cost cycles" true (cycles > 6)
+
+let test_txn_engine_scoreboard_integration () =
+  (* SLM golden: data+1 per tag.  Drive through the engine and check with
+     an out-of-order scoreboard. *)
+  let requests =
+    List.init 6 (fun i ->
+        { Txn_engine.tag = bv 4 i; payload = [ ("data", bv 8 (7 * i)) ] })
+  in
+  let sb = Scoreboard.create Scoreboard.Out_of_order in
+  List.iteri
+    (fun i r ->
+      let data = List.assoc "data" r.Txn_engine.payload in
+      Scoreboard.expect sb ~tag:r.Txn_engine.tag ~cycle:i
+        (Bitvec.add data (bv 8 1)))
+    requests;
+  let completions, _ =
+    Txn_engine.run ~rtl:(rtl_echo ()) ~iface:echo_iface ~requests ()
+  in
+  List.iter
+    (fun (c : Txn_engine.completion) ->
+      Scoreboard.observe sb ~tag:c.Txn_engine.c_tag ~cycle:c.Txn_engine.c_cycle
+        c.Txn_engine.c_data)
+    completions;
+  check_bool "scoreboard clean" true (Scoreboard.ok (Scoreboard.report sb))
+
+let test_txn_engine_timeout () =
+  (* A design that never responds. *)
+  let open Expr in
+  let dead =
+    Netlist.elaborate
+      {
+        (Netlist.empty "dead") with
+        Netlist.inputs =
+          [ { Netlist.port_name = "valid"; port_width = 1 };
+            { Netlist.port_name = "tag"; port_width = 4 };
+            { Netlist.port_name = "data"; port_width = 8 } ];
+        outputs =
+          [ ("resp_valid", const ~width:1 0);
+            ("resp_tag", const ~width:4 0);
+            ("resp_data", const ~width:8 0) ];
+      }
+  in
+  check_bool "raises with missing tags" true
+    (match
+       Txn_engine.run ~rtl:dead ~iface:echo_iface
+         ~requests:[ { Txn_engine.tag = bv 4 3; payload = [ ("data", bv 8 0) ] } ]
+         ~max_cycles:40 ()
+     with
+    | exception Txn_engine.Engine_error m ->
+      (* The error message names the missing tag. *)
+      let contains s sub =
+        let n = String.length sub and h = String.length s in
+        let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      contains m "4'h3"
+    | _ -> false)
+
+let suite =
+  [ Alcotest.test_case "scoreboard exact" `Quick test_scoreboard_exact;
+    Alcotest.test_case "scoreboard exact rejects late" `Quick
+      test_scoreboard_exact_rejects_late;
+    Alcotest.test_case "scoreboard in-order" `Quick test_scoreboard_in_order;
+    Alcotest.test_case "scoreboard in-order value mismatch" `Quick
+      test_scoreboard_in_order_value_mismatch;
+    Alcotest.test_case "scoreboard in-order rejects reorder" `Quick
+      test_scoreboard_in_order_rejects_reorder;
+    Alcotest.test_case "scoreboard out-of-order" `Quick
+      test_scoreboard_out_of_order;
+    Alcotest.test_case "scoreboard unconsumed" `Quick
+      test_scoreboard_unconsumed;
+    Alcotest.test_case "rtl stage with valid" `Quick test_rtl_stage_with_valid;
+    Alcotest.test_case "rtl stage with stalls" `Quick
+      test_rtl_stage_with_stalls;
+    Alcotest.test_case "rtl stage budget error" `Quick
+      test_rtl_stage_budget_error;
+    Alcotest.test_case "rtl stage unknown port" `Quick
+      test_rtl_stage_unknown_port;
+    Alcotest.test_case "pipeline plug-and-play" `Quick
+      test_pipeline_plug_and_play;
+    Alcotest.test_case "txn engine basic" `Quick test_txn_engine_basic;
+    Alcotest.test_case "txn engine with gaps" `Quick test_txn_engine_with_gaps;
+    Alcotest.test_case "txn engine + scoreboard" `Quick
+      test_txn_engine_scoreboard_integration;
+    Alcotest.test_case "txn engine timeout" `Quick test_txn_engine_timeout ]

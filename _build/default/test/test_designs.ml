@@ -1,0 +1,565 @@
+(* Tests for the design pairs: each SLM, RTL and golden model agree with
+   one another, SEC proves the clean pairs and refutes the buggy ones. *)
+
+open Dfv_bitvec
+open Dfv_hwir
+open Dfv_sec
+open Dfv_cosim
+open Dfv_designs
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+(* --- gcd -------------------------------------------------------------- *)
+
+let test_gcd_models_agree () =
+  let t = Gcd.make ~width:5 in
+  for a = 0 to 31 do
+    for b = 0 to 31 do
+      let g = Gcd.golden a b in
+      if Gcd.run_slm t a b <> g then Alcotest.failf "slm gcd(%d,%d)" a b;
+      let r, cycles = Gcd.run_rtl t a b in
+      if r <> g then Alcotest.failf "rtl gcd(%d,%d) = %d, want %d" a b r g;
+      if cycles > t.Gcd.iteration_bound + 2 then
+        Alcotest.failf "gcd(%d,%d) took %d cycles" a b cycles
+    done
+  done
+
+let test_gcd_sec () =
+  let t = Gcd.make ~width:4 in
+  match Checker.check_slm_rtl ~slm:t.Gcd.slm ~rtl:t.Gcd.rtl ~spec:t.Gcd.spec () with
+  | Checker.Equivalent stats ->
+    check_bool "nontrivial" true (stats.Checker.aig_ands > 1000)
+  | Checker.Not_equivalent (cex, _) ->
+    (match (List.assoc "a" cex.Checker.params, List.assoc "b" cex.Checker.params) with
+    | Interp.Vint a, Interp.Vint b ->
+      Alcotest.failf "gcd SEC cex a=%s b=%s" (Bitvec.to_string a)
+        (Bitvec.to_string b)
+    | _ -> Alcotest.fail "gcd SEC failed")
+
+(* --- alu -------------------------------------------------------------- *)
+
+let test_alu_models_agree () =
+  let t = Alu.make ~width:8 () in
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 2000 do
+    let op = Random.State.int st 8 in
+    let a = Random.State.int st 256 and b = Random.State.int st 256 in
+    let g = Alu.golden ~width:8 ~op a b in
+    if Alu.run_slm t ~op a b <> g then
+      Alcotest.failf "slm alu op=%d a=%d b=%d" op a b;
+    if Alu.run_rtl t ~op a b <> g then
+      Alcotest.failf "rtl alu op=%d a=%d b=%d" op a b
+  done
+
+let test_alu_bug_variants_differ () =
+  List.iter
+    (fun bug ->
+      let t = Alu.make ~bug ~width:8 () in
+      let found = ref false in
+      for op = 0 to 7 do
+        for a = 0 to 63 do
+          for b = 0 to 63 do
+            if not !found then
+              if
+                Alu.run_rtl t ~op (a * 4) (b * 4 + 1)
+                <> Alu.golden ~width:8 ~op (a * 4) (b * 4 + 1)
+              then found := true
+          done
+        done
+      done;
+      if not !found then
+        Alcotest.failf "bug %s has no visible effect" (Alu.bug_name bug))
+    Alu.all_bugs
+
+let test_alu_sec_clean () =
+  let t = Alu.make ~width:8 () in
+  match Checker.check_slm_rtl ~slm:t.Alu.slm ~rtl:t.Alu.rtl ~spec:t.Alu.spec () with
+  | Checker.Equivalent _ -> ()
+  | Checker.Not_equivalent _ -> Alcotest.fail "clean ALU should be equivalent"
+
+let test_alu_sec_finds_every_bug () =
+  List.iter
+    (fun bug ->
+      let t = Alu.make ~bug ~width:8 () in
+      match
+        Checker.check_slm_rtl ~slm:t.Alu.slm ~rtl:t.Alu.rtl ~spec:t.Alu.spec ()
+      with
+      | Checker.Not_equivalent (cex, _) -> (
+        (* Validate the counterexample concretely. *)
+        match
+          ( List.assoc "op" cex.Checker.params,
+            List.assoc "a" cex.Checker.params,
+            List.assoc "b" cex.Checker.params )
+        with
+        | Interp.Vint op, Interp.Vint a, Interp.Vint b ->
+          let op = Bitvec.to_int op
+          and a = Bitvec.to_int a
+          and b = Bitvec.to_int b in
+          if Alu.run_rtl t ~op a b = Alu.run_slm t ~op a b then
+            Alcotest.failf "bug %s: cex does not reproduce" (Alu.bug_name bug)
+        | _ -> Alcotest.fail "bad cex shape")
+      | Checker.Equivalent _ ->
+        Alcotest.failf "bug %s not found by SEC" (Alu.bug_name bug))
+    Alu.all_bugs
+
+(* --- fir -------------------------------------------------------------- *)
+
+let fir_taps = [ 3; -5; 7; 2 ]
+
+let random_window st t =
+  Array.init (List.length t.Fir.taps) (fun _ ->
+      Random.State.int st (1 lsl t.Fir.width))
+
+let test_fir_slm_matches_golden () =
+  let t = Fir.make ~taps:fir_taps () in
+  let st = Random.State.make [| 23 |] in
+  for _ = 1 to 300 do
+    let w = random_window st t in
+    check_int "exact" (Fir.golden_exact t w)
+      (Fir.run_slm_window t.Fir.slm_exact ~width:t.Fir.width w);
+    check_int "cstyle" (Fir.golden_cstyle t w)
+      (Fir.run_slm_window t.Fir.slm_cstyle ~width:t.Fir.width w)
+  done
+
+let big_taps = [ 127; 127; 127; -128 ]
+
+let test_fir_models_diverge_on_saturation () =
+  (* Intermediate sums overflow and saturate, then the negative tap pulls
+     the exact accumulator back down — the wide C accumulator never
+     saturated, so the final values differ. *)
+  let t = Fir.make ~taps:big_taps () in
+  let w = [| 127; 127; 127; 127 |] in
+  let exact = Fir.golden_exact t w and cstyle = Fir.golden_cstyle t w in
+  check_bool "diverge" true (exact <> cstyle)
+
+let test_fir_rtl_stream_matches_golden () =
+  let t = Fir.make ~taps:fir_taps () in
+  let st = Random.State.make [| 37 |] in
+  let signal = Array.init 100 (fun _ -> Random.State.int st 256) in
+  let expected = Fir.filter_signal t signal in
+  let got, cycles = Fir.run_rtl_stream t signal in
+  check_int "same length" (Array.length expected) (Array.length got);
+  Array.iteri
+    (fun i e -> if got.(i) <> e then Alcotest.failf "sample %d: %d <> %d" i got.(i) e)
+    expected;
+  check_bool "cycle count sane" true (cycles >= 100)
+
+let test_fir_sec_exact_equivalent () =
+  let t = Fir.make ~taps:fir_taps () in
+  match
+    Checker.check_slm_rtl ~slm:t.Fir.slm_exact ~rtl:t.Fir.rtl ~spec:t.Fir.spec ()
+  with
+  | Checker.Equivalent _ -> ()
+  | Checker.Not_equivalent (cex, _) -> (
+    match List.assoc "x" cex.Checker.params with
+    | Interp.Varr a ->
+      Alcotest.failf "unexpected fir cex [%s]"
+        (String.concat ";" (Array.to_list (Array.map Bitvec.to_string a)))
+    | _ -> Alcotest.fail "fir SEC failed")
+
+let test_fir_sec_catches_cstyle () =
+  let t = Fir.make ~taps:big_taps () in
+  match
+    Checker.check_slm_rtl ~slm:t.Fir.slm_cstyle ~rtl:t.Fir.rtl ~spec:t.Fir.spec ()
+  with
+  | Checker.Not_equivalent (cex, _) -> (
+    (* The cex must be an actual divergence of the two golden models. *)
+    match List.assoc "x" cex.Checker.params with
+    | Interp.Varr a ->
+      let w = Array.map Bitvec.to_int a in
+      check_bool "genuine divergence" true
+        (Fir.golden_exact t w <> Fir.golden_cstyle t w)
+    | _ -> Alcotest.fail "bad cex shape")
+  | Checker.Equivalent _ -> Alcotest.fail "c-style model wrongly equivalent"
+
+let test_fir_sec_cstyle_equivalent_when_unsaturable () =
+  (* With small taps the intermediate sums cannot overflow, so per-step
+     and final saturation coincide — SEC proves the c-style model
+     equivalent too.  (The paper: divergence is conditional, and SEC
+     tells you precisely when.) *)
+  let t = Fir.make ~taps:fir_taps () in
+  match
+    Checker.check_slm_rtl ~slm:t.Fir.slm_cstyle ~rtl:t.Fir.rtl ~spec:t.Fir.spec ()
+  with
+  | Checker.Equivalent _ -> ()
+  | Checker.Not_equivalent _ -> Alcotest.fail "small-tap c-style should match"
+
+(* --- memsys ------------------------------------------------------------ *)
+
+let mixed_requests =
+  (* Writes then a mix of hits (repeated addresses) and misses (fresh
+     addresses mapping to different lines). *)
+  [ { Memsys.req_tag = 0; op = Memsys.Write (0x11, 0xAA) };
+    { Memsys.req_tag = 1; op = Memsys.Write (0x22, 0xBB) };
+    { Memsys.req_tag = 2; op = Memsys.Read 0x11 };
+    { Memsys.req_tag = 3; op = Memsys.Read 0x11 };
+    { Memsys.req_tag = 4; op = Memsys.Read 0x33 };
+    { Memsys.req_tag = 5; op = Memsys.Read 0x11 };
+    { Memsys.req_tag = 6; op = Memsys.Read 0x22 };
+    { Memsys.req_tag = 7; op = Memsys.Write (0x44, 0xCC) };
+    { Memsys.req_tag = 8; op = Memsys.Read 0x44 };
+    { Memsys.req_tag = 9; op = Memsys.Read 0x22 } ]
+
+let run_memsys rtl ~ready requests =
+  let c = Memsys.default_config in
+  Txn_engine.run ~rtl ~iface:(Memsys.iface c ~ready)
+    ~requests:(Memsys.to_engine_requests c requests)
+    ()
+
+let check_against_golden requests completions =
+  let c = Memsys.default_config in
+  let slm = Memsys.Slm.create c in
+  let expected = Memsys.Slm.execute_all slm requests in
+  let sb = Scoreboard.create Scoreboard.Out_of_order in
+  List.iter
+    (fun (tag, data) ->
+      Scoreboard.expect sb
+        ~tag:(Bitvec.create ~width:c.Memsys.tag_width tag)
+        ~cycle:0
+        (Bitvec.create ~width:c.Memsys.data_width data))
+    expected;
+  List.iter
+    (fun (cp : Txn_engine.completion) ->
+      Scoreboard.observe sb ~tag:cp.Txn_engine.c_tag ~cycle:cp.Txn_engine.c_cycle
+        cp.Txn_engine.c_data)
+    completions;
+  Scoreboard.report sb
+
+let test_memsys_simple_matches_golden () =
+  let c = Memsys.default_config in
+  let completions, _ = run_memsys (Memsys.rtl_simple c) ~ready:false mixed_requests in
+  let r = check_against_golden mixed_requests completions in
+  check_bool "scoreboard clean" true (Scoreboard.ok r);
+  check_int "all matched" (List.length mixed_requests) r.Scoreboard.matched
+
+let test_memsys_cached_matches_golden () =
+  let c = Memsys.default_config in
+  let completions, _ = run_memsys (Memsys.rtl_cached c) ~ready:true mixed_requests in
+  let r = check_against_golden mixed_requests completions in
+  check_bool "scoreboard clean" true (Scoreboard.ok r);
+  check_int "all matched" (List.length mixed_requests) r.Scoreboard.matched
+
+let test_memsys_cached_reorders () =
+  (* A miss followed by hits: the hits complete first. *)
+  let c = Memsys.default_config in
+  let warmup =
+    [ { Memsys.req_tag = 0; op = Memsys.Write (0x05, 0x55) };
+      { Memsys.req_tag = 1; op = Memsys.Read 0x05 } (* fill line 5 *) ]
+  in
+  let probe =
+    [ { Memsys.req_tag = 2; op = Memsys.Read 0x77 } (* miss *);
+      { Memsys.req_tag = 3; op = Memsys.Read 0x05 } (* hit under miss *);
+      { Memsys.req_tag = 4; op = Memsys.Read 0x05 } (* hit under miss *) ]
+  in
+  let completions, _ =
+    run_memsys (Memsys.rtl_cached c) ~ready:true (warmup @ probe)
+  in
+  let order = List.map (fun cp -> Bitvec.to_int cp.Txn_engine.c_tag) completions in
+  (* Tag 3 (a hit) must complete before tag 2 (the miss). *)
+  let pos t =
+    let rec go i = function
+      | [] -> Alcotest.failf "tag %d missing" t
+      | x :: rest -> if x = t then i else go (i + 1) rest
+    in
+    go 0 order
+  in
+  check_bool "hit overtakes miss" true (pos 3 < pos 2);
+  (* Data is still correct under the tagged scoreboard. *)
+  let r = check_against_golden (warmup @ probe) completions in
+  check_bool "clean" true (Scoreboard.ok r)
+
+let test_memsys_inorder_scoreboard_fails_on_cache () =
+  (* The C7 claim: an in-order comparison discipline breaks on the
+     reordering cache even though the data is correct. *)
+  let c = Memsys.default_config in
+  let requests =
+    [ { Memsys.req_tag = 0; op = Memsys.Write (0x09, 0x99) };
+      { Memsys.req_tag = 1; op = Memsys.Read 0x09 };
+      { Memsys.req_tag = 2; op = Memsys.Read 0x60 } (* miss *);
+      { Memsys.req_tag = 3; op = Memsys.Read 0x09 } (* overtaking hit *) ]
+  in
+  let completions, _ = run_memsys (Memsys.rtl_cached c) ~ready:true requests in
+  let slm = Memsys.Slm.create c in
+  let expected = Memsys.Slm.execute_all slm requests in
+  let sb = Scoreboard.create Scoreboard.In_order in
+  List.iteri
+    (fun i (_, data) ->
+      Scoreboard.expect sb ~cycle:i
+        (Bitvec.create ~width:c.Memsys.data_width data))
+    expected;
+  List.iter
+    (fun (cp : Txn_engine.completion) ->
+      Scoreboard.observe sb ~cycle:cp.Txn_engine.c_cycle cp.Txn_engine.c_data)
+    completions;
+  check_bool "in-order policy rejects reordered trace" false
+    (Scoreboard.ok (Scoreboard.report sb))
+
+let test_memsys_latency_profile () =
+  (* Hits are fast, misses slow — the latency variability of Fig. 2. *)
+  let c = Memsys.default_config in
+  let requests =
+    { Memsys.req_tag = 0; op = Memsys.Read 0x10 } (* miss *)
+    :: List.init 5 (fun i -> { Memsys.req_tag = i + 1; op = Memsys.Read 0x10 })
+  in
+  let completions, _ = run_memsys (Memsys.rtl_cached c) ~ready:true requests in
+  let cycle_of t =
+    let cp =
+      List.find (fun cp -> Bitvec.to_int cp.Txn_engine.c_tag = t) completions
+    in
+    cp.Txn_engine.c_cycle
+  in
+  (* The miss takes miss_penalty + 2 cycles; subsequent hits ~2. *)
+  check_bool "miss is slow" true (cycle_of 0 >= c.Memsys.miss_penalty);
+  check_bool "later hits are fast" true (cycle_of 5 - cycle_of 4 <= 2)
+
+(* --- conv image ---------------------------------------------------------- *)
+
+let random_image st h w = Array.init h (fun _ -> Array.init w (fun _ -> Random.State.int st 256))
+
+let test_conv_stream_matches_golden () =
+  List.iter
+    (fun (kernel, shift) ->
+      let t = Conv_image.make ~kernel ~shift () in
+      let st = Random.State.make [| 71 |] in
+      let img = random_image st 12 17 in
+      let expected = Conv_image.golden t img in
+      let got, cycles = Conv_image.run_stream t img in
+      Array.iteri
+        (fun r row ->
+          Array.iteri
+            (fun cidx e ->
+              if got.(r).(cidx) <> e then
+                Alcotest.failf "pixel (%d,%d): %d <> %d" r cidx got.(r).(cidx) e)
+            row)
+        expected;
+      check_bool "cycles = pixels + drain" true (cycles = (12 * 17) + 1))
+    [ (Conv_image.sharpen, 2); (Conv_image.box_blur, 3) ]
+
+let test_conv_window_sec () =
+  let t = Conv_image.make ~kernel:Conv_image.sharpen ~shift:2 () in
+  match
+    Checker.check_slm_rtl ~slm:t.Conv_image.slm_window ~rtl:t.Conv_image.rtl_window
+      ~spec:t.Conv_image.window_spec ()
+  with
+  | Checker.Equivalent _ -> ()
+  | Checker.Not_equivalent _ -> Alcotest.fail "window datapath should match"
+
+let test_conv_wrap_bug_found () =
+  (* Clamped SLM vs wrap RTL: SEC finds a saturating window. *)
+  let good = Conv_image.make ~kernel:Conv_image.sharpen ~shift:2 () in
+  let bad = Conv_image.make ~clamped:false ~kernel:Conv_image.sharpen ~shift:2 () in
+  match
+    Checker.check_slm_rtl ~slm:good.Conv_image.slm_window
+      ~rtl:bad.Conv_image.rtl_window ~spec:good.Conv_image.window_spec ()
+  with
+  | Checker.Not_equivalent (cex, _) -> (
+    match List.assoc "x" cex.Checker.params with
+    | Interp.Varr a ->
+      let w = Array.map Bitvec.to_int a in
+      let clamped = Conv_image.golden_pixel good w in
+      let wrapped = Conv_image.golden_pixel bad w in
+      check_bool "cex is a real saturation case" true (clamped <> wrapped)
+    | _ -> Alcotest.fail "bad cex")
+  | Checker.Equivalent _ -> Alcotest.fail "wrap bug not found"
+
+let test_conv_golden_pixel_vs_slm () =
+  let t = Conv_image.make ~kernel:Conv_image.sharpen ~shift:2 () in
+  let st = Random.State.make [| 5 |] in
+  for _ = 1 to 200 do
+    let w = Array.init 9 (fun _ -> Random.State.int st 256) in
+    let expect = Conv_image.golden_pixel t w in
+    let got =
+      Bitvec.to_int
+        (Interp.as_int
+           (Interp.run t.Conv_image.slm_window
+              [ Interp.Varr (Array.map (fun v -> Bitvec.create ~width:8 v) w) ]))
+    in
+    check_int "window" expect got
+  done
+
+(* --- minifloat ------------------------------------------------------------- *)
+
+let test_minifloat_interp_matches_golden () =
+  let t = Minifloat.make () in
+  let st = Random.State.make [| 13 |] in
+  (* Random sample plus a denormal-heavy corner set. *)
+  let corners = [ 0x00; 0x80; 0x01; 0x81; 0x07; 0x87; 0x08; 0x88; 0x78; 0xF8; 0x7F; 0xFF ] in
+  let pairs =
+    List.concat_map (fun a -> List.map (fun b -> (a, b)) corners) corners
+    @ List.init 1500 (fun _ -> (Random.State.int st 256, Random.State.int st 256))
+  in
+  List.iter
+    (fun (a, b) ->
+      let gf = Minifloat.golden_add ~flush:false a b in
+      let gl = Minifloat.golden_add ~flush:true a b in
+      let rf = Minifloat.run t.Minifloat.full a b in
+      let rl = Minifloat.run t.Minifloat.lite a b in
+      if rf <> gf then
+        Alcotest.failf "full fadd(%02x, %02x) = %02x, want %02x" a b rf gf;
+      if rl <> gl then
+        Alcotest.failf "lite fadd(%02x, %02x) = %02x, want %02x" a b rl gl)
+    pairs
+
+let test_minifloat_decode_sane () =
+  check_bool "1.0" true (Minifloat.decode 0x38 = 1.0);
+  check_bool "-1.0" true (Minifloat.decode 0xB8 = -1.0);
+  check_bool "+0" true (Minifloat.decode 0x00 = 0.0);
+  check_bool "denormal positive" true (Minifloat.decode 0x01 > 0.0);
+  (* Addition is faithful to real arithmetic when exact: 1.0 + 1.0. *)
+  check_bool "1+1=2" true
+    (Minifloat.decode (Minifloat.golden_add ~flush:false 0x38 0x38) = 2.0)
+
+let test_minifloat_divergence_is_denormal_only () =
+  (* Exhaustive: the two profiles differ somewhere, and never when the
+     safe-constraint region applies (both exponents >= 5). *)
+  let diverged = ref 0 and diverged_safe = ref 0 in
+  for a = 0 to 255 do
+    for b = 0 to 255 do
+      let f = Minifloat.golden_add ~flush:false a b in
+      let l = Minifloat.golden_add ~flush:true a b in
+      if f <> l then begin
+        incr diverged;
+        if (a lsr 3) land 0xf >= 5 && (b lsr 3) land 0xf >= 5 then
+          incr diverged_safe
+      end
+    done
+  done;
+  check_bool "profiles do diverge" true (!diverged > 0);
+  check_int "never inside the safe region" 0 !diverged_safe
+
+let test_minifloat_sec () =
+  let t = Minifloat.make () in
+  (* Unconstrained: counterexample exists (denormal corner). *)
+  (match Checker.check_slm_slm ~a:t.Minifloat.full ~b:t.Minifloat.lite () with
+  | Checker.Not_equivalent (cex, _) -> (
+    match (List.assoc "a" cex.Checker.params, List.assoc "b" cex.Checker.params) with
+    | Interp.Vint a, Interp.Vint b ->
+      let a = Bitvec.to_int a and b = Bitvec.to_int b in
+      check_bool "cex reproduces" true
+        (Minifloat.golden_add ~flush:false a b
+        <> Minifloat.golden_add ~flush:true a b)
+    | _ -> Alcotest.fail "bad cex")
+  | Checker.Equivalent _ -> Alcotest.fail "profiles should diverge");
+  (* Constrained to the safe region: equivalent — the paper's remedy. *)
+  match
+    Checker.check_slm_slm ~a:t.Minifloat.full ~b:t.Minifloat.lite
+      ~constraints:t.Minifloat.safe_constraints ()
+  with
+  | Checker.Equivalent _ -> ()
+  | Checker.Not_equivalent (cex, _) -> (
+    match (List.assoc "a" cex.Checker.params, List.assoc "b" cex.Checker.params) with
+    | Interp.Vint a, Interp.Vint b ->
+      Alcotest.failf "diverges under constraints: a=%s b=%s"
+        (Bitvec.to_string a) (Bitvec.to_string b)
+    | _ -> Alcotest.fail "bad cex")
+
+let suite =
+  [ Alcotest.test_case "gcd models agree (exhaustive)" `Quick
+      test_gcd_models_agree;
+    Alcotest.test_case "gcd SEC" `Quick test_gcd_sec;
+    Alcotest.test_case "alu models agree" `Quick test_alu_models_agree;
+    Alcotest.test_case "alu bugs have effects" `Quick
+      test_alu_bug_variants_differ;
+    Alcotest.test_case "alu SEC clean" `Quick test_alu_sec_clean;
+    Alcotest.test_case "alu SEC finds every bug" `Quick
+      test_alu_sec_finds_every_bug;
+    Alcotest.test_case "fir slm = golden" `Quick test_fir_slm_matches_golden;
+    Alcotest.test_case "fir exact vs c-style diverge" `Quick
+      test_fir_models_diverge_on_saturation;
+    Alcotest.test_case "fir rtl stream = golden" `Quick
+      test_fir_rtl_stream_matches_golden;
+    Alcotest.test_case "fir SEC exact equivalent" `Quick
+      test_fir_sec_exact_equivalent;
+    Alcotest.test_case "fir SEC catches c-style" `Quick
+      test_fir_sec_catches_cstyle;
+    Alcotest.test_case "fir SEC c-style ok with small taps" `Quick
+      test_fir_sec_cstyle_equivalent_when_unsaturable;
+    Alcotest.test_case "memsys simple = golden" `Quick
+      test_memsys_simple_matches_golden;
+    Alcotest.test_case "memsys cached = golden" `Quick
+      test_memsys_cached_matches_golden;
+    Alcotest.test_case "memsys cache reorders" `Quick test_memsys_cached_reorders;
+    Alcotest.test_case "memsys in-order scoreboard fails" `Quick
+      test_memsys_inorder_scoreboard_fails_on_cache;
+    Alcotest.test_case "memsys latency profile" `Quick
+      test_memsys_latency_profile;
+    Alcotest.test_case "conv stream = golden" `Quick
+      test_conv_stream_matches_golden;
+    Alcotest.test_case "conv window SEC" `Quick test_conv_window_sec;
+    Alcotest.test_case "conv wrap bug found" `Quick test_conv_wrap_bug_found;
+    Alcotest.test_case "conv golden pixel = slm" `Quick
+      test_conv_golden_pixel_vs_slm;
+    Alcotest.test_case "minifloat interp = golden" `Quick
+      test_minifloat_interp_matches_golden;
+    Alcotest.test_case "minifloat decode" `Quick test_minifloat_decode_sane;
+    Alcotest.test_case "minifloat divergence only denormal" `Quick
+      test_minifloat_divergence_is_denormal_only;
+    Alcotest.test_case "minifloat SEC with constraints" `Quick
+      test_minifloat_sec ]
+
+(* --- uart -------------------------------------------------------------- *)
+
+let test_uart_slm_matches_golden () =
+  let t = Uart.make () in
+  for byte = 0 to 255 do
+    let expect = Uart.golden_frame byte in
+    let got =
+      Interp.as_arr
+        (Interp.run t.Uart.slm [ Interp.vint ~width:8 byte ])
+    in
+    Array.iteri
+      (fun i e ->
+        if Bitvec.to_int got.(i) <> e then
+          Alcotest.failf "frame(%02x) bit %d: %d <> %d" byte i
+            (Bitvec.to_int got.(i)) e)
+      expect
+  done
+
+let test_uart_transmit_trace () =
+  let t = Uart.make ~baud_div:3 () in
+  let byte = 0xA5 in
+  let trace, _ = Uart.transmit t byte in
+  let frame = Uart.golden_frame byte in
+  (* Cycle 0 is the request cycle (line idle); bit k occupies cycles
+     1 + 3k .. 3(k+1). *)
+  check_int "idle before" 1 trace.(0);
+  Array.iteri
+    (fun k b ->
+      for j = 0 to 2 do
+        let c = 1 + (3 * k) + j in
+        if trace.(c) <> b then
+          Alcotest.failf "cycle %d (bit %d): %d <> %d" c k trace.(c) b
+      done)
+    frame;
+  check_int "idle after" 1 trace.(31)
+
+let test_uart_sec () =
+  let t = Uart.make () in
+  match Checker.check_slm_rtl ~slm:t.Uart.slm ~rtl:t.Uart.rtl ~spec:t.Uart.spec () with
+  | Checker.Equivalent _ -> ()
+  | Checker.Not_equivalent (cex, _) -> (
+    match List.assoc "data" cex.Checker.params with
+    | Interp.Vint b ->
+      Alcotest.failf "uart SEC cex data=%s" (Bitvec.to_string b)
+    | _ -> Alcotest.fail "uart SEC failed")
+
+let test_uart_sec_catches_baud_mismatch () =
+  (* A transactor calibrated for divisor 4 against a divisor-5 RTL: the
+     interface-timing inconsistency of Section 3.2, caught formally. *)
+  let t4 = Uart.make ~baud_div:4 () in
+  let t5 = Uart.make ~baud_div:5 () in
+  match
+    Checker.check_slm_rtl ~slm:t4.Uart.slm ~rtl:t5.Uart.rtl ~spec:t4.Uart.spec ()
+  with
+  | Checker.Not_equivalent _ -> ()
+  | Checker.Equivalent _ -> Alcotest.fail "baud mismatch not caught"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "uart slm = golden (exhaustive)" `Quick
+        test_uart_slm_matches_golden;
+      Alcotest.test_case "uart transmit trace" `Quick test_uart_transmit_trace;
+      Alcotest.test_case "uart SEC" `Quick test_uart_sec;
+      Alcotest.test_case "uart SEC catches baud mismatch" `Quick
+        test_uart_sec_catches_baud_mismatch ]

@@ -1,0 +1,690 @@
+(* Tests for the HWIR: typechecking, interpretation, guideline lint, and
+   interpreter-vs-static-elaboration agreement. *)
+
+open Dfv_bitvec
+open Dfv_hwir
+open Dfv_aig
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+(* --- sample programs ---------------------------------------------------- *)
+
+(* Euclid's gcd, in conditioned form: bounded loop with conditional exit
+   (8-bit gcd needs at most 13 iterations; 16 is a safe static bound). *)
+let gcd_prog =
+  let open Ast in
+  {
+    funcs =
+      [ {
+          fname = "gcd";
+          params = [ ("a", uint 8); ("b", uint 8) ];
+          ret = uint 8;
+          locals = [ ("x", uint 8); ("y", uint 8); ("t", uint 8) ];
+          body =
+            [ assign "x" (var "a");
+              assign "y" (var "b");
+              Bounded_while
+                {
+                  cond = var "y" <>^ u 8 0;
+                  max_iter = 16;
+                  body =
+                    [ assign "t" (var "y");
+                      assign "y" (var "x" %^ var "y");
+                      assign "x" (var "t") ];
+                };
+              ret (var "x") ];
+        } ];
+    entry = "gcd";
+  }
+
+(* The same algorithm in unconditioned form: data-dependent while. *)
+let gcd_unconditioned =
+  let open Ast in
+  {
+    gcd_prog with
+    funcs =
+      [ {
+          (List.hd gcd_prog.funcs) with
+          body =
+            [ assign "x" (var "a");
+              assign "y" (var "b");
+              While
+                ( var "y" <>^ u 8 0,
+                  [ assign "t" (var "y");
+                    assign "y" (var "x" %^ var "y");
+                    assign "x" (var "t") ] );
+              ret (var "x") ];
+        } ];
+  }
+
+(* A 4-tap FIR with widening arithmetic and a helper function. *)
+let fir_prog =
+  let open Ast in
+  let mac = Call ("mac", [ var "acc"; idx "x" (var "i"); idx "h" (var "i") ]) in
+  {
+    funcs =
+      [ {
+          fname = "mac";
+          params = [ ("acc", uint 20); ("xi", uint 8); ("hi", uint 8) ];
+          ret = uint 20;
+          locals = [];
+          body =
+            [ ret
+                (var "acc"
+                +^ cast (uint 20) (cast (uint 16) (var "xi") *^ cast (uint 16) (var "hi")))
+            ];
+        };
+        {
+          fname = "fir4";
+          params = [ ("x", Tarray (uint 8, 4)); ("h", Tarray (uint 8, 4)) ];
+          ret = uint 20;
+          locals = [ ("acc", uint 20) ];
+          body =
+            [ For
+                {
+                  ivar = "i32";
+                  count = 4;
+                  body =
+                    [ assign "i" (cast (uint 2) (var "i32")); assign "acc" mac ];
+                };
+              ret (var "acc") ];
+        } ];
+    entry = "fir4";
+  }
+
+(* fir_prog needs local "i" of width 2 for indexing. *)
+let fir_prog =
+  let open Ast in
+  {
+    fir_prog with
+    funcs =
+      List.map
+        (fun f ->
+          if f.fname = "fir4" then
+            { f with locals = ("i", uint 2) :: f.locals }
+          else f)
+        fir_prog.funcs;
+  }
+
+(* Early return: absolute value of a signed byte. *)
+let abs_prog =
+  let open Ast in
+  {
+    funcs =
+      [ {
+          fname = "abs8";
+          params = [ ("v", sint 8) ];
+          ret = sint 8;
+          locals = [];
+          body =
+            [ If (var "v" <^ s 8 0, [ ret (Unop (Neg, var "v")) ], []);
+              ret (var "v") ];
+        } ];
+    entry = "abs8";
+  }
+
+(* Array reversal returning the array, with symbolic-index stores. *)
+let reverse_prog =
+  let open Ast in
+  {
+    funcs =
+      [ {
+          fname = "reverse";
+          params = [ ("x", Tarray (uint 8, 8)) ];
+          ret = Tarray (uint 8, 8);
+          locals = [ ("y", Tarray (uint 8, 8)); ("j", uint 3) ];
+          body =
+            [ For
+                {
+                  ivar = "i";
+                  count = 8;
+                  body =
+                    [ assign "j" (cast (uint 3) (u 32 7 -^ var "i"));
+                      assign_idx "y" (var "j")
+                        (idx "x" (cast (uint 3) (var "i"))) ];
+                };
+              ret (var "y") ];
+        } ];
+    entry = "reverse";
+  }
+
+(* Bit-manipulation soup: selects, shifts, conditionals, logic. *)
+let bits_prog =
+  let open Ast in
+  {
+    funcs =
+      [ {
+          fname = "bits";
+          params = [ ("a", uint 16); ("b", uint 16) ];
+          ret = uint 16;
+          locals = [ ("t", uint 16) ];
+          body =
+            [ assign "t"
+                (Cond
+                   ( Bitsel (var "a", 15, 15) ==^ u 1 1,
+                     var "a" ^^ var "b",
+                     var "a" +^ (var "b" >>^ cast (uint 4) (Bitsel (var "a", 3, 0)))
+                   ));
+              ret
+                (var "t"
+                |^ cast (uint 16) (Bitsel (var "b", 11, 4)) <<^ u 4 8) ];
+        } ];
+    entry = "bits";
+  }
+
+(* --- typecheck ----------------------------------------------------------- *)
+
+let test_typecheck_ok () =
+  List.iter Typecheck.check
+    [ gcd_prog; gcd_unconditioned; fir_prog; abs_prog; reverse_prog; bits_prog ]
+
+let test_typecheck_errors () =
+  let open Ast in
+  let expect_error name p =
+    match Typecheck.check p with
+    | exception Typecheck.Type_error _ -> ()
+    | () -> Alcotest.failf "%s: expected type error" name
+  in
+  let fn body = { fname = "f"; params = [ ("a", uint 8) ]; ret = uint 8; locals = []; body } in
+  expect_error "width mismatch"
+    { funcs = [ fn [ ret (var "a" +^ u 4 1) ] ]; entry = "f" };
+  expect_error "sign mismatch"
+    { funcs = [ fn [ ret (var "a" +^ s 8 1) ] ]; entry = "f" };
+  expect_error "unknown var" { funcs = [ fn [ ret (var "zz") ] ]; entry = "f" };
+  expect_error "missing return" { funcs = [ fn [ assign "a" (u 8 0) ] ]; entry = "f" };
+  expect_error "missing entry" { funcs = [ fn [ ret (var "a") ] ]; entry = "main" };
+  expect_error "non-bool if"
+    { funcs = [ fn [ If (var "a", [ ret (var "a") ], [ ret (var "a") ]) ] ]; entry = "f" };
+  expect_error "constant index oob"
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("x", Tarray (uint 8, 4)) ];
+            ret = uint 8;
+            locals = [];
+            body = [ ret (idx "x" (u 3 5)) ];
+          } ];
+      entry = "f";
+    };
+  expect_error "signed index"
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("x", Tarray (uint 8, 4)); ("i", sint 2) ];
+            ret = uint 8;
+            locals = [];
+            body = [ ret (idx "x" (var "i")) ];
+          } ];
+      entry = "f";
+    };
+  expect_error "recursion"
+    {
+      funcs = [ fn [ ret (Call ("f", [ var "a" ])) ] ];
+      entry = "f";
+    }
+
+(* --- interpreter ----------------------------------------------------------- *)
+
+let test_interp_gcd () =
+  let g a b =
+    Bitvec.to_int
+      (Interp.as_int
+         (Interp.run gcd_prog [ Interp.vint ~width:8 a; Interp.vint ~width:8 b ]))
+  in
+  check_int "gcd(12,18)" 6 (g 12 18);
+  check_int "gcd(7,13)" 1 (g 7 13);
+  check_int "gcd(0,5)" 5 (g 0 5);
+  check_int "gcd(5,0)" 5 (g 5 0);
+  check_int "gcd(240,96)" 48 (g 240 96)
+
+let test_interp_matches_unconditioned () =
+  (* The conditioned and unconditioned gcd models agree on all inputs —
+     conditioning is a refactoring, not a behaviour change. *)
+  for a = 0 to 40 do
+    for b = 0 to 40 do
+      let run p =
+        Bitvec.to_int
+          (Interp.as_int
+             (Interp.run p [ Interp.vint ~width:8 a; Interp.vint ~width:8 b ]))
+      in
+      if run gcd_prog <> run gcd_unconditioned then
+        Alcotest.failf "divergence at gcd(%d, %d)" a b
+    done
+  done
+
+let test_interp_fir () =
+  let x = Interp.varr ~width:8 [| 1; 2; 3; 4 |] in
+  let h = Interp.varr ~width:8 [| 10; 20; 30; 40 |] in
+  let r = Bitvec.to_int (Interp.as_int (Interp.run fir_prog [ x; h ])) in
+  check_int "dot product" ((1 * 10) + (2 * 20) + (3 * 30) + (4 * 40)) r
+
+let test_interp_abs () =
+  let a v =
+    Bitvec.to_signed_int
+      (Interp.as_int (Interp.run abs_prog [ Interp.vint ~width:8 v ]))
+  in
+  check_int "abs(-5)" 5 (a (-5));
+  check_int "abs(5)" 5 (a 5);
+  check_int "abs(0)" 0 (a 0);
+  (* Two's complement edge: abs(-128) = -128 at 8 bits. *)
+  check_int "abs(-128)" (-128) (a (-128))
+
+let test_interp_reverse () =
+  let x = Interp.varr ~width:8 [| 1; 2; 3; 4; 5; 6; 7; 8 |] in
+  let r = Interp.as_arr (Interp.run reverse_prog [ x ]) in
+  check_int "first" 8 (Bitvec.to_int r.(0));
+  check_int "last" 1 (Bitvec.to_int r.(7))
+
+let test_interp_runtime_errors () =
+  let open Ast in
+  let expect_rt name p args =
+    match Interp.run p args with
+    | exception Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected runtime error" name
+  in
+  let div_prog =
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("a", uint 8); ("b", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body = [ ret (var "a" /^ var "b") ];
+          } ];
+      entry = "f";
+    }
+  in
+  expect_rt "div by zero" div_prog
+    [ Interp.vint ~width:8 1; Interp.vint ~width:8 0 ];
+  let oob_prog =
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("x", Tarray (uint 8, 4)); ("i", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body = [ ret (idx "x" (var "i")) ];
+          } ];
+      entry = "f";
+    }
+  in
+  expect_rt "index oob" oob_prog
+    [ Interp.varr ~width:8 [| 1; 2; 3; 4 |]; Interp.vint ~width:8 9 ]
+
+let test_interp_extern () =
+  let open Ast in
+  let p =
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("a", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body = [ Extern_call ("printf", [ var "a" ]); ret (var "a") ];
+          } ];
+      entry = "f";
+    }
+  in
+  (* Default extern handler refuses. *)
+  check_bool "unhandled extern raises" true
+    (match Interp.run p [ Interp.vint ~width:8 3 ] with
+    | exception Interp.Runtime_error _ -> true
+    | _ -> false);
+  (* A supplied handler makes the unconditioned model runnable. *)
+  let seen = ref 0 in
+  let extern _ args = seen := Bitvec.to_int (Interp.as_int (List.hd args)) in
+  let r = Interp.run ~extern p [ Interp.vint ~width:8 3 ] in
+  check_int "value returned" 3 (Bitvec.to_int (Interp.as_int r));
+  check_int "extern saw arg" 3 !seen
+
+(* --- guideline lint --------------------------------------------------------- *)
+
+let test_guideline_conditioned () =
+  check_bool "gcd conditioned" true (Guideline.conditioned gcd_prog);
+  check_bool "fir conditioned" true (Guideline.conditioned fir_prog);
+  check_bool "unconditioned gcd flagged" false
+    (Guideline.conditioned gcd_unconditioned);
+  match Guideline.check gcd_unconditioned with
+  | [ Guideline.Data_dependent_loop { func = "gcd" } ] -> ()
+  | vs ->
+    Alcotest.failf "expected one data-dependent-loop violation, got %d"
+      (List.length vs)
+
+let test_guideline_all_violations () =
+  let open Ast in
+  let p =
+    {
+      funcs =
+        [ {
+            fname = "bad";
+            params = [ ("n", uint 8) ];
+            ret = uint 8;
+            locals = [ ("x", Tarray (uint 8, 4)) ];
+            body =
+              [ Alloc { var = "buf"; elem = uint 8; size = var "n" };
+                Alias { var = "p"; target = "x" };
+                While (var "n" <>^ u 8 0, [ assign "n" (var "n" -^ u 8 1) ]);
+                Extern_call ("memcpy", []);
+                ret (var "n") ];
+          };
+          {
+            fname = "dead";
+            params = [];
+            ret = uint 8;
+            locals = [];
+            body = [ ret (u 8 0) ];
+          } ];
+      entry = "bad";
+    }
+  in
+  let vs = Guideline.check p in
+  let count pred = List.length (List.filter pred vs) in
+  check_int "alloc" 1
+    (count (function Guideline.Dynamic_allocation _ -> true | _ -> false));
+  check_int "alias" 1
+    (count (function Guideline.Pointer_aliasing _ -> true | _ -> false));
+  check_int "while" 1
+    (count (function Guideline.Data_dependent_loop _ -> true | _ -> false));
+  check_int "extern" 1
+    (count (function Guideline.External_call _ -> true | _ -> false));
+  check_int "dead code" 1
+    (count (function Guideline.Unreachable_function _ -> true | _ -> false));
+  check_bool "advisory does not block" true
+    (Guideline.is_advisory (Guideline.Unreachable_function { func = "dead" }))
+
+(* --- elaboration ------------------------------------------------------------- *)
+
+(* Flatten argument values into an AIG primary-input assignment, in the
+   allocation order used by Elab.elaborate. *)
+let flatten_inputs params (args : Interp.value list) =
+  let bits =
+    List.concat
+      (List.map2
+         (fun (_, shape) v ->
+           match (shape, v) with
+           | Elab.Word _, Interp.Vint bv -> [ Bitvec.to_bits bv ]
+           | Elab.Bank _, Interp.Varr a ->
+             Array.to_list (Array.map Bitvec.to_bits a)
+           | _ -> Alcotest.fail "shape mismatch")
+         params args)
+  in
+  Array.concat bits
+
+let check_elab_matches_interp ~name ?(iters = 100) prog gen_args =
+  Typecheck.check prog;
+  let g = Aig.create () in
+  let params, result = Elab.elaborate prog ~g in
+  let st = Random.State.make [| Hashtbl.hash name |] in
+  for _ = 1 to iters do
+    let args = gen_args st in
+    let inputs = flatten_inputs params args in
+    let values = Aig.simulate g inputs in
+    let expected = Interp.run prog args in
+    match (result, expected) with
+    | Elab.Word w, Interp.Vint bv ->
+      let got = Word.to_bitvec g values w in
+      if not (Bitvec.equal got bv) then
+        Alcotest.failf "%s: elaborated %s, interpreted %s" name
+          (Bitvec.to_string got) (Bitvec.to_string bv)
+    | Elab.Bank bank, Interp.Varr arr ->
+      Array.iteri
+        (fun i w ->
+          let got = Word.to_bitvec g values w in
+          if not (Bitvec.equal got arr.(i)) then
+            Alcotest.failf "%s[%d]: elaborated %s, interpreted %s" name i
+              (Bitvec.to_string got) (Bitvec.to_string arr.(i)))
+        bank
+    | _ -> Alcotest.fail "result shape mismatch"
+  done
+
+let test_elab_gcd () =
+  check_elab_matches_interp ~name:"gcd" gcd_prog (fun st ->
+      [ Interp.Vint (Bitvec.random st ~width:8);
+        Interp.Vint (Bitvec.random st ~width:8) ])
+
+let test_elab_fir () =
+  check_elab_matches_interp ~name:"fir" fir_prog (fun st ->
+      [ Interp.Varr (Array.init 4 (fun _ -> Bitvec.random st ~width:8));
+        Interp.Varr (Array.init 4 (fun _ -> Bitvec.random st ~width:8)) ])
+
+let test_elab_abs () =
+  check_elab_matches_interp ~name:"abs" abs_prog (fun st ->
+      [ Interp.Vint (Bitvec.random st ~width:8) ])
+
+let test_elab_reverse () =
+  check_elab_matches_interp ~name:"reverse" reverse_prog (fun st ->
+      [ Interp.Varr (Array.init 8 (fun _ -> Bitvec.random st ~width:8)) ])
+
+let test_elab_bits () =
+  check_elab_matches_interp ~name:"bits" bits_prog (fun st ->
+      [ Interp.Vint (Bitvec.random st ~width:16);
+        Interp.Vint (Bitvec.random st ~width:16) ])
+
+let test_elab_rejects_unconditioned () =
+  let expect_reject name p =
+    let g = Aig.create () in
+    match Elab.elaborate p ~g with
+    | exception Elab.Not_synthesizable _ -> ()
+    | _ -> Alcotest.failf "%s: expected Not_synthesizable" name
+  in
+  expect_reject "while" gcd_unconditioned;
+  let open Ast in
+  expect_reject "alloc"
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("n", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body =
+              [ Alloc { var = "b"; elem = uint 8; size = var "n" };
+                ret (var "n") ];
+          } ];
+      entry = "f";
+    };
+  expect_reject "extern"
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("n", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body = [ Extern_call ("x", []); ret (var "n") ];
+          } ];
+      entry = "f";
+    }
+
+(* SAT-level check: the elaborated gcd is commutative, proven by
+   building a miter program over shared inputs and refuting its
+   negation.  4-bit width: the 8-bit instance (32 unrolled dividers) is
+   beyond a classic CDCL solver's comfortable range, and the qualitative
+   point is identical. *)
+let gcd4_prog =
+  let open Ast in
+  {
+    funcs =
+      [ {
+          fname = "gcd";
+          params = [ ("a", uint 4); ("b", uint 4) ];
+          ret = uint 4;
+          locals = [ ("x", uint 4); ("y", uint 4); ("t", uint 4) ];
+          body =
+            [ assign "x" (var "a");
+              assign "y" (var "b");
+              Bounded_while
+                {
+                  cond = var "y" <>^ u 4 0;
+                  max_iter = 8;
+                  body =
+                    [ assign "t" (var "y");
+                      assign "y" (var "x" %^ var "y");
+                      assign "x" (var "t") ];
+                };
+              ret (var "x") ];
+        } ];
+    entry = "gcd";
+  }
+
+let test_elab_gcd_commutative_by_sat () =
+  let g = Aig.create () in
+  let open Ast in
+  let miter_prog =
+    {
+      funcs =
+        gcd4_prog.funcs
+        @ [ {
+              fname = "miter";
+              params = [ ("a", uint 4); ("b", uint 4) ];
+              ret = uint 1;
+              locals = [];
+              body =
+                [ ret
+                    (Call ("gcd", [ var "a"; var "b" ])
+                    ==^ Call ("gcd", [ var "b"; var "a" ])) ];
+            } ];
+      entry = "miter";
+    }
+  in
+  let _, result = Elab.elaborate miter_prog ~g in
+  let w = match result with Elab.Word w -> w | _ -> assert false in
+  match Aig.check_sat g (Aig.not_ w.(0)) with
+  | `Unsat -> ()
+  | `Sat witness ->
+    Alcotest.failf "gcd not commutative?! witness %s"
+      (String.concat ""
+         (Array.to_list (Array.map (fun b -> if b then "1" else "0") witness)))
+
+let suite =
+  [ Alcotest.test_case "typecheck ok" `Quick test_typecheck_ok;
+    Alcotest.test_case "typecheck errors" `Quick test_typecheck_errors;
+    Alcotest.test_case "interp gcd" `Quick test_interp_gcd;
+    Alcotest.test_case "conditioned = unconditioned" `Quick
+      test_interp_matches_unconditioned;
+    Alcotest.test_case "interp fir" `Quick test_interp_fir;
+    Alcotest.test_case "interp abs (early return)" `Quick test_interp_abs;
+    Alcotest.test_case "interp reverse (arrays)" `Quick test_interp_reverse;
+    Alcotest.test_case "interp runtime errors" `Quick
+      test_interp_runtime_errors;
+    Alcotest.test_case "interp extern handler" `Quick test_interp_extern;
+    Alcotest.test_case "guideline: conditioned programs" `Quick
+      test_guideline_conditioned;
+    Alcotest.test_case "guideline: all violation kinds" `Quick
+      test_guideline_all_violations;
+    Alcotest.test_case "elab = interp: gcd" `Quick test_elab_gcd;
+    Alcotest.test_case "elab = interp: fir" `Quick test_elab_fir;
+    Alcotest.test_case "elab = interp: abs" `Quick test_elab_abs;
+    Alcotest.test_case "elab = interp: reverse" `Quick test_elab_reverse;
+    Alcotest.test_case "elab = interp: bit soup" `Quick test_elab_bits;
+    Alcotest.test_case "elab rejects unconditioned" `Quick
+      test_elab_rejects_unconditioned;
+    Alcotest.test_case "SAT: gcd commutative" `Quick
+      test_elab_gcd_commutative_by_sat ]
+
+(* Bounded loops that hit their static bound behave identically in the
+   interpreter and the elaborated hardware: both simply stop iterating
+   (the conditioned-loop contract). *)
+let test_bounded_loop_exhaustion_consistent () =
+  let open Ast in
+  (* Counts down from `a` by 1, but only 3 iterations are provisioned:
+     for a > 3 the loop exits early with a - 3. *)
+  let prog =
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("a", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body =
+              [ Bounded_while
+                  {
+                    cond = var "a" <>^ u 8 0;
+                    max_iter = 3;
+                    body = [ assign "a" (var "a" -^ u 8 1) ];
+                  };
+                ret (var "a") ];
+          } ];
+      entry = "f";
+    }
+  in
+  Typecheck.check prog;
+  let g = Aig.create () in
+  let params, result = Elab.elaborate prog ~g in
+  let w = match result with Elab.Word w -> w | _ -> assert false in
+  ignore params;
+  for a = 0 to 255 do
+    let interp =
+      Bitvec.to_int
+        (Interp.as_int (Interp.run prog [ Interp.vint ~width:8 a ]))
+    in
+    let values = Aig.simulate g (Bitvec.to_bits (Bitvec.create ~width:8 a)) in
+    let elab = Bitvec.to_int (Word.to_bitvec g values w) in
+    let expected = max 0 (a - 3) in
+    if interp <> expected || elab <> expected then
+      Alcotest.failf "a=%d: interp=%d elab=%d expected=%d" a interp elab
+        expected
+  done
+
+(* Early return from inside an unrolled loop masks later iterations the
+   same way in both semantics. *)
+let test_early_return_in_loop_consistent () =
+  let open Ast in
+  (* Returns the index of the first set bit of `a`, or 8. *)
+  let prog =
+    {
+      funcs =
+        [ {
+            fname = "f";
+            params = [ ("a", uint 8) ];
+            ret = uint 8;
+            locals = [];
+            body =
+              [ For
+                  {
+                    ivar = "i";
+                    count = 8;
+                    body =
+                      [ If
+                          ( (var "a" >>^ cast (uint 3) (var "i")) &^ u 8 1
+                            ==^ u 8 1,
+                            [ ret (cast (uint 8) (var "i")) ],
+                            [] ) ];
+                  };
+                ret (u 8 8) ];
+          } ];
+      entry = "f";
+    }
+  in
+  Typecheck.check prog;
+  let g = Aig.create () in
+  let _, result = Elab.elaborate prog ~g in
+  let w = match result with Elab.Word w -> w | _ -> assert false in
+  for a = 0 to 255 do
+    let expected =
+      let rec go i = if i = 8 then 8 else if (a lsr i) land 1 = 1 then i else go (i + 1) in
+      go 0
+    in
+    let interp =
+      Bitvec.to_int (Interp.as_int (Interp.run prog [ Interp.vint ~width:8 a ]))
+    in
+    let values = Aig.simulate g (Bitvec.to_bits (Bitvec.create ~width:8 a)) in
+    let elab = Bitvec.to_int (Word.to_bitvec g values w) in
+    if interp <> expected || elab <> expected then
+      Alcotest.failf "a=%02x: interp=%d elab=%d expected=%d" a interp elab
+        expected
+  done
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "bounded loop exhaustion consistent" `Quick
+        test_bounded_loop_exhaustion_consistent;
+      Alcotest.test_case "early return in loop consistent" `Quick
+        test_early_return_in_loop_consistent ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "dfv"
+    [ ("bitvec", Test_bitvec.suite);
+      ("cint", Test_cint.suite);
+      ("sat", Test_sat.suite);
+      ("aig", Test_aig.suite);
+      ("sweep", Test_sweep.suite);
+      ("aiger", Test_aiger.suite);
+      ("rtl", Test_rtl.suite);
+      ("verilog", Test_verilog.suite);
+      ("slm", Test_slm.suite);
+      ("tlm", Test_tlm.suite);
+      ("hwir", Test_hwir.suite);
+      ("sec", Test_sec.suite);
+      ("cosim", Test_cosim.suite);
+      ("softfloat", Test_softfloat.suite);
+      ("designs", Test_designs.suite);
+      ("core", Test_core.suite);
+      ("properties", Test_properties.suite);
+      ("behsyn", Test_behsyn.suite) ]

@@ -1,0 +1,287 @@
+(* Cross-module property tests: randomly generated expressions and
+   programs exercise the semantic web — RTL simulator vs AIG synthesis,
+   HWIR interpreter vs static elaboration, scoreboard policies, kernel
+   determinism, and C-int semantics against the host's Int32. *)
+
+open Dfv_bitvec
+open Dfv_slm
+open Dfv_cosim
+
+let check_bool = Alcotest.check Alcotest.bool
+
+(* --- random RTL expressions: simulator = synthesized AIG --------------- *)
+
+(* Well-typed-by-construction expression generator at a fixed width. *)
+let rec gen_expr st width depth : Dfv_rtl.Expr.t =
+  let open Dfv_rtl.Expr in
+  let leaf () =
+    if Random.State.bool st then sig_ [| "a"; "b"; "c" |].(Random.State.int st 3)
+    else of_bitvec (Bitvec.random st ~width)
+  in
+  if depth = 0 then leaf ()
+  else begin
+    let sub () = gen_expr st width (depth - 1) in
+    match Random.State.int st 12 with
+    | 0 -> sub () +: sub ()
+    | 1 -> sub () -: sub ()
+    | 2 -> sub () *: sub ()
+    | 3 -> sub () &: sub ()
+    | 4 -> sub () |: sub ()
+    | 5 -> sub () ^: sub ()
+    | 6 -> ~:(sub ())
+    | 7 -> mux (bit (sub ()) (Random.State.int st width)) (sub ()) (sub ())
+    | 8 ->
+      let lo = Random.State.int st width in
+      zext (slice (sub ()) ~hi:(width - 1) ~lo) width
+    | 9 -> sext (slice (sub ()) ~hi:(width / 2) ~lo:0) width
+    | 10 -> sub () <<: slice (sub ()) ~hi:2 ~lo:0
+    | _ -> sub () >>+ slice (sub ()) ~hi:2 ~lo:0
+  end
+
+let eval_both expr inputs =
+  let open Dfv_rtl in
+  let width = 8 in
+  let m =
+    {
+      (Netlist.empty "prop") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "a"; port_width = width };
+          { Netlist.port_name = "b"; port_width = width };
+          { Netlist.port_name = "c"; port_width = width } ];
+      outputs = [ ("o", expr) ];
+    }
+  in
+  let d = Netlist.elaborate m in
+  let sim = Sim.create d in
+  let sim_out = List.assoc "o" (Sim.cycle sim inputs) in
+  (* Through the AIG. *)
+  let g = Dfv_aig.Aig.create () in
+  let words =
+    List.map
+      (fun (n, v) -> (n, Dfv_aig.Word.inputs g (Bitvec.width v)))
+      inputs
+  in
+  let outs, _ =
+    Synth.build d ~g
+      ~inputs:(fun n -> List.assoc n words)
+      ~state:(fun _ -> assert false)
+  in
+  let bits =
+    Array.concat (List.map (fun (_, v) -> Bitvec.to_bits v) inputs)
+  in
+  let values = Dfv_aig.Aig.simulate g bits in
+  let aig_out = Dfv_aig.Word.to_bitvec g values (List.assoc "o" outs) in
+  (sim_out, aig_out)
+
+let prop_sim_equals_synth =
+  QCheck.Test.make ~name:"random expr: simulator = synthesized AIG" ~count:120
+    QCheck.(pair (int_bound 1_000_000) (int_bound 3))
+    (fun (seed, depth) ->
+      let st = Random.State.make [| seed; 1 |] in
+      let expr = gen_expr st 8 (1 + depth) in
+      let inputs =
+        [ ("a", Bitvec.random st ~width:8);
+          ("b", Bitvec.random st ~width:8);
+          ("c", Bitvec.random st ~width:8) ]
+      in
+      let s, a = eval_both expr inputs in
+      Bitvec.equal s a)
+
+(* --- random HWIR programs: interpreter = static elaboration ------------- *)
+
+let gen_hwir_expr st depth : Dfv_hwir.Ast.expr =
+  let open Dfv_hwir.Ast in
+  let rec go depth =
+    let leaf () =
+      if Random.State.bool st then var [| "x"; "y"; "z" |].(Random.State.int st 3)
+      else u 8 (Random.State.int st 256)
+    in
+    if depth = 0 then leaf ()
+    else begin
+      let sub () = go (depth - 1) in
+      match Random.State.int st 9 with
+      | 0 -> sub () +^ sub ()
+      | 1 -> sub () -^ sub ()
+      | 2 -> sub () *^ sub ()
+      | 3 -> sub () &^ sub ()
+      | 4 -> sub () |^ sub ()
+      | 5 -> sub () ^^ sub ()
+      | 6 -> Cond (sub () <^ sub (), sub (), sub ())
+      | 7 -> cast (uint 8) (Bitsel (sub (), 3 + Random.State.int st 4, 0))
+      | _ -> sub () >>^ cast (uint 3) (sub ())
+    end
+  in
+  go depth
+
+let gen_hwir_program st : Dfv_hwir.Ast.program =
+  let open Dfv_hwir.Ast in
+  let nstmts = 2 + Random.State.int st 5 in
+  let gen_stmt depth =
+    let target = [| "x"; "y"; "z" |].(Random.State.int st 3) in
+    if Random.State.int st 4 = 0 && depth > 0 then
+      If
+        ( gen_hwir_expr st 1 <^ gen_hwir_expr st 1,
+          [ assign target (gen_hwir_expr st 2) ],
+          if Random.State.bool st then
+            [ assign [| "x"; "y"; "z" |].(Random.State.int st 3) (gen_hwir_expr st 2) ]
+          else [] )
+    else assign target (gen_hwir_expr st 2)
+  in
+  let body =
+    List.init nstmts (fun _ -> gen_stmt 1)
+    @ [ ret (gen_hwir_expr st 2) ]
+  in
+  {
+    funcs =
+      [ {
+          fname = "f";
+          params = [ ("x", uint 8); ("y", uint 8) ];
+          ret = uint 8;
+          locals = [ ("z", uint 8) ];
+          body;
+        } ];
+    entry = "f";
+  }
+
+let prop_interp_equals_elab =
+  QCheck.Test.make ~name:"random HWIR: interpreter = elaboration" ~count:80
+    (QCheck.int_bound 1_000_000)
+    (fun seed ->
+      let open Dfv_hwir in
+      let st = Random.State.make [| seed; 2 |] in
+      let prog = gen_hwir_program st in
+      Typecheck.check prog;
+      let g = Dfv_aig.Aig.create () in
+      let params, result = Elab.elaborate prog ~g in
+      let w = match result with Elab.Word w -> w | Elab.Bank _ -> assert false in
+      List.for_all
+        (fun _ ->
+          let x = Bitvec.random st ~width:8 and y = Bitvec.random st ~width:8 in
+          let interp =
+            Interp.run prog [ Interp.Vint x; Interp.Vint y ]
+          in
+          let bits = Array.append (Bitvec.to_bits x) (Bitvec.to_bits y) in
+          let values = Dfv_aig.Aig.simulate g bits in
+          let elab = Dfv_aig.Word.to_bitvec g values w in
+          ignore params;
+          Bitvec.equal (Interp.as_int interp) elab)
+        (List.init 10 Fun.id))
+
+(* --- scoreboard policies ------------------------------------------------ *)
+
+let prop_in_order_accepts_delays =
+  QCheck.Test.make ~name:"in-order scoreboard accepts any delays" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (int_bound 255)) (int_bound 1000))
+    (fun (values, seed) ->
+      let st = Random.State.make [| seed; 3 |] in
+      let sb = Scoreboard.create Scoreboard.In_order in
+      List.iteri
+        (fun i v -> Scoreboard.expect sb ~cycle:i (Bitvec.create ~width:8 v))
+        values;
+      let cycle = ref 0 in
+      List.iter
+        (fun v ->
+          cycle := !cycle + 1 + Random.State.int st 5;
+          Scoreboard.observe sb ~cycle:!cycle (Bitvec.create ~width:8 v))
+        values;
+      Scoreboard.ok (Scoreboard.report sb))
+
+let prop_in_order_rejects_value_change =
+  QCheck.Test.make ~name:"in-order scoreboard rejects a flipped value"
+    ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 20) (int_bound 255)) (int_bound 1000))
+    (fun (values, seed) ->
+      let st = Random.State.make [| seed; 4 |] in
+      let flip_at = Random.State.int st (List.length values) in
+      let sb = Scoreboard.create Scoreboard.In_order in
+      List.iteri
+        (fun i v -> Scoreboard.expect sb ~cycle:i (Bitvec.create ~width:8 v))
+        values;
+      List.iteri
+        (fun i v ->
+          let v = if i = flip_at then v lxor 1 else v in
+          Scoreboard.observe sb ~cycle:i (Bitvec.create ~width:8 v))
+        values;
+      not (Scoreboard.ok (Scoreboard.report sb)))
+
+let prop_out_of_order_accepts_permutation =
+  QCheck.Test.make ~name:"tagged scoreboard accepts any permutation"
+    ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 16) (int_bound 255)) (int_bound 1000))
+    (fun (values, seed) ->
+      let st = Random.State.make [| seed; 5 |] in
+      let tagged = List.mapi (fun i v -> (i land 0xf, v)) values in
+      let sb = Scoreboard.create Scoreboard.Out_of_order in
+      List.iteri
+        (fun i (tag, v) ->
+          Scoreboard.expect sb
+            ~tag:(Bitvec.create ~width:4 tag)
+            ~cycle:i (Bitvec.create ~width:8 v))
+        tagged;
+      (* Shuffle observations. *)
+      let arr = Array.of_list tagged in
+      for i = Array.length arr - 1 downto 1 do
+        let j = Random.State.int st (i + 1) in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      done;
+      Array.iteri
+        (fun i (tag, v) ->
+          Scoreboard.observe sb
+            ~tag:(Bitvec.create ~width:4 tag)
+            ~cycle:i (Bitvec.create ~width:8 v))
+        arr;
+      Scoreboard.ok (Scoreboard.report sb))
+
+(* --- kernel determinism -------------------------------------------------- *)
+
+let kernel_trace seed =
+  let k = Kernel.create () in
+  let log = Buffer.create 64 in
+  let st = Random.State.make [| seed |] in
+  let f = Fifo.create k "f" ~capacity:2 in
+  let clk = Clock.create k "clk" ~period:3 in
+  Kernel.thread k ~name:"producer" (fun () ->
+      for i = 1 to 10 do
+        Kernel.wait_time k (1 + Random.State.int st 4);
+        Fifo.write f i;
+        Buffer.add_string log (Printf.sprintf "w%d@%d;" i (Kernel.now k))
+      done);
+  Kernel.thread k ~name:"consumer" (fun () ->
+      for _ = 1 to 10 do
+        Clock.wait_posedge clk;
+        let v = Fifo.read f in
+        Buffer.add_string log (Printf.sprintf "r%d@%d;" v (Kernel.now k))
+      done);
+  Kernel.run ~until:500 k;
+  Buffer.contents log
+
+let prop_kernel_deterministic =
+  QCheck.Test.make ~name:"kernel runs are deterministic" ~count:50
+    (QCheck.int_bound 1_000_000)
+    (fun seed -> String.equal (kernel_trace seed) (kernel_trace seed))
+
+(* --- Cint vs host Int32 --------------------------------------------------- *)
+
+let prop_cint_matches_int32 =
+  QCheck.Test.make ~name:"Cint I32 ops match host Int32" ~count:1000
+    QCheck.(triple int int (int_bound 5))
+    (fun (x, y, op) ->
+      let a = Cint.make Cint.I32 x and b = Cint.make Cint.I32 y in
+      let ia = Int32.of_int x and ib = Int32.of_int y in
+      let pairs =
+        [ (Cint.add, Int32.add); (Cint.sub, Int32.sub); (Cint.mul, Int32.mul);
+          (Cint.logand, Int32.logand); (Cint.logor, Int32.logor);
+          (Cint.logxor, Int32.logxor) ]
+      in
+      let cf, if_ = List.nth pairs op in
+      Cint.reset_overflow_count ();
+      Int64.equal (Cint.value_i64 (cf a b)) (Int64.of_int32 (if_ ia ib)))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_sim_equals_synth; prop_interp_equals_elab;
+      prop_in_order_accepts_delays; prop_in_order_rejects_value_change;
+      prop_out_of_order_accepts_permutation; prop_kernel_deterministic;
+      prop_cint_matches_int32 ]

@@ -1,0 +1,295 @@
+(* Tests for the CDCL SAT solver. *)
+
+open Dfv_sat
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_res = Alcotest.check Alcotest.bool
+
+let is_sat = function Solver.Sat -> true | Solver.Unsat -> false
+
+(* Build a solver with [n] fresh variables. *)
+let fresh n =
+  let s = Solver.create () in
+  let vars = Array.init n (fun _ -> Solver.new_var s) in
+  (s, vars)
+
+let test_trivial_sat () =
+  let s, v = fresh 2 in
+  Solver.add_clause s [ Lit.pos v.(0) ];
+  Solver.add_clause s [ Lit.neg v.(1) ];
+  check_res "sat" true (is_sat (Solver.solve s));
+  check_bool "v0 true" true (Solver.value s (Lit.pos v.(0)));
+  check_bool "v1 false" false (Solver.value s (Lit.pos v.(1)))
+
+let test_trivial_unsat () =
+  let s, v = fresh 1 in
+  Solver.add_clause s [ Lit.pos v.(0) ];
+  Solver.add_clause s [ Lit.neg v.(0) ];
+  check_res "unsat" false (is_sat (Solver.solve s))
+
+let test_empty_clause () =
+  let s, _ = fresh 1 in
+  Solver.add_clause s [];
+  check_res "unsat" false (is_sat (Solver.solve s))
+
+let test_no_clauses () =
+  let s, _ = fresh 3 in
+  check_res "sat" true (is_sat (Solver.solve s))
+
+let test_propagation_chain () =
+  (* x0 and a chain of implications x_i -> x_{i+1}; then force ~x_last. *)
+  let n = 50 in
+  let s, v = fresh n in
+  Solver.add_clause s [ Lit.pos v.(0) ];
+  for i = 0 to n - 2 do
+    Solver.add_clause s [ Lit.neg v.(i); Lit.pos v.(i + 1) ]
+  done;
+  check_res "sat" true (is_sat (Solver.solve s));
+  check_bool "chain end true" true (Solver.value s (Lit.pos v.(n - 1)));
+  Solver.add_clause s [ Lit.neg v.(n - 1) ];
+  check_res "now unsat" false (is_sat (Solver.solve s))
+
+let test_xor_chain_unsat () =
+  (* XOR constraints as CNF: x0 (+) x1 = 1, x1 (+) x2 = 1, ..., and then
+     force x0 = x_last for an odd-length chain: unsat. *)
+  let n = 9 in
+  let s, v = fresh n in
+  let xor1 a b =
+    (* a (+) b = 1 : (a | b) & (~a | ~b) *)
+    Solver.add_clause s [ Lit.pos a; Lit.pos b ];
+    Solver.add_clause s [ Lit.neg a; Lit.neg b ]
+  in
+  for i = 0 to n - 2 do
+    xor1 v.(i) v.(i + 1)
+  done;
+  (* Chain of 8 inversions: x8 = x0.  Forcing x8 <> x0 is unsat. *)
+  xor1 v.(0) v.(n - 1);
+  check_res "unsat" false (is_sat (Solver.solve s))
+
+let pigeonhole pigeons holes =
+  (* PHP: pigeon i in some hole; no two pigeons share a hole. *)
+  let s = Solver.create () in
+  let var = Array.init pigeons (fun _ -> Array.init holes (fun _ -> Solver.new_var s)) in
+  for i = 0 to pigeons - 1 do
+    Solver.add_clause s
+      (List.init holes (fun j -> Lit.pos var.(i).(j)))
+  done;
+  for j = 0 to holes - 1 do
+    for i1 = 0 to pigeons - 1 do
+      for i2 = i1 + 1 to pigeons - 1 do
+        Solver.add_clause s [ Lit.neg var.(i1).(j); Lit.neg var.(i2).(j) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole_unsat () =
+  check_res "php 4/3" false (is_sat (Solver.solve (pigeonhole 4 3)));
+  check_res "php 5/4" false (is_sat (Solver.solve (pigeonhole 5 4)));
+  check_res "php 6/5" false (is_sat (Solver.solve (pigeonhole 6 5)))
+
+let test_pigeonhole_sat () =
+  check_res "php 4/4" true (is_sat (Solver.solve (pigeonhole 4 4)));
+  check_res "php 5/6" true (is_sat (Solver.solve (pigeonhole 5 6)))
+
+let test_assumptions () =
+  let s, v = fresh 3 in
+  (* v0 -> v1, v1 -> v2 *)
+  Solver.add_clause s [ Lit.neg v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.neg v.(1); Lit.pos v.(2) ];
+  check_res "assume v0, ~v2 unsat" false
+    (is_sat (Solver.solve ~assumptions:[ Lit.pos v.(0); Lit.neg v.(2) ] s));
+  check_res "assume v0 sat" true
+    (is_sat (Solver.solve ~assumptions:[ Lit.pos v.(0) ] s));
+  check_bool "v2 forced" true (Solver.value s (Lit.pos v.(2)));
+  check_res "still sat without assumptions" true (is_sat (Solver.solve s));
+  check_res "conflicting assumptions" false
+    (is_sat (Solver.solve ~assumptions:[ Lit.pos v.(0); Lit.neg v.(0) ] s))
+
+let test_incremental () =
+  let s, v = fresh 4 in
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(1) ];
+  check_res "sat 1" true (is_sat (Solver.solve s));
+  Solver.add_clause s [ Lit.neg v.(0) ];
+  check_res "sat 2" true (is_sat (Solver.solve s));
+  check_bool "v1 now forced" true (Solver.value s (Lit.pos v.(1)));
+  Solver.add_clause s [ Lit.neg v.(1) ];
+  check_res "unsat 3" false (is_sat (Solver.solve s));
+  (* A permanently-unsat solver stays unsat. *)
+  check_res "still unsat" false (is_sat (Solver.solve s))
+
+let test_true_lit () =
+  let s = Solver.create () in
+  let t = Solver.true_lit s in
+  check_res "sat" true (is_sat (Solver.solve s));
+  check_bool "true_lit is true" true (Solver.value s t);
+  check_bool "false_lit is false" false (Solver.value s (Solver.false_lit s))
+
+let test_duplicate_and_tautology () =
+  let s, v = fresh 2 in
+  Solver.add_clause s [ Lit.pos v.(0); Lit.pos v.(0); Lit.pos v.(0) ];
+  Solver.add_clause s [ Lit.pos v.(1); Lit.neg v.(1) ] (* dropped *);
+  check_res "sat" true (is_sat (Solver.solve s));
+  check_bool "v0 true" true (Solver.value s (Lit.pos v.(0)))
+
+let test_unallocated_var_rejected () =
+  let s, _ = fresh 1 in
+  check_bool "raises" true
+    (match Solver.add_clause s [ Lit.pos 5 ] with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+(* --- model validity and brute-force cross-check ---------------------- *)
+
+let eval_clauses clauses model =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun l ->
+          let v = model.(Lit.var l) in
+          if Lit.is_pos l then v else not v)
+        clause)
+    clauses
+
+let brute_force_sat nvars clauses =
+  let rec go i model =
+    if i = nvars then eval_clauses clauses model
+    else begin
+      model.(i) <- false;
+      go (i + 1) model
+      ||
+      (model.(i) <- true;
+       go (i + 1) model)
+    end
+  in
+  go 0 (Array.make nvars false)
+
+let gen_random_cnf =
+  QCheck.Gen.(
+    int_range 3 12 >>= fun nvars ->
+    int_range 1 50 >>= fun nclauses ->
+    let gen_lit = map2 (fun v pos -> Lit.make v pos) (int_range 0 (nvars - 1)) bool in
+    let gen_clause = list_size (int_range 1 3) gen_lit in
+    map (fun cs -> (nvars, cs)) (list_size (return nclauses) gen_clause))
+
+let arb_random_cnf =
+  QCheck.make gen_random_cnf ~print:(fun (nvars, cs) ->
+      Printf.sprintf "nvars=%d clauses=[%s]" nvars
+        (String.concat "; "
+           (List.map
+              (fun c -> String.concat " " (List.map Lit.to_string c))
+              cs)))
+
+let prop_agrees_with_brute_force =
+  QCheck.Test.make ~name:"CDCL agrees with brute force" ~count:300
+    arb_random_cnf (fun (nvars, clauses) ->
+      let s = Solver.create () in
+      for _ = 1 to nvars do
+        ignore (Solver.new_var s)
+      done;
+      List.iter (Solver.add_clause s) clauses;
+      let cdcl = is_sat (Solver.solve s) in
+      let brute = brute_force_sat nvars clauses in
+      if cdcl <> brute then false
+      else if cdcl then
+        (* When SAT, the produced model must satisfy every clause. *)
+        eval_clauses clauses (Solver.model s)
+      else true)
+
+let prop_assumption_consistency =
+  QCheck.Test.make ~name:"solve under assumptions = solve with units"
+    ~count:150 arb_random_cnf (fun (nvars, clauses) ->
+      let mk () =
+        let s = Solver.create () in
+        for _ = 1 to nvars do
+          ignore (Solver.new_var s)
+        done;
+        List.iter (Solver.add_clause s) clauses;
+        s
+      in
+      let assumps = [ Lit.pos 0; Lit.neg 1 ] in
+      let s1 = mk () in
+      let r1 = is_sat (Solver.solve ~assumptions:assumps s1) in
+      let s2 = mk () in
+      List.iter (fun l -> Solver.add_clause s2 [ l ]) assumps;
+      let r2 = is_sat (Solver.solve s2) in
+      r1 = r2)
+
+(* --- DIMACS ---------------------------------------------------------- *)
+
+let test_dimacs_parse () =
+  let cnf = Dimacs.parse_string "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  Alcotest.check Alcotest.int "vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.check Alcotest.int "clauses" 2 (List.length cnf.Dimacs.clauses);
+  let s = Solver.create () in
+  Dimacs.load s cnf;
+  check_res "sat" true (is_sat (Solver.solve s))
+
+let test_dimacs_roundtrip () =
+  let cnf = Dimacs.parse_string "p cnf 4 3\n1 2 0\n-3 4 0\n-1 -2 -4 0\n" in
+  let cnf2 = Dimacs.parse_string (Dimacs.to_string cnf) in
+  Alcotest.check Alcotest.bool "same" true (cnf = cnf2)
+
+let test_dimacs_errors () =
+  let expect_fail s =
+    match Dimacs.parse_string s with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.failf "expected failure for %S" s
+  in
+  expect_fail "1 2 0\n";
+  expect_fail "p cnf 2 1\n1 3 0\n";
+  expect_fail "p cnf 2 1\n1 2\n";
+  expect_fail "p cnf 2 5\n1 2 0\n"
+
+let test_stats_reported () =
+  let s = pigeonhole 5 4 in
+  ignore (Solver.solve s);
+  check_bool "conflicts counted" true (Solver.nconflicts s > 0);
+  check_bool "decisions counted" true (Solver.ndecisions s > 0);
+  check_bool "propagations counted" true (Solver.npropagations s > 0);
+  check_bool "learnt clauses" true (Solver.nlearnts s > 0)
+
+let qcheck_props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_agrees_with_brute_force; prop_assumption_consistency ]
+
+let suite =
+  [ Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+    Alcotest.test_case "trivial unsat" `Quick test_trivial_unsat;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "no clauses" `Quick test_no_clauses;
+    Alcotest.test_case "propagation chain" `Quick test_propagation_chain;
+    Alcotest.test_case "xor chain unsat" `Quick test_xor_chain_unsat;
+    Alcotest.test_case "pigeonhole unsat" `Quick test_pigeonhole_unsat;
+    Alcotest.test_case "pigeonhole sat" `Quick test_pigeonhole_sat;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental" `Quick test_incremental;
+    Alcotest.test_case "true_lit" `Quick test_true_lit;
+    Alcotest.test_case "duplicates and tautologies" `Quick
+      test_duplicate_and_tautology;
+    Alcotest.test_case "unallocated var rejected" `Quick
+      test_unallocated_var_rejected;
+    Alcotest.test_case "dimacs parse" `Quick test_dimacs_parse;
+    Alcotest.test_case "dimacs roundtrip" `Quick test_dimacs_roundtrip;
+    Alcotest.test_case "dimacs errors" `Quick test_dimacs_errors;
+    Alcotest.test_case "stats reported" `Quick test_stats_reported ]
+  @ qcheck_props
+
+let test_solve_bounded () =
+  (* A hard instance: the budget is honored and the solver stays usable. *)
+  let s = pigeonhole 9 8 in
+  (match Solver.solve_bounded ~max_conflicts:50 s with
+  | None -> ()
+  | Some _ -> Alcotest.fail "php(9,8) should not decide in 50 conflicts");
+  check_bool "conflicts counted" true (Solver.nconflicts s >= 50);
+  (* After giving up, an unbounded call still works... *)
+  check_res "still decidable" false (is_sat (Solver.solve s));
+  (* ... and an easy instance decides within a small budget. *)
+  let s2 = pigeonhole 4 4 in
+  match Solver.solve_bounded ~max_conflicts:100000 s2 with
+  | Some r -> check_res "easy decided" true (is_sat r)
+  | None -> Alcotest.fail "easy instance exceeded a huge budget"
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "solve_bounded budget" `Quick test_solve_bounded ]

@@ -1,0 +1,282 @@
+(* Tests for the SLM kernel: scheduling, delta semantics, signals,
+   FIFOs, clocks. *)
+
+open Dfv_slm
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_list = Alcotest.check (Alcotest.list Alcotest.string)
+let check_ints = Alcotest.check (Alcotest.list Alcotest.int)
+
+let test_thread_runs () =
+  let k = Kernel.create () in
+  let hit = ref false in
+  Kernel.thread k ~name:"t" (fun () -> hit := true);
+  Kernel.run k;
+  check_bool "thread ran" true !hit
+
+let test_wait_time_ordering () =
+  let k = Kernel.create () in
+  let log = ref [] in
+  let say s = log := s :: !log in
+  Kernel.thread k ~name:"a" (fun () ->
+      Kernel.wait_time k 10;
+      say "a@10";
+      Kernel.wait_time k 20;
+      say "a@30");
+  Kernel.thread k ~name:"b" (fun () ->
+      Kernel.wait_time k 15;
+      say "b@15");
+  Kernel.run k;
+  check_list "order" [ "a@10"; "b@15"; "a@30" ] (List.rev !log);
+  check_int "final time" 30 (Kernel.now k)
+
+let test_event_notify () =
+  let k = Kernel.create () in
+  let e = Kernel.event k "go" in
+  let log = ref [] in
+  Kernel.thread k ~name:"waiter" (fun () ->
+      Kernel.wait_event e;
+      log := "woke" :: !log);
+  Kernel.thread k ~name:"notifier" (fun () ->
+      Kernel.wait_time k 5;
+      Kernel.notify e);
+  Kernel.run k;
+  check_list "woke" [ "woke" ] !log;
+  check_int "time" 5 (Kernel.now k)
+
+let test_notify_in () =
+  let k = Kernel.create () in
+  let e = Kernel.event k "later" in
+  let woke_at = ref (-1) in
+  Kernel.thread k ~name:"w" (fun () ->
+      Kernel.wait_event e;
+      woke_at := Kernel.now k);
+  Kernel.notify_in e 42;
+  Kernel.run k;
+  check_int "woke at 42" 42 !woke_at
+
+let test_wait_any () =
+  let k = Kernel.create () in
+  let e1 = Kernel.event k "e1" and e2 = Kernel.event k "e2" in
+  let wakes = ref 0 in
+  Kernel.thread k ~name:"w" (fun () ->
+      Kernel.wait_any [ e1; e2 ];
+      incr wakes);
+  Kernel.notify_in e2 3;
+  Kernel.notify_in e1 7;
+  Kernel.run k;
+  (* Woken once by e2; e1's later firing must not resume it again. *)
+  check_int "single wake" 1 !wakes
+
+let test_method_sensitivity () =
+  let k = Kernel.create () in
+  let e = Kernel.event k "tick" in
+  let runs = ref 0 in
+  Kernel.method_ k ~name:"m" ~sensitive:[ e ] (fun () -> incr runs);
+  Kernel.thread k ~name:"driver" (fun () ->
+      for _ = 1 to 4 do
+        Kernel.wait_time k 10;
+        Kernel.notify e
+      done);
+  Kernel.run k;
+  (* One initial run + 4 notifications. *)
+  check_int "runs" 5 !runs
+
+let test_wait_outside_thread () =
+  let k = Kernel.create () in
+  let e = Kernel.event k "x" in
+  check_bool "raises" true
+    (match Kernel.wait_event e with
+    | exception Kernel.Not_in_thread -> true
+    | () -> false)
+
+let test_stop () =
+  let k = Kernel.create () in
+  let count = ref 0 in
+  Kernel.thread k ~name:"loop" (fun () ->
+      while true do
+        Kernel.wait_time k 1;
+        incr count;
+        if !count = 5 then Kernel.stop k
+      done);
+  Kernel.run k;
+  check_int "stopped after 5" 5 !count
+
+let test_run_until () =
+  let k = Kernel.create () in
+  let count = ref 0 in
+  Kernel.thread k ~name:"loop" (fun () ->
+      while true do
+        Kernel.wait_time k 10;
+        incr count
+      done);
+  Kernel.run ~until:100 k;
+  check_int "ten ticks" 10 !count;
+  (* Resume: the kernel can keep going. *)
+  Kernel.run ~until:150 k;
+  check_int "five more" 15 !count
+
+let test_blocked_threads () =
+  let k = Kernel.create () in
+  let e = Kernel.event k "never" in
+  Kernel.thread k ~name:"starved" (fun () -> Kernel.wait_event e);
+  Kernel.thread k ~name:"done" (fun () -> ());
+  Kernel.run k;
+  check_list "starved listed" [ "starved" ] (Kernel.blocked_threads k)
+
+(* --- signals ----------------------------------------------------------- *)
+
+let test_signal_delta_semantics () =
+  let k = Kernel.create () in
+  let s = Signal.create k "s" ~init:0 in
+  let seen_in_same_delta = ref (-1) in
+  let seen_after = ref (-1) in
+  Kernel.thread k ~name:"writer" (fun () ->
+      Signal.write s 7;
+      (* Not yet committed within the same evaluation phase. *)
+      seen_in_same_delta := Signal.read s;
+      Kernel.wait_delta k;
+      seen_after := Signal.read s);
+  Kernel.run k;
+  check_int "read-before-update" 0 !seen_in_same_delta;
+  check_int "read-after-delta" 7 !seen_after
+
+let test_signal_changed_event () =
+  let k = Kernel.create () in
+  let s = Signal.create k "s" ~init:0 in
+  let changes = ref 0 in
+  Kernel.method_ k ~name:"observer" ~sensitive:[ Signal.changed s ] (fun () ->
+      incr changes);
+  Kernel.thread k ~name:"writer" (fun () ->
+      Kernel.wait_time k 1;
+      Signal.write s 1;
+      Kernel.wait_time k 1;
+      Signal.write s 1 (* same value: no change event *);
+      Kernel.wait_time k 1;
+      Signal.write s 2);
+  Kernel.run k;
+  (* initial run + change-to-1 + change-to-2 *)
+  check_int "changes observed" 3 !changes
+
+let test_signal_last_write_wins () =
+  let k = Kernel.create () in
+  let s = Signal.create k "s" ~init:0 in
+  Kernel.thread k ~name:"w" (fun () ->
+      Signal.write s 1;
+      Signal.write s 2;
+      Signal.write s 3);
+  Kernel.run k;
+  check_int "last wins" 3 (Signal.read s)
+
+(* --- fifos -------------------------------------------------------------- *)
+
+let test_fifo_producer_consumer () =
+  let k = Kernel.create () in
+  let f = Fifo.create k "f" ~capacity:2 in
+  let produced = List.init 20 (fun i -> i) in
+  let consumed = ref [] in
+  Kernel.thread k ~name:"producer" (fun () ->
+      List.iter (fun v -> Fifo.write f v) produced);
+  Kernel.thread k ~name:"consumer" (fun () ->
+      for _ = 1 to 20 do
+        consumed := Fifo.read f :: !consumed
+      done);
+  Kernel.run k;
+  check_ints "all values in order" produced (List.rev !consumed);
+  check_list "no one starved" [] (Kernel.blocked_threads k)
+
+let test_fifo_blocking_write () =
+  let k = Kernel.create () in
+  let f = Fifo.create k "f" ~capacity:1 in
+  let writes_done = ref 0 in
+  Kernel.thread k ~name:"producer" (fun () ->
+      Fifo.write f 1;
+      incr writes_done;
+      Fifo.write f 2;
+      incr writes_done);
+  Kernel.thread k ~name:"slow-consumer" (fun () ->
+      Kernel.wait_time k 100;
+      ignore (Fifo.read f);
+      ignore (Fifo.read f));
+  Kernel.run k;
+  check_int "both writes completed" 2 !writes_done;
+  check_int "time advanced to consumer" 100 (Kernel.now k)
+
+let test_fifo_try_ops () =
+  let k = Kernel.create () in
+  let f = Fifo.create k "f" ~capacity:1 in
+  check_bool "try_read empty" true (Fifo.try_read f = None);
+  check_bool "try_write ok" true (Fifo.try_write f 5);
+  check_bool "try_write full" false (Fifo.try_write f 6);
+  check_int "length" 1 (Fifo.length f);
+  check_bool "try_read value" true (Fifo.try_read f = Some 5)
+
+(* --- clocks ------------------------------------------------------------- *)
+
+let test_clock () =
+  let k = Kernel.create () in
+  let clk = Clock.create k "clk" ~period:10 in
+  let samples = ref [] in
+  Kernel.thread k ~name:"sampler" (fun () ->
+      for _ = 1 to 5 do
+        Clock.wait_posedge clk;
+        samples := Kernel.now k :: !samples
+      done);
+  Kernel.run ~until:200 k;
+  check_ints "posedges at multiples of period" [ 10; 20; 30; 40; 50 ]
+    (List.rev !samples);
+  check_int "clock cycles counted" 20 (Clock.cycles clk)
+
+let test_two_clocks_ratio () =
+  let k = Kernel.create () in
+  let fast = Clock.create k "fast" ~period:5 in
+  let slow = Clock.create k "slow" ~period:20 in
+  let fast_ticks = ref 0 and slow_ticks = ref 0 in
+  Kernel.thread k ~name:"f" (fun () ->
+      while true do
+        Clock.wait_posedge fast;
+        incr fast_ticks
+      done);
+  Kernel.thread k ~name:"s" (fun () ->
+      while true do
+        Clock.wait_posedge slow;
+        incr slow_ticks
+      done);
+  Kernel.run ~until:100 k;
+  check_int "fast" 20 !fast_ticks;
+  check_int "slow" 5 !slow_ticks
+
+let test_kernel_stats () =
+  let k = Kernel.create () in
+  Kernel.thread k ~name:"t" (fun () ->
+      for _ = 1 to 10 do
+        Kernel.wait_time k 1
+      done);
+  Kernel.run k;
+  check_bool "deltas counted" true (Kernel.delta_count k >= 10);
+  check_bool "activations counted" true (Kernel.activations k >= 11)
+
+let suite =
+  [ Alcotest.test_case "thread runs" `Quick test_thread_runs;
+    Alcotest.test_case "wait_time ordering" `Quick test_wait_time_ordering;
+    Alcotest.test_case "event notify" `Quick test_event_notify;
+    Alcotest.test_case "notify_in" `Quick test_notify_in;
+    Alcotest.test_case "wait_any single wake" `Quick test_wait_any;
+    Alcotest.test_case "method sensitivity" `Quick test_method_sensitivity;
+    Alcotest.test_case "wait outside thread" `Quick test_wait_outside_thread;
+    Alcotest.test_case "stop" `Quick test_stop;
+    Alcotest.test_case "run ~until resumable" `Quick test_run_until;
+    Alcotest.test_case "blocked threads" `Quick test_blocked_threads;
+    Alcotest.test_case "signal delta semantics" `Quick
+      test_signal_delta_semantics;
+    Alcotest.test_case "signal changed event" `Quick test_signal_changed_event;
+    Alcotest.test_case "signal last write wins" `Quick
+      test_signal_last_write_wins;
+    Alcotest.test_case "fifo producer/consumer" `Quick
+      test_fifo_producer_consumer;
+    Alcotest.test_case "fifo blocking write" `Quick test_fifo_blocking_write;
+    Alcotest.test_case "fifo try ops" `Quick test_fifo_try_ops;
+    Alcotest.test_case "clock" `Quick test_clock;
+    Alcotest.test_case "two clocks" `Quick test_two_clocks_ratio;
+    Alcotest.test_case "kernel stats" `Quick test_kernel_stats ]

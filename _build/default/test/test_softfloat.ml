@@ -1,0 +1,180 @@
+(* Tests for the software binary32: bit-exactness against the host FPU
+   under the IEEE profile, and the documented corner-cutting behaviour
+   under the RTL profile. *)
+
+open Dfv_softfloat
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+
+let hex x = Printf.sprintf "0x%08x" x
+
+(* Host reference: compute in double, round once to binary32.  For
+   +,-,* this double rounding is exact (53 >= 2*24 + 2). *)
+let ref_add a b = F32.of_float (F32.to_float a +. F32.to_float b)
+let ref_sub a b = F32.of_float (F32.to_float a -. F32.to_float b)
+let ref_mul a b = F32.of_float (F32.to_float a *. F32.to_float b)
+
+let same_f32 got expect =
+  if F32.is_nan got && F32.is_nan expect then true else got = expect
+
+let check_against_host op_name mine reference a b =
+  let got = mine F32.ieee a b in
+  let expect = reference a b in
+  if not (same_f32 got expect) then
+    Alcotest.failf "%s %s %s: got %s, host says %s" (hex a) op_name (hex b)
+      (F32.to_string got) (F32.to_string expect)
+
+(* Interesting bit patterns: all the IEEE corner regions. *)
+let corner_values =
+  [ 0x00000000 (* +0 *); 0x80000000 (* -0 *); 0x00000001 (* min denormal *);
+    0x80000001; 0x007fffff (* max denormal *); 0x807fffff;
+    0x00800000 (* min normal *); 0x80800000; 0x3f800000 (* 1.0 *);
+    0xbf800000 (* -1.0 *); 0x3f800001 (* 1.0+ulp *); 0x40000000 (* 2.0 *);
+    0x7f7fffff (* max finite *); 0xff7fffff; 0x7f800000 (* +inf *);
+    0xff800000 (* -inf *); 0x7fc00000 (* qnan *); 0x7f800001 (* snan *);
+    0x34000000 (* 2^-23 *); 0x4b000000 (* 2^23 *); 0x4b7fffff;
+    0x3effffff; 0x3f000000 (* 0.5 *); 0x3f000001; 0x4effffff;
+    0x00ffffff; 0x017fffff; 0x7e800000; 0x01000000 ]
+
+let test_corners_exhaustive_pairs () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_against_host "+" F32.add ref_add a b;
+          check_against_host "-" F32.sub ref_sub a b;
+          check_against_host "*" F32.mul ref_mul a b)
+        corner_values)
+    corner_values
+
+let random_f32 st =
+  (* Random patterns cover normals, denormals and specials. *)
+  (Random.State.bits st land 0xFFFF)
+  lor ((Random.State.bits st land 0xFFFF) lsl 16)
+
+let test_random_vs_host () =
+  let st = Random.State.make [| 2718 |] in
+  for _ = 1 to 20_000 do
+    let a = random_f32 st and b = random_f32 st in
+    check_against_host "+" F32.add ref_add a b;
+    check_against_host "-" F32.sub ref_sub a b;
+    check_against_host "*" F32.mul ref_mul a b
+  done
+
+let test_random_near_misses () =
+  (* Operands with close exponents stress cancellation and rounding. *)
+  let st = Random.State.make [| 3141 |] in
+  for _ = 1 to 20_000 do
+    let ea = 1 + Random.State.int st 253 in
+    let eb = max 1 (min 254 (ea + Random.State.int st 5 - 2)) in
+    let a =
+      F32.of_parts
+        ~sign:(Random.State.bool st)
+        ~exponent:ea
+        ~mantissa:(Random.State.int st 0x800000)
+    in
+    let b =
+      F32.of_parts
+        ~sign:(Random.State.bool st)
+        ~exponent:eb
+        ~mantissa:(Random.State.int st 0x800000)
+    in
+    check_against_host "+" F32.add ref_add a b;
+    check_against_host "*" F32.mul ref_mul a b
+  done
+
+let test_decode_helpers () =
+  check_bool "nan" true (F32.is_nan F32.quiet_nan);
+  check_bool "inf" true (F32.is_infinity (F32.infinity false));
+  check_bool "neg inf sign" true (F32.sign (F32.infinity true));
+  check_bool "denormal" true (F32.is_denormal 0x00000001);
+  check_bool "zero" true (F32.is_zero 0x80000000);
+  check_int "exponent of 1.0" 127 (F32.exponent (F32.of_float 1.0));
+  check_int "mantissa of 1.5" 0x400000 (F32.mantissa (F32.of_float 1.5));
+  check_bool "roundtrip" true (F32.of_float (F32.to_float 0x41c80000) = 0x41c80000);
+  check_bool "bitvec roundtrip" true
+    (F32.of_bitvec (F32.to_bitvec 0x12345678) = 0x12345678)
+
+let test_equal_numeric () =
+  check_bool "nan = nan" true (F32.equal_numeric F32.quiet_nan 0x7f800001;);
+  check_bool "+0 = -0" true (F32.equal_numeric 0 0x80000000);
+  check_bool "1 <> 2" false
+    (F32.equal_numeric (F32.of_float 1.0) (F32.of_float 2.0))
+
+(* --- corner-cutting profile -------------------------------------------- *)
+
+let test_rtl_profile_flushes_denormals () =
+  let tiny = 0x00000001 (* smallest denormal *) in
+  (* IEEE: tiny + tiny = 2*tiny, still denormal. *)
+  let ieee_sum = F32.add F32.ieee tiny tiny in
+  check_bool "ieee keeps denormal" true (F32.is_denormal ieee_sum);
+  check_int "ieee exact" 0x00000002 ieee_sum;
+  (* RTL: denormal inputs flushed; sum is zero. *)
+  let rtl_sum = F32.add F32.rtl_lite tiny tiny in
+  check_bool "rtl flushes to zero" true (F32.is_zero rtl_sum);
+  (* A result that *becomes* denormal is flushed too. *)
+  let min_normal = 0x00800000 in
+  let almost = 0x00800001 in
+  let ieee_diff = F32.sub F32.ieee almost min_normal in
+  check_bool "ieee diff denormal" true (F32.is_denormal ieee_diff);
+  let rtl_diff = F32.sub F32.rtl_lite almost min_normal in
+  check_bool "rtl diff flushed" true (F32.is_zero rtl_diff)
+
+let test_rtl_profile_no_specials () =
+  (* Overflow saturates instead of producing infinity. *)
+  let m = F32.max_finite false in
+  let ieee_over = F32.add F32.ieee m m in
+  check_bool "ieee overflows to inf" true (F32.is_infinity ieee_over);
+  let rtl_over = F32.add F32.rtl_lite m m in
+  check_bool "rtl saturates" true (rtl_over = m);
+  (* Infinity inputs are clamped to max finite. *)
+  let inf = F32.infinity false in
+  let rtl_r = F32.add F32.rtl_lite inf (F32.of_float 1.0) in
+  check_bool "inf clamped (not inf)" true (not (F32.is_infinity rtl_r));
+  (* NaN inputs: exponent-255 patterns are clamped, so no NaN results. *)
+  let rtl_nan = F32.mul F32.rtl_lite F32.quiet_nan (F32.of_float 2.0) in
+  check_bool "no nan out" true (not (F32.is_nan rtl_nan))
+
+let test_profiles_agree_on_normal_range () =
+  (* On well-scaled inputs the profiles agree bit-for-bit — exactly why
+     the paper's input constraints make SEC succeed on such pairs. *)
+  let st = Random.State.make [| 99 |] in
+  for _ = 1 to 5_000 do
+    (* Exponents in the mid range: no overflow, no denormals. *)
+    let mk () =
+      F32.of_parts
+        ~sign:(Random.State.bool st)
+        ~exponent:(64 + Random.State.int st 128)
+        ~mantissa:(Random.State.int st 0x800000)
+    in
+    let a = mk () and b = mk () in
+    let i = F32.add F32.ieee a b and r = F32.add F32.rtl_lite a b in
+    if i <> r then
+      Alcotest.failf "profiles diverge on %s + %s: %s vs %s" (hex a) (hex b)
+        (F32.to_string i) (F32.to_string r);
+    let im = F32.mul F32.ieee a b and rm = F32.mul F32.rtl_lite a b in
+    (* Multiplication can overflow/underflow even mid-range; only compare
+       when the IEEE result is a normal number. *)
+    if
+      (not (F32.is_infinity im)) && (not (F32.is_denormal im))
+      && not (F32.is_zero im)
+    then
+      if im <> rm then
+        Alcotest.failf "mul profiles diverge on %s * %s" (hex a) (hex b)
+  done
+
+let suite =
+  [ Alcotest.test_case "corner pairs vs host FPU" `Quick
+      test_corners_exhaustive_pairs;
+    Alcotest.test_case "random vs host FPU" `Quick test_random_vs_host;
+    Alcotest.test_case "near-exponent cancellation vs host" `Quick
+      test_random_near_misses;
+    Alcotest.test_case "decode helpers" `Quick test_decode_helpers;
+    Alcotest.test_case "equal_numeric" `Quick test_equal_numeric;
+    Alcotest.test_case "rtl profile flushes denormals" `Quick
+      test_rtl_profile_flushes_denormals;
+    Alcotest.test_case "rtl profile no specials" `Quick
+      test_rtl_profile_no_specials;
+    Alcotest.test_case "profiles agree in normal range" `Quick
+      test_profiles_agree_on_normal_range ]

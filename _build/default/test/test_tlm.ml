@@ -1,0 +1,85 @@
+(* Tests for the TLM sockets: the same computation behind three
+   communication abstractions (paper Section 4.4). *)
+
+open Dfv_slm
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let square x = x * x
+
+let test_untimed () =
+  let t = Tlm.untimed square in
+  check_int "value" 49 (Tlm.transport t 7);
+  check_int "count" 1 (Tlm.transactions t)
+
+let test_loosely_timed () =
+  let k = Kernel.create () in
+  let t = Tlm.loosely_timed k ~latency:25 square in
+  let results = ref [] in
+  Kernel.thread k ~name:"initiator" (fun () ->
+      for i = 1 to 4 do
+        results := Tlm.transport t i :: !results
+      done);
+  Kernel.run k;
+  check_bool "values" true (List.rev !results = [ 1; 4; 9; 16 ]);
+  (* Four transactions, 25 units each: functional result identical to the
+     untimed model, but time has passed. *)
+  check_int "time" 100 (Kernel.now k);
+  check_int "count" 4 (Tlm.transactions t)
+
+let test_queued_serializes () =
+  let k = Kernel.create () in
+  let t = Tlm.queued k ~name:"srv" ~depth:2 ~service_time:10 square in
+  let done_at = Array.make 3 0 in
+  for i = 0 to 2 do
+    Kernel.thread k ~name:(Printf.sprintf "init%d" i) (fun () ->
+        let r = Tlm.transport t (i + 1) in
+        check_int "value" ((i + 1) * (i + 1)) r;
+        done_at.(i) <- Kernel.now k)
+  done;
+  Kernel.run k;
+  (* The server serializes: completions at 10, 20, 30 in some order. *)
+  let sorted = Array.copy done_at in
+  Array.sort compare sorted;
+  check_bool "serialized completions" true (sorted = [| 10; 20; 30 |]);
+  check_int "count" 3 (Tlm.transactions t)
+
+let test_queued_backpressure () =
+  let k = Kernel.create () in
+  let t = Tlm.queued k ~name:"srv" ~depth:1 ~service_time:5 square in
+  let issue_times = ref [] in
+  Kernel.thread k ~name:"producer" (fun () ->
+      for i = 1 to 4 do
+        ignore (Tlm.transport t i);
+        issue_times := Kernel.now k :: !issue_times
+      done);
+  Kernel.run k;
+  (* Each transport blocks until served: completion times 5,10,15,20. *)
+  check_bool "blocking transports" true
+    (List.rev !issue_times = [ 5; 10; 15; 20 ])
+
+let test_same_kernel_reuse () =
+  (* The paper's reuse claim in miniature: one computation function, three
+     targets, identical functional results. *)
+  let k = Kernel.create () in
+  let u = Tlm.untimed square in
+  let lt = Tlm.loosely_timed k ~latency:3 square in
+  let q = Tlm.queued k ~name:"s" ~depth:4 ~service_time:2 square in
+  let out_u = ref [] and out_lt = ref [] and out_q = ref [] in
+  Kernel.thread k ~name:"driver" (fun () ->
+      for i = 1 to 8 do
+        out_u := Tlm.transport u i :: !out_u;
+        out_lt := Tlm.transport lt i :: !out_lt;
+        out_q := Tlm.transport q i :: !out_q
+      done);
+  Kernel.run k;
+  check_bool "all three agree" true (!out_u = !out_lt && !out_lt = !out_q)
+
+let suite =
+  [ Alcotest.test_case "untimed" `Quick test_untimed;
+    Alcotest.test_case "loosely timed" `Quick test_loosely_timed;
+    Alcotest.test_case "queued serializes" `Quick test_queued_serializes;
+    Alcotest.test_case "queued backpressure" `Quick test_queued_backpressure;
+    Alcotest.test_case "three abstractions, one function" `Quick
+      test_same_kernel_reuse ]
