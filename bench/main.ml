@@ -18,6 +18,10 @@ open Dfv_designs
 
 let now () = Unix.gettimeofday ()
 
+(* Optional SAT budget for the heavyweight queries (set with `-- --budget N`
+   on the command line); lets CI smoke-run the expensive experiments. *)
+let budget_opt : Dfv_sat.Solver.budget option ref = ref None
+
 let header id title claim =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s: %s\n" id title;
@@ -290,6 +294,7 @@ let c2 () =
       match Flow.sec pair with
       | Checker.Not_equivalent _ -> Printf.sprintf "cex %.3fs" (now () -. t0)
       | Checker.Equivalent _ -> "missed!"
+      | Checker.Unknown _ -> "unknown!"
     in
     let t0 = now () in
     let sim_result =
@@ -339,6 +344,7 @@ let c2 () =
     match Checker.check_slm_slm ~a:mf.Minifloat.full ~b:mf.Minifloat.lite () with
     | Checker.Not_equivalent _ -> Printf.sprintf "cex %.3fs" (now () -. t0)
     | Checker.Equivalent _ -> "missed!"
+    | Checker.Unknown _ -> "unknown!"
   in
   let st = Random.State.make [| 99 |] in
   let t0 = now () in
@@ -373,13 +379,37 @@ let c2 () =
 let c3 () =
   header "C3" "incremental vs monolithic SEC"
     "incremental runs are much more effective and localize the source quickly";
-  let sec_time slm rtl spec =
-    let t0 = now () in
-    let verdict = Checker.check_slm_rtl ~slm ~rtl ~spec () in
-    ( now () -. t0,
-      match verdict with Checker.Equivalent _ -> "EQ " | Checker.Not_equivalent _ -> "NEQ" )
+  let vstr = function
+    | Checker.Equivalent _ -> "EQ "
+    | Checker.Not_equivalent _ -> "NEQ"
+    | Checker.Unknown _ -> "UNK"
   in
-  Printf.printf "  %-14s %18s %34s\n" "planted bug" "monolithic" "per-block (localized?)";
+  let sec_time ?session slm rtl spec =
+    let t0 = now () in
+    let verdict = Checker.check_slm_rtl ?budget:!budget_opt ?session ~slm ~rtl ~spec () in
+    (now () -. t0, vstr verdict)
+  in
+  (* Per-block SEC both ways: a fresh substrate per block (the seed
+     behaviour) and one shared session across the three blocks — the
+     incremental path whose reuse the session counters quantify. *)
+  let per_block ?session chain =
+    let rows =
+      List.map
+        (fun b ->
+          let t, v =
+            sec_time ?session
+              (Image_chain.block_slm chain b)
+              (Image_chain.block_rtl chain b)
+              (Image_chain.block_spec b)
+          in
+          (b, t, v))
+        Image_chain.all_blocks
+    in
+    (rows, List.fold_left (fun acc (_, t, _) -> acc +. t) 0.0 rows)
+  in
+  Printf.printf "  %-14s %14s %15s %16s %22s\n" "planted bug" "monolithic"
+    "blocks (fresh)" "blocks (session)" "session reuse";
+  let fresh_grand = ref 0.0 and shared_grand = ref 0.0 in
   List.iter
     (fun buggy ->
       let chain = Image_chain.make ?buggy:(Some buggy) () in
@@ -387,25 +417,29 @@ let c3 () =
         sec_time chain.Image_chain.slm chain.Image_chain.rtl_top
           chain.Image_chain.chain_spec
       in
-      let blocks =
-        List.map
-          (fun b ->
-            let t, v =
-              sec_time
-                (Image_chain.block_slm chain b)
-                (Image_chain.block_rtl chain b)
-                (Image_chain.block_spec b)
-            in
-            (b, t, v))
-          Image_chain.all_blocks
+      let _, fresh_total = per_block chain in
+      let session = Dfv_sec.Session.create ?budget:!budget_opt () in
+      let rows, shared_total = per_block ~session chain in
+      fresh_grand := !fresh_grand +. fresh_total;
+      shared_grand := !shared_grand +. shared_total;
+      let s = Dfv_sec.Session.stats session in
+      let reuse_pct =
+        let total = s.Dfv_sec.Session.nodes_encoded + s.Dfv_sec.Session.nodes_reused in
+        if total = 0 then 0.0
+        else
+          100.0
+          *. float_of_int s.Dfv_sec.Session.nodes_reused
+          /. float_of_int total
       in
-      let total = List.fold_left (fun acc (_, t, _) -> acc +. t) 0.0 blocks in
       let localized =
-        List.for_all (fun (b, _, v) -> (v = "NEQ") = (b = buggy)) blocks
+        List.for_all (fun (b, _, v) -> (v = "NEQ") = (b = buggy)) rows
       in
-      Printf.printf "  %-14s %9.3fs %s %14.3fs total, %s\n%!"
+      Printf.printf
+        "  %-14s %8.3fs %s %13.3fs %15.3fs %7.1f%% (%d/%d)  %s\n%!"
         (Image_chain.block_name buggy)
-        mono_t mono_v total
+        mono_t mono_v fresh_total shared_total reuse_pct
+        s.Dfv_sec.Session.nodes_reused
+        (s.Dfv_sec.Session.nodes_encoded + s.Dfv_sec.Session.nodes_reused)
         (if localized then "names the block" else "ambiguous"))
     Image_chain.all_blocks;
   let chain = Image_chain.make () in
@@ -413,8 +447,25 @@ let c3 () =
     sec_time chain.Image_chain.slm chain.Image_chain.rtl_top
       chain.Image_chain.chain_spec
   in
-  Printf.printf "  %-14s %9.3fs %s %s\n" "(clean)" mono_t mono_v
-    "                (baseline)"
+  Printf.printf "  %-14s %8.3fs %s %s\n" "(clean)" mono_t mono_v
+    "               (baseline)";
+  Printf.printf
+    "per-block totals across the bug sweep: shared session %.3fs vs fresh %.3fs\n"
+    !shared_grand !fresh_grand;
+  (* Guard the point of the session layer: sharing the substrate must not
+     cost wall-clock vs the seed's fresh-solver-per-block behaviour (the
+     slack absorbs timer noise on these millisecond-scale queries). *)
+  if !shared_grand > (!fresh_grand *. 1.5) +. 0.1 then begin
+    Printf.printf
+      "REGRESSION: shared-session per-block SEC (%.3fs) is slower than \
+       fresh sessions (%.3fs)\n"
+      !shared_grand !fresh_grand;
+    exit 1
+  end;
+  print_endline
+    "shape check: per-block runs localize the planted bug by name, reuse a\n\
+     nonzero share of the encoding, and sharing one session costs no wall\n\
+     clock vs fresh per-block solvers."
 
 (* ---------------------------------------------------------------------- *)
 (* C4: int-based SLMs mask overflow; bit-accurate datatypes restore SEC    *)
@@ -442,6 +493,7 @@ let c4 () =
         match Checker.check_slm_rtl ~slm ~rtl:fir.Fir.rtl ~spec:fir.Fir.spec () with
         | Checker.Equivalent _ -> "EQ"
         | Checker.Not_equivalent _ -> "NEQ"
+        | Checker.Unknown _ -> "UNK"
       in
       Printf.printf "  %-26s %10.2f%% %13s %11s\n%!" name
         (100.0 *. float_of_int !diverging /. float_of_int n)
@@ -497,7 +549,8 @@ let c5 () =
   (match Checker.check_slm_slm ~a:mf.Minifloat.full ~b:mf.Minifloat.lite () with
   | Checker.Not_equivalent _ ->
     Printf.printf "minifloat SEC unconstrained: NOT EQUIVALENT (%.2fs)\n" (now () -. t0)
-  | Checker.Equivalent _ -> print_endline "unexpected EQ");
+  | Checker.Equivalent _ -> print_endline "unexpected EQ"
+  | Checker.Unknown _ -> print_endline "unexpected UNKNOWN");
   let t0 = now () in
   match
     Checker.check_slm_slm ~a:mf.Minifloat.full ~b:mf.Minifloat.lite
@@ -507,6 +560,7 @@ let c5 () =
     Printf.printf "minifloat SEC with input constraints: EQUIVALENT (%.2fs)\n"
       (now () -. t0)
   | Checker.Not_equivalent _ -> print_endline "unexpected NEQ"
+  | Checker.Unknown _ -> print_endline "unexpected UNKNOWN"
 
 (* ---------------------------------------------------------------------- *)
 (* C6: model conditioning gates static analyzability                       *)
@@ -594,7 +648,7 @@ let c6 () =
     Printf.printf
       "behavioral synthesis: conditioned gcd -> FSM RTL, SEC-proved in %.2fs\n"
       (now () -. t0)
-  | Checker.Not_equivalent _ -> print_endline "synthesis bug?!")
+  | Checker.Not_equivalent _ | Checker.Unknown _ -> print_endline "synthesis bug?!")
 
 (* ---------------------------------------------------------------------- *)
 (* C7: variable latency / out-of-order completion vs comparison discipline *)
@@ -754,14 +808,30 @@ let c8 () =
 (* ---------------------------------------------------------------------- *)
 
 let experiments =
-  [ ("f1", f1); ("f2", f2); ("c1", c1); ("c2", c2); ("c3", c3); ("c4", c4);
-    ("c5", c5); ("c6", c6); ("c7", c7); ("c8", c8) ]
+  [ ("f1", f1); ("f2", f2); ("c1", c1); ("c2", c2); ("c3", c3);
+    ("c3_incremental_sec", c3); ("c4", c4); ("c5", c5); ("c6", c6);
+    ("c7", c7); ("c8", c8) ]
 
 let () =
+  let rec parse names = function
+    | [] -> List.rev names
+    | "--budget" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 ->
+        budget_opt :=
+          Some
+            {
+              Dfv_sat.Solver.max_conflicts = Some n;
+              Dfv_sat.Solver.max_seconds = None;
+            }
+      | Some _ | None -> Printf.eprintf "bad --budget value %s\n" n);
+      parse names rest
+    | name :: rest -> parse (String.lowercase_ascii name :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> List.map String.lowercase_ascii names
-    | _ -> List.map fst experiments
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst (List.remove_assoc "c3_incremental_sec" experiments)
+    | names -> names
   in
   let t0 = now () in
   List.iter

@@ -121,30 +121,107 @@ let audit_cmd =
   let run pair = Format.printf "%a" Pair.pp_audit (Pair.audit pair) in
   Cmd.v (Cmd.info "audit" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
 
+let budget_term =
+  let conflicts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"CONFLICTS"
+          ~doc:
+            "Give up on a SAT query after $(docv) conflicts (the verdict \
+             becomes UNKNOWN instead of hanging).")
+  in
+  let seconds =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-seconds" ] ~docv:"S"
+          ~doc:"Give up on a SAT query after $(docv) seconds of wall clock.")
+  in
+  let combine c s =
+    match (c, s) with
+    | None, None -> Ok None
+    | _ ->
+      if (match c with Some n -> n < 1 | None -> false) then
+        Error (`Msg "--budget must be at least 1 conflict")
+      else if (match s with Some x -> x <= 0.0 | None -> false) then
+        Error (`Msg "--budget-seconds must be positive")
+      else
+        Ok
+          (Some
+             { Dfv_sat.Solver.max_conflicts = c; Dfv_sat.Solver.max_seconds = s })
+  in
+  Term.(term_result (const combine $ conflicts $ seconds))
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print session statistics: encoding reuse, clause counts, \
+           per-query solve times.")
+
+let reason_string = function
+  | Dfv_sat.Solver.Conflict_limit -> "conflict budget exhausted"
+  | Dfv_sat.Solver.Time_limit -> "time budget exhausted"
+
+let print_stats (s : Checker.stats) =
+  let reuse_pct =
+    let total = s.Checker.nodes_encoded + s.Checker.nodes_reused in
+    if total = 0 then 0.0
+    else 100.0 *. float_of_int s.Checker.nodes_reused /. float_of_int total
+  in
+  Printf.printf "stats:\n";
+  Printf.printf "  aig ands         %d\n" s.Checker.aig_ands;
+  Printf.printf "  nodes encoded    %d\n" s.Checker.nodes_encoded;
+  Printf.printf "  nodes reused     %d (%.1f%%)\n" s.Checker.nodes_reused
+    reuse_pct;
+  Printf.printf "  clauses          %d (%d learnts reduced away)\n"
+    s.Checker.sat_clauses s.Checker.learnts_removed;
+  Printf.printf "  conflicts        %d\n" s.Checker.sat_conflicts;
+  Printf.printf "  decisions        %d\n" s.Checker.sat_decisions;
+  Printf.printf "  propagations     %d\n" s.Checker.sat_propagations;
+  Printf.printf "  unroll hits      %d\n" s.Checker.unroll_hits;
+  Printf.printf "  queries          %d (%d unknown)\n" s.Checker.queries
+    s.Checker.unknowns;
+  Printf.printf "  solve times      %s\n"
+    (String.concat " "
+       (List.map (Printf.sprintf "%.3fs") s.Checker.frame_seconds));
+  Printf.printf "  wall             %.3fs\n" s.Checker.wall_seconds
+
 let sec_cmd =
   let doc = "Run sequential equivalence checking on a pair." in
-  let run pair =
-    match Flow.sec pair with
-    | Checker.Equivalent stats ->
-      Printf.printf
-        "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
-        stats.Checker.aig_ands stats.Checker.sat_conflicts
-        stats.Checker.sat_decisions stats.Checker.wall_seconds
-    | Checker.Not_equivalent (cex, stats) ->
-      Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
-        stats.Checker.wall_seconds;
-      List.iter
-        (fun (n, v) ->
-          match v with
-          | Dfv_hwir.Interp.Vint bv ->
-            Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
-          | Dfv_hwir.Interp.Varr a ->
-            Printf.printf "  %s = [%s]\n" n
-              (String.concat "; "
-                 (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
-        cex.Checker.params
+  let run budget stats =
+    wrap (fun pair ->
+        let finish s = if stats then print_stats s in
+        match Flow.sec ?budget pair with
+        | Checker.Equivalent stats ->
+          Printf.printf
+            "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
+            stats.Checker.aig_ands stats.Checker.sat_conflicts
+            stats.Checker.sat_decisions stats.Checker.wall_seconds;
+          finish stats
+        | Checker.Not_equivalent (cex, stats) ->
+          Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
+            stats.Checker.wall_seconds;
+          List.iter
+            (fun (n, v) ->
+              match v with
+              | Dfv_hwir.Interp.Vint bv ->
+                Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
+              | Dfv_hwir.Interp.Varr a ->
+                Printf.printf "  %s = [%s]\n" n
+                  (String.concat "; "
+                     (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
+            cex.Checker.params;
+          finish stats
+        | Checker.Unknown (reason, stats) ->
+          Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
+            stats.Checker.wall_seconds;
+          finish stats)
   in
-  Cmd.v (Cmd.info "sec" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
+  Cmd.v (Cmd.info "sec" ~doc)
+    Term.(const run $ budget_term $ stats_arg $ design_arg $ bug_arg)
 
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
@@ -169,8 +246,12 @@ let sim_cmd =
 
 let verify_cmd =
   let doc = "Audit, then SEC (or simulation when SEC is blocked)." in
-  let run pair = Format.printf "%a" Flow.pp_report (Flow.verify pair) in
-  Cmd.v (Cmd.info "verify" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
+  let run budget =
+    wrap (fun pair ->
+        Format.printf "%a" Flow.pp_report (Flow.verify ?budget pair))
+  in
+  Cmd.v (Cmd.info "verify" ~doc)
+    Term.(const run $ budget_term $ design_arg $ bug_arg)
 
 let () =
   let doc = "design-for-verification flows between system-level models and RTL" in

@@ -54,6 +54,7 @@ let () =
                    (fun v -> string_of_int (Dfv_bitvec.Bitvec.to_signed_int v))
                    a)))
       | _ -> print_newline ())
+    | Checker.Unknown _ -> Printf.printf "  %-22s: UNKNOWN\n" name
   in
   report "bit-accurate SLM" t.Fir.slm_exact;
   report "C-style SLM" t.Fir.slm_cstyle;
@@ -70,7 +71,7 @@ let () =
       \  (intermediates cannot overflow -- SEC tells you exactly when the\n\
       \   C idiom is safe and when it is not)\n"
       stats.Checker.wall_seconds
-  | Checker.Not_equivalent _ -> print_endline "unexpected!");
+  | Checker.Not_equivalent _ | Checker.Unknown _ -> print_endline "unexpected!");
 
   section "6. Streaming RTL vs whole-signal SLM (transactor-based cosim)";
   let st = Random.State.make [| 2 |] in

@@ -67,7 +67,7 @@ let () =
     Printf.printf
       "window datapath EQUIVALENT for all 2^72 pixel windows (%.3fs, %d conflicts)\n"
       stats.Checker.wall_seconds stats.Checker.sat_conflicts
-  | Checker.Not_equivalent _ -> print_endline "unexpected!");
+  | Checker.Not_equivalent _ | Checker.Unknown _ -> print_endline "unexpected!");
 
   section "4. The wrap bug (missing clamp) is caught instantly";
   let wrap = Conv_image.make ~clamped:false ~kernel:Conv_image.sharpen ~shift:2 () in
@@ -85,7 +85,7 @@ let () =
            (Array.to_list
               (Array.map (fun v -> string_of_int (Dfv_bitvec.Bitvec.to_int v)) a)))
     | _ -> ())
-  | Checker.Equivalent _ -> print_endline "bug missed?!");
+  | Checker.Equivalent _ | Checker.Unknown _ -> print_endline "bug missed?!");
 
   section "5. Partitioned 3-block chain: incremental SEC localizes a bug";
   let buggy = Image_chain.make ~buggy:Image_chain.Convolution () in
@@ -97,7 +97,7 @@ let () =
     | Checker.Not_equivalent (_, stats) ->
       Printf.sprintf "NOT EQUIVALENT (%.3fs) -- but which block?"
         stats.Checker.wall_seconds
-    | Checker.Equivalent _ -> "equivalent?!");
+    | Checker.Equivalent _ | Checker.Unknown _ -> "equivalent?!");
   List.iter
     (fun b ->
       let verdict =
@@ -112,7 +112,8 @@ let () =
           Printf.sprintf "equivalent (%.3fs)" stats.Checker.wall_seconds
         | Checker.Not_equivalent (_, stats) ->
           Printf.sprintf "NOT EQUIVALENT (%.3fs)  <-- the bug lives here"
-            stats.Checker.wall_seconds))
+            stats.Checker.wall_seconds
+        | Checker.Unknown _ -> "unknown?!"))
     Image_chain.all_blocks;
 
   section "6. Plug-and-play: swap one SLM stage for wrapped RTL";

@@ -44,7 +44,8 @@ let () =
       gcd.Gcd.width stats.Dfv_sec.Checker.aig_ands
       stats.Dfv_sec.Checker.sat_conflicts stats.Dfv_sec.Checker.sat_decisions
       stats.Dfv_sec.Checker.wall_seconds
-  | Dfv_sec.Checker.Not_equivalent _ -> print_endline "unexpected!");
+  | Dfv_sec.Checker.Not_equivalent _ | Dfv_sec.Checker.Unknown _ ->
+    print_endline "unexpected!");
 
   section "6. Plant an RTL bug and let SEC find it";
   (* A realistic slip: the datapath loads b into x (swapped operand) only
@@ -101,7 +102,8 @@ let () =
           c.Dfv_sec.Spec.at_cycle
           (Dfv_bitvec.Bitvec.to_int got))
       cex.Dfv_sec.Checker.failed_checks
-  | Dfv_sec.Checker.Equivalent _ -> print_endline "bug not found?!");
+  | Dfv_sec.Checker.Equivalent _ | Dfv_sec.Checker.Unknown _ ->
+    print_endline "bug not found?!");
 
   section "7. Bonus: behavioral synthesis from the same SLM";
   (* Section 4.3's other payoff: a conditioned SLM is also synthesizable.
@@ -119,7 +121,8 @@ let () =
        source SLM in %.3fs -- correct-by-construction, checked.\n"
       (Behsyn.cycle_bound gcd.Gcd.slm)
       stats.Dfv_sec.Checker.wall_seconds
-  | Dfv_sec.Checker.Not_equivalent _ -> print_endline "synthesis bug?!");
+  | Dfv_sec.Checker.Not_equivalent _ | Dfv_sec.Checker.Unknown _ ->
+    print_endline "synthesis bug?!");
   print_endline
     "\nThe generated module can also leave the ecosystem:\n";
   print_string

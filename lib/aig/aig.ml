@@ -156,60 +156,91 @@ let num_nodes g = g.n
 module S = Dfv_sat.Solver
 module L = Dfv_sat.Lit
 
-type cnf_map = { solver : S.t; vars : (int, L.t) Hashtbl.t; graph : t }
+type cnf_map = {
+  solver : S.t;
+  vars : (int, L.t) Hashtbl.t;
+  graph : t;
+  mutable fresh_nodes : int;  (* nodes Tseitin-encoded by this map *)
+  mutable reuse_hits : int;   (* cone visits answered by an existing encoding *)
+}
 
 let sat_lit m l =
   let v = Hashtbl.find m.vars (l lsr 1) in
   if l land 1 = 1 then L.negate v else v
 
+let fresh_encoded m = m.fresh_nodes
+let reuse_hits m = m.reuse_hits
+let encoded_nodes m = Hashtbl.length m.vars
+
 let encode_cone m root =
   (* Iterative DFS over the cone of [root]; nodes are numbered in
      topological order so a simple upward sweep also works, but DFS keeps
-     the encoding restricted to the cone of influence. *)
+     the encoding restricted to the cone of influence.  A reuse hit is
+     any edge of the traversal answered by an existing encoding — a
+     shared node inside this cone, or the boundary with cones encoded by
+     earlier queries. *)
   let g = m.graph and s = m.solver in
+  let seen = Hashtbl.create 64 in
   let stack = ref [ root lsr 1 ] in
   while !stack <> [] do
     match !stack with
     | [] -> ()
     | id :: rest ->
-      if Hashtbl.mem m.vars id then stack := rest
+      if Hashtbl.mem m.vars id then begin
+        m.reuse_hits <- m.reuse_hits + 1;
+        stack := rest
+      end
       else begin
         match g.nodes.(id) with
         | Const ->
           Hashtbl.add m.vars id (S.false_lit s);
+          m.fresh_nodes <- m.fresh_nodes + 1;
           stack := rest
         | Input _ ->
           Hashtbl.add m.vars id (L.pos (S.new_var s));
+          m.fresh_nodes <- m.fresh_nodes + 1;
           stack := rest
-        | And (a, b) ->
+        | And (a, b) when not (Hashtbl.mem seen id) ->
+          (* First visit: count already-encoded children as reuse, push
+             the rest, and come back to build once they are done. *)
+          Hashtbl.add seen id ();
           let ia = a lsr 1 and ib = b lsr 1 in
           let need_a = not (Hashtbl.mem m.vars ia) in
           let need_b = not (Hashtbl.mem m.vars ib) in
-          if need_a || need_b then begin
-            stack :=
-              (if need_a then [ ia ] else [])
-              @ (if need_b then [ ib ] else [])
-              @ !stack
-          end
-          else begin
-            let n = L.pos (S.new_var s) in
-            let la = sat_lit m a and lb = sat_lit m b in
-            (* n <-> la & lb *)
-            S.add_clause s [ L.negate n; la ];
-            S.add_clause s [ L.negate n; lb ];
-            S.add_clause s [ n; L.negate la; L.negate lb ];
-            Hashtbl.add m.vars id n;
-            stack := rest
-          end
+          if not need_a then m.reuse_hits <- m.reuse_hits + 1;
+          if not need_b then m.reuse_hits <- m.reuse_hits + 1;
+          stack :=
+            (if need_a then [ ia ] else [])
+            @ (if need_b then [ ib ] else [])
+            @ !stack
+        | And (a, b) ->
+          (* Revisit: the children are encoded now (they sat above us on
+             the stack). *)
+          let n = L.pos (S.new_var s) in
+          let la = sat_lit m a and lb = sat_lit m b in
+          (* n <-> la & lb *)
+          S.add_clause s [ L.negate n; la ];
+          S.add_clause s [ L.negate n; lb ];
+          S.add_clause s [ n; L.negate la; L.negate lb ];
+          Hashtbl.add m.vars id n;
+          m.fresh_nodes <- m.fresh_nodes + 1;
+          stack := rest
       end
   done
 
+let encoder g s =
+  {
+    solver = s;
+    vars = Hashtbl.create 1024;
+    graph = g;
+    fresh_nodes = 0;
+    reuse_hits = 0;
+  }
+
 let to_solver g s roots =
-  let m = { solver = s; vars = Hashtbl.create 1024; graph = g } in
+  let m = encoder g s in
   List.iter (encode_cone m) roots;
   m
-
-let encoder g s = { solver = s; vars = Hashtbl.create 1024; graph = g }
 
 let encode m l =
   encode_cone m l;

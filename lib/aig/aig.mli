@@ -108,6 +108,24 @@ val encode : cnf_map -> lit -> Dfv_sat.Lit.t
 (** Encode the cone of a literal (if not already encoded) and return its
     solver literal. *)
 
+(** {2 Reuse counters}
+
+    A [cnf_map] is persistent across solves: repeated {!encode} calls
+    add clauses only for nodes not yet encoded.  The counters below
+    quantify that reuse — the incremental-session statistic the
+    equivalence checker reports (nodes re-encoded vs. reused). *)
+
+val fresh_encoded : cnf_map -> int
+(** Number of AIG nodes this map has Tseitin-encoded (variables
+    allocated and clauses added). *)
+
+val reuse_hits : cnf_map -> int
+(** Number of cone visits answered by an already-present encoding — both
+    sharing within one {!encode} call and hits from earlier calls. *)
+
+val encoded_nodes : cnf_map -> int
+(** Number of distinct AIG nodes currently encoded (= {!fresh_encoded}). *)
+
 val check_sat :
   ?assumptions:lit list -> t -> lit -> [ `Sat of bool array | `Unsat ]
 (** [check_sat g l] decides whether some input assignment makes [l] true;

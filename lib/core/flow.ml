@@ -136,24 +136,26 @@ let simulate ?(seed = 0) ~vectors (pair : Pair.t) =
   in
   loop 0
 
-let sec (pair : Pair.t) =
-  Checker.check_slm_rtl ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl
+let sec ?budget ?session (pair : Pair.t) =
+  Checker.check_slm_rtl ?budget ?session ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl
     ~spec:pair.Pair.spec ()
 
 type verify_outcome =
   | Proved of Checker.stats
   | Refuted of Checker.cex * Checker.stats
+  | Undecided of Dfv_sat.Solver.reason * Checker.stats
   | Simulated of sim_outcome
 
 type report = { audit : Pair.audit; outcome : verify_outcome }
 
-let verify ?seed ?(sim_vectors = 1000) pair =
+let verify ?seed ?(sim_vectors = 1000) ?budget ?session pair =
   let audit = Pair.audit pair in
   let outcome =
     if audit.Pair.sec_ready then begin
-      match sec pair with
+      match sec ?budget ?session pair with
       | Checker.Equivalent stats -> Proved stats
       | Checker.Not_equivalent (cex, stats) -> Refuted (cex, stats)
+      | Checker.Unknown (reason, stats) -> Undecided (reason, stats)
     end
     else Simulated (simulate ?seed ~vectors:sim_vectors pair)
   in
@@ -178,6 +180,12 @@ let pp_report fmt r =
     List.iter
       (fun (n, v) -> fprintf fmt "  %s = %a@." n pp_value v)
       cex.Checker.params
+  | Undecided (reason, stats) ->
+    fprintf fmt "verdict: UNKNOWN (%s after %d conflicts, %.3fs)@."
+      (match reason with
+      | Dfv_sat.Solver.Conflict_limit -> "conflict budget exhausted"
+      | Dfv_sat.Solver.Time_limit -> "time budget exhausted")
+      stats.Checker.sat_conflicts stats.Checker.wall_seconds
   | Simulated (Sim_clean { vectors }) ->
     fprintf fmt "verdict: SIMULATION CLEAN (%d transactions; no proof)@." vectors
   | Simulated (Sim_mismatch { vector_index; params; failed_checks }) ->

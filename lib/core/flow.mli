@@ -28,18 +28,33 @@ val simulate : ?seed:int -> vectors:int -> Pair.t -> sim_outcome
     (up to a factor of 100, then [Failure]).  Stops at the first
     mismatch. *)
 
-val sec : Pair.t -> Dfv_sec.Checker.verdict
-(** One SEC query on the pair. *)
+val sec :
+  ?budget:Dfv_sat.Solver.budget ->
+  ?session:Dfv_sec.Session.t ->
+  Pair.t ->
+  Dfv_sec.Checker.verdict
+(** One SEC query on the pair.  [budget] bounds the SAT effort (the
+    verdict is [Unknown] when it runs out); [session] shares one solving
+    substrate across several queries (see {!Dfv_sec.Session}). *)
 
 type verify_outcome =
   | Proved of Dfv_sec.Checker.stats
   | Refuted of Dfv_sec.Checker.cex * Dfv_sec.Checker.stats
+  | Undecided of Dfv_sat.Solver.reason * Dfv_sec.Checker.stats
+      (** SEC ran but its budget expired before a verdict. *)
   | Simulated of sim_outcome
       (** SEC was blocked (see the audit); simulation ran instead. *)
 
 type report = { audit : Pair.audit; outcome : verify_outcome }
 
-val verify : ?seed:int -> ?sim_vectors:int -> Pair.t -> report
-(** The combined flow ([sim_vectors] defaults to 1000). *)
+val verify :
+  ?seed:int ->
+  ?sim_vectors:int ->
+  ?budget:Dfv_sat.Solver.budget ->
+  ?session:Dfv_sec.Session.t ->
+  Pair.t ->
+  report
+(** The combined flow ([sim_vectors] defaults to 1000); [budget] and
+    [session] are passed to {!sec} when the SEC path runs. *)
 
 val pp_report : Format.formatter -> report -> unit

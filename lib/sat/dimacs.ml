@@ -77,4 +77,7 @@ let load solver cnf =
         (List.map
            (fun l -> Lit.make (base + Lit.var l) (Lit.is_pos l))
            clause))
-    cnf.clauses
+    cnf.clauses;
+  base
+
+let solver_lit ~base l = Lit.make (base + Lit.var l) (Lit.is_pos l)

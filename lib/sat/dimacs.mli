@@ -17,7 +17,14 @@ val parse_file : string -> cnf
 val to_string : cnf -> string
 (** Render a CNF in DIMACS format. *)
 
-val load : Solver.t -> cnf -> unit
-(** Allocate the variables of [cnf] in the solver (assumes a fresh
-    solver, or at least that variables [0 .. num_vars-1] should map to
-    new solver variables) and add all clauses. *)
+val load : Solver.t -> cnf -> int
+(** [load s cnf] allocates [cnf.num_vars] {e fresh} solver variables and
+    adds all clauses, relocated onto them.  Returns the base offset [b]:
+    CNF variable [v] (0-based) maps to solver variable [b + v].  The
+    solver need not be fresh — loading composes with variables and
+    clauses already present (and with several [load]s into one solver;
+    each gets its own variable block and base). *)
+
+val solver_lit : base:int -> Lit.t -> Lit.t
+(** [solver_lit ~base l] relocates a CNF literal onto the solver
+    variables of the {!load} call that returned [base]. *)

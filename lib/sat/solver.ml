@@ -9,6 +9,12 @@ type clause = int array
 
 type result = Sat | Unsat
 
+type reason = Conflict_limit | Time_limit
+
+type budget = { max_conflicts : int option; max_seconds : float option }
+
+let no_budget = { max_conflicts = None; max_seconds = None }
+
 (* Growable int/clause vectors: the solver's hot loops need in-place
    push/pop without list allocation. *)
 module Vec = struct
@@ -59,6 +65,10 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable conflict_budget : int; (* -1 = unlimited; counts down in solve *)
+  mutable deadline : float; (* absolute gettimeofday bound; infinity = none *)
+  (* Learnt-DB reduction. *)
+  mutable learnt_limit : int; (* reduce when learnts exceed this; grows *)
+  mutable learnts_removed : int;
   (* Scratch for conflict analysis. *)
   mutable seen : bool array;
 }
@@ -86,6 +96,9 @@ let create () =
     decisions = 0;
     propagations = 0;
     conflict_budget = -1;
+    deadline = infinity;
+    learnt_limit = 8192;
+    learnts_removed = 0;
     seen = Array.make 16 false;
   }
 
@@ -95,6 +108,11 @@ let nlearnts s = Vec.size s.learnts
 let nconflicts s = s.conflicts
 let ndecisions s = s.decisions
 let npropagations s = s.propagations
+let nlearnts_removed s = s.learnts_removed
+
+let set_learnt_limit s n =
+  if n < 1 then invalid_arg "Solver.set_learnt_limit";
+  s.learnt_limit <- n
 
 (* --- heap of variables ordered by activity ------------------------- *)
 
@@ -420,6 +438,53 @@ let add_clause s lits =
     end
   end
 
+(* --- learnt-DB reduction --------------------------------------------- *)
+
+(* A learnt clause is locked while it is the reason for a current
+   assignment: it must survive reduction so conflict analysis can still
+   walk the implication graph through it. *)
+let is_locked s c =
+  let v = Lit.var c.(0) in
+  s.assign.(v) >= 0
+  && (match s.reason.(v) with Some r -> r == c | None -> false)
+
+(* Drop roughly half of the learnt clauses, longest first.  Binary and
+   locked clauses always survive.  Sound at any point outside
+   [propagate]: removing learnt (implied) clauses never changes
+   satisfiability, and every watch list is rebuilt from scratch with the
+   same watched literals, so the two-watched invariant is preserved. *)
+let reduce_learnts s =
+  let keep = ref [] and cands = ref [] in
+  for i = 0 to Vec.size s.learnts - 1 do
+    let c = Vec.get s.learnts i in
+    if Array.length c <= 2 || is_locked s c then keep := c :: !keep
+    else cands := c :: !cands
+  done;
+  let cands =
+    List.sort (fun a b -> compare (Array.length a) (Array.length b)) !cands
+  in
+  let target = List.length cands / 2 in
+  let kept_cands = List.filteri (fun i _ -> i < target) cands in
+  let removed = List.length cands - target in
+  if removed > 0 then begin
+    s.learnts_removed <- s.learnts_removed + removed;
+    Vec.shrink s.learnts 0;
+    List.iter (Vec.push s.learnts) !keep;
+    List.iter (Vec.push s.learnts) kept_cands;
+    (* Rebuild every watch list: problem clauses plus surviving learnts. *)
+    Array.iter (fun w -> Vec.shrink w 0) s.watches;
+    for i = 0 to Vec.size s.clauses - 1 do
+      let c = Vec.get s.clauses i in
+      Vec.push s.watches.(c.(0)) c;
+      Vec.push s.watches.(c.(1)) c
+    done;
+    for i = 0 to Vec.size s.learnts - 1 do
+      let c = Vec.get s.learnts i in
+      Vec.push s.watches.(c.(0)) c;
+      Vec.push s.watches.(c.(1)) c
+    done
+  end
+
 (* --- search --------------------------------------------------------- *)
 
 let luby i =
@@ -435,7 +500,7 @@ let luby i =
   1 lsl go k (size k) i
 
 exception Result of result
-exception Out_of_budget
+exception Out_of_budget of reason
 
 let solve ?(assumptions = []) s =
   if s.unsat then Unsat
@@ -455,8 +520,16 @@ let solve ?(assumptions = []) s =
             s.conflict_budget <- s.conflict_budget - 1;
             if s.conflict_budget = 0 then begin
               cancel_until s 0;
-              raise Out_of_budget
+              raise (Out_of_budget Conflict_limit)
             end
+          end;
+          if
+            s.deadline < infinity
+            && s.conflicts land 63 = 0
+            && Unix.gettimeofday () > s.deadline
+          then begin
+            cancel_until s 0;
+            raise (Out_of_budget Time_limit)
           end;
           decr budget;
           if decision_level s <= n_assumps then begin
@@ -487,10 +560,15 @@ let solve ?(assumptions = []) s =
           var_decay s
         | None ->
           if !budget <= 0 && decision_level s > n_assumps then begin
-            (* Restart. *)
+            (* Restart; also the safe point for learnt-DB reduction. *)
             incr restart_idx;
             budget := restart_unit * luby !restart_idx;
-            cancel_until s n_assumps
+            cancel_until s n_assumps;
+            if Vec.size s.learnts >= s.learnt_limit then begin
+              reduce_learnts s;
+              (* Geometric growth keeps reductions amortized. *)
+              s.learnt_limit <- s.learnt_limit + (s.learnt_limit / 2)
+            end
           end
           else begin
             (* Decide: first the assumptions, then free variables. *)
@@ -569,16 +647,40 @@ let solve_raw = solve
 let solve ?assumptions s =
   cancel_until s 0;
   s.conflict_budget <- -1;
+  s.deadline <- infinity;
   solve_raw ?assumptions s
 
-let solve_bounded ?assumptions ~max_conflicts s =
-  if max_conflicts < 1 then invalid_arg "Solver.solve_bounded";
+type outcome = Sat | Unsat | Unknown of reason
+
+let solve_budgeted ?assumptions ?(budget = no_budget) s : outcome =
+  (match budget.max_conflicts with
+  | Some n when n < 1 -> invalid_arg "Solver.solve_budgeted: max_conflicts"
+  | Some _ | None -> ());
+  (match budget.max_seconds with
+  | Some sec when sec < 0.0 -> invalid_arg "Solver.solve_budgeted: max_seconds"
+  | Some _ | None -> ());
   cancel_until s 0;
-  s.conflict_budget <- max_conflicts;
+  s.conflict_budget <-
+    (match budget.max_conflicts with Some n -> n | None -> -1);
+  s.deadline <-
+    (match budget.max_seconds with
+    | Some sec -> Unix.gettimeofday () +. sec
+    | None -> infinity);
+  let restore () =
+    s.conflict_budget <- -1;
+    s.deadline <- infinity
+  in
   match solve_raw ?assumptions s with
   | r ->
-    s.conflict_budget <- -1;
-    Some r
-  | exception Out_of_budget ->
-    s.conflict_budget <- -1;
-    None
+    restore ();
+    (match r with Sat -> Sat | Unsat -> Unsat)
+  | exception Out_of_budget reason ->
+    restore ();
+    Unknown reason
+
+let solve_bounded ?assumptions ~max_conflicts s =
+  let budget = { max_conflicts = Some max_conflicts; max_seconds = None } in
+  match solve_budgeted ?assumptions ~budget s with
+  | Sat -> Some (Sat : result)
+  | Unsat -> Some (Unsat : result)
+  | Unknown _ -> None

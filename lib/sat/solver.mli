@@ -13,6 +13,22 @@ type result =
   | Sat   (** A model was found; query it with {!value} / {!model}. *)
   | Unsat (** The clause set (under the given assumptions) is unsatisfiable. *)
 
+type reason =
+  | Conflict_limit  (** The conflict budget was exhausted. *)
+  | Time_limit      (** The wall-clock budget was exhausted. *)
+
+type budget = {
+  max_conflicts : int option;  (** give up after this many conflicts *)
+  max_seconds : float option;  (** give up after this much wall-clock time *)
+}
+(** A resource budget for {!solve_budgeted}.  [None] fields are
+    unlimited.  Budgets are what keep equivalence sessions from hanging
+    on a hard monolithic miter: a budgeted query always terminates, in
+    the worst case with [Unknown]. *)
+
+val no_budget : budget
+(** The unlimited budget: [solve_budgeted ~budget:no_budget] = {!solve}. *)
+
 val create : unit -> t
 (** A fresh solver with no variables and no clauses. *)
 
@@ -37,6 +53,14 @@ val ndecisions : t -> int
 val npropagations : t -> int
 (** Total unit propagations across all [solve] calls. *)
 
+val nlearnts_removed : t -> int
+(** Total learnt clauses dropped by DB reduction so far. *)
+
+val set_learnt_limit : t -> int -> unit
+(** Set the learnt-DB size that triggers the next reduction (default
+    8192; the limit grows geometrically after each reduction).  Mainly
+    for tests and tuning; reduction is always sound. *)
+
 val add_clause : t -> Lit.t list -> unit
 (** [add_clause s lits] adds a clause.  Duplicate literals are removed; a
     clause containing [l] and [not l] is dropped as trivially true.
@@ -49,11 +73,27 @@ val solve : ?assumptions:Lit.t list -> t -> result
     afterwards: more variables and clauses may be added and [solve] may
     be called again (incremental use). *)
 
+type outcome =
+  | Sat
+  | Unsat
+  | Unknown of reason
+      (** The budget ran out before the query was decided.  The solver
+          remains usable: clauses learnt so far are kept, and a later
+          (possibly bigger-budget) call picks up where this one left
+          off. *)
+
+val solve_budgeted :
+  ?assumptions:Lit.t list -> ?budget:budget -> t -> outcome
+(** Like {!solve} but bounded by [budget] (default {!no_budget}).  The
+    wall clock is checked every 64 conflicts, so a query that never
+    conflicts is allowed to finish even under a tiny time budget. *)
+
 val solve_bounded :
   ?assumptions:Lit.t list -> max_conflicts:int -> t -> result option
 (** Like {!solve} but gives up (returning [None]) after [max_conflicts]
     conflicts.  Used by SAT sweeping, where an undecided candidate pair
-    is simply not merged. *)
+    is simply not merged.  Equivalent to {!solve_budgeted} with only a
+    conflict budget. *)
 
 val value : t -> Lit.t -> bool
 (** [value s l] is the truth value of [l] in the most recent model.

@@ -2,7 +2,6 @@ module Bitvec = Dfv_bitvec.Bitvec
 module Aig = Dfv_aig.Aig
 module Word = Dfv_aig.Word
 module Netlist = Dfv_rtl.Netlist
-module Synth = Dfv_rtl.Synth
 module Sim = Dfv_rtl.Sim
 module Ast = Dfv_hwir.Ast
 module Elab = Dfv_hwir.Elab
@@ -10,11 +9,19 @@ module Interp = Dfv_hwir.Interp
 module Typecheck = Dfv_hwir.Typecheck
 module Solver = Dfv_sat.Solver
 
-type stats = {
+type stats = Session.stats = {
   aig_ands : int;
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  sat_clauses : int;
+  learnts_removed : int;
+  nodes_encoded : int;
+  nodes_reused : int;
+  unroll_hits : int;
+  queries : int;
+  unknowns : int;
+  frame_seconds : float list;
   wall_seconds : float;
 }
 
@@ -24,7 +31,10 @@ type cex = {
   failed_checks : (Spec.check * Bitvec.t) list;
 }
 
-type verdict = Equivalent of stats | Not_equivalent of cex * stats
+type verdict =
+  | Equivalent of stats
+  | Not_equivalent of cex * stats
+  | Unknown of Solver.reason * stats
 
 exception Spec_error of string
 
@@ -32,54 +42,21 @@ let fail fmt = Printf.ksprintf (fun m -> raise (Spec_error m)) fmt
 
 let now () = Unix.gettimeofday ()
 
-let stats_of g s t0 =
-  {
-    aig_ands = Aig.num_ands g;
-    sat_conflicts = Solver.nconflicts s;
-    sat_decisions = Solver.ndecisions s;
-    sat_propagations = Solver.npropagations s;
-    wall_seconds = now () -. t0;
-  }
+(* Scope a session's cumulative stats to one checker call: the counters
+   describe the whole session (that is the point of sharing one), but the
+   wall clock reported for a verdict is this call's. *)
+let stats_of session t0 =
+  { (Session.stats session) with wall_seconds = now () -. t0 }
 
-(* Read an AIG literal's value out of a SAT model; literals whose cone was
-   never encoded are don't-cares (false). *)
-let model_lit m solver l =
-  if l = Aig.false_ then false
-  else if l = Aig.true_ then true
-  else begin
-    match Aig.sat_lit m l with
-    | sl -> Solver.value solver sl
-    | exception Not_found -> false
-  end
+(* Checker calls on a caller-supplied session use the session's budget
+   unless the call overrides it. *)
+let effective_budget budget session =
+  match budget with Some b -> b | None -> Session.budget session
 
-let model_word m solver (w : Word.w) =
-  Bitvec.of_bits (Array.map (model_lit m solver) w)
+let get_session budget session =
+  match session with Some s -> s | None -> Session.create ?budget ()
 
 (* --- SLM vs RTL ------------------------------------------------------- *)
-
-(* Unroll the RTL [cycles] steps from reset inside [g], feeding inputs
-   from [input_words t].  Returns the outputs of every cycle. *)
-let unroll_rtl g (rtl : Netlist.elaborated) ~cycles ~input_words =
-  let elements = Synth.state_elements rtl in
-  let state =
-    ref
-      (List.map (fun (id, _, init) -> (id, Word.const init)) elements)
-  in
-  let outs = Array.make cycles [] in
-  for t = 0 to cycles - 1 do
-    let inputs = input_words t in
-    let o, next =
-      Synth.build rtl ~g
-        ~inputs:(fun n ->
-          match List.assoc_opt n inputs with
-          | Some w -> w
-          | None -> fail "input port %s not driven" n)
-        ~state:(fun id -> List.assoc id !state)
-    in
-    outs.(t) <- o;
-    state := next
-  done;
-  outs
 
 let source_word ~param_shapes ~port ~width (src : Spec.source) : Word.w =
   match src with
@@ -158,42 +135,99 @@ let constraint_words slm ~g param_shapes constraints =
    budget — cheap miters (and most refutable ones) finish immediately.
    If the budget runs out, SAT-sweep the graph (merging internally
    equivalent nodes so structural differences between the two sides
-   collapse locally) and re-solve without a budget.  [sweep:false]
-   disables the fallback, for ablation measurements. *)
+   collapse locally) and re-solve in a throwaway session on the swept
+   graph, under whatever budget remains.  [sweep:false] disables the
+   fallback, for ablation measurements.
+
+   The query's side constraints are guarded by an activation literal so
+   they evaporate from the session afterwards; the model (if any) is
+   decoded into SLM parameter values before the literal is retired,
+   since retiring invalidates the model. *)
 let direct_budget = 5_000
 
-let decide_miter ~sweep g param_shapes violated cstrs =
-  let attempt bounded g param_shapes violated cstrs =
-    let solver = Solver.create () in
-    let m = Aig.encoder g solver in
-    List.iter (fun c -> Solver.add_clause solver [ Aig.encode m c ]) cstrs;
-    let vlit = Aig.encode m violated in
-    let result =
-      if bounded then
-        Solver.solve_bounded ~assumptions:[ vlit ] ~max_conflicts:direct_budget
-          solver
-      else Some (Solver.solve ~assumptions:[ vlit ] solver)
-    in
-    (result, solver, m, g, param_shapes)
+let decide_miter ~sweep ~budget session param_shapes violated cstrs =
+  let decode_params sn ps =
+    List.map
+      (fun (name, shape) ->
+        let v =
+          match shape with
+          | Elab.Word w -> Interp.Vint (Session.model_word sn w)
+          | Elab.Bank bank ->
+            Interp.Varr (Array.map (Session.model_word sn) bank)
+        in
+        (name, v))
+      ps
   in
-  match attempt sweep g param_shapes violated cstrs with
-  | Some r, solver, m, g, ps -> (r, solver, m, g, ps)
-  | None, _, _, _, _ ->
-    let g2, tr = Dfv_aig.Sweep.fraig g in
-    let tr_shape = function
-      | Elab.Word w -> Elab.Word (Array.map tr w)
-      | Elab.Bank b -> Elab.Bank (Array.map (Array.map tr) b)
+  let run sn b ps v cs =
+    let act = Session.activation sn in
+    List.iter (Session.guard sn act) cs;
+    let outcome = Session.check ~assumptions:[ act ] ~budget:b sn v in
+    let params =
+      match outcome with
+      | Solver.Sat -> Some (decode_params sn ps)
+      | Solver.Unsat | Solver.Unknown _ -> None
     in
-    let ps = List.map (fun (n, sh) -> (n, tr_shape sh)) param_shapes in
-    (match attempt false g2 ps (tr violated) (List.map tr cstrs) with
-    | Some r, solver, m, g, ps -> (r, solver, m, g, ps)
-    | None, _, _, _, _ -> assert false)
+    Session.retire sn act;
+    (outcome, params)
+  in
+  let deadline =
+    match budget.Solver.max_seconds with
+    | None -> None
+    | Some s -> Some (now () +. s)
+  in
+  let first_budget =
+    if not sweep then budget
+    else
+      {
+        budget with
+        Solver.max_conflicts =
+          Some
+            (match budget.Solver.max_conflicts with
+            | Some n -> min n direct_budget
+            | None -> direct_budget);
+      }
+  in
+  match run session first_budget param_shapes violated cstrs with
+  | (Solver.Unknown r, _) when sweep ->
+    (* Retry on the swept graph only with budget left to spend. *)
+    let retry_budget =
+      let conflicts_left =
+        match (r, budget.Solver.max_conflicts) with
+        | Solver.Conflict_limit, Some n -> n > direct_budget
+        | (Solver.Conflict_limit | Solver.Time_limit), _ -> true
+      in
+      if not conflicts_left then None
+      else begin
+        match deadline with
+        | None -> Some budget
+        | Some d ->
+          let left = d -. now () in
+          if left <= 0. then None
+          else Some { budget with Solver.max_seconds = Some left }
+      end
+    in
+    (match retry_budget with
+    | None -> (Solver.Unknown r, None, session)
+    | Some b2 ->
+      let g2, tr = Dfv_aig.Sweep.fraig (Session.graph session) in
+      let tr_shape = function
+        | Elab.Word w -> Elab.Word (Array.map tr w)
+        | Elab.Bank b -> Elab.Bank (Array.map (Array.map tr) b)
+      in
+      let ps2 = List.map (fun (n, sh) -> (n, tr_shape sh)) param_shapes in
+      let sn2 = Session.create ~graph:g2 ~budget:b2 () in
+      let outcome, params = run sn2 b2 ps2 (tr violated) (List.map tr cstrs) in
+      (outcome, params, sn2))
+  | outcome, params -> (outcome, params, session)
 
-let check_slm_rtl ?(sweep = true) ~slm ~rtl ~(spec : Spec.t) () =
+let check_slm_rtl ?(sweep = true) ?budget ?session ~slm ~rtl ~(spec : Spec.t)
+    () =
   let t0 = now () in
   Typecheck.check slm;
   if spec.rtl_cycles < 1 then fail "rtl_cycles must be >= 1";
-  let g = Aig.create () in
+  let session = get_session budget session in
+  let budget = effective_budget budget session in
+  let g = Session.graph session in
   let param_shapes, result = Elab.elaborate slm ~g in
   (* Validate the drive list covers the RTL inputs exactly. *)
   let port_width p =
@@ -222,7 +256,12 @@ let check_slm_rtl ?(sweep = true) ~slm ~rtl ~(spec : Spec.t) () =
         (port, source_word ~param_shapes ~port ~width src))
       spec.drives
   in
-  let outs = unroll_rtl g rtl ~cycles:spec.rtl_cycles ~input_words in
+  let outs =
+    try
+      Session.unroll_from_reset session rtl ~cycles:spec.rtl_cycles
+        ~input_words
+    with Session.Error m -> raise (Spec_error m)
+  in
   (* Expected words from the SLM result. *)
   let expected_word (c : Spec.check) width =
     match (c.expect, result) with
@@ -257,25 +296,14 @@ let check_slm_rtl ?(sweep = true) ~slm ~rtl ~(spec : Spec.t) () =
   in
   let violated = Aig.or_list g diffs in
   let cstrs = constraint_words slm ~g param_shapes spec.constraints in
-  let result, solver, m, g, param_shapes =
-    decide_miter ~sweep g param_shapes violated cstrs
+  let outcome, params, dsession =
+    decide_miter ~sweep ~budget session param_shapes violated cstrs
   in
-  match result with
-  | Solver.Unsat -> Equivalent (stats_of g solver t0)
-  | Solver.Sat ->
-    (* Decode the SLM arguments from the model. *)
-    let params =
-      List.map
-        (fun (name, shape) ->
-          let v =
-            match shape with
-            | Elab.Word w -> Interp.Vint (model_word m solver w)
-            | Elab.Bank bank ->
-              Interp.Varr (Array.map (model_word m solver) bank)
-          in
-          (name, v))
-        param_shapes
-    in
+  match (outcome, params) with
+  | Solver.Unsat, _ -> Equivalent (stats_of dsession t0)
+  | Solver.Unknown r, _ -> Unknown (r, stats_of dsession t0)
+  | Solver.Sat, None -> assert false
+  | Solver.Sat, Some params ->
     let slm_result =
       match Interp.run slm (List.map snd params) with
       | v -> Some v
@@ -334,11 +362,12 @@ let check_slm_rtl ?(sweep = true) ~slm ~rtl ~(spec : Spec.t) () =
         spec.checks
     in
     Not_equivalent
-      ({ params; slm_result; failed_checks }, stats_of g solver t0)
+      ({ params; slm_result; failed_checks }, stats_of dsession t0)
 
 (* --- SLM vs SLM -------------------------------------------------------- *)
 
-let check_slm_slm ?(sweep = true) ~a ~b ?(constraints = []) () =
+let check_slm_slm ?(sweep = true) ?budget ?session ~a ~b ?(constraints = [])
+    () =
   let t0 = now () in
   Typecheck.check a;
   Typecheck.check b;
@@ -349,7 +378,9 @@ let check_slm_slm ?(sweep = true) ~a ~b ?(constraints = []) () =
   in
   if sig_of a <> sig_of b then
     fail "entry signatures of the two SLMs differ";
-  let g = Aig.create () in
+  let session = get_session budget session in
+  let budget = effective_budget budget session in
+  let g = Session.graph session in
   let param_shapes, result_a = Elab.elaborate a ~g in
   let result_b = Elab.apply b ~g (List.map snd param_shapes) in
   let violated =
@@ -364,31 +395,21 @@ let check_slm_slm ?(sweep = true) ~a ~b ?(constraints = []) () =
       fail "result shapes differ"
   in
   let cstrs = constraint_words a ~g param_shapes constraints in
-  let result, solver, m, g, param_shapes =
-    decide_miter ~sweep g param_shapes violated cstrs
+  let outcome, params, dsession =
+    decide_miter ~sweep ~budget session param_shapes violated cstrs
   in
-  match result with
-  | Solver.Unsat -> Equivalent (stats_of g solver t0)
-  | Solver.Sat ->
-    let params =
-      List.map
-        (fun (name, shape) ->
-          let v =
-            match shape with
-            | Elab.Word w -> Interp.Vint (model_word m solver w)
-            | Elab.Bank bank ->
-              Interp.Varr (Array.map (model_word m solver) bank)
-          in
-          (name, v))
-        param_shapes
-    in
+  match (outcome, params) with
+  | Solver.Unsat, _ -> Equivalent (stats_of dsession t0)
+  | Solver.Unknown r, _ -> Unknown (r, stats_of dsession t0)
+  | Solver.Sat, None -> assert false
+  | Solver.Sat, Some params ->
     let slm_result =
       match Interp.run a (List.map snd params) with
       | v -> Some v
       | exception Interp.Runtime_error _ -> None
     in
     Not_equivalent
-      ({ params; slm_result; failed_checks = [] }, stats_of g solver t0)
+      ({ params; slm_result; failed_checks = [] }, stats_of dsession t0)
 
 (* --- RTL vs RTL -------------------------------------------------------- *)
 
@@ -404,6 +425,7 @@ type rtl_verdict =
   | Rtl_equivalent_to_bound of int * stats
   | Rtl_proved of int * stats
   | Rtl_not_equivalent of rtl_cex * stats
+  | Rtl_unknown of Solver.reason * stats
 
 let check_port_compatibility (a : Netlist.elaborated) (b : Netlist.elaborated) =
   let sig_of d =
@@ -417,51 +439,6 @@ let check_port_compatibility (a : Netlist.elaborated) (b : Netlist.elaborated) =
   if outs a <> outs b then
     fail "designs %s and %s have different output ports" a.Netlist.e_name
       b.Netlist.e_name
-
-(* Shared unrolling used by BMC and the induction step. *)
-let unroll_product g a b ~initial_a ~initial_b ~cycles =
-  let input_log = Array.make cycles [] in
-  let miters = Array.make cycles Aig.false_ in
-  let state_a = ref initial_a and state_b = ref initial_b in
-  for t = 0 to cycles - 1 do
-    let inputs =
-      List.map
-        (fun p ->
-          ( p.Netlist.port_name,
-            Word.inputs ~name:(Printf.sprintf "%s@%d" p.Netlist.port_name t) g
-              p.Netlist.port_width ))
-        a.Netlist.e_inputs
-    in
-    input_log.(t) <- inputs;
-    let outs_a, next_a =
-      Synth.build a ~g
-        ~inputs:(fun n -> List.assoc n inputs)
-        ~state:(fun id -> List.assoc id !state_a)
-    in
-    let outs_b, next_b =
-      Synth.build b ~g
-        ~inputs:(fun n -> List.assoc n inputs)
-        ~state:(fun id -> List.assoc id !state_b)
-    in
-    state_a := next_a;
-    state_b := next_b;
-    let diffs =
-      List.map
-        (fun (name, wa) ->
-          let wb = List.assoc name outs_b in
-          if Array.length wa <> Array.length wb then
-            fail "output %s has width %d in %s but %d in %s" name
-              (Array.length wa) a.Netlist.e_name (Array.length wb)
-              b.Netlist.e_name;
-          Word.ne g wa wb)
-        outs_a
-    in
-    miters.(t) <- Aig.or_list g diffs
-  done;
-  (input_log, miters)
-
-let reset_state (d : Netlist.elaborated) =
-  List.map (fun (id, _, init) -> (id, Word.const init)) (Synth.state_elements d)
 
 let find_divergence a b inputs_per_cycle =
   let sim_a = Sim.create a and sim_b = Sim.create b in
@@ -483,33 +460,43 @@ let find_divergence a b inputs_per_cycle =
   in
   go 0
 
-let check_rtl_rtl ~a ~b ~bound () =
+let check_rtl_rtl ?budget ?session ~a ~b ~bound () =
   let t0 = now () in
   if bound < 1 then fail "bound must be >= 1";
   check_port_compatibility a b;
-  let g = Aig.create () in
-  let input_log, miters =
-    unroll_product g a b ~initial_a:(reset_state a) ~initial_b:(reset_state b)
-      ~cycles:bound
+  let session = get_session budget session in
+  let budget = effective_budget budget session in
+  let product =
+    try
+      Session.product session ~a ~b
+        ~initial_a:(Session.reset_state a)
+        ~initial_b:(Session.reset_state b)
+    with Session.Error m -> raise (Spec_error m)
   in
-  let solver = Solver.create () in
-  let m = Aig.encoder g solver in
+  let miter t =
+    try Session.frame_miter product t
+    with Session.Error m -> raise (Spec_error m)
+  in
   let rec frames t =
-    if t >= bound then Rtl_equivalent_to_bound (bound, stats_of g solver t0)
+    if t >= bound then Rtl_equivalent_to_bound (bound, stats_of session t0)
     else begin
-      let lit = Aig.encode m miters.(t) in
-      match Solver.solve ~assumptions:[ lit ] solver with
+      let lit = miter t in
+      match Session.check ~budget session lit with
+      | Solver.Unknown r -> Rtl_unknown (r, stats_of session t0)
       | Solver.Unsat ->
         (* This frame can never diverge (given earlier frames were also
-           checked); block it and move on. *)
-        Solver.add_clause solver [ Dfv_sat.Lit.negate lit ];
+           checked); block it and move on.  The blocking clause is a
+           theorem of the product encoding, so it is sound to keep even
+           when the session is shared across calls. *)
+        Session.block session lit;
         frames (t + 1)
       | Solver.Sat ->
+        let all = Session.frame_inputs product in
         let concrete =
           Array.map
             (fun inputs ->
-              List.map (fun (n, w) -> (n, model_word m solver w)) inputs)
-            input_log
+              List.map (fun (n, w) -> (n, Session.model_word session w)) inputs)
+            (Array.sub all 0 (min bound (Array.length all)))
         in
         (match find_divergence a b concrete with
         | Some (t, port, va, vb) ->
@@ -521,7 +508,7 @@ let check_rtl_rtl ~a ~b ~bound () =
                 value_a = va;
                 value_b = vb;
               },
-              stats_of g solver t0 )
+              stats_of session t0 )
         | None ->
           (* The model satisfied the miter symbolically, so simulation
              must reproduce it; not doing so is a checker bug. *)
@@ -530,50 +517,56 @@ let check_rtl_rtl ~a ~b ~bound () =
   in
   frames 0
 
-let prove_rtl_rtl ~a ~b ~k () =
+(* Fold a base-case verdict's counters into an induction verdict's. *)
+let add_stats (b : stats) (s : stats) =
+  {
+    s with
+    aig_ands = s.aig_ands + b.aig_ands;
+    sat_conflicts = s.sat_conflicts + b.sat_conflicts;
+    sat_decisions = s.sat_decisions + b.sat_decisions;
+    sat_propagations = s.sat_propagations + b.sat_propagations;
+    sat_clauses = s.sat_clauses + b.sat_clauses;
+    learnts_removed = s.learnts_removed + b.learnts_removed;
+    nodes_encoded = s.nodes_encoded + b.nodes_encoded;
+    nodes_reused = s.nodes_reused + b.nodes_reused;
+    unroll_hits = s.unroll_hits + b.unroll_hits;
+    queries = s.queries + b.queries;
+    unknowns = s.unknowns + b.unknowns;
+    frame_seconds = b.frame_seconds @ s.frame_seconds;
+  }
+
+let prove_rtl_rtl ?budget ~a ~b ~k () =
   let t0 = now () in
   if k < 1 then fail "k must be >= 1";
   (* Base case. *)
-  match check_rtl_rtl ~a ~b ~bound:k () with
-  | Rtl_not_equivalent _ as v -> v
+  match check_rtl_rtl ?budget ~a ~b ~bound:k () with
+  | (Rtl_not_equivalent _ | Rtl_unknown _) as v -> v
   | Rtl_proved _ -> assert false
   | Rtl_equivalent_to_bound (_, base_stats) -> (
     (* Inductive step: arbitrary initial states, k agreeing cycles imply
        agreement at cycle k (0-based: frames 0..k-1 agree => frame k
-       agrees). *)
+       agrees).  The induction hypotheses are not theorems of the
+       product machine, so this step runs in its own session rather
+       than a shared one. *)
     check_port_compatibility a b;
-    let g = Aig.create () in
-    let arb d tag =
-      List.map
-        (fun (id, w, _) ->
-          ( id,
-            Word.inputs
-              ~name:(Printf.sprintf "%s.%s#0" tag (Synth.state_id_name id))
-              g w ))
-        (Synth.state_elements d)
+    let session = Session.create ?budget () in
+    let budget = Session.budget session in
+    let product =
+      Session.product session ~a ~b
+        ~initial_a:(Session.arbitrary_state session ~tag:"a" a)
+        ~initial_b:(Session.arbitrary_state session ~tag:"b" b)
     in
-    let _, miters =
-      unroll_product g a b ~initial_a:(arb a "a") ~initial_b:(arb b "b")
-        ~cycles:(k + 1)
+    let miter t =
+      try Session.frame_miter product t
+      with Session.Error m -> raise (Spec_error m)
     in
-    let solver = Solver.create () in
-    let m = Aig.encoder g solver in
     for t = 0 to k - 1 do
-      Solver.add_clause solver
-        [ Dfv_sat.Lit.negate (Aig.encode m miters.(t)) ]
+      Session.block session (miter t)
     done;
-    let final = Aig.encode m miters.(k) in
-    match Solver.solve ~assumptions:[ final ] solver with
+    match Session.check ~budget session (miter k) with
     | Solver.Unsat ->
-      let s = stats_of g solver t0 in
-      Rtl_proved
-        ( k,
-          {
-            s with
-            sat_conflicts = s.sat_conflicts + base_stats.sat_conflicts;
-            sat_decisions = s.sat_decisions + base_stats.sat_decisions;
-            sat_propagations = s.sat_propagations + base_stats.sat_propagations;
-          } )
+      Rtl_proved (k, add_stats base_stats (stats_of session t0))
     | Solver.Sat ->
       (* Induction failed: only the bounded claim survives. *)
-      Rtl_equivalent_to_bound (k, stats_of g solver t0))
+      Rtl_equivalent_to_bound (k, stats_of session t0)
+    | Solver.Unknown r -> Rtl_unknown (r, stats_of session t0))

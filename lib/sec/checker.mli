@@ -14,16 +14,34 @@
       machine — bounded model checking from reset with shared inputs,
       plus {!prove_rtl_rtl} for unbounded proofs by k-induction.
 
-    All verdicts carry solver statistics so the experiments can report
-    effort (time-to-counterexample, conflicts, graph sizes). *)
+    Every entry point is a thin driver over {!Session}: pass [?session]
+    to share one solving substrate (solver, AIG, CNF encoding, learnt
+    clauses, unroll caches) across many calls, and [?budget] to bound
+    each SAT query so no check can hang — a budgeted query that runs out
+    returns the {!Unknown} / {!Rtl_unknown} verdict instead.
 
-type stats = {
+    All verdicts carry solver statistics so the experiments can report
+    effort (time-to-counterexample, conflicts, graph sizes) and reuse
+    (nodes re-encoded vs reused, cache hits). *)
+
+type stats = Session.stats = {
   aig_ands : int;
   sat_conflicts : int;
   sat_decisions : int;
   sat_propagations : int;
+  sat_clauses : int;
+  learnts_removed : int;
+  nodes_encoded : int;
+  nodes_reused : int;
+  unroll_hits : int;
+  queries : int;
+  unknowns : int;
+  frame_seconds : float list;
   wall_seconds : float;
 }
+(** Re-export of {!Session.stats}.  When a call supplied its own
+    session the counters are cumulative over that session's lifetime;
+    [wall_seconds] is always the reporting call's own elapsed time. *)
 
 type cex = {
   params : (string * Dfv_hwir.Interp.value) list;
@@ -39,6 +57,8 @@ type cex = {
 type verdict =
   | Equivalent of stats
   | Not_equivalent of cex * stats
+  | Unknown of Dfv_sat.Solver.reason * stats
+      (** The budget ran out before the query was decided. *)
 
 exception Spec_error of string
 (** Malformed specification: undriven RTL input, unknown port or
@@ -46,6 +66,8 @@ exception Spec_error of string
 
 val check_slm_rtl :
   ?sweep:bool ->
+  ?budget:Dfv_sat.Solver.budget ->
+  ?session:Session.t ->
   slm:Dfv_hwir.Ast.program ->
   rtl:Dfv_rtl.Netlist.elaborated ->
   spec:Spec.t ->
@@ -55,13 +77,21 @@ val check_slm_rtl :
     must typecheck and be conditioned (statically elaborable); the
     checker raises {!Dfv_hwir.Elab.Not_synthesizable} otherwise — the
     tool-flow consequence of violating the Section 4.3 guidelines.
+
     Solving is a portfolio: a bounded direct attempt first, then SAT
-    sweeping ({!Dfv_aig.Sweep}) plus an unbounded query; [sweep:false]
-    disables the sweeping fallback (for ablation measurements), making
-    the direct attempt unbounded instead. *)
+    sweeping ({!Dfv_aig.Sweep}) plus a query under whatever budget
+    remains; [sweep:false] disables the sweeping fallback (for ablation
+    measurements), making the direct attempt use the full budget.
+
+    [session] shares the solving substrate with other calls (per-block
+    checks of one design reuse its encoding); the default is a private
+    one.  [budget] bounds each SAT query, defaulting to the session's
+    budget; when it runs out the verdict is {!Unknown}. *)
 
 val check_slm_slm :
   ?sweep:bool ->
+  ?budget:Dfv_sat.Solver.budget ->
+  ?session:Session.t ->
   a:Dfv_hwir.Ast.program ->
   b:Dfv_hwir.Ast.program ->
   ?constraints:Dfv_hwir.Ast.expr list ->
@@ -90,8 +120,12 @@ type rtl_verdict =
   | Rtl_proved of int * stats
       (** Proved equivalent for all time by k-induction at depth k. *)
   | Rtl_not_equivalent of rtl_cex * stats
+  | Rtl_unknown of Dfv_sat.Solver.reason * stats
+      (** The budget ran out before some frame was decided. *)
 
 val check_rtl_rtl :
+  ?budget:Dfv_sat.Solver.budget ->
+  ?session:Session.t ->
   a:Dfv_rtl.Netlist.elaborated ->
   b:Dfv_rtl.Netlist.elaborated ->
   bound:int ->
@@ -100,11 +134,13 @@ val check_rtl_rtl :
 (** BMC on the product machine: both designs start at reset, share input
     values by port name (the designs must have identical input and
     output port lists), and every common output is compared at every
-    cycle up to [bound].  Queries are incremental — one solver session
-    per call, frames added as needed — which is what makes the paper's
-    "incremental runs localize divergence quickly" observation hold. *)
+    cycle up to [bound].  Frames are unrolled and solved one at a time —
+    a shared [session] caches the product machine, so a later call at a
+    deeper bound extends the earlier encoding (and re-verifies already
+    blocked frames by unit propagation) instead of starting over. *)
 
 val prove_rtl_rtl :
+  ?budget:Dfv_sat.Solver.budget ->
   a:Dfv_rtl.Netlist.elaborated ->
   b:Dfv_rtl.Netlist.elaborated ->
   k:int ->
@@ -115,4 +151,6 @@ val prove_rtl_rtl :
     agreement at cycle [k+1].  Returns [Rtl_proved] on success,
     [Rtl_not_equivalent] on a real (reset-reachable) divergence, and
     [Rtl_equivalent_to_bound] when the induction step fails (the bounded
-    claim still holds). *)
+    claim still holds).  The induction step always runs in a private
+    session (its hypothesis clauses are not theorems, so they must not
+    leak into a shared one). *)

@@ -91,12 +91,14 @@ let test_sec_proves_synthesized_gcd () =
   match sec_against_source t.Gcd.slm with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "synthesized gcd not equivalent"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_sec_proves_synthesized_alu () =
   let t = Alu.make ~width:8 () in
   match sec_against_source t.Alu.slm with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "synthesized alu not equivalent"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_sec_proves_synthesized_conv () =
   (* Arrays as locals are fine (they become memories); the conv window
@@ -109,6 +111,7 @@ let test_sec_proves_synthesized_conv () =
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ ->
     Alcotest.fail "synthesized brightness not equivalent"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_rejects_unsupported () =
   let open Ast in
@@ -194,6 +197,7 @@ let test_array_local_memory () =
   match sec_against_source prog with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "array-local block not equivalent"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let suite =
   [ Alcotest.test_case "synthesized gcd runs" `Quick test_synthesized_gcd_runs;

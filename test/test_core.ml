@@ -74,14 +74,16 @@ let test_flow_verify_proves () =
   let r = Flow.verify (alu_pair ()) in
   match r.Flow.outcome with
   | Flow.Proved _ -> ()
-  | Flow.Refuted _ | Flow.Simulated _ -> Alcotest.fail "expected a proof"
+  | Flow.Refuted _ | Flow.Simulated _ | Flow.Undecided _ ->
+    Alcotest.fail "expected a proof"
 
 let test_flow_verify_refutes () =
   let r = Flow.verify (alu_pair ~bug:Alu.Unsigned_slt ()) in
   match r.Flow.outcome with
   | Flow.Refuted (cex, _) ->
     check_bool "has params" true (cex.Checker.params <> [])
-  | Flow.Proved _ | Flow.Simulated _ -> Alcotest.fail "expected refutation"
+  | Flow.Proved _ | Flow.Simulated _ | Flow.Undecided _ ->
+    Alcotest.fail "expected refutation"
 
 let test_flow_verify_falls_back_to_simulation () =
   (* Unconditioned SLM: verify must degrade to simulation and say so. *)
@@ -113,7 +115,7 @@ let test_flow_verify_falls_back_to_simulation () =
   match r.Flow.outcome with
   | Flow.Simulated (Flow.Sim_clean { vectors = 100 }) -> ()
   | Flow.Simulated _ -> Alcotest.fail "simulation should be clean"
-  | Flow.Proved _ | Flow.Refuted _ ->
+  | Flow.Proved _ | Flow.Refuted _ | Flow.Undecided _ ->
     Alcotest.fail "SEC should have been blocked"
 
 let test_report_renders () =
@@ -145,14 +147,16 @@ let test_chain_clean_all_levels () =
        ~rtl:chain.Image_chain.rtl_top ~spec:chain.Image_chain.chain_spec ()
    with
   | Checker.Equivalent _ -> ()
-  | Checker.Not_equivalent _ -> Alcotest.fail "clean chain should match");
+  | Checker.Not_equivalent _ -> Alcotest.fail "clean chain should match"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown");
   (* Every block individually. *)
   List.iter
     (fun b ->
       match sec_block chain b with
       | Checker.Equivalent _ -> ()
       | Checker.Not_equivalent _ ->
-        Alcotest.failf "clean block %s should match" (Image_chain.block_name b))
+        Alcotest.failf "clean block %s should match" (Image_chain.block_name b)
+      | Checker.Unknown _ -> Alcotest.fail "unexpected unknown")
     Image_chain.all_blocks
 
 let test_chain_incremental_localization () =
@@ -168,7 +172,8 @@ let test_chain_incremental_localization () =
       | Checker.Not_equivalent _ -> ()
       | Checker.Equivalent _ ->
         Alcotest.failf "monolithic SEC missed the %s bug"
-          (Image_chain.block_name guilty));
+          (Image_chain.block_name guilty)
+      | Checker.Unknown _ -> Alcotest.fail "unexpected unknown");
       List.iter
         (fun b ->
           let verdict = sec_block chain b in
@@ -176,6 +181,7 @@ let test_chain_incremental_localization () =
             match verdict with
             | Checker.Not_equivalent _ -> true
             | Checker.Equivalent _ -> false
+            | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
           in
           if failed <> (b = guilty) then
             Alcotest.failf "bug in %s: block %s reported %s"

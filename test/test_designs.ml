@@ -36,6 +36,7 @@ let test_gcd_sec () =
       Alcotest.failf "gcd SEC cex a=%s b=%s" (Bitvec.to_string a)
         (Bitvec.to_string b)
     | _ -> Alcotest.fail "gcd SEC failed")
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* --- alu -------------------------------------------------------------- *)
 
@@ -77,6 +78,7 @@ let test_alu_sec_clean () =
   match Checker.check_slm_rtl ~slm:t.Alu.slm ~rtl:t.Alu.rtl ~spec:t.Alu.spec () with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "clean ALU should be equivalent"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_alu_sec_finds_every_bug () =
   List.iter
@@ -100,7 +102,8 @@ let test_alu_sec_finds_every_bug () =
             Alcotest.failf "bug %s: cex does not reproduce" (Alu.bug_name bug)
         | _ -> Alcotest.fail "bad cex shape")
       | Checker.Equivalent _ ->
-        Alcotest.failf "bug %s not found by SEC" (Alu.bug_name bug))
+        Alcotest.failf "bug %s not found by SEC" (Alu.bug_name bug)
+      | Checker.Unknown _ -> Alcotest.fail "unexpected unknown")
     Alu.all_bugs
 
 (* --- fir -------------------------------------------------------------- *)
@@ -157,6 +160,7 @@ let test_fir_sec_exact_equivalent () =
       Alcotest.failf "unexpected fir cex [%s]"
         (String.concat ";" (Array.to_list (Array.map Bitvec.to_string a)))
     | _ -> Alcotest.fail "fir SEC failed")
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_fir_sec_catches_cstyle () =
   let t = Fir.make ~taps:big_taps () in
@@ -172,6 +176,7 @@ let test_fir_sec_catches_cstyle () =
         (Fir.golden_exact t w <> Fir.golden_cstyle t w)
     | _ -> Alcotest.fail "bad cex shape")
   | Checker.Equivalent _ -> Alcotest.fail "c-style model wrongly equivalent"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_fir_sec_cstyle_equivalent_when_unsaturable () =
   (* With small taps the intermediate sums cannot overflow, so per-step
@@ -184,6 +189,7 @@ let test_fir_sec_cstyle_equivalent_when_unsaturable () =
   with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "small-tap c-style should match"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 (* --- memsys ------------------------------------------------------------ *)
 
@@ -344,6 +350,7 @@ let test_conv_window_sec () =
   with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "window datapath should match"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_conv_wrap_bug_found () =
   (* Clamped SLM vs wrap RTL: SEC finds a saturating window. *)
@@ -362,6 +369,7 @@ let test_conv_wrap_bug_found () =
       check_bool "cex is a real saturation case" true (clamped <> wrapped)
     | _ -> Alcotest.fail "bad cex")
   | Checker.Equivalent _ -> Alcotest.fail "wrap bug not found"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_conv_golden_pixel_vs_slm () =
   let t = Conv_image.make ~kernel:Conv_image.sharpen ~shift:2 () in
@@ -440,7 +448,8 @@ let test_minifloat_sec () =
         (Minifloat.golden_add ~flush:false a b
         <> Minifloat.golden_add ~flush:true a b)
     | _ -> Alcotest.fail "bad cex")
-  | Checker.Equivalent _ -> Alcotest.fail "profiles should diverge");
+  | Checker.Equivalent _ -> Alcotest.fail "profiles should diverge"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown");
   (* Constrained to the safe region: equivalent — the paper's remedy. *)
   match
     Checker.check_slm_slm ~a:t.Minifloat.full ~b:t.Minifloat.lite
@@ -453,6 +462,7 @@ let test_minifloat_sec () =
       Alcotest.failf "diverges under constraints: a=%s b=%s"
         (Bitvec.to_string a) (Bitvec.to_string b)
     | _ -> Alcotest.fail "bad cex")
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let suite =
   [ Alcotest.test_case "gcd models agree (exhaustive)" `Quick
@@ -543,6 +553,7 @@ let test_uart_sec () =
     | Interp.Vint b ->
       Alcotest.failf "uart SEC cex data=%s" (Bitvec.to_string b)
     | _ -> Alcotest.fail "uart SEC failed")
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_uart_sec_catches_baud_mismatch () =
   (* A transactor calibrated for divisor 4 against a divisor-5 RTL: the
@@ -554,6 +565,7 @@ let test_uart_sec_catches_baud_mismatch () =
   with
   | Checker.Not_equivalent _ -> ()
   | Checker.Equivalent _ -> Alcotest.fail "baud mismatch not caught"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let suite =
   suite

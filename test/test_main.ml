@@ -12,6 +12,7 @@ let () =
       ("tlm", Test_tlm.suite);
       ("hwir", Test_hwir.suite);
       ("sec", Test_sec.suite);
+      ("session", Test_session.suite);
       ("cosim", Test_cosim.suite);
       ("softfloat", Test_softfloat.suite);
       ("designs", Test_designs.suite);

@@ -5,7 +5,8 @@ open Dfv_sat
 let check_bool = Alcotest.check Alcotest.bool
 let check_res = Alcotest.check Alcotest.bool
 
-let is_sat = function Solver.Sat -> true | Solver.Unsat -> false
+let is_sat (r : Solver.result) =
+  match r with Solver.Sat -> true | Solver.Unsat -> false
 
 (* Build a solver with [n] fresh variables. *)
 let fresh n =
@@ -222,7 +223,8 @@ let test_dimacs_parse () =
   Alcotest.check Alcotest.int "vars" 3 cnf.Dimacs.num_vars;
   Alcotest.check Alcotest.int "clauses" 2 (List.length cnf.Dimacs.clauses);
   let s = Solver.create () in
-  Dimacs.load s cnf;
+  let base = Dimacs.load s cnf in
+  Alcotest.check Alcotest.int "fresh solver base" 0 base;
   check_res "sat" true (is_sat (Solver.solve s))
 
 let test_dimacs_roundtrip () =
@@ -290,6 +292,132 @@ let test_solve_bounded () =
   | Some r -> check_res "easy decided" true (is_sat r)
   | None -> Alcotest.fail "easy instance exceeded a huge budget"
 
+(* --- budgets and the learnt-clause DB --------------------------------- *)
+
+let test_budgeted_conflicts () =
+  let s = pigeonhole 9 8 in
+  (match
+     Solver.solve_budgeted
+       ~budget:{ Solver.max_conflicts = Some 50; max_seconds = None }
+       s
+   with
+  | Solver.Unknown Solver.Conflict_limit -> ()
+  | Solver.Unknown Solver.Time_limit -> Alcotest.fail "wrong reason"
+  | Solver.Sat | Solver.Unsat ->
+    Alcotest.fail "php(9,8) should not decide in 50 conflicts");
+  (* The budget is per call, not sticky: an unlimited call still decides,
+     keeping the clauses learnt during the budgeted attempt. *)
+  (match Solver.solve_budgeted s with
+  | Solver.Unsat -> ()
+  | Solver.Sat | Solver.Unknown _ -> Alcotest.fail "php(9,8) must be unsat")
+
+let test_budgeted_time () =
+  let s = pigeonhole 9 8 in
+  (match
+     Solver.solve_budgeted
+       ~budget:{ Solver.max_conflicts = None; max_seconds = Some 0.0 }
+       s
+   with
+  | Solver.Unknown Solver.Time_limit -> ()
+  | Solver.Unknown Solver.Conflict_limit -> Alcotest.fail "wrong reason"
+  | Solver.Sat | Solver.Unsat ->
+    Alcotest.fail "php(9,8) should not decide in zero time");
+  (* A query that decides without conflicting finishes even under a zero
+     time budget (the clock is only polled at conflicts). *)
+  let s2, v = fresh 2 in
+  Solver.add_clause s2 [ Lit.pos v.(0) ];
+  match
+    Solver.solve_budgeted
+      ~budget:{ Solver.max_conflicts = None; max_seconds = Some 0.0 }
+      s2
+  with
+  | Solver.Sat -> ()
+  | Solver.Unsat | Solver.Unknown _ ->
+    Alcotest.fail "conflict-free query must still decide"
+
+let test_budget_validation () =
+  let s, _ = fresh 1 in
+  let bad b =
+    match Solver.solve_budgeted ~budget:b s with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "conflicts >= 1" true
+    (bad { Solver.max_conflicts = Some 0; max_seconds = None });
+  check_bool "seconds >= 0" true
+    (bad { Solver.max_conflicts = None; max_seconds = Some (-1.0) })
+
+let test_learnt_reduction () =
+  (* Force many reductions on a hard instance and check the answer is
+     still right: reduction must be sound (learnts are implied). *)
+  let s = pigeonhole 7 6 in
+  Solver.set_learnt_limit s 64;
+  check_res "php(7,6) unsat with tiny learnt DB" false (is_sat (Solver.solve s));
+  check_bool "reductions happened" true (Solver.nlearnts_removed s > 0);
+  (* And a satisfiable instance still finds a (valid) model. *)
+  let s2 = pigeonhole 6 6 in
+  Solver.set_learnt_limit s2 16;
+  check_res "php(6,6) sat with tiny learnt DB" true (is_sat (Solver.solve s2));
+  check_bool "bad limit rejected" true
+    (match Solver.set_learnt_limit s2 0 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_interleaved_sessions () =
+  (* The access pattern of an equivalence session: add_clause / solve /
+     solve ~assumptions interleaved on one solver, with assumption-scoped
+     queries not perturbing later unconstrained ones. *)
+  let s, v = fresh 6 in
+  Solver.add_clause s [ Lit.neg v.(0); Lit.pos v.(1) ];
+  Solver.add_clause s [ Lit.neg v.(1); Lit.pos v.(2) ];
+  check_res "frame 0" true (is_sat (Solver.solve ~assumptions:[ Lit.pos v.(0) ] s));
+  check_bool "implied" true (Solver.value s (Lit.pos v.(2)));
+  (* Block the frame, as BMC does after proving it unreachable. *)
+  Solver.add_clause s [ Lit.neg v.(2) ];
+  check_res "frame 0 now closed" false
+    (is_sat (Solver.solve ~assumptions:[ Lit.pos v.(0) ] s));
+  check_res "other frames open" true
+    (is_sat (Solver.solve ~assumptions:[ Lit.pos v.(3) ] s));
+  (* An activation literal scoping a guarded constraint. *)
+  let act = Lit.pos (Solver.new_var s) in
+  Solver.add_clause s [ Lit.negate act; Lit.pos v.(4) ];
+  check_res "guarded active" true (is_sat (Solver.solve ~assumptions:[ act ] s));
+  check_bool "guard fired" true (Solver.value s (Lit.pos v.(4)));
+  Solver.add_clause s [ Lit.negate act ];
+  check_res "guard retired, v4 free" true
+    (is_sat (Solver.solve ~assumptions:[ Lit.neg v.(4) ] s));
+  Solver.add_clause s [ Lit.pos v.(5) ];
+  check_res "still incremental" true (is_sat (Solver.solve s));
+  check_bool "unit holds" true (Solver.value s (Lit.pos v.(5)))
+
+let test_dimacs_offset_load () =
+  (* Loading composes with a solver that already has variables. *)
+  let s, v = fresh 2 in
+  Solver.add_clause s [ Lit.pos v.(0) ];
+  Solver.add_clause s [ Lit.neg v.(1) ];
+  let cnf = Dimacs.parse_string "p cnf 2 2\n1 2 0\n-1 2 0\n" in
+  let base = Dimacs.load s cnf in
+  Alcotest.check Alcotest.int "base after 2 vars" 2 base;
+  check_res "combined sat" true (is_sat (Solver.solve s));
+  (* The pre-existing constraints and the loaded ones both hold. *)
+  check_bool "old unit kept" true (Solver.value s (Lit.pos v.(0)));
+  check_bool "loaded clause solved" true
+    (Solver.value s (Dimacs.solver_lit ~base (Lit.of_dimacs 2)));
+  (* A second load gets its own block; make it clash-free with the first
+     by construction and force a contradiction across blocks. *)
+  let base2 = Dimacs.load s (Dimacs.parse_string "p cnf 1 1\n1 0\n") in
+  Alcotest.check Alcotest.int "blocks stack" 4 base2;
+  check_res "still sat" true (is_sat (Solver.solve s));
+  Solver.add_clause s [ Lit.negate (Dimacs.solver_lit ~base:base2 (Lit.of_dimacs 1)) ];
+  check_res "cross-block contradiction" false (is_sat (Solver.solve s))
+
 let suite =
   suite
-  @ [ Alcotest.test_case "solve_bounded budget" `Quick test_solve_bounded ]
+  @ [ Alcotest.test_case "solve_bounded budget" `Quick test_solve_bounded;
+      Alcotest.test_case "budgeted conflicts" `Quick test_budgeted_conflicts;
+      Alcotest.test_case "budgeted wall clock" `Quick test_budgeted_time;
+      Alcotest.test_case "budget validation" `Quick test_budget_validation;
+      Alcotest.test_case "learnt DB reduction" `Quick test_learnt_reduction;
+      Alcotest.test_case "interleaved incremental sessions" `Quick
+        test_interleaved_sessions;
+      Alcotest.test_case "dimacs offset load" `Quick test_dimacs_offset_load ]

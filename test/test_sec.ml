@@ -139,6 +139,7 @@ let test_comb_adder_equivalent () =
   | Checker.Equivalent stats ->
     check_bool "did some work" true (stats.Checker.aig_ands > 0)
   | Checker.Not_equivalent _ -> Alcotest.fail "expected equivalence"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_pipelined_adder_equivalent () =
   (* Same SLM, but the transaction spans 3 RTL cycles with the check at
@@ -154,6 +155,7 @@ let test_pipelined_adder_equivalent () =
   match Checker.check_slm_rtl ~slm:slm_add ~rtl:(rtl_add_pipe ()) ~spec () with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "expected equivalence"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_pipelined_adder_wrong_cycle () =
   (* Checking at the wrong cycle is a *spec* bug the checker catches as
@@ -170,6 +172,7 @@ let test_pipelined_adder_wrong_cycle () =
   | Checker.Not_equivalent (cex, _) ->
     check_bool "has failed checks" true (cex.Checker.failed_checks <> [])
   | Checker.Equivalent _ -> Alcotest.fail "expected divergence"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_buggy_adder_caught () =
   let spec =
@@ -195,6 +198,7 @@ let test_buggy_adder_caught () =
       | _ -> Alcotest.fail "missing slm result")
     | _ -> Alcotest.fail "bad cex shape")
   | Checker.Equivalent _ -> Alcotest.fail "bug not caught"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_constraints_rescue_equivalence () =
   let open Ast in
@@ -215,7 +219,8 @@ let test_constraints_rescue_equivalence () =
     match List.assoc "a" cex.Checker.params with
     | Interp.Vint a -> check_bool "cex has a >= 128" true (Bitvec.to_int a >= 128)
     | _ -> Alcotest.fail "bad cex")
-  | Checker.Equivalent _ -> Alcotest.fail "expected divergence");
+  | Checker.Equivalent _ -> Alcotest.fail "expected divergence"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown");
   (* Constrained to a < 128 (the paper's Section 3.1.2 remedy): equivalent. *)
   let spec =
     { base_spec with Spec.constraints = [ var "a" <^ u 8 128 ] }
@@ -225,6 +230,7 @@ let test_constraints_rescue_equivalence () =
   with
   | Checker.Equivalent _ -> ()
   | Checker.Not_equivalent _ -> Alcotest.fail "constraint did not rescue"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_stream_transaction () =
   (* Parallel SLM interface vs serial RTL interface via stream_in. *)
@@ -246,6 +252,7 @@ let test_stream_transaction () =
            (Array.to_list (Array.map Bitvec.to_string a)))
     | _ -> ());
     Alcotest.fail "expected equivalence"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_stream_transaction_bug () =
   (* Same transaction but the check fires one cycle early: the last
@@ -266,6 +273,7 @@ let test_stream_transaction_bug () =
       check_bool "last element nonzero" true (not (Bitvec.is_zero a.(3)))
     | _ -> Alcotest.fail "bad cex")
   | Checker.Equivalent _ -> Alcotest.fail "expected divergence"
+  | Checker.Unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_spec_errors () =
   let expect name f =
@@ -360,7 +368,8 @@ let test_rtl_rtl_bmc_equivalent () =
   match Checker.check_rtl_rtl ~a:(counter_inc ()) ~b:(counter_sub ()) ~bound:20 () with
   | Checker.Rtl_equivalent_to_bound (20, _) -> ()
   | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _
-  | Checker.Rtl_not_equivalent _ -> Alcotest.fail "expected bounded equivalence"
+  | Checker.Rtl_not_equivalent _ | Checker.Rtl_unknown _ ->
+    Alcotest.fail "expected bounded equivalence"
 
 let test_rtl_rtl_bmc_cex () =
   match
@@ -372,8 +381,8 @@ let test_rtl_rtl_bmc_cex () =
     check_bool "port q" true (cex.Checker.diverging_port = "q");
     check_int "good value" 6 (Bitvec.to_int cex.Checker.value_a);
     check_int "bad value" 9 (Bitvec.to_int cex.Checker.value_b)
-  | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _ ->
-    Alcotest.fail "expected divergence"
+  | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _
+  | Checker.Rtl_unknown _ -> Alcotest.fail "expected divergence"
 
 let test_rtl_rtl_bmc_misses_deep_bug () =
   (* A bound below the divergence depth reports bounded equivalence —
@@ -384,7 +393,8 @@ let test_rtl_rtl_bmc_misses_deep_bug () =
   with
   | Checker.Rtl_equivalent_to_bound (5, _) -> ()
   | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _
-  | Checker.Rtl_not_equivalent _ -> Alcotest.fail "expected bounded claim"
+  | Checker.Rtl_not_equivalent _ | Checker.Rtl_unknown _ ->
+    Alcotest.fail "expected bounded claim"
 
 let test_k_induction_proves_counters () =
   match Checker.prove_rtl_rtl ~a:(counter_inc ()) ~b:(counter_sub ()) ~k:1 () with
@@ -392,6 +402,7 @@ let test_k_induction_proves_counters () =
   | Checker.Rtl_proved _ -> Alcotest.fail "wrong k reported"
   | Checker.Rtl_equivalent_to_bound _ -> Alcotest.fail "induction failed"
   | Checker.Rtl_not_equivalent _ -> Alcotest.fail "unexpected cex"
+  | Checker.Rtl_unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_k_induction_pipelines () =
   (* Pipelined adders with different stage split: k=1 fails (internal
@@ -428,12 +439,14 @@ let test_k_induction_pipelines () =
   | Checker.Rtl_equivalent_to_bound (1, _) -> ()
   | Checker.Rtl_equivalent_to_bound _ -> Alcotest.fail "wrong bound reported"
   | Checker.Rtl_proved _ -> Alcotest.fail "k=1 should not be inductive"
-  | Checker.Rtl_not_equivalent _ -> Alcotest.fail "unexpected cex");
+  | Checker.Rtl_not_equivalent _ -> Alcotest.fail "unexpected cex"
+  | Checker.Rtl_unknown _ -> Alcotest.fail "unexpected unknown");
   match Checker.prove_rtl_rtl ~a:pipe_early ~b:pipe_late ~k:2 () with
   | Checker.Rtl_proved (2, _) -> ()
   | Checker.Rtl_proved _ -> Alcotest.fail "wrong k reported"
   | Checker.Rtl_equivalent_to_bound _ -> Alcotest.fail "k=2 should prove"
   | Checker.Rtl_not_equivalent _ -> Alcotest.fail "unexpected cex"
+  | Checker.Rtl_unknown _ -> Alcotest.fail "unexpected unknown"
 
 let test_rtl_rtl_port_mismatch () =
   match
@@ -458,8 +471,8 @@ let test_cex_replay () =
           diverged := true)
       cex.Checker.inputs_per_cycle;
     check_bool "replay diverges" true !diverged
-  | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _ ->
-    Alcotest.fail "expected divergence"
+  | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _
+  | Checker.Rtl_unknown _ -> Alcotest.fail "expected divergence"
 
 let _ = bv
 

@@ -1,0 +1,224 @@
+(* Tests for the incremental solving substrate: encoding reuse across
+   queries, activation-literal scoping, unroll/product caches, and
+   budgeted verdicts surfacing as Unknown at the checker level. *)
+
+open Dfv_bitvec
+open Dfv_aig
+open Dfv_rtl
+open Dfv_sec
+open Dfv_designs
+
+let check_bool = Alcotest.check Alcotest.bool
+let check_int = Alcotest.check Alcotest.int
+let bv w x = Bitvec.create ~width:w x
+
+let is_sat (o : Dfv_sat.Solver.outcome) =
+  match o with
+  | Dfv_sat.Solver.Sat -> true
+  | Dfv_sat.Solver.Unsat -> false
+  | Dfv_sat.Solver.Unknown _ -> Alcotest.fail "unexpected unknown"
+
+(* --- encoding reuse ----------------------------------------------------- *)
+
+let test_shared_cone_reuse () =
+  let s = Session.create () in
+  let g = Session.graph s in
+  let a = Word.inputs ~name:"a" g 8 and b = Word.inputs ~name:"b" g 8 in
+  let sum = Word.add g a b in
+  (* First query encodes the adder cone from scratch. *)
+  check_bool "sum can be 0" true
+    (is_sat (Session.check s (Word.eq g sum (Word.const (bv 8 0)))));
+  let st1 = Session.stats s in
+  check_bool "fresh encoding happened" true (st1.Session.nodes_encoded > 0);
+  (* Second query over the same cone: the comparator is new, the adder
+     is answered by the existing encoding. *)
+  check_bool "sum can be 77" true
+    (is_sat (Session.check s (Word.eq g sum (Word.const (bv 8 77)))));
+  let st2 = Session.stats s in
+  check_bool "adder cone reused" true
+    (st2.Session.nodes_reused > st1.Session.nodes_reused);
+  check_int "two queries" 2 st2.Session.queries;
+  check_int "no unknowns" 0 st2.Session.unknowns
+
+let test_model_decode () =
+  let s = Session.create () in
+  let g = Session.graph s in
+  let a = Word.inputs ~name:"a" g 8 in
+  (match Session.check s (Word.eq g a (Word.const (bv 8 42))) with
+  | Dfv_sat.Solver.Sat -> ()
+  | _ -> Alcotest.fail "constraining a = 42 should be sat");
+  check_bool "model decodes" true
+    (Bitvec.equal (Session.model_word s a) (bv 8 42))
+
+(* --- activation literals ------------------------------------------------ *)
+
+let test_guard_retire_isolation () =
+  let s = Session.create () in
+  let g = Session.graph s in
+  let a = Word.inputs ~name:"a" g 4 in
+  let is5 = Word.eq g a (Word.const (bv 4 5)) in
+  let act = Session.activation s in
+  Session.guard s act is5;
+  (* Under the activation, a is pinned to 5. *)
+  (match Session.check ~assumptions:[ act ] s (Aig.not_ is5) with
+  | Dfv_sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "guarded constraint not active");
+  Session.retire s act;
+  (* Retired: the same session answers unconstrained queries again. *)
+  check_bool "constraint gone after retire" true
+    (is_sat (Session.check s (Aig.not_ is5)))
+
+let test_block_is_permanent () =
+  let s = Session.create () in
+  let g = Session.graph s in
+  let a = Word.inputs ~name:"a" g 4 in
+  Session.block s (Word.eq g a (Word.const (bv 4 3)));
+  (match Session.check s (Word.eq g a (Word.const (bv 4 3))) with
+  | Dfv_sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "blocked literal still satisfiable");
+  check_bool "other values remain" true
+    (is_sat (Session.check s (Word.eq g a (Word.const (bv 4 4)))))
+
+(* --- unroll cache ------------------------------------------------------- *)
+
+let counter_inc () =
+  let open Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "counter_inc") with
+      Netlist.regs =
+        [ Netlist.reg ~name:"c" ~width:4 (sig_ "c" +: const ~width:4 1) ];
+      outputs = [ ("q", sig_ "c") ];
+    }
+
+let counter_sub () =
+  let open Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "counter_sub") with
+      Netlist.regs =
+        [ Netlist.reg ~name:"c" ~width:4 (sig_ "c" -: const ~width:4 15) ];
+      outputs = [ ("q", sig_ "c") ];
+    }
+
+let test_unroll_cache_and_extension () =
+  let s = Session.create () in
+  let g = Session.graph s in
+  let design = counter_inc () in
+  let no_inputs _ = [] in
+  let outs4 = Session.unroll_from_reset s design ~cycles:4 ~input_words:no_inputs in
+  check_int "four cycles of outputs" 4 (Array.length outs4);
+  check_int "no hit on first unroll" 0 (Session.stats s).Session.unroll_hits;
+  (* Exact repeat: free, counted as a hit. *)
+  let outs4' = Session.unroll_from_reset s design ~cycles:4 ~input_words:no_inputs in
+  check_int "repeat is a cache hit" 1 (Session.stats s).Session.unroll_hits;
+  check_bool "same words returned" true
+    (List.assq "q" outs4.(3) == List.assq "q" outs4'.(3));
+  (* Extension: continues the cached run instead of starting over. *)
+  let outs6 = Session.unroll_from_reset s design ~cycles:6 ~input_words:no_inputs in
+  check_int "extension is a cache hit" 2 (Session.stats s).Session.unroll_hits;
+  check_bool "prefix preserved" true
+    (List.assq "q" outs6.(3) == List.assq "q" outs4.(3));
+  (* The unrolled counter is concretely correct: q@5 = 5 is forced. *)
+  let q5 = List.assq "q" outs6.(5) in
+  match Session.check s (Word.ne g q5 (Word.const (bv 4 5))) with
+  | Dfv_sat.Solver.Unsat -> ()
+  | _ -> Alcotest.fail "counter value at cycle 5 should be forced to 5"
+
+(* --- product cache: deeper BMC extends the session ----------------------- *)
+
+let test_bmc_deepening_reuses_product () =
+  let session = Session.create () in
+  let a = counter_inc () and b = counter_sub () in
+  (match Checker.check_rtl_rtl ~session ~a ~b ~bound:5 () with
+  | Checker.Rtl_equivalent_to_bound (5, _) -> ()
+  | _ -> Alcotest.fail "expected equivalence to bound 5");
+  let hits_before = (Session.stats session).Session.unroll_hits in
+  (* Same session, deeper bound: the product machine is found in the
+     cache and only frames 5..9 are newly synthesized. *)
+  (match Checker.check_rtl_rtl ~session ~a ~b ~bound:10 () with
+  | Checker.Rtl_equivalent_to_bound (10, _) -> ()
+  | _ -> Alcotest.fail "expected equivalence to bound 10");
+  let st = Session.stats session in
+  check_bool "product cache hit" true (st.Session.unroll_hits > hits_before);
+  check_bool "second run reused encodings" true (st.Session.nodes_reused > 0)
+
+(* --- budgets surface as Unknown at the checker level --------------------- *)
+
+let tiny_budget =
+  { Dfv_sat.Solver.max_conflicts = Some 1; Dfv_sat.Solver.max_seconds = None }
+
+(* Commutativity of multiplication is famously conflict-heavy for CDCL:
+   one conflict is never enough, so the verdict must be Unknown. *)
+let mul_ab () =
+  let open Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "mul_ab") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "a"; port_width = 8 };
+          { Netlist.port_name = "b"; port_width = 8 } ];
+      outputs = [ ("p", sig_ "a" *: sig_ "b") ];
+    }
+
+let mul_ba () =
+  let open Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "mul_ba") with
+      Netlist.inputs =
+        [ { Netlist.port_name = "a"; port_width = 8 };
+          { Netlist.port_name = "b"; port_width = 8 } ];
+      outputs = [ ("p", sig_ "b" *: sig_ "a") ];
+    }
+
+let test_rtl_budget_unknown () =
+  match
+    Checker.check_rtl_rtl ~budget:tiny_budget ~a:(mul_ab ()) ~b:(mul_ba ())
+      ~bound:1 ()
+  with
+  | Checker.Rtl_unknown (Dfv_sat.Solver.Conflict_limit, stats) ->
+    check_bool "unknown counted" true (stats.Checker.unknowns > 0)
+  | Checker.Rtl_unknown (Dfv_sat.Solver.Time_limit, _) ->
+    Alcotest.fail "wrong unknown reason"
+  | Checker.Rtl_equivalent_to_bound _ | Checker.Rtl_proved _
+  | Checker.Rtl_not_equivalent _ -> Alcotest.fail "expected unknown"
+
+let test_slm_budget_unknown () =
+  let t = Gcd.make ~width:4 in
+  match
+    Checker.check_slm_rtl ~budget:tiny_budget ~slm:t.Gcd.slm ~rtl:t.Gcd.rtl
+      ~spec:t.Gcd.spec ()
+  with
+  | Checker.Unknown (Dfv_sat.Solver.Conflict_limit, _) -> ()
+  | Checker.Unknown (Dfv_sat.Solver.Time_limit, _) ->
+    Alcotest.fail "wrong unknown reason"
+  | Checker.Equivalent _ | Checker.Not_equivalent _ ->
+    Alcotest.fail "gcd SEC cannot finish within one conflict"
+
+let test_budget_then_unbudgeted_same_session () =
+  (* A session whose default budget is tiny still completes a query when
+     the call site overrides the budget — and the session stays usable. *)
+  let session = Session.create ~budget:tiny_budget () in
+  let a = counter_inc () and b = counter_sub () in
+  let unlimited =
+    { Dfv_sat.Solver.max_conflicts = None; Dfv_sat.Solver.max_seconds = None }
+  in
+  match Checker.check_rtl_rtl ~budget:unlimited ~session ~a ~b ~bound:3 () with
+  | Checker.Rtl_equivalent_to_bound (3, _) -> ()
+  | _ -> Alcotest.fail "override budget should let BMC finish"
+
+let suite =
+  [ Alcotest.test_case "shared cone reuse" `Quick test_shared_cone_reuse;
+    Alcotest.test_case "model decode" `Quick test_model_decode;
+    Alcotest.test_case "guard/retire isolation" `Quick
+      test_guard_retire_isolation;
+    Alcotest.test_case "block is permanent" `Quick test_block_is_permanent;
+    Alcotest.test_case "unroll cache and extension" `Quick
+      test_unroll_cache_and_extension;
+    Alcotest.test_case "BMC deepening reuses product" `Quick
+      test_bmc_deepening_reuses_product;
+    Alcotest.test_case "rtl-rtl budget unknown" `Quick test_rtl_budget_unknown;
+    Alcotest.test_case "slm-rtl budget unknown" `Quick test_slm_budget_unknown;
+    Alcotest.test_case "budget override per call" `Quick
+      test_budget_then_unbudgeted_same_session ]
