@@ -6,14 +6,31 @@
      dfv sec    <design>          sequential equivalence check
      dfv sim    <design> [-n N]   simulation-based comparison
      dfv verify <design>          audit + SEC (or simulation fallback)
+     dfv faultsim [--design D]    mutation campaign scoring the verifier
 
    Bugs can be planted with --bug (see `dfv list`) to watch the flows
-   catch them. *)
+   catch them.
+
+   Exit codes: 0 equivalent/pass, 1 counterexample/mismatch, 2 unknown
+   (budget or stimulus exhausted, audit-blocked), 3 usage/internal
+   error. *)
 
 open Cmdliner
 module Checker = Dfv_sec.Checker
 open Dfv_designs
 open Dfv_core
+
+let exit_ok = 0
+let exit_cex = 1
+let exit_unknown = 2
+let exit_error = 3
+
+let exits =
+  [ Cmd.Exit.info exit_ok ~doc:"equivalence proved / simulation clean / gate passed.";
+    Cmd.Exit.info exit_cex ~doc:"a counterexample or simulation mismatch was found (or the faultsim gate failed).";
+    Cmd.Exit.info exit_unknown
+      ~doc:"no verdict: SAT budget or stimulus exhausted, or the audit blocks SEC.";
+    Cmd.Exit.info exit_error ~doc:"usage or internal error." ]
 
 (* --- bundled designs -------------------------------------------------- *)
 
@@ -99,9 +116,9 @@ let list_cmd =
   let doc = "List the bundled design pairs and their plantable bugs." in
   let run () =
     List.iter (fun (n, d) -> Printf.printf "%-8s %s\n" n d) designs_doc;
-    0
+    exit_ok
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "list" ~doc ~exits) Term.(const run $ const ())
 
 let design_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN")
@@ -109,17 +126,24 @@ let design_arg =
 let bug_arg =
   Arg.(value & opt string "none" & info [ "bug" ] ~docv:"BUG" ~doc:"Plant a bug variant.")
 
+(* Commands return their exit code; anything the engines throw is mapped
+   through the taxonomy to the documented code instead of a stack
+   trace. *)
 let wrap run = fun design bug ->
-  match run (make_pair design bug) with
-  | () -> 0
-  | exception Failure m ->
-    Printf.eprintf "error: %s\n" m;
-    1
+  match Dfv_error.guard (fun () -> run (make_pair design bug)) with
+  | Ok code -> code
+  | Error e ->
+    Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+    Dfv_error.exit_code e
 
 let audit_cmd =
   let doc = "Run the design-for-verification audit on a pair." in
-  let run pair = Format.printf "%a" Pair.pp_audit (Pair.audit pair) in
-  Cmd.v (Cmd.info "audit" ~doc) Term.(const (wrap run) $ design_arg $ bug_arg)
+  let run pair =
+    let audit = Pair.audit pair in
+    Format.printf "%a" Pair.pp_audit audit;
+    if audit.Pair.sec_ready then exit_ok else exit_unknown
+  in
+  Cmd.v (Cmd.info "audit" ~doc ~exits) Term.(const (wrap run) $ design_arg $ bug_arg)
 
 let budget_term =
   let conflicts =
@@ -200,7 +224,8 @@ let sec_cmd =
             "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
             stats.Checker.aig_ands stats.Checker.sat_conflicts
             stats.Checker.sat_decisions stats.Checker.wall_seconds;
-          finish stats
+          finish stats;
+          exit_ok
         | Checker.Not_equivalent (cex, stats) ->
           Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
             stats.Checker.wall_seconds;
@@ -214,13 +239,15 @@ let sec_cmd =
                   (String.concat "; "
                      (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
             cex.Checker.params;
-          finish stats
+          finish stats;
+          exit_cex
         | Checker.Unknown (reason, stats) ->
           Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
             stats.Checker.wall_seconds;
-          finish stats)
+          finish stats;
+          exit_unknown)
   in
-  Cmd.v (Cmd.info "sec" ~doc)
+  Cmd.v (Cmd.info "sec" ~doc ~exits)
     Term.(const run $ budget_term $ stats_arg $ design_arg $ bug_arg)
 
 let vectors_arg =
@@ -228,32 +255,134 @@ let vectors_arg =
 
 let sim_cmd =
   let doc = "Run simulation-based SLM/RTL comparison on a pair." in
-  let run vectors = fun design bug ->
-    let pair = make_pair design bug in
-    match Flow.simulate ~vectors pair with
-    | Flow.Sim_clean { vectors } ->
-      Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
-      0
-    | Flow.Sim_mismatch { vector_index; _ } ->
-      Printf.printf "MISMATCH at transaction %d\n" vector_index;
-      0
-    | exception Failure m ->
-      Printf.eprintf "error: %s\n" m;
-      1
+  let run vectors =
+    wrap (fun pair ->
+        match Flow.simulate ~vectors pair with
+        | Ok (Flow.Sim_clean { vectors }) ->
+          Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
+          exit_ok
+        | Ok (Flow.Sim_mismatch { vector_index; _ }) ->
+          Printf.printf "MISMATCH at transaction %d\n" vector_index;
+          exit_cex
+        | Error e ->
+          Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+          Dfv_error.exit_code e)
   in
-  Cmd.v (Cmd.info "sim" ~doc)
+  Cmd.v (Cmd.info "sim" ~doc ~exits)
     Term.(const run $ vectors_arg $ design_arg $ bug_arg)
 
 let verify_cmd =
   let doc = "Audit, then SEC (or simulation when SEC is blocked)." in
   let run budget =
     wrap (fun pair ->
-        Format.printf "%a" Flow.pp_report (Flow.verify ?budget pair))
+        let report = Flow.verify ?budget pair in
+        Format.printf "%a" Flow.pp_report report;
+        match report.Flow.outcome with
+        | Flow.Proved _ | Flow.Simulated (Flow.Sim_clean _) -> exit_ok
+        | Flow.Refuted _ | Flow.Simulated (Flow.Sim_mismatch _) -> exit_cex
+        | Flow.Undecided _ -> exit_unknown
+        | Flow.Errored e -> Dfv_error.exit_code e)
   in
-  Cmd.v (Cmd.info "verify" ~doc)
+  Cmd.v (Cmd.info "verify" ~doc ~exits)
     Term.(const run $ budget_term $ design_arg $ bug_arg)
+
+let faultsim_cmd =
+  let doc =
+    "Run the fault-injection campaign: mutate the designs, demand that \
+     SEC/co-simulation detect every activatable fault, and report the \
+     detection rate (exit 1 when the gate fails)."
+  in
+  let designs_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "design" ] ~docv:"DESIGN"
+          ~doc:
+            "Subject(s) to mutate (repeatable): alu, fir, gcd, \
+             chain.brightness, chain.convolution, chain.threshold, memsys. \
+             Default: all.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Fault sampling seed.")
+  in
+  let max_faults_arg =
+    Arg.(
+      value
+      & opt int 16
+      & info [ "max-faults" ] ~docv:"N"
+          ~doc:"Structural RTL faults per subject (class-stratified sample).")
+  in
+  let max_slm_faults_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "max-slm-faults" ] ~docv:"N"
+          ~doc:"Semantic SLM mutations per subject.")
+  in
+  let sim_vectors_arg =
+    Arg.(
+      value
+      & opt int 400
+      & info [ "vectors" ] ~docv:"N"
+          ~doc:"Cross-check simulation vectors per Equivalent mutant.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the machine-readable detection report to $(docv).")
+  in
+  let run budget designs seed max_faults max_slm_faults sim_vectors json =
+    match
+      Dfv_error.guard (fun () ->
+          let designs =
+            match designs with [] -> Dfv_fault.Suite.names | ds -> ds
+          in
+          let reports =
+            Dfv_fault.Suite.run ?budget ~seed ~sim_vectors
+              ~max_rtl_faults:max_faults ~max_slm_faults ~designs ()
+          in
+          List.iter (Format.printf "%a" Dfv_fault.Campaign.pp_report) reports;
+          let rate, false_eq, pass =
+            Dfv_fault.Suite.gate
+              ~min_rate:Dfv_fault.Suite.default_min_rate reports
+          in
+          Printf.printf
+            "detection rate %.1f%% (min %.0f%%), %d false equivalents: %s\n"
+            (100.0 *. rate)
+            (100.0 *. Dfv_fault.Suite.default_min_rate)
+            false_eq
+            (if pass then "PASS" else "FAIL");
+          (match json with
+          | Some file ->
+            let oc = open_out file in
+            output_string oc
+              (Dfv_fault.Campaign.json_of_reports
+                 ~min_rate:Dfv_fault.Suite.default_min_rate reports);
+            output_char oc '\n';
+            close_out oc
+          | None -> ());
+          if pass then exit_ok else exit_cex)
+    with
+    | Ok code -> code
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+      Dfv_error.exit_code e
+  in
+  Cmd.v (Cmd.info "faultsim" ~doc ~exits)
+    Term.(
+      const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
+      $ max_slm_faults_arg $ sim_vectors_arg $ json_arg)
 
 let () =
   let doc = "design-for-verification flows between system-level models and RTL" in
-  let info = Cmd.info "dfv" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd ]))
+  let info = Cmd.info "dfv" ~version:"1.0.0" ~doc ~exits in
+  let code =
+    Cmd.eval'
+      (Cmd.group info
+         [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd; faultsim_cmd ])
+  in
+  (* cmdliner's own cli-error (124) / internal-error (125) codes fold
+     into the documented "usage or internal error" code. *)
+  exit (if code >= 124 then exit_error else code)

@@ -31,9 +31,10 @@ let () =
 
   section "4. Simulation-based comparison (Section 2, strategy a)";
   (match Flow.simulate ~vectors:500 pair with
-  | Flow.Sim_clean { vectors } ->
+  | Ok (Flow.Sim_clean { vectors }) ->
     Printf.printf "%d random transactions, no mismatch -- but no proof either.\n" vectors
-  | Flow.Sim_mismatch _ -> print_endline "unexpected mismatch!");
+  | Ok (Flow.Sim_mismatch _) -> print_endline "unexpected mismatch!"
+  | Error e -> Printf.printf "simulation error: %s\n" (Dfv_error.to_string e));
 
   section "5. Sequential equivalence checking";
   (match Flow.sec pair with

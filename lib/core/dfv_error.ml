@@ -1,0 +1,97 @@
+type watchdog_kind = Delta_limit | Activation_limit | Starvation
+
+type t =
+  | Stimulus_exhausted of { attempts : int; rounds : int; detail : string }
+  | Protocol_violation of { channel : string; detail : string }
+  | Watchdog of {
+      kind : watchdog_kind;
+      at_time : int;
+      deltas : int;
+      activations : int;
+      processes : string list;
+    }
+  | Transaction_incomplete of string
+  | Elaboration_failure of string
+  | Spec_violation of string
+  | Model_runtime_fault of string
+  | Internal of string
+
+let watchdog_kind_string = function
+  | Delta_limit -> "delta limit"
+  | Activation_limit -> "activation limit"
+  | Starvation -> "starvation"
+
+let to_string = function
+  | Stimulus_exhausted { attempts; rounds; detail } ->
+    Printf.sprintf
+      "stimulus exhausted: no satisfying vector after %d attempts over %d \
+       widening rounds (%s)"
+      attempts rounds detail
+  | Protocol_violation { channel; detail } ->
+    Printf.sprintf "protocol violation on %s: %s" channel detail
+  | Watchdog { kind; at_time; deltas; activations; processes } ->
+    Printf.sprintf
+      "kernel watchdog (%s) at time %d: %d deltas, %d activations; processes: \
+       %s"
+      (watchdog_kind_string kind)
+      at_time deltas activations
+      (match processes with [] -> "<none>" | ps -> String.concat ", " ps)
+  | Transaction_incomplete m -> "transactions incomplete: " ^ m
+  | Elaboration_failure m -> "elaboration failure: " ^ m
+  | Spec_violation m -> "spec violation: " ^ m
+  | Model_runtime_fault m -> "model runtime fault: " ^ m
+  | Internal m -> "internal error: " ^ m
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let exit_code = function
+  | Stimulus_exhausted _ | Watchdog _ | Transaction_incomplete _ -> 2
+  | Protocol_violation _ | Elaboration_failure _ | Spec_violation _
+  | Model_runtime_fault _ | Internal _ ->
+    3
+
+let of_exn = function
+  | Dfv_slm.Kernel.Watchdog_trip trip ->
+    let kind =
+      match trip.Dfv_slm.Kernel.trip_kind with
+      | Dfv_slm.Kernel.Delta_limit -> Delta_limit
+      | Dfv_slm.Kernel.Activation_limit -> Activation_limit
+      | Dfv_slm.Kernel.Starvation -> Starvation
+    in
+    Watchdog
+      {
+        kind;
+        at_time = trip.Dfv_slm.Kernel.trip_time;
+        deltas = trip.Dfv_slm.Kernel.trip_deltas;
+        activations = trip.Dfv_slm.Kernel.trip_activations;
+        processes = trip.Dfv_slm.Kernel.trip_processes;
+      }
+  | Dfv_slm.Tlm.Protocol_violation { channel; detail } ->
+    Protocol_violation { channel; detail }
+  | Dfv_slm.Kernel.Not_in_thread ->
+    Protocol_violation
+      { channel = "kernel"; detail = "wait called outside a thread process" }
+  | Dfv_cosim.Txn_engine.Engine_error m -> Transaction_incomplete m
+  | Dfv_cosim.Stream.Stage_error m ->
+    Protocol_violation { channel = "stream.stage"; detail = m }
+  | Dfv_rtl.Netlist.Elaboration_error m -> Elaboration_failure m
+  | Dfv_rtl.Expr.Width_error m -> Elaboration_failure ("width error: " ^ m)
+  | Dfv_hwir.Elab.Not_synthesizable m ->
+    Elaboration_failure ("not synthesizable: " ^ m)
+  | Dfv_hwir.Typecheck.Type_error m -> Elaboration_failure ("type error: " ^ m)
+  | Dfv_sec.Checker.Spec_error m -> Spec_violation m
+  | Dfv_sec.Session.Error m -> Spec_violation ("session: " ^ m)
+  | Dfv_hwir.Interp.Runtime_error m -> Model_runtime_fault m
+  | Division_by_zero -> Model_runtime_fault "division by zero"
+  | Dfv_bitvec.Bitvec.Width_mismatch m -> Internal ("width mismatch: " ^ m)
+  | Dfv_bitvec.Bitvec.Invalid_width w ->
+    Internal (Printf.sprintf "invalid width %d" w)
+  | Failure m -> Internal m
+  | Invalid_argument m -> Internal ("invalid argument: " ^ m)
+  | e -> Internal (Printexc.to_string e)
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
+  | exception e -> Error (of_exn e)

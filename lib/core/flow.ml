@@ -103,38 +103,120 @@ let run_transaction (pair : Pair.t) params =
       if Bitvec.equal got e then None else Some (c, e, got))
     spec.Spec.checks
 
-let simulate ?(seed = 0) ~vectors (pair : Pair.t) =
-  let params_sig, _ = Typecheck.entry_signature pair.Pair.slm in
-  let st = Random.State.make [| seed; Hashtbl.hash pair.Pair.name |] in
-  let checkers = constraint_checkers pair in
-  let draw () =
-    let rec go attempts =
-      if attempts > 100 * vectors then
-        failwith "Flow.simulate: constraints too tight for random stimulus";
-      let params =
-        List.map (fun (n, ty) -> (n, random_value st ty)) params_sig
-      in
+(* Flip one random bit of one random (element of a) parameter value —
+   the local move of the widening search. *)
+let mutate_value st (v : Interp.value) =
+  match v with
+  | Interp.Vint bv ->
+    let i = Random.State.int st (Bitvec.width bv) in
+    Interp.Vint (Bitvec.set_bit bv i (not (Bitvec.get bv i)))
+  | Interp.Varr a ->
+    let a = Array.copy a in
+    let j = Random.State.int st (Array.length a) in
+    let bv = a.(j) in
+    let i = Random.State.int st (Bitvec.width bv) in
+    a.(j) <- Bitvec.set_bit bv i (not (Bitvec.get bv i));
+    Interp.Varr a
+
+let simulate ?(seed = 0) ?(max_rounds = 4) ~vectors (pair : Pair.t) =
+  let body () =
+    let params_sig, _ = Typecheck.entry_signature pair.Pair.slm in
+    let st = Random.State.make [| seed; Hashtbl.hash pair.Pair.name |] in
+    let checkers = constraint_checkers pair in
+    let nconstraints = List.length checkers in
+    let unsat_counts = Array.make (max nconstraints 1) 0 in
+    let total_attempts = ref 0 in
+    (* Number of constraints a candidate satisfies; tallies rejections
+       per constraint for the exhaustion diagnostic. *)
+    let score params =
       let args = List.map snd params in
-      if List.for_all (fun c -> c args) checkers then
-        (* Vectors on which the SLM itself faults (e.g. division by
-           zero) are outside the comparison domain; redraw. *)
-        match Interp.run pair.Pair.slm args with
-        | _ -> params
-        | exception Interp.Runtime_error _ -> go (attempts + 1)
-      else go (attempts + 1)
+      let sat = ref 0 in
+      List.iteri
+        (fun i c ->
+          if c args then incr sat
+          else unsat_counts.(i) <- unsat_counts.(i) + 1)
+        checkers;
+      !sat
     in
-    go 0
+    let fresh () =
+      List.map (fun (n, ty) -> (n, random_value st ty)) params_sig
+    in
+    let mutate params =
+      let j = Random.State.int st (List.length params) in
+      List.mapi
+        (fun i (n, v) -> if i = j then (n, mutate_value st v) else (n, v))
+        params
+    in
+    let tightest () =
+      if nconstraints = 0 then "no constraints to satisfy"
+      else
+        List.init nconstraints (fun i -> i)
+        |> List.sort (fun a b -> compare unsat_counts.(b) unsat_counts.(a))
+        |> List.filteri (fun rank _ -> rank < 2)
+        |> List.map (fun i ->
+               Printf.sprintf "constraint #%d rejected %d draws" i
+                 unsat_counts.(i))
+        |> String.concat ", "
+    in
+    (* One satisfying vector, or [None] when the widening search is
+       exhausted.  Round [r] gets a doubled attempt budget; from round 1
+       on, every other candidate is a bit-flip mutation of the best
+       (most-constraints-satisfied) candidate seen so far.  Accepted
+       vectors always satisfy every constraint. *)
+    let draw () =
+      let best = ref None in
+      let rec round r =
+        if r >= max_rounds then None
+        else begin
+          let budget = 200 * (1 lsl r) in
+          let rec attempt i =
+            if i >= budget then round (r + 1)
+            else begin
+              incr total_attempts;
+              let params =
+                match !best with
+                | Some (_, b) when r > 0 && i land 1 = 1 -> mutate b
+                | _ -> fresh ()
+              in
+              let sc = score params in
+              (match !best with
+              | Some (bs, _) when bs >= sc -> ()
+              | _ -> best := Some (sc, params));
+              if sc = nconstraints then
+                (* Vectors on which the SLM itself faults (e.g. division
+                   by zero) are outside the comparison domain; redraw. *)
+                match Interp.run pair.Pair.slm (List.map snd params) with
+                | _ -> Some params
+                | exception Interp.Runtime_error _ -> attempt (i + 1)
+              else attempt (i + 1)
+            end
+          in
+          attempt 0
+        end
+      in
+      round 0
+    in
+    let rec loop i =
+      if i >= vectors then Ok (Sim_clean { vectors })
+      else
+        match draw () with
+        | None ->
+          Error
+            (Dfv_error.Stimulus_exhausted
+               {
+                 attempts = !total_attempts;
+                 rounds = max_rounds;
+                 detail = tightest ();
+               })
+        | Some params -> (
+          match run_transaction pair params with
+          | [] -> loop (i + 1)
+          | failed_checks ->
+            Ok (Sim_mismatch { vector_index = i; params; failed_checks }))
+    in
+    loop 0
   in
-  let rec loop i =
-    if i >= vectors then Sim_clean { vectors }
-    else begin
-      let params = draw () in
-      match run_transaction pair params with
-      | [] -> loop (i + 1)
-      | failed_checks -> Sim_mismatch { vector_index = i; params; failed_checks }
-    end
-  in
-  loop 0
+  match Dfv_error.guard body with Ok r -> r | Error e -> Error e
 
 let sec ?budget ?session (pair : Pair.t) =
   Checker.check_slm_rtl ?budget ?session ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl
@@ -145,6 +227,7 @@ type verify_outcome =
   | Refuted of Checker.cex * Checker.stats
   | Undecided of Dfv_sat.Solver.reason * Checker.stats
   | Simulated of sim_outcome
+  | Errored of Dfv_error.t
 
 type report = { audit : Pair.audit; outcome : verify_outcome }
 
@@ -152,12 +235,16 @@ let verify ?seed ?(sim_vectors = 1000) ?budget ?session pair =
   let audit = Pair.audit pair in
   let outcome =
     if audit.Pair.sec_ready then begin
-      match sec ?budget ?session pair with
-      | Checker.Equivalent stats -> Proved stats
-      | Checker.Not_equivalent (cex, stats) -> Refuted (cex, stats)
-      | Checker.Unknown (reason, stats) -> Undecided (reason, stats)
+      match Dfv_error.guard (fun () -> sec ?budget ?session pair) with
+      | Ok (Checker.Equivalent stats) -> Proved stats
+      | Ok (Checker.Not_equivalent (cex, stats)) -> Refuted (cex, stats)
+      | Ok (Checker.Unknown (reason, stats)) -> Undecided (reason, stats)
+      | Error e -> Errored e
     end
-    else Simulated (simulate ?seed ~vectors:sim_vectors pair)
+    else
+      match simulate ?seed ~vectors:sim_vectors pair with
+      | Ok s -> Simulated s
+      | Error e -> Errored e
   in
   { audit; outcome }
 
@@ -196,3 +283,4 @@ let pp_report fmt r =
         fprintf fmt "  %s@%d: expected %a, got %a@." c.Spec.rtl_port
           c.Spec.at_cycle Bitvec.pp e Bitvec.pp got)
       failed_checks
+  | Errored e -> fprintf fmt "verdict: ERROR (%a)@." Dfv_error.pp e

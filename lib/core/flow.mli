@@ -22,11 +22,23 @@ type sim_outcome =
           (** (check, expected, got) *)
     }
 
-val simulate : ?seed:int -> vectors:int -> Pair.t -> sim_outcome
-(** Run [vectors] random transactions.  Parameter values are drawn
-    uniformly; vectors violating the spec's constraints are redrawn
-    (up to a factor of 100, then [Failure]).  Stops at the first
-    mismatch. *)
+val simulate :
+  ?seed:int ->
+  ?max_rounds:int ->
+  vectors:int ->
+  Pair.t ->
+  (sim_outcome, Dfv_error.t) result
+(** Run [vectors] random transactions, stopping at the first mismatch.
+    Parameter values are drawn uniformly; vectors violating the spec's
+    constraints are redrawn with a widening search: each of the
+    [max_rounds] (default 4) rounds doubles the attempt budget, and
+    rounds after the first also mutate the best candidate seen so far
+    (most constraints satisfied) by single bit flips.  Every accepted
+    vector still satisfies {e all} constraints — widening only changes
+    how hard the generator looks.  When the search is exhausted the
+    result is [Error (Stimulus_exhausted _)] naming the tightest
+    constraints; engine failures while simulating map through
+    {!Dfv_error.of_exn} instead of escaping as exceptions. *)
 
 val sec :
   ?budget:Dfv_sat.Solver.budget ->
@@ -44,6 +56,9 @@ type verify_outcome =
       (** SEC ran but its budget expired before a verdict. *)
   | Simulated of sim_outcome
       (** SEC was blocked (see the audit); simulation ran instead. *)
+  | Errored of Dfv_error.t
+      (** the flow itself failed; recorded, not raised, so campaign
+          drivers can keep going *)
 
 type report = { audit : Pair.audit; outcome : verify_outcome }
 

@@ -1,0 +1,330 @@
+module Pair = Dfv_core.Pair
+module Flow = Dfv_core.Flow
+module Dfv_error = Dfv_core.Dfv_error
+module Checker = Dfv_sec.Checker
+module Spec = Dfv_sec.Spec
+module Solver = Dfv_sat.Solver
+
+type subject =
+  | Sec_pair of Pair.t
+  | Cosim of {
+      co_name : string;
+      co_rtl : Dfv_rtl.Netlist.elaborated;
+      co_check : Dfv_rtl.Netlist.elaborated -> bool;
+    }
+
+type mutant =
+  | Rtl_mutant of Fault.rtl_fault
+  | Slm_mutant of Fault.slm_fault
+  | Custom_mutant of { cm_name : string; cm_run : unit -> bool }
+
+type verdict =
+  | Detected of { engine : string; seconds : float; localized : bool option }
+  | Survived of { seconds : float }
+  | False_equivalent of { seconds : float }
+  | Unknown of { reason : string; seconds : float }
+  | Crashed of Dfv_error.t
+
+type mutant_result = {
+  m_name : string;
+  m_class : string;
+  m_site : string;
+  verdict : verdict;
+}
+
+type report = {
+  r_subject : string;
+  r_total : int;
+  r_detected : int;
+  r_survived : int;
+  r_unknown : int;
+  r_crashed : int;
+  r_false_eq : int;
+  r_mislocalized : int;
+  r_wall : float;
+  r_results : mutant_result list;
+}
+
+let mutant_name = function
+  | Rtl_mutant f -> f.Fault.rf_name
+  | Slm_mutant f -> f.Fault.sf_name
+  | Custom_mutant c -> c.cm_name
+
+let mutant_class = function
+  | Rtl_mutant f -> f.Fault.rf_class
+  | Slm_mutant f -> "slm:" ^ f.Fault.sf_class
+  | Custom_mutant _ -> "custom"
+
+let mutant_site = function
+  | Rtl_mutant f -> f.Fault.rf_site
+  | Slm_mutant f -> f.Fault.sf_site
+  | Custom_mutant c -> c.cm_name
+
+let reason_string = function
+  | Solver.Conflict_limit -> "conflict budget exhausted"
+  | Solver.Time_limit -> "time budget exhausted"
+
+let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
+    ?(max_slm_faults = 8) ?(extra_mutants = []) subject =
+  let t_start = Unix.gettimeofday () in
+  let subject_name =
+    match subject with
+    | Sec_pair p -> p.Pair.name
+    | Cosim { co_name; _ } -> co_name
+  in
+  let mutants =
+    (match subject with
+    | Sec_pair pair ->
+      List.map
+        (fun f -> Rtl_mutant f)
+        (Fault.enumerate_rtl ~seed ~max_faults:max_rtl_faults pair.Pair.rtl)
+      @ List.map
+          (fun f -> Slm_mutant f)
+          (Fault.enumerate_slm ~seed ~max_faults:max_slm_faults pair.Pair.slm)
+    | Cosim { co_rtl; _ } ->
+      List.map
+        (fun f -> Rtl_mutant f)
+        (Fault.enumerate_rtl ~seed ~max_faults:max_rtl_faults co_rtl))
+    @ extra_mutants
+  in
+  let run_one m =
+    let t0 = Unix.gettimeofday () in
+    let elapsed () = Unix.gettimeofday () -. t0 in
+    let outcome =
+      Dfv_error.guard (fun () ->
+          match (m, subject) with
+          | Custom_mutant { cm_run; _ }, _ ->
+            if cm_run () then
+              Detected
+                { engine = "custom"; seconds = elapsed (); localized = None }
+            else Survived { seconds = elapsed () }
+          | Rtl_mutant f, Cosim { co_check; co_rtl; _ } ->
+            if co_check (f.Fault.rf_apply co_rtl) then
+              Detected
+                { engine = "cosim"; seconds = elapsed (); localized = None }
+            else Survived { seconds = elapsed () }
+          | Slm_mutant _, Cosim _ ->
+            Unknown
+              {
+                reason = "cosim subjects carry no HWIR model to mutate";
+                seconds = elapsed ();
+              }
+          | (Rtl_mutant _ | Slm_mutant _), Sec_pair pair -> (
+            let pair' =
+              match m with
+              | Rtl_mutant f ->
+                { pair with Pair.rtl = f.Fault.rf_apply pair.Pair.rtl }
+              | Slm_mutant f ->
+                { pair with Pair.slm = f.Fault.sf_apply pair.Pair.slm }
+              | Custom_mutant _ -> assert false
+            in
+            match Flow.sec ?budget pair' with
+            | Checker.Not_equivalent (cex, _) ->
+              let localized =
+                match m with
+                | Rtl_mutant f -> (
+                  match cex.Checker.failed_checks with
+                  | ((c : Spec.check), _) :: _ ->
+                    Some
+                      (Fault.cone pair'.Pair.rtl ~output:c.Spec.rtl_port
+                         f.Fault.rf_site)
+                  | [] -> None)
+                | _ -> None
+              in
+              Detected { engine = "sec"; seconds = elapsed (); localized }
+            | Checker.Unknown (reason, _) ->
+              Unknown { reason = reason_string reason; seconds = elapsed () }
+            | Checker.Equivalent _ -> (
+              (* SEC accepted the mutant: cross-examine by simulation.
+                 A mismatch here means the prover signed off on a
+                 detectable fault — the campaign's fatal finding. *)
+              match Flow.simulate ~seed ~vectors:sim_vectors pair' with
+              | Ok (Flow.Sim_mismatch _) ->
+                False_equivalent { seconds = elapsed () }
+              | Ok (Flow.Sim_clean _) -> Survived { seconds = elapsed () }
+              | Error e ->
+                Unknown
+                  {
+                    reason = "cross-check: " ^ Dfv_error.to_string e;
+                    seconds = elapsed ();
+                  })))
+    in
+    let verdict =
+      match outcome with
+      | Ok v -> v
+      | Error ((Dfv_error.Elaboration_failure _ | Dfv_error.Spec_violation _) as e)
+        ->
+        (* A mutant the flow statically rejects cannot be silently
+           proven equivalent; record it as a justified unknown. *)
+        Unknown
+          {
+            reason = "mutant rejected: " ^ Dfv_error.to_string e;
+            seconds = elapsed ();
+          }
+      | Error (Dfv_error.Model_runtime_fault _) ->
+        (* The mutated model faults at runtime where the original did
+           not (e.g. a mutated guard exposes a division by zero): an
+           observable divergence, i.e. the mutant is killed. *)
+        Detected
+          { engine = "runtime-fault"; seconds = elapsed (); localized = None }
+      | Error e -> Crashed e
+    in
+    {
+      m_name = mutant_name m;
+      m_class = mutant_class m;
+      m_site = mutant_site m;
+      verdict;
+    }
+  in
+  let results = List.map run_one mutants in
+  let count p = List.length (List.filter p results) in
+  {
+    r_subject = subject_name;
+    r_total = List.length results;
+    r_detected = count (fun r -> match r.verdict with Detected _ -> true | _ -> false);
+    r_survived = count (fun r -> match r.verdict with Survived _ -> true | _ -> false);
+    r_unknown = count (fun r -> match r.verdict with Unknown _ -> true | _ -> false);
+    r_crashed = count (fun r -> match r.verdict with Crashed _ -> true | _ -> false);
+    r_false_eq =
+      count (fun r -> match r.verdict with False_equivalent _ -> true | _ -> false);
+    r_mislocalized =
+      count (fun r ->
+          match r.verdict with
+          | Detected { localized = Some false; _ } -> true
+          | _ -> false);
+    r_wall = Unix.gettimeofday () -. t_start;
+    r_results = results;
+  }
+
+let detection_rate reports =
+  let det = List.fold_left (fun a r -> a + r.r_detected) 0 reports in
+  let bad =
+    List.fold_left (fun a r -> a + r.r_false_eq + r.r_crashed) 0 reports
+  in
+  if det + bad = 0 then 1.0 else float_of_int det /. float_of_int (det + bad)
+
+let false_equivalents reports =
+  List.fold_left (fun a r -> a + r.r_false_eq) 0 reports
+
+let verdict_label = function
+  | Detected _ -> "detected"
+  | Survived _ -> "survived"
+  | False_equivalent _ -> "false-equivalent"
+  | Unknown _ -> "unknown"
+  | Crashed _ -> "crashed"
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "%-18s %3d mutants: %d detected, %d survived, %d unknown, %d crashed, %d \
+     false-eq, %d mislocalized (%.2fs)@."
+    r.r_subject r.r_total r.r_detected r.r_survived r.r_unknown r.r_crashed
+    r.r_false_eq r.r_mislocalized r.r_wall;
+  List.iter
+    (fun m ->
+      Format.fprintf fmt "    %-16s %-50s %s" (verdict_label m.verdict)
+        m.m_name
+        (match m.verdict with
+        | Detected { engine; localized; _ } ->
+          Printf.sprintf "via %s%s" engine
+            (match localized with
+            | Some true -> ", localized"
+            | Some false -> ", NOT localized"
+            | None -> "")
+        | Unknown { reason; _ } -> reason
+        | Crashed e -> Dfv_error.to_string e
+        | Survived _ | False_equivalent _ -> "");
+      Format.fprintf fmt "@.")
+    r.r_results
+
+(* --- JSON (hand-rolled; no JSON dependency in this repository) --------- *)
+
+let add_json_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | ch when Char.code ch < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
+      | ch -> Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '"'
+
+let add_field buf ~first name value =
+  if not !first then Buffer.add_char buf ',';
+  first := false;
+  add_json_string buf name;
+  Buffer.add_char buf ':';
+  value ()
+
+let json_of_reports ~min_rate reports =
+  let buf = Buffer.create 4096 in
+  let str s () = add_json_string buf s in
+  let num f () = Buffer.add_string buf (Printf.sprintf "%.6g" f) in
+  let int n () = Buffer.add_string buf (string_of_int n) in
+  let bool b () = Buffer.add_string buf (if b then "true" else "false") in
+  let obj fields () =
+    Buffer.add_char buf '{';
+    let first = ref true in
+    List.iter (fun (n, v) -> add_field buf ~first n v) fields;
+    Buffer.add_char buf '}'
+  in
+  let arr items () =
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        item ())
+      items;
+    Buffer.add_char buf ']'
+  in
+  let mutant_json m =
+    let base =
+      [ ("name", str m.m_name);
+        ("class", str m.m_class);
+        ("site", str m.m_site);
+        ("verdict", str (verdict_label m.verdict)) ]
+    in
+    let extra =
+      match m.verdict with
+      | Detected { engine; seconds; localized } ->
+        [ ("engine", str engine); ("seconds", num seconds) ]
+        @ (match localized with
+          | Some l -> [ ("localized", bool l) ]
+          | None -> [])
+      | Survived { seconds } | False_equivalent { seconds } ->
+        [ ("seconds", num seconds) ]
+      | Unknown { reason; seconds } ->
+        [ ("reason", str reason); ("seconds", num seconds) ]
+      | Crashed e -> [ ("error", str (Dfv_error.to_string e)) ]
+    in
+    obj (base @ extra)
+  in
+  let report_json r =
+    obj
+      [ ("name", str r.r_subject);
+        ("total", int r.r_total);
+        ("detected", int r.r_detected);
+        ("survived", int r.r_survived);
+        ("unknown", int r.r_unknown);
+        ("crashed", int r.r_crashed);
+        ("false_equivalent", int r.r_false_eq);
+        ("mislocalized", int r.r_mislocalized);
+        ("wall_seconds", num r.r_wall);
+        ("faults", arr (List.map mutant_json r.r_results)) ]
+  in
+  let rate = detection_rate reports in
+  let false_eq = false_equivalents reports in
+  obj
+    [ ("suite", str "dfv-faultsim");
+      ("min_rate", num min_rate);
+      ("detection_rate", num rate);
+      ("false_equivalents", int false_eq);
+      ("pass", bool (rate >= min_rate && false_eq = 0));
+      ("subjects", arr (List.map report_json reports)) ]
+    ();
+  Buffer.contents buf

@@ -1,0 +1,102 @@
+(** Mutation campaigns: score the verifier against injected faults.
+
+    A campaign takes one verification subject, derives a set of single-
+    fault mutants, pushes every mutant through the verification flow it
+    would normally face — SEC for design pairs, the transactor-based
+    co-simulation harness for cosim subjects — and classifies the
+    verdicts.  The quality bar from the issue: every activatable fault
+    must be {e detected} (counterexample, localized to the faulty cone)
+    or end in a {e justified unknown}; a [False_equivalent] — the
+    prover signing off on a fault that simulation can expose — is the
+    fatal outcome the campaign exists to find.
+
+    Each mutant runs inside {!Dfv_core.Dfv_error.guard} with its own
+    SAT budget, so one crashing or diverging mutant degrades to a
+    recorded verdict and the rest of the campaign still runs. *)
+
+type subject =
+  | Sec_pair of Dfv_core.Pair.t
+      (** verified by SEC with a simulation cross-check on Equivalent *)
+  | Cosim of {
+      co_name : string;
+      co_rtl : Dfv_rtl.Netlist.elaborated;
+      co_check : Dfv_rtl.Netlist.elaborated -> bool;
+          (** the harness; returns true when it flags the mutated RTL.
+              May raise — engine errors are recorded via the taxonomy. *)
+    }
+
+type mutant =
+  | Rtl_mutant of Fault.rtl_fault
+  | Slm_mutant of Fault.slm_fault
+  | Custom_mutant of { cm_name : string; cm_run : unit -> bool }
+      (** escape hatch for qualifying the campaign itself (e.g. a
+          deliberately crashing mutant); [cm_run] returning true means
+          detected *)
+
+type verdict =
+  | Detected of { engine : string; seconds : float; localized : bool option }
+      (** [localized]: for RTL faults detected by SEC, whether the
+          fault site lies in the fan-in cone of the failing check's
+          port; [None] when localization does not apply *)
+  | Survived of { seconds : float }
+      (** SEC equivalent and simulation clean: not proven activatable
+          (excluded from the detection-rate denominator) *)
+  | False_equivalent of { seconds : float }
+      (** SEC equivalent but simulation found a mismatch — a verifier
+          soundness bug *)
+  | Unknown of { reason : string; seconds : float }  (** justified *)
+  | Crashed of Dfv_core.Dfv_error.t
+      (** the flow failed on this mutant; recorded, campaign continues *)
+
+type mutant_result = {
+  m_name : string;
+  m_class : string;
+  m_site : string;
+  verdict : verdict;
+}
+
+type report = {
+  r_subject : string;
+  r_total : int;
+  r_detected : int;
+  r_survived : int;
+  r_unknown : int;
+  r_crashed : int;
+  r_false_eq : int;
+  r_mislocalized : int;
+      (** detected, but the cex was not localized to the faulty cone *)
+  r_wall : float;
+  r_results : mutant_result list;
+}
+
+val run :
+  ?budget:Dfv_sat.Solver.budget ->
+  ?sim_vectors:int ->
+  ?seed:int ->
+  ?max_rtl_faults:int ->
+  ?max_slm_faults:int ->
+  ?extra_mutants:mutant list ->
+  subject ->
+  report
+(** Run the campaign.  [budget] (per mutant) bounds each SEC query;
+    [sim_vectors] (default 400) sizes the cross-check simulation;
+    [max_rtl_faults] (default 16) / [max_slm_faults] (default 8) bound
+    the mutant population per subject. *)
+
+val detection_rate : report list -> float
+(** [detected / (detected + false_equivalent + crashed)] across the
+    reports — survivors and justified unknowns are excluded because
+    they were never proven activatable.  1.0 when nothing qualifies. *)
+
+val false_equivalents : report list -> int
+
+val verdict_label : verdict -> string
+(** ["detected"], ["survived"], ["false-equivalent"], ["unknown"] or
+    ["crashed"]. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val json_of_reports : min_rate:float -> report list -> string
+(** The machine-readable campaign report: overall rate and gate plus
+    per-subject, per-fault verdicts.  Plain hand-rolled JSON — the
+    repository deliberately has no JSON dependency. *)

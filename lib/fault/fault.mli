@@ -1,0 +1,49 @@
+(** Fault models over RTL netlists and HWIR system-level models.
+
+    Mutation-based qualification of the verifier: a fault is a small,
+    type- and width-preserving rewrite of one design — a stuck-at on a
+    net, a flipped register bit, a substituted operator, an off-by-one
+    constant.  Driving each mutant through SEC and co-simulation and
+    demanding a counterexample (or a justified unknown, never a false
+    equivalence) measures whether the verification environment would
+    actually catch a bug of that shape.
+
+    Faults are represented as named [apply] functions so a campaign can
+    materialize one mutant at a time without copying the design list. *)
+
+type rtl_fault = {
+  rf_name : string;  (** unique descriptor, e.g. ["sa0:acc"] *)
+  rf_class : string;
+      (** one of ["stuck-at-0"], ["stuck-at-1"], ["op-subst"],
+          ["const-off-by-one"], ["reg-init-flip"], ["reg-next-flip"] *)
+  rf_site : string;  (** the wire/output/register the fault lives on *)
+  rf_apply : Dfv_rtl.Netlist.elaborated -> Dfv_rtl.Netlist.elaborated;
+}
+
+type slm_fault = {
+  sf_name : string;
+  sf_class : string;
+      (** ["op-subst"], ["const-off-by-one"], ["cond-negate"],
+          ["branch-swap"] *)
+  sf_site : string;  (** the HWIR function containing the mutation *)
+  sf_apply : Dfv_hwir.Ast.program -> Dfv_hwir.Ast.program;
+}
+
+val enumerate_rtl :
+  ?seed:int -> ?max_faults:int -> Dfv_rtl.Netlist.elaborated -> rtl_fault list
+(** All single-site structural faults of the supported classes, sampled
+    down to [max_faults] (default 24) with class-stratified round-robin
+    so no class is starved.  Every fault is width-preserving: the
+    mutated netlist still satisfies the original width closure. *)
+
+val enumerate_slm :
+  ?seed:int -> ?max_faults:int -> Dfv_hwir.Ast.program -> slm_fault list
+(** Single-site semantic mutations of the SLM, type-preserving so the
+    mutant still typechecks and stays conditioned (default
+    [max_faults] 12). *)
+
+val cone : Dfv_rtl.Netlist.elaborated -> output:string -> string -> bool
+(** [cone rtl ~output site] is true when [site] (a wire, register,
+    memory or input name — or the output itself) lies in the fan-in
+    cone of [output].  Used to check that a counterexample is localized
+    to the faulty logic. *)

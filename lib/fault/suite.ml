@@ -1,0 +1,93 @@
+module Bitvec = Dfv_bitvec.Bitvec
+module Pair = Dfv_core.Pair
+module Txn_engine = Dfv_cosim.Txn_engine
+module Scoreboard = Dfv_cosim.Scoreboard
+open Dfv_designs
+
+let names =
+  [ "alu"; "fir"; "gcd"; "chain.brightness"; "chain.convolution";
+    "chain.threshold"; "memsys" ]
+
+let chain_block = function
+  | "chain.brightness" -> Image_chain.Brightness
+  | "chain.convolution" -> Image_chain.Convolution
+  | "chain.threshold" -> Image_chain.Threshold
+  | n -> failwith ("not a chain block: " ^ n)
+
+(* The memsys harness: tagged requests through the transaction engine,
+   checked by an out-of-order scoreboard against the zero-delay SLM.
+   Returns true when the harness flags the (mutated) RTL — by data/tag
+   mismatch, by stray completions, or by the engine running out of
+   cycles with transactions still in flight. *)
+let memsys_subject () =
+  let c = Memsys.default_config in
+  let requests =
+    List.init 16 (fun i ->
+        if i < 4 then { Memsys.req_tag = i; op = Memsys.Write (i * 16, (i * 7) + 1) }
+        else { Memsys.req_tag = i; op = Memsys.Read ((i mod 8) * 16) })
+  in
+  let check rtl' =
+    match
+      Txn_engine.run ~rtl:rtl' ~iface:(Memsys.iface c ~ready:false)
+        ~requests:(Memsys.to_engine_requests c requests) ()
+    with
+    | exception Txn_engine.Engine_error _ -> true
+    | completions, _ ->
+      let sb = Scoreboard.create Scoreboard.Out_of_order in
+      let slm = Memsys.Slm.create c in
+      List.iteri
+        (fun i (tag, data) ->
+          Scoreboard.expect sb
+            ~tag:(Bitvec.create ~width:c.Memsys.tag_width tag)
+            ~cycle:i
+            (Bitvec.create ~width:c.Memsys.data_width data))
+        (Memsys.Slm.execute_all slm requests);
+      List.iter
+        (fun (cp : Txn_engine.completion) ->
+          Scoreboard.observe sb ~tag:cp.Txn_engine.c_tag
+            ~cycle:cp.Txn_engine.c_cycle cp.Txn_engine.c_data)
+        completions;
+      not (Scoreboard.ok (Scoreboard.report sb))
+  in
+  Campaign.Cosim
+    { co_name = "memsys"; co_rtl = Memsys.rtl_simple c; co_check = check }
+
+let subject name =
+  match name with
+  | "alu" ->
+    let t = Alu.make ~width:8 () in
+    Campaign.Sec_pair
+      (Pair.create ~name:"alu" ~slm:t.Alu.slm ~rtl:t.Alu.rtl ~spec:t.Alu.spec)
+  | "fir" ->
+    let t = Fir.make ~taps:[ 3; -5; 7; 2 ] () in
+    Campaign.Sec_pair
+      (Pair.create ~name:"fir" ~slm:t.Fir.slm_exact ~rtl:t.Fir.rtl
+         ~spec:t.Fir.spec)
+  | "gcd" ->
+    let t = Gcd.make ~width:4 in
+    Campaign.Sec_pair
+      (Pair.create ~name:"gcd" ~slm:t.Gcd.slm ~rtl:t.Gcd.rtl ~spec:t.Gcd.spec)
+  | "chain.brightness" | "chain.convolution" | "chain.threshold" ->
+    let t = Image_chain.make () in
+    let b = chain_block name in
+    Campaign.Sec_pair
+      (Pair.create ~name ~slm:(Image_chain.block_slm t b)
+         ~rtl:(Image_chain.block_rtl t b)
+         ~spec:(Image_chain.block_spec b))
+  | "memsys" -> memsys_subject ()
+  | n -> failwith (Printf.sprintf "unknown faultsim design %s" n)
+
+let run ?budget ?(seed = 0) ?sim_vectors ?max_rtl_faults ?max_slm_faults
+    ?(designs = names) () =
+  List.map
+    (fun name ->
+      Campaign.run ?budget ?sim_vectors ~seed ?max_rtl_faults ?max_slm_faults
+        (subject name))
+    designs
+
+let default_min_rate = 0.95
+
+let gate ?(min_rate = default_min_rate) reports =
+  let rate = Campaign.detection_rate reports in
+  let false_eq = Campaign.false_equivalents reports in
+  (rate, false_eq, rate >= min_rate && false_eq = 0)

@@ -1,0 +1,32 @@
+(** The fault-robustness suite over the bundled designs.
+
+    One campaign per design: SEC-driven pairs for alu, fir, gcd and the
+    three image-chain blocks, and the transactor/scoreboard harness for
+    the memory subsystem (whose SLM is plain OCaml, so SEC does not
+    apply).  The suite gate is the acceptance bar from the issue: a
+    detection rate of at least {!default_min_rate} over activatable
+    faults and zero false-equivalent verdicts. *)
+
+val names : string list
+(** Subject names accepted by [?designs]: alu, fir, gcd,
+    chain.brightness, chain.convolution, chain.threshold, memsys. *)
+
+val run :
+  ?budget:Dfv_sat.Solver.budget ->
+  ?seed:int ->
+  ?sim_vectors:int ->
+  ?max_rtl_faults:int ->
+  ?max_slm_faults:int ->
+  ?designs:string list ->
+  unit ->
+  Campaign.report list
+(** Run the campaigns ([designs] defaults to all of {!names}; raises
+    [Failure] on an unknown name). *)
+
+val default_min_rate : float
+(** 0.95. *)
+
+val gate : ?min_rate:float -> Campaign.report list -> float * int * bool
+(** [(detection_rate, false_equivalents, pass)] where [pass] requires
+    rate >= min_rate (default {!default_min_rate}) and zero false
+    equivalents. *)

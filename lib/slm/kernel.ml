@@ -39,11 +39,46 @@ and t = {
   mutable activations : int;
   mutable stopping : bool;
   mutable blocked : (string, unit) Hashtbl.t;
+  (* Watchdog state: absolute counter thresholds armed by [run], and a
+     ring of recently activated process names so a trip can say *who*
+     was spinning, not just that something was. *)
+  mutable wd_max_deltas : int option;
+  mutable wd_max_activations : int option;
+  recent : string array;
+  mutable recent_n : int;
 }
 
 type event = event_rec
 
 exception Not_in_thread
+
+type watchdog = {
+  max_deltas : int option;
+  max_activations : int option;
+  expect_idle : bool;
+}
+
+let watchdog ?max_deltas ?max_activations ?(expect_idle = false) () =
+  (match max_deltas with
+  | Some n when n < 1 -> invalid_arg "Kernel.watchdog: max_deltas must be >= 1"
+  | _ -> ());
+  (match max_activations with
+  | Some n when n < 1 ->
+    invalid_arg "Kernel.watchdog: max_activations must be >= 1"
+  | _ -> ());
+  { max_deltas; max_activations; expect_idle }
+
+type trip_kind = Delta_limit | Activation_limit | Starvation
+
+type trip = {
+  trip_kind : trip_kind;
+  trip_time : int;
+  trip_deltas : int;
+  trip_activations : int;
+  trip_processes : string list;
+}
+
+exception Watchdog_trip of trip
 
 let create () =
   {
@@ -57,6 +92,10 @@ let create () =
     activations = 0;
     stopping = false;
     blocked = Hashtbl.create 16;
+    wd_max_deltas = None;
+    wd_max_activations = None;
+    recent = Array.make 8 "";
+    recent_n = 0;
   }
 
 let now k = k.time
@@ -171,10 +210,38 @@ let fire k e =
         end)
     ws
 
+(* Most recently activated process names, most recent first, deduped. *)
+let recent_names k =
+  let cap = Array.length k.recent in
+  let n = min k.recent_n cap in
+  let acc = ref [] in
+  for i = 0 to n - 1 do
+    let name = k.recent.((k.recent_n - 1 - i) mod cap) in
+    if not (List.mem name !acc) then acc := !acc @ [ name ]
+  done;
+  !acc
+
+let trip k kind procs =
+  raise
+    (Watchdog_trip
+       {
+         trip_kind = kind;
+         trip_time = k.time;
+         trip_deltas = k.deltas;
+         trip_activations = k.activations;
+         trip_processes = procs;
+       })
+
 let eval_phase k =
   while not (Queue.is_empty k.runnable) do
     let name, fn = Queue.pop k.runnable in
     k.activations <- k.activations + 1;
+    k.recent.(k.recent_n mod Array.length k.recent) <- name;
+    k.recent_n <- k.recent_n + 1;
+    (match k.wd_max_activations with
+    | Some lim when k.activations > lim ->
+      trip k Activation_limit (recent_names k)
+    | _ -> ());
     match fn () with
     | Finished -> ()
     | Suspended (trg, resume) ->
@@ -195,6 +262,9 @@ let run_deltas k =
   let continue_ = ref true in
   while !continue_ do
     k.deltas <- k.deltas + 1;
+    (match k.wd_max_deltas with
+    | Some lim when k.deltas > lim -> trip k Delta_limit (recent_names k)
+    | _ -> ());
     eval_phase k;
     update_phase k;
     delta_notify_phase k;
@@ -205,7 +275,19 @@ let run_deltas k =
     else if Queue.is_empty k.runnable then continue_ := false
   done
 
-let run ?until k =
+let blocked_threads k =
+  Hashtbl.fold (fun name () acc -> name :: acc) k.blocked []
+  |> List.sort compare
+
+let run ?watchdog:wd ?until k =
+  (match wd with
+  | Some w ->
+    k.wd_max_deltas <- Option.map (fun n -> k.deltas + n) w.max_deltas;
+    k.wd_max_activations <-
+      Option.map (fun n -> k.activations + n) w.max_activations
+  | None ->
+    k.wd_max_deltas <- None;
+    k.wd_max_activations <- None);
   run_deltas k;
   let continue_ = ref (not k.stopping) in
   while !continue_ do
@@ -223,8 +305,11 @@ let run ?until k =
         run_deltas k;
         if k.stopping then continue_ := false
       end
-  done
-
-let blocked_threads k =
-  Hashtbl.fold (fun name () acc -> name :: acc) k.blocked []
-  |> List.sort compare
+  done;
+  match wd with
+  | Some { expect_idle = true; _ }
+    when (not k.stopping) && k.timed_times = [] -> (
+    match blocked_threads k with
+    | [] -> ()
+    | procs -> trip k Starvation procs)
+  | _ -> ()

@@ -82,13 +82,49 @@ val request_update : t -> (unit -> unit) -> unit
     Used by {!Signal} and {!Fifo} to implement request/update semantics;
     ordinary models never need it. *)
 
+(** {1 Watchdogs}
+
+    Guards against runaway models: an SLM with a delta-notification
+    cycle (process A delta-notifies B, B delta-notifies A) spins
+    forever without advancing time, and a mutated model can deadlock
+    with every thread parked on an event nobody will fire.  A watchdog
+    bounds a single {!run} call and reports the {e named} culprit
+    processes when it trips, instead of hanging the whole campaign. *)
+
+type watchdog
+
+val watchdog :
+  ?max_deltas:int -> ?max_activations:int -> ?expect_idle:bool -> unit -> watchdog
+(** [max_deltas] / [max_activations] bound the delta cycles / process
+    activations executed by one [run] call (both [>= 1]).  With
+    [expect_idle] set, a run that ends with threads still blocked and no
+    timed activity pending trips with [Starvation] — use it when the
+    model is supposed to drain completely. *)
+
+type trip_kind = Delta_limit | Activation_limit | Starvation
+
+type trip = {
+  trip_kind : trip_kind;
+  trip_time : int;  (** simulation time at the trip *)
+  trip_deltas : int;  (** kernel-lifetime delta count at the trip *)
+  trip_activations : int;  (** kernel-lifetime activation count *)
+  trip_processes : string list;
+      (** for [Delta_limit]/[Activation_limit]: recently activated
+          processes, most recent first; for [Starvation]: the blocked
+          thread names *)
+}
+
+exception Watchdog_trip of trip
+
 (** {1 Running} *)
 
-val run : ?until:int -> t -> unit
+val run : ?watchdog:watchdog -> ?until:int -> t -> unit
 (** Run the simulation until no activity remains, or just past [until]
     (events at times [<= until] are processed).  May be called repeatedly
     to advance further.  Returning with {!blocked_threads} non-empty is
-    normal (e.g. a consumer parked on an empty FIFO at end of input). *)
+    normal (e.g. a consumer parked on an empty FIFO at end of input).
+    When a [watchdog] is given its limits apply to this call only and
+    {!Watchdog_trip} is raised on violation. *)
 
 val blocked_threads : t -> string list
 (** Names of thread processes still suspended on an event — the

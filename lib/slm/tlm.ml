@@ -1,21 +1,27 @@
+type protocol_error = { channel : string; detail : string }
+
+exception Protocol_violation of protocol_error
+
 type ('req, 'rsp) kind =
   | Untimed of ('req -> 'rsp)
   | Loosely_timed of { kernel : Kernel.t; latency : int; f : 'req -> 'rsp }
   | Queued of {
       kernel : Kernel.t;
-      requests : ('req * 'rsp option ref * Kernel.event) Fifo.t;
+      requests : ('req * ('rsp, string) result option ref * Kernel.event) Fifo.t;
     }
 
 type ('req, 'rsp) target = {
   kind : ('req, 'rsp) kind;
+  t_name : string;
   mutable count : int;
 }
 
-let untimed f = { kind = Untimed f; count = 0 }
+let untimed ?(name = "tlm.untimed") f =
+  { kind = Untimed f; t_name = name; count = 0 }
 
-let loosely_timed kernel ~latency f =
+let loosely_timed ?(name = "tlm.lt") kernel ~latency f =
   if latency < 1 then invalid_arg "Tlm.loosely_timed: latency must be >= 1";
-  { kind = Loosely_timed { kernel; latency; f }; count = 0 }
+  { kind = Loosely_timed { kernel; latency; f }; t_name = name; count = 0 }
 
 let queued kernel ~name ~depth ~service_time f =
   if service_time < 1 then invalid_arg "Tlm.queued: service_time must be >= 1";
@@ -24,10 +30,18 @@ let queued kernel ~name ~depth ~service_time f =
       while true do
         let req, cell, done_ev = Fifo.read requests in
         Kernel.wait_time kernel service_time;
-        cell := Some (f req);
+        (* A faulting computation must not kill the server thread (and
+           with it the kernel run): record the failure in the response
+           cell so the *initiator* sees a protocol violation. *)
+        (match f req with
+        | rsp -> cell := Some (Ok rsp)
+        | exception e -> cell := Some (Error (Printexc.to_string e)));
         Kernel.notify done_ev
       done);
-  { kind = Queued { kernel; requests }; count = 0 }
+  { kind = Queued { kernel; requests }; t_name = name; count = 0 }
+
+let violation t detail =
+  raise (Protocol_violation { channel = t.t_name; detail })
 
 let transport t req =
   t.count <- t.count + 1;
@@ -38,11 +52,17 @@ let transport t req =
     f req
   | Queued { kernel; requests } ->
     let cell = ref None in
-    let done_ev = Kernel.event kernel "tlm.done" in
+    let done_ev = Kernel.event kernel (t.t_name ^ ".done") in
     Fifo.write requests (req, cell, done_ev);
     Kernel.wait_event done_ev;
     (match !cell with
-    | Some rsp -> rsp
-    | None -> failwith "Tlm.transport: server signalled before responding")
+    | Some (Ok rsp) -> rsp
+    | Some (Error m) -> violation t ("server computation raised: " ^ m)
+    | None -> violation t "server signalled completion before writing a response")
+
+let transport_result t req =
+  match transport t req with
+  | rsp -> Ok rsp
+  | exception Protocol_violation e -> Error e
 
 let transactions t = t.count

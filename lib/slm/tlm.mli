@@ -20,10 +20,17 @@
 
 type ('req, 'rsp) target
 
-val untimed : ('req -> 'rsp) -> ('req, 'rsp) target
+type protocol_error = { channel : string; detail : string }
+(** A broken transport contract on the named channel: the server
+    signalled completion without writing a response, or the server
+    computation itself raised. *)
+
+exception Protocol_violation of protocol_error
+
+val untimed : ?name:string -> ('req -> 'rsp) -> ('req, 'rsp) target
 
 val loosely_timed :
-  Kernel.t -> latency:int -> ('req -> 'rsp) -> ('req, 'rsp) target
+  ?name:string -> Kernel.t -> latency:int -> ('req -> 'rsp) -> ('req, 'rsp) target
 (** Each transport call consumes [latency] time units of the calling
     thread. *)
 
@@ -40,7 +47,14 @@ val queued :
 
 val transport : ('req, 'rsp) target -> 'req -> 'rsp
 (** Blocking transport.  For {!loosely_timed} and {!queued} targets this
-    must be called from a thread process. *)
+    must be called from a thread process.  Raises {!Protocol_violation}
+    when a queued server signals completion without a response (e.g. its
+    computation raised) — a typed error the caller can record instead of
+    a bare failure. *)
+
+val transport_result :
+  ('req, 'rsp) target -> 'req -> ('rsp, protocol_error) result
+(** Like {!transport} but returns the protocol violation as a value. *)
 
 val transactions : ('req, 'rsp) target -> int
 (** Number of transports completed — the utilization counter for

@@ -57,8 +57,9 @@ let test_audit_spec_coverage () =
 
 let test_flow_simulate_clean () =
   match Flow.simulate ~vectors:300 (alu_pair ()) with
-  | Flow.Sim_clean { vectors } -> check_int "all run" 300 vectors
-  | Flow.Sim_mismatch _ -> Alcotest.fail "clean ALU mismatched in simulation"
+  | Ok (Flow.Sim_clean { vectors }) -> check_int "all run" 300 vectors
+  | Ok (Flow.Sim_mismatch _) -> Alcotest.fail "clean ALU mismatched in simulation"
+  | Error _ -> Alcotest.fail "clean ALU errored in simulation"
 
 let test_flow_simulate_finds_gross_bug () =
   (* The swapped or/xor bug hits ~1/8 of random vectors: simulation finds
@@ -66,15 +67,52 @@ let test_flow_simulate_finds_gross_bug () =
   match
     Flow.simulate ~vectors:2000 (alu_pair ~bug:Alu.Swapped_or_xor ())
   with
-  | Flow.Sim_mismatch { failed_checks; _ } ->
+  | Ok (Flow.Sim_mismatch { failed_checks; _ }) ->
     check_bool "details recorded" true (failed_checks <> [])
-  | Flow.Sim_clean _ -> Alcotest.fail "gross bug survived 2000 vectors"
+  | Ok (Flow.Sim_clean _) -> Alcotest.fail "gross bug survived 2000 vectors"
+  | Error _ -> Alcotest.fail "gross-bug simulation errored"
+
+let test_flow_simulate_widening_finds_narrow_constraint () =
+  (* A single-point equality constraint (1/256 per fresh draw): the
+     bounded retry rounds widen the attempt budget until a satisfying
+     vector lands, instead of the old "constraints too tight" failwith. *)
+  let open Ast in
+  let pair = alu_pair () in
+  let spec =
+    { pair.Pair.spec with Spec.constraints = [ var "a" ==^ u 8 123 ] }
+  in
+  match Flow.simulate ~seed:0 ~vectors:50 { pair with Pair.spec } with
+  | Ok (Flow.Sim_clean { vectors }) -> check_int "all vectors run" 50 vectors
+  | Ok (Flow.Sim_mismatch _) -> Alcotest.fail "clean ALU mismatched"
+  | Error e ->
+    Alcotest.failf "widening should satisfy a 1/256 constraint: %s"
+      (Dfv_error.to_string e)
+
+let test_flow_simulate_exhaustion_is_typed () =
+  (* A conjunction of three point constraints (1/2^19 per draw) defeats
+     every retry round: the flow must return the typed error, not raise. *)
+  let open Ast in
+  let pair = alu_pair () in
+  let spec =
+    {
+      pair.Pair.spec with
+      Spec.constraints =
+        [ var "a" ==^ u 8 123; var "b" ==^ u 8 45; var "op" ==^ u 3 2 ];
+    }
+  in
+  match Flow.simulate ~seed:0 ~max_rounds:2 ~vectors:5 { pair with Pair.spec } with
+  | Ok _ -> Alcotest.fail "expected stimulus exhaustion"
+  | Error (Dfv_error.Stimulus_exhausted { attempts; rounds; _ }) ->
+    check_int "all rounds tried" 2 rounds;
+    check_bool "attempts counted" true (attempts > 0)
+  | Error e ->
+    Alcotest.failf "wrong error class: %s" (Dfv_error.to_string e)
 
 let test_flow_verify_proves () =
   let r = Flow.verify (alu_pair ()) in
   match r.Flow.outcome with
   | Flow.Proved _ -> ()
-  | Flow.Refuted _ | Flow.Simulated _ | Flow.Undecided _ ->
+  | Flow.Refuted _ | Flow.Simulated _ | Flow.Undecided _ | Flow.Errored _ ->
     Alcotest.fail "expected a proof"
 
 let test_flow_verify_refutes () =
@@ -82,7 +120,7 @@ let test_flow_verify_refutes () =
   match r.Flow.outcome with
   | Flow.Refuted (cex, _) ->
     check_bool "has params" true (cex.Checker.params <> [])
-  | Flow.Proved _ | Flow.Simulated _ | Flow.Undecided _ ->
+  | Flow.Proved _ | Flow.Simulated _ | Flow.Undecided _ | Flow.Errored _ ->
     Alcotest.fail "expected refutation"
 
 let test_flow_verify_falls_back_to_simulation () =
@@ -115,7 +153,7 @@ let test_flow_verify_falls_back_to_simulation () =
   match r.Flow.outcome with
   | Flow.Simulated (Flow.Sim_clean { vectors = 100 }) -> ()
   | Flow.Simulated _ -> Alcotest.fail "simulation should be clean"
-  | Flow.Proved _ | Flow.Refuted _ | Flow.Undecided _ ->
+  | Flow.Proved _ | Flow.Refuted _ | Flow.Undecided _ | Flow.Errored _ ->
     Alcotest.fail "SEC should have been blocked"
 
 let test_report_renders () =
@@ -232,6 +270,10 @@ let suite =
     Alcotest.test_case "simulate clean" `Quick test_flow_simulate_clean;
     Alcotest.test_case "simulate finds gross bug" `Quick
       test_flow_simulate_finds_gross_bug;
+    Alcotest.test_case "simulate widens into narrow constraints" `Quick
+      test_flow_simulate_widening_finds_narrow_constraint;
+    Alcotest.test_case "simulate exhaustion is typed" `Quick
+      test_flow_simulate_exhaustion_is_typed;
     Alcotest.test_case "verify proves" `Quick test_flow_verify_proves;
     Alcotest.test_case "verify refutes" `Quick test_flow_verify_refutes;
     Alcotest.test_case "verify falls back to simulation" `Quick

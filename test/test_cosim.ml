@@ -92,6 +92,38 @@ let test_scoreboard_unconsumed () =
   check_bool "not ok" false (Scoreboard.ok r);
   check_int "one unconsumed" 1 r.Scoreboard.unconsumed
 
+let test_scoreboard_flags_injected_corruption () =
+  (* Fault-injection at the stream level: corrupt one element of an
+     otherwise healthy RTL output stream and the scoreboard must flag
+     exactly that element — the detection path the faultsim campaigns
+     rely on. *)
+  let n = 32 and victim = 17 in
+  let golden = Array.init n (fun i -> bv 8 ((i * 11) land 0xff)) in
+  (* The corruption rides a real stream stage, the way a faulty link (or
+     a mutated block) would inject it mid-pipeline. *)
+  let corruptor =
+    Stream.slm_stage ~name:"bitflip-fault"
+      (Array.mapi (fun i v -> if i = victim then Bitvec.lognot v else v))
+  in
+  let corrupt, _ = Stream.run_stage corruptor golden in
+  let sb = Scoreboard.create Scoreboard.In_order in
+  Array.iteri (fun i v -> Scoreboard.expect sb ~cycle:i v) golden;
+  Array.iteri (fun i v -> Scoreboard.observe sb ~cycle:(i + 2) v) corrupt;
+  let r = Scoreboard.report sb in
+  check_bool "corruption flagged" false (Scoreboard.ok r);
+  (match r.Scoreboard.mismatches with
+  | [ m ] ->
+    check_int "flagged at the corrupted cycle" (victim + 2) m.Scoreboard.at_cycle;
+    check_bool "expected value recorded" true
+      (m.Scoreboard.expected = Some golden.(victim))
+  | ms -> Alcotest.failf "expected 1 mismatch, got %d" (List.length ms));
+  check_int "clean elements still match" (n - 1) r.Scoreboard.matched;
+  (* Same trace, uncorrupted: clean — the checker has no false alarms. *)
+  let sb2 = Scoreboard.create Scoreboard.In_order in
+  Array.iteri (fun i v -> Scoreboard.expect sb2 ~cycle:i v) golden;
+  Array.iteri (fun i v -> Scoreboard.observe sb2 ~cycle:(i + 2) v) golden;
+  check_bool "no false alarm" true (Scoreboard.ok (Scoreboard.report sb2))
+
 (* --- stream stages --------------------------------------------------------- *)
 
 (* One-cycle-latency incrementer with a valid chain. *)
@@ -349,6 +381,8 @@ let suite =
       test_scoreboard_out_of_order;
     Alcotest.test_case "scoreboard unconsumed" `Quick
       test_scoreboard_unconsumed;
+    Alcotest.test_case "scoreboard flags injected corruption" `Quick
+      test_scoreboard_flags_injected_corruption;
     Alcotest.test_case "rtl stage with valid" `Quick test_rtl_stage_with_valid;
     Alcotest.test_case "rtl stage with stalls" `Quick
       test_rtl_stage_with_stalls;

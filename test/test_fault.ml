@@ -1,0 +1,167 @@
+(* Tests for the fault-injection subsystem: fault enumeration, cone
+   localization, and campaign resilience (a crashing mutant must be
+   recorded, not abort the run). *)
+
+open Dfv_rtl
+open Dfv_fault
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+
+let alu_pair () =
+  let t = Dfv_designs.Alu.make ~width:8 () in
+  Dfv_core.Pair.create ~name:"alu" ~slm:t.Dfv_designs.Alu.slm
+    ~rtl:t.Dfv_designs.Alu.rtl ~spec:t.Dfv_designs.Alu.spec
+
+let budget =
+  Some { Dfv_sat.Solver.max_conflicts = Some 200_000; max_seconds = None }
+
+let test_enumerate_rtl () =
+  let pair = alu_pair () in
+  let faults = Fault.enumerate_rtl ~max_faults:24 pair.Dfv_core.Pair.rtl in
+  check_bool "non-empty" true (faults <> []);
+  check_bool "bounded" true (List.length faults <= 24);
+  (* Names are unique, and every mutant still elaborates with the same
+     interface (the width-preservation contract). *)
+  let names = List.map (fun f -> f.Fault.rf_name) faults in
+  check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names));
+  List.iter
+    (fun f ->
+      let m = f.Fault.rf_apply pair.Dfv_core.Pair.rtl in
+      check_bool (f.Fault.rf_name ^ " keeps ports") true
+        (m.Netlist.e_inputs = pair.Dfv_core.Pair.rtl.Netlist.e_inputs
+        && List.map fst m.Netlist.e_outputs
+           = List.map fst pair.Dfv_core.Pair.rtl.Netlist.e_outputs))
+    faults
+
+let test_enumerate_slm_reachable_only () =
+  let pair = alu_pair () in
+  let faults = Fault.enumerate_slm ~max_faults:12 pair.Dfv_core.Pair.slm in
+  check_bool "non-empty" true (faults <> []);
+  (* Every mutant still typechecks: mutations are type-preserving. *)
+  List.iter
+    (fun f ->
+      match
+        Dfv_hwir.Typecheck.check (f.Fault.sf_apply pair.Dfv_core.Pair.slm)
+      with
+      | () -> ()
+      | exception Dfv_hwir.Typecheck.Type_error m ->
+        Alcotest.failf "%s broke typing: %s" f.Fault.sf_name m)
+    faults;
+  (* Mutations in dead functions are guaranteed survivors, so the
+     enumerator must skip functions unreachable from the entry. *)
+  let open Dfv_hwir.Ast in
+  let dead =
+    {
+      fname = "dead_helper";
+      params = [ ("x", uint 8) ];
+      ret = uint 8;
+      locals = [];
+      body = [ Return (var "x" +^ u 8 1) ];
+    }
+  in
+  let p =
+    { pair.Dfv_core.Pair.slm with
+      funcs = dead :: pair.Dfv_core.Pair.slm.funcs }
+  in
+  List.iter
+    (fun f ->
+      check_bool "no dead-code mutants" false (f.Fault.sf_site = "dead_helper"))
+    (Fault.enumerate_slm ~max_faults:100 p)
+
+let test_cone () =
+  (* out1 depends on w1 and a; out2 on b only. *)
+  let open Expr in
+  let rtl =
+    Netlist.elaborate
+      {
+        (Netlist.empty "cones") with
+        Netlist.inputs =
+          [ { Netlist.port_name = "a"; port_width = 8 };
+            { Netlist.port_name = "b"; port_width = 8 } ];
+        wires = [ ("w1", sig_ "a" +: const ~width:8 1) ];
+        outputs = [ ("out1", sig_ "w1"); ("out2", sig_ "b") ];
+      }
+  in
+  check_bool "w1 in out1 cone" true (Fault.cone rtl ~output:"out1" "w1");
+  check_bool "a in out1 cone" true (Fault.cone rtl ~output:"out1" "a");
+  check_bool "b outside out1 cone" false (Fault.cone rtl ~output:"out1" "b");
+  check_bool "w1 outside out2 cone" false (Fault.cone rtl ~output:"out2" "w1");
+  check_bool "output is its own cone" true (Fault.cone rtl ~output:"out2" "out2")
+
+let test_alu_campaign_gate () =
+  (* The acceptance property in miniature: every injected ALU fault is
+     detected and localized; the prover never certifies a mutant. *)
+  let r =
+    Campaign.run ?budget ~max_rtl_faults:10 ~max_slm_faults:6
+      (Campaign.Sec_pair (alu_pair ()))
+  in
+  check_bool "mutants enumerated" true (r.Campaign.r_total > 0);
+  check_int "no false equivalents" 0 r.Campaign.r_false_eq;
+  check_int "no crashes" 0 r.Campaign.r_crashed;
+  check_int "no mislocalized counterexamples" 0 r.Campaign.r_mislocalized;
+  check_int "every fault detected" r.Campaign.r_total r.Campaign.r_detected;
+  let rate, false_eq, pass = Suite.gate [ r ] in
+  check_bool "gate passes" true pass;
+  check_bool "rate is 1.0" true (rate = 1.0);
+  check_int "gate false equivalents" 0 false_eq
+
+let test_campaign_survives_crashing_mutant () =
+  (* One mutant whose run dies must degrade to a recorded verdict while
+     the rest of the campaign completes normally. *)
+  let boom =
+    Campaign.Custom_mutant
+      { cm_name = "boom"; cm_run = (fun () -> failwith "boom") }
+  in
+  let ok =
+    Campaign.Custom_mutant { cm_name = "ok"; cm_run = (fun () -> true) }
+  in
+  let r =
+    Campaign.run ?budget ~max_rtl_faults:4 ~max_slm_faults:2
+      ~extra_mutants:[ boom; ok ]
+      (Campaign.Sec_pair (alu_pair ()))
+  in
+  check_int "crash recorded" 1 r.Campaign.r_crashed;
+  check_bool "other mutants still ran" true (r.Campaign.r_detected >= 1);
+  let crashed =
+    List.find
+      (fun m -> m.Campaign.m_name = "boom")
+      r.Campaign.r_results
+  in
+  (match crashed.Campaign.verdict with
+  | Campaign.Crashed (Dfv_core.Dfv_error.Internal m) ->
+    check_bool "cause preserved" true
+      (let n = String.length "boom" and h = String.length m in
+       let rec go i = i + n <= h && (String.sub m i n = "boom" || go (i + 1)) in
+       go 0)
+  | v -> Alcotest.failf "wrong verdict for boom: %s" (Campaign.verdict_label v));
+  (* The crash counts against the detection rate: campaigns cannot pass
+     by crashing instead of verifying. *)
+  check_bool "rate dented" true (Campaign.detection_rate [ r ] < 1.0)
+
+let test_json_report () =
+  let r =
+    Campaign.run ?budget ~max_rtl_faults:4 ~max_slm_faults:2
+      (Campaign.Sec_pair (alu_pair ()))
+  in
+  let json = Campaign.json_of_reports ~min_rate:0.95 [ r ] in
+  let contains sub =
+    let n = String.length sub and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "suite field" true (contains "\"suite\":\"dfv-faultsim\"");
+  check_bool "pass field" true (contains "\"pass\":true");
+  check_bool "subject listed" true (contains "\"name\":\"alu\"");
+  check_bool "verdicts serialized" true (contains "\"verdict\":\"detected\"")
+
+let suite =
+  [ Alcotest.test_case "enumerate rtl faults" `Quick test_enumerate_rtl;
+    Alcotest.test_case "enumerate slm faults (reachable only)" `Quick
+      test_enumerate_slm_reachable_only;
+    Alcotest.test_case "fan-in cone" `Quick test_cone;
+    Alcotest.test_case "alu campaign gate" `Quick test_alu_campaign_gate;
+    Alcotest.test_case "campaign survives crashing mutant" `Quick
+      test_campaign_survives_crashing_mutant;
+    Alcotest.test_case "json report" `Quick test_json_report ]

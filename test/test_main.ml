@@ -17,5 +17,6 @@ let () =
       ("softfloat", Test_softfloat.suite);
       ("designs", Test_designs.suite);
       ("core", Test_core.suite);
+      ("fault", Test_fault.suite);
       ("properties", Test_properties.suite);
       ("behsyn", Test_behsyn.suite) ]

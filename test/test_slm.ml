@@ -247,6 +247,86 @@ let test_two_clocks_ratio () =
   check_int "fast" 20 !fast_ticks;
   check_int "slow" 5 !slow_ticks
 
+(* --- watchdogs ----------------------------------------------------------- *)
+
+(* Two threads delta-notifying each other spin forever without advancing
+   time — the runaway a watchdog exists to catch.  The trip must name the
+   culprit processes. *)
+let ping_pong_kernel () =
+  let k = Kernel.create () in
+  let ea = Kernel.event k "ea" and eb = Kernel.event k "eb" in
+  Kernel.thread k ~name:"ping" (fun () ->
+      while true do
+        Kernel.notify eb;
+        Kernel.wait_event ea
+      done);
+  Kernel.thread k ~name:"pong" (fun () ->
+      while true do
+        Kernel.wait_event eb;
+        Kernel.notify ea
+      done);
+  k
+
+let test_watchdog_delta_limit () =
+  let k = ping_pong_kernel () in
+  match Kernel.run ~watchdog:(Kernel.watchdog ~max_deltas:100 ()) k with
+  | () -> Alcotest.fail "runaway delta loop terminated?!"
+  | exception Kernel.Watchdog_trip t ->
+    check_bool "delta kind" true (t.Kernel.trip_kind = Kernel.Delta_limit);
+    check_int "no time progress" 0 t.Kernel.trip_time;
+    check_bool "deltas at limit" true (t.Kernel.trip_deltas >= 100);
+    check_bool "ping named" true (List.mem "ping" t.Kernel.trip_processes);
+    check_bool "pong named" true (List.mem "pong" t.Kernel.trip_processes)
+
+let test_watchdog_activation_limit () =
+  let k = ping_pong_kernel () in
+  match Kernel.run ~watchdog:(Kernel.watchdog ~max_activations:64 ()) k with
+  | () -> Alcotest.fail "runaway loop terminated?!"
+  | exception Kernel.Watchdog_trip t ->
+    check_bool "activation kind" true
+      (t.Kernel.trip_kind = Kernel.Activation_limit);
+    check_bool "activations at limit" true (t.Kernel.trip_activations >= 64);
+    check_bool "both processes named" true
+      (List.mem "ping" t.Kernel.trip_processes
+      && List.mem "pong" t.Kernel.trip_processes)
+
+let test_watchdog_starvation () =
+  (* A two-process wait cycle: each thread parks on an event only the
+     other could fire.  With [expect_idle] the watchdog reports the
+     deadlock and names both threads. *)
+  let k = Kernel.create () in
+  let e1 = Kernel.event k "e1" and e2 = Kernel.event k "e2" in
+  Kernel.thread k ~name:"t1" (fun () ->
+      Kernel.wait_event e1;
+      Kernel.notify e2);
+  Kernel.thread k ~name:"t2" (fun () ->
+      Kernel.wait_event e2;
+      Kernel.notify e1);
+  match Kernel.run ~watchdog:(Kernel.watchdog ~expect_idle:true ()) k with
+  | () -> Alcotest.fail "deadlocked kernel drained?!"
+  | exception Kernel.Watchdog_trip t ->
+    check_bool "starvation kind" true (t.Kernel.trip_kind = Kernel.Starvation);
+    check_list "both blocked threads named" [ "t1"; "t2" ]
+      (List.sort compare t.Kernel.trip_processes)
+
+let test_watchdog_clean_run () =
+  (* A healthy model under the same guards: no trip, and the limits are
+     per-run, so a second run gets a fresh allowance. *)
+  let k = Kernel.create () in
+  let f = Fifo.create k "f" ~capacity:2 in
+  Kernel.thread k ~name:"producer" (fun () ->
+      for i = 1 to 8 do
+        Fifo.write f i
+      done);
+  Kernel.thread k ~name:"consumer" (fun () ->
+      for _ = 1 to 8 do
+        ignore (Fifo.read f)
+      done);
+  let wd = Kernel.watchdog ~max_deltas:1000 ~expect_idle:true () in
+  Kernel.run ~watchdog:wd k;
+  Kernel.run ~watchdog:wd k;
+  check_bool "drained" true (Kernel.blocked_threads k = [])
+
 let test_kernel_stats () =
   let k = Kernel.create () in
   Kernel.thread k ~name:"t" (fun () ->
@@ -279,4 +359,9 @@ let suite =
     Alcotest.test_case "fifo try ops" `Quick test_fifo_try_ops;
     Alcotest.test_case "clock" `Quick test_clock;
     Alcotest.test_case "two clocks" `Quick test_two_clocks_ratio;
+    Alcotest.test_case "watchdog delta limit" `Quick test_watchdog_delta_limit;
+    Alcotest.test_case "watchdog activation limit" `Quick
+      test_watchdog_activation_limit;
+    Alcotest.test_case "watchdog starvation" `Quick test_watchdog_starvation;
+    Alcotest.test_case "watchdog clean run" `Quick test_watchdog_clean_run;
     Alcotest.test_case "kernel stats" `Quick test_kernel_stats ]

@@ -76,10 +76,58 @@ let test_same_kernel_reuse () =
   Kernel.run k;
   check_bool "all three agree" true (!out_u = !out_lt && !out_lt = !out_q)
 
+let test_queued_server_fault () =
+  (* A queued server whose computation raises on one input: the
+     initiator gets a typed Protocol_violation naming the channel, and
+     the channel keeps serving afterwards. *)
+  let k = Kernel.create () in
+  let f x = if x = 13 then failwith "server crash" else x * x in
+  let t = Tlm.queued k ~name:"srv" ~depth:2 ~service_time:5 f in
+  let values = ref [] in
+  let violation = ref None in
+  Kernel.thread k ~name:"initiator" (fun () ->
+      values := Tlm.transport t 4 :: !values;
+      (match Tlm.transport_result t 13 with
+      | Error e -> violation := Some e
+      | Ok _ -> Alcotest.fail "faulting request produced a response");
+      values := Tlm.transport t 3 :: !values);
+  Kernel.run k;
+  check_bool "good requests served" true (List.rev !values = [ 16; 9 ]);
+  match !violation with
+  | None -> Alcotest.fail "expected a protocol violation"
+  | Some e ->
+    Alcotest.check Alcotest.string "channel named" "srv" e.Tlm.channel;
+    let contains s sub =
+      let n = String.length sub and h = String.length s in
+      let rec go i = i + n <= h && (String.sub s i n = sub || go (i + 1)) in
+      go 0
+    in
+    check_bool "detail carries the cause" true (contains e.Tlm.detail "crash")
+
+let test_transport_raises_typed () =
+  (* The exception-raising variant of the same contract. *)
+  let k = Kernel.create () in
+  let t =
+    Tlm.queued k ~name:"bad" ~depth:1 ~service_time:1 (fun _ ->
+        raise Exit)
+  in
+  let raised = ref false in
+  Kernel.thread k ~name:"initiator" (fun () ->
+      match Tlm.transport t 0 with
+      | _ -> ()
+      | exception Tlm.Protocol_violation e ->
+        raised := e.Tlm.channel = "bad");
+  Kernel.run k;
+  check_bool "typed exception raised" true !raised
+
 let suite =
   [ Alcotest.test_case "untimed" `Quick test_untimed;
     Alcotest.test_case "loosely timed" `Quick test_loosely_timed;
     Alcotest.test_case "queued serializes" `Quick test_queued_serializes;
     Alcotest.test_case "queued backpressure" `Quick test_queued_backpressure;
     Alcotest.test_case "three abstractions, one function" `Quick
-      test_same_kernel_reuse ]
+      test_same_kernel_reuse;
+    Alcotest.test_case "queued server fault is typed" `Quick
+      test_queued_server_fault;
+    Alcotest.test_case "transport raises protocol violation" `Quick
+      test_transport_raises_typed ]
