@@ -839,11 +839,80 @@ let c8 () =
      block adds simulation cost (the cosim price of detail)."
 
 (* ---------------------------------------------------------------------- *)
+(* C5O: observability overhead — spans/metrics/coverage must be cheap      *)
+(* ---------------------------------------------------------------------- *)
+
+let c5o () =
+  header "C5O" "observability overhead (spans + metrics + coverage)"
+    "instrumentation must cost ~nothing when the sinks are off and stay \
+     under 5% with them on";
+  (* The C3-style workload, which crosses every instrumented layer: a
+     shared-session per-block SEC sweep (sat.solve spans, solver counter
+     deltas, sec.frame histograms) plus a constrained-random cosimulation
+     (Sim.cycle counters, SLM kernel deltas, stimulus covergroups). *)
+  let workload () =
+    let chain = Image_chain.make () in
+    let session = Dfv_sec.Session.create ?budget:!budget_opt () in
+    List.iter
+      (fun b ->
+        ignore
+          (Checker.check_slm_rtl ?budget:!budget_opt ~session
+             ~slm:(Image_chain.block_slm chain b)
+             ~rtl:(Image_chain.block_rtl chain b)
+             ~spec:(Image_chain.block_spec b) ()))
+      Image_chain.all_blocks;
+    let t = Alu.make ~width:8 () in
+    let pair =
+      Dfv_core.Pair.create ~name:"alu" ~slm:t.Alu.slm ~rtl:t.Alu.rtl
+        ~spec:t.Alu.spec
+    in
+    ignore (Dfv_core.Flow.simulate ~seed:5 ~vectors:400 pair)
+  in
+  let time_min f =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = now () in
+      f ();
+      best := min !best (now () -. t0)
+    done;
+    !best
+  in
+  workload () (* warm-up so neither configuration pays first-run costs *);
+  Dfv_obs.Trace.disable ();
+  Dfv_obs.Coverage.disable ();
+  let t_off = time_min workload in
+  Dfv_obs.Trace.enable ();
+  Dfv_obs.Coverage.enable ();
+  let t_on = time_min workload in
+  let span_events = List.length (Dfv_obs.Trace.events ()) in
+  Dfv_obs.Trace.disable ();
+  Dfv_obs.Coverage.disable ();
+  Printf.printf
+    "  sinks off: %.3fs   sinks on: %.3fs (%d span events)   overhead %+.1f%%\n"
+    t_off t_on span_events
+    (100.0 *. (t_on -. t_off) /. t_off);
+  (* The acceptance gate: <5% with sinks on (the additive slack absorbs
+     timer noise on sub-second runs).  The sinks-off run shares the run
+     with the seed's uninstrumented behaviour by construction: every
+     span/coverage entry point is a branch-and-return when disabled. *)
+  if t_on > (t_off *. 1.05) +. 0.05 then begin
+    Printf.printf
+      "REGRESSION: instrumented run (%.3fs) exceeds 5%% overhead over the \
+       uninstrumented baseline (%.3fs)\n"
+      t_on t_off;
+    exit 1
+  end;
+  print_endline
+    "shape check: the instrumented run records every span event yet stays\n\
+     within noise of the sinks-off baseline; disabled sinks reduce every\n\
+     instrumentation site to a branch."
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [ ("f1", f1); ("f2", f2); ("c1", c1); ("c2", c2); ("c3", c3);
     ("c3_incremental_sec", c3); ("c4", c4); ("c4_fault_robustness", c4f);
-    ("c5", c5); ("c6", c6); ("c7", c7); ("c8", c8) ]
+    ("c5", c5); ("c5_obs_overhead", c5o); ("c6", c6); ("c7", c7); ("c8", c8) ]
 
 let () =
   let rec parse names = function
@@ -866,7 +935,8 @@ let () =
     | [] ->
       List.map fst
         (List.remove_assoc "c3_incremental_sec"
-           (List.remove_assoc "c4_fault_robustness" experiments))
+           (List.remove_assoc "c4_fault_robustness"
+              (List.remove_assoc "c5_obs_overhead" experiments)))
     | names -> names
   in
   let t0 = now () in

@@ -7,9 +7,13 @@
      dfv sim    <design> [-n N]   simulation-based comparison
      dfv verify <design>          audit + SEC (or simulation fallback)
      dfv faultsim [--design D]    mutation campaign scoring the verifier
+     dfv triage <design>          reproduce a failure as a triage bundle
 
    Bugs can be planted with --bug (see `dfv list`) to watch the flows
-   catch them.
+   catch them.  The flow commands take --trace FILE (Chrome trace_event
+   span timeline) and --coverage FILE (functional coverage report);
+   verify and triage take --report FILE (mismatch triage bundle).  All
+   files share the {"schema": ..., "version": ...} envelope.
 
    Exit codes: 0 equivalent/pass, 1 counterexample/mismatch, 2 unknown
    (budget or stimulus exhausted, audit-blocked), 3 usage/internal
@@ -136,6 +140,61 @@ let wrap run = fun design bug ->
     Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
     Dfv_error.exit_code e
 
+(* --- observability flags ----------------------------------------------- *)
+
+type obs = { trace_file : string option; coverage_file : string option }
+
+let obs_term =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Capture a span timeline of the run and write it to $(docv) as \
+             Chrome trace_event JSON (load in chrome://tracing or Perfetto).")
+  in
+  let coverage =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coverage" ] ~docv:"FILE"
+          ~doc:
+            "Collect functional coverage (stimulus covergroups) and write \
+             the report to $(docv).")
+  in
+  let combine trace_file coverage_file = { trace_file; coverage_file } in
+  Term.(const combine $ trace $ coverage)
+
+(* Enable the requested sinks around [f] and flush the files afterwards
+   (also on exceptions: a crashed run still leaves its trace behind). *)
+let with_obs obs f =
+  if obs.trace_file <> None then Dfv_obs.Trace.enable ();
+  if obs.coverage_file <> None then Dfv_obs.Coverage.enable ();
+  let finish () =
+    (match obs.trace_file with
+    | Some file -> Dfv_obs.Trace.write_file file
+    | None -> ());
+    match obs.coverage_file with
+    | Some file -> Dfv_obs.Json.write_file file (Dfv_obs.Coverage.snapshot ())
+    | None -> ()
+  in
+  Fun.protect ~finally:finish f
+
+let report_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:
+          "Write a mismatch triage bundle (failing transaction, stimulus, \
+           VCD slice, metric/span snapshot) to $(docv).")
+
+let no_failure_json design =
+  Dfv_obs.Json.envelope ~schema:"dfv-triage" ~version:1
+    [ ("design", Dfv_obs.Json.String design);
+      ("kind", Dfv_obs.Json.String "no-failure") ]
+
 let audit_cmd =
   let doc = "Run the design-for-verification audit on a pair." in
   let run pair =
@@ -215,8 +274,9 @@ let print_stats (s : Checker.stats) =
 
 let sec_cmd =
   let doc = "Run sequential equivalence checking on a pair." in
-  let run budget stats =
-    wrap (fun pair ->
+  let run budget stats obs design bug =
+    with_obs obs @@ fun () ->
+    (wrap (fun pair ->
         let finish s = if stats then print_stats s in
         match Flow.sec ?budget pair with
         | Checker.Equivalent stats ->
@@ -245,46 +305,59 @@ let sec_cmd =
           Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
             stats.Checker.wall_seconds;
           finish stats;
-          exit_unknown)
+          exit_unknown))
+      design bug
   in
   Cmd.v (Cmd.info "sec" ~doc ~exits)
-    Term.(const run $ budget_term $ stats_arg $ design_arg $ bug_arg)
+    Term.(const run $ budget_term $ stats_arg $ obs_term $ design_arg $ bug_arg)
 
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
 
 let sim_cmd =
   let doc = "Run simulation-based SLM/RTL comparison on a pair." in
-  let run vectors =
-    wrap (fun pair ->
-        match Flow.simulate ~vectors pair with
-        | Ok (Flow.Sim_clean { vectors }) ->
-          Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
-          exit_ok
-        | Ok (Flow.Sim_mismatch { vector_index; _ }) ->
-          Printf.printf "MISMATCH at transaction %d\n" vector_index;
-          exit_cex
-        | Error e ->
-          Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
-          Dfv_error.exit_code e)
+  let run vectors obs design bug =
+    with_obs obs @@ fun () ->
+    (wrap (fun pair ->
+         match Flow.simulate ~vectors pair with
+         | Ok (Flow.Sim_clean { vectors }) ->
+           Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
+           exit_ok
+         | Ok (Flow.Sim_mismatch { vector_index; _ }) ->
+           Printf.printf "MISMATCH at transaction %d\n" vector_index;
+           exit_cex
+         | Error e ->
+           Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+           Dfv_error.exit_code e))
+      design bug
   in
   Cmd.v (Cmd.info "sim" ~doc ~exits)
-    Term.(const run $ vectors_arg $ design_arg $ bug_arg)
+    Term.(const run $ vectors_arg $ obs_term $ design_arg $ bug_arg)
 
 let verify_cmd =
   let doc = "Audit, then SEC (or simulation when SEC is blocked)." in
-  let run budget =
-    wrap (fun pair ->
-        let report = Flow.verify ?budget pair in
-        Format.printf "%a" Flow.pp_report report;
-        match report.Flow.outcome with
-        | Flow.Proved _ | Flow.Simulated (Flow.Sim_clean _) -> exit_ok
-        | Flow.Refuted _ | Flow.Simulated (Flow.Sim_mismatch _) -> exit_cex
-        | Flow.Undecided _ -> exit_unknown
-        | Flow.Errored e -> Dfv_error.exit_code e)
+  let run budget obs report_file design bug =
+    with_obs obs @@ fun () ->
+    (wrap (fun pair ->
+         let report = Flow.verify ?budget pair in
+         Format.printf "%a" Flow.pp_report report;
+         (match report_file with
+         | Some file -> (
+           match Flow.triage_of_report pair report with
+           | Some t -> Dfv_obs.Triage.write_file file t
+           | None ->
+             Dfv_obs.Json.write_file file (no_failure_json pair.Pair.name))
+         | None -> ());
+         match report.Flow.outcome with
+         | Flow.Proved _ | Flow.Simulated (Flow.Sim_clean _) -> exit_ok
+         | Flow.Refuted _ | Flow.Simulated (Flow.Sim_mismatch _) -> exit_cex
+         | Flow.Undecided _ -> exit_unknown
+         | Flow.Errored e -> Dfv_error.exit_code e))
+      design bug
   in
   Cmd.v (Cmd.info "verify" ~doc ~exits)
-    Term.(const run $ budget_term $ design_arg $ bug_arg)
+    Term.(
+      const run $ budget_term $ obs_term $ report_arg $ design_arg $ bug_arg)
 
 let faultsim_cmd =
   let doc =
@@ -333,7 +406,8 @@ let faultsim_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable detection report to $(docv).")
   in
-  let run budget designs seed max_faults max_slm_faults sim_vectors json =
+  let run budget designs seed max_faults max_slm_faults sim_vectors json obs =
+    with_obs obs @@ fun () ->
     match
       Dfv_error.guard (fun () ->
           let designs =
@@ -373,7 +447,65 @@ let faultsim_cmd =
   Cmd.v (Cmd.info "faultsim" ~doc ~exits)
     Term.(
       const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
-      $ max_slm_faults_arg $ sim_vectors_arg $ json_arg)
+      $ max_slm_faults_arg $ sim_vectors_arg $ json_arg $ obs_term)
+
+let triage_cmd =
+  let doc =
+    "Reproduce a failure and bundle the evidence: the failing transaction \
+     index, its stimulus, a VCD slice around the failure cycle, and \
+     metric/span/coverage snapshots.  For the bundled SEC pairs this runs \
+     the verify flow (plant a bug with --bug to force a failure); for \
+     memsys it injects the first RTL fault the transactor/scoreboard \
+     harness flags.  Exits 1 when a bundle was produced, 0 when the \
+     design verified clean."
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "seed" ] ~docv:"N" ~doc:"Fault seed (memsys triage only).")
+  in
+  let run budget obs report_file seed design bug =
+    with_obs obs @@ fun () ->
+    match
+      Dfv_error.guard (fun () ->
+          let bundle =
+            if design = "memsys" then begin
+              if bug <> "none" then
+                failwith
+                  "memsys triage injects its own fault; --bug is not \
+                   supported";
+              Dfv_fault.Suite.memsys_triage ~seed ()
+            end
+            else begin
+              let pair = make_pair design bug in
+              let report = Flow.verify ?budget pair in
+              Flow.triage_of_report pair report
+            end
+          in
+          match bundle with
+          | Some t ->
+            Format.printf "%a@." Dfv_obs.Triage.pp t;
+            (match report_file with
+            | Some file -> Dfv_obs.Triage.write_file file t
+            | None -> ());
+            exit_cex
+          | None ->
+            Printf.printf "no failure to triage\n";
+            (match report_file with
+            | Some file ->
+              Dfv_obs.Json.write_file file (no_failure_json design)
+            | None -> ());
+            exit_ok)
+    with
+    | Ok code -> code
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+      Dfv_error.exit_code e
+  in
+  Cmd.v (Cmd.info "triage" ~doc ~exits)
+    Term.(
+      const run $ budget_term $ obs_term $ report_arg $ seed_arg $ design_arg
+      $ bug_arg)
 
 let () =
   let doc = "design-for-verification flows between system-level models and RTL" in
@@ -381,7 +513,8 @@ let () =
   let code =
     Cmd.eval'
       (Cmd.group info
-         [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd; faultsim_cmd ])
+         [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd; faultsim_cmd;
+           triage_cmd ])
   in
   (* cmdliner's own cli-error (124) / internal-error (125) codes fold
      into the documented "usage or internal error" code. *)

@@ -4,8 +4,12 @@ module Interp = Dfv_hwir.Interp
 module Typecheck = Dfv_hwir.Typecheck
 module Netlist = Dfv_rtl.Netlist
 module Sim = Dfv_rtl.Sim
+module Vcd = Dfv_rtl.Vcd
 module Spec = Dfv_sec.Spec
 module Checker = Dfv_sec.Checker
+module Trace = Dfv_obs.Trace
+module Coverage = Dfv_obs.Coverage
+module Triage = Dfv_obs.Triage
 
 type sim_outcome =
   | Sim_clean of { vectors : int }
@@ -70,6 +74,15 @@ let concrete_source params (src : Spec.source) =
     | Interp.Vint bv -> Bitvec.select bv ~hi ~lo
     | Interp.Varr _ -> failwith "Flow: array param sliced")
 
+let drive_inputs (spec : Spec.t) params t =
+  List.map
+    (fun (port, drive) ->
+      let src =
+        match drive with Spec.Hold bv -> Spec.Const bv | Spec.At f -> f t
+      in
+      (port, concrete_source params src))
+    spec.Spec.drives
+
 (* Run one concrete transaction through the RTL simulator and compare the
    spec's checks against the SLM result. *)
 let run_transaction (pair : Pair.t) params =
@@ -78,16 +91,7 @@ let run_transaction (pair : Pair.t) params =
   let sim = Sim.create pair.Pair.rtl in
   let outputs = Array.make spec.Spec.rtl_cycles [] in
   for t = 0 to spec.Spec.rtl_cycles - 1 do
-    let ins =
-      List.map
-        (fun (port, drive) ->
-          let src =
-            match drive with Spec.Hold bv -> Spec.Const bv | Spec.At f -> f t
-          in
-          (port, concrete_source params src))
-        spec.Spec.drives
-    in
-    outputs.(t) <- Sim.cycle sim ins
+    outputs.(t) <- Sim.cycle sim (drive_inputs spec params t)
   done;
   let expected (c : Spec.check) =
     match (c.Spec.expect, slm_result) with
@@ -118,8 +122,48 @@ let mutate_value st (v : Interp.value) =
     a.(j) <- Bitvec.set_bit bv i (not (Bitvec.get bv i));
     Interp.Varr a
 
+(* Width-independent magnitude class of a parameter value — the sampled
+   coordinate of the auto covergroups: 0 all-zero, 1 msb clear (small),
+   2 msb set (large), 3 all-ones. *)
+let value_class bv =
+  let w = Bitvec.width bv in
+  if Bitvec.is_zero bv then 0
+  else if Bitvec.equal bv (Bitvec.ones w) then 3
+  else if Bitvec.get bv (w - 1) then 2
+  else 1
+
+(* One coverpoint per entry parameter, in the covergroup
+   ["sim.<design>"]; empty when functional coverage is off. *)
+let stimulus_points (pair : Pair.t) =
+  if not (Coverage.enabled ()) then []
+  else begin
+    let params_sig, _ = Typecheck.entry_signature pair.Pair.slm in
+    let g = Coverage.group ("sim." ^ pair.Pair.name) in
+    let bins () =
+      [ Coverage.bin "zero" ~lo:0 ~hi:0;
+        Coverage.bin "small" ~lo:1 ~hi:1;
+        Coverage.bin "large" ~lo:2 ~hi:2;
+        Coverage.bin "max" ~lo:3 ~hi:3 ]
+    in
+    List.map (fun (n, _) -> (n, Coverage.point g n (bins ()))) params_sig
+  end
+
+let sample_stimulus points params =
+  if points <> [] then
+    List.iter
+      (fun (n, v) ->
+        match List.assoc_opt n points with
+        | None -> ()
+        | Some p -> (
+          match v with
+          | Interp.Vint bv -> Coverage.sample p (value_class bv)
+          | Interp.Varr a ->
+            Array.iter (fun bv -> Coverage.sample p (value_class bv)) a))
+      params
+
 let simulate ?(seed = 0) ?(max_rounds = 4) ~vectors (pair : Pair.t) =
   let body () =
+    let cov_points = stimulus_points pair in
     let params_sig, _ = Typecheck.entry_signature pair.Pair.slm in
     let st = Random.State.make [| seed; Hashtbl.hash pair.Pair.name |] in
     let checkers = constraint_checkers pair in
@@ -209,14 +253,23 @@ let simulate ?(seed = 0) ?(max_rounds = 4) ~vectors (pair : Pair.t) =
                  detail = tightest ();
                })
         | Some params -> (
+          sample_stimulus cov_points params;
           match run_transaction pair params with
           | [] -> loop (i + 1)
           | failed_checks ->
+            Trace.instant ~cat:"flow"
+              ~args:
+                [ ("design", Dfv_obs.Json.String pair.Pair.name);
+                  ("transaction", Dfv_obs.Json.Int i) ]
+              "flow.sim_mismatch";
             Ok (Sim_mismatch { vector_index = i; params; failed_checks }))
     in
     loop 0
   in
-  match Dfv_error.guard body with Ok r -> r | Error e -> Error e
+  Trace.with_span ~cat:"flow"
+    ~args:[ ("design", Dfv_obs.Json.String pair.Pair.name) ]
+    "flow.simulate" (fun () ->
+      match Dfv_error.guard body with Ok r -> r | Error e -> Error e)
 
 let sec ?budget ?session (pair : Pair.t) =
   Checker.check_slm_rtl ?budget ?session ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl
@@ -232,6 +285,10 @@ type verify_outcome =
 type report = { audit : Pair.audit; outcome : verify_outcome }
 
 let verify ?seed ?(sim_vectors = 1000) ?budget ?session pair =
+  Trace.with_span ~cat:"flow"
+    ~args:[ ("design", Dfv_obs.Json.String pair.Pair.name) ]
+    "flow.verify"
+  @@ fun () ->
   let audit = Pair.audit pair in
   let outcome =
     if audit.Pair.sec_ready then begin
@@ -284,3 +341,93 @@ let pp_report fmt r =
           c.Spec.at_cycle Bitvec.pp e Bitvec.pp got)
       failed_checks
   | Errored e -> fprintf fmt "verdict: ERROR (%a)@." Dfv_error.pp e
+
+(* --- mismatch triage -------------------------------------------------- *)
+
+let stimulus_strings params =
+  List.map
+    (fun (n, v) ->
+      ( n,
+        match v with
+        | Interp.Vint bv -> Bitvec.to_string bv
+        | Interp.Varr a ->
+          "["
+          ^ String.concat "; " (Array.to_list (Array.map Bitvec.to_string a))
+          ^ "]" ))
+    params
+
+(* Re-simulate the failing transaction, dumping waves only inside the
+   [lo..hi] cycle window — the VCD slice attached to a triage bundle. *)
+let vcd_slice (pair : Pair.t) params ~window:(lo, hi) =
+  let spec = pair.Pair.spec in
+  let sim = Sim.create pair.Pair.rtl in
+  let buf = Buffer.create 1024 in
+  let vcd = Vcd.create buf pair.Pair.rtl sim in
+  for t = 0 to spec.Spec.rtl_cycles - 1 do
+    ignore (Sim.cycle sim (drive_inputs spec params t));
+    if t >= lo && t <= hi then Vcd.sample vcd
+  done;
+  Buffer.contents buf
+
+let triage_window (pair : Pair.t) failures =
+  let fail_cycle =
+    List.fold_left
+      (fun acc f -> min acc f.Triage.f_cycle)
+      max_int failures
+  in
+  let fail_cycle = if fail_cycle = max_int then 0 else fail_cycle in
+  ( max 0 (fail_cycle - 4),
+    min (pair.Pair.spec.Spec.rtl_cycles - 1) (fail_cycle + 4) )
+
+let triage_bundle (pair : Pair.t) ~kind ?txn_index params failures =
+  let window = triage_window pair failures in
+  let vcd =
+    match vcd_slice pair params ~window with
+    | v -> Some v
+    | exception _ -> None
+  in
+  Triage.make ~design:pair.Pair.name ~kind ?txn_index
+    ~stimulus:(stimulus_strings params)
+    ~failures ?vcd ~vcd_window:window ()
+
+let expected_of_slm slm_result (c : Spec.check) =
+  match (c.Spec.expect, slm_result) with
+  | Spec.Result, Some (Interp.Vint bv) -> Some (Bitvec.to_string bv)
+  | Spec.Result_elem i, Some (Interp.Varr a) when i >= 0 && i < Array.length a
+    ->
+    Some (Bitvec.to_string a.(i))
+  | _ -> None
+
+let triage_of_report (pair : Pair.t) (r : report) =
+  match r.outcome with
+  | Proved _ | Undecided _ | Simulated (Sim_clean _) | Errored _ -> None
+  | Refuted (cex, _) ->
+    let failures =
+      List.map
+        (fun ((c : Spec.check), got) ->
+          {
+            Triage.f_port = c.Spec.rtl_port;
+            f_cycle = c.Spec.at_cycle;
+            f_expected = expected_of_slm cex.Checker.slm_result c;
+            f_got = Bitvec.to_string got;
+          })
+        cex.Checker.failed_checks
+    in
+    Some
+      (triage_bundle pair ~kind:"sec-counterexample" cex.Checker.params
+         failures)
+  | Simulated (Sim_mismatch { vector_index; params; failed_checks }) ->
+    let failures =
+      List.map
+        (fun ((c : Spec.check), e, got) ->
+          {
+            Triage.f_port = c.Spec.rtl_port;
+            f_cycle = c.Spec.at_cycle;
+            f_expected = Some (Bitvec.to_string e);
+            f_got = Bitvec.to_string got;
+          })
+        failed_checks
+    in
+    Some
+      (triage_bundle pair ~kind:"sim-miscompare" ~txn_index:vector_index
+         params failures)

@@ -73,3 +73,12 @@ val verify :
     [session] are passed to {!sec} when the SEC path runs. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val triage_of_report : Pair.t -> report -> Dfv_obs.Triage.t option
+(** A mismatch triage bundle for a failed report — [Some] exactly when
+    the outcome is [Refuted] (kind ["sec-counterexample"]) or
+    [Simulated (Sim_mismatch _)] (kind ["sim-miscompare"]).  The bundle
+    carries the failing transaction's stimulus, each diverging check,
+    and a VCD slice of the re-simulated transaction windowed ±4 cycles
+    around the earliest failing cycle, plus automatic metric/span/
+    coverage snapshots (see {!Dfv_obs.Triage}). *)

@@ -25,7 +25,12 @@ type t = {
   mutable matched : int;
   mutable mismatches : mismatch list;
   mutable latencies : int list;
+  mutable value_cov : (Dfv_obs.Coverage.point * (Bitvec.t -> int)) option;
+  mutable latency_cov : Dfv_obs.Coverage.point option;
 }
+
+let m_matches = Dfv_obs.Metrics.counter "cosim.scoreboard.matches"
+let m_mismatches = Dfv_obs.Metrics.counter "cosim.scoreboard.mismatches"
 
 let create policy =
   {
@@ -35,7 +40,14 @@ let create policy =
     matched = 0;
     mismatches = [];
     latencies = [];
+    value_cov = None;
+    latency_cov = None;
   }
+
+let attach_value_coverage t point ~of_value =
+  t.value_cov <- Some (point, of_value)
+
+let attach_latency_coverage t point = t.latency_cov <- Some point
 
 let tag_key tag = Bitvec.to_string tag
 
@@ -60,12 +72,30 @@ let expect ?tag t ~cycle value =
 
 let record_match t e ~cycle =
   t.matched <- t.matched + 1;
-  t.latencies <- (cycle - e.e_cycle) :: t.latencies
+  Dfv_obs.Metrics.incr m_matches;
+  let latency = cycle - e.e_cycle in
+  (match t.latency_cov with
+  | Some p -> Dfv_obs.Coverage.sample p latency
+  | None -> ());
+  t.latencies <- latency :: t.latencies
 
 let record_mismatch t ~cycle ~expected ~observed ~tag =
+  Dfv_obs.Metrics.incr m_mismatches;
+  Dfv_obs.Trace.instant ~cat:"cosim"
+    ~args:
+      [ ("cycle", Dfv_obs.Json.Int cycle);
+        ("observed", Dfv_obs.Json.String (Bitvec.to_string observed));
+        ( "expected",
+          match expected with
+          | Some e -> Dfv_obs.Json.String (Bitvec.to_string e)
+          | None -> Dfv_obs.Json.Null ) ]
+    "cosim.mismatch";
   t.mismatches <- { at_cycle = cycle; expected; observed; tag } :: t.mismatches
 
 let observe ?tag t ~cycle value =
+  (match t.value_cov with
+  | Some (p, of_value) -> Dfv_obs.Coverage.sample p (of_value value)
+  | None -> ());
   match t.policy with
   | Exact_cycle -> (
     match Queue.peek_opt t.pending with

@@ -20,7 +20,8 @@ exception Engine_error of string
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Engine_error m)) fmt
 
-let run ~rtl ~iface ~requests ?(gap = fun _ -> false) ?max_cycles () =
+let run ~rtl ~iface ~requests ?(gap = fun _ -> false) ?max_cycles
+    ?(on_cycle = fun _ _ -> ()) () =
   let n = List.length requests in
   let budget = match max_cycles with Some m -> m | None -> (64 * n) + 256 in
   let sim = Sim.create rtl in
@@ -75,6 +76,7 @@ let run ~rtl ~iface ~requests ?(gap = fun _ -> false) ?max_cycles () =
         :: !completions;
       incr ncompleted
     end;
+    on_cycle sim !cycle;
     incr cycle
   done;
   if !ncompleted < n then begin

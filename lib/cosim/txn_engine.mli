@@ -44,10 +44,14 @@ val run :
   requests:request list ->
   ?gap:(int -> bool) ->
   ?max_cycles:int ->
+  ?on_cycle:(Dfv_rtl.Sim.t -> int -> unit) ->
   unit ->
   completion list * int
 (** Run until every request has completed (or [max_cycles], default
     [64 * n + 256], after which {!Engine_error} is raised listing the
     missing tags).  [gap cycle] inserts issue-side idle cycles (request
-    throttling).  Returns the completions in observation order and the
-    total cycles consumed. *)
+    throttling).  [on_cycle sim cycle] is called after every simulated
+    cycle with the engine's internal simulator — an observation hook for
+    waveform capture (e.g. a windowed {!Dfv_rtl.Vcd} dump around a
+    failure); it must not drive the simulator.  Returns the completions
+    in observation order and the total cycles consumed. *)

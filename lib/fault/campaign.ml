@@ -88,6 +88,10 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
     @ extra_mutants
   in
   let run_one m =
+    Dfv_obs.Trace.with_span ~cat:"fault"
+      ~args:[ ("mutant", Dfv_obs.Json.String (mutant_name m)) ]
+      "fault.mutant"
+    @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let elapsed () = Unix.gettimeofday () -. t0 in
     let outcome =
@@ -176,7 +180,12 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
       verdict;
     }
   in
-  let results = List.map run_one mutants in
+  let results =
+    Dfv_obs.Trace.with_span ~cat:"fault"
+      ~args:[ ("subject", Dfv_obs.Json.String subject_name) ]
+      "fault.campaign"
+      (fun () -> List.map run_one mutants)
+  in
   let count p = List.length (List.filter p results) in
   {
     r_subject = subject_name;
@@ -236,52 +245,12 @@ let pp_report fmt r =
       Format.fprintf fmt "@.")
     r.r_results
 
-(* --- JSON (hand-rolled; no JSON dependency in this repository) --------- *)
+(* --- JSON -------------------------------------------------------------- *)
 
-let add_json_string buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun ch ->
-      match ch with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | ch when Char.code ch < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code ch))
-      | ch -> Buffer.add_char buf ch)
-    s;
-  Buffer.add_char buf '"'
-
-let add_field buf ~first name value =
-  if not !first then Buffer.add_char buf ',';
-  first := false;
-  add_json_string buf name;
-  Buffer.add_char buf ':';
-  value ()
+module Json = Dfv_obs.Json
 
 let json_of_reports ~min_rate reports =
-  let buf = Buffer.create 4096 in
-  let str s () = add_json_string buf s in
-  let num f () = Buffer.add_string buf (Printf.sprintf "%.6g" f) in
-  let int n () = Buffer.add_string buf (string_of_int n) in
-  let bool b () = Buffer.add_string buf (if b then "true" else "false") in
-  let obj fields () =
-    Buffer.add_char buf '{';
-    let first = ref true in
-    List.iter (fun (n, v) -> add_field buf ~first n v) fields;
-    Buffer.add_char buf '}'
-  in
-  let arr items () =
-    Buffer.add_char buf '[';
-    List.iteri
-      (fun i item ->
-        if i > 0 then Buffer.add_char buf ',';
-        item ())
-      items;
-    Buffer.add_char buf ']'
-  in
+  let str s = Json.String s in
   let mutant_json m =
     let base =
       [ ("name", str m.m_name);
@@ -292,39 +261,37 @@ let json_of_reports ~min_rate reports =
     let extra =
       match m.verdict with
       | Detected { engine; seconds; localized } ->
-        [ ("engine", str engine); ("seconds", num seconds) ]
+        [ ("engine", str engine); ("seconds", Json.Float seconds) ]
         @ (match localized with
-          | Some l -> [ ("localized", bool l) ]
+          | Some l -> [ ("localized", Json.Bool l) ]
           | None -> [])
       | Survived { seconds } | False_equivalent { seconds } ->
-        [ ("seconds", num seconds) ]
+        [ ("seconds", Json.Float seconds) ]
       | Unknown { reason; seconds } ->
-        [ ("reason", str reason); ("seconds", num seconds) ]
+        [ ("reason", str reason); ("seconds", Json.Float seconds) ]
       | Crashed e -> [ ("error", str (Dfv_error.to_string e)) ]
     in
-    obj (base @ extra)
+    Json.Obj (base @ extra)
   in
   let report_json r =
-    obj
+    Json.Obj
       [ ("name", str r.r_subject);
-        ("total", int r.r_total);
-        ("detected", int r.r_detected);
-        ("survived", int r.r_survived);
-        ("unknown", int r.r_unknown);
-        ("crashed", int r.r_crashed);
-        ("false_equivalent", int r.r_false_eq);
-        ("mislocalized", int r.r_mislocalized);
-        ("wall_seconds", num r.r_wall);
-        ("faults", arr (List.map mutant_json r.r_results)) ]
+        ("total", Json.Int r.r_total);
+        ("detected", Json.Int r.r_detected);
+        ("survived", Json.Int r.r_survived);
+        ("unknown", Json.Int r.r_unknown);
+        ("crashed", Json.Int r.r_crashed);
+        ("false_equivalent", Json.Int r.r_false_eq);
+        ("mislocalized", Json.Int r.r_mislocalized);
+        ("wall_seconds", Json.Float r.r_wall);
+        ("faults", Json.List (List.map mutant_json r.r_results)) ]
   in
   let rate = detection_rate reports in
   let false_eq = false_equivalents reports in
-  obj
-    [ ("suite", str "dfv-faultsim");
-      ("min_rate", num min_rate);
-      ("detection_rate", num rate);
-      ("false_equivalents", int false_eq);
-      ("pass", bool (rate >= min_rate && false_eq = 0));
-      ("subjects", arr (List.map report_json reports)) ]
-    ();
-  Buffer.contents buf
+  Json.to_string
+    (Json.envelope ~schema:"dfv-faultsim" ~version:1
+       [ ("min_rate", Json.Float min_rate);
+         ("detection_rate", Json.Float rate);
+         ("false_equivalents", Json.Int false_eq);
+         ("pass", Json.Bool (rate >= min_rate && false_eq = 0));
+         ("subjects", Json.List (List.map report_json reports)) ])

@@ -98,5 +98,5 @@ val pp_report : Format.formatter -> report -> unit
 
 val json_of_reports : min_rate:float -> report list -> string
 (** The machine-readable campaign report: overall rate and gate plus
-    per-subject, per-fault verdicts.  Plain hand-rolled JSON — the
-    repository deliberately has no JSON dependency. *)
+    per-subject, per-fault verdicts, rendered via {!Dfv_obs.Json} under
+    the common envelope [{"schema":"dfv-faultsim","version":1,...}]. *)

@@ -14,43 +14,138 @@ let chain_block = function
   | "chain.threshold" -> Image_chain.Threshold
   | n -> failwith ("not a chain block: " ^ n)
 
-(* The memsys harness: tagged requests through the transaction engine,
-   checked by an out-of-order scoreboard against the zero-delay SLM.
-   Returns true when the harness flags the (mutated) RTL — by data/tag
-   mismatch, by stray completions, or by the engine running out of
-   cycles with transactions still in flight. *)
+let memsys_requests () =
+  List.init 16 (fun i ->
+      if i < 4 then { Memsys.req_tag = i; op = Memsys.Write (i * 16, (i * 7) + 1) }
+      else { Memsys.req_tag = i; op = Memsys.Read ((i mod 8) * 16) })
+
+(* One pass of the memsys harness over a (possibly mutated) RTL: issue
+   the tagged requests through the transaction engine and score the
+   completions against the zero-delay SLM with an out-of-order
+   scoreboard. *)
+let memsys_run c requests rtl ?on_cycle () =
+  match
+    Txn_engine.run ~rtl ~iface:(Memsys.iface c ~ready:false)
+      ~requests:(Memsys.to_engine_requests c requests) ?on_cycle ()
+  with
+  | exception Txn_engine.Engine_error m -> Error m
+  | completions, cycles ->
+    let sb = Scoreboard.create Scoreboard.Out_of_order in
+    let slm = Memsys.Slm.create c in
+    List.iteri
+      (fun i (tag, data) ->
+        Scoreboard.expect sb
+          ~tag:(Bitvec.create ~width:c.Memsys.tag_width tag)
+          ~cycle:i
+          (Bitvec.create ~width:c.Memsys.data_width data))
+      (Memsys.Slm.execute_all slm requests);
+    List.iter
+      (fun (cp : Txn_engine.completion) ->
+        Scoreboard.observe sb ~tag:cp.Txn_engine.c_tag
+          ~cycle:cp.Txn_engine.c_cycle cp.Txn_engine.c_data)
+      completions;
+    Ok (Scoreboard.report sb, completions, cycles)
+
+(* The memsys harness as a campaign subject.  [check] returns true when
+   the harness flags the (mutated) RTL — by data/tag mismatch, by stray
+   completions, or by the engine running out of cycles with
+   transactions still in flight. *)
 let memsys_subject () =
   let c = Memsys.default_config in
-  let requests =
-    List.init 16 (fun i ->
-        if i < 4 then { Memsys.req_tag = i; op = Memsys.Write (i * 16, (i * 7) + 1) }
-        else { Memsys.req_tag = i; op = Memsys.Read ((i mod 8) * 16) })
-  in
+  let requests = memsys_requests () in
   let check rtl' =
-    match
-      Txn_engine.run ~rtl:rtl' ~iface:(Memsys.iface c ~ready:false)
-        ~requests:(Memsys.to_engine_requests c requests) ()
-    with
-    | exception Txn_engine.Engine_error _ -> true
-    | completions, _ ->
-      let sb = Scoreboard.create Scoreboard.Out_of_order in
-      let slm = Memsys.Slm.create c in
-      List.iteri
-        (fun i (tag, data) ->
-          Scoreboard.expect sb
-            ~tag:(Bitvec.create ~width:c.Memsys.tag_width tag)
-            ~cycle:i
-            (Bitvec.create ~width:c.Memsys.data_width data))
-        (Memsys.Slm.execute_all slm requests);
-      List.iter
-        (fun (cp : Txn_engine.completion) ->
-          Scoreboard.observe sb ~tag:cp.Txn_engine.c_tag
-            ~cycle:cp.Txn_engine.c_cycle cp.Txn_engine.c_data)
-        completions;
-      not (Scoreboard.ok (Scoreboard.report sb))
+    match memsys_run c requests rtl' () with
+    | Error _ -> true
+    | Ok (report, _, _) -> not (Scoreboard.ok report)
   in
   Campaign.Cosim
     { co_name = "memsys"; co_rtl = Memsys.rtl_simple c; co_check = check }
+
+(* Seed a fault into the memsys RTL, reproduce the resulting scoreboard
+   miscompare, and package the evidence as a triage bundle: the first
+   enumerated mutant the harness actually flags with a data mismatch is
+   run twice — once to locate the failure cycle, once more with a VCD
+   window dumped around it. *)
+let memsys_triage ?(seed = 0) ?(max_faults = 32) () =
+  let c = Memsys.default_config in
+  let requests = memsys_requests () in
+  let rtl = Memsys.rtl_simple c in
+  let iface = Memsys.iface c ~ready:false in
+  let rec first_miscompare = function
+    | [] -> None
+    | f :: rest -> (
+      let rtl' = f.Fault.rf_apply rtl in
+      match memsys_run c requests rtl' () with
+      | Ok (report, _, _) when report.Scoreboard.mismatches <> [] ->
+        Some (f, rtl', report)
+      | Ok _ | Error _ -> first_miscompare rest)
+  in
+  match first_miscompare (Fault.enumerate_rtl ~seed ~max_faults rtl) with
+  | None -> None
+  | Some (f, rtl', report) ->
+    let mm = List.hd report.Scoreboard.mismatches in
+    let window = (max 0 (mm.Scoreboard.at_cycle - 4), mm.Scoreboard.at_cycle + 4)
+    in
+    let buf = Buffer.create 1024 in
+    let vcd = ref None in
+    let on_cycle sim cycle =
+      let writer =
+        match !vcd with
+        | Some w -> w
+        | None ->
+          let w = Dfv_rtl.Vcd.create buf rtl' sim in
+          vcd := Some w;
+          w
+      in
+      let lo, hi = window in
+      if cycle >= lo && cycle <= hi then Dfv_rtl.Vcd.sample writer
+    in
+    ignore (memsys_run c requests rtl' ~on_cycle ());
+    let txn_index =
+      match mm.Scoreboard.tag with
+      | None -> None
+      | Some tag ->
+        let ti = Bitvec.to_int tag in
+        let rec index i = function
+          | [] -> None
+          | r :: _ when r.Memsys.req_tag = ti -> Some i
+          | _ :: rest -> index (i + 1) rest
+        in
+        index 0 requests
+    in
+    let stimulus =
+      List.mapi
+        (fun i r ->
+          ( Printf.sprintf "req%02d" i,
+            match r.Memsys.op with
+            | Memsys.Read a -> Printf.sprintf "tag=%d read addr=%d" r.Memsys.req_tag a
+            | Memsys.Write (a, d) ->
+              Printf.sprintf "tag=%d write addr=%d data=%d" r.Memsys.req_tag a d ))
+        requests
+    in
+    let failures =
+      List.map
+        (fun (m : Scoreboard.mismatch) ->
+          {
+            Dfv_obs.Triage.f_port = iface.Txn_engine.resp_data;
+            f_cycle = m.Scoreboard.at_cycle;
+            f_expected = Option.map Bitvec.to_string m.Scoreboard.expected;
+            f_got = Bitvec.to_string m.Scoreboard.observed;
+          })
+        report.Scoreboard.mismatches
+    in
+    Some
+      (Dfv_obs.Triage.make ~design:"memsys" ~kind:"scoreboard-miscompare"
+         ?txn_index ~stimulus ~failures ~vcd:(Buffer.contents buf)
+         ~vcd_window:window
+         ~notes:
+           [ Printf.sprintf "injected fault: %s (%s at %s)" f.Fault.rf_name
+               f.Fault.rf_class f.Fault.rf_site;
+             Printf.sprintf "%d matched, %d mismatches, %d unconsumed"
+               report.Scoreboard.matched
+               (List.length report.Scoreboard.mismatches)
+               report.Scoreboard.unconsumed ]
+         ())
 
 let subject name =
   match name with

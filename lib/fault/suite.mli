@@ -30,3 +30,14 @@ val gate : ?min_rate:float -> Campaign.report list -> float * int * bool
 (** [(detection_rate, false_equivalents, pass)] where [pass] requires
     rate >= min_rate (default {!default_min_rate}) and zero false
     equivalents. *)
+
+val memsys_triage :
+  ?seed:int -> ?max_faults:int -> unit -> Dfv_obs.Triage.t option
+(** Force a memsys scoreboard miscompare and triage it: inject the first
+    enumerated RTL fault (from [seed], scanning at most [max_faults],
+    default 32) that the transactor/scoreboard harness flags with a data
+    mismatch, then re-run the failing workload dumping a VCD window ±4
+    cycles around the first mismatch.  The bundle names the injected
+    fault, the failing transaction, the full request stimulus, and every
+    scoreboard mismatch.  [None] if no enumerated fault produces a
+    miscompare (the harness only sees engine timeouts). *)

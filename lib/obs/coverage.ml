@@ -1,0 +1,164 @@
+type kind = Count | Ignore_bin | Illegal
+
+type bin = { b_name : string; b_lo : int; b_hi : int; b_kind : kind }
+
+type point = {
+  pt_name : string;
+  pt_bins : bin array;
+  pt_hits : int array;
+  pt_at_least : int;
+  mutable pt_illegal : int;
+  mutable pt_misses : int;
+  mutable pt_samples : int;
+}
+
+type group = { grp_name : string; mutable grp_points : point list (* rev *) }
+
+let registry : (string, group) Hashtbl.t = Hashtbl.create 8
+let registry_order : group list ref = ref []
+
+let on = ref false
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let bin ?(kind = Count) name ~lo ~hi =
+  if hi < lo then invalid_arg "Coverage.bin: hi < lo";
+  { b_name = name; b_lo = lo; b_hi = hi; b_kind = kind }
+
+let group name =
+  match Hashtbl.find_opt registry name with
+  | Some g -> g
+  | None ->
+    let g = { grp_name = name; grp_points = [] } in
+    Hashtbl.add registry name g;
+    registry_order := g :: !registry_order;
+    g
+
+let point g name ?(at_least = 1) bins =
+  match List.find_opt (fun p -> p.pt_name = name) g.grp_points with
+  | Some p -> p
+  | None ->
+    if at_least < 1 then invalid_arg "Coverage.point: at_least must be >= 1";
+    let p =
+      {
+        pt_name = name;
+        pt_bins = Array.of_list bins;
+        pt_hits = Array.make (List.length bins) 0;
+        pt_at_least = at_least;
+        pt_illegal = 0;
+        pt_misses = 0;
+        pt_samples = 0;
+      }
+    in
+    g.grp_points <- p :: g.grp_points;
+    p
+
+let sample p v =
+  p.pt_samples <- p.pt_samples + 1;
+  let n = Array.length p.pt_bins in
+  let rec find i =
+    if i >= n then p.pt_misses <- p.pt_misses + 1
+    else begin
+      let b = p.pt_bins.(i) in
+      if v >= b.b_lo && v <= b.b_hi then begin
+        p.pt_hits.(i) <- p.pt_hits.(i) + 1;
+        match b.b_kind with
+        | Count | Ignore_bin -> ()
+        | Illegal ->
+          p.pt_illegal <- p.pt_illegal + 1;
+          Trace.instant ~cat:"coverage"
+            ~args:
+              [ ("point", Json.String p.pt_name);
+                ("bin", Json.String b.b_name);
+                ("value", Json.Int v) ]
+            "coverage.illegal"
+      end
+      else find (i + 1)
+    end
+  in
+  find 0
+
+let bin_hits p =
+  Array.to_list
+    (Array.mapi
+       (fun i b -> (b.b_name, b.b_kind, p.pt_hits.(i)))
+       p.pt_bins)
+
+let illegal_count p = p.pt_illegal
+let miss_count p = p.pt_misses
+let samples p = p.pt_samples
+
+let point_coverage p =
+  let total = ref 0 and covered = ref 0 in
+  Array.iteri
+    (fun i b ->
+      if b.b_kind = Count then begin
+        Stdlib.incr total;
+        if p.pt_hits.(i) >= p.pt_at_least then Stdlib.incr covered
+      end)
+    p.pt_bins;
+  if !total = 0 then 1.0 else float_of_int !covered /. float_of_int !total
+
+let group_coverage g =
+  match g.grp_points with
+  | [] -> 1.0
+  | ps ->
+    List.fold_left (fun acc p -> acc +. point_coverage p) 0.0 ps
+    /. float_of_int (List.length ps)
+
+let group_name g = g.grp_name
+let points g = List.rev g.grp_points
+let point_name p = p.pt_name
+let groups () = List.rev !registry_order
+
+let reset () =
+  Hashtbl.iter
+    (fun _ g ->
+      List.iter
+        (fun p ->
+          Array.fill p.pt_hits 0 (Array.length p.pt_hits) 0;
+          p.pt_illegal <- 0;
+          p.pt_misses <- 0;
+          p.pt_samples <- 0)
+        g.grp_points)
+    registry
+
+let clear () =
+  Hashtbl.reset registry;
+  registry_order := []
+
+let kind_string = function
+  | Count -> "count"
+  | Ignore_bin -> "ignore"
+  | Illegal -> "illegal"
+
+let point_json p =
+  Json.Obj
+    [ ("name", Json.String p.pt_name);
+      ("samples", Json.Int p.pt_samples);
+      ("coverage", Json.Float (point_coverage p));
+      ("illegal_hits", Json.Int p.pt_illegal);
+      ("misses", Json.Int p.pt_misses);
+      ( "bins",
+        Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i b ->
+                  Json.Obj
+                    [ ("name", Json.String b.b_name);
+                      ("kind", Json.String (kind_string b.b_kind));
+                      ("lo", Json.Int b.b_lo);
+                      ("hi", Json.Int b.b_hi);
+                      ("hits", Json.Int p.pt_hits.(i)) ])
+                p.pt_bins)) ) ]
+
+let group_json g =
+  Json.Obj
+    [ ("name", Json.String g.grp_name);
+      ("coverage", Json.Float (group_coverage g));
+      ("points", Json.List (List.map point_json (points g))) ]
+
+let snapshot () =
+  Json.envelope ~schema:"dfv-coverage" ~version:1
+    [ ("groups", Json.List (List.map group_json (groups ()))) ]

@@ -1,0 +1,67 @@
+(** Functional coverage, OSVVM style: named covergroups of coverpoints,
+    each coverpoint a list of value bins.
+
+    Bin semantics follow the industry convention (OSVVM / SystemVerilog
+    covergroups): the {e first} bin whose [lo..hi] range contains the
+    sampled value claims it.  [Count] bins accumulate hits and define
+    the coverage percentage; [Ignore_bin] bins swallow values that are
+    legal but uninteresting; [Illegal] bins record values that should
+    never occur — an illegal hit is reported separately and never
+    improves coverage.  Values matching no bin are counted as misses
+    (a modelling gap, not an error).
+
+    Covergroups register globally so the CLI can dump every design's
+    coverage in one report.  Construction is guarded by {!enabled}
+    at the instrumentation sites, making the layer free when off. *)
+
+type kind = Count | Ignore_bin | Illegal
+
+type bin
+type point
+type group
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val bin : ?kind:kind -> string -> lo:int -> hi:int -> bin
+(** A value bin over the inclusive range [lo..hi] ([kind] defaults to
+    [Count]). *)
+
+val group : string -> group
+(** Find-or-create a registered covergroup. *)
+
+val point : group -> string -> ?at_least:int -> bin list -> point
+(** Find-or-create a coverpoint ([at_least], default 1, is the hit
+    count a [Count] bin needs to count as covered).  Re-requesting an
+    existing point returns it unchanged. *)
+
+val sample : point -> int -> unit
+
+val bin_hits : point -> (string * kind * int) list
+val illegal_count : point -> int
+val miss_count : point -> int
+val samples : point -> int
+
+val point_coverage : point -> float
+(** Fraction (0..1) of [Count] bins with at least [at_least] hits. *)
+
+val group_coverage : group -> float
+(** Unweighted mean over the group's points (1.0 for an empty group). *)
+
+val group_name : group -> string
+val points : group -> point list
+val point_name : point -> string
+val groups : unit -> group list
+
+val reset : unit -> unit
+(** Zero all hit counts (groups and points survive). *)
+
+val clear : unit -> unit
+(** Drop every registered group (for tests). *)
+
+val group_json : group -> Json.t
+
+val snapshot : unit -> Json.t
+(** All groups under the common envelope
+    [{"schema":"dfv-coverage","version":1,...}]. *)

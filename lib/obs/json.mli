@@ -1,0 +1,28 @@
+(** Escape-correct JSON emission.
+
+    Every machine-readable artifact this repository produces — fault
+    campaign reports, traces, metrics, coverage, triage bundles — goes
+    through this one printer, so escaping is right exactly once.  There
+    is deliberately no parser: the repository only {e writes} JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** non-finite values are emitted as [null] *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the JSON string literal (including the quotes) for [s]. *)
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val envelope : schema:string -> version:int -> (string * t) list -> t
+(** The common envelope every dfv JSON artifact agrees on:
+    [{"schema": schema, "version": version, ...fields}]. *)
+
+val write_file : string -> t -> unit
+(** Write the value (newline-terminated) to [path]. *)

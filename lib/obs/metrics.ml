@@ -1,0 +1,135 @@
+type counter = { c_name : string; mutable c : int }
+type gauge = { g_name : string; mutable g : int; mutable g_max : int }
+
+let nbuckets = 63
+
+type histogram = {
+  h_name : string;
+  buckets : int array; (* length nbuckets *)
+  mutable h_count : int;
+  mutable h_sum : int;
+}
+
+(* Registries keep insertion order so snapshots are stable. *)
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let order : [ `C of counter | `G of gauge | `H of histogram ] list ref = ref []
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c = 0 } in
+    Hashtbl.add counters name c;
+    order := `C c :: !order;
+    c
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+
+let gauge name =
+  match Hashtbl.find_opt gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g = 0; g_max = 0 } in
+    Hashtbl.add gauges name g;
+    order := `G g :: !order;
+    g
+
+let set_gauge g v =
+  g.g <- v;
+  if v > g.g_max then g.g_max <- v
+
+let gauge_value g = g.g
+let gauge_max g = g.g_max
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0 }
+    in
+    Hashtbl.add histograms name h;
+    order := `H h :: !order;
+    h
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 1 and x = ref v in
+    while !x > 1 do
+      x := !x lsr 1;
+      b := !b + 1
+    done;
+    min !b (nbuckets - 1)
+  end
+
+let bucket_bounds i =
+  if i < 0 || i >= nbuckets then invalid_arg "Metrics.bucket_bounds";
+  if i = 0 then (min_int, 0)
+  else if i = nbuckets - 1 then (1 lsl (i - 1), max_int)
+  else (1 lsl (i - 1), (1 lsl i) - 1)
+
+let observe h v =
+  let b = h.buckets in
+  let i = bucket_of v in
+  b.(i) <- b.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + v
+
+let bucket_counts h = Array.copy h.buckets
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
+  Hashtbl.iter
+    (fun _ g ->
+      g.g <- 0;
+      g.g_max <- 0)
+    gauges;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 nbuckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0)
+    histograms
+
+let snapshot () =
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  List.iter
+    (function
+      | `C c -> cs := (c.c_name, Json.Int c.c) :: !cs
+      | `G g ->
+        gs :=
+          ( g.g_name,
+            Json.Obj [ ("value", Json.Int g.g); ("max", Json.Int g.g_max) ] )
+          :: !gs
+      | `H h ->
+        let buckets = ref [] in
+        for i = nbuckets - 1 downto 0 do
+          if h.buckets.(i) > 0 then begin
+            let lo, hi = bucket_bounds i in
+            buckets :=
+              Json.Obj
+                [ ("lo", Json.Int lo);
+                  ("hi", Json.Int hi);
+                  ("count", Json.Int h.buckets.(i)) ]
+              :: !buckets
+          end
+        done;
+        hs :=
+          ( h.h_name,
+            Json.Obj
+              [ ("count", Json.Int h.h_count);
+                ("sum", Json.Int h.h_sum);
+                ("buckets", Json.List !buckets) ] )
+          :: !hs)
+    !order;
+  Json.envelope ~schema:"dfv-metrics" ~version:1
+    [ ("counters", Json.Obj !cs);
+      ("gauges", Json.Obj !gs);
+      ("histograms", Json.Obj !hs) ]

@@ -1,0 +1,51 @@
+(** Process-wide metrics registry: named counters, gauges and
+    log2-bucketed histograms.
+
+    Handles are looked up (or created) by name once, at module init or
+    construction time; the hot-path operations ({!incr}, {!add},
+    {!set_gauge}, {!observe}) touch only the handle's own mutable
+    fields — no table lookup, no allocation — so instrumented inner
+    loops pay an integer store.  Counters accumulate for the life of
+    the process; {!reset} zeroes values but keeps registrations, so
+    benchmarks can diff windows. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : string -> counter
+(** Find-or-create; the same name always yields the same handle. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> int -> unit
+(** Also tracks the high-water mark, reported alongside the value. *)
+
+val gauge_value : gauge -> int
+val gauge_max : gauge -> int
+
+val histogram : string -> histogram
+
+val observe : histogram -> int -> unit
+(** Bucket a sample: values [<= 0] land in bucket 0, a value [v >= 1]
+    in bucket [floor(log2 v) + 1] — so bucket [i >= 1] spans
+    [[2^(i-1), 2^i - 1]]. *)
+
+val bucket_of : int -> int
+val bucket_bounds : int -> int * int
+(** Inclusive [lo, hi] of a bucket index (bucket 0 is [(min_int, 0)]). *)
+
+val bucket_counts : histogram -> int array
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val reset : unit -> unit
+(** Zero every registered value (registrations survive). *)
+
+val snapshot : unit -> Json.t
+(** All registered metrics under the common envelope
+    [{"schema":"dfv-metrics","version":1,...}]; histogram buckets are
+    listed sparsely as [{"lo","hi","count"}]. *)

@@ -1,0 +1,196 @@
+type ev = {
+  ev_name : string;
+  ev_cat : string;
+  ev_ph : char; (* 'X' complete span, 'i' instant *)
+  ev_ts : float; (* microseconds since sink install *)
+  ev_dur : float; (* microseconds; 0 for instants *)
+  ev_depth : int;
+  ev_args : (string * Json.t) list;
+}
+
+let dummy_ev =
+  { ev_name = ""; ev_cat = ""; ev_ph = 'X'; ev_ts = 0.0; ev_dur = 0.0;
+    ev_depth = 0; ev_args = [] }
+
+type sink = {
+  ring : ev array;
+  mutable pushed : int; (* total events ever pushed *)
+  mutable depth : int;
+  mutable max_depth : int;
+  t0 : float; (* gettimeofday at install *)
+  mutable last : float; (* monotonization high-water mark, us *)
+}
+
+let current : sink option ref = ref None
+
+(* Wall clock, monotonized: the reported time never decreases within a
+   sink's lifetime even if the system clock steps backwards, so
+   [dur >= 0] and parent spans always enclose their children. *)
+let now_us s =
+  let t = (Unix.gettimeofday () -. s.t0) *. 1e6 in
+  let t = if t > s.last then t else s.last in
+  s.last <- t;
+  t
+
+let enable ?(capacity = 65536) () =
+  if capacity < 1 then invalid_arg "Trace.enable: capacity must be >= 1";
+  current :=
+    Some
+      {
+        ring = Array.make capacity dummy_ev;
+        pushed = 0;
+        depth = 0;
+        max_depth = 0;
+        t0 = Unix.gettimeofday ();
+        last = 0.0;
+      }
+
+let disable () = current := None
+let enabled () = !current <> None
+
+let push s e =
+  s.ring.(s.pushed mod Array.length s.ring) <- e;
+  s.pushed <- s.pushed + 1
+
+type span =
+  | Null_span
+  | Span of {
+      sp_sink : sink;
+      sp_name : string;
+      sp_cat : string;
+      sp_args : (string * Json.t) list;
+      sp_t0 : float;
+      sp_depth : int;
+      mutable sp_closed : bool;
+    }
+
+let null_span = Null_span
+
+let begin_span ?(cat = "dfv") ?(args = []) name =
+  match !current with
+  | None -> Null_span
+  | Some s ->
+    let d = s.depth in
+    s.depth <- d + 1;
+    if s.depth > s.max_depth then s.max_depth <- s.depth;
+    Span
+      {
+        sp_sink = s;
+        sp_name = name;
+        sp_cat = cat;
+        sp_args = args;
+        sp_t0 = now_us s;
+        sp_depth = d;
+        sp_closed = false;
+      }
+
+let end_span span =
+  match span with
+  | Null_span -> ()
+  | Span sp ->
+    if not sp.sp_closed then begin
+      sp.sp_closed <- true;
+      let s = sp.sp_sink in
+      (* Only record into the sink the span was begun under: a span that
+         straddles a disable/enable would otherwise write nonsense
+         timestamps into the new sink. *)
+      if (match !current with Some c -> c == s | None -> false) then begin
+        s.depth <- max 0 (s.depth - 1);
+        push s
+          {
+            ev_name = sp.sp_name;
+            ev_cat = sp.sp_cat;
+            ev_ph = 'X';
+            ev_ts = sp.sp_t0;
+            ev_dur = now_us s -. sp.sp_t0;
+            ev_depth = sp.sp_depth;
+            ev_args = sp.sp_args;
+          }
+      end
+    end
+
+let with_span ?cat ?args name f =
+  match !current with
+  | None -> f ()
+  | Some _ ->
+    let sp = begin_span ?cat ?args name in
+    Fun.protect ~finally:(fun () -> end_span sp) f
+
+let instant ?(cat = "dfv") ?(args = []) name =
+  match !current with
+  | None -> ()
+  | Some s ->
+    push s
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_ph = 'i';
+        ev_ts = now_us s;
+        ev_dur = 0.0;
+        ev_depth = s.depth;
+        ev_args = args;
+      }
+
+let depth () = match !current with Some s -> s.depth | None -> 0
+let max_depth () = match !current with Some s -> s.max_depth | None -> 0
+
+let stored s = min s.pushed (Array.length s.ring)
+
+(* Oldest-first chronological order.  Complete events are pushed when the
+   span *ends*, so the raw ring is end-ordered; sort by start time the
+   way trace viewers expect. *)
+let ordered s =
+  let n = stored s in
+  let cap = Array.length s.ring in
+  let start = s.pushed - n in
+  let evs = Array.init n (fun i -> s.ring.((start + i) mod cap)) in
+  let a = Array.mapi (fun i e -> (e.ev_ts, i, e)) evs in
+  Array.sort compare a;
+  Array.to_list (Array.map (fun (_, _, e) -> e) a)
+
+let events () =
+  match !current with
+  | None -> []
+  | Some s ->
+    List.map (fun e -> (e.ev_name, e.ev_ts, e.ev_dur, e.ev_depth)) (ordered s)
+
+let json_of_ev e =
+  let base =
+    [ ("name", Json.String e.ev_name);
+      ("cat", Json.String e.ev_cat);
+      ("ph", Json.String (String.make 1 e.ev_ph));
+      ("ts", Json.Float e.ev_ts);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1) ]
+  in
+  let dur = if e.ev_ph = 'X' then [ ("dur", Json.Float e.ev_dur) ] else [] in
+  let scope = if e.ev_ph = 'i' then [ ("s", Json.String "t") ] else [] in
+  let args =
+    match e.ev_args with
+    | [] -> []
+    | args -> [ ("args", Json.Obj args) ]
+  in
+  Json.Obj (base @ dur @ scope @ args)
+
+let recent_json ?(limit = 32) () =
+  match !current with
+  | None -> Json.List []
+  | Some s ->
+    let evs = ordered s in
+    let n = List.length evs in
+    let evs = List.filteri (fun i _ -> i >= n - limit) evs in
+    Json.List (List.map json_of_ev evs)
+
+let to_json () =
+  match !current with
+  | None ->
+    Json.envelope ~schema:"dfv-trace" ~version:1
+      [ ("traceEvents", Json.List []); ("dropped", Json.Int 0) ]
+  | Some s ->
+    Json.envelope ~schema:"dfv-trace" ~version:1
+      [ ("displayTimeUnit", Json.String "ms");
+        ("traceEvents", Json.List (List.map json_of_ev (ordered s)));
+        ("dropped", Json.Int (s.pushed - stored s));
+        ("maxDepth", Json.Int s.max_depth) ]
+
+let write_file path = Json.write_file path (to_json ())

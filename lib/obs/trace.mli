@@ -1,0 +1,61 @@
+(** Span tracer: nestable, monotonic-clock-timed spans with typed
+    attributes, collected into a bounded ring buffer and emitted as
+    Chrome [trace_event] JSON (load the file in [chrome://tracing] or
+    Perfetto).
+
+    The tracer is a process-wide sink.  When no sink is installed —
+    the default — every entry point is a cheap no-op: [begin_span]
+    returns a shared null span after one reference comparison, so
+    instrumented hot paths cost a branch.  Timestamps come from a
+    monotonized wall clock (never decreasing within a sink's life), so
+    span durations are always non-negative and nesting is reconstructible
+    from [ts]/[dur] alone, which is exactly how Chrome renders it. *)
+
+type span
+
+val null_span : span
+
+val enable : ?capacity:int -> unit -> unit
+(** Install a fresh sink with room for [capacity] (default 65536)
+    events; older events are overwritten ring-buffer style and counted
+    as dropped. *)
+
+val disable : unit -> unit
+(** Remove the sink (recorded events are discarded). *)
+
+val enabled : unit -> bool
+
+val begin_span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> span
+
+val end_span : span -> unit
+(** Close the span and record it as one complete ("ph":"X") event.
+    Closing [null_span] (or any span begun while disabled) is a no-op. *)
+
+val with_span :
+  ?cat:string -> ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span is closed even on exceptions. *)
+
+val instant : ?cat:string -> ?args:(string * Json.t) list -> string -> unit
+(** Record a zero-duration ("ph":"i") event. *)
+
+val depth : unit -> int
+(** Current span nesting depth (0 when disabled or outside any span). *)
+
+val max_depth : unit -> int
+(** Deepest nesting observed since the sink was installed. *)
+
+val events : unit -> (string * float * float * int) list
+(** Recorded events, oldest first, as [(name, ts_us, dur_us, depth)] —
+    the typed view the tests inspect. *)
+
+val recent_json : ?limit:int -> unit -> Json.t
+(** The last [limit] (default 32) events as a JSON list — the span
+    snapshot embedded in triage bundles. *)
+
+val to_json : unit -> Json.t
+(** The whole buffer under the common envelope:
+    [{"schema":"dfv-trace","version":1,"traceEvents":[...],...}].
+    Chrome's JSON object format ignores the extra keys. *)
+
+val write_file : string -> unit

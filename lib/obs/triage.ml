@@ -1,0 +1,92 @@
+type failure = {
+  f_port : string;
+  f_cycle : int;
+  f_expected : string option;
+  f_got : string;
+}
+
+type t = {
+  design : string;
+  kind : string;
+  txn_index : int option;
+  stimulus : (string * string) list;
+  failures : failure list;
+  vcd : string option;
+  vcd_window : (int * int) option;
+  notes : string list;
+  metrics : Json.t;
+  events : Json.t;
+  coverage : Json.t;
+}
+
+let make ~design ~kind ?txn_index ?(stimulus = []) ?(failures = []) ?vcd
+    ?vcd_window ?(notes = []) () =
+  {
+    design;
+    kind;
+    txn_index;
+    stimulus;
+    failures;
+    vcd;
+    vcd_window;
+    notes;
+    metrics = Metrics.snapshot ();
+    events = Trace.recent_json ();
+    coverage = Coverage.snapshot ();
+  }
+
+let design t = t.design
+let kind t = t.kind
+let txn_index t = t.txn_index
+let failures t = t.failures
+let vcd t = t.vcd
+
+let json_of_failure f =
+  Json.Obj
+    [ ("port", Json.String f.f_port);
+      ("cycle", Json.Int f.f_cycle);
+      ( "expected",
+        match f.f_expected with None -> Json.Null | Some e -> Json.String e );
+      ("got", Json.String f.f_got) ]
+
+let opt_int = function None -> Json.Null | Some i -> Json.Int i
+
+let to_json t =
+  Json.envelope ~schema:"dfv-triage" ~version:1
+    [ ("design", Json.String t.design);
+      ("kind", Json.String t.kind);
+      ("txn_index", opt_int t.txn_index);
+      ( "stimulus",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) t.stimulus) );
+      ("failures", Json.List (List.map json_of_failure t.failures));
+      ( "vcd",
+        match t.vcd with None -> Json.Null | Some v -> Json.String v );
+      ( "vcd_window",
+        match t.vcd_window with
+        | None -> Json.Null
+        | Some (lo, hi) -> Json.List [ Json.Int lo; Json.Int hi ] );
+      ("notes", Json.List (List.map (fun n -> Json.String n) t.notes));
+      ("metrics", t.metrics);
+      ("recent_events", t.events);
+      ("coverage", t.coverage) ]
+
+let write_file path t = Json.write_file path (to_json t)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>triage: %s (%s)@," t.design t.kind;
+  (match t.txn_index with
+  | Some i -> Format.fprintf fmt "  transaction: #%d@," i
+  | None -> ());
+  (match t.vcd_window with
+  | Some (lo, hi) -> Format.fprintf fmt "  vcd window: cycles %d..%d@," lo hi
+  | None -> ());
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "  %s @@ cycle %d: got %s%s@," f.f_port f.f_cycle
+        f.f_got
+        (match f.f_expected with
+        | Some e -> Printf.sprintf " (expected %s)" e
+        | None -> " (unexpected)"))
+    t.failures;
+  List.iter (fun n -> Format.fprintf fmt "  note: %s@," n) t.notes;
+  Format.fprintf fmt "@]"

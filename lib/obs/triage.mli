@@ -1,0 +1,48 @@
+(** Mismatch triage bundles.
+
+    When a SEC counterexample or a cosim scoreboard miscompare is found,
+    the interesting evidence is scattered: which transaction failed, what
+    stimulus provoked it, what the waves looked like around the failure
+    cycle, and what the solver/kernel counters were doing at the time.
+    A triage bundle gathers all of it into one JSON document
+    ([{"schema":"dfv-triage","version":1,...}]) so a failure can be
+    diagnosed from the report alone.
+
+    The VCD slice is carried as an opaque string so this module stays
+    free of RTL dependencies — callers render the window themselves. *)
+
+type failure = {
+  f_port : string;
+  f_cycle : int;
+  f_expected : string option;  (** [None] for unexpected/extra outputs. *)
+  f_got : string;
+}
+
+type t
+
+val make :
+  design:string ->
+  kind:string ->
+  ?txn_index:int ->
+  ?stimulus:(string * string) list ->
+  ?failures:failure list ->
+  ?vcd:string ->
+  ?vcd_window:int * int ->
+  ?notes:string list ->
+  unit ->
+  t
+(** Build a bundle.  [kind] names the failure class (e.g.
+    ["sec-counterexample"], ["scoreboard-miscompare"]).  The metrics
+    snapshot, recent trace events and coverage report are captured
+    automatically at call time. *)
+
+val design : t -> string
+val kind : t -> string
+val txn_index : t -> int option
+val failures : t -> failure list
+val vcd : t -> string option
+
+val to_json : t -> Json.t
+val write_file : string -> t -> unit
+val pp : Format.formatter -> t -> unit
+(** Human-oriented summary (no VCD body, no raw metrics). *)

@@ -6,7 +6,11 @@ type t = {
   values : (string, Bitvec.t) Hashtbl.t; (* inputs, wires, regs *)
   mems : (string, Bitvec.t array) Hashtbl.t;
   mutable ncycles : int;
+  evals_per_cycle : int; (* wire + output + register evaluations *)
 }
+
+let m_cycles = Dfv_obs.Metrics.counter "rtl.sim.cycles"
+let m_evals = Dfv_obs.Metrics.counter "rtl.sim.evals"
 
 let mem_initial mem =
   match mem.mem_init with
@@ -25,7 +29,16 @@ let reset sim =
 
 let create design =
   let sim =
-    { design; values = Hashtbl.create 64; mems = Hashtbl.create 8; ncycles = 0 }
+    {
+      design;
+      values = Hashtbl.create 64;
+      mems = Hashtbl.create 8;
+      ncycles = 0;
+      evals_per_cycle =
+        List.length design.e_wires
+        + List.length design.e_outputs
+        + List.length design.e_regs;
+    }
   in
   reset sim;
   sim
@@ -163,6 +176,8 @@ let cycle sim inputs =
   in
   clock_edge sim;
   sim.ncycles <- sim.ncycles + 1;
+  Dfv_obs.Metrics.incr m_cycles;
+  Dfv_obs.Metrics.add m_evals sim.evals_per_cycle;
   outputs
 
 let peek sim name =

@@ -5,7 +5,6 @@ type t = {
   sim : Sim.t;
   signals : (string * string * int) list; (* name, vcd id, width *)
   last : (string, Bitvec.t) Hashtbl.t;
-  mutable time : int;
 }
 
 (* VCD identifier codes: printable ASCII 33..126, shortest-first. *)
@@ -35,14 +34,18 @@ let create buf design sim =
       Buffer.add_string buf (Printf.sprintf "$var wire %d %s %s $end\n" w id n))
     signals;
   Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
-  { buf; sim; signals; last = Hashtbl.create 64; time = 0 }
+  { buf; sim; signals; last = Hashtbl.create 64 }
 
 let binary_digits bv =
   let w = Bitvec.width bv in
   String.init w (fun i -> if Bitvec.get bv (w - 1 - i) then '1' else '0')
 
 let sample t =
-  Buffer.add_string t.buf (Printf.sprintf "#%d\n" t.time);
+  (* Timestamp follows the documented [cycles_run - 1] convention.  A
+     sample taken before the first cycle would land at -1, which is not
+     a legal VCD time: clamp it to 0. *)
+  let time = max 0 (Sim.cycles_run t.sim - 1) in
+  Buffer.add_string t.buf (Printf.sprintf "#%d\n" time);
   List.iter
     (fun (n, id, w) ->
       match Sim.peek t.sim n with
@@ -64,8 +67,7 @@ let sample t =
       | exception (Not_found | Invalid_argument _) ->
         (* Signal not yet settled (e.g. before the first cycle). *)
         ())
-    t.signals;
-  t.time <- t.time + 1
+    t.signals
 
 let to_file path design sim =
   let buf = Buffer.create 4096 in

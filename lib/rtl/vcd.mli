@@ -7,7 +7,11 @@
     Sampling model: {!sample} must be called immediately after
     {!Sim.cycle}; it records the combinational values the cycle settled
     to and the register values *after* that cycle's clock edge, at
-    timestamp [cycles_run - 1]. *)
+    timestamp [cycles_run - 1].  The timestamp is read from the
+    simulator itself, so cycles may be run without sampling and samples
+    resumed later — the timeline stays aligned with the cycle count
+    (useful for dumping only a window around a failure).  A sample taken
+    before the first cycle is clamped to timestamp 0. *)
 
 type t
 

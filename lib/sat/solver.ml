@@ -482,7 +482,10 @@ let reduce_learnts s =
       let c = Vec.get s.learnts i in
       Vec.push s.watches.(c.(0)) c;
       Vec.push s.watches.(c.(1)) c
-    done
+    done;
+    Dfv_obs.Trace.instant ~cat:"sat"
+      ~args:[ ("removed", Dfv_obs.Json.Int removed) ]
+      "sat.reduce_learnts"
   end
 
 (* --- search --------------------------------------------------------- *)
@@ -644,11 +647,40 @@ let add_clause s lits =
 
 let solve_raw = solve
 
+(* --- observability --------------------------------------------------- *)
+
+let m_solves = Dfv_obs.Metrics.counter "sat.solves"
+let m_conflicts = Dfv_obs.Metrics.counter "sat.conflicts"
+let m_decisions = Dfv_obs.Metrics.counter "sat.decisions"
+let m_propagations = Dfv_obs.Metrics.counter "sat.propagations"
+let m_learnts_removed = Dfv_obs.Metrics.counter "sat.learnts_removed"
+let m_solve_us = Dfv_obs.Metrics.histogram "sat.solve_us"
+
+(* Publish one batch of counter deltas per solve call instead of touching
+   the registry from the search loops: the hot path keeps its local
+   stat fields and observability costs a handful of subtractions per
+   solve. *)
+let observed s f =
+  let c0 = s.conflicts and d0 = s.decisions in
+  let p0 = s.propagations and l0 = s.learnts_removed in
+  let t0 = Unix.gettimeofday () in
+  let finally () =
+    Dfv_obs.Metrics.incr m_solves;
+    Dfv_obs.Metrics.add m_conflicts (s.conflicts - c0);
+    Dfv_obs.Metrics.add m_decisions (s.decisions - d0);
+    Dfv_obs.Metrics.add m_propagations (s.propagations - p0);
+    Dfv_obs.Metrics.add m_learnts_removed (s.learnts_removed - l0);
+    Dfv_obs.Metrics.observe m_solve_us
+      (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+  in
+  Dfv_obs.Trace.with_span ~cat:"sat" "sat.solve" (fun () ->
+      Fun.protect ~finally f)
+
 let solve ?assumptions s =
   cancel_until s 0;
   s.conflict_budget <- -1;
   s.deadline <- infinity;
-  solve_raw ?assumptions s
+  observed s (fun () -> solve_raw ?assumptions s)
 
 type outcome = Sat | Unsat | Unknown of reason
 
@@ -670,7 +702,7 @@ let solve_budgeted ?assumptions ?(budget = no_budget) s : outcome =
     s.conflict_budget <- -1;
     s.deadline <- infinity
   in
-  match solve_raw ?assumptions s with
+  match observed s (fun () -> solve_raw ?assumptions s) with
   | r ->
     restore ();
     (match r with Sat -> Sat | Unsat -> Unsat)

@@ -570,3 +570,25 @@ let prove_rtl_rtl ?budget ~a ~b ~k () =
       (* Induction failed: only the bounded claim survives. *)
       Rtl_equivalent_to_bound (k, stats_of session t0)
     | Solver.Unknown r -> Rtl_unknown (r, stats_of session t0))
+
+(* --- observability ---------------------------------------------------- *)
+
+(* Span-wrapped shadows of the public entry points, so every checker call
+   shows up as one "sec.*" span enclosing its per-frame [Session.check]
+   spans. *)
+
+let check_slm_rtl ?sweep ?budget ?session ~slm ~rtl ~spec () =
+  Dfv_obs.Trace.with_span ~cat:"sec" "sec.check_slm_rtl" (fun () ->
+      check_slm_rtl ?sweep ?budget ?session ~slm ~rtl ~spec ())
+
+let check_slm_slm ?sweep ?budget ?session ~a ~b ?constraints () =
+  Dfv_obs.Trace.with_span ~cat:"sec" "sec.check_slm_slm" (fun () ->
+      check_slm_slm ?sweep ?budget ?session ~a ~b ?constraints ())
+
+let check_rtl_rtl ?budget ?session ~a ~b ~bound () =
+  Dfv_obs.Trace.with_span ~cat:"sec" "sec.check_rtl_rtl" (fun () ->
+      check_rtl_rtl ?budget ?session ~a ~b ~bound ())
+
+let prove_rtl_rtl ?budget ~a ~b ~k () =
+  Dfv_obs.Trace.with_span ~cat:"sec" "sec.prove_rtl_rtl" (fun () ->
+      prove_rtl_rtl ?budget ~a ~b ~k ())

@@ -119,19 +119,33 @@ let activation t = L.pos (Solver.new_var t.solver)
 let guard t act l = Solver.add_clause t.solver [ L.negate act; encode t l ]
 let retire t act = Solver.add_clause t.solver [ L.negate act ]
 
+let m_queries = Dfv_obs.Metrics.counter "sec.queries"
+let m_unknowns = Dfv_obs.Metrics.counter "sec.unknowns"
+let m_unroll_hits = Dfv_obs.Metrics.counter "sec.unroll_hits"
+let m_frame_us = Dfv_obs.Metrics.histogram "sec.frame_us"
+
 let check ?(assumptions = []) ?budget t l =
+  let sp = Dfv_obs.Trace.begin_span ~cat:"sec" "sec.frame" in
   let b = match budget with Some b -> b | None -> t.budget in
   let t0 = now () in
   let sl = encode t l in
   let outcome =
-    Solver.solve_budgeted ~assumptions:(assumptions @ [ sl ]) ~budget:b
-      t.solver
+    Fun.protect
+      ~finally:(fun () -> Dfv_obs.Trace.end_span sp)
+      (fun () ->
+        Solver.solve_budgeted ~assumptions:(assumptions @ [ sl ]) ~budget:b
+          t.solver)
   in
   t.queries <- t.queries + 1;
+  Dfv_obs.Metrics.incr m_queries;
   (match outcome with
-  | Solver.Unknown _ -> t.unknowns <- t.unknowns + 1
+  | Solver.Unknown _ ->
+    t.unknowns <- t.unknowns + 1;
+    Dfv_obs.Metrics.incr m_unknowns
   | Solver.Sat | Solver.Unsat -> ());
-  t.frame_seconds_rev <- (now () -. t0) :: t.frame_seconds_rev;
+  let dt = now () -. t0 in
+  Dfv_obs.Metrics.observe m_frame_us (int_of_float (dt *. 1e6));
+  t.frame_seconds_rev <- dt :: t.frame_seconds_rev;
   outcome
 
 let model_lit t l =
@@ -188,6 +202,7 @@ let unroll_from_reset t (design : Netlist.elaborated) ~cycles ~input_words =
   with
   | Some u ->
     t.unroll_hits <- t.unroll_hits + 1;
+    Dfv_obs.Metrics.incr m_unroll_hits;
     Array.sub u.u_outs 0 cycles
   | None ->
     (* No covering run; continue the longest cached prefix, if any. *)
@@ -207,6 +222,7 @@ let unroll_from_reset t (design : Netlist.elaborated) ~cycles ~input_words =
       match best with
       | Some u ->
         t.unroll_hits <- t.unroll_hits + 1;
+        Dfv_obs.Metrics.incr m_unroll_hits;
         (Array.length u.u_inputs, u.u_state, u.u_outs)
       | None -> (0, reset_state design, [||])
     in
@@ -241,6 +257,7 @@ let product t ~a ~b ~initial_a ~initial_b =
   with
   | Some p ->
     t.unroll_hits <- t.unroll_hits + 1;
+    Dfv_obs.Metrics.incr m_unroll_hits;
     p
   | None ->
     let p =

@@ -221,7 +221,22 @@ let recent_names k =
   done;
   !acc
 
+let m_deltas = Dfv_obs.Metrics.counter "slm.kernel.deltas"
+let m_activations = Dfv_obs.Metrics.counter "slm.kernel.activations"
+let m_trips = Dfv_obs.Metrics.counter "slm.kernel.watchdog_trips"
+
 let trip k kind procs =
+  Dfv_obs.Metrics.incr m_trips;
+  Dfv_obs.Trace.instant ~cat:"slm"
+    ~args:
+      [ ( "kind",
+          Dfv_obs.Json.String
+            (match kind with
+            | Delta_limit -> "delta-limit"
+            | Activation_limit -> "activation-limit"
+            | Starvation -> "starvation") );
+        ("time", Dfv_obs.Json.Int k.time) ]
+    "slm.watchdog_trip";
   raise
     (Watchdog_trip
        {
@@ -236,6 +251,7 @@ let eval_phase k =
   while not (Queue.is_empty k.runnable) do
     let name, fn = Queue.pop k.runnable in
     k.activations <- k.activations + 1;
+    Dfv_obs.Metrics.incr m_activations;
     k.recent.(k.recent_n mod Array.length k.recent) <- name;
     k.recent_n <- k.recent_n + 1;
     (match k.wd_max_activations with
@@ -262,6 +278,7 @@ let run_deltas k =
   let continue_ = ref true in
   while !continue_ do
     k.deltas <- k.deltas + 1;
+    Dfv_obs.Metrics.incr m_deltas;
     (match k.wd_max_deltas with
     | Some lim when k.deltas > lim -> trip k Delta_limit (recent_names k)
     | _ -> ());
@@ -280,6 +297,7 @@ let blocked_threads k =
   |> List.sort compare
 
 let run ?watchdog:wd ?until k =
+  Dfv_obs.Trace.with_span ~cat:"slm" "slm.run" @@ fun () ->
   (match wd with
   | Some w ->
     k.wd_max_deltas <- Option.map (fun n -> k.deltas + n) w.max_deltas;

@@ -151,7 +151,8 @@ let test_json_report () =
     let rec go i = i + n <= h && (String.sub json i n = sub || go (i + 1)) in
     go 0
   in
-  check_bool "suite field" true (contains "\"suite\":\"dfv-faultsim\"");
+  check_bool "schema field" true (contains "\"schema\":\"dfv-faultsim\"");
+  check_bool "version field" true (contains "\"version\":1");
   check_bool "pass field" true (contains "\"pass\":true");
   check_bool "subject listed" true (contains "\"name\":\"alu\"");
   check_bool "verdicts serialized" true (contains "\"verdict\":\"detected\"")

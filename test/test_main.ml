@@ -18,5 +18,6 @@ let () =
       ("designs", Test_designs.suite);
       ("core", Test_core.suite);
       ("fault", Test_fault.suite);
+      ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("behsyn", Test_behsyn.suite) ]

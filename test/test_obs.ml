@@ -1,0 +1,268 @@
+(* Tests for the observability layer: JSON emission, span tracer,
+   metrics histograms, functional coverage, and triage bundles. *)
+
+open Dfv_obs
+
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_string = Alcotest.check Alcotest.string
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Json ------------------------------------------------------------- *)
+
+let test_json_escaping () =
+  check_string "quotes/backslash/control chars escaped"
+    "\"a\\\"b\\\\c\\nd\\te\\u0001f\""
+    (Json.to_string (Json.String "a\"b\\c\nd\te\x01f"));
+  check_string "non-finite floats are null" "[null,null]"
+    (Json.to_string (Json.List [ Json.Float nan; Json.Float infinity ]));
+  check_string "scalars" "{\"a\":1,\"b\":true,\"c\":null}"
+    (Json.to_string
+       (Json.Obj [ ("a", Json.Int 1); ("b", Json.Bool true); ("c", Json.Null) ]))
+
+let test_json_envelope () =
+  check_string "envelope leads with schema and version"
+    "{\"schema\":\"dfv-test\",\"version\":3,\"x\":7}"
+    (Json.to_string
+       (Json.envelope ~schema:"dfv-test" ~version:3 [ ("x", Json.Int 7) ]))
+
+(* --- Trace ------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  Trace.enable ~capacity:64 ();
+  check_int "depth outside any span" 0 (Trace.depth ());
+  Trace.with_span "outer" (fun () ->
+      check_int "depth inside outer" 1 (Trace.depth ());
+      Trace.with_span "inner" (fun () ->
+          check_int "depth inside inner" 2 (Trace.depth ()));
+      Trace.instant "mark");
+  check_int "depth unwound" 0 (Trace.depth ());
+  check_int "max depth observed" 2 (Trace.max_depth ());
+  match Trace.events () with
+  | [ ("outer", o_ts, o_dur, 0); ("inner", i_ts, i_dur, 1);
+      ("mark", m_ts, m_dur, 1) ] ->
+    check_bool "durations non-negative" true (o_dur >= 0.0 && i_dur >= 0.0);
+    check_bool "instant has no duration" true (m_dur = 0.0);
+    (* The monotonized clock makes nesting reconstructible from ts/dur:
+       the parent's interval encloses the child's. *)
+    check_bool "child starts after parent" true (i_ts >= o_ts);
+    check_bool "child ends before parent" true
+      (i_ts +. i_dur <= o_ts +. o_dur);
+    check_bool "instant inside parent" true
+      (m_ts >= o_ts && m_ts <= o_ts +. o_dur)
+  | evs -> Alcotest.failf "unexpected event list (%d events)" (List.length evs)
+
+let test_span_disabled_is_noop () =
+  Trace.disable ();
+  (* No sink: spans are null, thunks still run, nothing is recorded. *)
+  let ran = ref false in
+  Trace.with_span "ghost" (fun () -> ran := true);
+  Trace.instant "ghost-instant";
+  check_bool "thunk ran" true !ran;
+  check_int "nothing recorded" 0 (List.length (Trace.events ()));
+  check_bool "begin_span yields the shared null span" true
+    (Trace.begin_span "x" == Trace.null_span)
+
+let test_span_ring_overflow () =
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  Trace.enable ~capacity:2 ();
+  Trace.instant "a";
+  Trace.instant "b";
+  Trace.instant "c";
+  (match Trace.events () with
+  | [ ("b", _, _, _); ("c", _, _, _) ] -> ()
+  | evs -> Alcotest.failf "ring kept %d events" (List.length evs));
+  check_bool "dropped count reported" true
+    (contains ~needle:"\"dropped\":1" (Json.to_string (Trace.to_json ())))
+
+let test_trace_json_envelope () =
+  Fun.protect ~finally:Trace.disable @@ fun () ->
+  Trace.enable ();
+  Trace.with_span ~cat:"test" "span" (fun () -> ());
+  let s = Json.to_string (Trace.to_json ()) in
+  check_bool "schema" true (contains ~needle:"\"schema\":\"dfv-trace\"" s);
+  check_bool "version" true (contains ~needle:"\"version\":1" s);
+  check_bool "complete event" true (contains ~needle:"\"ph\":\"X\"" s);
+  check_bool "maxDepth" true (contains ~needle:"\"maxDepth\":1" s)
+
+(* --- Metrics ---------------------------------------------------------- *)
+
+let test_histogram_buckets () =
+  (* Bucket 0 catches <= 0; v >= 1 lands in floor(log2 v) + 1, so bucket
+     i >= 1 spans [2^(i-1), 2^i - 1].  Probe every boundary. *)
+  List.iter
+    (fun (v, b) ->
+      check_int (Printf.sprintf "bucket_of %d" v) b (Metrics.bucket_of v))
+    [ (min_int, 0); (-1, 0); (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3);
+      (8, 4); (1023, 10); (1024, 11); (max_int, 62) ];
+  check_bool "bucket 0 bounds" true (Metrics.bucket_bounds 0 = (min_int, 0));
+  check_bool "bucket 1 bounds" true (Metrics.bucket_bounds 1 = (1, 1));
+  check_bool "bucket 4 bounds" true (Metrics.bucket_bounds 4 = (8, 15));
+  (* Round-trip: every probed value lies inside its bucket's bounds. *)
+  List.iter
+    (fun v ->
+      let lo, hi = Metrics.bucket_bounds (Metrics.bucket_of v) in
+      check_bool (Printf.sprintf "%d within bounds" v) true (lo <= v && v <= hi))
+    [ -3; 0; 1; 2; 5; 16; 100; 65535; max_int ]
+
+let test_histogram_observe () =
+  let h = Metrics.histogram "test.obs.histogram" in
+  List.iter (Metrics.observe h) [ 0; 1; 1; 3; 1000 ];
+  check_int "count" 5 (Metrics.histogram_count h);
+  check_int "sum" 1005 (Metrics.histogram_sum h);
+  let counts = Metrics.bucket_counts h in
+  check_int "bucket 0 (v<=0)" 1 counts.(0);
+  check_int "bucket 1 (v=1)" 2 counts.(1);
+  check_int "bucket 2 (v in 2..3)" 1 counts.(2);
+  check_int "bucket 10 (v in 512..1023)" 1 counts.(10)
+
+let test_counters_and_gauges () =
+  let c = Metrics.counter "test.obs.counter" in
+  let v0 = Metrics.counter_value c in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check_int "counter accumulates" (v0 + 5) (Metrics.counter_value c);
+  check_bool "same name, same handle" true
+    (Metrics.counter "test.obs.counter" == c);
+  let g = Metrics.gauge "test.obs.gauge" in
+  Metrics.set_gauge g 7;
+  Metrics.set_gauge g 3;
+  check_int "gauge holds last value" 3 (Metrics.gauge_value g);
+  check_bool "gauge tracks high-water" true (Metrics.gauge_max g >= 7);
+  let s = Json.to_string (Metrics.snapshot ()) in
+  check_bool "snapshot schema" true
+    (contains ~needle:"\"schema\":\"dfv-metrics\"" s);
+  check_bool "snapshot lists the counter" true
+    (contains ~needle:"test.obs.counter" s)
+
+(* --- Coverage --------------------------------------------------------- *)
+
+let test_coverage_classification () =
+  Fun.protect ~finally:(fun () -> Coverage.disable ()) @@ fun () ->
+  Coverage.enable ();
+  let g = Coverage.group "test.obs.cov" in
+  let p =
+    Coverage.point g "op"
+      [ Coverage.bin "low" ~lo:0 ~hi:3;
+        Coverage.bin ~kind:Coverage.Ignore_bin "mid" ~lo:4 ~hi:7;
+        Coverage.bin ~kind:Coverage.Illegal "bad" ~lo:8 ~hi:15;
+        Coverage.bin "high" ~lo:16 ~hi:31 ]
+  in
+  List.iter (Coverage.sample p) [ 1; 2; 5; 9; 100; 20 ];
+  check_int "samples" 6 (Coverage.samples p);
+  check_int "illegal hits" 1 (Coverage.illegal_count p);
+  check_int "misses (no bin)" 1 (Coverage.miss_count p);
+  (match Coverage.bin_hits p with
+  | [ ("low", Coverage.Count, 2); ("mid", Coverage.Ignore_bin, 1);
+      ("bad", Coverage.Illegal, 1); ("high", Coverage.Count, 1) ] -> ()
+  | hits -> Alcotest.failf "unexpected bin hits (%d bins)" (List.length hits));
+  (* Both Count bins hit at least once: full coverage — ignore and
+     illegal bins never contribute to the percentage. *)
+  check_bool "point coverage 1.0" true (Coverage.point_coverage p = 1.0);
+  check_bool "group coverage 1.0" true (Coverage.group_coverage g = 1.0);
+  let s = Json.to_string (Coverage.snapshot ()) in
+  check_bool "snapshot schema" true
+    (contains ~needle:"\"schema\":\"dfv-coverage\"" s);
+  check_bool "snapshot lists the group" true (contains ~needle:"test.obs.cov" s)
+
+let test_coverage_first_matching_bin () =
+  Fun.protect ~finally:(fun () -> Coverage.disable ()) @@ fun () ->
+  Coverage.enable ();
+  let g = Coverage.group "test.obs.cov-overlap" in
+  let p =
+    Coverage.point g "v"
+      [ Coverage.bin "first" ~lo:0 ~hi:10; Coverage.bin "second" ~lo:5 ~hi:10 ]
+  in
+  Coverage.sample p 7;
+  (match Coverage.bin_hits p with
+  | [ ("first", _, 1); ("second", _, 0) ] -> ()
+  | _ -> Alcotest.fail "overlap not resolved to the first bin");
+  check_bool "half covered" true (Coverage.point_coverage p = 0.5)
+
+let test_coverage_at_least () =
+  Fun.protect ~finally:(fun () -> Coverage.disable ()) @@ fun () ->
+  Coverage.enable ();
+  let g = Coverage.group "test.obs.cov-atleast" in
+  let p =
+    Coverage.point g "v" ~at_least:2 [ Coverage.bin "only" ~lo:0 ~hi:9 ]
+  in
+  Coverage.sample p 1;
+  check_bool "one hit below at_least" true (Coverage.point_coverage p = 0.0);
+  Coverage.sample p 2;
+  check_bool "threshold reached" true (Coverage.point_coverage p = 1.0)
+
+(* --- Triage ----------------------------------------------------------- *)
+
+let test_triage_bundle_json () =
+  let t =
+    Triage.make ~design:"unit" ~kind:"sec-counterexample" ~txn_index:3
+      ~stimulus:[ ("a", "0xff") ]
+      ~failures:
+        [ { Triage.f_port = "out"; f_cycle = 2; f_expected = Some "0x01";
+            f_got = "0x00" } ]
+      ~vcd:"$enddefinitions $end\n#0\n" ~vcd_window:(0, 4)
+      ~notes:[ "seeded" ] ()
+  in
+  check_string "design" "unit" (Triage.design t);
+  check_string "kind" "sec-counterexample" (Triage.kind t);
+  check_bool "txn index" true (Triage.txn_index t = Some 3);
+  let s = Json.to_string (Triage.to_json t) in
+  List.iter
+    (fun needle ->
+      check_bool needle true (contains ~needle s))
+    [ "\"schema\":\"dfv-triage\""; "\"version\":1"; "\"txn_index\":3";
+      "\"port\":\"out\""; "\"expected\":\"0x01\""; "\"got\":\"0x00\"";
+      "\"vcd_window\":[0,4]"; "\"metrics\"" ]
+
+let test_memsys_triage () =
+  (* Seed a fault into the memsys RTL and demand a complete bundle: the
+     failing transaction, the full stimulus, the mismatch evidence and a
+     VCD slice around the failure cycle. *)
+  match Dfv_fault.Suite.memsys_triage () with
+  | None -> Alcotest.fail "no enumerated fault produced a miscompare"
+  | Some t ->
+    check_string "design" "memsys" (Triage.design t);
+    check_string "kind" "scoreboard-miscompare" (Triage.kind t);
+    check_bool "failing transaction identified" true
+      (Triage.txn_index t <> None);
+    check_bool "mismatches recorded" true (Triage.failures t <> []);
+    List.iter
+      (fun (f : Triage.failure) ->
+        check_bool "failure names a port" true (f.Triage.f_port <> "");
+        check_bool "failure cycle sane" true (f.Triage.f_cycle >= 0))
+      (Triage.failures t);
+    (match Triage.vcd t with
+    | None -> Alcotest.fail "no VCD slice captured"
+    | Some vcd ->
+      check_bool "VCD has definitions" true
+        (contains ~needle:"$enddefinitions" vcd);
+      check_bool "VCD has samples" true (contains ~needle:"#" vcd));
+    let s = Json.to_string (Triage.to_json t) in
+    check_bool "bundle names the injected fault" true
+      (contains ~needle:"injected fault" s)
+
+let suite =
+  [ Alcotest.test_case "json escaping" `Quick test_json_escaping;
+    Alcotest.test_case "json envelope" `Quick test_json_envelope;
+    Alcotest.test_case "span nesting and monotonicity" `Quick test_span_nesting;
+    Alcotest.test_case "disabled tracer is a no-op" `Quick
+      test_span_disabled_is_noop;
+    Alcotest.test_case "span ring overflow" `Quick test_span_ring_overflow;
+    Alcotest.test_case "trace json envelope" `Quick test_trace_json_envelope;
+    Alcotest.test_case "histogram bucket boundaries" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "histogram observe" `Quick test_histogram_observe;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+    Alcotest.test_case "coverage bin classification" `Quick
+      test_coverage_classification;
+    Alcotest.test_case "coverage first-matching bin" `Quick
+      test_coverage_first_matching_bin;
+    Alcotest.test_case "coverage at_least threshold" `Quick
+      test_coverage_at_least;
+    Alcotest.test_case "triage bundle json" `Quick test_triage_bundle_json;
+    Alcotest.test_case "memsys triage bundle" `Quick test_memsys_triage ]

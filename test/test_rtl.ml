@@ -435,6 +435,26 @@ let test_vcd () =
   check_bool "has timesteps" true (contains "#3");
   check_bool "binary values" true (contains "b")
 
+let test_vcd_clamps_before_first_cycle () =
+  (* Sampling before the first clock edge used to emit "#-1" (the
+     cycles_run - 1 convention underflows); the timestamp must clamp
+     to 0 and stay aligned afterwards. *)
+  let d = Netlist.elaborate (accumulator ()) in
+  let sim = Sim.create d in
+  let buf = Buffer.create 256 in
+  let vcd = Vcd.create buf d sim in
+  Vcd.sample vcd;
+  ignore (Sim.cycle sim [ ("en", bv 1 1); ("clr", bv 1 0); ("d", bv 16 5) ]);
+  Vcd.sample vcd;
+  let text = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "no negative timestamp" false (contains "#-");
+  check_bool "pre-cycle sample lands at #0" true (contains "#0")
+
 let suite =
   [ Alcotest.test_case "counter" `Quick test_counter;
     Alcotest.test_case "accumulator" `Quick test_accumulator;
@@ -449,4 +469,6 @@ let suite =
     Alcotest.test_case "synth=sim: regfile" `Quick test_synth_regfile;
     Alcotest.test_case "synth=sim: fig1" `Quick test_synth_fig1;
     Alcotest.test_case "synth=sim: ops soup" `Quick test_synth_ops_soup;
-    Alcotest.test_case "vcd" `Quick test_vcd ]
+    Alcotest.test_case "vcd" `Quick test_vcd;
+    Alcotest.test_case "vcd clamps pre-cycle sample" `Quick
+      test_vcd_clamps_before_first_cycle ]
