@@ -485,3 +485,76 @@ let random st ~width =
   in
   let limbs = Array.init (nlimbs width) (fun _ -> random_limb ()) in
   normalize width limbs
+
+(* ------------------------------------------------------------------ *)
+(* Unboxed fast path                                                   *)
+
+(* Operations on plain OCaml ints standing for unsigned masked values
+   of a known width <= 62.  Callers keep the invariant that every value
+   is already masked to its width; each operation re-establishes it for
+   its result.  Two's-complement wrap-around of the native int is
+   exactly modular arithmetic, so masking the low [w] bits after a
+   wrapping [+]/[-]/[*] yields the same bits the limb implementation
+   produces. *)
+module Unboxed = struct
+  let max_width = 62
+  let fits w = w >= 1 && w <= max_width
+  let mask w = (1 lsl w) - 1
+
+  let signed w v = if v land (1 lsl (w - 1)) <> 0 then v lor (-1 lsl w) else v
+
+  let to_bitvec ~width v =
+    check_width width;
+    if width > max_width then
+      invalid_arg "Bitvec.Unboxed.to_bitvec: width exceeds the fast path";
+    let limbs =
+      if width <= limb_bits then [| v land limb_mask |]
+      else [| v land limb_mask; (v lsr limb_bits) land limb_mask |]
+    in
+    normalize width limbs
+
+  let of_bitvec = to_int
+
+  let add w a b = (a + b) land mask w
+  let sub w a b = (a - b) land mask w
+  let neg w a = -a land mask w
+  let mul w a b = a * b land mask w
+  let udiv a b = a / b
+  let urem a b = a mod b
+  let sdiv w a b = signed w a / signed w b land mask w
+  let srem w a b = signed w a mod signed w b land mask w
+
+  let logand a b = a land b
+  let logor a b = a lor b
+  let logxor a b = a lxor b
+  let lognot w a = lnot a land mask w
+
+  (* Shift amounts are expected pre-clamped to [0, w]; shifting by the
+     full width is well-defined here (w <= 62 < Sys.int_size). *)
+  let shift_left w a n = if n >= w then 0 else a lsl n land mask w
+  let shift_right_logical a n = a lsr n
+
+  let shift_right_arith w a n =
+    if n >= w then if a land (1 lsl (w - 1)) <> 0 then mask w else 0
+    else signed w a asr n land mask w
+
+  let reduce_and w a = a = mask w
+  let reduce_or a = a <> 0
+
+  let reduce_xor a =
+    let x = a lxor (a lsr 32) in
+    let x = x lxor (x lsr 16) in
+    let x = x lxor (x lsr 8) in
+    let x = x lxor (x lsr 4) in
+    let x = x lxor (x lsr 2) in
+    let x = x lxor (x lsr 1) in
+    x land 1 = 1
+
+  let ult a b = a < b
+  let ule a b = a <= b
+  let slt w a b = signed w a < signed w b
+  let sle w a b = signed w a <= signed w b
+
+  let select ~hi ~lo a = (a lsr lo) land mask (hi - lo + 1)
+  let sext ~from ~width v = signed from v land mask width
+end

@@ -198,3 +198,73 @@ val sdiv : t -> t -> t
 val srem : t -> t -> t
 (** Signed remainder with the sign of the dividend (Verilog [%]).
     Raises [Division_by_zero] on a zero divisor. *)
+
+(** {1 Unboxed fast path}
+
+    Native-int mirrors of the operations above for widths up to
+    {!Unboxed.max_width} (62) bits, used by the compiled RTL simulation
+    engine so that narrow signals never touch limb arrays on the hot
+    path.  A value is a plain non-negative [int] holding the unsigned
+    (masked) encoding of the vector; every operation assumes its
+    operands respect that invariant and re-establishes it for its
+    result.  Semantics are bit-identical to the boxed operations —
+    property-tested against them in the test suite. *)
+module Unboxed : sig
+  val max_width : int
+  (** 62: the widest vector an OCaml [int] can carry unsigned. *)
+
+  val fits : int -> bool
+  (** [fits w] is [1 <= w <= max_width]. *)
+
+  val mask : int -> int
+  (** [mask w] is [2^w - 1] (valid for [w <= max_width]). *)
+
+  val signed : int -> int -> int
+  (** [signed w v] reads [v] as a [w]-bit two's-complement value. *)
+
+  val of_bitvec : t -> int
+  (** Unsigned value; raises [Failure] beyond 62 bits (= {!to_int}). *)
+
+  val to_bitvec : width:int -> int -> t
+  (** [to_bitvec ~width v] boxes a masked value back into a vector. *)
+
+  val add : int -> int -> int -> int
+  (** [add w a b]; likewise [sub]/[neg]/[mul] below — all wrap mod
+      [2^w]. *)
+
+  val sub : int -> int -> int -> int
+  val neg : int -> int -> int
+  val mul : int -> int -> int -> int
+
+  val udiv : int -> int -> int
+  (** Unsigned division; raises [Division_by_zero] like {!Bitvec.udiv}.
+      Likewise [urem]/[sdiv]/[srem]. *)
+
+  val urem : int -> int -> int
+  val sdiv : int -> int -> int -> int
+  val srem : int -> int -> int -> int
+  val logand : int -> int -> int
+  val logor : int -> int -> int
+  val logxor : int -> int -> int
+  val lognot : int -> int -> int
+
+  val shift_left : int -> int -> int -> int
+  (** [shift_left w a n] with [n] pre-clamped to [0, w] by the caller;
+      same for the right shifts. *)
+
+  val shift_right_logical : int -> int -> int
+  val shift_right_arith : int -> int -> int -> int
+  val reduce_and : int -> int -> bool
+  val reduce_or : int -> bool
+  val reduce_xor : int -> bool
+  val ult : int -> int -> bool
+  val ule : int -> int -> bool
+  val slt : int -> int -> int -> bool
+  val sle : int -> int -> int -> bool
+
+  val select : hi:int -> lo:int -> int -> int
+  (** Bits [hi:lo], like {!Bitvec.select}. *)
+
+  val sext : from:int -> width:int -> int -> int
+  (** Sign-extend a [from]-bit value to [width] bits. *)
+end

@@ -1,0 +1,1051 @@
+(* Compiled RTL simulation kernel.
+
+   The tree-walking interpreter in [Sim] pays a string-keyed hashtable
+   lookup per signal reference per cycle.  This pass trades a one-time
+   compile at [create] for a run-many kernel:
+
+   - every input/wire/register name is interned to a dense integer slot
+     over two flat value stores (a native-int store for widths <= 62
+     via [Bitvec.Unboxed], a boxed [Bitvec.t] store for wider signals);
+   - the combinational netlist is levelized once into a topologically
+     sorted evaluation schedule (raising [Netlist.Elaboration_error] on
+     a combinational cycle rather than silently mis-settling);
+   - each wire/output/next-state/enable/write-port expression is
+     compiled to an OCaml closure chain specialised per operator and
+     per width class, with compile-time constant folding;
+   - input binding is a precompiled per-port table instead of an
+     O(ports * inputs) assoc scan.
+
+   Exception behaviour ([Division_by_zero], peek on unsettled wires,
+   missing/mis-sized inputs) matches the interpreter; the differential
+   suite in test/test_sim_engines.ml holds the two engines to
+   bit-identical outputs, state and VCD dumps. *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+module U = Bitvec.Unboxed
+open Netlist
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elaboration_error s)) fmt
+
+type slot_kind = K_input | K_wire | K_reg
+
+type mem_store = M_int of int array | M_bv of Bitvec.t array
+
+type mem = {
+  m_name : string;
+  m_width : int;
+  m_size : int;
+  m_store : mem_store;
+  m_init : Bitvec.t array option;
+}
+
+type port_binding = {
+  pb_name : string;
+  pb_width : int;
+  pb_slot : int;
+  pb_narrow : bool;
+}
+
+type stats = { n_slots : int; n_levels : int; n_folded : int; n_shared : int }
+
+type t = {
+  (* slot-indexed value stores *)
+  ival : int array; (* slots with width <= Unboxed.max_width *)
+  bval : Bitvec.t array; (* wider slots *)
+  swidth : int array;
+  kinds : slot_kind array;
+  slot_of : (string, int) Hashtbl.t;
+  (* memories *)
+  memories : mem array;
+  mem_of : (string, int) Hashtbl.t;
+  (* levelized combinational schedule and sampled outputs *)
+  schedule : (unit -> unit) array;
+  out_fns : (string * (unit -> Bitvec.t)) array;
+  (* clock edge: evaluate-all-then-commit *)
+  reg_eval : (unit -> unit) array;
+  reg_commit : (unit -> unit) array;
+  wr_eval : (unit -> unit) array;
+  wr_commit : (unit -> unit) array;
+  reg_inits : (int * Bitvec.t) array;
+  (* precompiled input binder *)
+  ports : port_binding array;
+  port_index : (string, int) Hashtbl.t;
+  bound_gen : int array;
+  given : Bitvec.t array;
+  mutable gen : int;
+  (* per-cycle evaluation generation for memoized shared subtrees *)
+  eval_gen : int ref;
+  (* peek validity, mirroring the interpreter's value-table presence *)
+  mutable inputs_valid : bool;
+  mutable wires_valid : bool;
+  c_stats : stats;
+}
+
+(* A compiled expression is either a native-int producer (narrow) or a
+   boxed bit-vector producer (wide). *)
+type cexp = CI of (unit -> int) | CB of (unit -> Bitvec.t)
+
+let narrow w = U.fits w
+
+(* Coercions between the two closure kinds; [as_int] requires the
+   expression width to fit the fast path. *)
+let as_int = function
+  | CI f -> f
+  | CB f -> fun () -> Bitvec.to_int (f ())
+
+let as_bv w = function
+  | CB f -> f
+  | CI f -> fun () -> U.to_bitvec ~width:w (f ())
+
+let force = function
+  | CI f -> fun () -> ignore (f ())
+  | CB f -> fun () -> ignore (f ())
+
+let reset c =
+  incr c.eval_gen;
+  Array.iter
+    (fun (s, init) ->
+      if narrow c.swidth.(s) then c.ival.(s) <- Bitvec.to_int init
+      else c.bval.(s) <- init)
+    c.reg_inits;
+  Array.iter
+    (fun m ->
+      match (m.m_store, m.m_init) with
+      | M_int arr, None -> Array.fill arr 0 (Array.length arr) 0
+      | M_int arr, Some init ->
+        Array.iteri (fun i w -> arr.(i) <- Bitvec.to_int w) init
+      | M_bv arr, None ->
+        Array.fill arr 0 (Array.length arr) (Bitvec.zero m.m_width)
+      | M_bv arr, Some init -> Array.blit init 0 arr 0 (Array.length arr))
+    c.memories;
+  c.inputs_valid <- false;
+  c.wires_valid <- false
+
+let compile (design : elaborated) : t =
+  (* --- pass 1: widths and the levelized wire order -------------------- *)
+  let widths_tbl : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let declare name w =
+    if Hashtbl.mem widths_tbl name then fail "duplicate signal name %s" name;
+    Hashtbl.add widths_tbl name w
+  in
+  List.iter (fun p -> declare p.port_name p.port_width) design.e_inputs;
+  List.iter (fun r -> declare r.reg_name r.reg_width) design.e_regs;
+  let mem_word_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem mem_word_tbl m.mem_name then
+        fail "duplicate memory name %s" m.mem_name;
+      Hashtbl.add mem_word_tbl m.mem_name m.word_width)
+    design.e_mems;
+  let sig_w n =
+    match Hashtbl.find_opt widths_tbl n with
+    | Some w -> w
+    | None -> fail "reference to unknown signal %s" n
+  and mem_w n =
+    match Hashtbl.find_opt mem_word_tbl n with
+    | Some w -> w
+    | None -> fail "reference to unknown memory %s" n
+  in
+  let wire_exprs : (string, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n, e) ->
+      if Hashtbl.mem widths_tbl n || Hashtbl.mem wire_exprs n then
+        fail "duplicate signal name %s" n;
+      Hashtbl.add wire_exprs n e)
+    design.e_wires;
+  (* Levelize: depth-first topological sort over wire->wire dependency
+     edges (inputs, registers and memories are state, not edges).  The
+     elaborator already schedules [e_wires], but hand-assembled
+     [elaborated] values reach us too, so the kernel re-levelizes and
+     rejects combinational cycles itself. *)
+  let order : (string * Expr.t * int) list ref = ref [] in
+  let levels : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt levels name with
+    | Some l -> l
+    | None -> (
+      if Hashtbl.mem visiting name then
+        fail "combinational cycle through wire %s" name;
+      match Hashtbl.find_opt wire_exprs name with
+      | None -> 0 (* input / register / unknown (reported by width pass) *)
+      | Some e ->
+        Hashtbl.add visiting name ();
+        let l =
+          1 + List.fold_left (fun acc d -> max acc (visit d)) 0 (Expr.signals e)
+        in
+        Hashtbl.remove visiting name;
+        Hashtbl.add levels name l;
+        order := (name, e, l) :: !order;
+        l)
+  in
+  (* Visit in declaration order so the schedule is deterministic. *)
+  List.iter (fun (n, _) -> ignore (visit n)) design.e_wires;
+  let wires_levelized = List.rev !order in
+  let n_levels =
+    List.fold_left (fun acc (_, _, l) -> max acc l) 0 wires_levelized
+  in
+  List.iter
+    (fun (n, e, _) ->
+      let w =
+        try Expr.width_in sig_w mem_w e
+        with Expr.Width_error msg -> fail "wire %s: %s" n msg
+      in
+      declare n w)
+    wires_levelized;
+  (* --- slot interning -------------------------------------------------- *)
+  let slot_of : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev_slots = ref [] and nslots = ref 0 in
+  let intern kind name =
+    let s = !nslots in
+    incr nslots;
+    Hashtbl.add slot_of name s;
+    rev_slots := (kind, Hashtbl.find widths_tbl name) :: !rev_slots;
+    s
+  in
+  List.iter (fun p -> ignore (intern K_input p.port_name)) design.e_inputs;
+  List.iter (fun r -> ignore (intern K_reg r.reg_name)) design.e_regs;
+  List.iter (fun (n, _, _) -> ignore (intern K_wire n)) wires_levelized;
+  let slots = Array.of_list (List.rev !rev_slots) in
+  let kinds = Array.map fst slots in
+  let swidth = Array.map snd slots in
+  let n = Array.length slots in
+  let ival = Array.make n 0 in
+  let bval = Array.make n (Bitvec.zero 1) in
+  (* --- memories --------------------------------------------------------- *)
+  let mem_of : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let memories =
+    Array.of_list
+      (List.mapi
+         (fun i m ->
+           Hashtbl.add mem_of m.mem_name i;
+           let store =
+             if narrow m.word_width then M_int (Array.make m.mem_size 0)
+             else M_bv (Array.make m.mem_size (Bitvec.zero m.word_width))
+           in
+           {
+             m_name = m.mem_name;
+             m_width = m.word_width;
+             m_size = m.mem_size;
+             m_store = store;
+             m_init = m.mem_init;
+           })
+         design.e_mems)
+  in
+  (* --- pass 2: closure compilation -------------------------------------- *)
+  (* Occurrence counts for structural CSE: a subtree appearing more than
+     once across the netlist compiles to ONE closure whose result is
+     memoized per evaluation generation (one generation per cycle).
+     Sound because expressions are pure over slot/memory state that is
+     stable for the whole generation: wires settle in levelized order,
+     so every slot a subtree reads is final before its first demand, and
+     register/memory commits happen after all clock-edge evaluation. *)
+  let occurs : (Expr.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let rec count e =
+    let c = Option.value ~default:0 (Hashtbl.find_opt occurs e) in
+    Hashtbl.replace occurs e (c + 1);
+    if c = 0 then
+      match e with
+      | Expr.Const _ | Expr.Signal _ -> ()
+      | Expr.Unop (_, a)
+      | Expr.Slice (a, _, _)
+      | Expr.Zext (a, _)
+      | Expr.Sext (a, _)
+      | Expr.Repeat (a, _)
+      | Expr.Mem_read (_, a) -> count a
+      | Expr.Binop (_, a, b) ->
+        count a;
+        count b
+      | Expr.Mux (s, a, b) ->
+        count s;
+        count a;
+        count b
+      | Expr.Concat es -> List.iter count es
+  in
+  List.iter (fun (_, e, _) -> count e) wires_levelized;
+  List.iter (fun (_, e) -> count e) design.e_outputs;
+  List.iter
+    (fun r ->
+      count r.next;
+      Option.iter count r.enable)
+    design.e_regs;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun wp ->
+          count wp.wr_enable;
+          count wp.wr_addr;
+          count wp.wr_data)
+        m.writes)
+    design.e_mems;
+  let eval_gen = ref 0 in
+  let memoize w ce =
+    match ce with
+    | CI f ->
+      let v = ref 0 and g = ref min_int in
+      CI
+        (fun () ->
+          if !g = !eval_gen then !v
+          else begin
+            let r = f () in
+            v := r;
+            g := !eval_gen;
+            r
+          end)
+    | CB f ->
+      let v = ref (Bitvec.zero w) and g = ref min_int in
+      CB
+        (fun () ->
+          if !g = !eval_gen then !v
+          else begin
+            let r = f () in
+            v := r;
+            g := !eval_gen;
+            r
+          end)
+  in
+  let n_folded = ref 0 in
+  let n_shared = ref 0 in
+  let try_fold ce =
+    (* Evaluate a signal-free expression once at compile time.  If it
+       raises (e.g. a constant division by zero), keep the unfolded
+       closure so the exception still surfaces at evaluation time,
+       exactly as the interpreter would. *)
+    try
+      let folded =
+        match ce with
+        | CI f ->
+          let v = f () in
+          CI (fun () -> v)
+        | CB f ->
+          let v = f () in
+          CB (fun () -> v)
+      in
+      incr n_folded;
+      folded
+    with _ -> ce
+  in
+  let ret w k ce = (w, (if k then try_fold ce else ce), k) in
+  let ccache : (Expr.t, int * cexp * bool) Hashtbl.t = Hashtbl.create 256 in
+  let rec go e : int * cexp * bool =
+    (* The cache both shares compiled closures across every occurrence
+       of a subtree and keeps compile time linear in the DAG size. *)
+    match Hashtbl.find_opt ccache e with
+    | Some r -> r
+    | None ->
+      let w, ce, k = go_expr e in
+      let r =
+        if
+          (not k)
+          && (match e with
+             | Expr.Const _ | Expr.Signal _ -> false
+             | _ -> true)
+          && Option.value ~default:0 (Hashtbl.find_opt occurs e) > 1
+        then begin
+          incr n_shared;
+          (w, memoize w ce, k)
+        end
+        else (w, ce, k)
+      in
+      Hashtbl.add ccache e r;
+      r
+  and go_expr e : int * cexp * bool =
+    match e with
+    | Expr.Const bv ->
+      let w = Bitvec.width bv in
+      if narrow w then
+        let v = Bitvec.to_int bv in
+        (w, CI (fun () -> v), true)
+      else (w, CB (fun () -> bv), true)
+    | Expr.Signal name ->
+      let s =
+        match Hashtbl.find_opt slot_of name with
+        | Some s -> s
+        | None -> fail "reference to unknown signal %s" name
+      in
+      let w = swidth.(s) in
+      if narrow w then (w, CI (fun () -> ival.(s)), false)
+      else (w, CB (fun () -> bval.(s)), false)
+    | Expr.Unop (op, a) -> (
+      let wa, ca, ka = go a in
+      match op with
+      | Expr.Not ->
+        ret wa ka
+          (if narrow wa then
+             let f = as_int ca in
+             CI (fun () -> U.lognot wa (f ()))
+           else
+             let f = as_bv wa ca in
+             CB (fun () -> Bitvec.lognot (f ())))
+      | Expr.Neg ->
+        ret wa ka
+          (if narrow wa then
+             let f = as_int ca in
+             CI (fun () -> U.neg wa (f ()))
+           else
+             let f = as_bv wa ca in
+             CB (fun () -> Bitvec.neg (f ())))
+      | Expr.Red_and | Expr.Red_or | Expr.Red_xor ->
+        let bit : unit -> bool =
+          if narrow wa then
+            let f = as_int ca in
+            match op with
+            | Expr.Red_and -> fun () -> U.reduce_and wa (f ())
+            | Expr.Red_or -> fun () -> U.reduce_or (f ())
+            | _ -> fun () -> U.reduce_xor (f ())
+          else
+            let f = as_bv wa ca in
+            match op with
+            | Expr.Red_and -> fun () -> Bitvec.reduce_and (f ())
+            | Expr.Red_or -> fun () -> Bitvec.reduce_or (f ())
+            | _ -> fun () -> Bitvec.reduce_xor (f ())
+        in
+        ret 1 ka (CI (fun () -> if bit () then 1 else 0)))
+    | Expr.Binop (op, a, b) -> (
+      let wa, ca, ka = go a in
+      let wb, cb, kb = go b in
+      let k = ka && kb in
+      match op with
+      | Expr.Shl | Expr.Lshr | Expr.Ashr ->
+        (* Dynamic shift amount, clamped at the value width; a >62-bit
+           amount saturates (mirrors the interpreter exactly, including
+           evaluating the amount expression for its effects). *)
+        let amount : unit -> int =
+          if wb > U.max_width then
+            let fb = force cb in
+            fun () ->
+              fb ();
+              wa
+          else
+            let fb = as_int cb in
+            fun () -> min (fb ()) wa
+        in
+        if narrow wa then
+          let fa = as_int ca in
+          ret wa k
+            (CI
+               (match op with
+               | Expr.Shl ->
+                 fun () ->
+                   let v = fa () in
+                   U.shift_left wa v (amount ())
+               | Expr.Lshr ->
+                 fun () ->
+                   let v = fa () in
+                   U.shift_right_logical v (amount ())
+               | _ ->
+                 fun () ->
+                   let v = fa () in
+                   U.shift_right_arith wa v (amount ())))
+        else
+          let fa = as_bv wa ca in
+          ret wa k
+            (CB
+               (match op with
+               | Expr.Shl ->
+                 fun () ->
+                   let v = fa () in
+                   Bitvec.shift_left v (amount ())
+               | Expr.Lshr ->
+                 fun () ->
+                   let v = fa () in
+                   Bitvec.shift_right_logical v (amount ())
+               | _ ->
+                 fun () ->
+                   let v = fa () in
+                   Bitvec.shift_right_arith v (amount ())))
+      | Expr.Eq | Expr.Ne | Expr.Ult | Expr.Ule | Expr.Slt | Expr.Sle ->
+        if wa <> wb then
+          fail "comparison: operand widths %d and %d differ" wa wb;
+        let bit : unit -> bool =
+          if narrow wa then
+            let fa = as_int ca and fb = as_int cb in
+            match op with
+            | Expr.Eq ->
+              fun () ->
+                let x = fa () in
+                x = fb ()
+            | Expr.Ne ->
+              fun () ->
+                let x = fa () in
+                x <> fb ()
+            | Expr.Ult ->
+              fun () ->
+                let x = fa () in
+                U.ult x (fb ())
+            | Expr.Ule ->
+              fun () ->
+                let x = fa () in
+                U.ule x (fb ())
+            | Expr.Slt ->
+              fun () ->
+                let x = fa () in
+                U.slt wa x (fb ())
+            | _ ->
+              fun () ->
+                let x = fa () in
+                U.sle wa x (fb ())
+          else
+            let fa = as_bv wa ca and fb = as_bv wb cb in
+            match op with
+            | Expr.Eq ->
+              fun () ->
+                let x = fa () in
+                Bitvec.equal x (fb ())
+            | Expr.Ne ->
+              fun () ->
+                let x = fa () in
+                not (Bitvec.equal x (fb ()))
+            | Expr.Ult ->
+              fun () ->
+                let x = fa () in
+                Bitvec.ult x (fb ())
+            | Expr.Ule ->
+              fun () ->
+                let x = fa () in
+                Bitvec.ule x (fb ())
+            | Expr.Slt ->
+              fun () ->
+                let x = fa () in
+                Bitvec.slt x (fb ())
+            | _ ->
+              fun () ->
+                let x = fa () in
+                Bitvec.sle x (fb ())
+        in
+        ret 1 k (CI (fun () -> if bit () then 1 else 0))
+      | Expr.Add | Expr.Sub | Expr.Mul | Expr.Udiv | Expr.Urem | Expr.Sdiv
+      | Expr.Srem | Expr.And | Expr.Or | Expr.Xor ->
+        if wa <> wb then
+          fail "operator: operand widths %d and %d differ" wa wb;
+        if narrow wa then
+          let fa = as_int ca and fb = as_int cb in
+          ret wa k
+            (CI
+               (match op with
+               | Expr.Add ->
+                 fun () ->
+                   let x = fa () in
+                   U.add wa x (fb ())
+               | Expr.Sub ->
+                 fun () ->
+                   let x = fa () in
+                   U.sub wa x (fb ())
+               | Expr.Mul ->
+                 fun () ->
+                   let x = fa () in
+                   U.mul wa x (fb ())
+               | Expr.Udiv ->
+                 fun () ->
+                   let x = fa () in
+                   U.udiv x (fb ())
+               | Expr.Urem ->
+                 fun () ->
+                   let x = fa () in
+                   U.urem x (fb ())
+               | Expr.Sdiv ->
+                 fun () ->
+                   let x = fa () in
+                   U.sdiv wa x (fb ())
+               | Expr.Srem ->
+                 fun () ->
+                   let x = fa () in
+                   U.srem wa x (fb ())
+               | Expr.And ->
+                 fun () ->
+                   let x = fa () in
+                   U.logand x (fb ())
+               | Expr.Or ->
+                 fun () ->
+                   let x = fa () in
+                   U.logor x (fb ())
+               | _ ->
+                 fun () ->
+                   let x = fa () in
+                   U.logxor x (fb ())))
+        else
+          let fa = as_bv wa ca and fb = as_bv wb cb in
+          ret wa k
+            (CB
+               (match op with
+               | Expr.Add ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.add x (fb ())
+               | Expr.Sub ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.sub x (fb ())
+               | Expr.Mul ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.mul x (fb ())
+               | Expr.Udiv ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.udiv x (fb ())
+               | Expr.Urem ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.urem x (fb ())
+               | Expr.Sdiv ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.sdiv x (fb ())
+               | Expr.Srem ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.srem x (fb ())
+               | Expr.And ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.logand x (fb ())
+               | Expr.Or ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.logor x (fb ())
+               | _ ->
+                 fun () ->
+                   let x = fa () in
+                   Bitvec.logxor x (fb ()))))
+    | Expr.Mux (s, a, b) ->
+      let ws, cs, ks = go s in
+      if ws <> 1 then fail "mux select must be 1 bit, got %d" ws;
+      let fs = as_int cs in
+      let wa, ca, ka = go a in
+      let wb, cb, kb = go b in
+      if wa <> wb then fail "mux arms have widths %d and %d" wa wb;
+      let k = ks && ka && kb in
+      if narrow wa then
+        let fa = as_int ca and fb = as_int cb in
+        ret wa k (CI (fun () -> if fs () <> 0 then fa () else fb ()))
+      else
+        let fa = as_bv wa ca and fb = as_bv wb cb in
+        ret wa k (CB (fun () -> if fs () <> 0 then fa () else fb ()))
+    | Expr.Slice (a, hi, lo) ->
+      let wa, ca, ka = go a in
+      if lo < 0 || hi < lo || hi >= wa then
+        fail "slice [%d:%d] out of range for width %d" hi lo wa;
+      let w = hi - lo + 1 in
+      if narrow wa then
+        let fa = as_int ca in
+        ret w ka (CI (fun () -> U.select ~hi ~lo (fa ())))
+      else
+        let fa = as_bv wa ca in
+        if narrow w then
+          ret w ka (CI (fun () -> Bitvec.to_int (Bitvec.select (fa ()) ~hi ~lo)))
+        else ret w ka (CB (fun () -> Bitvec.select (fa ()) ~hi ~lo))
+    | Expr.Concat [] -> fail "empty concat"
+    | Expr.Concat es ->
+      let parts = List.map go es in
+      let w = List.fold_left (fun acc (wi, _, _) -> acc + wi) 0 parts in
+      let k = List.for_all (fun (_, _, ki) -> ki) parts in
+      if narrow w then
+        (* Head is most significant; fold the parts into one closure
+           chain shifting the accumulated prefix left as it goes. *)
+        let f =
+          List.fold_left
+            (fun g (wi, ci, _) ->
+              let fi = as_int ci in
+              fun () ->
+                let prefix = g () in
+                (prefix lsl wi) lor fi ())
+            (fun () -> 0)
+            parts
+        in
+        ret w k (CI f)
+      else
+        let fs = List.map (fun (wi, ci, _) -> as_bv wi ci) parts in
+        ret w k (CB (fun () -> Bitvec.concat (List.map (fun f -> f ()) fs)))
+    | Expr.Zext (a, w) ->
+      let wa, ca, ka = go a in
+      if w < wa then
+        fail "extension to %d narrower than operand width %d" w wa;
+      if narrow w then ret w ka (CI (as_int ca))
+      else
+        let fa = as_bv wa ca in
+        ret w ka (CB (fun () -> Bitvec.uresize (fa ()) w))
+    | Expr.Sext (a, w) ->
+      let wa, ca, ka = go a in
+      if w < wa then
+        fail "extension to %d narrower than operand width %d" w wa;
+      if narrow w then
+        let fa = as_int ca in
+        ret w ka (CI (fun () -> U.sext ~from:wa ~width:w (fa ())))
+      else
+        let fa = as_bv wa ca in
+        ret w ka (CB (fun () -> Bitvec.sresize (fa ()) w))
+    | Expr.Repeat (a, count) ->
+      if count < 1 then fail "repeat count %d" count;
+      let wa, ca, ka = go a in
+      let w = count * wa in
+      if narrow w then
+        let fa = as_int ca in
+        ret w ka
+          (CI
+             (fun () ->
+               let v = fa () in
+               let r = ref 0 in
+               for _ = 1 to count do
+                 r := (!r lsl wa) lor v
+               done;
+               !r))
+      else
+        let fa = as_bv wa ca in
+        ret w ka (CB (fun () -> Bitvec.repeat (fa ()) count))
+    | Expr.Mem_read (m, a) -> (
+      let mi =
+        match Hashtbl.find_opt mem_of m with
+        | Some i -> i
+        | None -> fail "reference to unknown memory %s" m
+      in
+      let mem = memories.(mi) in
+      let size = mem.m_size and ww = mem.m_width in
+      let wa, ca, _ = go a in
+      (* Address wider than the fast path: unrepresentable, hence
+         necessarily out of range — evaluate for effect, read default
+         (the interpreter's max_int clamp). *)
+      let addr : unit -> int =
+        if wa > U.max_width then
+          let fa = force ca in
+          fun () ->
+            fa ();
+            max_int
+        else as_int ca
+      in
+      match mem.m_store with
+      | M_int arr ->
+        ( ww,
+          CI
+            (fun () ->
+              let i = addr () in
+              if i < size then arr.(i) else 0),
+          false )
+      | M_bv arr ->
+        let default = Bitvec.zero ww in
+        ( ww,
+          CB
+            (fun () ->
+              let i = addr () in
+              if i < size then arr.(i) else default),
+          false ))
+  in
+  let as_bool_fn e =
+    let w, ce, _ = go e in
+    if narrow w then
+      let f = as_int ce in
+      fun () -> f () <> 0
+    else
+      let f = as_bv w ce in
+      fun () -> Bitvec.reduce_or (f ())
+  in
+  (* Wires: slot assignment thunks in levelized order. *)
+  let schedule =
+    Array.of_list
+      (List.map
+         (fun (name, e, _) ->
+           let s = Hashtbl.find slot_of name in
+           let w, ce, _ = go e in
+           if narrow swidth.(s) then
+             let f = as_int ce in
+             fun () -> ival.(s) <- f ()
+           else
+             let f = as_bv w ce in
+             fun () -> bval.(s) <- f ())
+         wires_levelized)
+  in
+  (* Outputs: sampled (boxed) after settle, in declaration order. *)
+  let out_fns =
+    Array.of_list
+      (List.map
+         (fun (name, e) ->
+           let w, ce, _ = go e in
+           (name, as_bv w ce))
+         design.e_outputs)
+  in
+  (* Registers: evaluate next/enable against settled pre-edge values
+     into pending arrays, then commit — simultaneous update. *)
+  let nregs = List.length design.e_regs in
+  let pend_en = Array.make nregs false in
+  let pend_i = Array.make nregs 0 in
+  let pend_b = Array.make nregs (Bitvec.zero 1) in
+  let reg_eval =
+    Array.of_list
+      (List.mapi
+         (fun i r ->
+           let wn, cn, _ = go r.next in
+           match r.enable with
+           | None ->
+             (* Always enabled: pend_en.(i) stays true forever (set
+                below, never cleared), so the eval is a bare store. *)
+             pend_en.(i) <- true;
+             if narrow r.reg_width then begin
+               let f = as_int cn in
+               fun () -> pend_i.(i) <- f ()
+             end
+             else begin
+               let f = as_bv wn cn in
+               fun () -> pend_b.(i) <- f ()
+             end
+           | Some e ->
+             let en = as_bool_fn e in
+             if narrow r.reg_width then begin
+               let f = as_int cn in
+               fun () ->
+                 let e = en () in
+                 pend_en.(i) <- e;
+                 if e then pend_i.(i) <- f ()
+             end
+             else begin
+               let f = as_bv wn cn in
+               fun () ->
+                 let e = en () in
+                 pend_en.(i) <- e;
+                 if e then pend_b.(i) <- f ()
+             end)
+         design.e_regs)
+  in
+  let reg_commit =
+    Array.of_list
+      (List.mapi
+         (fun i r ->
+           let s = Hashtbl.find slot_of r.reg_name in
+           if narrow r.reg_width then
+             (fun () -> if pend_en.(i) then ival.(s) <- pend_i.(i))
+           else fun () -> if pend_en.(i) then bval.(s) <- pend_b.(i))
+         design.e_regs)
+  in
+  let reg_inits =
+    Array.of_list
+      (List.map
+         (fun r -> (Hashtbl.find slot_of r.reg_name, r.init))
+         design.e_regs)
+  in
+  (* Memory write ports: each evaluates enable, then address, then data
+     (only when in range) into per-port pending cells; the commit phase
+     applies them in declaration order, so a later port wins an address
+     collision — exactly the interpreter's list order.  A write address
+     wider than the fast path is discarded as out-of-range, the same
+     clamp Mem_read applies. *)
+  let all_writes =
+    List.concat_map
+      (fun m ->
+        List.map (fun wp -> (memories.(Hashtbl.find mem_of m.mem_name), wp))
+          m.writes)
+      design.e_mems
+  in
+  let nwrites = List.length all_writes in
+  let wr_pend = Array.make nwrites false in
+  let wr_idx = Array.make nwrites 0 in
+  let wr_vi = Array.make nwrites 0 in
+  let wr_vb = Array.make nwrites (Bitvec.zero 1) in
+  let wr_eval =
+    Array.of_list
+      (List.mapi
+         (fun j (mem, wp) ->
+           let en = as_bool_fn wp.wr_enable in
+           let wa, caddr, _ = go wp.wr_addr in
+           let addr : unit -> int =
+             if wa > U.max_width then
+               let fa = force caddr in
+               fun () ->
+                 fa ();
+                 max_int
+             else as_int caddr
+           in
+           let wd, cdata, _ = go wp.wr_data in
+           match mem.m_store with
+           | M_int _ ->
+             let fd = as_int cdata in
+             fun () ->
+               wr_pend.(j) <- false;
+               if en () then begin
+                 let i = addr () in
+                 if i < mem.m_size then begin
+                   wr_pend.(j) <- true;
+                   wr_idx.(j) <- i;
+                   wr_vi.(j) <- fd ()
+                 end
+               end
+           | M_bv _ ->
+             let fd = as_bv wd cdata in
+             fun () ->
+               wr_pend.(j) <- false;
+               if en () then begin
+                 let i = addr () in
+                 if i < mem.m_size then begin
+                   wr_pend.(j) <- true;
+                   wr_idx.(j) <- i;
+                   wr_vb.(j) <- fd ()
+                 end
+               end)
+         all_writes)
+  in
+  let wr_commit =
+    Array.of_list
+      (List.mapi
+         (fun j (mem, _) ->
+           match mem.m_store with
+           | M_int arr ->
+             fun () -> if wr_pend.(j) then arr.(wr_idx.(j)) <- wr_vi.(j)
+           | M_bv arr ->
+             fun () -> if wr_pend.(j) then arr.(wr_idx.(j)) <- wr_vb.(j))
+         all_writes)
+  in
+  (* Input binder table. *)
+  let ports =
+    Array.of_list
+      (List.map
+         (fun p ->
+           {
+             pb_name = p.port_name;
+             pb_width = p.port_width;
+             pb_slot = Hashtbl.find slot_of p.port_name;
+             pb_narrow = narrow p.port_width;
+           })
+         design.e_inputs)
+  in
+  let port_index = Hashtbl.create (max 8 (Array.length ports)) in
+  Array.iteri (fun i pb -> Hashtbl.replace port_index pb.pb_name i) ports;
+  let c =
+    {
+      ival;
+      bval;
+      swidth;
+      kinds;
+      slot_of;
+      memories;
+      mem_of;
+      schedule;
+      out_fns;
+      reg_eval;
+      reg_commit;
+      wr_eval;
+      wr_commit;
+      reg_inits;
+      ports;
+      port_index;
+      bound_gen = Array.make (Array.length ports) 0;
+      given = Array.make (Array.length ports) (Bitvec.zero 1);
+      gen = 0;
+      eval_gen;
+      inputs_valid = false;
+      wires_valid = false;
+      c_stats =
+        { n_slots = n; n_levels; n_folded = !n_folded; n_shared = !n_shared };
+    }
+  in
+  reset c;
+  c
+
+let stats c = c.c_stats
+
+(* --- per-cycle kernel --------------------------------------------------- *)
+
+let commit_port c pb (v : Bitvec.t) =
+  if Bitvec.width v <> pb.pb_width then
+    invalid_arg
+      (Printf.sprintf "Sim.cycle: input %s has width %d, expected %d"
+         pb.pb_name (Bitvec.width v) pb.pb_width);
+  if pb.pb_narrow then c.ival.(pb.pb_slot) <- Bitvec.to_int v
+  else c.bval.(pb.pb_slot) <- v
+
+let rec bind_inputs c inputs =
+  incr c.eval_gen;
+  (* Fast path: inputs listed exactly in port declaration order (the
+     overwhelmingly common case for generated drivers) bind with one
+     string comparison per port and no table lookups.  Committing as we
+     scan matches the interpreter, which also binds port-by-port; on
+     the first out-of-order name we fall back to the general binder,
+     which rebinds every port from scratch. *)
+  let ports = c.ports in
+  let n = Array.length ports in
+  let rec fast i = function
+    | [] ->
+      if i = n then c.inputs_valid <- true else bind_inputs_slow c inputs
+    | (name, v) :: rest ->
+      if i < n && String.equal name ports.(i).pb_name then begin
+        commit_port c ports.(i) v;
+        fast (i + 1) rest
+      end
+      else bind_inputs_slow c inputs
+  in
+  fast 0 inputs
+
+and bind_inputs_slow c inputs =
+  c.gen <- c.gen + 1;
+  let g = c.gen in
+  let unknown = ref [] in
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt c.port_index name with
+      | None -> unknown := name :: !unknown
+      | Some i ->
+        (* First occurrence wins, like List.assoc in the interpreter. *)
+        if c.bound_gen.(i) <> g then begin
+          c.bound_gen.(i) <- g;
+          c.given.(i) <- v
+        end)
+    inputs;
+  Array.iteri
+    (fun i pb ->
+      if c.bound_gen.(i) <> g then
+        invalid_arg (Printf.sprintf "Sim.cycle: missing input %s" pb.pb_name);
+      let v = c.given.(i) in
+      if Bitvec.width v <> pb.pb_width then
+        invalid_arg
+          (Printf.sprintf "Sim.cycle: input %s has width %d, expected %d"
+             pb.pb_name (Bitvec.width v) pb.pb_width))
+    c.ports;
+  (match List.rev !unknown with
+  | name :: _ ->
+    invalid_arg (Printf.sprintf "Sim.cycle: no input port named %s" name)
+  | [] -> ());
+  Array.iteri
+    (fun i pb ->
+      if pb.pb_narrow then c.ival.(pb.pb_slot) <- Bitvec.to_int c.given.(i)
+      else c.bval.(pb.pb_slot) <- c.given.(i))
+    c.ports;
+  c.inputs_valid <- true
+
+let settle c =
+  let sched = c.schedule in
+  for i = 0 to Array.length sched - 1 do
+    sched.(i) ()
+  done;
+  c.wires_valid <- true
+
+let outputs c =
+  Array.fold_right (fun (name, f) acc -> (name, f ()) :: acc) c.out_fns []
+
+let clock_edge c =
+  (* Evaluate every next-state and write port from the settled pre-edge
+     values, then commit — registers and memories update together. *)
+  Array.iter (fun f -> f ()) c.reg_eval;
+  Array.iter (fun f -> f ()) c.wr_eval;
+  Array.iter (fun f -> f ()) c.reg_commit;
+  Array.iter (fun f -> f ()) c.wr_commit
+
+(* --- observation --------------------------------------------------------- *)
+
+let read_slot c s =
+  if narrow c.swidth.(s) then U.to_bitvec ~width:c.swidth.(s) c.ival.(s)
+  else c.bval.(s)
+
+let peek c name =
+  match Hashtbl.find_opt c.slot_of name with
+  | None -> raise Not_found
+  | Some s -> (
+    match c.kinds.(s) with
+    | K_reg -> read_slot c s
+    | K_input -> if c.inputs_valid then read_slot c s else raise Not_found
+    | K_wire ->
+      if c.wires_valid then read_slot c s
+      else
+        invalid_arg (Printf.sprintf "Sim.peek: wire %s not settled yet" name))
+
+let peek_mem c name i =
+  let mem = c.memories.(Hashtbl.find c.mem_of name) in
+  match mem.m_store with
+  | M_int arr -> U.to_bitvec ~width:mem.m_width arr.(i)
+  | M_bv arr -> arr.(i)

@@ -1,0 +1,71 @@
+(** Compiled RTL simulation kernel.
+
+    Compiles an elaborated netlist once into a slot-indexed closure
+    kernel: names are interned to dense integer slots over flat value
+    stores (a native-int store for widths <= [Bitvec.Unboxed.max_width],
+    a boxed [Bitvec.t] store for wider signals), the combinational
+    logic is levelized into a topologically-sorted schedule, and every
+    expression becomes a chain of per-operator closures with
+    compile-time constant folding.
+
+    This module is the engine behind [Sim.create ~engine:`Compiled]
+    (the default); [Sim] keeps the tree-walking interpreter as the
+    differential-testing oracle.  All observable behaviour — values,
+    evaluation order, and exceptions — matches the interpreter
+    bit-for-bit. *)
+
+type t
+
+type stats = {
+  n_slots : int;  (** interned input/wire/register slots *)
+  n_levels : int;  (** depth of the levelized combinational schedule *)
+  n_folded : int;  (** sub-expressions folded to constants at compile *)
+  n_shared : int;
+      (** repeated subtrees deduplicated by structural CSE, each
+          compiled once and memoized per evaluation generation *)
+}
+
+val compile : Netlist.elaborated -> t
+(** Compile a netlist.  Re-levelizes the combinational wires (the
+    elaborator's order is not trusted, since [Netlist.elaborated] is a
+    public record) and raises [Netlist.Elaboration_error] on a
+    combinational cycle or a reference to an unknown signal/memory. *)
+
+val stats : t -> stats
+
+(** {1 Per-cycle kernel}
+
+    [Sim.cycle] is [bind_inputs; settle; outputs ...; clock_edge]. *)
+
+val bind_inputs : t -> (string * Dfv_bitvec.Bitvec.t) list -> unit
+(** Bind input port values through the precompiled binder table.
+    Raises [Invalid_argument] with the same messages and in the same
+    order as the interpreter: missing/mis-sized inputs first in port
+    declaration order, then unknown port names in argument order.
+    Duplicate names: first occurrence wins. *)
+
+val settle : t -> unit
+(** Run the levelized combinational schedule. *)
+
+val outputs : t -> (string * Dfv_bitvec.Bitvec.t) list
+(** Sample the output expressions, in declaration order. *)
+
+val clock_edge : t -> unit
+(** Evaluate every register next/enable and memory write port against
+    the settled pre-edge values, then commit registers and memory
+    writes (write ports in declaration order; later ports win on an
+    address collision). *)
+
+(** {1 Observation} *)
+
+val reset : t -> unit
+(** Registers back to their init values, memories to their initial
+    contents, inputs and wires invalidated. *)
+
+val peek : t -> string -> Dfv_bitvec.Bitvec.t
+(** Same contract as [Sim.peek]: raises [Not_found] for unknown names
+    and for inputs not yet bound, [Invalid_argument] for wires read
+    before the first [settle]. *)
+
+val peek_mem : t -> string -> int -> Dfv_bitvec.Bitvec.t
+(** Same contract as [Sim.peek_mem]. *)

@@ -9,9 +9,21 @@
 
 type t
 
-val create : Netlist.elaborated -> t
+type engine = [ `Compiled | `Interp ]
+(** [`Compiled] (the default) runs the slot-indexed closure kernel from
+    {!Compile}: the netlist is levelized and compiled once at creation,
+    then every cycle executes straight-line closures over dense value
+    stores.  [`Interp] is the original tree-walking interpreter,
+    retained as the differential-testing oracle — the two engines are
+    bit-identical in outputs, state, peeks and exceptions. *)
+
+val create : ?engine:engine -> Netlist.elaborated -> t
 (** Instantiate a simulator in its reset state (registers at their init
-    values, memories at their init contents or zero). *)
+    values, memories at their init contents or zero).  [engine]
+    defaults to [`Compiled]. *)
+
+val engine : t -> engine
+(** Which kernel this simulator runs on. *)
 
 val reset : t -> unit
 (** Return to the reset state. *)

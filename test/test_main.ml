@@ -7,6 +7,7 @@ let () =
       ("sweep", Test_sweep.suite);
       ("aiger", Test_aiger.suite);
       ("rtl", Test_rtl.suite);
+      ("sim_engines", Test_sim_engines.suite);
       ("verilog", Test_verilog.suite);
       ("slm", Test_slm.suite);
       ("tlm", Test_tlm.suite);
