@@ -22,6 +22,10 @@ let now () = Unix.gettimeofday ()
    on the command line); lets CI smoke-run the expensive experiments. *)
 let budget_opt : Dfv_sat.Solver.budget option ref = ref None
 
+(* Parallel-leg width for par_speedup (set with `-- --jobs N`); defaults
+   to 4, the CI runner's vCPU count. *)
+let jobs_opt : int ref = ref 4
+
 (* Machine-readable results: experiments append BENCH_<ID>.json next to
    the human-readable output so the perf trajectory is tracked across
    PRs (the CI bench smoke job uploads these as artifacts). *)
@@ -610,6 +614,83 @@ let c4f () =
   if not pass then exit 1
 
 (* ---------------------------------------------------------------------- *)
+(* PAR: forked worker-pool speedup with byte-identical verdicts            *)
+(* ---------------------------------------------------------------------- *)
+
+let par_speedup () =
+  let open Dfv_fault in
+  let jobs = max 2 !jobs_opt in
+  header "PAR"
+    (Printf.sprintf "fault-campaign wall-clock at %d forked jobs" jobs)
+    "job->seed partitioning keeps verdicts byte-identical at any --jobs; \
+     on a multicore host the pool must buy real wall-clock";
+  (* Canonical verdict transcript: every field except the timings.  The
+     two legs must agree byte-for-byte or the pool changed a verdict. *)
+  let canon reports =
+    reports
+    |> List.concat_map (fun (r : Campaign.report) ->
+           List.map
+             (fun (m : Campaign.mutant_result) ->
+               let v =
+                 match m.Campaign.verdict with
+                 | Campaign.Detected { engine; localized; _ } ->
+                   Printf.sprintf "detected(%s,%s)" engine
+                     (match localized with
+                     | None -> "-"
+                     | Some b -> string_of_bool b)
+                 | Campaign.Survived _ -> "survived"
+                 | Campaign.False_equivalent _ -> "false-equivalent"
+                 | Campaign.Unknown { reason; _ } -> "unknown(" ^ reason ^ ")"
+                 | Campaign.Crashed e ->
+                   "crashed(" ^ Dfv_core.Dfv_error.to_string e ^ ")"
+               in
+               Printf.sprintf "%s/%s[%s@%s]=%s" r.Campaign.r_subject
+                 m.Campaign.m_name m.Campaign.m_class m.Campaign.m_site v)
+             r.Campaign.r_results)
+    |> String.concat "\n"
+  in
+  let time_run jobs =
+    let t0 = now () in
+    let reports = Suite.run ?budget:!budget_opt ~jobs () in
+    (now () -. t0, reports)
+  in
+  let seq_s, seq_reports = time_run 1 in
+  let par_s, par_reports = time_run jobs in
+  let parity = canon seq_reports = canon par_reports in
+  let speedup = seq_s /. par_s in
+  let cores = Dfv_par.Pool.cores () in
+  Printf.printf
+    "  jobs=1  %6.2fs\n  jobs=%-2d %6.2fs   speedup %.2fx on %d core(s)\n"
+    seq_s jobs par_s speedup cores;
+  Printf.printf "  verdict parity: %s\n%!"
+    (if parity then "byte-identical" else "MISMATCH");
+  let open Dfv_obs.Json in
+  write_bench "par_speedup"
+    [ ("jobs", Int jobs); ("cores", Int cores);
+      ("seq_seconds", Float seq_s); ("par_seconds", Float par_s);
+      ("speedup", Float speedup); ("verdict_parity", Bool parity) ];
+  print_endline
+    "shape check: verdicts are a pure function of (campaign seed, mutant\n\
+     index), so the job count never changes them; wall-clock shrinks with\n\
+     the pool.";
+  if not parity then begin
+    Printf.printf "REGRESSION: verdicts differ between --jobs 1 and --jobs %d\n"
+      jobs;
+    exit 1
+  end;
+  if cores >= 4 && jobs >= 4 then begin
+    if speedup < 2.5 then begin
+      Printf.printf "REGRESSION: speedup %.2fx < 2.5x at %d jobs on %d cores\n"
+        speedup jobs cores;
+      exit 1
+    end
+  end
+  else
+    Printf.printf
+      "speedup gate skipped (needs >= 4 cores and >= 4 jobs; have %d/%d)\n"
+      cores jobs
+
+(* ---------------------------------------------------------------------- *)
 (* C5: floating-point corner cases; constraints restore equivalence        *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1100,7 +1181,7 @@ let experiments =
   [ ("f1", f1); ("f2", f2); ("c1", c1); ("c2", c2); ("c3", c3);
     ("c3_incremental_sec", c3); ("c4", c4); ("c4_fault_robustness", c4f);
     ("c5", c5); ("c5_obs_overhead", c5o); ("c6", c6); ("c7", c7); ("c8", c8);
-    ("sim_throughput", sim_throughput) ]
+    ("sim_throughput", sim_throughput); ("par_speedup", par_speedup) ]
 
 let () =
   let rec parse names = function
@@ -1116,6 +1197,11 @@ let () =
             }
       | Some _ | None -> Printf.eprintf "bad --budget value %s\n" n);
       parse names rest
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some n when n > 0 -> jobs_opt := n
+      | Some _ | None -> Printf.eprintf "bad --jobs value %s\n" n);
+      parse names rest
     | name :: rest -> parse (String.lowercase_ascii name :: names) rest
   in
   let requested =
@@ -1124,7 +1210,8 @@ let () =
       List.map fst
         (List.remove_assoc "c3_incremental_sec"
            (List.remove_assoc "c4_fault_robustness"
-              (List.remove_assoc "c5_obs_overhead" experiments)))
+              (List.remove_assoc "c5_obs_overhead"
+                 (List.remove_assoc "par_speedup" experiments))))
     | names -> names
   in
   let t0 = now () in

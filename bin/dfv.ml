@@ -8,6 +8,11 @@
      dfv verify <design>          audit + SEC (or simulation fallback)
      dfv faultsim [--design D]    mutation campaign scoring the verifier
      dfv triage <design>          reproduce a failure as a triage bundle
+     dfv validate <file>...       check artifacts parse + carry the envelope
+
+   faultsim runs its mutants in forked workers (--jobs, default = core
+   count; --timeout bounds each mutant's wall clock); sec --jobs N
+   races solving strategies in a portfolio.
 
    Bugs can be planted with --bug (see `dfv list`) to watch the flows
    catch them.  The flow commands take --trace FILE (Chrome trace_event
@@ -244,6 +249,45 @@ let stats_arg =
           "Print session statistics: encoding reuse, clause counts, \
            per-query solve times.")
 
+(* Worker-pool flags.  [default] lets each command pick its own resting
+   point: faultsim parallelizes by default (= cores), sec stays
+   sequential unless asked (portfolio mode is a behavioural switch, not
+   just a speedup). *)
+let jobs_term ~default =
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Number of worker processes (faultsim defaults to the \
+             machine's core count; sec to 1).  Jobs run in forked \
+             workers with crash isolation; verdicts are independent of \
+             $(docv).")
+  in
+  let check = function
+    | Some n when n < 1 -> Error (`Msg "--jobs must be at least 1")
+    | Some n -> Ok n
+    | None -> Ok (default ())
+  in
+  Term.(term_result (const check $ jobs))
+
+let timeout_term =
+  let t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"S"
+          ~doc:
+            "Per-job wall-clock budget in seconds; an expired worker is \
+             killed and its job recorded as undecided.")
+  in
+  let check = function
+    | Some s when s <= 0.0 -> Error (`Msg "--timeout must be positive")
+    | t -> Ok t
+  in
+  Term.(term_result (const check $ t))
+
 let reason_string = function
   | Dfv_sat.Solver.Conflict_limit -> "conflict budget exhausted"
   | Dfv_sat.Solver.Time_limit -> "time budget exhausted"
@@ -273,43 +317,61 @@ let print_stats (s : Checker.stats) =
   Printf.printf "  wall             %.3fs\n" s.Checker.wall_seconds
 
 let sec_cmd =
-  let doc = "Run sequential equivalence checking on a pair." in
-  let run budget stats obs design bug =
+  let doc =
+    "Run sequential equivalence checking on a pair.  With --jobs above 1 \
+     the check runs as a strategy portfolio: solving variants race in \
+     forked workers and the first conclusive verdict cancels the rest."
+  in
+  let run budget stats jobs obs design bug =
     with_obs obs @@ fun () ->
     (wrap (fun pair ->
         let finish s = if stats then print_stats s in
-        match Flow.sec ?budget pair with
-        | Checker.Equivalent stats ->
-          Printf.printf
-            "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
-            stats.Checker.aig_ands stats.Checker.sat_conflicts
-            stats.Checker.sat_decisions stats.Checker.wall_seconds;
-          finish stats;
-          exit_ok
-        | Checker.Not_equivalent (cex, stats) ->
-          Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
-            stats.Checker.wall_seconds;
-          List.iter
-            (fun (n, v) ->
-              match v with
-              | Dfv_hwir.Interp.Vint bv ->
-                Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
-              | Dfv_hwir.Interp.Varr a ->
-                Printf.printf "  %s = [%s]\n" n
-                  (String.concat "; "
-                     (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
-            cex.Checker.params;
-          finish stats;
-          exit_cex
-        | Checker.Unknown (reason, stats) ->
-          Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
-            stats.Checker.wall_seconds;
-          finish stats;
-          exit_unknown))
+        let report = function
+          | Checker.Equivalent stats ->
+            Printf.printf
+              "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
+              stats.Checker.aig_ands stats.Checker.sat_conflicts
+              stats.Checker.sat_decisions stats.Checker.wall_seconds;
+            finish stats;
+            exit_ok
+          | Checker.Not_equivalent (cex, stats) ->
+            Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
+              stats.Checker.wall_seconds;
+            List.iter
+              (fun (n, v) ->
+                match v with
+                | Dfv_hwir.Interp.Vint bv ->
+                  Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
+                | Dfv_hwir.Interp.Varr a ->
+                  Printf.printf "  %s = [%s]\n" n
+                    (String.concat "; "
+                       (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
+              cex.Checker.params;
+            finish stats;
+            exit_cex
+          | Checker.Unknown (reason, stats) ->
+            Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
+              stats.Checker.wall_seconds;
+            finish stats;
+            exit_unknown
+        in
+        if jobs <= 1 then report (Flow.sec ?budget pair)
+        else
+          match
+            Dfv_par.Portfolio.check_slm_rtl ~jobs ?budget ~slm:pair.Pair.slm
+              ~rtl:pair.Pair.rtl ~spec:pair.Pair.spec ()
+          with
+          | Ok v -> report v
+          | Error e ->
+            Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+            Dfv_error.exit_code e))
       design bug
   in
   Cmd.v (Cmd.info "sec" ~doc ~exits)
-    Term.(const run $ budget_term $ stats_arg $ obs_term $ design_arg $ bug_arg)
+    Term.(
+      const run $ budget_term $ stats_arg
+      $ jobs_term ~default:(fun () -> 1)
+      $ obs_term $ design_arg $ bug_arg)
 
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
@@ -406,7 +468,8 @@ let faultsim_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable detection report to $(docv).")
   in
-  let run budget designs seed max_faults max_slm_faults sim_vectors json obs =
+  let run budget designs seed max_faults max_slm_faults sim_vectors jobs
+      timeout json obs =
     with_obs obs @@ fun () ->
     match
       Dfv_error.guard (fun () ->
@@ -414,7 +477,7 @@ let faultsim_cmd =
             match designs with [] -> Dfv_fault.Suite.names | ds -> ds
           in
           let reports =
-            Dfv_fault.Suite.run ?budget ~seed ~sim_vectors
+            Dfv_fault.Suite.run ?budget ~seed ~sim_vectors ~jobs ?timeout
               ~max_rtl_faults:max_faults ~max_slm_faults ~designs ()
           in
           List.iter (Format.printf "%a" Dfv_fault.Campaign.pp_report) reports;
@@ -447,7 +510,49 @@ let faultsim_cmd =
   Cmd.v (Cmd.info "faultsim" ~doc ~exits)
     Term.(
       const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
-      $ max_slm_faults_arg $ sim_vectors_arg $ json_arg $ obs_term)
+      $ max_slm_faults_arg $ sim_vectors_arg
+      $ jobs_term ~default:Dfv_par.Pool.cores
+      $ timeout_term $ json_arg $ obs_term)
+
+let validate_cmd =
+  let doc =
+    "Validate machine-readable artifacts: each FILE must parse as JSON \
+     and carry the shared {\"schema\", \"version\"} envelope.  Exits 0 \
+     when every file passes, 3 otherwise.  CI runs this over uploaded \
+     BENCH_*.json / fault-report / trace / coverage artifacts."
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
+  in
+  let run files =
+    let validate file =
+      let contents =
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Dfv_obs.Json.parse contents with
+      | Error m ->
+        Printf.printf "%-40s FAIL  %s\n" file ("parse error: " ^ m);
+        false
+      | Ok v -> (
+        match Dfv_obs.Json.envelope_of v with
+        | Some (schema, version) ->
+          Printf.printf "%-40s ok    %s v%d\n" file schema version;
+          true
+        | None ->
+          Printf.printf "%-40s FAIL  missing {schema, version} envelope\n"
+            file;
+          false)
+    in
+    let ok =
+      List.fold_left (fun acc f -> validate f && acc) true files
+    in
+    if ok then exit_ok else exit_error
+  in
+  Cmd.v (Cmd.info "validate" ~doc ~exits) Term.(const run $ files_arg)
 
 let triage_cmd =
   let doc =
@@ -514,7 +619,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd; faultsim_cmd;
-           triage_cmd ])
+           triage_cmd; validate_cmd ])
   in
   (* cmdliner's own cli-error (124) / internal-error (125) codes fold
      into the documented "usage or internal error" code. *)

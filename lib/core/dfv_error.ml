@@ -14,6 +14,8 @@ type t =
   | Elaboration_failure of string
   | Spec_violation of string
   | Model_runtime_fault of string
+  | Worker_crashed of { job : string; detail : string }
+  | Worker_timeout of { job : string; seconds : float }
   | Internal of string
 
 let watchdog_kind_string = function
@@ -40,14 +42,20 @@ let to_string = function
   | Elaboration_failure m -> "elaboration failure: " ^ m
   | Spec_violation m -> "spec violation: " ^ m
   | Model_runtime_fault m -> "model runtime fault: " ^ m
+  | Worker_crashed { job; detail } ->
+    Printf.sprintf "worker crashed on %s: %s" job detail
+  | Worker_timeout { job; seconds } ->
+    Printf.sprintf "worker timed out on %s after %.1fs" job seconds
   | Internal m -> "internal error: " ^ m
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
 let exit_code = function
-  | Stimulus_exhausted _ | Watchdog _ | Transaction_incomplete _ -> 2
+  | Stimulus_exhausted _ | Watchdog _ | Transaction_incomplete _
+  | Worker_timeout _ ->
+    2
   | Protocol_violation _ | Elaboration_failure _ | Spec_violation _
-  | Model_runtime_fault _ | Internal _ ->
+  | Model_runtime_fault _ | Worker_crashed _ | Internal _ ->
     3
 
 let of_exn = function
@@ -95,3 +103,119 @@ let guard f =
   | v -> Ok v
   | exception ((Out_of_memory | Stack_overflow | Sys.Break) as e) -> raise e
   | exception e -> Error (of_exn e)
+
+(* --- JSON round-trip --------------------------------------------------- *)
+
+module Json = Dfv_obs.Json
+
+let to_json e =
+  let str s = Json.String s in
+  let obj kind fields = Json.Obj (("kind", str kind) :: fields) in
+  match e with
+  | Stimulus_exhausted { attempts; rounds; detail } ->
+    obj "stimulus_exhausted"
+      [ ("attempts", Json.Int attempts);
+        ("rounds", Json.Int rounds);
+        ("detail", str detail) ]
+  | Protocol_violation { channel; detail } ->
+    obj "protocol_violation" [ ("channel", str channel); ("detail", str detail) ]
+  | Watchdog { kind; at_time; deltas; activations; processes } ->
+    obj "watchdog"
+      [ ( "watchdog_kind",
+          str
+            (match kind with
+            | Delta_limit -> "delta_limit"
+            | Activation_limit -> "activation_limit"
+            | Starvation -> "starvation") );
+        ("at_time", Json.Int at_time);
+        ("deltas", Json.Int deltas);
+        ("activations", Json.Int activations);
+        ("processes", Json.List (List.map str processes)) ]
+  | Transaction_incomplete m -> obj "transaction_incomplete" [ ("detail", str m) ]
+  | Elaboration_failure m -> obj "elaboration_failure" [ ("detail", str m) ]
+  | Spec_violation m -> obj "spec_violation" [ ("detail", str m) ]
+  | Model_runtime_fault m -> obj "model_runtime_fault" [ ("detail", str m) ]
+  | Worker_crashed { job; detail } ->
+    obj "worker_crashed" [ ("job", str job); ("detail", str detail) ]
+  | Worker_timeout { job; seconds } ->
+    obj "worker_timeout" [ ("job", str job); ("seconds", Json.Float seconds) ]
+  | Internal m -> obj "internal" [ ("detail", str m) ]
+
+let of_json v =
+  let str name =
+    match Json.field name v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let int name =
+    match Json.field name v with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "missing int field %S" name)
+  in
+  let num name =
+    match Json.field name v with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error (Printf.sprintf "missing number field %S" name)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = str "kind" in
+  match kind with
+  | "stimulus_exhausted" ->
+    let* attempts = int "attempts" in
+    let* rounds = int "rounds" in
+    let* detail = str "detail" in
+    Ok (Stimulus_exhausted { attempts; rounds; detail })
+  | "protocol_violation" ->
+    let* channel = str "channel" in
+    let* detail = str "detail" in
+    Ok (Protocol_violation { channel; detail })
+  | "watchdog" ->
+    let* k = str "watchdog_kind" in
+    let* kind =
+      match k with
+      | "delta_limit" -> Ok Delta_limit
+      | "activation_limit" -> Ok Activation_limit
+      | "starvation" -> Ok Starvation
+      | k -> Error (Printf.sprintf "unknown watchdog kind %S" k)
+    in
+    let* at_time = int "at_time" in
+    let* deltas = int "deltas" in
+    let* activations = int "activations" in
+    let* processes =
+      match Json.field "processes" v with
+      | Some (Json.List ps) ->
+        List.fold_right
+          (fun p acc ->
+            let* acc = acc in
+            match p with
+            | Json.String s -> Ok (s :: acc)
+            | _ -> Error "non-string process name")
+          ps (Ok [])
+      | _ -> Error "missing list field \"processes\""
+    in
+    Ok (Watchdog { kind; at_time; deltas; activations; processes })
+  | "transaction_incomplete" ->
+    let* m = str "detail" in
+    Ok (Transaction_incomplete m)
+  | "elaboration_failure" ->
+    let* m = str "detail" in
+    Ok (Elaboration_failure m)
+  | "spec_violation" ->
+    let* m = str "detail" in
+    Ok (Spec_violation m)
+  | "model_runtime_fault" ->
+    let* m = str "detail" in
+    Ok (Model_runtime_fault m)
+  | "worker_crashed" ->
+    let* job = str "job" in
+    let* detail = str "detail" in
+    Ok (Worker_crashed { job; detail })
+  | "worker_timeout" ->
+    let* job = str "job" in
+    let* seconds = num "seconds" in
+    Ok (Worker_timeout { job; seconds })
+  | "internal" ->
+    let* m = str "detail" in
+    Ok (Internal m)
+  | kind -> Error (Printf.sprintf "unknown error kind %S" kind)

@@ -41,6 +41,13 @@ type t =
   | Spec_violation of string  (** the transaction spec is ill-formed *)
   | Model_runtime_fault of string
       (** the SLM faulted while executing (e.g. division by zero) *)
+  | Worker_crashed of { job : string; detail : string }
+      (** a pool worker process died without delivering a result: killed
+          by a signal (segfault, OOM kill), a nonzero exit, or a lost
+          heartbeat (see {!Dfv_par.Pool}) *)
+  | Worker_timeout of { job : string; seconds : float }
+      (** a pool worker exceeded its per-job wall-clock budget and was
+          killed — the parallel analogue of a solver budget running out *)
   | Internal of string  (** anything else; carries the raw message *)
 
 val to_string : t -> string
@@ -49,8 +56,16 @@ val pp : Format.formatter -> t -> unit
 val exit_code : t -> int
 (** CLI exit code for this error under the documented convention:
     2 for "could not decide" failures (budget-like: stimulus exhaustion,
-    watchdog trips, incomplete transactions), 3 for structural/internal
-    errors. *)
+    watchdog trips, incomplete transactions, worker timeouts), 3 for
+    structural/internal errors (including worker crashes). *)
+
+val to_json : t -> Dfv_obs.Json.t
+(** Structured rendering, a tagged object [{"kind": ..., ...fields}].
+    {!of_json} inverts it exactly; the worker pool uses the pair to
+    carry taxonomy values across the result pipe without flattening
+    them to strings. *)
+
+val of_json : Dfv_obs.Json.t -> (t, string) result
 
 val of_exn : exn -> t
 (** Total mapping from engine exceptions to the taxonomy; unrecognized

@@ -4,6 +4,7 @@ module Dfv_error = Dfv_core.Dfv_error
 module Checker = Dfv_sec.Checker
 module Spec = Dfv_sec.Spec
 module Solver = Dfv_sat.Solver
+module Pool = Dfv_par.Pool
 
 type subject =
   | Sec_pair of Pair.t
@@ -64,8 +65,105 @@ let reason_string = function
   | Solver.Conflict_limit -> "conflict budget exhausted"
   | Solver.Time_limit -> "time budget exhausted"
 
-let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
-    ?(max_slm_faults = 8) ?(extra_mutants = []) subject =
+(* --- wire form ---------------------------------------------------------
+
+   The per-mutant result as it crosses a worker pipe (see {!Pool.map}).
+   Distinct from the report JSON below: this one round-trips exactly,
+   keeping [Crashed] as a structured taxonomy value rather than a
+   flattened string. *)
+
+module Json = Dfv_obs.Json
+
+let verdict_to_json = function
+  | Detected { engine; seconds; localized } ->
+    Json.Obj
+      ([ ("kind", Json.String "detected");
+         ("engine", Json.String engine);
+         ("seconds", Json.Float seconds) ]
+      @ match localized with
+        | Some l -> [ ("localized", Json.Bool l) ]
+        | None -> [])
+  | Survived { seconds } ->
+    Json.Obj [ ("kind", Json.String "survived"); ("seconds", Json.Float seconds) ]
+  | False_equivalent { seconds } ->
+    Json.Obj
+      [ ("kind", Json.String "false_equivalent"); ("seconds", Json.Float seconds) ]
+  | Unknown { reason; seconds } ->
+    Json.Obj
+      [ ("kind", Json.String "unknown");
+        ("reason", Json.String reason);
+        ("seconds", Json.Float seconds) ]
+  | Crashed e ->
+    Json.Obj [ ("kind", Json.String "crashed"); ("error", Dfv_error.to_json e) ]
+
+let verdict_of_json v =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Json.field name v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let seconds () =
+    match Json.field "seconds" v with
+    | Some (Json.Float f) -> Ok f
+    | Some (Json.Int i) -> Ok (float_of_int i)
+    | _ -> Error "missing number field \"seconds\""
+  in
+  let* kind = str "kind" in
+  match kind with
+  | "detected" ->
+    let* engine = str "engine" in
+    let* seconds = seconds () in
+    let localized =
+      match Json.field "localized" v with
+      | Some (Json.Bool b) -> Some b
+      | _ -> None
+    in
+    Ok (Detected { engine; seconds; localized })
+  | "survived" ->
+    let* seconds = seconds () in
+    Ok (Survived { seconds })
+  | "false_equivalent" ->
+    let* seconds = seconds () in
+    Ok (False_equivalent { seconds })
+  | "unknown" ->
+    let* reason = str "reason" in
+    let* seconds = seconds () in
+    Ok (Unknown { reason; seconds })
+  | "crashed" -> (
+    match Json.field "error" v with
+    | Some e ->
+      let* e = Dfv_error.of_json e in
+      Ok (Crashed e)
+    | None -> Error "crashed verdict without error")
+  | k -> Error (Printf.sprintf "unknown verdict kind %S" k)
+
+let result_to_json r =
+  Json.Obj
+    [ ("name", Json.String r.m_name);
+      ("class", Json.String r.m_class);
+      ("site", Json.String r.m_site);
+      ("verdict", verdict_to_json r.verdict) ]
+
+let result_of_json v =
+  let ( let* ) = Result.bind in
+  let str name =
+    match Json.field name v with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string field %S" name)
+  in
+  let* m_name = str "name" in
+  let* m_class = str "class" in
+  let* m_site = str "site" in
+  match Json.field "verdict" v with
+  | Some verdict ->
+    let* verdict = verdict_of_json verdict in
+    Ok { m_name; m_class; m_site; verdict }
+  | None -> Error "result without verdict"
+
+let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(jobs = 1) ?timeout
+    ?(max_rtl_faults = 16) ?(max_slm_faults = 8) ?(extra_mutants = []) subject
+    =
   let t_start = Unix.gettimeofday () in
   let subject_name =
     match subject with
@@ -87,11 +185,15 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
         (Fault.enumerate_rtl ~seed ~max_faults:max_rtl_faults co_rtl))
     @ extra_mutants
   in
-  let run_one m =
+  let run_one (i, m) =
     Dfv_obs.Trace.with_span ~cat:"fault"
       ~args:[ ("mutant", Dfv_obs.Json.String (mutant_name m)) ]
       "fault.mutant"
     @@ fun () ->
+    (* The simulation cross-check seed is a pure function of (campaign
+       seed, mutant index): verdicts cannot depend on how mutants are
+       partitioned across workers. *)
+    let sim_seed = Pool.job_seed ~seed i in
     let t0 = Unix.gettimeofday () in
     let elapsed () = Unix.gettimeofday () -. t0 in
     let outcome =
@@ -142,7 +244,7 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
               (* SEC accepted the mutant: cross-examine by simulation.
                  A mismatch here means the prover signed off on a
                  detectable fault — the campaign's fatal finding. *)
-              match Flow.simulate ~seed ~vectors:sim_vectors pair' with
+              match Flow.simulate ~seed:sim_seed ~vectors:sim_vectors pair' with
               | Ok (Flow.Sim_mismatch _) ->
                 False_equivalent { seconds = elapsed () }
               | Ok (Flow.Sim_clean _) -> Survived { seconds = elapsed () }
@@ -180,11 +282,42 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(max_rtl_faults = 16)
       verdict;
     }
   in
+  let indexed = List.mapi (fun i m -> (i, m)) mutants in
+  let skeleton m verdict =
+    {
+      m_name = mutant_name m;
+      m_class = mutant_class m;
+      m_site = mutant_site m;
+      verdict;
+    }
+  in
+  let run_pooled () =
+    let names = Array.of_list (List.map mutant_name mutants) in
+    let outcomes =
+      Pool.map ~jobs:(max 1 jobs) ?timeout
+        ~label:(fun i ->
+          if i < Array.length names then names.(i) else string_of_int i)
+        ~encode:result_to_json ~decode:result_of_json run_one indexed
+    in
+    (* Pool failures fold into the campaign taxonomy: a timed-out worker
+       is an undecided mutant (budget-like), a crashed worker is the
+       crash verdict — the isolation the pool exists to provide. *)
+    List.map2
+      (fun (_, m) outcome ->
+        match outcome with
+        | Ok r -> r
+        | Error (Dfv_error.Worker_timeout { seconds; _ } as e) ->
+          skeleton m (Unknown { reason = Dfv_error.to_string e; seconds })
+        | Error e -> skeleton m (Crashed e))
+      indexed outcomes
+  in
   let results =
     Dfv_obs.Trace.with_span ~cat:"fault"
       ~args:[ ("subject", Dfv_obs.Json.String subject_name) ]
       "fault.campaign"
-      (fun () -> List.map run_one mutants)
+      (fun () ->
+        if jobs <= 1 && timeout = None then List.map run_one indexed
+        else run_pooled ())
   in
   let count p = List.length (List.filter p results) in
   {
@@ -246,8 +379,6 @@ let pp_report fmt r =
     r.r_results
 
 (* --- JSON -------------------------------------------------------------- *)
-
-module Json = Dfv_obs.Json
 
 let json_of_reports ~min_rate reports =
   let str s = Json.String s in

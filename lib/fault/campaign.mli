@@ -12,7 +12,15 @@
 
     Each mutant runs inside {!Dfv_core.Dfv_error.guard} with its own
     SAT budget, so one crashing or diverging mutant degrades to a
-    recorded verdict and the rest of the campaign still runs. *)
+    recorded verdict and the rest of the campaign still runs.  With
+    [jobs > 1] (or a [timeout]) mutants additionally run in forked
+    worker processes via {!Dfv_par.Pool}, upgrading that isolation to
+    the process level: a segfaulting or OOM-killed mutant becomes
+    [Crashed], a wall-clock-exceeded one becomes [Unknown], and the
+    campaign completes either way.  Verdicts are independent of [jobs]:
+    mutants are enumerated in the parent and each mutant's simulation
+    seed is a pure function of the campaign seed and its index
+    ({!Dfv_par.Pool.job_seed}). *)
 
 type subject =
   | Sec_pair of Dfv_core.Pair.t
@@ -73,6 +81,8 @@ val run :
   ?budget:Dfv_sat.Solver.budget ->
   ?sim_vectors:int ->
   ?seed:int ->
+  ?jobs:int ->
+  ?timeout:float ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?extra_mutants:mutant list ->
@@ -81,7 +91,22 @@ val run :
 (** Run the campaign.  [budget] (per mutant) bounds each SEC query;
     [sim_vectors] (default 400) sizes the cross-check simulation;
     [max_rtl_faults] (default 16) / [max_slm_faults] (default 8) bound
-    the mutant population per subject. *)
+    the mutant population per subject.
+
+    [jobs] (default 1) bounds concurrent mutant workers; any value
+    above 1 — or any [timeout] — switches to forked per-mutant workers
+    ({!Dfv_par.Pool.map}) with identical verdicts.  [timeout] is the
+    per-mutant wall-clock budget in seconds: an expired mutant is
+    killed and recorded as [Unknown] (budget-like), while a worker
+    that dies is recorded as [Crashed]. *)
+
+val result_to_json : mutant_result -> Dfv_obs.Json.t
+(** The exact wire form of one mutant result — the payload a pool
+    worker ships back over its pipe.  Unlike {!json_of_reports} (a
+    human-facing report), this round-trips through {!result_of_json}
+    losslessly, keeping [Crashed] errors structured. *)
+
+val result_of_json : Dfv_obs.Json.t -> (mutant_result, string) result
 
 val detection_rate : report list -> float
 (** [detected / (detected + false_equivalent + crashed)] across the

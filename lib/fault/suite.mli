@@ -15,13 +15,17 @@ val run :
   ?budget:Dfv_sat.Solver.budget ->
   ?seed:int ->
   ?sim_vectors:int ->
+  ?jobs:int ->
+  ?timeout:float ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?designs:string list ->
   unit ->
   Campaign.report list
 (** Run the campaigns ([designs] defaults to all of {!names}; raises
-    [Failure] on an unknown name). *)
+    [Failure] on an unknown name).  [jobs]/[timeout] select the forked
+    per-mutant worker pool inside each campaign — see
+    {!Campaign.run}. *)
 
 val default_min_rate : float
 (** 0.95. *)

@@ -1,0 +1,93 @@
+(** A fork-based worker pool with crash isolation.
+
+    The fault campaign and the SEC portfolio are embarrassingly
+    parallel: independent mutants, independent BMC frames, independent
+    solving strategies.  This pool runs such jobs across worker
+    {e processes} (one [fork] per job, at most [jobs] alive at once), so
+    that a worker that segfaults, is OOM-killed, or wedges becomes a
+    recorded {!Dfv_core.Dfv_error.t} — never a dead run.
+
+    {2 Protocol}
+
+    Each worker computes its job in the forked child (the job closure
+    travels by fork, not serialization) and writes exactly one result
+    line — the {!Dfv_obs.Json} envelope
+    [{"schema":"dfv-par","version":1,"kind":"result"|"error","job":i,...}]
+    — on a private pipe, preceded by periodic [kind:"heartbeat"] lines
+    emitted from a SIGALRM timer.  The parent multiplexes the pipes with
+    [select], kills workers that exceed the per-job wall-clock budget
+    ([Worker_timeout]) or stop heartbeating ([Worker_crashed]), and maps
+    a worker that dies without delivering a result — by signal or
+    nonzero exit — to [Worker_crashed] with the cause.
+
+    {2 Determinism}
+
+    Job outcomes must depend only on the job itself, never on which
+    worker ran it or how many there are: results are returned in input
+    order, and {!job_seed} derives a per-job PRNG seed from the job
+    {e index}, so a campaign's verdicts are identical under any [~jobs]
+    (the issue's gate: [--jobs N] never changes verdicts). *)
+
+val cores : unit -> int
+(** Number of CPU cores available to this process (>= 1). *)
+
+val job_seed : seed:int -> int -> int
+(** [job_seed ~seed i] mixes the campaign seed with job index [i] into
+    a well-spread per-job seed (a splitmix64-style finalizer), the same
+    value no matter how jobs are partitioned across workers. *)
+
+type 'r outcome = ('r, Dfv_core.Dfv_error.t) result
+
+val map :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?heartbeat:float ->
+  ?label:(int -> string) ->
+  encode:('r -> Dfv_obs.Json.t) ->
+  decode:(Dfv_obs.Json.t -> ('r, string) result) ->
+  ('a -> 'r) ->
+  'a list ->
+  'r outcome list
+(** [map ~encode ~decode f inputs] runs [f] on every input in forked
+    workers and returns the outcomes {e in input order}.
+
+    [jobs] bounds concurrent workers (default {!cores}; [jobs = 1] still
+    forks, so crash isolation and the timeout apply identically — only
+    parallelism changes).  [timeout] is the per-job wall-clock budget in
+    seconds (default: none); an expired job is SIGKILLed and reported as
+    [Error (Worker_timeout _)].  [heartbeat] (default 0.5s) sets the
+    worker heartbeat period; a worker silent for 20 heartbeat periods is
+    presumed wedged below the OCaml runtime (stuck in a blocking call)
+    and reported as [Error (Worker_crashed _)].  [label] names job [i]
+    in error values (default: its index).
+
+    [encode]/[decode] carry the result across the pipe; a worker whose
+    payload fails to decode is a [Worker_crashed] (protocol damage, same
+    class as a torn write). *)
+
+type 'r race = {
+  winner : (int * 'r) option;
+      (** first conclusive result (job index, result); [None] when no
+          job concluded *)
+  outcomes : 'r outcome option array;
+      (** per-job outcomes, indexed like the input list; [None] for jobs
+          cancelled (or never started) after the winner emerged *)
+}
+
+val race :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?heartbeat:float ->
+  ?label:(int -> string) ->
+  encode:('r -> Dfv_obs.Json.t) ->
+  decode:(Dfv_obs.Json.t -> ('r, string) result) ->
+  conclusive:('r -> bool) ->
+  ('a -> 'r) ->
+  'a list ->
+  'r race
+(** Portfolio mode: like {!map}, but the first result for which
+    [conclusive] holds wins — every other live worker is SIGKILLed,
+    pending jobs are not started, and their outcomes stay [None].  When
+    several workers conclude in the same [select] round the lowest job
+    index wins, so ties are broken deterministically.  If no job
+    concludes, [winner = None] and every outcome is filled in. *)

@@ -1,0 +1,66 @@
+(** Portfolio SEC: equivalence checks raced across worker processes.
+
+    Two parallelization shapes, both built on {!Pool.race}:
+
+    - {!check_slm_rtl} races {e solving strategies} — the same
+      SLM-vs-RTL query attempted with and without the SAT-sweeping
+      fallback — and takes the first conclusive verdict
+      ([Equivalent]/[Not_equivalent]), cancelling the rest.  Which
+      strategy wins the race may vary with machine load, but the verdict
+      cannot: both decide the same miter, so any conclusive answer is
+      the answer.
+
+    - {!check_rtl_rtl} shards {e BMC frames}: frame miters of the
+      product machine are mutually independent (the sequential checker's
+      blocking clauses are only an optimization), so each worker decides
+      "do the designs diverge at exactly cycle [t] from reset" in a
+      private session.  Any [Sat] frame is a real divergence and
+      cancels the rest; all-[Unsat] is the bounded equivalence claim.
+
+    This module lives in [lib/par] rather than [lib/sec] because the
+    pool needs the {!Dfv_core.Dfv_error} taxonomy and [lib/core] already
+    depends on [lib/sec]; the portfolio wraps {!Dfv_sec.Checker} from
+    the outside.
+
+    Counterexamples cross the worker pipe reduced to parameter/input
+    bitvectors (Verilog-literal strings under the [dfv-par] envelope);
+    the parent rebuilds full counterexamples via
+    {!Dfv_sec.Checker.cex_of_params} or product re-simulation.  Worker
+    failures surface as [Error] — except a worker wall-clock timeout in
+    {!check_rtl_rtl}, which degrades to [Rtl_unknown] (it is the
+    parallel analogue of a solver budget running out). *)
+
+val check_slm_rtl :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?budget:Dfv_sat.Solver.budget ->
+  slm:Dfv_hwir.Ast.program ->
+  rtl:Dfv_rtl.Netlist.elaborated ->
+  spec:Dfv_sec.Spec.t ->
+  unit ->
+  (Dfv_sec.Checker.verdict, Dfv_core.Dfv_error.t) result
+(** Race the sweeping and direct strategies on one SLM-vs-RTL query.
+    First conclusive verdict wins; if every strategy returns [Unknown],
+    the first strategy's [Unknown] is reported.  [Error] when every
+    strategy's worker crashed or timed out.  [timeout] is the per-worker
+    wall-clock budget in seconds; [budget] the per-query solver budget,
+    as in {!Dfv_sec.Checker.check_slm_rtl}. *)
+
+val check_rtl_rtl :
+  ?jobs:int ->
+  ?timeout:float ->
+  ?budget:Dfv_sat.Solver.budget ->
+  a:Dfv_rtl.Netlist.elaborated ->
+  b:Dfv_rtl.Netlist.elaborated ->
+  bound:int ->
+  unit ->
+  (Dfv_sec.Checker.rtl_verdict, Dfv_core.Dfv_error.t) result
+(** BMC with frames [0..bound-1] sharded across workers.  Any [Sat]
+    frame yields [Rtl_not_equivalent] (the verdict class is
+    deterministic; which frame furnishes the counterexample may depend
+    on scheduling).  Otherwise: any undecided frame (solver budget or
+    worker timeout) yields [Rtl_unknown]; all frames [Unsat] yields
+    [Rtl_equivalent_to_bound].  A crashed worker yields [Error] — a
+    crash must not silently weaken an equivalence claim.  Solver
+    statistics are summed across workers; [wall_seconds] is the
+    parent's elapsed time. *)

@@ -220,6 +220,79 @@ let decide_miter ~sweep ~budget session param_shapes violated cstrs =
       (outcome, params, sn2))
   | outcome, params -> (outcome, params, session)
 
+(* Rebuild a full counterexample from the SLM argument assignment alone:
+   re-run the SLM interpreter for the expected result and re-simulate
+   the RTL on the concrete stimulus for the actual diverging values.
+   The assignment fully determines the cex, which lets a portfolio
+   worker ship only [params] (plain bitvectors) over its result pipe
+   and the parent reconstruct the rest here. *)
+let cex_of_params ~slm ~rtl ~(spec : Spec.t) params =
+  let port_width p =
+    match
+      List.find_opt (fun q -> q.Netlist.port_name = p) rtl.Netlist.e_inputs
+    with
+    | Some q -> q.Netlist.port_width
+    | None -> fail "no RTL input port named %s" p
+  in
+  let slm_result =
+    match Interp.run slm (List.map snd params) with
+    | v -> Some v
+    | exception Interp.Runtime_error _ -> None
+  in
+  (* Re-simulate the RTL on the concrete stimulus to report the actual
+     diverging values. *)
+  let sim = Sim.create rtl in
+  let concrete_source (src : Spec.source) width =
+    match src with
+    | Spec.Const bv -> bv
+    | Spec.Param name -> (
+      match List.assoc name params with
+      | Interp.Vint bv -> bv
+      | Interp.Varr _ -> assert false)
+    | Spec.Param_elem (name, i) -> (
+      match List.assoc name params with
+      | Interp.Varr a -> a.(i)
+      | Interp.Vint _ -> assert false)
+    | Spec.Param_bits { name; hi; lo } -> (
+      match List.assoc name params with
+      | Interp.Vint bv ->
+        ignore width;
+        Bitvec.select bv ~hi ~lo
+      | Interp.Varr _ -> assert false)
+  in
+  let rtl_outputs = Array.make spec.rtl_cycles [] in
+  for t = 0 to spec.rtl_cycles - 1 do
+    let ins =
+      List.map
+        (fun (port, drive) ->
+          let width = port_width port in
+          let src =
+            match drive with
+            | Spec.Hold bv -> Spec.Const bv
+            | Spec.At f -> f t
+          in
+          (port, concrete_source src width))
+        spec.drives
+    in
+    rtl_outputs.(t) <- Sim.cycle sim ins
+  done;
+  let expected_value (c : Spec.check) =
+    match (c.expect, slm_result) with
+    | Spec.Result, Some (Interp.Vint bv) -> Some bv
+    | Spec.Result_elem i, Some (Interp.Varr a) -> Some a.(i)
+    | _, _ -> None
+  in
+  let failed_checks =
+    List.filter_map
+      (fun (c : Spec.check) ->
+        let rtl_v = List.assoc c.rtl_port rtl_outputs.(c.at_cycle) in
+        match expected_value c with
+        | Some e when Bitvec.equal e rtl_v -> None
+        | Some _ | None -> Some (c, rtl_v))
+      spec.checks
+  in
+  { params; slm_result; failed_checks }
+
 let check_slm_rtl ?(sweep = true) ?budget ?session ~slm ~rtl ~(spec : Spec.t)
     () =
   let t0 = now () in
@@ -304,65 +377,7 @@ let check_slm_rtl ?(sweep = true) ?budget ?session ~slm ~rtl ~(spec : Spec.t)
   | Solver.Unknown r, _ -> Unknown (r, stats_of dsession t0)
   | Solver.Sat, None -> assert false
   | Solver.Sat, Some params ->
-    let slm_result =
-      match Interp.run slm (List.map snd params) with
-      | v -> Some v
-      | exception Interp.Runtime_error _ -> None
-    in
-    (* Re-simulate the RTL on the concrete stimulus to report the actual
-       diverging values. *)
-    let sim = Sim.create rtl in
-    let concrete_source (src : Spec.source) width =
-      match src with
-      | Spec.Const bv -> bv
-      | Spec.Param name -> (
-        match List.assoc name params with
-        | Interp.Vint bv -> bv
-        | Interp.Varr _ -> assert false)
-      | Spec.Param_elem (name, i) -> (
-        match List.assoc name params with
-        | Interp.Varr a -> a.(i)
-        | Interp.Vint _ -> assert false)
-      | Spec.Param_bits { name; hi; lo } -> (
-        match List.assoc name params with
-        | Interp.Vint bv ->
-          ignore width;
-          Bitvec.select bv ~hi ~lo
-        | Interp.Varr _ -> assert false)
-    in
-    let rtl_outputs = Array.make spec.rtl_cycles [] in
-    for t = 0 to spec.rtl_cycles - 1 do
-      let ins =
-        List.map
-          (fun (port, drive) ->
-            let width = port_width port in
-            let src =
-              match drive with
-              | Spec.Hold bv -> Spec.Const bv
-              | Spec.At f -> f t
-            in
-            (port, concrete_source src width))
-          spec.drives
-      in
-      rtl_outputs.(t) <- Sim.cycle sim ins
-    done;
-    let expected_value (c : Spec.check) =
-      match (c.expect, slm_result) with
-      | Spec.Result, Some (Interp.Vint bv) -> Some bv
-      | Spec.Result_elem i, Some (Interp.Varr a) -> Some a.(i)
-      | _, _ -> None
-    in
-    let failed_checks =
-      List.filter_map
-        (fun (c : Spec.check) ->
-          let rtl_v = List.assoc c.rtl_port rtl_outputs.(c.at_cycle) in
-          match expected_value c with
-          | Some e when Bitvec.equal e rtl_v -> None
-          | Some _ | None -> Some (c, rtl_v))
-        spec.checks
-    in
-    Not_equivalent
-      ({ params; slm_result; failed_checks }, stats_of dsession t0)
+    Not_equivalent (cex_of_params ~slm ~rtl ~spec params, stats_of dsession t0)
 
 (* --- SLM vs SLM -------------------------------------------------------- *)
 

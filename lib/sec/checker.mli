@@ -64,6 +64,19 @@ exception Spec_error of string
 (** Malformed specification: undriven RTL input, unknown port or
     parameter, width mismatch, out-of-range cycle, non-bool constraint. *)
 
+val cex_of_params :
+  slm:Dfv_hwir.Ast.program ->
+  rtl:Dfv_rtl.Netlist.elaborated ->
+  spec:Spec.t ->
+  (string * Dfv_hwir.Interp.value) list ->
+  cex
+(** Rebuild a full {!cex} from the SLM argument assignment alone: re-run
+    the SLM interpreter for [slm_result] and re-simulate the RTL on the
+    concrete stimulus for [failed_checks].  The assignment determines
+    the counterexample completely, so a worker process (see
+    {!Dfv_par.Portfolio}) can ship just the parameter bitvectors over
+    its result pipe and the parent reconstructs the rest here. *)
+
 val check_slm_rtl :
   ?sweep:bool ->
   ?budget:Dfv_sat.Solver.budget ->

@@ -15,6 +15,43 @@ let alu_pair ?bug () =
   let t = Alu.make ?bug ~width:8 () in
   Pair.create ~name:"alu" ~slm:t.Alu.slm ~rtl:t.Alu.rtl ~spec:t.Alu.spec
 
+(* The worker pool carries taxonomy values across the result pipe as
+   JSON, so to_json/of_json must invert exactly for every constructor. *)
+let test_error_json_roundtrip () =
+  let cases =
+    [ Dfv_error.Stimulus_exhausted
+        { attempts = 400; rounds = 3; detail = "all widened" };
+      Dfv_error.Protocol_violation
+        { channel = "req"; detail = "response before request" };
+      Dfv_error.Watchdog
+        {
+          kind = Dfv_error.Starvation;
+          at_time = 120;
+          deltas = 4;
+          activations = 9;
+          processes = [ "consumer"; "arbiter" ];
+        };
+      Dfv_error.Transaction_incomplete "2 in flight";
+      Dfv_error.Elaboration_failure "unknown signal q";
+      Dfv_error.Spec_violation "check references missing port";
+      Dfv_error.Model_runtime_fault "division by zero";
+      Dfv_error.Worker_crashed
+        { job = "mutant-7"; detail = "killed by SIGKILL" };
+      Dfv_error.Worker_timeout { job = "mutant-9"; seconds = 2.5 };
+      Dfv_error.Internal "boom" ]
+  in
+  List.iter
+    (fun e ->
+      match Dfv_error.of_json (Dfv_error.to_json e) with
+      | Ok e' ->
+        check_bool (Dfv_error.to_string e) true (e = e')
+      | Error m ->
+        Alcotest.failf "%s did not roundtrip: %s" (Dfv_error.to_string e) m)
+    cases;
+  match Dfv_error.of_json (Dfv_obs.Json.Obj [ ("kind", Dfv_obs.Json.String "no-such") ]) with
+  | Ok _ -> Alcotest.fail "unknown kind must not decode"
+  | Error _ -> ()
+
 let test_audit_clean () =
   let a = Pair.audit (alu_pair ()) in
   check_bool "types ok" true (a.Pair.slm_types = Ok ());
@@ -263,7 +300,9 @@ let test_chain_plug_and_play_stages () =
   check_bool "streams equal" true (Array.for_all2 Bitvec.equal slm_out rtl_out)
 
 let suite =
-  [ Alcotest.test_case "audit clean pair" `Quick test_audit_clean;
+  [ Alcotest.test_case "error taxonomy json roundtrip" `Quick
+      test_error_json_roundtrip;
+    Alcotest.test_case "audit clean pair" `Quick test_audit_clean;
     Alcotest.test_case "audit unconditioned SLM" `Quick
       test_audit_unconditioned;
     Alcotest.test_case "audit spec coverage" `Quick test_audit_spec_coverage;

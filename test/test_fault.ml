@@ -140,6 +140,81 @@ let test_campaign_survives_crashing_mutant () =
      by crashing instead of verifying. *)
   check_bool "rate dented" true (Campaign.detection_rate [ r ] < 1.0)
 
+(* Acceptance: a worker killed mid-job (models a segfault or OOM kill)
+   must leave the campaign alive, with that one mutant Crashed on a
+   Worker_crashed — distinct from the structured Internal a raising
+   mutant produces, and distinct from the Unknown a timed-out one
+   produces. *)
+let test_pooled_killed_worker () =
+  let kill_self =
+    Campaign.Custom_mutant
+      {
+        cm_name = "kill-self";
+        cm_run =
+          (fun () ->
+            Unix.kill (Unix.getpid ()) Sys.sigkill;
+            false);
+      }
+  in
+  let boom =
+    Campaign.Custom_mutant
+      { cm_name = "boom"; cm_run = (fun () -> failwith "boom") }
+  in
+  let r =
+    Campaign.run ?budget ~jobs:2 ~max_rtl_faults:4 ~max_slm_faults:2
+      ~extra_mutants:[ kill_self; boom ]
+      (Campaign.Sec_pair (alu_pair ()))
+  in
+  check_int "both degraded to Crashed" 2 r.Campaign.r_crashed;
+  check_bool "rest of the campaign completed" true (r.Campaign.r_detected >= 1);
+  let verdict_of name =
+    (List.find (fun m -> m.Campaign.m_name = name) r.Campaign.r_results)
+      .Campaign.verdict
+  in
+  (match verdict_of "kill-self" with
+  | Campaign.Crashed (Dfv_core.Dfv_error.Worker_crashed _) -> ()
+  | v ->
+    Alcotest.failf "kill-self should be Worker_crashed, got %s"
+      (Campaign.verdict_label v));
+  match verdict_of "boom" with
+  | Campaign.Crashed (Dfv_core.Dfv_error.Internal m) ->
+    Alcotest.(check string) "raise stays structured across the pipe" "boom" m
+  | v ->
+    Alcotest.failf "boom should be Crashed (Internal), got %s"
+      (Campaign.verdict_label v)
+
+(* A wedged mutant under a wall-clock budget is a justified Unknown
+   (budget-like), never a Crashed: the distinction feeds the gate, which
+   tolerates unknowns but not silent crashes. *)
+let test_pooled_timeout_is_unknown () =
+  let sleeper =
+    Campaign.Custom_mutant
+      {
+        cm_name = "sleeper";
+        cm_run =
+          (fun () ->
+            Unix.sleep 60;
+            false);
+      }
+  in
+  let r =
+    Campaign.run ?budget ~jobs:2 ~timeout:2.0 ~max_rtl_faults:4
+      ~max_slm_faults:2 ~extra_mutants:[ sleeper ]
+      (Campaign.Sec_pair (alu_pair ()))
+  in
+  check_int "no crash" 0 r.Campaign.r_crashed;
+  check_bool "unknown recorded" true (r.Campaign.r_unknown >= 1);
+  let sleeper_v =
+    (List.find (fun m -> m.Campaign.m_name = "sleeper") r.Campaign.r_results)
+      .Campaign.verdict
+  in
+  match sleeper_v with
+  | Campaign.Unknown { seconds; _ } ->
+    check_bool "budget recorded" true (seconds = 2.0)
+  | v ->
+    Alcotest.failf "sleeper should be Unknown, got %s"
+      (Campaign.verdict_label v)
+
 let test_json_report () =
   let r =
     Campaign.run ?budget ~max_rtl_faults:4 ~max_slm_faults:2
@@ -165,4 +240,8 @@ let suite =
     Alcotest.test_case "alu campaign gate" `Quick test_alu_campaign_gate;
     Alcotest.test_case "campaign survives crashing mutant" `Quick
       test_campaign_survives_crashing_mutant;
+    Alcotest.test_case "pooled campaign: killed worker is Crashed" `Quick
+      test_pooled_killed_worker;
+    Alcotest.test_case "pooled campaign: timeout is Unknown" `Slow
+      test_pooled_timeout_is_unknown;
     Alcotest.test_case "json report" `Quick test_json_report ]

@@ -19,6 +19,7 @@ let () =
       ("designs", Test_designs.suite);
       ("core", Test_core.suite);
       ("fault", Test_fault.suite);
+      ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("behsyn", Test_behsyn.suite) ]

@@ -30,6 +30,52 @@ let test_json_envelope () =
     (Json.to_string
        (Json.envelope ~schema:"dfv-test" ~version:3 [ ("x", Json.Int 7) ]))
 
+let test_json_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [ ("schema", Json.String "dfv-par");
+        ("version", Json.Int 1);
+        ("neg", Json.Int (-42));
+        ("pi", Json.Float 3.5);
+        ("esc", Json.String "a\"b\\c\nd\te\x01f");
+        ("null", Json.Null);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("nested", Json.Obj [ ("xs", Json.List [ Json.Int 0; Json.Int 7 ]) ]) ]
+  in
+  (match Json.parse (Json.to_string v) with
+  | Ok v' ->
+    check_string "parse inverts to_string" (Json.to_string v)
+      (Json.to_string v')
+  | Error e -> Alcotest.failf "roundtrip parse failed: %s" e);
+  check_bool "surrounding whitespace ok" true
+    (Json.parse "  [1, 2]\n" = Ok (Json.List [ Json.Int 1; Json.Int 2 ]))
+
+let test_json_parse_rejects_malformed () =
+  let bad s =
+    match Json.parse s with
+    | Ok _ -> Alcotest.failf "parse accepted malformed input %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{\"a\":1";
+  bad "\"unterminated";
+  bad "\"bad \\q escape\"";
+  bad "[1,]";
+  bad "01";
+  bad "{\"a\":1} trailing";
+  bad "nul"
+
+let test_json_envelope_of () =
+  let enveloped = Json.envelope ~schema:"dfv-bench" ~version:2 [] in
+  check_bool "envelope recognized" true
+    (Json.envelope_of enveloped = Some ("dfv-bench", 2));
+  check_bool "field access" true
+    (Json.field "schema" enveloped = Some (Json.String "dfv-bench"));
+  check_bool "plain object is not an envelope" true
+    (Json.envelope_of (Json.Obj [ ("x", Json.Int 1) ]) = None);
+  check_bool "non-object is not an envelope" true
+    (Json.envelope_of (Json.Int 3) = None)
+
 (* --- Trace ------------------------------------------------------------ *)
 
 let test_span_nesting () =
@@ -249,6 +295,11 @@ let test_memsys_triage () =
 let suite =
   [ Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "json envelope" `Quick test_json_envelope;
+    Alcotest.test_case "json parse roundtrip" `Quick test_json_parse_roundtrip;
+    Alcotest.test_case "json parse rejects malformed" `Quick
+      test_json_parse_rejects_malformed;
+    Alcotest.test_case "json envelope recognition" `Quick
+      test_json_envelope_of;
     Alcotest.test_case "span nesting and monotonicity" `Quick test_span_nesting;
     Alcotest.test_case "disabled tracer is a no-op" `Quick
       test_span_disabled_is_noop;

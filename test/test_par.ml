@@ -1,0 +1,236 @@
+(* The fork-based worker pool: ordering, determinism across job counts,
+   crash isolation (a killed worker is a recorded error, not a dead
+   run), per-job timeouts, and portfolio cancellation. *)
+
+module Pool = Dfv_par.Pool
+module Portfolio = Dfv_par.Portfolio
+module Dfv_error = Dfv_core.Dfv_error
+module Json = Dfv_obs.Json
+module Checker = Dfv_sec.Checker
+
+let encode_int i = Json.Int i
+
+let decode_int = function
+  | Json.Int i -> Ok i
+  | _ -> Error "expected int"
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected pool error: %s" (Dfv_error.to_string e)
+
+let test_map_order () =
+  let inputs = [ 5; 3; 9; 1; 7; 2 ] in
+  let out =
+    Pool.map ~jobs:3 ~encode:encode_int ~decode:decode_int
+      (fun x -> x * x)
+      inputs
+  in
+  Alcotest.(check (list int))
+    "squares in input order"
+    (List.map (fun x -> x * x) inputs)
+    (List.map ok out)
+
+let test_map_jobs_invariant () =
+  let inputs = List.init 9 (fun i -> i) in
+  let run jobs =
+    Pool.map ~jobs ~encode:encode_int ~decode:decode_int
+      (fun x -> (x * 31) + 7)
+      inputs
+    |> List.map ok
+  in
+  Alcotest.(check (list int)) "jobs=1 equals jobs=4" (run 1) (run 4)
+
+let test_map_empty () =
+  let out = Pool.map ~jobs:2 ~encode:encode_int ~decode:decode_int (fun x -> x) [] in
+  Alcotest.(check int) "no outcomes" 0 (List.length out)
+
+let test_job_seed_deterministic () =
+  let a = Pool.job_seed ~seed:42 3 in
+  let b = Pool.job_seed ~seed:42 3 in
+  Alcotest.(check int) "pure function" a b;
+  Alcotest.(check bool)
+    "neighbouring indices differ" true
+    (Pool.job_seed ~seed:42 3 <> Pool.job_seed ~seed:42 4);
+  Alcotest.(check bool)
+    "seeds differ" true
+    (Pool.job_seed ~seed:1 3 <> Pool.job_seed ~seed:2 3);
+  Alcotest.(check bool) "non-negative" true (Pool.job_seed ~seed:0 0 >= 0)
+
+(* A worker that SIGKILLs itself mid-job models a segfault / OOM kill:
+   the pool must record Worker_crashed for that job and still deliver
+   every other result. *)
+let test_worker_killed () =
+  let out =
+    Pool.map ~jobs:2 ~encode:encode_int ~decode:decode_int
+      (fun x ->
+        if x = 1 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+        x * 10)
+      [ 0; 1; 2 ]
+  in
+  let contains hay needle =
+    let h = String.length hay and n = String.length needle in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  (match out with
+  | [ Ok 0; Error (Dfv_error.Worker_crashed { detail; _ }); Ok 20 ] ->
+    Alcotest.(check bool)
+      "detail names the signal" true
+      (contains detail "SIGKILL" || contains detail "signal")
+  | _ -> Alcotest.fail "expected [Ok 0; Error Worker_crashed; Ok 20]")
+
+(* A worker raising stays an in-taxonomy error (carried across the pipe
+   as structured JSON), distinct from a crash. *)
+let test_worker_raises () =
+  let out =
+    Pool.map ~jobs:2 ~encode:encode_int ~decode:decode_int
+      (fun x -> if x = 1 then failwith "boom" else x)
+      [ 0; 1 ]
+  in
+  match out with
+  | [ Ok 0; Error (Dfv_error.Internal m) ] ->
+    Alcotest.(check string) "message survives the pipe" "boom" m
+  | _ -> Alcotest.fail "expected [Ok 0; Error Internal]"
+
+(* A worker exceeding the wall-clock budget is killed and reported as
+   Worker_timeout — never blocks the campaign. *)
+let test_worker_timeout () =
+  let t0 = Unix.gettimeofday () in
+  let out =
+    Pool.map ~jobs:2 ~timeout:0.5 ~heartbeat:0.1
+      ~label:(Printf.sprintf "job%d")
+      ~encode:encode_int ~decode:decode_int
+      (fun x ->
+        if x = 1 then Unix.sleep 60;
+        x)
+      [ 0; 1 ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "killed promptly, not after 60s" true (elapsed < 30.0);
+  match out with
+  | [ Ok 0; Error (Dfv_error.Worker_timeout { job; seconds }) ] ->
+    Alcotest.(check string) "labelled" "job1" job;
+    Alcotest.(check bool) "budget recorded" true (seconds = 0.5)
+  | _ -> Alcotest.fail "expected [Ok 0; Error Worker_timeout]"
+
+(* Race: the first conclusive result wins and the stragglers are
+   cancelled (their outcomes stay None). *)
+let test_race_cancels () =
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Pool.race ~jobs:3 ~heartbeat:0.1 ~encode:encode_int ~decode:decode_int
+      ~conclusive:(fun v -> v >= 0)
+      (fun x ->
+        if x = 0 then 100 else (Unix.sleep 60; -1))
+      [ 0; 1; 2 ]
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "returned promptly" true (elapsed < 30.0);
+  (match r.Pool.winner with
+  | Some (0, 100) -> ()
+  | _ -> Alcotest.fail "expected job 0 to win with 100");
+  Alcotest.(check bool)
+    "losers cancelled" true
+    (r.Pool.outcomes.(1) = None && r.Pool.outcomes.(2) = None)
+
+let test_race_no_conclusive () =
+  let r =
+    Pool.race ~jobs:2 ~encode:encode_int ~decode:decode_int
+      ~conclusive:(fun _ -> false)
+      (fun x -> x + 1)
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "no winner" true (r.Pool.winner = None);
+  Alcotest.(check bool)
+    "all outcomes filled" true
+    (r.Pool.outcomes.(0) = Some (Ok 1) && r.Pool.outcomes.(1) = Some (Ok 2))
+
+(* --- portfolio SEC ----------------------------------------------------- *)
+
+let alu_pair () =
+  let t = Dfv_designs.Alu.make ~width:8 () in
+  (t.Dfv_designs.Alu.slm, t.Dfv_designs.Alu.rtl, t.Dfv_designs.Alu.spec)
+
+let test_portfolio_slm_rtl_equivalent () =
+  let slm, rtl, spec = alu_pair () in
+  match Portfolio.check_slm_rtl ~jobs:2 ~slm ~rtl ~spec () with
+  | Ok (Checker.Equivalent _) -> ()
+  | Ok (Checker.Not_equivalent _) -> Alcotest.fail "alu should be equivalent"
+  | Ok (Checker.Unknown _) -> Alcotest.fail "alu should be decided"
+  | Error e -> Alcotest.failf "portfolio error: %s" (Dfv_error.to_string e)
+
+let test_portfolio_slm_rtl_cex () =
+  let slm, rtl, spec = alu_pair () in
+  (* Break the RTL with the first enumerated mutation so the race must
+     produce (and the parent must reconstruct) a counterexample. *)
+  let fault = List.hd (Dfv_fault.Fault.enumerate_rtl ~seed:0 ~max_faults:1 rtl) in
+  let rtl' = fault.Dfv_fault.Fault.rf_apply rtl in
+  match Portfolio.check_slm_rtl ~jobs:2 ~slm ~rtl:rtl' ~spec () with
+  | Ok (Checker.Not_equivalent (cex, _)) ->
+    Alcotest.(check bool)
+      "cex carries parameters" true
+      (cex.Checker.params <> []);
+    Alcotest.(check bool)
+      "cex re-simulated to failing checks" true
+      (cex.Checker.failed_checks <> [])
+  | Ok (Checker.Equivalent _) -> Alcotest.fail "mutant not detected"
+  | Ok (Checker.Unknown _) -> Alcotest.fail "mutant should be decided"
+  | Error e -> Alcotest.failf "portfolio error: %s" (Dfv_error.to_string e)
+
+let counter_rtl ~start =
+  (* A 4-bit counter from [start]; two instances with different reset
+     values diverge at frame 0 on the output. *)
+  let module Netlist = Dfv_rtl.Netlist in
+  let module Expr = Dfv_rtl.Expr in
+  Netlist.elaborate
+    {
+      (Netlist.empty "counter") with
+      Netlist.inputs = [ { Netlist.port_name = "en"; port_width = 1 } ];
+      outputs = [ ("q", Expr.sig_ "cnt") ];
+      regs =
+        [ Netlist.reg ~name:"cnt" ~width:4
+            ~init:(Dfv_bitvec.Bitvec.create ~width:4 start)
+            (Expr.mux (Expr.sig_ "en")
+               (Expr.Binop (Expr.Add, Expr.sig_ "cnt", Expr.const ~width:4 1))
+               (Expr.sig_ "cnt")) ];
+    }
+
+let test_portfolio_rtl_rtl () =
+  let a = counter_rtl ~start:0 in
+  match Portfolio.check_rtl_rtl ~jobs:2 ~a ~b:a ~bound:4 () with
+  | Ok (Checker.Rtl_equivalent_to_bound (4, _)) -> ()
+  | Ok _ -> Alcotest.fail "identical designs must be bounded-equivalent"
+  | Error e -> Alcotest.failf "portfolio error: %s" (Dfv_error.to_string e)
+
+let test_portfolio_rtl_rtl_diverges () =
+  let a = counter_rtl ~start:0 and b = counter_rtl ~start:5 in
+  match Portfolio.check_rtl_rtl ~jobs:2 ~a ~b ~bound:4 () with
+  | Ok (Checker.Rtl_not_equivalent (cex, _)) ->
+    Alcotest.(check string) "diverges on q" "q" cex.Checker.diverging_port
+  | Ok _ -> Alcotest.fail "different resets must diverge"
+  | Error e -> Alcotest.failf "portfolio error: %s" (Dfv_error.to_string e)
+
+let suite =
+  [ Alcotest.test_case "map preserves input order" `Quick test_map_order;
+    Alcotest.test_case "map verdicts invariant under jobs" `Quick
+      test_map_jobs_invariant;
+    Alcotest.test_case "map of nothing" `Quick test_map_empty;
+    Alcotest.test_case "job_seed is a pure spread" `Quick
+      test_job_seed_deterministic;
+    Alcotest.test_case "killed worker becomes Worker_crashed" `Quick
+      test_worker_killed;
+    Alcotest.test_case "raised error crosses the pipe structured" `Quick
+      test_worker_raises;
+    Alcotest.test_case "slow worker becomes Worker_timeout" `Slow
+      test_worker_timeout;
+    Alcotest.test_case "race cancels stragglers" `Slow test_race_cancels;
+    Alcotest.test_case "race with no conclusive result" `Quick
+      test_race_no_conclusive;
+    Alcotest.test_case "portfolio slm-rtl equivalent" `Quick
+      test_portfolio_slm_rtl_equivalent;
+    Alcotest.test_case "portfolio slm-rtl counterexample" `Quick
+      test_portfolio_slm_rtl_cex;
+    Alcotest.test_case "portfolio rtl-rtl bounded equivalent" `Quick
+      test_portfolio_rtl_rtl;
+    Alcotest.test_case "portfolio rtl-rtl divergence" `Quick
+      test_portfolio_rtl_rtl_diverges ]
