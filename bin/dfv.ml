@@ -376,12 +376,26 @@ let sec_cmd =
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
 
+let engine_term =
+  let engine_conv = Arg.enum [ ("interp", `Interp); ("compiled", `Compiled) ] in
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "System-level model execution engine: $(b,compiled) lowers the \
+           model through the verified normal form onto the shared \
+           slot-indexed kernel (and errors on models outside the normal \
+           form); $(b,interp) forces the tree-walking reference.  Default: \
+           compiled for conditioned models, with automatic fallback to the \
+           interpreter.")
+
 let sim_cmd =
   let doc = "Run simulation-based SLM/RTL comparison on a pair." in
-  let run vectors obs design bug =
+  let run vectors engine obs design bug =
     with_obs obs @@ fun () ->
     (wrap (fun pair ->
-         match Flow.simulate ~vectors pair with
+         match Flow.simulate ?engine ~vectors pair with
          | Ok (Flow.Sim_clean { vectors }) ->
            Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
            exit_ok
@@ -394,14 +408,14 @@ let sim_cmd =
       design bug
   in
   Cmd.v (Cmd.info "sim" ~doc ~exits)
-    Term.(const run $ vectors_arg $ obs_term $ design_arg $ bug_arg)
+    Term.(const run $ vectors_arg $ engine_term $ obs_term $ design_arg $ bug_arg)
 
 let verify_cmd =
   let doc = "Audit, then SEC (or simulation when SEC is blocked)." in
-  let run budget obs report_file design bug =
+  let run budget engine obs report_file design bug =
     with_obs obs @@ fun () ->
     (wrap (fun pair ->
-         let report = Flow.verify ?budget pair in
+         let report = Flow.verify ?engine ?budget pair in
          Format.printf "%a" Flow.pp_report report;
          (match report_file with
          | Some file -> (
@@ -419,7 +433,8 @@ let verify_cmd =
   in
   Cmd.v (Cmd.info "verify" ~doc ~exits)
     Term.(
-      const run $ budget_term $ obs_term $ report_arg $ design_arg $ bug_arg)
+      const run $ budget_term $ engine_term $ obs_term $ report_arg
+      $ design_arg $ bug_arg)
 
 let faultsim_cmd =
   let doc =
@@ -468,8 +483,8 @@ let faultsim_cmd =
       & info [ "json" ] ~docv:"FILE"
           ~doc:"Write the machine-readable detection report to $(docv).")
   in
-  let run budget designs seed max_faults max_slm_faults sim_vectors jobs
-      timeout json obs =
+  let run budget designs seed max_faults max_slm_faults sim_vectors engine
+      jobs timeout json obs =
     with_obs obs @@ fun () ->
     match
       Dfv_error.guard (fun () ->
@@ -477,8 +492,8 @@ let faultsim_cmd =
             match designs with [] -> Dfv_fault.Suite.names | ds -> ds
           in
           let reports =
-            Dfv_fault.Suite.run ?budget ~seed ~sim_vectors ~jobs ?timeout
-              ~max_rtl_faults:max_faults ~max_slm_faults ~designs ()
+            Dfv_fault.Suite.run ?budget ~seed ~sim_vectors ?engine ~jobs
+              ?timeout ~max_rtl_faults:max_faults ~max_slm_faults ~designs ()
           in
           List.iter (Format.printf "%a" Dfv_fault.Campaign.pp_report) reports;
           let rate, false_eq, pass =
@@ -510,7 +525,7 @@ let faultsim_cmd =
   Cmd.v (Cmd.info "faultsim" ~doc ~exits)
     Term.(
       const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
-      $ max_slm_faults_arg $ sim_vectors_arg
+      $ max_slm_faults_arg $ sim_vectors_arg $ engine_term
       $ jobs_term ~default:Dfv_par.Pool.cores
       $ timeout_term $ json_arg $ obs_term)
 

@@ -1,6 +1,7 @@
 module Bitvec = Dfv_bitvec.Bitvec
 module Ast = Dfv_hwir.Ast
 module Interp = Dfv_hwir.Interp
+module Exec = Dfv_hwir.Exec
 module Typecheck = Dfv_hwir.Typecheck
 module Netlist = Dfv_rtl.Netlist
 module Sim = Dfv_rtl.Sim
@@ -26,9 +27,20 @@ let random_value st (ty : Ast.ty) =
     Interp.Varr (Array.init n (fun _ -> Bitvec.random st ~width))
   | Ast.Tarray (Ast.Tarray _, _) -> failwith "Flow: nested array parameter"
 
-(* Constraints are evaluated by interpreting a wrapper function, exactly
-   mirroring how the SEC path elaborates them. *)
-let constraint_checkers (pair : Pair.t) =
+(* Engine selection for SLM execution: an explicit request is honored
+   (and [`Compiled] raises [Norm.Rejected] on unconditioned models);
+   by default the compiled normal form runs when the model is in it,
+   with the interpreter as the fallback. *)
+let prepare ?engine p =
+  match engine with
+  | None -> Exec.auto p
+  | Some e -> Exec.create ~engine:e p
+
+(* Constraints are evaluated by executing a wrapper function, exactly
+   mirroring how the SEC path elaborates them.  Each wrapper is
+   prepared once (compiled once on the compiled engine) and then run
+   per candidate vector. *)
+let constraint_checkers ?engine (pair : Pair.t) =
   let fn =
     match Ast.find_func pair.Pair.slm pair.Pair.slm.Ast.entry with
     | Some f -> f
@@ -51,8 +63,9 @@ let constraint_checkers (pair : Pair.t) =
           entry = cname;
         }
       in
+      let ex = prepare ?engine wrapper in
       fun args ->
-        match Interp.run wrapper args with
+        match Exec.run ex args with
         | Interp.Vint b -> not (Bitvec.is_zero b)
         | Interp.Varr _ -> false
         | exception Interp.Runtime_error _ -> false)
@@ -84,10 +97,11 @@ let drive_inputs (spec : Spec.t) params t =
     spec.Spec.drives
 
 (* Run one concrete transaction through the RTL simulator and compare the
-   spec's checks against the SLM result. *)
-let run_transaction (pair : Pair.t) params =
+   spec's checks against the SLM result ([slm_exec] is the prepared
+   engine for the pair's model). *)
+let run_transaction (pair : Pair.t) slm_exec params =
   let spec = pair.Pair.spec in
-  let slm_result = Interp.run pair.Pair.slm (List.map snd params) in
+  let slm_result = Exec.run slm_exec (List.map snd params) in
   let sim = Sim.create pair.Pair.rtl in
   let outputs = Array.make spec.Spec.rtl_cycles [] in
   for t = 0 to spec.Spec.rtl_cycles - 1 do
@@ -161,12 +175,13 @@ let sample_stimulus points params =
             Array.iter (fun bv -> Coverage.sample p (value_class bv)) a))
       params
 
-let simulate ?(seed = 0) ?(max_rounds = 4) ~vectors (pair : Pair.t) =
+let simulate ?(seed = 0) ?(max_rounds = 4) ?engine ~vectors (pair : Pair.t) =
   let body () =
     let cov_points = stimulus_points pair in
     let params_sig, _ = Typecheck.entry_signature pair.Pair.slm in
     let st = Random.State.make [| seed; Hashtbl.hash pair.Pair.name |] in
-    let checkers = constraint_checkers pair in
+    let slm_exec = prepare ?engine pair.Pair.slm in
+    let checkers = constraint_checkers ?engine pair in
     let nconstraints = List.length checkers in
     let unsat_counts = Array.make (max nconstraints 1) 0 in
     let total_attempts = ref 0 in
@@ -229,7 +244,7 @@ let simulate ?(seed = 0) ?(max_rounds = 4) ~vectors (pair : Pair.t) =
               if sc = nconstraints then
                 (* Vectors on which the SLM itself faults (e.g. division
                    by zero) are outside the comparison domain; redraw. *)
-                match Interp.run pair.Pair.slm (List.map snd params) with
+                match Exec.run slm_exec (List.map snd params) with
                 | _ -> Some params
                 | exception Interp.Runtime_error _ -> attempt (i + 1)
               else attempt (i + 1)
@@ -254,7 +269,7 @@ let simulate ?(seed = 0) ?(max_rounds = 4) ~vectors (pair : Pair.t) =
                })
         | Some params -> (
           sample_stimulus cov_points params;
-          match run_transaction pair params with
+          match run_transaction pair slm_exec params with
           | [] -> loop (i + 1)
           | failed_checks ->
             Trace.instant ~cat:"flow"
@@ -284,7 +299,7 @@ type verify_outcome =
 
 type report = { audit : Pair.audit; outcome : verify_outcome }
 
-let verify ?seed ?(sim_vectors = 1000) ?budget ?session pair =
+let verify ?seed ?(sim_vectors = 1000) ?engine ?budget ?session pair =
   Trace.with_span ~cat:"flow"
     ~args:[ ("design", Dfv_obs.Json.String pair.Pair.name) ]
     "flow.verify"
@@ -299,7 +314,7 @@ let verify ?seed ?(sim_vectors = 1000) ?budget ?session pair =
       | Error e -> Errored e
     end
     else
-      match simulate ?seed ~vectors:sim_vectors pair with
+      match simulate ?seed ?engine ~vectors:sim_vectors pair with
       | Ok s -> Simulated s
       | Error e -> Errored e
   in

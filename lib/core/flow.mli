@@ -25,10 +25,17 @@ type sim_outcome =
 val simulate :
   ?seed:int ->
   ?max_rounds:int ->
+  ?engine:Dfv_hwir.Exec.engine ->
   vectors:int ->
   Pair.t ->
   (sim_outcome, Dfv_error.t) result
 (** Run [vectors] random transactions, stopping at the first mismatch.
+
+    [engine] selects how the SLM side executes: [`Compiled] lowers the
+    model through the verified normal form onto the shared slot-indexed
+    kernel (and errors on models outside it), [`Interp] forces the
+    tree-walking reference.  When omitted, the compiled engine runs for
+    conditioned models with automatic fallback to the interpreter.
     Parameter values are drawn uniformly; vectors violating the spec's
     constraints are redrawn with a widening search: each of the
     [max_rounds] (default 4) rounds doubles the attempt budget, and
@@ -65,12 +72,14 @@ type report = { audit : Pair.audit; outcome : verify_outcome }
 val verify :
   ?seed:int ->
   ?sim_vectors:int ->
+  ?engine:Dfv_hwir.Exec.engine ->
   ?budget:Dfv_sat.Solver.budget ->
   ?session:Dfv_sec.Session.t ->
   Pair.t ->
   report
 (** The combined flow ([sim_vectors] defaults to 1000); [budget] and
-    [session] are passed to {!sec} when the SEC path runs. *)
+    [session] are passed to {!sec} when the SEC path runs, [engine] to
+    {!simulate} when the simulation path runs. *)
 
 val pp_report : Format.formatter -> report -> unit
 

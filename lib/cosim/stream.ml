@@ -31,6 +31,19 @@ type stage =
 
 let slm_stage ~name f = Slm { name; f }
 
+let hwir_stage ~name ?engine prog =
+  let module Exec = Dfv_hwir.Exec in
+  let module Interp = Dfv_hwir.Interp in
+  let ex =
+    match engine with
+    | None -> Exec.auto prog
+    | Some e -> Exec.create ~engine:e prog
+  in
+  let f =
+    Array.map (fun bv -> Interp.as_int (Exec.run ex [ Interp.Vint bv ]))
+  in
+  Slm { name; f }
+
 let rtl_stage ~name ~rtl ~in_port ~out_port ?in_valid ?out_valid ?(latency = 1)
     ?(stall = fun _ -> false) ?max_cycles () =
   if latency < 0 then fail "stage %s: negative latency" name;

@@ -21,6 +21,19 @@ type stage
 val slm_stage : name:string -> (data -> data) -> stage
 (** A stage computed by the system-level model directly. *)
 
+val hwir_stage :
+  name:string ->
+  ?engine:Dfv_hwir.Exec.engine ->
+  Dfv_hwir.Ast.program ->
+  stage
+(** A stage computed by an HWIR model whose entry maps one scalar
+    element to one scalar element, applied element-wise.  The model is
+    prepared once at stage construction (compiled through the verified
+    normal form on the default/[`Compiled] engine — see
+    {!Dfv_hwir.Exec.create}); [`Compiled] raises
+    [Dfv_hwir.Norm.Rejected] on models outside the normal form, while
+    the default falls back to the interpreter for them. *)
+
 val rtl_stage :
   name:string ->
   rtl:Dfv_rtl.Netlist.elaborated ->

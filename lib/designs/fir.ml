@@ -3,6 +3,7 @@ module Netlist = Dfv_rtl.Netlist
 module Expr = Dfv_rtl.Expr
 module Ast = Dfv_hwir.Ast
 module Interp = Dfv_hwir.Interp
+module Exec = Dfv_hwir.Exec
 module Spec = Dfv_sec.Spec
 module Stream = Dfv_cosim.Stream
 
@@ -227,6 +228,16 @@ let run_rtl_stream t signal =
   let input = Array.map (fun v -> Bitvec.create ~width:t.width v) signal in
   let out, stats = Stream.run_stage stage input in
   (Array.map Bitvec.to_signed_int out, stats.Stream.cycles)
+
+let slm_window_runner ?engine prog ~width =
+  let ex =
+    match engine with
+    | None -> Exec.auto prog
+    | Some e -> Exec.create ~engine:e prog
+  in
+  fun window ->
+    let x = Interp.Varr (Array.map (fun v -> Bitvec.create ~width v) window) in
+    Bitvec.to_signed_int (Interp.as_int (Exec.run ex [ x ]))
 
 let run_slm_window prog ~width window =
   let x = Interp.Varr (Array.map (fun v -> Bitvec.create ~width v) window) in

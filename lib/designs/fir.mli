@@ -51,4 +51,17 @@ val run_rtl_stream : t -> int array -> int array * int
     (aligned with {!filter_signal}) and the cycles consumed. *)
 
 val run_slm_window : Dfv_hwir.Ast.program -> width:int -> int array -> int
-(** Interpret an SLM window model on a concrete window. *)
+(** Interpret an SLM window model on a concrete window (one-shot
+    interpreter path — the differential oracle). *)
+
+val slm_window_runner :
+  ?engine:Dfv_hwir.Exec.engine ->
+  Dfv_hwir.Ast.program ->
+  width:int ->
+  int array ->
+  int
+(** Prepared variant of {!run_slm_window}: the model is lowered and
+    compiled once at partial application ([slm_window_runner prog
+    ~width]), so the returned closure amortizes normalization across
+    windows.  [engine] as in {!Dfv_hwir.Exec.create} (default:
+    compiled with interpreter fallback). *)

@@ -288,3 +288,17 @@ let slm_stage t block =
   | Convolution ->
     invalid_arg
       "Image_chain.slm_stage: convolution is not an element-wise stage"
+
+let hwir_stage ?engine t block =
+  match block with
+  | Brightness | Threshold ->
+    Stream.hwir_stage
+      ~name:
+        (match block with
+        | Brightness -> "brightness"
+        | Threshold -> "threshold"
+        | Convolution -> assert false)
+      ?engine (block_slm t block)
+  | Convolution ->
+    invalid_arg
+      "Image_chain.hwir_stage: convolution is not an element-wise stage"

@@ -57,3 +57,11 @@ val slm_stage : t -> block -> Dfv_cosim.Stream.stage
     and threshold are element-wise; convolution is not available as a
     single-port stream stage — use {!Conv_image} for streaming
     convolution). *)
+
+val hwir_stage :
+  ?engine:Dfv_hwir.Exec.engine -> t -> block -> Dfv_cosim.Stream.stage
+(** Like {!slm_stage}, but the stage executes the block's {e HWIR}
+    model ({!block_slm}) through {!Dfv_cosim.Stream.hwir_stage} —
+    normalized and compiled once onto the shared slot-indexed kernel
+    on the default/[`Compiled] engine — instead of the native golden
+    function.  Same element-wise restriction as {!slm_stage}. *)

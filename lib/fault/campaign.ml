@@ -161,9 +161,9 @@ let result_of_json v =
     Ok { m_name; m_class; m_site; verdict }
   | None -> Error "result without verdict"
 
-let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(jobs = 1) ?timeout
-    ?(max_rtl_faults = 16) ?(max_slm_faults = 8) ?(extra_mutants = []) subject
-    =
+let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
+    ?timeout ?(max_rtl_faults = 16) ?(max_slm_faults = 8)
+    ?(extra_mutants = []) subject =
   let t_start = Unix.gettimeofday () in
   let subject_name =
     match subject with
@@ -244,7 +244,10 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?(jobs = 1) ?timeout
               (* SEC accepted the mutant: cross-examine by simulation.
                  A mismatch here means the prover signed off on a
                  detectable fault — the campaign's fatal finding. *)
-              match Flow.simulate ~seed:sim_seed ~vectors:sim_vectors pair' with
+              match
+                Flow.simulate ~seed:sim_seed ?engine ~vectors:sim_vectors
+                  pair'
+              with
               | Ok (Flow.Sim_mismatch _) ->
                 False_equivalent { seconds = elapsed () }
               | Ok (Flow.Sim_clean _) -> Survived { seconds = elapsed () }

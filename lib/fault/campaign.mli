@@ -81,6 +81,7 @@ val run :
   ?budget:Dfv_sat.Solver.budget ->
   ?sim_vectors:int ->
   ?seed:int ->
+  ?engine:Dfv_hwir.Exec.engine ->
   ?jobs:int ->
   ?timeout:float ->
   ?max_rtl_faults:int ->
@@ -89,7 +90,8 @@ val run :
   subject ->
   report
 (** Run the campaign.  [budget] (per mutant) bounds each SEC query;
-    [sim_vectors] (default 400) sizes the cross-check simulation;
+    [sim_vectors] (default 400) sizes the cross-check simulation and
+    [engine] selects its SLM execution engine (see {!Dfv_core.Flow.simulate});
     [max_rtl_faults] (default 16) / [max_slm_faults] (default 8) bound
     the mutant population per subject.
 

@@ -172,12 +172,12 @@ let subject name =
   | "memsys" -> memsys_subject ()
   | n -> failwith (Printf.sprintf "unknown faultsim design %s" n)
 
-let run ?budget ?(seed = 0) ?sim_vectors ?jobs ?timeout ?max_rtl_faults
-    ?max_slm_faults ?(designs = names) () =
+let run ?budget ?(seed = 0) ?sim_vectors ?engine ?jobs ?timeout
+    ?max_rtl_faults ?max_slm_faults ?(designs = names) () =
   List.map
     (fun name ->
-      Campaign.run ?budget ?sim_vectors ~seed ?jobs ?timeout ?max_rtl_faults
-        ?max_slm_faults (subject name))
+      Campaign.run ?budget ?sim_vectors ~seed ?engine ?jobs ?timeout
+        ?max_rtl_faults ?max_slm_faults (subject name))
     designs
 
 let default_min_rate = 0.95

@@ -15,6 +15,7 @@ val run :
   ?budget:Dfv_sat.Solver.budget ->
   ?seed:int ->
   ?sim_vectors:int ->
+  ?engine:Dfv_hwir.Exec.engine ->
   ?jobs:int ->
   ?timeout:float ->
   ?max_rtl_faults:int ->

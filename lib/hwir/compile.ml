@@ -1,0 +1,543 @@
+(* Compiled HWIR execution: the verified normal form lowered onto the
+   shared slot-indexed closure kernel (Dfv_kernel).
+
+   Every VNF instruction becomes one closure over the kernel's dense
+   store — native-int slots for widths on the unboxed fast path, boxed
+   [Bitvec.t] slots above it — and a run is a linear sweep over the
+   closure array.  Guarded instructions test their 1-bit guard slot and
+   skip; there is no branching structure left to interpret, no
+   environment lookup, no allocation on the narrow path.
+
+   The backend does not trust the frontend: [compile] re-runs
+   [Norm.validate] before building closures, so a broken VNF (hand-
+   built or a lowering bug) is rejected at the gate rather than
+   miscompiled.
+
+   Observable behaviour is bit-for-bit [Interp]: the argument binder
+   reproduces the interpreter's checks and messages in order, division
+   and bounds failures raise [Interp.Runtime_error] with identical
+   strings, and evaluation order is the VNF's instruction order, which
+   [Norm] constructed to match the interpreter's. *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+module U = Bitvec.Unboxed
+module Metrics = Dfv_obs.Metrics
+module Trace = Dfv_obs.Trace
+open Dfv_kernel.Kernel
+open Ast
+open Norm
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Interp.Runtime_error m)) fmt
+
+(* Arrays follow the same fast/boxed split as scalar slots. *)
+type arr_store = A_int of int array | A_bv of Bitvec.t array
+
+type t = {
+  vnf : vnf;
+  store : Store.t;
+  arrays : arr_store array;
+  mutable insts : (unit -> unit) array;
+}
+
+let owidth c = function
+  | Oimm bv -> Bitvec.width bv
+  | Oslot s -> c.vnf.v_slots.(s)
+
+let cexp_of c = function
+  | Oslot s -> Store.reader c.store s
+  | Oimm bv ->
+    let w = Bitvec.width bv in
+    if narrow w then begin
+      let v = U.of_bitvec bv in
+      CI (fun () -> v)
+    end
+    else CB (fun () -> bv)
+
+(* Array index as a native int, clamped like the interpreter: an index
+   wider than the fast path cannot name a valid element, so it reads as
+   [max_int] and fails the bounds check with the interpreter's own
+   number. *)
+let indexer c o : unit -> int =
+  match o with
+  | Oimm bv ->
+    let k =
+      if Bitvec.width bv > U.max_width then max_int else Bitvec.to_int bv
+    in
+    fun () -> k
+  | Oslot s ->
+    let w = c.vnf.v_slots.(s) in
+    if narrow w then as_int (Store.reader c.store s) else fun () -> max_int
+
+(* Narrow operands fused to a slot index or a precomputed native int:
+   the instruction closure reads the store directly instead of calling
+   through a reader closure per operand — the dominant cost of a run is
+   indirect calls, not arithmetic. *)
+type iop = Kslot of int | Kimm of int
+
+let iarg = function
+  | Oimm bv -> Kimm (U.of_bitvec bv)
+  | Oslot s -> Kslot s
+
+let fuse2 ival f a b : unit -> int =
+  match (iarg a, iarg b) with
+  | Kslot x, Kslot y -> fun () -> f ival.(x) ival.(y)
+  | Kslot x, Kimm y -> fun () -> f ival.(x) y
+  | Kimm x, Kslot y -> fun () -> f x ival.(y)
+  | Kimm x, Kimm y -> fun () -> f x y
+
+let fuse1 ival f a : unit -> int =
+  match iarg a with
+  | Kslot x -> fun () -> f ival.(x)
+  | Kimm x ->
+    let v = f x in
+    fun () -> v
+
+let fuse2b ival cmp a b : unit -> int =
+  match (iarg a, iarg b) with
+  | Kslot x, Kslot y -> fun () -> if cmp ival.(x) ival.(y) then 1 else 0
+  | Kslot x, Kimm y -> fun () -> if cmp ival.(x) y then 1 else 0
+  | Kimm x, Kslot y -> fun () -> if cmp x ival.(y) then 1 else 0
+  | Kimm x, Kimm y -> fun () -> if cmp x y then 1 else 0
+
+let compile_binop c ~w op sa a b : cexp =
+  ignore w;
+  let wa = owidth c a in
+  let ival = c.store.Store.ival in
+  match op with
+  | Land | Lor -> assert false (* frontend constructs; Norm.validate rejects *)
+  | Eq | Ne | Lt | Le ->
+    if narrow wa then begin
+      let cmp =
+        match op with
+        | Eq -> fun x y -> x = y
+        | Ne -> fun x y -> x <> y
+        | Lt -> if sa then U.slt wa else U.ult
+        | Le -> if sa then U.sle wa else U.ule
+        | _ -> assert false
+      in
+      CI (fuse2b ival cmp a b)
+    end
+    else begin
+      let fa = as_bv wa (cexp_of c a) in
+      let fb = as_bv wa (cexp_of c b) in
+      let cmp =
+        match op with
+        | Eq -> Bitvec.equal
+        | Ne -> fun x y -> not (Bitvec.equal x y)
+        | Lt -> if sa then Bitvec.slt else Bitvec.ult
+        | Le -> if sa then Bitvec.sle else Bitvec.ule
+        | _ -> assert false
+      in
+      CI (fun () -> if cmp (fa ()) (fb ()) then 1 else 0)
+    end
+  | Shl | Shr ->
+    (* The amount clamps to [wa] — by value, or statically when its
+       width alone puts it past the fast path. *)
+    let wb = owidth c b in
+    let amount =
+      if wb > U.max_width then fun () -> wa
+      else
+        let fb = as_int (cexp_of c b) in
+        fun () -> min (fb ()) wa
+    in
+    if narrow wa then begin
+      let fa = as_int (cexp_of c a) in
+      match op with
+      | Shl -> CI (fun () -> U.shift_left wa (fa ()) (amount ()))
+      | _ ->
+        if sa then CI (fun () -> U.shift_right_arith wa (fa ()) (amount ()))
+        else CI (fun () -> U.shift_right_logical (fa ()) (amount ()))
+    end
+    else begin
+      let fa = as_bv wa (cexp_of c a) in
+      match op with
+      | Shl -> CB (fun () -> Bitvec.shift_left (fa ()) (amount ()))
+      | _ ->
+        if sa then CB (fun () -> Bitvec.shift_right_arith (fa ()) (amount ()))
+        else CB (fun () -> Bitvec.shift_right_logical (fa ()) (amount ()))
+    end
+  | Div | Rem ->
+    let msg =
+      match op with Div -> "division by zero" | _ -> "remainder by zero"
+    in
+    if narrow wa then begin
+      let f =
+        match (op, sa) with
+        | Div, true -> U.sdiv wa
+        | Div, false -> U.udiv
+        | _, true -> U.srem wa
+        | _, false -> U.urem
+      in
+      (* Operand order preserved: x is read before y, y before the zero
+         check, exactly as the interpreter evaluates. *)
+      CI (fuse2 ival (fun x y -> if y = 0 then fail "%s" msg else f x y) a b)
+    end
+    else begin
+      let fa = as_bv wa (cexp_of c a) in
+      let fb = as_bv wa (cexp_of c b) in
+      let f =
+        match (op, sa) with
+        | Div, true -> Bitvec.sdiv
+        | Div, false -> Bitvec.udiv
+        | _, true -> Bitvec.srem
+        | _, false -> Bitvec.urem
+      in
+      CB
+        (fun () ->
+          let x = fa () in
+          let y = fb () in
+          if Bitvec.is_zero y then fail "%s" msg else f x y)
+    end
+  | Add | Sub | Mul | And | Or | Xor ->
+    if narrow wa then begin
+      let f =
+        match op with
+        | Add -> U.add wa
+        | Sub -> U.sub wa
+        | Mul -> U.mul wa
+        | And -> U.logand
+        | Or -> U.logor
+        | Xor -> U.logxor
+        | _ -> assert false
+      in
+      CI (fuse2 ival f a b)
+    end
+    else begin
+      let fa = as_bv wa (cexp_of c a) in
+      let fb = as_bv wa (cexp_of c b) in
+      let f =
+        match op with
+        | Add -> Bitvec.add
+        | Sub -> Bitvec.sub
+        | Mul -> Bitvec.mul
+        | And -> Bitvec.logand
+        | Or -> Bitvec.logor
+        | Xor -> Bitvec.logxor
+        | _ -> assert false
+      in
+      CB (fun () -> f (fa ()) (fb ()))
+    end
+
+(* Pure value-producing ops; [w] is the destination slot's width. *)
+let compile_op c ~w (op : vop) : cexp =
+  let ival = c.store.Store.ival in
+  match op with
+  | Vmov a -> cexp_of c a
+  | Vnot a ->
+    let wa = owidth c a in
+    if narrow wa then CI (fuse1 ival (U.lognot wa) a)
+    else
+      let f = as_bv wa (cexp_of c a) in
+      CB (fun () -> Bitvec.lognot (f ()))
+  | Vneg a ->
+    let wa = owidth c a in
+    if narrow wa then CI (fuse1 ival (U.neg wa) a)
+    else
+      let f = as_bv wa (cexp_of c a) in
+      CB (fun () -> Bitvec.neg (f ()))
+  | Vlnot a ->
+    let wa = owidth c a in
+    if narrow wa then CI (fuse1 ival (fun v -> if v = 0 then 1 else 0) a)
+    else
+      let f = as_bv wa (cexp_of c a) in
+      CI (fun () -> if Bitvec.is_zero (f ()) then 1 else 0)
+  | Vbin { op; sa; a; b } -> compile_binop c ~w op sa a b
+  | Vcast { signed; a } -> (
+    let ws = owidth c a in
+    let src = cexp_of c a in
+    match (narrow ws, narrow w) with
+    | true, true ->
+      if w <= ws then
+        let m = U.mask w in
+        CI (fuse1 ival (fun v -> v land m) a)
+      else if signed then CI (fuse1 ival (U.sext ~from:ws ~width:w) a)
+      else CI (as_int src)
+      (* zero-extension of an unsigned native int is itself *)
+    | true, false ->
+      let f = as_int src in
+      let resize = if signed then Bitvec.sresize else Bitvec.uresize in
+      CB (fun () -> resize (U.to_bitvec ~width:ws (f ())) w)
+    | false, true ->
+      let f = as_bv ws src in
+      let resize = if signed then Bitvec.sresize else Bitvec.uresize in
+      CI (fun () -> U.of_bitvec (resize (f ()) w))
+    | false, false ->
+      let f = as_bv ws src in
+      let resize = if signed then Bitvec.sresize else Bitvec.uresize in
+      CB (fun () -> resize (f ()) w))
+  | Vbitsel { a; hi; lo } ->
+    let wa = owidth c a in
+    if narrow wa then CI (fuse1 ival (U.select ~hi ~lo) a)
+    else
+      let f = as_bv wa (cexp_of c a) in
+      if narrow w then CI (fun () -> U.of_bitvec (Bitvec.select (f ()) ~hi ~lo))
+      else CB (fun () -> Bitvec.select (f ()) ~hi ~lo)
+  | Vload { arr; idx; aname } -> (
+    let ew, size = c.vnf.v_arrays.(arr) in
+    let gi = indexer c idx in
+    (* An immediate index is bounds-resolved at compile time: in range
+       it reads unchecked, out of range it always fails. *)
+    let static_k =
+      match idx with
+      | Oimm bv ->
+        Some
+          (if Bitvec.width bv > U.max_width then max_int else Bitvec.to_int bv)
+      | Oslot _ -> None
+    in
+    match (c.arrays.(arr), static_k) with
+    | A_int a, Some k when k < size -> CI (fun () -> a.(k))
+    | A_bv a, Some k when k < size ->
+      ignore ew;
+      CB (fun () -> a.(k))
+    | _, Some k ->
+      CI (fun () -> fail "index %d out of bounds for %s (size %d)" k aname size)
+    | A_int a, None ->
+      CI
+        (fun () ->
+          let k = gi () in
+          if k >= size then
+            fail "index %d out of bounds for %s (size %d)" k aname size;
+          a.(k))
+    | A_bv a, None ->
+      CB
+        (fun () ->
+          let k = gi () in
+          if k >= size then
+            fail "index %d out of bounds for %s (size %d)" k aname size;
+          a.(k)))
+  | Vcheck _ | Vstore _ | Vcopy _ | Vfill _ | Vfail _ ->
+    assert false (* effect-only; handled in [compile_inst] *)
+
+let compile_inst c (inst : inst) : unit -> unit =
+  match inst.i_op with
+  | (Vmov _ | Vnot _ | Vneg _ | Vlnot _ | Vbin _ | Vcast _ | Vbitsel _
+    | Vload _) as op -> (
+    let w = c.vnf.v_slots.(inst.i_dst) in
+    let ce = compile_op c ~w op in
+    match inst.i_guard with
+    | Galways -> Store.assigner c.store inst.i_dst ce
+    | Gslot s -> (
+      let ival = c.store.Store.ival in
+      match ce with
+      | CI f when narrow w ->
+        (* Fused guarded write: one closure instead of a guard wrapper
+           around an assigner around the op (what [Store.assigner] does
+           on the narrow path is exactly this store). *)
+        let dst = inst.i_dst in
+        fun () -> if ival.(s) <> 0 then ival.(dst) <- f ()
+      | _ ->
+        let a = Store.assigner c.store inst.i_dst ce in
+        fun () -> if ival.(s) <> 0 then a ()))
+  | Vcheck _ | Vstore _ | Vcopy _ | Vfill _ | Vfail _ ->
+  let body =
+    match inst.i_op with
+    | Vcheck { arr; idx; aname } ->
+      let size = snd c.vnf.v_arrays.(arr) in
+      let gi = indexer c idx in
+      fun () ->
+        let k = gi () in
+        if k >= size then
+          fail "store index %d out of bounds for %s (size %d)" k aname size
+    | Vstore { arr; idx; v; aname } -> (
+      let ew, size = c.vnf.v_arrays.(arr) in
+      let gi = indexer c idx in
+      match c.arrays.(arr) with
+      | A_int a ->
+        let fv = as_int (cexp_of c v) in
+        fun () ->
+          let k = gi () in
+          if k >= size then
+            fail "store index %d out of bounds for %s (size %d)" k aname size;
+          a.(k) <- fv ()
+      | A_bv a ->
+        let fv = as_bv ew (cexp_of c v) in
+        fun () ->
+          let k = gi () in
+          if k >= size then
+            fail "store index %d out of bounds for %s (size %d)" k aname size;
+          a.(k) <- fv ())
+    | Vcopy { adst; asrc } -> (
+      match (c.arrays.(adst), c.arrays.(asrc)) with
+      | A_int d, A_int s -> fun () -> Array.blit s 0 d 0 (Array.length d)
+      | A_bv d, A_bv s -> fun () -> Array.blit s 0 d 0 (Array.length d)
+      | _ -> assert false (* same shape per Norm.validate *))
+    | Vfill arr -> (
+      match c.arrays.(arr) with
+      | A_int d -> fun () -> Array.fill d 0 (Array.length d) 0
+      | A_bv d ->
+        let z = Bitvec.zero (fst c.vnf.v_arrays.(arr)) in
+        fun () -> Array.fill d 0 (Array.length d) z)
+    | Vfail msg -> fun () -> raise (Interp.Runtime_error msg)
+    | Vmov _ | Vnot _ | Vneg _ | Vlnot _ | Vbin _ | Vcast _ | Vbitsel _
+    | Vload _ ->
+      assert false (* value-producing; handled above *)
+  in
+  (match inst.i_guard with
+  | Galways -> body
+  | Gslot s ->
+    let ival = c.store.Store.ival in
+    fun () -> if ival.(s) <> 0 then body ())
+
+(* --- metrics -------------------------------------------------------------- *)
+
+let m_insts = Metrics.counter "hwir.compile.insts"
+let m_slots = Metrics.counter "hwir.compile.slots"
+let m_arrays = Metrics.counter "hwir.compile.arrays"
+let m_folded = Metrics.counter "hwir.compile.folded"
+let m_cse = Metrics.counter "hwir.compile.cse_hits"
+let m_runs = Metrics.counter "hwir.compile.runs"
+let span_compile = "hwir.compile"
+
+(* --- copy-out elision ------------------------------------------------------ *)
+
+(* Lowering materializes every expression in a fresh temp and then
+   moves it into the destination slot, so the instruction stream is
+   full of [t := op; d := t] pairs.  When [t] has no reader other than
+   that adjacent move (and is not the return slot or a parameter), the
+   defining instruction can be retargeted to [d] and the move dropped.
+   The rewrite is local: the two instructions are adjacent and share
+   the same guard, so no observable state changes between them. *)
+
+let reads_slot t ins =
+  let rd = function Oslot s -> s = t | Oimm _ -> false in
+  (match ins.i_guard with Gslot g -> g = t | Galways -> false)
+  ||
+  match ins.i_op with
+  | Vmov o | Vnot o | Vneg o | Vlnot o
+  | Vcast { a = o; _ }
+  | Vbitsel { a = o; _ } ->
+    rd o
+  | Vbin { a; b; _ } -> rd a || rd b
+  | Vload { idx; _ } | Vcheck { idx; _ } -> rd idx
+  | Vstore { idx; v; _ } -> rd idx || rd v
+  | Vcopy _ | Vfill _ | Vfail _ -> false
+
+let value_op = function
+  | Vmov _ | Vnot _ | Vneg _ | Vlnot _ | Vbin _ | Vcast _ | Vbitsel _
+  | Vload _ ->
+    true
+  | Vcheck _ | Vstore _ | Vcopy _ | Vfill _ | Vfail _ -> false
+
+let elide_copyouts (vnf : vnf) : vnf =
+  let insts = vnf.v_insts in
+  let n = Array.length insts in
+  let param_slot t =
+    List.exists
+      (function P_int { p_slot; _ } -> p_slot = t | P_arr _ -> false)
+      vnf.v_params
+  in
+  let ret_slot t = match vnf.v_ret with Rslot r -> r = t | Rarr _ -> false in
+  (* [t] must not be read by any instruction after position [i] (the
+     move itself), nor by the return reference, nor be rebindable as a
+     parameter slot. Reads at or before the defining instruction see
+     older values of [t] and are unaffected. *)
+  let dead_after i t =
+    (not (ret_slot t))
+    && (not (param_slot t))
+    &&
+    let ok = ref true in
+    for j = i + 1 to n - 1 do
+      if reads_slot t insts.(j) then ok := false
+    done;
+    !ok
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun i ins ->
+      match (ins.i_op, !out) with
+      | Vmov (Oslot t), prev :: rest
+        when ins.i_dst >= 0 && prev.i_dst = t
+             && t <> ins.i_dst
+             && prev.i_guard = ins.i_guard
+             && (match ins.i_guard with Gslot g -> g <> t | Galways -> true)
+             && vnf.v_slots.(t) = vnf.v_slots.(ins.i_dst)
+             && value_op prev.i_op
+             && dead_after i t ->
+        out := { prev with i_dst = ins.i_dst } :: rest
+      | _ -> out := ins :: !out)
+    insts;
+  let v_insts = Array.of_list (List.rev !out) in
+  {
+    vnf with
+    v_insts;
+    v_stats = { vnf.v_stats with n_insts = Array.length v_insts };
+  }
+
+(* --- compilation ---------------------------------------------------------- *)
+
+let compile (vnf : vnf) : t =
+  Trace.with_span span_compile (fun () ->
+      Norm.validate vnf (* the backend does not trust the frontend *);
+      let vnf = elide_copyouts vnf in
+      Norm.validate vnf (* and does not trust its own peephole either *);
+      let store = Store.create vnf.v_slots in
+      let arrays =
+        Array.map
+          (fun (ew, size) ->
+            if narrow ew then A_int (Array.make size 0)
+            else A_bv (Array.make size (Bitvec.zero ew)))
+          vnf.v_arrays
+      in
+      let c = { vnf; store; arrays; insts = [||] } in
+      c.insts <- Array.map (compile_inst c) vnf.v_insts;
+      Metrics.add m_insts vnf.v_stats.n_insts;
+      Metrics.add m_slots vnf.v_stats.n_slots;
+      Metrics.add m_arrays vnf.v_stats.n_arrays;
+      Metrics.add m_folded vnf.v_stats.n_folded;
+      Metrics.add m_cse vnf.v_stats.n_cse;
+      c)
+
+let of_program ?budget p = compile (Norm.lower ?budget p)
+let stats c = c.vnf.v_stats
+let vnf c = c.vnf
+
+(* --- running -------------------------------------------------------------- *)
+
+(* Reproduce the interpreter's entry binding exactly: argument count
+   first, then per parameter in declaration order the width / size /
+   element-width / shape checks, with identical messages. *)
+let bind_args c (args : Interp.value list) =
+  let fname = c.vnf.v_entry in
+  let nparams = List.length c.vnf.v_params in
+  let nargs = List.length args in
+  if nargs <> nparams then
+    fail "%s: expected %d arguments, got %d" fname nparams nargs;
+  List.iter2
+    (fun p (v : Interp.value) ->
+      match (p, v) with
+      | P_int { p_name; p_width; p_slot }, Vint bv ->
+        if Bitvec.width bv <> p_width then
+          fail "%s: argument %s has width %d, expected %d" fname p_name
+            (Bitvec.width bv) p_width;
+        Store.write c.store p_slot bv
+      | P_arr { p_name; p_width; p_size; p_arr }, Varr arr -> (
+        if Array.length arr <> p_size then
+          fail "%s: argument %s has %d elements, expected %d" fname p_name
+            (Array.length arr) p_size;
+        Array.iter
+          (fun w ->
+            if Bitvec.width w <> p_width then
+              fail "%s: argument %s has a %d-bit element, expected %d" fname
+                p_name (Bitvec.width w) p_width)
+          arr;
+        match c.arrays.(p_arr) with
+        | A_int d -> Array.iteri (fun i bv -> d.(i) <- U.of_bitvec bv) arr
+        | A_bv d -> Array.blit arr 0 d 0 p_size)
+      | P_int { p_name; _ }, Varr _ | P_arr { p_name; _ }, Vint _ ->
+        fail "%s: argument %s has the wrong shape" fname p_name)
+    c.vnf.v_params args
+
+let run c (args : Interp.value list) : Interp.value =
+  Metrics.incr m_runs;
+  bind_args c args;
+  let insts = c.insts in
+  for i = 0 to Array.length insts - 1 do
+    (Array.unsafe_get insts i) ()
+  done;
+  match c.vnf.v_ret with
+  | Rslot s -> Interp.Vint (Store.read c.store s)
+  | Rarr a -> (
+    let ew, size = c.vnf.v_arrays.(a) in
+    match c.arrays.(a) with
+    | A_int d -> Interp.Varr (Array.init size (fun i -> U.to_bitvec ~width:ew d.(i)))
+    | A_bv d -> Interp.Varr (Array.copy d))

@@ -1,0 +1,33 @@
+(** Compiled HWIR execution.
+
+    Lowers a {!Norm.vnf} onto the shared slot-indexed closure kernel
+    ({!Dfv_kernel.Kernel}) — the same engine that backs
+    [Rtl.Compile] — and runs it as a linear sweep over per-instruction
+    closures.  This module is the engine behind
+    [Exec.create ~engine:`Compiled]; [Interp] stays as the
+    differential-testing oracle.
+
+    All observable behaviour — result values, evaluation order, and
+    every [Interp.Runtime_error] message, including entry argument
+    binding — matches the interpreter bit-for-bit. *)
+
+type t
+
+val compile : Norm.vnf -> t
+(** Compile a normal form.  Re-runs {!Norm.validate} first (the
+    backend does not trust the frontend) and raises {!Norm.Ill_formed}
+    if the gate fails.  Runs under the ["hwir.compile"] trace span and
+    reports ["hwir.compile.*"] metrics. *)
+
+val of_program : ?budget:int -> Ast.program -> t
+(** [Norm.lower] then {!compile}; raises {!Norm.Rejected} on programs
+    outside the normal form. *)
+
+val run : t -> Interp.value list -> Interp.value
+(** Evaluate the entry function.  Same contract as {!Interp.run}:
+    raises {!Interp.Runtime_error} with the interpreter's messages on
+    argument mismatch, division by zero, out-of-bounds access, or a
+    body that finishes without returning. *)
+
+val stats : t -> Norm.stats
+val vnf : t -> Norm.vnf

@@ -1,0 +1,28 @@
+(* Engine switch for system-level model execution, mirroring
+   [Rtl.Sim]'s `Compiled / `Interp selector: the compiled normal form
+   is the default, the tree-walking interpreter stays as the
+   differential oracle and as the fallback for models outside the
+   normal form. *)
+
+type engine = [ `Compiled | `Interp ]
+
+type t =
+  | E_interp of Ast.program
+  | E_compiled of Compile.t
+
+let create ?(engine = `Compiled) (p : Ast.program) : t =
+  match engine with
+  | `Interp -> E_interp p
+  | `Compiled -> E_compiled (Compile.of_program p)
+
+let auto (p : Ast.program) : t =
+  match Compile.of_program p with
+  | c -> E_compiled c
+  | exception Norm.Rejected _ -> E_interp p
+
+let engine = function E_interp _ -> `Interp | E_compiled _ -> `Compiled
+
+let run (t : t) (args : Interp.value list) : Interp.value =
+  match t with
+  | E_interp p -> Interp.run p args
+  | E_compiled c -> Compile.run c args

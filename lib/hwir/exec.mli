@@ -1,0 +1,27 @@
+(** Engine selection for executing system-level models, mirroring
+    [Rtl.Sim]'s selector: [`Compiled] lowers through the verified
+    normal form onto the shared slot-indexed kernel ({!Compile});
+    [`Interp] keeps the tree-walking reference ({!Interp}).  Both
+    engines agree bit-for-bit on values and on every
+    {!Interp.Runtime_error} message. *)
+
+type engine = [ `Compiled | `Interp ]
+
+type t
+
+val create : ?engine:engine -> Ast.program -> t
+(** Prepare a model for repeated execution.  [engine] defaults to
+    [`Compiled], which raises {!Norm.Rejected} (with a source-located
+    diagnostic) on models outside the verified normal form. *)
+
+val auto : Ast.program -> t
+(** [`Compiled] when the model is in the normal form, falling back to
+    [`Interp] when {!Norm.lower} rejects it.  Use when the caller must
+    accept unconditioned models (e.g. guideline-violation demos). *)
+
+val engine : t -> engine
+(** The engine actually in use. *)
+
+val run : t -> Interp.value list -> Interp.value
+(** Evaluate the entry function on the chosen engine; same contract as
+    {!Interp.run}. *)

@@ -1,0 +1,991 @@
+(* Lowering to the verified normal form (VNF).
+
+   The frontend/backend firewall of the compiled HWIR engine.  An
+   elaborated HWIR program (functions, structured control flow, calls)
+   is lowered to a flat, fully explicit normal form:
+
+   - one linear instruction sequence with explicit evaluation order —
+     instruction [i] runs before instruction [i+1], full stop;
+   - deterministic dense ids: every scalar value lives in a numbered
+     slot, every array in a numbered array; ids are assigned in
+     lowering order, so the same program always lowers to the same VNF;
+   - control flow flattened into guarded assignments: an instruction
+     carries a guard slot and is skipped when the guard is 0, so an
+     [If] becomes two guard computations plus guarded writes, a [Cond]
+     evaluates only the taken arm, short-circuit [Land]/[Lor] evaluate
+     the right operand under the left's guard, and bounded loops unroll;
+   - calls inlined with fresh slots per instance (recursion is already
+     rejected by the typechecker), parameters bound by value;
+   - a per-instance return flag threads early [Return]s: code after a
+     conditional return runs under [guard && !returned], and a function
+     body that can fall off the end gets an epilogue that raises the
+     interpreter's "finished without returning" error.
+
+   The lowering constant-folds (loop indices, literal arithmetic,
+   statically taken branches) and value-numbers repeated pure
+   computations (structural CSE over (op, operand versions, guard)).
+   Anything outside the normal form — data-dependent loops, dynamic
+   allocation, aliasing, external calls — is rejected with a
+   source-located diagnostic naming the construct and the VNF rule,
+   echoing the conditioning guidance of [Guideline].
+
+   [validate] is the machine-checked well-formedness gate: dense ids in
+   range, every slot defined before use, guards 1-bit, widths
+   consistent per op, arrays initialized before access, no frontend
+   constructs.  [lower] self-checks its output; [Compile] re-validates
+   its input, so the backend never trusts the frontend.
+
+   The semantic contract, held by test/test_hwir_engines.ml: running
+   the compiled VNF is observably identical to [Interp] — values,
+   evaluation order, and every [Interp.Runtime_error] message. *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+open Ast
+
+(* --- diagnostics --------------------------------------------------------- *)
+
+type loc = { l_func : string; l_path : string }
+
+type diagnostic = {
+  d_construct : string;
+  d_rule : string;
+  d_reason : string;
+  d_loc : loc;
+  d_hint : string;
+}
+
+exception Rejected of diagnostic
+
+let pp_diagnostic fmt d =
+  Format.fprintf fmt "%s: %s is outside the verified normal form [%s]: %s@ (hint: %s)"
+    d.d_loc.l_path d.d_construct d.d_rule d.d_reason d.d_hint
+
+let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d
+
+let reject ~construct ~rule ~reason ~loc ~hint =
+  raise
+    (Rejected
+       { d_construct = construct; d_rule = rule; d_reason = reason; d_loc = loc; d_hint = hint })
+
+(* --- the normal form ----------------------------------------------------- *)
+
+type operand = Oslot of int | Oimm of Bitvec.t
+
+type guard = Galways | Gslot of int
+
+type vop =
+  | Vmov of operand
+  | Vnot of operand
+  | Vneg of operand
+  | Vlnot of operand
+  | Vbin of { op : binop; sa : bool; a : operand; b : operand }
+  | Vcast of { signed : bool; a : operand }
+  | Vbitsel of { a : operand; hi : int; lo : int }
+  | Vload of { arr : int; idx : operand; aname : string }
+  | Vcheck of { arr : int; idx : operand; aname : string }
+  | Vstore of { arr : int; idx : operand; v : operand; aname : string }
+  | Vcopy of { adst : int; asrc : int }
+  | Vfill of int
+  | Vfail of string
+
+type inst = { i_dst : int; i_guard : guard; i_op : vop }
+
+type param =
+  | P_int of { p_name : string; p_width : int; p_slot : int }
+  | P_arr of { p_name : string; p_width : int; p_size : int; p_arr : int }
+
+type ret = Rslot of int | Rarr of int
+
+type stats = {
+  n_insts : int;
+  n_slots : int;
+  n_arrays : int;
+  n_folded : int;
+  n_cse : int;
+}
+
+type vnf = {
+  v_entry : string;
+  v_params : param list;
+  v_slots : int array; (* slot widths *)
+  v_arrays : (int * int) array; (* element width, size *)
+  v_insts : inst array;
+  v_ret : ret;
+  v_stats : stats;
+}
+
+(* --- lowering state ------------------------------------------------------ *)
+
+(* CSE entries are keyed by a canonical string of (op, operand slot
+   versions / immediate values); an entry is reusable when its defining
+   guard was unconditional, or is the same guard slot at the same
+   version as the requesting site. *)
+type centry = { ce_guard : guard; ce_gver : int; ce_dst : int }
+
+type st = {
+  prog : program;
+  mutable insts : inst list; (* reversed *)
+  mutable n_insts : int;
+  mutable slot_w : int list; (* reversed *)
+  mutable n_slots : int;
+  mutable arr_i : (int * int) list; (* reversed *)
+  mutable n_arrays : int;
+  vers : (int, int) Hashtbl.t; (* slot -> version (writes seen) *)
+  avers : (int, int) Hashtbl.t; (* array -> version *)
+  consts : (int, Bitvec.t) Hashtbl.t; (* slot -> known constant *)
+  cse : (string, centry) Hashtbl.t;
+  mutable n_folded : int;
+  mutable n_cse : int;
+  mutable cur : loc;
+  budget : int;
+}
+
+let ver st s = Option.value ~default:0 (Hashtbl.find_opt st.vers s)
+let aver st a = Option.value ~default:0 (Hashtbl.find_opt st.avers a)
+let bump tbl k = Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+
+let new_slot st w =
+  let s = st.n_slots in
+  st.n_slots <- s + 1;
+  st.slot_w <- w :: st.slot_w;
+  s
+
+let new_arr st ~elem_w ~size =
+  let a = st.n_arrays in
+  st.n_arrays <- a + 1;
+  st.arr_i <- (elem_w, size) :: st.arr_i;
+  a
+
+let emit st (g : guard) dst op =
+  if st.n_insts >= st.budget then
+    reject ~construct:"model size" ~rule:"VNF-S1"
+      ~reason:
+        (Printf.sprintf "lowered instruction count exceeds the budget (%d)"
+           st.budget)
+      ~loc:st.cur
+      ~hint:"reduce static loop bounds or split the model into stages";
+  st.insts <- { i_dst = dst; i_guard = g; i_op = op } :: st.insts;
+  st.n_insts <- st.n_insts + 1;
+  if dst >= 0 then begin
+    bump st.vers dst;
+    match (op, g) with
+    | Vmov (Oimm bv), Galways -> Hashtbl.replace st.consts dst bv
+    | _ -> Hashtbl.remove st.consts dst
+  end;
+  match op with
+  | Vstore { arr; _ } -> bump st.avers arr
+  | Vcopy { adst; _ } -> bump st.avers adst
+  | Vfill a -> bump st.avers a
+  | _ -> ()
+
+(* Read a slot, folding through the constant map. *)
+let rd st s =
+  match Hashtbl.find_opt st.consts s with
+  | Some bv -> Oimm bv
+  | None -> Oslot s
+
+(* --- compile-time evaluation (mirrors Interp exactly) -------------------- *)
+
+let clamp_shift amount width =
+  if Bitvec.width amount > 62 then width
+  else min (Bitvec.to_int amount) width
+
+let truthy = Bitvec.reduce_or
+
+(* Evaluate an all-immediate operation.  [None] defers to run time: a
+   constant division/remainder by zero must still raise the
+   interpreter's error when (and only when) its guard holds. *)
+let fold_op ~w op =
+  match op with
+  | Vmov (Oimm v) -> Some v
+  | Vnot (Oimm v) -> Some (Bitvec.lognot v)
+  | Vneg (Oimm v) -> Some (Bitvec.neg v)
+  | Vlnot (Oimm v) -> Some (Bitvec.of_bool (not (truthy v)))
+  | Vbin { op; sa; a = Oimm va; b = Oimm vb } -> (
+    match op with
+    | Add -> Some (Bitvec.add va vb)
+    | Sub -> Some (Bitvec.sub va vb)
+    | Mul -> Some (Bitvec.mul va vb)
+    | Div ->
+      if Bitvec.is_zero vb then None
+      else Some (if sa then Bitvec.sdiv va vb else Bitvec.udiv va vb)
+    | Rem ->
+      if Bitvec.is_zero vb then None
+      else Some (if sa then Bitvec.srem va vb else Bitvec.urem va vb)
+    | And -> Some (Bitvec.logand va vb)
+    | Or -> Some (Bitvec.logor va vb)
+    | Xor -> Some (Bitvec.logxor va vb)
+    | Shl -> Some (Bitvec.shift_left va (clamp_shift vb (Bitvec.width va)))
+    | Shr ->
+      let n = clamp_shift vb (Bitvec.width va) in
+      Some
+        (if sa then Bitvec.shift_right_arith va n
+         else Bitvec.shift_right_logical va n)
+    | Eq -> Some (Bitvec.of_bool (Bitvec.equal va vb))
+    | Ne -> Some (Bitvec.of_bool (not (Bitvec.equal va vb)))
+    | Lt ->
+      Some (Bitvec.of_bool (if sa then Bitvec.slt va vb else Bitvec.ult va vb))
+    | Le ->
+      Some (Bitvec.of_bool (if sa then Bitvec.sle va vb else Bitvec.ule va vb))
+    | Land | Lor -> assert false (* lowered structurally, never emitted *))
+  | Vcast { signed; a = Oimm v } ->
+    Some (if signed then Bitvec.sresize v w else Bitvec.uresize v w)
+  | Vbitsel { a = Oimm v; hi; lo } -> Some (Bitvec.select v ~hi ~lo)
+  | _ -> None
+
+(* --- structural CSE ------------------------------------------------------ *)
+
+let okey st = function
+  | Oimm v -> "#" ^ Bitvec.to_string v
+  | Oslot s -> Printf.sprintf "s%d.%d" s (ver st s)
+
+let binop_tag = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Le -> "le" | Land -> "land"
+  | Lor -> "lor"
+[@@ocamlformat "disable"]
+
+(* Canonical key for a pure computation, [None] when the op is not
+   value-numberable.  Loads fold the array's version in, so any store
+   or copy invalidates them. *)
+let ckey st ~w op =
+  match op with
+  | Vnot a -> Some (Printf.sprintf "not:%d:%s" w (okey st a))
+  | Vneg a -> Some (Printf.sprintf "neg:%d:%s" w (okey st a))
+  | Vlnot a -> Some (Printf.sprintf "lnot:%s" (okey st a))
+  | Vbin { op; sa; a; b } ->
+    Some
+      (Printf.sprintf "bin:%s:%b:%d:%s:%s" (binop_tag op) sa w (okey st a)
+         (okey st b))
+  | Vcast { signed; a } ->
+    Some (Printf.sprintf "cast:%b:%d:%s" signed w (okey st a))
+  | Vbitsel { a; hi; lo } ->
+    Some (Printf.sprintf "sel:%d:%d:%s" hi lo (okey st a))
+  | Vload { arr; idx; _ } ->
+    Some (Printf.sprintf "load:%d.%d:%s" arr (aver st arr) (okey st idx))
+  | Vmov _ | Vcheck _ | Vstore _ | Vcopy _ | Vfill _ | Vfail _ -> None
+
+let guard_usable st (e : centry) (g : guard) =
+  match (e.ce_guard, g) with
+  | Galways, _ -> true (* computed unconditionally: valid everywhere after *)
+  | Gslot s, Gslot s' -> s = s' && ver st s = e.ce_gver
+  | Gslot _, Galways -> false
+
+(* Emit a pure computation: constant-fold when every operand is
+   immediate, value-number against earlier identical computations,
+   otherwise allocate a fresh single-write temp. *)
+let emit_op st (g : guard) ~w op : operand =
+  match fold_op ~w op with
+  | Some bv ->
+    st.n_folded <- st.n_folded + 1;
+    Oimm bv
+  | None -> (
+    let key = ckey st ~w op in
+    match key with
+    | Some k when Hashtbl.mem st.cse k
+                  && guard_usable st (Hashtbl.find st.cse k) g ->
+      st.n_cse <- st.n_cse + 1;
+      Oslot (Hashtbl.find st.cse k).ce_dst
+    | _ ->
+      let dst = new_slot st w in
+      emit st g dst op;
+      (match key with
+      | Some k ->
+        let gver = match g with Galways -> 0 | Gslot s -> ver st s in
+        Hashtbl.replace st.cse k { ce_guard = g; ce_gver = gver; ce_dst = dst }
+      | None -> ());
+      Oslot dst)
+
+(* Guard conjunction: [conj st g c] is the guard for code that runs when
+   both [g] and the 1-bit operand [c] hold.  [None] means statically
+   dead.  Conjunction temps are computed unconditionally — if [g] is
+   false the stale operand is masked by [g] itself being 0. *)
+let conj st (g : guard) (c : operand) : guard option =
+  match c with
+  | Oimm v -> if Bitvec.is_zero v then None else Some g
+  | Oslot s -> (
+    match g with
+    | Galways -> Some (Gslot s)
+    | Gslot gs -> (
+      match
+        emit_op st Galways ~w:1
+          (Vbin { op = And; sa = false; a = Oslot gs; b = Oslot s })
+      with
+      | Oslot t -> Some (Gslot t)
+      | Oimm v -> if Bitvec.is_zero v then None else Some g))
+
+let negate st (c : operand) : operand = emit_op st Galways ~w:1 (Vlnot c)
+
+(* --- per-instance lowering environment ----------------------------------- *)
+
+type binding =
+  | Bscalar of { slot : int; bw : int; bsigned : bool }
+  | Barr of { arr : int; ew : int; esigned : bool; size : int }
+
+type rtarget = Tslot of { slot : int; rw : int; rsigned : bool } | Tarr of int
+
+type ienv = {
+  scope : (string, binding) Hashtbl.t;
+  fn : func;
+  rf : int; (* 1-bit "has returned" flag slot *)
+  ret_t : rtarget;
+}
+
+type aval =
+  | Ascalar of operand * int * bool (* operand, width, signedness *)
+  | Aarr of int * int * bool * int (* array id, elem width, signed, size *)
+
+(* Result of lowering a region: [l_ret] — a Return was lowered in it;
+   [l_term] — it returns whenever it executes (dominating return), so
+   everything after it under the same guard is dead. *)
+type lres = { l_ret : bool; l_term : bool }
+
+let binding env name =
+  (* Total: the program typechecked (VNF-T0). *)
+  match Hashtbl.find_opt env.scope name with
+  | Some b -> b
+  | None -> invalid_arg ("Norm: unbound name " ^ name)
+
+let loc_at env path = { l_func = env.fn.fname; l_path = path }
+
+(* --- expression lowering -------------------------------------------------- *)
+
+let rec lower_expr st env (g : guard) (e : expr) : operand * int * bool =
+  match e with
+  | Int (bv, signed) -> (Oimm bv, Bitvec.width bv, signed)
+  | Bool b -> (Oimm (Bitvec.of_bool b), 1, false)
+  | Var n -> (
+    match binding env n with
+    | Bscalar { slot; bw; bsigned } -> (rd st slot, bw, bsigned)
+    | Barr _ -> invalid_arg "Norm: array used as scalar")
+  | Index (a, i) -> (
+    match binding env a with
+    | Barr { arr; ew; esigned; size } -> (
+      let iv, _, _ = lower_expr st env g i in
+      match iv with
+      | Oimm v ->
+        let k = if Bitvec.width v > 62 then max_int else Bitvec.to_int v in
+        if k >= size then begin
+          (* Still fails at run time, under this guard, with the
+             interpreter's message; the dst slot is a placeholder that
+             is never actually written. *)
+          let dst = new_slot st ew in
+          emit st g dst
+            (Vfail
+               (Printf.sprintf "index %d out of bounds for %s (size %d)" k a
+                  size));
+          (Oslot dst, ew, esigned)
+        end
+        else (emit_op st g ~w:ew (Vload { arr; idx = iv; aname = a }), ew, esigned)
+      | Oslot _ ->
+        (emit_op st g ~w:ew (Vload { arr; idx = iv; aname = a }), ew, esigned))
+    | Bscalar _ -> invalid_arg "Norm: scalar indexed as array")
+  | Unop (Not, a) ->
+    let va, w, sg = lower_expr st env g a in
+    (emit_op st g ~w (Vnot va), w, sg)
+  | Unop (Neg, a) ->
+    let va, w, sg = lower_expr st env g a in
+    (emit_op st g ~w (Vneg va), w, sg)
+  | Unop (Lnot, a) ->
+    let va, _, _ = lower_expr st env g a in
+    (emit_op st g ~w:1 (Vlnot va), 1, false)
+  | Binop (Land, a, b) -> (
+    (* Short-circuit: the right operand only evaluates (and only can
+       fail) when the left is true — it is lowered under [g && a]. *)
+    let va, _, _ = lower_expr st env g a in
+    match va with
+    | Oimm v ->
+      if truthy v then
+        let vb, _, _ = lower_expr st env g b in
+        (vb, 1, false)
+      else (Oimm (Bitvec.of_bool false), 1, false)
+    | Oslot _ -> (
+      let gb = conj st g va in
+      let vb, _, _ =
+        match gb with
+        | Some gb -> lower_expr st env gb b
+        | None -> assert false (* conj of a slot is never dead *)
+      in
+      match vb with
+      | Oimm v when not (truthy v) -> (Oimm (Bitvec.of_bool false), 1, false)
+      | Oimm _ -> (va, 1, false)
+      | Oslot _ ->
+        ( emit_op st g ~w:1 (Vbin { op = And; sa = false; a = va; b = vb }),
+          1,
+          false )))
+  | Binop (Lor, a, b) -> (
+    let va, _, _ = lower_expr st env g a in
+    match va with
+    | Oimm v ->
+      if truthy v then (Oimm (Bitvec.of_bool true), 1, false)
+      else
+        let vb, _, _ = lower_expr st env g b in
+        (vb, 1, false)
+    | Oslot _ -> (
+      let nva = negate st va in
+      let gb = conj st g nva in
+      let vb, _, _ =
+        match gb with
+        | Some gb -> lower_expr st env gb b
+        | None -> assert false
+      in
+      match vb with
+      | Oimm v when truthy v -> (Oimm (Bitvec.of_bool true), 1, false)
+      | Oimm _ -> (va, 1, false)
+      | Oslot _ ->
+        ( emit_op st g ~w:1 (Vbin { op = Or; sa = false; a = va; b = vb }),
+          1,
+          false )))
+  | Binop (op, a, b) ->
+    let va, wa, sa = lower_expr st env g a in
+    let vb, _, _ = lower_expr st env g b in
+    let w, sg =
+      match op with
+      | Eq | Ne | Lt | Le -> (1, false)
+      | _ -> (wa, sa)
+    in
+    (emit_op st g ~w (Vbin { op; sa; a = va; b = vb }), w, sg)
+  | Cond (c, a, b) -> (
+    let cv, _, _ = lower_expr st env g c in
+    match cv with
+    | Oimm v -> if truthy v then lower_expr st env g a else lower_expr st env g b
+    | Oslot _ -> (
+      (* Both guards derive from the condition's value *before* either
+         arm runs; only the taken arm's instructions execute. *)
+      let nc = negate st cv in
+      let gt = conj st g cv in
+      let ge = conj st g nc in
+      match (gt, ge) with
+      | Some gt, Some ge ->
+        let va, w, sg = lower_expr st env gt a in
+        let vb, _, _ = lower_expr st env ge b in
+        let r = new_slot st w in
+        emit st gt r (Vmov va);
+        emit st ge r (Vmov vb);
+        (Oslot r, w, sg)
+      | _ -> assert false))
+  | Cast (Tint { width; signed }, a) ->
+    let va, wa, sa = lower_expr st env g a in
+    if width = wa then (va, width, signed)
+    else (emit_op st g ~w:width (Vcast { signed = sa; a = va }), width, signed)
+  | Cast (Tarray _, _) -> invalid_arg "Norm: cast to array type"
+  | Bitsel (a, hi, lo) ->
+    let va, _, _ = lower_expr st env g a in
+    (emit_op st g ~w:(hi - lo + 1) (Vbitsel { a = va; hi; lo }), hi - lo + 1, false)
+  | Call (f, args) -> (
+    match lower_call st env g f args with
+    | Ascalar (v, w, sg) -> (v, w, sg)
+    | Aarr _ -> invalid_arg "Norm: array-returning call in scalar context")
+
+(* Argument position: whole arrays may be passed (by value). *)
+and lower_arg st env (g : guard) (e : expr) : aval =
+  match e with
+  | Var n -> (
+    match binding env n with
+    | Barr { arr; ew; esigned; size } -> Aarr (arr, ew, esigned, size)
+    | Bscalar _ ->
+      let v, w, sg = lower_expr st env g e in
+      Ascalar (v, w, sg))
+  | Call (f, args) -> lower_call st env g f args
+  | _ ->
+    let v, w, sg = lower_expr st env g e in
+    Ascalar (v, w, sg)
+
+(* Inline a call: fresh slots for this instance, arguments evaluated
+   left-to-right under the caller's guard, parameters and locals bound
+   by unconditional moves (stale values are masked by the guards of
+   every instruction that reads them; unconditional binds let constant
+   arguments fold inside the callee). *)
+and lower_call st env (g : guard) f args : aval =
+  let fn =
+    match find_func st.prog f with
+    | Some fn -> fn
+    | None -> invalid_arg ("Norm: call to unknown function " ^ f)
+  in
+  let avals =
+    List.fold_left (fun acc a -> lower_arg st env g a :: acc) [] args
+    |> List.rev
+  in
+  let scope = Hashtbl.create 16 in
+  List.iter2
+    (fun (name, ty) av ->
+      match (ty, av) with
+      | Tint { width; signed }, Ascalar (v, _, _) ->
+        let p = new_slot st width in
+        emit st Galways p (Vmov v);
+        Hashtbl.replace scope name
+          (Bscalar { slot = p; bw = width; bsigned = signed })
+      | Tarray (Tint { width; signed }, size), Aarr (src, _, _, _) ->
+        let ap = new_arr st ~elem_w:width ~size in
+        emit st Galways (-1) (Vcopy { adst = ap; asrc = src });
+        Hashtbl.replace scope name
+          (Barr { arr = ap; ew = width; esigned = signed; size })
+      | _ -> invalid_arg "Norm: argument shape mismatch")
+    fn.params avals;
+  lower_body st ~scope ~fn g
+
+(* Shared between inlined calls and the entry function: locals, return
+   flag, return target, body, fall-off-the-end epilogue. *)
+and lower_body st ~scope ~(fn : func) g : aval =
+  List.iter
+    (fun (name, ty) ->
+      match ty with
+      | Tint { width; signed } ->
+        let l = new_slot st width in
+        emit st Galways l (Vmov (Oimm (Bitvec.zero width)));
+        Hashtbl.replace scope name
+          (Bscalar { slot = l; bw = width; bsigned = signed })
+      | Tarray (Tint { width; signed }, size) ->
+        let la = new_arr st ~elem_w:width ~size in
+        emit st Galways (-1) (Vfill la);
+        Hashtbl.replace scope name
+          (Barr { arr = la; ew = width; esigned = signed; size })
+      | Tarray (Tarray _, _) -> invalid_arg "Norm: nested array local")
+    fn.locals;
+  let rf = new_slot st 1 in
+  emit st Galways rf (Vmov (Oimm (Bitvec.zero 1)));
+  let ret_t =
+    match fn.ret with
+    | Tint { width; signed } ->
+      let rs = new_slot st width in
+      emit st Galways rs (Vmov (Oimm (Bitvec.zero width)));
+      Tslot { slot = rs; rw = width; rsigned = signed }
+    | Tarray (Tint { width; _ }, size) ->
+      let ra = new_arr st ~elem_w:width ~size in
+      emit st Galways (-1) (Vfill ra);
+      Tarr ra
+    | Tarray (Tarray _, _) -> invalid_arg "Norm: nested array return"
+  in
+  let env = { scope; fn; rf; ret_t } in
+  let r = lower_block st env g fn.body "body" in
+  if not r.l_term then begin
+    (* The body can run to completion without returning (e.g. a
+       zero-trip loop around the only Return): raise exactly where and
+       when the interpreter would. *)
+    let nrf = negate st (rd st rf) in
+    match conj st g nrf with
+    | None -> ()
+    | Some gf ->
+      emit st gf (-1)
+        (Vfail
+           (Printf.sprintf "%s: function finished without returning" fn.fname))
+  end;
+  match ret_t with
+  | Tslot { slot; rw; rsigned } -> Ascalar (rd st slot, rw, rsigned)
+  | Tarr ra -> (
+    match fn.ret with
+    | Tarray (Tint { width; signed }, size) -> Aarr (ra, width, signed, size)
+    | _ -> assert false)
+
+(* --- statement lowering --------------------------------------------------- *)
+
+and lower_block st env (g : guard) stmts path : lres =
+  let rec go g i ret = function
+    | [] -> { l_ret = ret; l_term = false }
+    | stmt :: rest -> (
+      st.cur <- loc_at env (Printf.sprintf "%s[%d]" path i);
+      let r = lower_stmt st env g stmt (Printf.sprintf "%s[%d]" path i) in
+      if r.l_term then { l_ret = ret || r.l_ret; l_term = true }
+      else if not r.l_ret then go g (i + 1) ret rest
+      else
+        (* A conditional return happened somewhere inside: the rest of
+           this block runs only while the flag is still clear. *)
+        let nrf = negate st (rd st env.rf) in
+        match conj st g nrf with
+        | None -> { l_ret = true; l_term = true }
+        | Some g' -> go g' (i + 1) true rest)
+  in
+  go g 0 false stmts
+
+and lower_stmt st env (g : guard) (stmt : stmt) path : lres =
+  let no_ret = { l_ret = false; l_term = false } in
+  match stmt with
+  | Assign (Lvar n, e) -> (
+    match binding env n with
+    | Bscalar { slot; _ } ->
+      let v, _, _ = lower_expr st env g e in
+      emit st g slot (Vmov v);
+      no_ret
+    | Barr { arr; _ } -> (
+      match lower_arg st env g e with
+      | Aarr (src, _, _, _) ->
+        emit st g (-1) (Vcopy { adst = arr; asrc = src });
+        no_ret
+      | Ascalar _ -> invalid_arg "Norm: scalar assigned to array"))
+  | Assign (Lindex (a, i), e) -> (
+    match binding env a with
+    | Barr { arr; size; _ } -> (
+      let iv, _, _ = lower_expr st env g i in
+      match iv with
+      | Oimm v ->
+        let k = if Bitvec.width v > 62 then max_int else Bitvec.to_int v in
+        if k >= size then begin
+          (* The interpreter bounds-checks before evaluating the rhs;
+             code after this point (under this guard) is unreachable. *)
+          emit st g (-1)
+            (Vfail
+               (Printf.sprintf "store index %d out of bounds for %s (size %d)"
+                  k a size));
+          no_ret
+        end
+        else begin
+          let v, _, _ = lower_expr st env g e in
+          emit st g (-1) (Vstore { arr; idx = iv; v; aname = a });
+          no_ret
+        end
+      | Oslot _ ->
+        (* Bounds-check at the index's evaluation point, before the rhs
+           runs — evaluation order is part of the observable contract
+           (the rhs may itself fail). *)
+        emit st g (-1) (Vcheck { arr; idx = iv; aname = a });
+        let v, _, _ = lower_expr st env g e in
+        emit st g (-1) (Vstore { arr; idx = iv; v; aname = a });
+        no_ret)
+    | Bscalar _ -> invalid_arg "Norm: scalar indexed as array")
+  | If (c, t, e) -> (
+    let cv, _, _ = lower_expr st env g c in
+    match cv with
+    | Oimm v ->
+      if truthy v then lower_block st env g t (path ^ "/then")
+      else lower_block st env g e (path ^ "/else")
+    | Oslot _ -> (
+      let nc = negate st cv in
+      let gt = conj st g cv in
+      let ge = conj st g nc in
+      match (gt, ge) with
+      | Some gt, Some ge ->
+        let rt = lower_block st env gt t (path ^ "/then") in
+        let re = lower_block st env ge e (path ^ "/else") in
+        { l_ret = rt.l_ret || re.l_ret; l_term = rt.l_term && re.l_term }
+      | _ -> assert false))
+  | For { ivar; count; body } ->
+    let iv = new_slot st 32 in
+    Hashtbl.replace env.scope ivar
+      (Bscalar { slot = iv; bw = 32; bsigned = false });
+    let rec iterate g_cur i ret =
+      if i >= count then { l_ret = ret; l_term = false }
+      else begin
+        emit st Galways iv (Vmov (Oimm (Bitvec.create ~width:32 i)));
+        let r = lower_block st env g_cur body (path ^ "/for") in
+        if r.l_term then { l_ret = true; l_term = true }
+        else if not r.l_ret then iterate g_cur (i + 1) ret
+        else
+          let nrf = negate st (rd st env.rf) in
+          match conj st g nrf with
+          | None -> { l_ret = true; l_term = true }
+          | Some g' -> iterate g' (i + 1) true
+      end
+    in
+    let r = iterate g 0 false in
+    Hashtbl.remove env.scope ivar;
+    r
+  | Bounded_while { cond; max_iter; body } ->
+    (* Unroll to the static bound; iteration [i] runs under the
+       conjunction of every earlier condition, so once the condition is
+       false the rest of the unrolling is masked — and a constant-false
+       condition cuts the unrolling short at compile time. *)
+    let rec iterate g_cur i ret =
+      if i >= max_iter then { l_ret = ret; l_term = false }
+      else
+        let cv, _, _ = lower_expr st env g_cur cond in
+        match conj st g_cur cv with
+        | None -> { l_ret = ret; l_term = false }
+        | Some g_b -> (
+          let r = lower_block st env g_b body (path ^ "/while") in
+          (* The loop dominates only if this body dominates *and* the
+             guard is still exactly the statement's own guard, i.e. no
+             dynamic condition (or earlier conditional return) could
+             have skipped getting here. *)
+          if r.l_term && g_b = g then { l_ret = true; l_term = true }
+          else if not (r.l_ret || r.l_term) then iterate g_b (i + 1) ret
+          else
+            match conj st g_b (negate st (rd st env.rf)) with
+            | None -> { l_ret = true; l_term = true }
+            | Some g' -> iterate g' (i + 1) true)
+    in
+    iterate g 0 false
+  | While _ ->
+    reject ~construct:"while loop" ~rule:"VNF-L1"
+      ~reason:"the loop bound is data-dependent, so the lowering cannot unroll it"
+      ~loc:(loc_at env path)
+      ~hint:
+        "use a for loop or a bounded_while (static bound with a conditional \
+         exit), as the conditioning guideline requires"
+  | Return e ->
+    (match env.ret_t with
+    | Tslot { slot; _ } ->
+      let v, _, _ = lower_expr st env g e in
+      emit st g slot (Vmov v)
+    | Tarr ra -> (
+      match lower_arg st env g e with
+      | Aarr (src, _, _, _) -> emit st g (-1) (Vcopy { adst = ra; asrc = src })
+      | Ascalar _ -> invalid_arg "Norm: scalar returned as array"));
+    emit st g env.rf (Vmov (Oimm (Bitvec.of_bool true)));
+    { l_ret = true; l_term = true }
+  | Alloc { var; _ } ->
+    reject
+      ~construct:(Printf.sprintf "dynamic allocation of %s" var)
+      ~rule:"VNF-M1"
+      ~reason:"array storage must be statically sized for slot interning"
+      ~loc:(loc_at env path)
+      ~hint:"use a statically sized array local, as the conditioning guideline requires"
+  | Alias { var; target } ->
+    reject
+      ~construct:(Printf.sprintf "alias %s of %s" var target)
+      ~rule:"VNF-M2"
+      ~reason:"aliasing breaks the one-array-per-id discipline of the normal form"
+      ~loc:(loc_at env path)
+      ~hint:"index the original array directly, as the conditioning guideline requires"
+  | Extern_call (callee, _) ->
+    reject
+      ~construct:(Printf.sprintf "external call to %s" callee)
+      ~rule:"VNF-X1"
+      ~reason:"the model is not self-contained, so the call cannot be inlined"
+      ~loc:(loc_at env path)
+      ~hint:"model the external behaviour as an HWIR function"
+
+(* --- entry point ---------------------------------------------------------- *)
+
+let default_budget = 1 lsl 18
+
+let lower_program ?(budget = default_budget) (p : program) : vnf =
+  (match Typecheck.check p with
+  | () -> ()
+  | exception Typecheck.Type_error msg ->
+    reject ~construct:"ill-typed program" ~rule:"VNF-T0" ~reason:msg
+      ~loc:{ l_func = p.entry; l_path = p.entry }
+      ~hint:"the normal form is only defined for well-typed programs");
+  let fn =
+    match find_func p p.entry with
+    | Some fn -> fn
+    | None -> assert false (* VNF-T0 *)
+  in
+  let st =
+    {
+      prog = p;
+      insts = [];
+      n_insts = 0;
+      slot_w = [];
+      n_slots = 0;
+      arr_i = [];
+      n_arrays = 0;
+      vers = Hashtbl.create 256;
+      avers = Hashtbl.create 16;
+      consts = Hashtbl.create 256;
+      cse = Hashtbl.create 256;
+      n_folded = 0;
+      n_cse = 0;
+      cur = { l_func = p.entry; l_path = "body" };
+      budget;
+    }
+  in
+  let scope = Hashtbl.create 16 in
+  (* Entry parameters are bound by the runtime binder, not by
+     instructions: their slots are listed in [v_params] and written
+     before instruction 0 of every run. *)
+  let params =
+    List.map
+      (fun (name, ty) ->
+        match ty with
+        | Tint { width; signed } ->
+          let s = new_slot st width in
+          Hashtbl.replace scope name
+            (Bscalar { slot = s; bw = width; bsigned = signed });
+          P_int { p_name = name; p_width = width; p_slot = s }
+        | Tarray (Tint { width; signed }, size) ->
+          let a = new_arr st ~elem_w:width ~size in
+          Hashtbl.replace scope name
+            (Barr { arr = a; ew = width; esigned = signed; size });
+          P_arr { p_name = name; p_width = width; p_size = size; p_arr = a }
+        | Tarray (Tarray _, _) -> assert false (* VNF-T0 *))
+      fn.params
+  in
+  let result = lower_body st ~scope ~fn Galways in
+  let v_ret =
+    match result with
+    | Ascalar (Oslot s, _, _) -> Rslot s
+    | Ascalar ((Oimm _ as v), _, _) ->
+      (* The return value folded to a constant: materialize it so the
+         runtime has a definite slot to read. *)
+      let s = new_slot st (ty_width fn.ret) in
+      emit st Galways s (Vmov v);
+      Rslot s
+    | Aarr (a, _, _, _) -> Rarr a
+  in
+  {
+    v_entry = p.entry;
+    v_params = params;
+    v_slots = Array.of_list (List.rev st.slot_w);
+    v_arrays = Array.of_list (List.rev st.arr_i);
+    v_insts = Array.of_list (List.rev st.insts);
+    v_ret;
+    v_stats =
+      {
+        n_insts = st.n_insts;
+        n_slots = st.n_slots;
+        n_arrays = st.n_arrays;
+        n_folded = st.n_folded;
+        n_cse = st.n_cse;
+      };
+  }
+
+(* --- well-formedness gates ------------------------------------------------ *)
+
+exception Ill_formed of string
+
+let gate_fail fmt = Printf.ksprintf (fun m -> raise (Ill_formed m)) fmt
+
+let validate (v : vnf) : unit =
+  let n = Array.length v.v_slots and na = Array.length v.v_arrays in
+  Array.iteri
+    (fun s w -> if w < 1 then gate_fail "slot %d has width %d" s w)
+    v.v_slots;
+  Array.iteri
+    (fun a (ew, size) ->
+      if ew < 1 then gate_fail "array %d has element width %d" a ew;
+      if size < 1 then gate_fail "array %d has size %d" a size)
+    v.v_arrays;
+  let defined = Array.make (max n 1) false in
+  let adefined = Array.make (max na 1) false in
+  List.iter
+    (fun p ->
+      match p with
+      | P_int { p_slot; p_width; p_name } ->
+        if p_slot < 0 || p_slot >= n then
+          gate_fail "parameter %s: slot %d out of range" p_name p_slot;
+        if v.v_slots.(p_slot) <> p_width then
+          gate_fail "parameter %s: slot width %d, declared %d" p_name
+            v.v_slots.(p_slot) p_width;
+        defined.(p_slot) <- true
+      | P_arr { p_arr; p_width; p_size; p_name } ->
+        if p_arr < 0 || p_arr >= na then
+          gate_fail "parameter %s: array %d out of range" p_name p_arr;
+        let ew, size = v.v_arrays.(p_arr) in
+        if ew <> p_width || size <> p_size then
+          gate_fail "parameter %s: array shape %d/%d, declared %d/%d" p_name
+            ew size p_width p_size;
+        adefined.(p_arr) <- true)
+    v.v_params;
+  let owidth i = function
+    | Oimm bv -> Bitvec.width bv
+    | Oslot s ->
+      if s < 0 || s >= n then gate_fail "inst %d: slot %d out of range" i s;
+      if not defined.(s) then
+        gate_fail "inst %d: slot %d used before definition" i s;
+      v.v_slots.(s)
+  in
+  let arr_ok i a what =
+    if a < 0 || a >= na then gate_fail "inst %d: array %d out of range" i a;
+    if not adefined.(a) then
+      gate_fail "inst %d: %s of uninitialized array %d" i what a
+  in
+  Array.iteri
+    (fun i inst ->
+      (match inst.i_guard with
+      | Galways -> ()
+      | Gslot s ->
+        if owidth i (Oslot s) <> 1 then
+          gate_fail "inst %d: guard slot %d is not 1-bit" i s);
+      let dw =
+        if inst.i_dst < 0 then -1
+        else if inst.i_dst >= n then
+          gate_fail "inst %d: destination slot %d out of range" i inst.i_dst
+        else v.v_slots.(inst.i_dst)
+      in
+      let need_dst what =
+        if inst.i_dst < 0 then gate_fail "inst %d: %s needs a destination" i what
+      in
+      let no_dst what =
+        if inst.i_dst >= 0 then
+          gate_fail "inst %d: %s takes no destination" i what
+      in
+      (match inst.i_op with
+      | Vmov a ->
+        need_dst "mov";
+        if owidth i a <> dw then
+          gate_fail "inst %d: mov of width %d into %d-bit slot" i (owidth i a)
+            dw
+      | Vnot a | Vneg a ->
+        need_dst "unop";
+        if owidth i a <> dw then gate_fail "inst %d: unop width mismatch" i
+      | Vlnot a ->
+        need_dst "lnot";
+        ignore (owidth i a);
+        if dw <> 1 then gate_fail "inst %d: lnot into %d-bit slot" i dw
+      | Vbin { op; a; b; _ } -> (
+        need_dst "binop";
+        let wa = owidth i a and wb = owidth i b in
+        match op with
+        | Land | Lor ->
+          gate_fail "inst %d: frontend operator %s in normal form" i
+            (binop_tag op)
+        | Shl | Shr ->
+          if wa <> dw then gate_fail "inst %d: shift width mismatch" i
+        | Eq | Ne | Lt | Le ->
+          if wa <> wb then
+            gate_fail "inst %d: comparison on widths %d and %d" i wa wb;
+          if dw <> 1 then gate_fail "inst %d: comparison into %d-bit slot" i dw
+        | Add | Sub | Mul | Div | Rem | And | Or | Xor ->
+          if wa <> wb || wa <> dw then
+            gate_fail "inst %d: binop widths %d, %d into %d" i wa wb dw)
+      | Vcast { a; _ } ->
+        need_dst "cast";
+        ignore (owidth i a)
+      | Vbitsel { a; hi; lo } ->
+        need_dst "bitsel";
+        let wa = owidth i a in
+        if lo < 0 || hi < lo || hi >= wa then
+          gate_fail "inst %d: bit-select [%d:%d] out of range for width %d" i
+            hi lo wa;
+        if dw <> hi - lo + 1 then gate_fail "inst %d: bitsel width mismatch" i
+      | Vload { arr; idx; _ } ->
+        need_dst "load";
+        arr_ok i arr "load";
+        ignore (owidth i idx);
+        if fst v.v_arrays.(arr) <> dw then
+          gate_fail "inst %d: load of %d-bit element into %d-bit slot" i
+            (fst v.v_arrays.(arr)) dw
+      | Vcheck { arr; idx; _ } ->
+        no_dst "check";
+        arr_ok i arr "check";
+        ignore (owidth i idx)
+      | Vstore { arr; idx; v = value; _ } ->
+        no_dst "store";
+        arr_ok i arr "store";
+        ignore (owidth i idx);
+        if owidth i value <> fst v.v_arrays.(arr) then
+          gate_fail "inst %d: store of width %d into %d-bit array" i
+            (owidth i value)
+            (fst v.v_arrays.(arr))
+      | Vcopy { adst; asrc } ->
+        no_dst "copy";
+        arr_ok i asrc "copy source";
+        if adst < 0 || adst >= na then
+          gate_fail "inst %d: array %d out of range" i adst;
+        if v.v_arrays.(adst) <> v.v_arrays.(asrc) then
+          gate_fail "inst %d: copy between mismatched arrays" i;
+        adefined.(adst) <- true
+      | Vfill a ->
+        no_dst "fill";
+        if a < 0 || a >= na then
+          gate_fail "inst %d: array %d out of range" i a;
+        adefined.(a) <- true
+      | Vfail _ -> () (* may carry a placeholder destination *));
+      if inst.i_dst >= 0 then defined.(inst.i_dst) <- true)
+    v.v_insts;
+  (match v.v_ret with
+  | Rslot s ->
+    if s < 0 || s >= n then gate_fail "return slot %d out of range" s;
+    if not defined.(s) then gate_fail "return slot %d never defined" s
+  | Rarr a ->
+    if a < 0 || a >= na then gate_fail "return array %d out of range" a;
+    if not adefined.(a) then gate_fail "return array %d never initialized" a)
+
+let span_normalize = "hwir.normalize"
+
+let lower ?budget (p : program) : vnf =
+  Dfv_obs.Trace.with_span span_normalize (fun () ->
+      let v = lower_program ?budget p in
+      validate v;
+      v)

@@ -1,0 +1,133 @@
+(** Verified normal form (VNF): the firewall between the HWIR frontend
+    and the compiled backend.
+
+    [lower] flattens an elaborated, typechecked HWIR program into a
+    linear sequence of guarded assignments over dense slot/array ids
+    with fully explicit evaluation order — calls inlined, loops
+    unrolled to their static bounds, short-circuit operators and
+    conditionals turned into guard computations.  Constructs outside
+    the normal form are rejected with a source-located [diagnostic]
+    naming the construct and the violated rule:
+
+    - [VNF-T0] — the program does not typecheck;
+    - [VNF-L1] — [While]: data-dependent loop bound;
+    - [VNF-M1] — [Alloc]: dynamically sized array storage;
+    - [VNF-M2] — [Alias]: aliased array names;
+    - [VNF-X1] — [Extern_call]: the model is not self-contained;
+    - [VNF-S1] — the lowered instruction count exceeds the budget.
+
+    [validate] is the machine-checked well-formedness gate over the
+    normal form itself; [lower] self-checks its output and
+    [Compile.compile] re-validates its input.
+
+    The semantic contract: executing the VNF in instruction order
+    (skipping instructions whose guard slot is 0) is observably
+    identical to [Interp] on the same program — same values, same
+    evaluation order, and the same [Interp.Runtime_error] messages. *)
+
+(** {1 Diagnostics} *)
+
+type loc = {
+  l_func : string;  (** enclosing HWIR function *)
+  l_path : string;  (** statement path, e.g. ["body[2]/then[0]"] *)
+}
+
+type diagnostic = {
+  d_construct : string;  (** offending construct, e.g. ["while loop"] *)
+  d_rule : string;  (** violated rule, e.g. ["VNF-L1"] *)
+  d_reason : string;
+  d_loc : loc;
+  d_hint : string;  (** how to condition the model, echoing [Guideline] *)
+}
+
+exception Rejected of diagnostic
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string
+
+(** {1 The normal form}
+
+    All types are public so tests can build (deliberately broken)
+    normal forms by hand and drive them through [validate]. *)
+
+type operand = Oslot of int | Oimm of Dfv_bitvec.Bitvec.t
+
+type guard =
+  | Galways  (** executes unconditionally *)
+  | Gslot of int  (** executes iff the 1-bit guard slot is non-zero *)
+
+type vop =
+  | Vmov of operand
+  | Vnot of operand
+  | Vneg of operand
+  | Vlnot of operand  (** logical not: 1-bit, 1 iff operand is zero *)
+  | Vbin of { op : Ast.binop; sa : bool; a : operand; b : operand }
+      (** [sa]: signed arithmetic (division, remainder, arithmetic
+          shift, ordered comparison). [Land]/[Lor] are frontend
+          constructs and never appear. *)
+  | Vcast of { signed : bool; a : operand }
+      (** resize to the destination width; [signed] is the {e source}
+          signedness (sign- vs zero-extension) *)
+  | Vbitsel of { a : operand; hi : int; lo : int }
+  | Vload of { arr : int; idx : operand; aname : string }
+      (** bounds-checked read; [aname] is the source-level array name
+          used in the out-of-bounds error message *)
+  | Vcheck of { arr : int; idx : operand; aname : string }
+      (** bounds check alone, at the index's evaluation point (the
+          interpreter checks before evaluating the stored value) *)
+  | Vstore of { arr : int; idx : operand; v : operand; aname : string }
+  | Vcopy of { adst : int; asrc : int }  (** whole-array by-value copy *)
+  | Vfill of int  (** zero-fill an array (local initialization) *)
+  | Vfail of string
+      (** raise [Interp.Runtime_error] with this message when the guard
+          holds; may carry a placeholder destination slot *)
+
+type inst = {
+  i_dst : int;  (** destination slot, or [-1] for effect-only ops *)
+  i_guard : guard;
+  i_op : vop;
+}
+
+type param =
+  | P_int of { p_name : string; p_width : int; p_slot : int }
+  | P_arr of { p_name : string; p_width : int; p_size : int; p_arr : int }
+
+type ret = Rslot of int | Rarr of int
+
+type stats = {
+  n_insts : int;
+  n_slots : int;
+  n_arrays : int;
+  n_folded : int;  (** operations folded to constants during lowering *)
+  n_cse : int;  (** operations deduplicated by structural CSE *)
+}
+
+type vnf = {
+  v_entry : string;
+  v_params : param list;
+      (** entry parameters; their slots/arrays are written by the
+          runtime binder before instruction 0, never by instructions *)
+  v_slots : int array;  (** slot widths, indexed by slot id *)
+  v_arrays : (int * int) array;  (** (element width, size) per array id *)
+  v_insts : inst array;  (** executed in order, 0 to [n-1] *)
+  v_ret : ret;
+  v_stats : stats;
+}
+
+(** {1 Lowering and gates} *)
+
+val default_budget : int
+
+val lower : ?budget:int -> Ast.program -> vnf
+(** Lower a program to its normal form, or raise [Rejected].  The
+    result is deterministic (same program, same VNF) and has passed
+    [validate].  Runs under the ["hwir.normalize"] trace span. *)
+
+exception Ill_formed of string
+
+val validate : vnf -> unit
+(** Machine-check well-formedness, raising [Ill_formed] on the first
+    violation: ids dense and in range, every slot defined (by a
+    parameter or an earlier instruction) before use, guard slots 1-bit,
+    per-op width discipline, arrays initialized before access, no
+    frontend constructs, return reference defined. *)

@@ -1,0 +1,197 @@
+(* The shared slot-indexed closure kernel.
+
+   Hoisted out of lib/rtl/compile.ml so that both execution backends —
+   the compiled RTL simulator (Rtl.Compile) and the compiled HWIR
+   engine (Hwir.Compile) — target the same machinery:
+
+   - [cexp], the two-kinded compiled expression: a native-int producer
+     for widths that fit the [Bitvec.Unboxed] fast path (<= 62 bits),
+     or a boxed [Bitvec.t] producer for wider values;
+   - [Store], the dense slot-indexed dual value store the closures read
+     and write (a flat int array for narrow slots, a flat [Bitvec.t]
+     array for wide ones);
+   - per-generation memoization for structurally shared subtrees;
+   - compile-time constant folding that keeps the unfolded closure when
+     evaluation raises, so run-time exceptions surface exactly where
+     the reference engine would raise them;
+   - [Pending], the evaluate-all-then-commit scratch arrays used for
+     simultaneous state update (registers, memory write ports);
+   - [levelize], the dependency-ordered scheduling pass with cycle
+     rejection.
+
+   The kernel is engine-agnostic: nothing here knows about netlists or
+   HWIR programs.  Backends keep their own operator compilation and
+   their own error vocabulary, and hold the kernel to the contract that
+   observable behaviour matches their interpreter bit-for-bit. *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+module U = Bitvec.Unboxed
+
+type cexp = CI of (unit -> int) | CB of (unit -> Bitvec.t)
+
+let narrow w = U.fits w
+
+(* Coercions between the two closure kinds; [as_int] requires the
+   expression width to fit the fast path. *)
+let as_int = function
+  | CI f -> f
+  | CB f -> fun () -> Bitvec.to_int (f ())
+
+let as_bv w = function
+  | CB f -> f
+  | CI f -> fun () -> U.to_bitvec ~width:w (f ())
+
+let force = function
+  | CI f -> fun () -> ignore (f ())
+  | CB f -> fun () -> ignore (f ())
+
+(* --- per-generation memoization ----------------------------------------- *)
+
+type gen = int ref
+
+let new_gen () = ref 0
+let next_gen g = incr g
+
+let memoize gen w ce =
+  match ce with
+  | CI f ->
+    let v = ref 0 and g = ref min_int in
+    CI
+      (fun () ->
+        if !g = !gen then !v
+        else begin
+          let r = f () in
+          v := r;
+          g := !gen;
+          r
+        end)
+  | CB f ->
+    let v = ref (Bitvec.zero w) and g = ref min_int in
+    CB
+      (fun () ->
+        if !g = !gen then !v
+        else begin
+          let r = f () in
+          v := r;
+          g := !gen;
+          r
+        end)
+
+(* --- constant folding ---------------------------------------------------- *)
+
+let try_fold ce =
+  (* Evaluate a signal-free expression once at compile time.  [None] if
+     it raises (e.g. a constant division by zero): the caller keeps the
+     unfolded closure so the exception still surfaces at evaluation
+     time, exactly as the reference interpreter would. *)
+  try
+    Some
+      (match ce with
+      | CI f ->
+        let v = f () in
+        CI (fun () -> v)
+      | CB f ->
+        let v = f () in
+        CB (fun () -> v))
+  with _ -> None
+
+(* --- dense slot store ---------------------------------------------------- *)
+
+module Store = struct
+  type t = {
+    ival : int array; (* slots with width <= Unboxed.max_width *)
+    bval : Bitvec.t array; (* wider slots *)
+    swidth : int array;
+  }
+
+  let create swidth =
+    let n = Array.length swidth in
+    { ival = Array.make n 0; bval = Array.make n (Bitvec.zero 1); swidth }
+
+  let read t s =
+    if narrow t.swidth.(s) then U.to_bitvec ~width:t.swidth.(s) t.ival.(s)
+    else t.bval.(s)
+
+  let write t s v =
+    if narrow t.swidth.(s) then t.ival.(s) <- Bitvec.to_int v
+    else t.bval.(s) <- v
+
+  let reader t s =
+    let w = t.swidth.(s) in
+    if narrow w then
+      let ival = t.ival in
+      CI (fun () -> ival.(s))
+    else
+      let bval = t.bval in
+      CB (fun () -> bval.(s))
+
+  let assigner t s ce =
+    if narrow t.swidth.(s) then begin
+      let ival = t.ival in
+      let f = as_int ce in
+      fun () -> ival.(s) <- f ()
+    end
+    else begin
+      let bval = t.bval in
+      let f = as_bv t.swidth.(s) ce in
+      fun () -> bval.(s) <- f ()
+    end
+end
+
+(* --- evaluate-then-commit scratch ---------------------------------------- *)
+
+module Pending = struct
+  type t = {
+    en : bool array;
+    idx : int array;
+    vi : int array;
+    vb : Bitvec.t array;
+  }
+
+  let create n =
+    {
+      en = Array.make n false;
+      idx = Array.make n 0;
+      vi = Array.make n 0;
+      vb = Array.make n (Bitvec.zero 1);
+    }
+end
+
+(* --- levelization -------------------------------------------------------- *)
+
+let levelize ~defs ~deps ~on_cycle =
+  (* Depth-first topological sort over def->def dependency edges; names
+     without a definition (state: inputs, registers, memories) are level
+     0 and not scheduled.  Visits run in declaration order so the
+     resulting schedule is deterministic. *)
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (n, e) -> Hashtbl.replace tbl n e) defs;
+  let order = ref [] in
+  let levels = Hashtbl.create 64 in
+  let visiting = Hashtbl.create 16 in
+  let rec visit name =
+    match Hashtbl.find_opt levels name with
+    | Some l -> l
+    | None -> (
+      if Hashtbl.mem visiting name then on_cycle name
+      else
+        match Hashtbl.find_opt tbl name with
+        | None -> 0
+        | Some e ->
+          Hashtbl.add visiting name ();
+          let l =
+            1 + List.fold_left (fun acc d -> max acc (visit d)) 0 (deps e)
+          in
+          Hashtbl.remove visiting name;
+          Hashtbl.add levels name l;
+          order := (name, e, l) :: !order;
+          l)
+  in
+  List.iter (fun (n, _) -> ignore (visit n)) defs;
+  let ordered = List.rev !order in
+  let n_levels = List.fold_left (fun acc (_, _, l) -> max acc l) 0 ordered in
+  (ordered, n_levels)
+
+(* --- compile statistics --------------------------------------------------- *)
+
+type stats = { n_slots : int; n_levels : int; n_folded : int; n_shared : int }

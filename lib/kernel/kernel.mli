@@ -1,0 +1,109 @@
+(** The shared slot-indexed closure kernel.
+
+    The engine-agnostic machinery behind both compiled execution
+    backends: {!Rtl.Compile} (netlists) and {!Hwir.Compile} (system-
+    level models in the conditioned-C IR).  Each backend interns its
+    values into a dense {!Store}, compiles its operators to {!cexp}
+    closure chains, and keeps its interpreter as the differential
+    oracle; the kernel supplies the representation, the fast/boxed
+    split, memoization, constant folding, commit scratch and
+    scheduling, and knows nothing about either source language. *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+
+type cexp = CI of (unit -> int) | CB of (unit -> Bitvec.t)
+(** A compiled expression: a native-int producer for widths on the
+    [Bitvec.Unboxed] fast path (<= 62 bits), or a boxed producer. *)
+
+val narrow : int -> bool
+(** [narrow w] — does a [w]-bit value fit the native-int fast path? *)
+
+val as_int : cexp -> unit -> int
+(** Coerce to the fast path; the expression width must be narrow. *)
+
+val as_bv : int -> cexp -> unit -> Bitvec.t
+(** [as_bv w ce] — coerce to a boxed producer of width [w]. *)
+
+val force : cexp -> unit -> unit
+(** Evaluate for effect only. *)
+
+(** {1 Per-generation memoization}
+
+    Structurally shared subtrees compile to one closure whose result is
+    cached per evaluation generation.  Sound when expressions are pure
+    over state that is stable for the whole generation (the backend
+    bumps the generation once per cycle / per run). *)
+
+type gen = int ref
+
+val new_gen : unit -> gen
+val next_gen : gen -> unit
+val memoize : gen -> int -> cexp -> cexp
+(** [memoize gen w ce] — cache [ce]'s value (width [w]) per generation. *)
+
+val try_fold : cexp -> cexp option
+(** Evaluate a signal-free expression once at compile time.  [None] if
+    evaluation raises (e.g. a constant division by zero), in which case
+    the caller must keep the unfolded closure so the exception still
+    surfaces at run time, exactly as the reference engine would. *)
+
+(** {1 Dense slot store} *)
+
+module Store : sig
+  type t = {
+    ival : int array;  (** slots with width <= [Bitvec.Unboxed.max_width] *)
+    bval : Bitvec.t array;  (** wider slots *)
+    swidth : int array;
+  }
+
+  val create : int array -> t
+  (** [create swidth] — all-zero store with the given per-slot widths. *)
+
+  val read : t -> int -> Bitvec.t
+  val write : t -> int -> Bitvec.t -> unit
+
+  val reader : t -> int -> cexp
+  (** A closure reading slot [s], on the matching fast/boxed path. *)
+
+  val assigner : t -> int -> cexp -> unit -> unit
+  (** A thunk assigning [ce]'s value into slot [s]. *)
+end
+
+(** {1 Evaluate-all-then-commit scratch}
+
+    Flat pending arrays for simultaneous state update: evaluate every
+    next-state value against settled pre-update state into the scratch,
+    then commit.  [idx] carries a target index for indexed commits
+    (memory write ports); plain register commits ignore it. *)
+
+module Pending : sig
+  type t = {
+    en : bool array;
+    idx : int array;
+    vi : int array;
+    vb : Bitvec.t array;
+  }
+
+  val create : int -> t
+end
+
+val levelize :
+  defs:(string * 'a) list ->
+  deps:('a -> string list) ->
+  on_cycle:(string -> int) ->
+  (string * 'a * int) list * int
+(** Depth-first topological sort of [defs] over [deps] edges; names
+    without a definition are treated as state (level 0).  Returns the
+    schedule in dependency order (deterministic: visits follow
+    declaration order) with each definition's level, and the maximum
+    level.  [on_cycle] is called with the offending name when a cycle
+    is hit and must raise. *)
+
+type stats = {
+  n_slots : int;  (** interned slots *)
+  n_levels : int;  (** depth of the levelized schedule *)
+  n_folded : int;  (** sub-expressions folded to constants at compile *)
+  n_shared : int;
+      (** repeated subtrees deduplicated by structural CSE, each
+          compiled once and memoized per evaluation generation *)
+}

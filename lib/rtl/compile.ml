@@ -1,11 +1,11 @@
-(* Compiled RTL simulation kernel.
+(* Compiled RTL simulation, rebased on the shared closure kernel.
 
    The tree-walking interpreter in [Sim] pays a string-keyed hashtable
    lookup per signal reference per cycle.  This pass trades a one-time
-   compile at [create] for a run-many kernel:
+   compile at [create] for a run-many kernel built on [Dfv_kernel.Kernel]:
 
    - every input/wire/register name is interned to a dense integer slot
-     over two flat value stores (a native-int store for widths <= 62
+     over the kernel's dual store (a native-int store for widths <= 62
      via [Bitvec.Unboxed], a boxed [Bitvec.t] store for wider signals);
    - the combinational netlist is levelized once into a topologically
      sorted evaluation schedule (raising [Netlist.Elaboration_error] on
@@ -16,6 +16,12 @@
    - input binding is a precompiled per-port table instead of an
      O(ports * inputs) assoc scan.
 
+   The netlist-specific parts — operator compilation over [Expr],
+   register/memory commit discipline, port binding, peek semantics —
+   live here; the representation ([cexp], [Store]), memoization,
+   folding, [Pending] scratch and levelization come from the kernel,
+   which [Hwir.Compile] shares.
+
    Exception behaviour ([Division_by_zero], peek on unsettled wires,
    missing/mis-sized inputs) matches the interpreter; the differential
    suite in test/test_sim_engines.ml holds the two engines to
@@ -23,6 +29,7 @@
 
 module Bitvec = Dfv_bitvec.Bitvec
 module U = Bitvec.Unboxed
+open Dfv_kernel.Kernel
 open Netlist
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Elaboration_error s)) fmt
@@ -46,13 +53,16 @@ type port_binding = {
   pb_narrow : bool;
 }
 
-type stats = { n_slots : int; n_levels : int; n_folded : int; n_shared : int }
+type nonrec stats = stats = {
+  n_slots : int;
+  n_levels : int;
+  n_folded : int;
+  n_shared : int;
+}
 
 type t = {
-  (* slot-indexed value stores *)
-  ival : int array; (* slots with width <= Unboxed.max_width *)
-  bval : Bitvec.t array; (* wider slots *)
-  swidth : int array;
+  (* slot-indexed value stores (kernel dual store) *)
+  store : Store.t;
   kinds : slot_kind array;
   slot_of : (string, int) Hashtbl.t;
   (* memories *)
@@ -74,40 +84,16 @@ type t = {
   given : Bitvec.t array;
   mutable gen : int;
   (* per-cycle evaluation generation for memoized shared subtrees *)
-  eval_gen : int ref;
+  eval_gen : gen;
   (* peek validity, mirroring the interpreter's value-table presence *)
   mutable inputs_valid : bool;
   mutable wires_valid : bool;
   c_stats : stats;
 }
 
-(* A compiled expression is either a native-int producer (narrow) or a
-   boxed bit-vector producer (wide). *)
-type cexp = CI of (unit -> int) | CB of (unit -> Bitvec.t)
-
-let narrow w = U.fits w
-
-(* Coercions between the two closure kinds; [as_int] requires the
-   expression width to fit the fast path. *)
-let as_int = function
-  | CI f -> f
-  | CB f -> fun () -> Bitvec.to_int (f ())
-
-let as_bv w = function
-  | CB f -> f
-  | CI f -> fun () -> U.to_bitvec ~width:w (f ())
-
-let force = function
-  | CI f -> fun () -> ignore (f ())
-  | CB f -> fun () -> ignore (f ())
-
 let reset c =
-  incr c.eval_gen;
-  Array.iter
-    (fun (s, init) ->
-      if narrow c.swidth.(s) then c.ival.(s) <- Bitvec.to_int init
-      else c.bval.(s) <- init)
-    c.reg_inits;
+  next_gen c.eval_gen;
+  Array.iter (fun (s, init) -> Store.write c.store s init) c.reg_inits;
   Array.iter
     (fun m ->
       match (m.m_store, m.m_init) with
@@ -146,44 +132,21 @@ let compile (design : elaborated) : t =
     | Some w -> w
     | None -> fail "reference to unknown memory %s" n
   in
-  let wire_exprs : (string, Expr.t) Hashtbl.t = Hashtbl.create 64 in
+  let wire_names : (string, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
-    (fun (n, e) ->
-      if Hashtbl.mem widths_tbl n || Hashtbl.mem wire_exprs n then
+    (fun (n, _) ->
+      if Hashtbl.mem widths_tbl n || Hashtbl.mem wire_names n then
         fail "duplicate signal name %s" n;
-      Hashtbl.add wire_exprs n e)
+      Hashtbl.add wire_names n ())
     design.e_wires;
   (* Levelize: depth-first topological sort over wire->wire dependency
      edges (inputs, registers and memories are state, not edges).  The
      elaborator already schedules [e_wires], but hand-assembled
      [elaborated] values reach us too, so the kernel re-levelizes and
      rejects combinational cycles itself. *)
-  let order : (string * Expr.t * int) list ref = ref [] in
-  let levels : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let rec visit name =
-    match Hashtbl.find_opt levels name with
-    | Some l -> l
-    | None -> (
-      if Hashtbl.mem visiting name then
-        fail "combinational cycle through wire %s" name;
-      match Hashtbl.find_opt wire_exprs name with
-      | None -> 0 (* input / register / unknown (reported by width pass) *)
-      | Some e ->
-        Hashtbl.add visiting name ();
-        let l =
-          1 + List.fold_left (fun acc d -> max acc (visit d)) 0 (Expr.signals e)
-        in
-        Hashtbl.remove visiting name;
-        Hashtbl.add levels name l;
-        order := (name, e, l) :: !order;
-        l)
-  in
-  (* Visit in declaration order so the schedule is deterministic. *)
-  List.iter (fun (n, _) -> ignore (visit n)) design.e_wires;
-  let wires_levelized = List.rev !order in
-  let n_levels =
-    List.fold_left (fun acc (_, _, l) -> max acc l) 0 wires_levelized
+  let wires_levelized, n_levels =
+    levelize ~defs:design.e_wires ~deps:Expr.signals ~on_cycle:(fun name ->
+        fail "combinational cycle through wire %s" name)
   in
   List.iter
     (fun (n, e, _) ->
@@ -210,8 +173,8 @@ let compile (design : elaborated) : t =
   let kinds = Array.map fst slots in
   let swidth = Array.map snd slots in
   let n = Array.length slots in
-  let ival = Array.make n 0 in
-  let bval = Array.make n (Bitvec.zero 1) in
+  let store = Store.create swidth in
+  let ival = store.Store.ival and bval = store.Store.bval in
   (* --- memories --------------------------------------------------------- *)
   let mem_of : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let memories =
@@ -219,7 +182,7 @@ let compile (design : elaborated) : t =
       (List.mapi
          (fun i m ->
            Hashtbl.add mem_of m.mem_name i;
-           let store =
+           let mstore =
              if narrow m.word_width then M_int (Array.make m.mem_size 0)
              else M_bv (Array.make m.mem_size (Bitvec.zero m.word_width))
            in
@@ -227,7 +190,7 @@ let compile (design : elaborated) : t =
              m_name = m.mem_name;
              m_width = m.word_width;
              m_size = m.mem_size;
-             m_store = store;
+             m_store = mstore;
              m_init = m.mem_init;
            })
          design.e_mems)
@@ -278,54 +241,17 @@ let compile (design : elaborated) : t =
           count wp.wr_data)
         m.writes)
     design.e_mems;
-  let eval_gen = ref 0 in
-  let memoize w ce =
-    match ce with
-    | CI f ->
-      let v = ref 0 and g = ref min_int in
-      CI
-        (fun () ->
-          if !g = !eval_gen then !v
-          else begin
-            let r = f () in
-            v := r;
-            g := !eval_gen;
-            r
-          end)
-    | CB f ->
-      let v = ref (Bitvec.zero w) and g = ref min_int in
-      CB
-        (fun () ->
-          if !g = !eval_gen then !v
-          else begin
-            let r = f () in
-            v := r;
-            g := !eval_gen;
-            r
-          end)
-  in
+  let eval_gen = new_gen () in
   let n_folded = ref 0 in
   let n_shared = ref 0 in
-  let try_fold ce =
-    (* Evaluate a signal-free expression once at compile time.  If it
-       raises (e.g. a constant division by zero), keep the unfolded
-       closure so the exception still surfaces at evaluation time,
-       exactly as the interpreter would. *)
-    try
-      let folded =
-        match ce with
-        | CI f ->
-          let v = f () in
-          CI (fun () -> v)
-        | CB f ->
-          let v = f () in
-          CB (fun () -> v)
-      in
+  let fold ce =
+    match try_fold ce with
+    | Some folded ->
       incr n_folded;
       folded
-    with _ -> ce
+    | None -> ce
   in
-  let ret w k ce = (w, (if k then try_fold ce else ce), k) in
+  let ret w k ce = (w, (if k then fold ce else ce), k) in
   let ccache : (Expr.t, int * cexp * bool) Hashtbl.t = Hashtbl.create 256 in
   let rec go e : int * cexp * bool =
     (* The cache both shares compiled closures across every occurrence
@@ -343,7 +269,7 @@ let compile (design : elaborated) : t =
           && Option.value ~default:0 (Hashtbl.find_opt occurs e) > 1
         then begin
           incr n_shared;
-          (w, memoize w ce, k)
+          (w, memoize eval_gen w ce, k)
         end
         else (w, ce, k)
       in
@@ -363,9 +289,7 @@ let compile (design : elaborated) : t =
         | Some s -> s
         | None -> fail "reference to unknown signal %s" name
       in
-      let w = swidth.(s) in
-      if narrow w then (w, CI (fun () -> ival.(s)), false)
-      else (w, CB (fun () -> bval.(s)), false)
+      (swidth.(s), Store.reader store s, false)
     | Expr.Unop (op, a) -> (
       let wa, ca, ka = go a in
       match op with
@@ -745,13 +669,8 @@ let compile (design : elaborated) : t =
       (List.map
          (fun (name, e, _) ->
            let s = Hashtbl.find slot_of name in
-           let w, ce, _ = go e in
-           if narrow swidth.(s) then
-             let f = as_int ce in
-             fun () -> ival.(s) <- f ()
-           else
-             let f = as_bv w ce in
-             fun () -> bval.(s) <- f ())
+           let _, ce, _ = go e in
+           Store.assigner store s ce)
          wires_levelized)
   in
   (* Outputs: sampled (boxed) after settle, in declaration order. *)
@@ -764,11 +683,10 @@ let compile (design : elaborated) : t =
          design.e_outputs)
   in
   (* Registers: evaluate next/enable against settled pre-edge values
-     into pending arrays, then commit — simultaneous update. *)
+     into the kernel's pending scratch, then commit — simultaneous
+     update. *)
   let nregs = List.length design.e_regs in
-  let pend_en = Array.make nregs false in
-  let pend_i = Array.make nregs 0 in
-  let pend_b = Array.make nregs (Bitvec.zero 1) in
+  let rp = Pending.create nregs in
   let reg_eval =
     Array.of_list
       (List.mapi
@@ -776,16 +694,16 @@ let compile (design : elaborated) : t =
            let wn, cn, _ = go r.next in
            match r.enable with
            | None ->
-             (* Always enabled: pend_en.(i) stays true forever (set
+             (* Always enabled: rp.en.(i) stays true forever (set
                 below, never cleared), so the eval is a bare store. *)
-             pend_en.(i) <- true;
+             rp.Pending.en.(i) <- true;
              if narrow r.reg_width then begin
                let f = as_int cn in
-               fun () -> pend_i.(i) <- f ()
+               fun () -> rp.Pending.vi.(i) <- f ()
              end
              else begin
                let f = as_bv wn cn in
-               fun () -> pend_b.(i) <- f ()
+               fun () -> rp.Pending.vb.(i) <- f ()
              end
            | Some e ->
              let en = as_bool_fn e in
@@ -793,15 +711,15 @@ let compile (design : elaborated) : t =
                let f = as_int cn in
                fun () ->
                  let e = en () in
-                 pend_en.(i) <- e;
-                 if e then pend_i.(i) <- f ()
+                 rp.Pending.en.(i) <- e;
+                 if e then rp.Pending.vi.(i) <- f ()
              end
              else begin
                let f = as_bv wn cn in
                fun () ->
                  let e = en () in
-                 pend_en.(i) <- e;
-                 if e then pend_b.(i) <- f ()
+                 rp.Pending.en.(i) <- e;
+                 if e then rp.Pending.vb.(i) <- f ()
              end)
          design.e_regs)
   in
@@ -811,8 +729,9 @@ let compile (design : elaborated) : t =
          (fun i r ->
            let s = Hashtbl.find slot_of r.reg_name in
            if narrow r.reg_width then
-             (fun () -> if pend_en.(i) then ival.(s) <- pend_i.(i))
-           else fun () -> if pend_en.(i) then bval.(s) <- pend_b.(i))
+             (fun () -> if rp.Pending.en.(i) then ival.(s) <- rp.Pending.vi.(i))
+           else fun () ->
+             if rp.Pending.en.(i) then bval.(s) <- rp.Pending.vb.(i))
          design.e_regs)
   in
   let reg_inits =
@@ -835,10 +754,7 @@ let compile (design : elaborated) : t =
       design.e_mems
   in
   let nwrites = List.length all_writes in
-  let wr_pend = Array.make nwrites false in
-  let wr_idx = Array.make nwrites 0 in
-  let wr_vi = Array.make nwrites 0 in
-  let wr_vb = Array.make nwrites (Bitvec.zero 1) in
+  let wp_ = Pending.create nwrites in
   let wr_eval =
     Array.of_list
       (List.mapi
@@ -858,25 +774,25 @@ let compile (design : elaborated) : t =
            | M_int _ ->
              let fd = as_int cdata in
              fun () ->
-               wr_pend.(j) <- false;
+               wp_.Pending.en.(j) <- false;
                if en () then begin
                  let i = addr () in
                  if i < mem.m_size then begin
-                   wr_pend.(j) <- true;
-                   wr_idx.(j) <- i;
-                   wr_vi.(j) <- fd ()
+                   wp_.Pending.en.(j) <- true;
+                   wp_.Pending.idx.(j) <- i;
+                   wp_.Pending.vi.(j) <- fd ()
                  end
                end
            | M_bv _ ->
              let fd = as_bv wd cdata in
              fun () ->
-               wr_pend.(j) <- false;
+               wp_.Pending.en.(j) <- false;
                if en () then begin
                  let i = addr () in
                  if i < mem.m_size then begin
-                   wr_pend.(j) <- true;
-                   wr_idx.(j) <- i;
-                   wr_vb.(j) <- fd ()
+                   wp_.Pending.en.(j) <- true;
+                   wp_.Pending.idx.(j) <- i;
+                   wp_.Pending.vb.(j) <- fd ()
                  end
                end)
          all_writes)
@@ -887,9 +803,13 @@ let compile (design : elaborated) : t =
          (fun j (mem, _) ->
            match mem.m_store with
            | M_int arr ->
-             fun () -> if wr_pend.(j) then arr.(wr_idx.(j)) <- wr_vi.(j)
+             fun () ->
+               if wp_.Pending.en.(j) then
+                 arr.(wp_.Pending.idx.(j)) <- wp_.Pending.vi.(j)
            | M_bv arr ->
-             fun () -> if wr_pend.(j) then arr.(wr_idx.(j)) <- wr_vb.(j))
+             fun () ->
+               if wp_.Pending.en.(j) then
+                 arr.(wp_.Pending.idx.(j)) <- wp_.Pending.vb.(j))
          all_writes)
   in
   (* Input binder table. *)
@@ -909,9 +829,7 @@ let compile (design : elaborated) : t =
   Array.iteri (fun i pb -> Hashtbl.replace port_index pb.pb_name i) ports;
   let c =
     {
-      ival;
-      bval;
-      swidth;
+      store;
       kinds;
       slot_of;
       memories;
@@ -947,11 +865,11 @@ let commit_port c pb (v : Bitvec.t) =
     invalid_arg
       (Printf.sprintf "Sim.cycle: input %s has width %d, expected %d"
          pb.pb_name (Bitvec.width v) pb.pb_width);
-  if pb.pb_narrow then c.ival.(pb.pb_slot) <- Bitvec.to_int v
-  else c.bval.(pb.pb_slot) <- v
+  if pb.pb_narrow then c.store.Store.ival.(pb.pb_slot) <- Bitvec.to_int v
+  else c.store.Store.bval.(pb.pb_slot) <- v
 
 let rec bind_inputs c inputs =
-  incr c.eval_gen;
+  next_gen c.eval_gen;
   (* Fast path: inputs listed exactly in port declaration order (the
      overwhelmingly common case for generated drivers) bind with one
      string comparison per port and no table lookups.  Committing as we
@@ -1002,9 +920,7 @@ and bind_inputs_slow c inputs =
     invalid_arg (Printf.sprintf "Sim.cycle: no input port named %s" name)
   | [] -> ());
   Array.iteri
-    (fun i pb ->
-      if pb.pb_narrow then c.ival.(pb.pb_slot) <- Bitvec.to_int c.given.(i)
-      else c.bval.(pb.pb_slot) <- c.given.(i))
+    (fun i pb -> Store.write c.store pb.pb_slot c.given.(i))
     c.ports;
   c.inputs_valid <- true
 
@@ -1028,19 +944,15 @@ let clock_edge c =
 
 (* --- observation --------------------------------------------------------- *)
 
-let read_slot c s =
-  if narrow c.swidth.(s) then U.to_bitvec ~width:c.swidth.(s) c.ival.(s)
-  else c.bval.(s)
-
 let peek c name =
   match Hashtbl.find_opt c.slot_of name with
   | None -> raise Not_found
   | Some s -> (
     match c.kinds.(s) with
-    | K_reg -> read_slot c s
-    | K_input -> if c.inputs_valid then read_slot c s else raise Not_found
+    | K_reg -> Store.read c.store s
+    | K_input -> if c.inputs_valid then Store.read c.store s else raise Not_found
     | K_wire ->
-      if c.wires_valid then read_slot c s
+      if c.wires_valid then Store.read c.store s
       else
         invalid_arg (Printf.sprintf "Sim.peek: wire %s not settled yet" name))
 

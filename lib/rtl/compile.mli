@@ -16,7 +16,7 @@
 
 type t
 
-type stats = {
+type stats = Dfv_kernel.Kernel.stats = {
   n_slots : int;  (** interned input/wire/register slots *)
   n_levels : int;  (** depth of the levelized combinational schedule *)
   n_folded : int;  (** sub-expressions folded to constants at compile *)

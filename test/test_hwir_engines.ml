@@ -1,0 +1,600 @@
+(* Differential fuzz of the compiled HWIR engine against the
+   tree-walking interpreter.
+
+   The compiled engine (Exec.create ~engine:`Compiled, the default)
+   lowers the program through the verified normal form (Norm) onto the
+   shared slot-indexed kernel and must be observationally identical to
+   the Interp oracle: same values and the same Runtime_error messages,
+   including evaluation order (which operand of a division fails
+   first).  Driven over random well-typed HWIR programs exercising the
+   full conditioned language (calls, counted and bounded loops, early
+   returns, arrays with dynamic and const-foldable indices, division)
+   and over every bundled design's SLM.
+
+   Also under test here: the source-located rejection diagnostics for
+   every VNF rule, and the machine-checked well-formedness gate
+   (Norm.validate) on hand-built broken normal forms. *)
+
+module Bitvec = Dfv_bitvec.Bitvec
+module Ast = Dfv_hwir.Ast
+module Typecheck = Dfv_hwir.Typecheck
+module Interp = Dfv_hwir.Interp
+module Norm = Dfv_hwir.Norm
+module Compile = Dfv_hwir.Compile
+module Exec = Dfv_hwir.Exec
+open Dfv_designs
+
+(* --- observation: value or error message -------------------------------- *)
+
+type obs = Value of Interp.value | Raised of string
+
+let obs_eq a b =
+  match (a, b) with
+  | Value (Interp.Vint x), Value (Interp.Vint y) -> Bitvec.equal x y
+  | Value (Interp.Varr x), Value (Interp.Varr y) ->
+    Array.length x = Array.length y
+    && Array.for_all2 Bitvec.equal x y
+  | Raised x, Raised y -> String.equal x y
+  | _ -> false
+
+let pp_obs fmt = function
+  | Value (Interp.Vint v) -> Bitvec.pp fmt v
+  | Value (Interp.Varr a) ->
+    Format.fprintf fmt "[|";
+    Array.iter (fun v -> Format.fprintf fmt "%a; " Bitvec.pp v) a;
+    Format.fprintf fmt "|]"
+  | Raised m -> Format.fprintf fmt "raised %S" m
+
+let obs_t = Alcotest.testable pp_obs obs_eq
+
+let observe f =
+  match f () with
+  | v -> Value v
+  | exception Interp.Runtime_error m -> Raised m
+
+let random_value st (ty : Ast.ty) =
+  match ty with
+  | Ast.Tint { width; _ } -> Interp.Vint (Bitvec.random st ~width)
+  | Ast.Tarray (Ast.Tint { width; _ }, n) ->
+    Interp.Varr (Array.init n (fun _ -> Bitvec.random st ~width))
+  | Ast.Tarray (Ast.Tarray _, _) -> assert false
+
+(* Drive both engines on random entry arguments and hold them to
+   identical observations.  Also checks that lowering is deterministic
+   and that the compiled path really is the compiled path. *)
+let diff_program ?(samples = 50) ~seed name prog =
+  let st = Random.State.make [| seed |] in
+  let params, _ = Typecheck.entry_signature prog in
+  let compiled = Exec.create ~engine:`Compiled prog in
+  let interp = Exec.create ~engine:`Interp prog in
+  Alcotest.(check bool) (name ^ ": default engine is compiled") true
+    (Exec.engine (Exec.create prog) = `Compiled);
+  Alcotest.(check bool) (name ^ ": auto picks compiled") true
+    (Exec.engine (Exec.auto prog) = `Compiled);
+  Alcotest.(check bool) (name ^ ": lowering deterministic") true
+    (Norm.lower prog = Norm.lower prog);
+  for i = 1 to samples do
+    let args = List.map (fun (_, ty) -> random_value st ty) params in
+    let oi = observe (fun () -> Exec.run interp args) in
+    let oc = observe (fun () -> Exec.run compiled args) in
+    Alcotest.check obs_t (Printf.sprintf "%s: sample %d" name i) oi oc
+  done
+
+(* --- random program generation ------------------------------------------ *)
+
+(* A fixed environment wide enough to exercise every lowering path:
+   unsigned and signed scalars, a bool, two arrays (one parameter, one
+   zero-initialized local), plus two helper functions — one with an
+   early return (exercises the return-flag threading), one taking a
+   whole array (exercises by-value array passing and loop unrolling). *)
+
+let ty_u8 = Ast.uint 8
+let ty_s12 = Ast.sint 12
+let ty_u32 = Ast.uint 32
+
+let scalar_pool = [| ty_u8; ty_s12; ty_u32; Ast.bool_ty |]
+
+let scalar_vars =
+  [ ("a", ty_u8); ("b", ty_s12); ("c", ty_u32); ("f", Ast.bool_ty);
+    ("t", ty_u8); ("u", ty_s12); ("n", ty_u32); ("g", Ast.bool_ty) ]
+
+let mutable_vars = [ ("t", ty_u8); ("u", ty_s12); ("n", ty_u32);
+                     ("g", Ast.bool_ty) ]
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+
+let helper_mix =
+  let open Ast in
+  {
+    fname = "mix";
+    params = [ ("p", uint 8); ("q", uint 8) ];
+    ret = uint 8;
+    locals = [ ("r", uint 8) ];
+    body =
+      [ If (var "p" <^ var "q", [ ret (var "q" -^ var "p") ], []);
+        assign "r" ((var "p" &^ u 8 0x5a) |^ Binop (Xor, var "q", u 8 3));
+        ret (var "r" +^ u 8 1) ];
+  }
+
+let helper_suma =
+  let open Ast in
+  {
+    fname = "suma";
+    params = [ ("w", Tarray (uint 8, 4)) ];
+    ret = uint 8;
+    locals = [ ("sum", uint 8) ];
+    body =
+      [ For
+          {
+            ivar = "k";
+            count = 4;
+            body =
+              [ assign "sum"
+                  (var "sum" +^ idx "w" (cast (uint 3) (var "k"))) ];
+          };
+        ret (var "sum") ];
+  }
+
+let rec gen_expr st depth (ty : Ast.ty) : Ast.expr =
+  let open Ast in
+  let w, signed =
+    match ty with
+    | Tint { width; signed } -> (width, signed)
+    | Tarray _ -> assert false
+  in
+  let lit () = Int (Bitvec.random st ~width:w, signed) in
+  let leaf () =
+    let cands = List.filter (fun (_, t) -> ty_equal t ty) scalar_vars in
+    if cands <> [] && Random.State.bool st then
+      Var (fst (List.nth cands (Random.State.int st (List.length cands))))
+    else lit ()
+  in
+  if depth <= 0 then leaf ()
+  else
+    let d = depth - 1 in
+    let sub t = gen_expr st d t in
+    let is_bool = ty_equal ty bool_ty in
+    match Random.State.int st 14 with
+    | 0 -> leaf ()
+    | 1 ->
+      if is_bool && Random.State.bool st then Unop (Lnot, sub bool_ty)
+      else Unop ((if Random.State.bool st then Not else Neg), sub ty)
+    | 2 ->
+      let op = pick st [| Add; Sub; Mul; And; Or; Xor |] in
+      Binop (op, sub ty, sub ty)
+    | 3 ->
+      (* Division by a dynamic divisor: both engines must raise
+         "division by zero" at the same evaluation point when it is. *)
+      Binop ((if Random.State.bool st then Div else Rem), sub ty, sub ty)
+    | 4 -> Binop ((if Random.State.bool st then Shl else Shr), sub ty,
+                  sub (uint 3))
+    | 5 when is_bool ->
+      let t = pick st scalar_pool in
+      Binop (pick st [| Eq; Ne; Lt; Le |], sub t, sub t)
+    | 6 when is_bool ->
+      Binop ((if Random.State.bool st then Land else Lor), sub bool_ty,
+             sub bool_ty)
+    | 7 -> Cond (gen_expr st d bool_ty, sub ty, sub ty)
+    | 8 -> Cast (ty, sub (pick st scalar_pool))
+    | 9 when not signed ->
+      let src_w = w + Random.State.int st 8 in
+      let lo = Random.State.int st (src_w - w + 1) in
+      Bitsel (Cast (uint src_w, sub (pick st scalar_pool)), lo + w - 1, lo)
+    | 10 when ty_equal ty ty_u8 ->
+      (* Dynamic index in 0..7 over a size-4 array: out-of-bounds about
+         half the time, and the bounds-check message must match. *)
+      let arr = if Random.State.bool st then "xs" else "zs" in
+      Index (arr, Cast (uint 3, sub (uint 3)))
+    | 11 when ty_equal ty ty_u8 ->
+      (* Const-foldable index (a cast literal dodges the typechecker's
+         static bounds check): exercises the immediate-index paths,
+         including the compile-time out-of-bounds placeholder. *)
+      Index ("xs", Cast (uint 3, Int (Bitvec.random st ~width:3, false)))
+    | 12 when ty_equal ty ty_u8 ->
+      if Random.State.bool st then Call ("mix", [ sub ty_u8; sub ty_u8 ])
+      else
+        Call ("suma", [ Var (if Random.State.bool st then "xs" else "zs") ])
+    | _ -> leaf ()
+
+let rec gen_stmts st depth ctr n : Ast.stmt list =
+  List.concat (List.init n (fun _ -> gen_stmt st depth ctr))
+
+and gen_stmt st depth ctr : Ast.stmt list =
+  let open Ast in
+  match Random.State.int st (if depth <= 0 then 3 else 8) with
+  | 0 | 1 ->
+    let v, ty =
+      List.nth mutable_vars (Random.State.int st (List.length mutable_vars))
+    in
+    [ Assign (Lvar v, gen_expr st 2 ty) ]
+  | 2 ->
+    [ Assign
+        ( Lindex ("zs", Cast (uint 3, gen_expr st 1 (uint 3))),
+          gen_expr st 2 ty_u8 ) ]
+  | 3 ->
+    (* Whole-array copy, then element stores see the new contents. *)
+    [ Assign (Lvar "zs", Var "xs") ]
+  | 4 ->
+    let t = gen_stmts st (depth - 1) ctr (1 + Random.State.int st 2) in
+    let e =
+      if Random.State.bool st then []
+      else gen_stmts st (depth - 1) ctr (1 + Random.State.int st 2)
+    in
+    let t =
+      if Random.State.int st 3 = 0 then t @ [ ret (gen_expr st 1 ty_u8) ]
+      else t
+    in
+    [ If (gen_expr st 2 bool_ty, t, e) ]
+  | 5 ->
+    incr ctr;
+    let iv = Printf.sprintf "i%d" !ctr in
+    [ For
+        {
+          ivar = iv;
+          count = Random.State.int st 4;
+          body =
+            (assign "n" (var "n" +^ var iv)
+            :: gen_stmts st (depth - 1) ctr (1 + Random.State.int st 2));
+        } ]
+  | 6 ->
+    [ Bounded_while
+        {
+          cond = gen_expr st 2 bool_ty;
+          max_iter = 1 + Random.State.int st 3;
+          body =
+            gen_stmts st (depth - 1) ctr 1
+            @ [ assign "g" (Unop (Lnot, var "g")) ];
+        } ]
+  | _ -> [ Assign (Lvar "t", gen_expr st 3 ty_u8) ]
+
+let gen_program seed : Ast.program =
+  let st = Random.State.make [| seed |] in
+  let ctr = ref 0 in
+  let body =
+    gen_stmts st 3 ctr (2 + Random.State.int st 4)
+    @ [ Ast.ret (gen_expr st 3 ty_u8) ]
+  in
+  let main =
+    {
+      Ast.fname = "main";
+      params =
+        [ ("a", ty_u8); ("b", ty_s12); ("c", ty_u32); ("f", Ast.bool_ty);
+          ("xs", Ast.Tarray (ty_u8, 4)) ];
+      ret = ty_u8;
+      locals =
+        [ ("t", ty_u8); ("u", ty_s12); ("n", ty_u32); ("g", Ast.bool_ty);
+          ("zs", Ast.Tarray (ty_u8, 4)) ];
+      body;
+    }
+  in
+  { Ast.funcs = [ helper_mix; helper_suma; main ]; entry = "main" }
+
+let test_random_programs () =
+  for seed = 1 to 40 do
+    let prog = gen_program seed in
+    (* The generator must produce well-typed programs; a Type_error
+       here is a generator bug, not an engine bug. *)
+    Typecheck.check prog;
+    diff_program ~seed:(1000 + seed) ~samples:25
+      (Printf.sprintf "gen%d" seed)
+      prog
+  done
+
+(* --- every bundled design SLM ------------------------------------------- *)
+
+let test_designs () =
+  let fir = Fir.make ~taps:[ 3; -5; 7; 2 ] () in
+  diff_program ~seed:201 "fir_exact" fir.Fir.slm_exact;
+  diff_program ~seed:202 "fir_cstyle" fir.Fir.slm_cstyle;
+  let gcd = Gcd.make ~width:8 in
+  diff_program ~seed:203 "gcd" gcd.Gcd.slm;
+  let alu = Alu.make ~width:8 () in
+  diff_program ~seed:204 "alu" alu.Alu.slm;
+  let uart = Uart.make () in
+  diff_program ~seed:205 "uart" uart.Uart.slm;
+  let mf = Minifloat.make () in
+  diff_program ~seed:206 "minifloat_full" mf.Minifloat.full;
+  diff_program ~seed:207 "minifloat_lite" mf.Minifloat.lite;
+  let conv = Conv_image.make ~kernel:Conv_image.sharpen ~shift:2 () in
+  diff_program ~seed:208 "conv_window" conv.Conv_image.slm_window;
+  let chain = Image_chain.make () in
+  diff_program ~seed:209 "image_chain" chain.Image_chain.slm;
+  List.iter
+    (fun block ->
+      diff_program ~seed:210 ("chain_" ^ Image_chain.block_name block)
+        (Image_chain.block_slm chain block))
+    Image_chain.all_blocks
+
+(* --- runtime error-message parity --------------------------------------- *)
+
+let msg_of engine prog args =
+  let ex = Exec.create ~engine prog in
+  match Exec.run ex args with
+  | _ -> "no exception"
+  | exception Interp.Runtime_error m -> m
+
+let check_raises_both name prog args expected =
+  List.iter
+    (fun (ename, engine) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s (%s)" name ename)
+        expected (msg_of engine prog args))
+    [ ("interp", `Interp); ("compiled", `Compiled) ]
+
+let ui8 v = Interp.Vint (Bitvec.create ~width:8 v)
+let uarr ?(width = 8) vs =
+  Interp.Varr (Array.map (fun v -> Bitvec.create ~width v) (Array.of_list vs))
+
+let test_error_parity () =
+  let open Ast in
+  let one_fn ?(params = [ ("a", uint 8); ("b", uint 8) ]) ?(locals = []) body
+      =
+    {
+      funcs = [ { fname = "main"; params; ret = uint 8; locals; body } ];
+      entry = "main";
+    }
+  in
+  check_raises_both "div by zero"
+    (one_fn [ ret (var "a" /^ var "b") ])
+    [ ui8 7; ui8 0 ] "division by zero";
+  check_raises_both "rem by zero"
+    (one_fn [ ret (var "a" %^ var "b") ])
+    [ ui8 7; ui8 0 ] "remainder by zero";
+  (* The left operand is evaluated first: its failure wins. *)
+  check_raises_both "eval order"
+    (one_fn
+       ~params:[ ("a", uint 8); ("b", uint 8); ("xs", Tarray (uint 8, 4)) ]
+       [ ret (idx "xs" (var "a") /^ (var "b" -^ var "b")) ])
+    [ ui8 200; ui8 3; uarr [ 1; 2; 3; 4 ] ]
+    "index 200 out of bounds for xs (size 4)";
+  check_raises_both "load out of bounds"
+    (one_fn
+       ~params:[ ("i", uint 8); ("xs", Tarray (uint 8, 4)) ]
+       [ ret (idx "xs" (var "i")) ])
+    [ ui8 9; uarr [ 1; 2; 3; 4 ] ]
+    "index 9 out of bounds for xs (size 4)";
+  check_raises_both "store out of bounds"
+    (one_fn
+       ~params:[ ("i", uint 8) ]
+       ~locals:[ ("ys", Tarray (uint 8, 4)) ]
+       [ Assign (Lindex ("ys", var "i"), u 8 1); ret (u 8 0) ])
+    [ ui8 7 ] "store index 7 out of bounds for ys (size 4)";
+  check_raises_both "no return (zero-trip for)"
+    (one_fn [ For { ivar = "k"; count = 0; body = [ ret (u 8 1) ] } ])
+    [ ui8 0; ui8 0 ] "main: function finished without returning";
+  check_raises_both "no return (never-true bounded loop)"
+    (one_fn
+       [ Bounded_while
+           {
+             cond = var "a" <^ u 8 0;
+             max_iter = 3;
+             body = [ ret (var "a") ];
+           } ])
+    [ ui8 5; ui8 0 ] "main: function finished without returning";
+  (* Entry binding: same messages for every malformed argument list. *)
+  let bindp =
+    one_fn
+      ~params:[ ("a", uint 8); ("xs", Tarray (uint 8, 4)) ]
+      [ ret (var "a") ]
+  in
+  check_raises_both "arity" bindp [ ui8 1 ] "main: expected 2 arguments, got 1";
+  check_raises_both "scalar width" bindp
+    [ Interp.Vint (Bitvec.create ~width:9 1); uarr [ 0; 0; 0; 0 ] ]
+    "main: argument a has width 9, expected 8";
+  check_raises_both "array size" bindp
+    [ ui8 1; uarr [ 0; 0; 0 ] ]
+    "main: argument xs has 3 elements, expected 4";
+  check_raises_both "element width" bindp
+    [ ui8 1; uarr ~width:9 [ 0; 0; 0; 0 ] ]
+    "main: argument xs has a 9-bit element, expected 8";
+  check_raises_both "scalar/array shape" bindp
+    [ uarr [ 0; 0; 0; 0 ]; uarr [ 0; 0; 0; 0 ] ]
+    "main: argument a has the wrong shape";
+  check_raises_both "array/scalar shape" bindp
+    [ ui8 1; ui8 1 ]
+    "main: argument xs has the wrong shape";
+  (* A wider-than-62-bit index cannot be in bounds; both engines must
+     render the same (saturated) message. *)
+  let widep =
+    one_fn
+      ~params:[ ("j", uint 64); ("xs", Tarray (uint 8, 4)) ]
+      [ ret (idx "xs" (var "j")) ]
+  in
+  let args = [ Interp.Vint (Bitvec.create ~width:64 (-1)); uarr [ 1; 2; 3; 4 ] ] in
+  Alcotest.(check string) "wide index parity"
+    (msg_of `Interp widep args)
+    (msg_of `Compiled widep args)
+
+(* --- rejection diagnostics ---------------------------------------------- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let reject_case name ?budget ?path prog ~rule ~func =
+  match Norm.lower ?budget prog with
+  | _ -> Alcotest.fail (name ^ ": expected Norm.Rejected")
+  | exception Norm.Rejected d ->
+    Alcotest.(check string) (name ^ ": rule") rule d.Norm.d_rule;
+    Alcotest.(check string) (name ^ ": func") func d.Norm.d_loc.Norm.l_func;
+    (match path with
+    | Some p ->
+      Alcotest.(check string) (name ^ ": path") p d.Norm.d_loc.Norm.l_path
+    | None -> ());
+    let rendered = Norm.diagnostic_to_string d in
+    Alcotest.(check bool)
+      (name ^ ": rendering names the rule")
+      true (contains rendered rule)
+
+let test_rejections () =
+  let open Ast in
+  let main ?(params = [ ("a", uint 8) ]) ?(locals = []) body =
+    {
+      funcs = [ { fname = "main"; params; ret = uint 8; locals; body } ];
+      entry = "main";
+    }
+  in
+  reject_case "while"
+    (main
+       [ assign "a" (var "a" +^ u 8 1);
+         While (var "a" <^ u 8 10, [ ret (var "a") ]) ])
+    ~rule:"VNF-L1" ~func:"main" ~path:"body[1]";
+  (* Source location threads through nesting: a while inside an if's
+     then-branch inside a for body. *)
+  reject_case "nested while"
+    (main
+       [ For
+           {
+             ivar = "i";
+             count = 2;
+             body =
+               [ If
+                   ( var "a" <^ u 8 9,
+                     [ assign "a" (u 8 0);
+                       While (var "a" <^ u 8 10, []) ],
+                     [] ) ];
+           };
+         ret (var "a") ])
+    ~rule:"VNF-L1" ~func:"main" ~path:"body[0]/for[0]/then[1]";
+  reject_case "alloc"
+    (main
+       [ Alloc { var = "buf"; elem = uint 8; size = var "a" }; ret (u 8 0) ])
+    ~rule:"VNF-M1" ~func:"main" ~path:"body[0]";
+  reject_case "alias"
+    (main
+       ~locals:[ ("xs", Tarray (uint 8, 4)) ]
+       [ Alias { var = "p"; target = "xs" }; ret (u 8 0) ])
+    ~rule:"VNF-M2" ~func:"main" ~path:"body[0]";
+  reject_case "extern call"
+    (main [ Extern_call ("printf", [ var "a" ]); ret (var "a") ])
+    ~rule:"VNF-X1" ~func:"main" ~path:"body[0]";
+  reject_case "ill-typed"
+    (main [ ret (var "a" +^ u 9 1) ])
+    ~rule:"VNF-T0" ~func:"main" ~path:"main";
+  reject_case "budget" ~budget:32
+    (main
+       [ For
+           {
+             ivar = "i";
+             count = 64;
+             body = [ assign "a" (var "a" +^ u 8 1) ];
+           };
+         ret (var "a") ])
+    ~rule:"VNF-S1" ~func:"main";
+  (* Rejection is what `auto` falls back on; explicit `Compiled is strict. *)
+  let unconditioned = main [ While (Bool true, [ ret (var "a") ]) ] in
+  Alcotest.(check bool) "auto falls back to interp" true
+    (Exec.engine (Exec.auto unconditioned) = `Interp);
+  Alcotest.(check bool) "explicit compiled is strict" true
+    (match Exec.create ~engine:`Compiled unconditioned with
+    | _ -> false
+    | exception Norm.Rejected _ -> true);
+  Alcotest.check obs_t "fallback still runs"
+    (Value (ui8 3))
+    (observe (fun () -> Exec.run (Exec.auto unconditioned) [ ui8 3 ]))
+
+(* --- the well-formedness gate on hand-built normal forms ----------------- *)
+
+let mk_vnf ?(params = [ Norm.P_int { p_name = "a"; p_width = 8; p_slot = 0 } ])
+    ?(slots = [| 8; 8 |]) ?(arrays = [||]) ?(insts = [||])
+    ?(ret = Norm.Rslot 0) () : Norm.vnf =
+  {
+    Norm.v_entry = "main";
+    v_params = params;
+    v_slots = slots;
+    v_arrays = arrays;
+    v_insts = insts;
+    v_ret = ret;
+    v_stats =
+      {
+        Norm.n_insts = Array.length insts;
+        n_slots = Array.length slots;
+        n_arrays = Array.length arrays;
+        n_folded = 0;
+        n_cse = 0;
+      };
+  }
+
+let gate_rejects name vnf =
+  Alcotest.(check bool) (name ^ ": validate") true
+    (match Norm.validate vnf with
+    | () -> false
+    | exception Norm.Ill_formed _ -> true);
+  (* The backend re-validates its input: a broken normal form must not
+     reach the kernel even if handed to Compile directly. *)
+  Alcotest.(check bool) (name ^ ": compile re-validates") true
+    (match Compile.compile vnf with
+    | _ -> false
+    | exception Norm.Ill_formed _ -> true)
+
+let test_validate_gates () =
+  let open Norm in
+  (* Sanity: a minimal correct form passes and runs. *)
+  let ok =
+    mk_vnf
+      ~insts:
+        [| { i_dst = 1; i_guard = Galways; i_op = Vmov (Oslot 0) } |]
+      ~ret:(Rslot 1) ()
+  in
+  Norm.validate ok;
+  Alcotest.check obs_t "minimal vnf runs"
+    (Value (ui8 42))
+    (observe (fun () -> Compile.run (Compile.compile ok) [ ui8 42 ]));
+  gate_rejects "use before def"
+    (mk_vnf
+       ~insts:[| { i_dst = 1; i_guard = Galways; i_op = Vmov (Oslot 1) } |]
+       ~ret:(Rslot 1) ());
+  gate_rejects "return never defined"
+    (mk_vnf ~insts:[||] ~ret:(Rslot 1) ());
+  gate_rejects "guard slot not 1-bit"
+    (mk_vnf
+       ~insts:[| { i_dst = 1; i_guard = Gslot 0; i_op = Vmov (Oimm (Bitvec.zero 8)) } |]
+       ());
+  gate_rejects "width mismatch"
+    (mk_vnf ~slots:[| 8; 4 |]
+       ~insts:[| { i_dst = 1; i_guard = Galways; i_op = Vmov (Oslot 0) } |]
+       ~ret:(Rslot 1) ());
+  gate_rejects "frontend operator"
+    (mk_vnf ~slots:[| 1; 1 |]
+       ~params:[ P_int { p_name = "a"; p_width = 1; p_slot = 0 } ]
+       ~insts:
+         [| { i_dst = 1; i_guard = Galways;
+              i_op = Vbin { op = Ast.Land; sa = false; a = Oslot 0;
+                            b = Oslot 0 } } |]
+       ~ret:(Rslot 1) ());
+  gate_rejects "uninitialized array"
+    (mk_vnf ~arrays:[| (8, 4) |]
+       ~insts:
+         [| { i_dst = 1; i_guard = Galways;
+              i_op = Vload { arr = 0; idx = Oimm (Bitvec.zero 2);
+                             aname = "xs" } } |]
+       ~ret:(Rslot 1) ());
+  gate_rejects "slot id out of range"
+    (mk_vnf
+       ~insts:[| { i_dst = 9; i_guard = Galways; i_op = Vmov (Oslot 0) } |]
+       ());
+  gate_rejects "zero-width slot" (mk_vnf ~slots:[| 8; 0 |] ())
+
+(* --- compiled statistics ------------------------------------------------- *)
+
+let test_stats () =
+  let fir = Fir.make ~taps:[ 3; -5; 7; 2 ] () in
+  let c = Compile.of_program fir.Fir.slm_exact in
+  let s = Compile.stats c in
+  Alcotest.(check bool) "insts counted" true (s.Norm.n_insts > 0);
+  Alcotest.(check bool) "slots counted" true (s.Norm.n_slots > 0);
+  Alcotest.(check bool) "window array counted" true (s.Norm.n_arrays >= 1);
+  Alcotest.(check int) "stats match vnf" s.Norm.n_insts
+    (Array.length (Compile.vnf c).Norm.v_insts)
+
+let suite =
+  [
+    Alcotest.test_case "random programs: compiled = interp" `Quick
+      test_random_programs;
+    Alcotest.test_case "design SLMs: compiled = interp" `Quick test_designs;
+    Alcotest.test_case "runtime error parity" `Quick test_error_parity;
+    Alcotest.test_case "rejection diagnostics" `Quick test_rejections;
+    Alcotest.test_case "well-formedness gates" `Quick test_validate_gates;
+    Alcotest.test_case "compiled statistics" `Quick test_stats;
+  ]

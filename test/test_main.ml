@@ -8,6 +8,7 @@ let () =
       ("aiger", Test_aiger.suite);
       ("rtl", Test_rtl.suite);
       ("sim_engines", Test_sim_engines.suite);
+      ("hwir_engines", Test_hwir_engines.suite);
       ("verilog", Test_verilog.suite);
       ("slm", Test_slm.suite);
       ("tlm", Test_tlm.suite);
