@@ -738,6 +738,110 @@ let par_speedup () =
       cores jobs
 
 (* ---------------------------------------------------------------------- *)
+(* JOURNAL: write-ahead journal overhead and resume fidelity               *)
+(* ---------------------------------------------------------------------- *)
+
+let journal_overhead () =
+  let open Dfv_fault in
+  header "JOURNAL" "durable-campaign journal: fsync cost and resume fidelity"
+    "durability must be cheap relative to a SAT-bound mutant and must \
+     never perturb verdicts";
+  (* Raw append throughput: every append is an fsync, the worst case. *)
+  let module Journal = Dfv_par.Journal in
+  let path = Filename.temp_file "dfv_bench_journal" ".jsonl" in
+  Sys.remove path;
+  let j =
+    match Journal.open_ ~path ~campaign:"bench" with
+    | Ok j -> j
+    | Error m -> failwith ("journal: " ^ m)
+  in
+  let n = 500 in
+  let payload i =
+    let open Dfv_obs.Json in
+    Obj
+      [ ("name", String (Printf.sprintf "mutant#%d" i));
+        ("class", String "stuck-at-0"); ("site", String "y");
+        ( "verdict",
+          Obj
+            [ ("kind", String "detected"); ("engine", String "sec");
+              ("seconds", Float 0.123); ("localized", Bool true) ] ) ]
+  in
+  let t0 = now () in
+  for i = 0 to n - 1 do
+    Journal.append j ~fp:(Journal.fingerprint (string_of_int i)) (payload i)
+  done;
+  let append_s = now () -. t0 in
+  Journal.close j;
+  let replayed =
+    match Journal.open_ ~path ~campaign:"bench" with
+    | Ok j ->
+      let r = Journal.replayed j in
+      Journal.close j;
+      r
+    | Error m -> failwith ("journal reopen: " ^ m)
+  in
+  Sys.remove path;
+  let per_append_us = 1e6 *. append_s /. float_of_int n in
+  Printf.printf
+    "  %d fsync'd appends in %.3fs (%.0f us/append, %.0f appends/s)\n" n
+    append_s per_append_us
+    (float_of_int n /. append_s);
+  Printf.printf "  reload: %d/%d records replayed\n" replayed n;
+  (* End-to-end: a journaled campaign must match an unjournaled one
+     verdict-for-verdict, and the fsync tax must stay small against the
+     SAT work each record represents. *)
+  let canon (r : Campaign.report) =
+    List.map
+      (fun (m : Campaign.mutant_result) ->
+        (m.Campaign.m_name, Campaign.verdict_label m.Campaign.verdict))
+      r.Campaign.r_results
+  in
+  let subject () =
+    let t = Dfv_designs.Alu.make ~width:8 () in
+    Campaign.Sec_pair
+      (Dfv_core.Pair.create ~name:"alu" ~slm:t.Dfv_designs.Alu.slm
+         ~rtl:t.Dfv_designs.Alu.rtl ~spec:t.Dfv_designs.Alu.spec)
+  in
+  let t0 = now () in
+  let plain = Campaign.run ?budget:!budget_opt (subject ()) in
+  let plain_s = now () -. t0 in
+  let jpath = Filename.temp_file "dfv_bench_campaign" ".jsonl" in
+  Sys.remove jpath;
+  let j =
+    match Journal.open_ ~path:jpath ~campaign:"bench-campaign" with
+    | Ok j -> j
+    | Error m -> failwith ("journal: " ^ m)
+  in
+  let t0 = now () in
+  let journaled = Campaign.run ?budget:!budget_opt ~journal:j (subject ()) in
+  let journaled_s = now () -. t0 in
+  Journal.close j;
+  Sys.remove jpath;
+  let parity = canon plain = canon journaled in
+  let overhead_pct = 100.0 *. ((journaled_s /. plain_s) -. 1.0) in
+  Printf.printf
+    "  campaign: plain %.2fs, journaled %.2fs (%+.1f%% wall)\n" plain_s
+    journaled_s overhead_pct;
+  Printf.printf "  verdict parity: %s\n%!"
+    (if parity then "byte-identical" else "MISMATCH");
+  let open Dfv_obs.Json in
+  write_bench "journal_overhead"
+    [ ("appends", Int n); ("append_seconds", Float append_s);
+      ("append_us", Float per_append_us); ("replayed", Int replayed);
+      ("campaign_plain_seconds", Float plain_s);
+      ("campaign_journaled_seconds", Float journaled_s);
+      ("overhead_pct", Float overhead_pct); ("verdict_parity", Bool parity) ];
+  if replayed <> n then begin
+    Printf.printf "REGRESSION: %d of %d records lost on reload\n" (n - replayed)
+      n;
+    exit 1
+  end;
+  if not parity then begin
+    print_endline "REGRESSION: journaling changed campaign verdicts";
+    exit 1
+  end
+
+(* ---------------------------------------------------------------------- *)
 (* C5: floating-point corner cases; constraints restore equivalence        *)
 (* ---------------------------------------------------------------------- *)
 
@@ -1228,7 +1332,8 @@ let experiments =
   [ ("f1", f1); ("f2", f2); ("c1", c1); ("c2", c2); ("c3", c3);
     ("c3_incremental_sec", c3); ("c4", c4); ("c4_fault_robustness", c4f);
     ("c5", c5); ("c5_obs_overhead", c5o); ("c6", c6); ("c7", c7); ("c8", c8);
-    ("sim_throughput", sim_throughput); ("par_speedup", par_speedup) ]
+    ("sim_throughput", sim_throughput); ("par_speedup", par_speedup);
+    ("journal_overhead", journal_overhead) ]
 
 let () =
   let rec parse names = function

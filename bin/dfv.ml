@@ -11,8 +11,16 @@
      dfv validate <file>...       check artifacts parse + carry the envelope
 
    faultsim runs its mutants in forked workers (--jobs, default = core
-   count; --timeout bounds each mutant's wall clock); sec --jobs N
-   races solving strategies in a portfolio.
+   count, except on 1-core hosts where the default falls back to the
+   in-process path; --timeout bounds each mutant's wall clock); sec
+   --jobs N races solving strategies in a portfolio.  Both commands
+   take --journal FILE (durable write-ahead journal of verdicts) and
+   --resume FILE (replay a journal and run only what is missing);
+   faultsim also takes --deadline S (graceful degradation: shrink
+   solver budgets, then shed mutants to UNKNOWN instead of dying).
+   SIGINT/SIGTERM stop the campaign cleanly: workers are killed, the
+   journal is flushed, and the exit code is 4 ("interrupted,
+   resumable").
 
    Bugs can be planted with --bug (see `dfv list`) to watch the flows
    catch them.  The flow commands take --trace FILE (Chrome trace_event
@@ -22,7 +30,7 @@
 
    Exit codes: 0 equivalent/pass, 1 counterexample/mismatch, 2 unknown
    (budget or stimulus exhausted, audit-blocked), 3 usage/internal
-   error. *)
+   error, 4 interrupted (resumable via --resume). *)
 
 open Cmdliner
 module Checker = Dfv_sec.Checker
@@ -33,13 +41,45 @@ let exit_ok = 0
 let exit_cex = 1
 let exit_unknown = 2
 let exit_error = 3
+let exit_interrupted = 4
 
 let exits =
   [ Cmd.Exit.info exit_ok ~doc:"equivalence proved / simulation clean / gate passed.";
     Cmd.Exit.info exit_cex ~doc:"a counterexample or simulation mismatch was found (or the faultsim gate failed).";
     Cmd.Exit.info exit_unknown
       ~doc:"no verdict: SAT budget or stimulus exhausted, or the audit blocks SEC.";
-    Cmd.Exit.info exit_error ~doc:"usage or internal error." ]
+    Cmd.Exit.info exit_error ~doc:"usage or internal error.";
+    Cmd.Exit.info exit_interrupted
+      ~doc:
+        "interrupted by SIGINT/SIGTERM before completion; with --journal \
+         or --resume the run can be resumed from the journal." ]
+
+(* Route SIGINT/SIGTERM through the pool's cooperative stop flag for
+   the duration of [f]: workers are killed, the journal (if any) stays
+   flushed — every completed verdict was fsync'd as it landed — and
+   the command exits with {!exit_interrupted} instead of dying
+   mid-write.  Handlers are restored afterwards so cmdliner's own
+   error paths keep default signal behaviour. *)
+let with_interrupt f =
+  Dfv_par.Pool.reset_stop ();
+  let install s =
+    try
+      Some
+        (Sys.signal s (Sys.Signal_handle (fun _ -> Dfv_par.Pool.request_stop ())))
+    with Invalid_argument _ | Sys_error _ -> None
+  in
+  let restore s prev =
+    match prev with
+    | Some b -> ( try Sys.set_signal s b with Invalid_argument _ | Sys_error _ -> ())
+    | None -> ()
+  in
+  let prev_int = install Sys.sigint in
+  let prev_term = install Sys.sigterm in
+  Fun.protect
+    ~finally:(fun () ->
+      restore Sys.sigint prev_int;
+      restore Sys.sigterm prev_term)
+    f
 
 (* --- bundled designs -------------------------------------------------- *)
 
@@ -249,11 +289,12 @@ let stats_arg =
           "Print session statistics: encoding reuse, clause counts, \
            per-query solve times.")
 
-(* Worker-pool flags.  [default] lets each command pick its own resting
-   point: faultsim parallelizes by default (= cores), sec stays
-   sequential unless asked (portfolio mode is a behavioural switch, not
-   just a speedup). *)
-let jobs_term ~default =
+(* Worker-pool flags.  The term yields [None] when --jobs was absent so
+   each command can pick its own resting point — and so an explicit
+   --jobs N (any N, even 1) can force the fork pool while the absent
+   default may choose the in-process path on 1-core hosts, where
+   forking only adds overhead. *)
+let jobs_term =
   let jobs =
     Arg.(
       value
@@ -261,16 +302,72 @@ let jobs_term ~default =
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
             "Number of worker processes (faultsim defaults to the \
-             machine's core count; sec to 1).  Jobs run in forked \
-             workers with crash isolation; verdicts are independent of \
-             $(docv).")
+             machine's core count, or the in-process path on a 1-core \
+             host; sec to 1).  Jobs run in forked workers with crash \
+             isolation; verdicts are independent of $(docv).  An \
+             explicit $(docv) — even 1 — always forces the fork pool.")
   in
   let check = function
     | Some n when n < 1 -> Error (`Msg "--jobs must be at least 1")
-    | Some n -> Ok n
-    | None -> Ok (default ())
+    | v -> Ok v
   in
   Term.(term_result (const check $ jobs))
+
+(* --journal (create or resume) / --resume (must already exist): both
+   name the same write-ahead journal file, differing only in whether a
+   missing file is an error. *)
+let journal_term =
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead journal: append every completed verdict \
+             (fsync'd) to $(docv) as it lands, creating the file if \
+             needed and replaying it if it already exists.  A killed \
+             run can then be resumed with --resume $(docv).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Resume from the journal at $(docv) (which must exist): \
+             journaled verdicts are replayed instead of re-run, the \
+             rest of the campaign runs and keeps appending to the same \
+             journal.  The final report is byte-identical (timings \
+             aside) to an uninterrupted run.")
+  in
+  let combine j r =
+    match (j, r) with
+    | Some _, Some _ -> Error (`Msg "--journal and --resume are mutually exclusive")
+    | None, Some f when not (Sys.file_exists f) ->
+      Error (`Msg (Printf.sprintf "--resume %s: no such journal" f))
+    | (Some _ as v), None | None, (Some _ as v) -> Ok v
+    | None, None -> Ok None
+  in
+  Term.(term_result (const combine $ journal $ resume))
+
+let deadline_term =
+  let t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"S"
+          ~doc:
+            "Soft wall-clock budget in seconds for the whole run: jobs \
+             started past the halfway point run with linearly shrunk \
+             solver budgets, and jobs started past the deadline are \
+             shed to UNKNOWN (reported, never silent) instead of the \
+             run overshooting.")
+  in
+  let check = function
+    | Some s when s <= 0.0 -> Error (`Msg "--deadline must be positive")
+    | t -> Ok t
+  in
+  Term.(term_result (const check $ t))
 
 let timeout_term =
   let t =
@@ -322,8 +419,9 @@ let sec_cmd =
      the check runs as a strategy portfolio: solving variants race in \
      forked workers and the first conclusive verdict cancels the rest."
   in
-  let run budget stats jobs obs design bug =
+  let run budget stats jobs journal obs design bug =
     with_obs obs @@ fun () ->
+    with_interrupt @@ fun () ->
     (wrap (fun pair ->
         let finish s = if stats then print_stats s in
         let report = function
@@ -355,22 +453,28 @@ let sec_cmd =
             finish stats;
             exit_unknown
         in
-        if jobs <= 1 then report (Flow.sec ?budget pair)
+        (* A journal implies the portfolio path (that is where verdicts
+           are journaled and replayed), even without --jobs. *)
+        if jobs = None && journal = None then report (Flow.sec ?budget pair)
         else
+          let jobs = Option.value jobs ~default:1 in
           match
-            Dfv_par.Portfolio.check_slm_rtl ~jobs ?budget ~slm:pair.Pair.slm
-              ~rtl:pair.Pair.rtl ~spec:pair.Pair.spec ()
+            Dfv_par.Portfolio.check_slm_rtl ~jobs ?budget ?journal
+              ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl ~spec:pair.Pair.spec ()
           with
           | Ok v -> report v
           | Error e ->
             Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+            (match (e, journal) with
+            | Dfv_error.Interrupted _, Some path ->
+              Printf.eprintf "resume with: dfv sec --resume %s ...\n" path
+            | _ -> ());
             Dfv_error.exit_code e))
       design bug
   in
   Cmd.v (Cmd.info "sec" ~doc ~exits)
     Term.(
-      const run $ budget_term $ stats_arg
-      $ jobs_term ~default:(fun () -> 1)
+      const run $ budget_term $ stats_arg $ jobs_term $ journal_term
       $ obs_term $ design_arg $ bug_arg)
 
 let vectors_arg =
@@ -484,38 +588,93 @@ let faultsim_cmd =
           ~doc:"Write the machine-readable detection report to $(docv).")
   in
   let run budget designs seed max_faults max_slm_faults sim_vectors engine
-      jobs timeout json obs =
+      jobs timeout deadline journal_path json obs =
     with_obs obs @@ fun () ->
+    with_interrupt @@ fun () ->
     match
       Dfv_error.guard (fun () ->
           let designs =
             match designs with [] -> Dfv_fault.Suite.names | ds -> ds
           in
+          (* Explicit --jobs (any N) forces the fork pool; the absent
+             default is the core count, except on a 1-core host with no
+             --timeout, where forking per mutant only adds overhead and
+             the in-process path is behaviourally identical. *)
+          let jobs, pool =
+            match jobs with
+            | Some n -> (n, Some true)
+            | None ->
+              let n = Dfv_par.Pool.cores () in
+              if n = 1 && timeout = None then (1, Some false) else (n, None)
+          in
+          let journal =
+            match journal_path with
+            | None -> None
+            | Some path -> (
+              let key =
+                Dfv_fault.Suite.campaign_key ~budget ~seed ~sim_vectors
+                  ~engine ~max_rtl_faults:max_faults ~max_slm_faults ~designs
+              in
+              match Dfv_par.Journal.open_ ~path ~campaign:key with
+              | Ok j -> Some j
+              | Error m -> failwith (Printf.sprintf "journal %s: %s" path m))
+          in
+          Fun.protect
+            ~finally:(fun () -> Option.iter Dfv_par.Journal.close journal)
+          @@ fun () ->
+          (match journal with
+          | Some j when Dfv_par.Journal.replayed j > 0 ->
+            Printf.printf "resumed: %d verdicts replayed from journal\n"
+              (Dfv_par.Journal.replayed j)
+          | _ -> ());
           let reports =
             Dfv_fault.Suite.run ?budget ~seed ~sim_vectors ?engine ~jobs
-              ?timeout ~max_rtl_faults:max_faults ~max_slm_faults ~designs ()
+              ?timeout ?deadline ?journal ?pool ~max_rtl_faults:max_faults
+              ~max_slm_faults ~designs ()
           in
-          List.iter (Format.printf "%a" Dfv_fault.Campaign.pp_report) reports;
-          let rate, false_eq, pass =
-            Dfv_fault.Suite.gate
-              ~min_rate:Dfv_fault.Suite.default_min_rate reports
-          in
-          Printf.printf
-            "detection rate %.1f%% (min %.0f%%), %d false equivalents: %s\n"
-            (100.0 *. rate)
-            (100.0 *. Dfv_fault.Suite.default_min_rate)
-            false_eq
-            (if pass then "PASS" else "FAIL");
-          (match json with
-          | Some file ->
-            let oc = open_out file in
-            output_string oc
-              (Dfv_fault.Campaign.json_of_reports
-                 ~min_rate:Dfv_fault.Suite.default_min_rate reports);
-            output_char oc '\n';
-            close_out oc
-          | None -> ());
-          if pass then exit_ok else exit_cex)
+          if Dfv_par.Pool.stop_requested () then begin
+            (match journal_path with
+            | Some p ->
+              Printf.eprintf "interrupted; resume with: dfv faultsim --resume %s ...\n" p
+            | None ->
+              Printf.eprintf
+                "interrupted (no --journal, progress lost; re-run with \
+                 --journal FILE to make the campaign resumable)\n");
+            exit_interrupted
+          end
+          else begin
+            List.iter (Format.printf "%a" Dfv_fault.Campaign.pp_report) reports;
+            let rate, false_eq, pass =
+              Dfv_fault.Suite.gate
+                ~min_rate:Dfv_fault.Suite.default_min_rate reports
+            in
+            let shed =
+              List.fold_left
+                (fun acc r -> acc + r.Dfv_fault.Campaign.r_shed)
+                0 reports
+            in
+            if shed > 0 then
+              Printf.printf
+                "%d mutants shed to UNKNOWN by --deadline (not counted \
+                 against the gate)\n"
+                shed;
+            Printf.printf
+              "detection rate %.1f%% (min %.0f%%), %d false equivalents: %s\n"
+              (100.0 *. rate)
+              (100.0 *. Dfv_fault.Suite.default_min_rate)
+              false_eq
+              (if pass then "PASS" else "FAIL");
+            (match json with
+            | Some file ->
+              let oc = open_out file in
+              output_string oc
+                (Dfv_fault.Campaign.json_of_reports
+                   ~min_rate:Dfv_fault.Suite.default_min_rate reports);
+              output_char oc '\n';
+              close_out oc
+            | None -> ());
+            if pass then exit_ok else exit_cex
+          end)
     with
     | Ok code -> code
     | Error e ->
@@ -525,16 +684,17 @@ let faultsim_cmd =
   Cmd.v (Cmd.info "faultsim" ~doc ~exits)
     Term.(
       const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
-      $ max_slm_faults_arg $ sim_vectors_arg $ engine_term
-      $ jobs_term ~default:Dfv_par.Pool.cores
-      $ timeout_term $ json_arg $ obs_term)
+      $ max_slm_faults_arg $ sim_vectors_arg $ engine_term $ jobs_term
+      $ timeout_term $ deadline_term $ journal_term $ json_arg $ obs_term)
 
 let validate_cmd =
   let doc =
     "Validate machine-readable artifacts: each FILE must parse as JSON \
      and carry the shared {\"schema\", \"version\"} envelope.  Exits 0 \
-     when every file passes, 3 otherwise.  CI runs this over uploaded \
-     BENCH_*.json / fault-report / trace / coverage artifacts."
+     when every file passes, 3 otherwise.  Line-framed dfv-journal \
+     files are recognised by their first line and checked record by \
+     record.  CI runs this over uploaded BENCH_*.json / fault-report / \
+     trace / coverage / journal artifacts."
   in
   let files_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
@@ -548,19 +708,49 @@ let validate_cmd =
         close_in ic;
         s
       in
-      match Dfv_obs.Json.parse contents with
-      | Error m ->
-        Printf.printf "%-40s FAIL  %s\n" file ("parse error: " ^ m);
-        false
-      | Ok v -> (
-        match Dfv_obs.Json.envelope_of v with
-        | Some (schema, version) ->
-          Printf.printf "%-40s ok    %s v%d\n" file schema version;
+      (* A journal is line-framed JSON, not one document: recognise it
+         by its first line and validate the whole record stream. *)
+      let first_line =
+        match String.index_opt contents '\n' with
+        | Some i -> String.sub contents 0 i
+        | None -> contents
+      in
+      let is_journal =
+        match Dfv_obs.Json.parse first_line with
+        | Ok v -> (
+          match Dfv_obs.Json.envelope_of v with
+          | Some ("dfv-journal", _) -> true
+          | Some _ | None -> false)
+        | Error _ -> false
+      in
+      if is_journal then
+        match Dfv_par.Journal.inspect file with
+        | Ok info ->
+          Printf.printf "%-40s ok    dfv-journal v1 (%d records%s%s)\n" file
+            info.Dfv_par.Journal.info_records
+            (if info.Dfv_par.Journal.info_dropped > 0 then
+               Printf.sprintf ", %d duplicates dropped"
+                 info.Dfv_par.Journal.info_dropped
+             else "")
+            (if info.Dfv_par.Journal.info_torn then ", torn tail" else "");
           true
-        | None ->
-          Printf.printf "%-40s FAIL  missing {schema, version} envelope\n"
-            file;
-          false)
+        | Error m ->
+          Printf.printf "%-40s FAIL  %s\n" file m;
+          false
+      else
+        match Dfv_obs.Json.parse contents with
+        | Error m ->
+          Printf.printf "%-40s FAIL  %s\n" file ("parse error: " ^ m);
+          false
+        | Ok v -> (
+          match Dfv_obs.Json.envelope_of v with
+          | Some (schema, version) ->
+            Printf.printf "%-40s ok    %s v%d\n" file schema version;
+            true
+          | None ->
+            Printf.printf "%-40s FAIL  missing {schema, version} envelope\n"
+              file;
+            false)
     in
     let ok =
       List.fold_left (fun acc f -> validate f && acc) true files

@@ -16,6 +16,7 @@ type t =
   | Model_runtime_fault of string
   | Worker_crashed of { job : string; detail : string }
   | Worker_timeout of { job : string; seconds : float }
+  | Interrupted of { job : string }
   | Internal of string
 
 let watchdog_kind_string = function
@@ -46,6 +47,8 @@ let to_string = function
     Printf.sprintf "worker crashed on %s: %s" job detail
   | Worker_timeout { job; seconds } ->
     Printf.sprintf "worker timed out on %s after %.1fs" job seconds
+  | Interrupted { job } ->
+    Printf.sprintf "interrupted before %s completed (resumable)" job
   | Internal m -> "internal error: " ^ m
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
@@ -57,6 +60,21 @@ let exit_code = function
   | Protocol_violation _ | Elaboration_failure _ | Spec_violation _
   | Model_runtime_fault _ | Worker_crashed _ | Internal _ ->
     3
+  | Interrupted _ -> 4
+
+(* Retry classification for the worker pool.  A [Worker_crashed] may be
+   environmental (OOM kill under transient memory pressure, an operator
+   signal, a scheduler hiccup starving the heartbeat) — worth a bounded
+   retry; if the crash is deterministic the retries fail identically and
+   the error stands.  A [Worker_timeout] re-run under the same budget
+   deterministically times out again, and every other constructor is a
+   structured verdict about the job itself, so neither is transient. *)
+let transient = function
+  | Worker_crashed _ -> true
+  | Stimulus_exhausted _ | Protocol_violation _ | Watchdog _
+  | Transaction_incomplete _ | Elaboration_failure _ | Spec_violation _
+  | Model_runtime_fault _ | Worker_timeout _ | Interrupted _ | Internal _ ->
+    false
 
 let of_exn = function
   | Dfv_slm.Kernel.Watchdog_trip trip ->
@@ -139,6 +157,7 @@ let to_json e =
     obj "worker_crashed" [ ("job", str job); ("detail", str detail) ]
   | Worker_timeout { job; seconds } ->
     obj "worker_timeout" [ ("job", str job); ("seconds", Json.Float seconds) ]
+  | Interrupted { job } -> obj "interrupted" [ ("job", str job) ]
   | Internal m -> obj "internal" [ ("detail", str m) ]
 
 let of_json v =
@@ -215,6 +234,9 @@ let of_json v =
     let* job = str "job" in
     let* seconds = num "seconds" in
     Ok (Worker_timeout { job; seconds })
+  | "interrupted" ->
+    let* job = str "job" in
+    Ok (Interrupted { job })
   | "internal" ->
     let* m = str "detail" in
     Ok (Internal m)

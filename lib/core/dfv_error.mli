@@ -48,6 +48,10 @@ type t =
   | Worker_timeout of { job : string; seconds : float }
       (** a pool worker exceeded its per-job wall-clock budget and was
           killed — the parallel analogue of a solver budget running out *)
+  | Interrupted of { job : string }
+      (** the run was stopped by an operator signal (SIGINT/SIGTERM)
+          before this job completed; the work is resumable from a
+          journal (see {!Dfv_par.Journal}) *)
   | Internal of string  (** anything else; carries the raw message *)
 
 val to_string : t -> string
@@ -57,7 +61,17 @@ val exit_code : t -> int
 (** CLI exit code for this error under the documented convention:
     2 for "could not decide" failures (budget-like: stimulus exhaustion,
     watchdog trips, incomplete transactions, worker timeouts), 3 for
-    structural/internal errors (including worker crashes). *)
+    structural/internal errors (including worker crashes), 4 for
+    "interrupted, resumable". *)
+
+val transient : t -> bool
+(** Whether a bounded retry of the failed job could plausibly succeed.
+    Only [Worker_crashed] qualifies — a worker death may be
+    environmental (OOM pressure, a stray signal, a starved heartbeat)
+    rather than a property of the job.  [Worker_timeout] under the same
+    budget fails identically, and every other constructor is a
+    structured verdict about the job itself.  {!Dfv_par.Pool} consults
+    this to decide which failures enter its retry-with-backoff loop. *)
 
 val to_json : t -> Dfv_obs.Json.t
 (** Structured rendering, a tagged object [{"kind": ..., ...fields}].

@@ -42,6 +42,7 @@ type report = {
   r_crashed : int;
   r_false_eq : int;
   r_mislocalized : int;
+  r_shed : int;
   r_wall : float;
   r_results : mutant_result list;
 }
@@ -161,9 +162,12 @@ let result_of_json v =
     Ok { m_name; m_class; m_site; verdict }
   | None -> Error "result without verdict"
 
+let shed_prefix = "shed: "
+let is_shed reason = String.starts_with ~prefix:shed_prefix reason
+
 let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
-    ?timeout ?(max_rtl_faults = 16) ?(max_slm_faults = 8)
-    ?(extra_mutants = []) subject =
+    ?timeout ?deadline_at ?journal ?pool ?(max_rtl_faults = 16)
+    ?(max_slm_faults = 8) ?(extra_mutants = []) subject =
   let t_start = Unix.gettimeofday () in
   let subject_name =
     match subject with
@@ -185,11 +189,62 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
         (Fault.enumerate_rtl ~seed ~max_faults:max_rtl_faults co_rtl))
     @ extra_mutants
   in
+  (* Graceful degradation under a wall-clock deadline: a job starting
+     in the first half of the window runs with the configured budget; a
+     job starting in the second half runs with the budget scaled down
+     linearly (and its wall clock capped at the time remaining); a job
+     starting past the deadline is shed to a reported [Unknown] instead
+     of running at all.  [None] means shed. *)
+  let degraded_budget () =
+    match deadline_at with
+    | None -> Some budget
+    | Some dl ->
+      let t = Unix.gettimeofday () in
+      if t >= dl then None
+      else begin
+        let total = Float.max (dl -. t_start) 1e-9 in
+        let remaining = dl -. t in
+        let frac = remaining /. total in
+        if frac >= 0.5 then Some budget
+        else begin
+          let scale = frac /. 0.5 in
+          let b =
+            match budget with
+            | Some b -> b
+            | None -> { Solver.max_conflicts = None; max_seconds = None }
+          in
+          let max_conflicts =
+            Option.map
+              (fun c -> max 1 (int_of_float (float_of_int c *. scale)))
+              b.Solver.max_conflicts
+          in
+          let max_seconds =
+            Some
+              (match b.Solver.max_seconds with
+              | Some s -> Float.min (s *. scale) remaining
+              | None -> remaining)
+          in
+          Some (Some { Solver.max_conflicts; max_seconds })
+        end
+      end
+  in
+  let shed_result m =
+    {
+      m_name = mutant_name m;
+      m_class = mutant_class m;
+      m_site = mutant_site m;
+      verdict =
+        Unknown { reason = shed_prefix ^ "campaign deadline exceeded"; seconds = 0.0 };
+    }
+  in
   let run_one (i, m) =
     Dfv_obs.Trace.with_span ~cat:"fault"
       ~args:[ ("mutant", Dfv_obs.Json.String (mutant_name m)) ]
       "fault.mutant"
     @@ fun () ->
+    match degraded_budget () with
+    | None -> shed_result m
+    | Some budget ->
     (* The simulation cross-check seed is a pure function of (campaign
        seed, mutant index): verdicts cannot depend on how mutants are
        partitioned across workers. *)
@@ -294,33 +349,115 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
       verdict;
     }
   in
+  (* --- durability: journal replay and incremental append ---------------
+     A mutant's journal key is structural — subject, index and mutant
+     identity — so a resumed run (same configuration, any [jobs]) maps
+     each mutant to the same record.  Only flow-level verdicts are
+     journaled: pool-level failures (crash/timeout/interruption) and
+     shed placeholders re-run on resume instead of being replayed. *)
+  let mutant_fp i m =
+    Dfv_par.Journal.fingerprint
+      (String.concat "|"
+         [ "mutant"; subject_name; string_of_int i; mutant_name m;
+           mutant_class m; mutant_site m ])
+  in
+  let durable r =
+    match r.verdict with
+    | Unknown { reason; _ } when is_shed reason -> false
+    | _ -> true
+  in
+  let journal_result i m r =
+    match journal with
+    | Some j when durable r ->
+      Dfv_par.Journal.append j ~fp:(mutant_fp i m) (result_to_json r)
+    | _ -> ()
+  in
+  let replay i m =
+    match journal with
+    | None -> None
+    | Some j -> (
+      match Dfv_par.Journal.find j (mutant_fp i m) with
+      | None -> None
+      | Some payload -> (
+        (* An undecodable payload is treated as missing: the mutant
+           simply re-runs (deterministically), it does not poison the
+           campaign. *)
+        match result_of_json payload with Ok r -> Some r | Error _ -> None))
+  in
+  let run_seq () =
+    List.map
+      (fun (i, m) ->
+        match replay i m with
+        | Some r -> r
+        | None ->
+          if Pool.stop_requested () then
+            skeleton m (Unknown { reason = "interrupted"; seconds = 0.0 })
+          else begin
+            let r = run_one (i, m) in
+            journal_result i m r;
+            r
+          end)
+      indexed
+  in
   let run_pooled () =
-    let names = Array.of_list (List.map mutant_name mutants) in
+    let replayed =
+      List.filter_map
+        (fun (i, m) -> Option.map (fun r -> (i, r)) (replay i m))
+        indexed
+    in
+    let missing =
+      List.filter (fun (i, _) -> not (List.mem_assoc i replayed)) indexed
+    in
+    let missing_arr = Array.of_list missing in
+    let on_result k outcome =
+      (* Runs in the parent as each job's outcome becomes final: the
+         journal grows with the campaign, so a kill at any instant
+         loses at most the jobs still in flight. *)
+      match outcome with
+      | Ok r ->
+        let i, m = missing_arr.(k) in
+        journal_result i m r
+      | Error _ -> ()
+    in
     let outcomes =
       Pool.map ~jobs:(max 1 jobs) ?timeout
-        ~label:(fun i ->
-          if i < Array.length names then names.(i) else string_of_int i)
-        ~encode:result_to_json ~decode:result_of_json run_one indexed
+        ~label:(fun k ->
+          if k < Array.length missing_arr then mutant_name (snd missing_arr.(k))
+          else string_of_int k)
+        ~on_result ~encode:result_to_json ~decode:result_of_json run_one
+        missing
     in
     (* Pool failures fold into the campaign taxonomy: a timed-out worker
-       is an undecided mutant (budget-like), a crashed worker is the
-       crash verdict — the isolation the pool exists to provide. *)
-    List.map2
-      (fun (_, m) outcome ->
-        match outcome with
-        | Ok r -> r
-        | Error (Dfv_error.Worker_timeout { seconds; _ } as e) ->
-          skeleton m (Unknown { reason = Dfv_error.to_string e; seconds })
-        | Error e -> skeleton m (Crashed e))
-      indexed outcomes
+       is an undecided mutant (budget-like), an interrupted one is an
+       undecided mutant that will re-run on resume, a crashed worker is
+       the crash verdict — the isolation the pool exists to provide. *)
+    let missing_results =
+      List.map2
+        (fun (_, m) outcome ->
+          match outcome with
+          | Ok r -> r
+          | Error (Dfv_error.Worker_timeout { seconds; _ } as e) ->
+            skeleton m (Unknown { reason = Dfv_error.to_string e; seconds })
+          | Error (Dfv_error.Interrupted _ as e) ->
+            skeleton m (Unknown { reason = Dfv_error.to_string e; seconds = 0.0 })
+          | Error e -> skeleton m (Crashed e))
+        missing outcomes
+    in
+    let by_index = Hashtbl.create 64 in
+    List.iter (fun (i, r) -> Hashtbl.replace by_index i r) replayed;
+    List.iter2
+      (fun (i, _) r -> Hashtbl.replace by_index i r)
+      missing missing_results;
+    List.map (fun (i, _) -> Hashtbl.find by_index i) indexed
+  in
+  let use_pool =
+    match pool with Some b -> b | None -> jobs > 1 || timeout <> None
   in
   let results =
     Dfv_obs.Trace.with_span ~cat:"fault"
       ~args:[ ("subject", Dfv_obs.Json.String subject_name) ]
       "fault.campaign"
-      (fun () ->
-        if jobs <= 1 && timeout = None then List.map run_one indexed
-        else run_pooled ())
+      (fun () -> if use_pool then run_pooled () else run_seq ())
   in
   let count p = List.length (List.filter p results) in
   {
@@ -336,6 +473,11 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
       count (fun r ->
           match r.verdict with
           | Detected { localized = Some false; _ } -> true
+          | _ -> false);
+    r_shed =
+      count (fun r ->
+          match r.verdict with
+          | Unknown { reason; _ } -> is_shed reason
           | _ -> false);
     r_wall = Unix.gettimeofday () -. t_start;
     r_results = results;
@@ -361,9 +503,13 @@ let verdict_label = function
 let pp_report fmt r =
   Format.fprintf fmt
     "%-18s %3d mutants: %d detected, %d survived, %d unknown, %d crashed, %d \
-     false-eq, %d mislocalized (%.2fs)@."
+     false-eq, %d mislocalized%s (%.2fs)@."
     r.r_subject r.r_total r.r_detected r.r_survived r.r_unknown r.r_crashed
-    r.r_false_eq r.r_mislocalized r.r_wall;
+    r.r_false_eq r.r_mislocalized
+    (* Shedding is never silent: a deadline that dropped work is part of
+       the headline. *)
+    (if r.r_shed > 0 then Printf.sprintf ", %d SHED (deadline)" r.r_shed else "")
+    r.r_wall;
   List.iter
     (fun m ->
       Format.fprintf fmt "    %-16s %-50s %s" (verdict_label m.verdict)
@@ -417,6 +563,7 @@ let json_of_reports ~min_rate reports =
         ("crashed", Json.Int r.r_crashed);
         ("false_equivalent", Json.Int r.r_false_eq);
         ("mislocalized", Json.Int r.r_mislocalized);
+        ("shed", Json.Int r.r_shed);
         ("wall_seconds", Json.Float r.r_wall);
         ("faults", Json.List (List.map mutant_json r.r_results)) ]
   in

@@ -73,6 +73,10 @@ type report = {
   r_false_eq : int;
   r_mislocalized : int;
       (** detected, but the cex was not localized to the faulty cone *)
+  r_shed : int;
+      (** mutants shed to [Unknown] by the deadline sentinel — a subset
+          of [r_unknown], and never silent: {!pp_report} and the JSON
+          report both carry the count *)
   r_wall : float;
   r_results : mutant_result list;
 }
@@ -84,6 +88,9 @@ val run :
   ?engine:Dfv_hwir.Exec.engine ->
   ?jobs:int ->
   ?timeout:float ->
+  ?deadline_at:float ->
+  ?journal:Dfv_par.Journal.t ->
+  ?pool:bool ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?extra_mutants:mutant list ->
@@ -97,10 +104,31 @@ val run :
 
     [jobs] (default 1) bounds concurrent mutant workers; any value
     above 1 — or any [timeout] — switches to forked per-mutant workers
-    ({!Dfv_par.Pool.map}) with identical verdicts.  [timeout] is the
-    per-mutant wall-clock budget in seconds: an expired mutant is
-    killed and recorded as [Unknown] (budget-like), while a worker
-    that dies is recorded as [Crashed]. *)
+    ({!Dfv_par.Pool.map}) with identical verdicts, and [pool] overrides
+    that rule in either direction (the CLI forces [pool:true] for an
+    explicit [--jobs], and [pool:false] on 1-core hosts where forking
+    only adds overhead).  [timeout] is the per-mutant wall-clock budget
+    in seconds: an expired mutant is killed and recorded as [Unknown]
+    (budget-like), while a worker that dies is recorded as [Crashed].
+
+    [journal] makes the campaign durable: each completed mutant verdict
+    is appended (fsync'd) as it lands, keyed by a structural mutant
+    fingerprint, and mutants already present in the journal are
+    {e replayed} instead of re-run — verdicts are exact wire-form
+    round-trips, so a resumed report is byte-identical to an
+    uninterrupted one (timings aside).  Pool-level failures
+    (crash/timeout/interruption) and shed placeholders are never
+    journaled; they re-run on resume.
+
+    [deadline_at] (absolute [Unix.gettimeofday] time) arms the
+    graceful-degradation sentinel: mutants starting past the halfway
+    point of the window run with linearly shrunk solver budgets, and
+    mutants starting past the deadline are shed to [Unknown] (counted
+    in [r_shed]) instead of the campaign dying.
+
+    If {!Dfv_par.Pool.request_stop} fires (the CLI's SIGINT/SIGTERM
+    handlers), remaining mutants are marked [Unknown "interrupted"]
+    without running and the campaign returns promptly. *)
 
 val result_to_json : mutant_result -> Dfv_obs.Json.t
 (** The exact wire form of one mutant result — the payload a pool

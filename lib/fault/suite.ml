@@ -172,13 +172,48 @@ let subject name =
   | "memsys" -> memsys_subject ()
   | n -> failwith (Printf.sprintf "unknown faultsim design %s" n)
 
-let run ?budget ?(seed = 0) ?sim_vectors ?engine ?jobs ?timeout
-    ?max_rtl_faults ?max_slm_faults ?(designs = names) () =
+let run ?budget ?(seed = 0) ?sim_vectors ?engine ?jobs ?timeout ?deadline
+    ?journal ?pool ?max_rtl_faults ?max_slm_faults ?(designs = names) () =
+  (* One absolute deadline across the whole suite: later campaigns see
+     whatever window the earlier ones left. *)
+  let deadline_at =
+    Option.map (fun d -> Unix.gettimeofday () +. d) deadline
+  in
   List.map
     (fun name ->
       Campaign.run ?budget ?sim_vectors ~seed ?engine ?jobs ?timeout
-        ?max_rtl_faults ?max_slm_faults (subject name))
+        ?deadline_at ?journal ?pool ?max_rtl_faults ?max_slm_faults
+        (subject name))
     designs
+
+(* The canonical configuration key a suite journal is bound to: every
+   knob that can change a verdict.  [jobs], [timeout], [deadline] and
+   [pool] are deliberately absent — parallelism never changes verdicts
+   (the {!Dfv_par.Pool.job_seed} guarantee), and timeout/deadline
+   casualties are never journaled, so a resume may pick different
+   values for all four. *)
+let campaign_key ~budget ~seed ~sim_vectors ~engine ~max_rtl_faults
+    ~max_slm_faults ~designs =
+  let budget_key =
+    match budget with
+    | None -> "-"
+    | Some b ->
+      Printf.sprintf "c=%s,s=%s"
+        (match b.Dfv_sat.Solver.max_conflicts with
+        | Some c -> string_of_int c
+        | None -> "-")
+        (match b.Dfv_sat.Solver.max_seconds with
+        | Some s -> Printf.sprintf "%g" s
+        | None -> "-")
+  in
+  Printf.sprintf
+    "faultsim|designs=%s|seed=%d|vectors=%d|engine=%s|max_rtl=%d|max_slm=%d|budget=%s"
+    (String.concat "," designs) seed sim_vectors
+    (match engine with
+    | None -> "auto"
+    | Some `Compiled -> "compiled"
+    | Some `Interp -> "interp")
+    max_rtl_faults max_slm_faults budget_key
 
 let default_min_rate = 0.95
 

@@ -18,15 +18,35 @@ val run :
   ?engine:Dfv_hwir.Exec.engine ->
   ?jobs:int ->
   ?timeout:float ->
+  ?deadline:float ->
+  ?journal:Dfv_par.Journal.t ->
+  ?pool:bool ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?designs:string list ->
   unit ->
   Campaign.report list
 (** Run the campaigns ([designs] defaults to all of {!names}; raises
-    [Failure] on an unknown name).  [jobs]/[timeout] select the forked
-    per-mutant worker pool inside each campaign — see
-    {!Campaign.run}. *)
+    [Failure] on an unknown name).  [jobs]/[timeout]/[pool] select the
+    forked per-mutant worker pool inside each campaign, [journal]
+    makes every campaign durable/resumable, and [deadline] (seconds,
+    one budget across the whole suite) arms the degradation sentinel —
+    see {!Campaign.run}. *)
+
+val campaign_key :
+  budget:Dfv_sat.Solver.budget option ->
+  seed:int ->
+  sim_vectors:int ->
+  engine:Dfv_hwir.Exec.engine option ->
+  max_rtl_faults:int ->
+  max_slm_faults:int ->
+  designs:string list ->
+  string
+(** The canonical configuration key to open a suite journal under
+    ({!Dfv_par.Journal.open_} fingerprints it): exactly the knobs that
+    can change verdicts.  [jobs]/[timeout]/[deadline] are excluded on
+    purpose — a campaign may be resumed at a different parallelism or
+    under different pressure without invalidating its journal. *)
 
 val default_min_rate : float
 (** 0.95. *)

@@ -1,7 +1,41 @@
 module Dfv_error = Dfv_core.Dfv_error
 module Json = Dfv_obs.Json
+module Metrics = Dfv_obs.Metrics
 
 let cores () = max 1 (Domain.recommended_domain_count ())
+
+(* --- cooperative interruption ------------------------------------------ *)
+
+(* One process-wide flag, set from the CLI's SIGINT/SIGTERM handlers
+   (signal handlers run at safe points in the same domain, so a plain
+   ref suffices).  The pool polls it each scheduling round: on stop it
+   kills every live worker, records nothing further, and returns with
+   the unfinished outcomes marked [Interrupted] — the caller flushes
+   its journal and exits resumable. *)
+let stop_flag = ref false
+let request_stop () = stop_flag := true
+let stop_requested () = !stop_flag
+let reset_stop () = stop_flag := false
+
+(* --- transient-failure retry ------------------------------------------- *)
+
+type retry = {
+  attempts : int;
+  backoff : float;
+  max_backoff : float;
+  retry_timeouts : bool;
+}
+
+let default_retry =
+  { attempts = 2; backoff = 0.05; max_backoff = 2.0; retry_timeouts = false }
+
+let no_retry =
+  { attempts = 0; backoff = 0.0; max_backoff = 0.0; retry_timeouts = false }
+
+let m_retry_attempts = Metrics.counter "pool.retry.attempts"
+let m_retry_healed = Metrics.counter "pool.retry.healed"
+let m_retry_exhausted = Metrics.counter "pool.retry.exhausted"
+let m_interrupted = Metrics.counter "pool.interrupted"
 
 (* splitmix64-style finalizer over (seed, index), truncated to OCaml's
    63-bit int.  The point is not cryptography but spread: neighbouring
@@ -109,7 +143,8 @@ let kill_quietly pid =
 let stale_factor = 20.0
 
 let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
-    ~(encode : r -> Json.t) ~(decode : Json.t -> (r, string) result)
+    ?(retry = default_retry) ?on_result ~(encode : r -> Json.t)
+    ~(decode : Json.t -> (r, string) result)
     ~(conclusive : (r -> bool) option) (f : a -> r) (inputs : a list) :
     r race =
   let jobs = match jobs with None -> cores () | Some j -> j in
@@ -126,7 +161,25 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
   let live : (Unix.file_descr, r worker) Hashtbl.t = Hashtbl.create 16 in
   let next = ref 0 in
   let cancelled = ref false in
+  let tries = Array.make (max n 1) 0 in
+  (* Jobs awaiting a retry slot: (not-before time, job index). *)
+  let pending = ref [] in
   let now () = Unix.gettimeofday () in
+  let retryable = function
+    | Dfv_error.Worker_timeout _ -> retry.retry_timeouts
+    | e -> Dfv_error.transient e
+  in
+  (* Exponential backoff with deterministic jitter: the k-th retry of
+     job [j] waits backoff * 2^k (capped), scaled into [0.5, 1.0) by a
+     pure function of (j, k) — spread without a global RNG, so two runs
+     of the same campaign schedule identically. *)
+  let retry_delay job k =
+    let base =
+      Float.min retry.max_backoff (retry.backoff *. (2.0 ** float_of_int k))
+    in
+    let jitter = float_of_int (job_seed ~seed:k job land 1023) /. 2048.0 in
+    base *. (0.5 +. jitter)
+  in
   let launch i =
     flush stdout;
     flush stderr;
@@ -154,8 +207,30 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
           delivered = None;
         }
   in
+  let deliver w outcome =
+    outcomes.(w.job) <- Some outcome;
+    if tries.(w.job) > 0 then
+      (match outcome with
+      | Error e when retryable e -> Metrics.incr m_retry_exhausted
+      | Ok _ | Error _ -> Metrics.incr m_retry_healed);
+    match on_result with Some notify -> notify w.job outcome | None -> ()
+  in
+  (* A worker failure that may be transient (see {!Dfv_error.transient})
+     re-enters the queue with backoff instead of being recorded, until
+     the job's retry budget runs out — then the failure stands. *)
   let record w outcome =
-    if outcomes.(w.job) = None then outcomes.(w.job) <- Some outcome
+    if outcomes.(w.job) = None then
+      match outcome with
+      | Error e
+        when retryable e
+             && tries.(w.job) < retry.attempts
+             && (not !cancelled)
+             && not (stop_requested ()) ->
+        tries.(w.job) <- tries.(w.job) + 1;
+        Metrics.incr m_retry_attempts;
+        pending :=
+          (now () +. retry_delay w.job (tries.(w.job) - 1), w.job) :: !pending
+      | _ -> deliver w outcome
   in
   let close_worker w =
     Hashtbl.remove live w.fd;
@@ -260,15 +335,45 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
            ignore (reap w.pid))
   in
   let chunk = Bytes.create 8192 in
-  while (not !cancelled) && (!next < n || Hashtbl.length live > 0) do
-    while (not !cancelled) && !next < n && Hashtbl.length live < jobs do
+  (* Launch retries whose backoff has elapsed, oldest deadline first,
+     as far as free worker slots allow. *)
+  let launch_due t =
+    let due, later = List.partition (fun (nb, _) -> nb <= t) !pending in
+    let rec go = function
+      | [] -> []
+      | ((_, j) :: rest) as all ->
+        if
+          Hashtbl.length live < jobs
+          && (not !cancelled)
+          && not (stop_requested ())
+        then begin
+          launch j;
+          go rest
+        end
+        else all
+    in
+    pending := go (List.sort compare due) @ later
+  in
+  while
+    (not !cancelled)
+    && (not (stop_requested ()))
+    && (!next < n || Hashtbl.length live > 0 || !pending <> [])
+  do
+    launch_due (now ());
+    while
+      (not !cancelled)
+      && (not (stop_requested ()))
+      && !next < n
+      && Hashtbl.length live < jobs
+    do
       launch !next;
       incr next
     done;
     let fds = Hashtbl.fold (fun fd _ acc -> fd :: acc) live [] in
     if fds <> [] then begin
-      (* Sleep until the nearest deadline (job timeout or heartbeat
-         staleness), capped so launches stay responsive. *)
+      (* Sleep until the nearest deadline (job timeout, heartbeat
+         staleness or retry backoff), capped so launches — and the stop
+         flag — stay responsive. *)
       let t = now () in
       let deadline =
         Hashtbl.fold
@@ -280,6 +385,9 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
             in
             min acc (w.last_beat +. (stale_factor *. heartbeat) -. t))
           live 1.0
+      in
+      let deadline =
+        List.fold_left (fun acc (nb, _) -> min acc (nb -. t)) deadline !pending
       in
       let select_timeout = Float.max 0.01 (Float.min 1.0 deadline) in
       let readable =
@@ -351,25 +459,45 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
           | None -> ()
         end
     end
+    else if !pending <> [] && not (stop_requested ()) then begin
+      (* Nothing live, only backoffs pending: sleep until the earliest
+         retry becomes due (capped so the stop flag stays responsive). *)
+      let t = now () in
+      let wake =
+        List.fold_left (fun acc (nb, _) -> Float.min acc (nb -. t)) 1.0 !pending
+      in
+      if wake > 0.0 then Unix.sleepf (Float.min 1.0 wake)
+    end
   done;
+  (* An operator stop: kill whatever is still running; unfinished jobs
+     keep [None] outcomes and surface as [Interrupted] in {!map}. *)
+  if stop_requested () && not !cancelled then begin
+    cancel_rest ();
+    Array.iter (fun o -> if o = None then Metrics.incr m_interrupted) outcomes
+  end;
   { winner = !winner; outcomes }
 
-let map ?jobs ?timeout ?heartbeat ?label ~encode ~decode f inputs =
+let map ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode f
+    inputs =
+  let lbl = label in
   let r =
-    run ?jobs ?timeout ?heartbeat ?label ~encode ~decode ~conclusive:None f
-      inputs
+    run ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode
+      ~conclusive:None f inputs
   in
+  let label = match lbl with Some l -> l | None -> string_of_int in
   Array.to_list r.outcomes
   |> List.mapi (fun i o ->
          match o with
          | Some o -> o
          | None ->
-           (* Unreachable in map mode (no cancellation), but total. *)
-           Error
-             (Dfv_error.Worker_crashed
-                { job = string_of_int i; detail = "job never completed" }))
+           if stop_requested () then Error (Dfv_error.Interrupted { job = label i })
+           else
+             (* Unreachable in map mode (no cancellation), but total. *)
+             Error
+               (Dfv_error.Worker_crashed
+                  { job = label i; detail = "job never completed" }))
 
-let race ?jobs ?timeout ?heartbeat ?label ~encode ~decode ~conclusive f inputs
-    =
-  run ?jobs ?timeout ?heartbeat ?label ~encode ~decode
+let race ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode
+    ~conclusive f inputs =
+  run ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode
     ~conclusive:(Some conclusive) f inputs

@@ -26,10 +26,48 @@
     worker ran it or how many there are: results are returned in input
     order, and {!job_seed} derives a per-job PRNG seed from the job
     {e index}, so a campaign's verdicts are identical under any [~jobs]
-    (the issue's gate: [--jobs N] never changes verdicts). *)
+    (the issue's gate: [--jobs N] never changes verdicts).
+
+    {2 Self-healing}
+
+    A worker failure the taxonomy classes as possibly transient
+    ({!Dfv_core.Dfv_error.transient} — a crash, which may be OOM
+    pressure or a stray signal rather than a property of the job) is
+    retried with exponential backoff and deterministic jitter before
+    the failure is recorded; a deterministic crash exhausts its retry
+    budget and stays [Worker_crashed].  Retry traffic is visible in the
+    {!Dfv_obs.Metrics} registry as [pool.retry.attempts] /
+    [pool.retry.healed] / [pool.retry.exhausted]. *)
 
 val cores : unit -> int
 (** Number of CPU cores available to this process (>= 1). *)
+
+val request_stop : unit -> unit
+(** Set the process-wide cooperative stop flag (safe to call from a
+    signal handler).  The pool checks it every scheduling round: live
+    workers are killed, nothing further is recorded, and unfinished
+    jobs surface as [Error (Interrupted _)] — the caller flushes its
+    {!Journal} and exits with the "interrupted, resumable" code. *)
+
+val stop_requested : unit -> bool
+val reset_stop : unit -> unit
+
+type retry = {
+  attempts : int;  (** extra attempts per job after the first failure *)
+  backoff : float;  (** base delay in seconds before the first retry *)
+  max_backoff : float;  (** cap on the exponential delay *)
+  retry_timeouts : bool;
+      (** whether [Worker_timeout] is retried too; off by default — the
+          same job under the same budget deterministically times out
+          again *)
+}
+
+val default_retry : retry
+(** [{ attempts = 2; backoff = 0.05; max_backoff = 2.0;
+      retry_timeouts = false }]. *)
+
+val no_retry : retry
+(** [attempts = 0]: every failure is final (the pre-retry behaviour). *)
 
 val job_seed : seed:int -> int -> int
 (** [job_seed ~seed i] mixes the campaign seed with job index [i] into
@@ -43,6 +81,8 @@ val map :
   ?timeout:float ->
   ?heartbeat:float ->
   ?label:(int -> string) ->
+  ?retry:retry ->
+  ?on_result:(int -> 'r outcome -> unit) ->
   encode:('r -> Dfv_obs.Json.t) ->
   decode:(Dfv_obs.Json.t -> ('r, string) result) ->
   ('a -> 'r) ->
@@ -63,7 +103,16 @@ val map :
 
     [encode]/[decode] carry the result across the pipe; a worker whose
     payload fails to decode is a [Worker_crashed] (protocol damage, same
-    class as a torn write). *)
+    class as a torn write).
+
+    [retry] (default {!default_retry}) bounds the transient-failure
+    retry loop per job.  [on_result] is invoked in the {e parent}, in
+    completion order, each time a job's outcome becomes final (after
+    any retries) — the hook durable campaigns use to append to their
+    {!Journal} as results arrive rather than at the end.
+
+    If {!request_stop} fires mid-run, unfinished jobs come back as
+    [Error (Interrupted _)] (and are never passed to [on_result]). *)
 
 type 'r race = {
   winner : (int * 'r) option;
@@ -79,6 +128,8 @@ val race :
   ?timeout:float ->
   ?heartbeat:float ->
   ?label:(int -> string) ->
+  ?retry:retry ->
+  ?on_result:(int -> 'r outcome -> unit) ->
   encode:('r -> Dfv_obs.Json.t) ->
   decode:(Dfv_obs.Json.t -> ('r, string) result) ->
   conclusive:('r -> bool) ->

@@ -240,7 +240,18 @@ let slm_conclusive = function
   | W_equivalent _ | W_not_equivalent _ -> true
   | W_unknown _ -> false
 
-let check_slm_rtl ?jobs ?timeout ?budget ~slm ~rtl ~spec () =
+let budget_key = function
+  | None -> "-"
+  | Some b ->
+    Printf.sprintf "c=%s,s=%s"
+      (match b.Solver.max_conflicts with
+      | Some c -> string_of_int c
+      | None -> "-")
+      (match b.Solver.max_seconds with
+      | Some s -> Printf.sprintf "%g" s
+      | None -> "-")
+
+let check_slm_rtl ?jobs ?timeout ?budget ?journal ~slm ~rtl ~spec () =
   Dfv_obs.Trace.with_span ~cat:"par" "par.check_slm_rtl" @@ fun () ->
   let strategies = [ ("sweep", true); ("direct", false) ] in
   let run (_, sweep) =
@@ -250,34 +261,121 @@ let check_slm_rtl ?jobs ?timeout ?budget ~slm ~rtl ~spec () =
       W_not_equivalent (cex.Checker.params, stats)
     | Checker.Unknown (r, stats) -> W_unknown (r, stats)
   in
-  let r =
-    Pool.race ?jobs ?timeout
-      ~label:(fun i -> "sec:" ^ fst (List.nth strategies i))
-      ~encode:slm_wire_to_json ~decode:slm_wire_of_json
-      ~conclusive:slm_conclusive run strategies
+  let reconstruct = function
+    | W_equivalent stats -> Ok (Checker.Equivalent stats)
+    | W_not_equivalent (params, stats) ->
+      Ok
+        (Checker.Not_equivalent
+           (Checker.cex_of_params ~slm ~rtl ~spec params, stats))
+    | W_unknown (r, stats) -> Ok (Checker.Unknown (r, stats))
   in
-  match r.Pool.winner with
-  | Some (_, W_equivalent stats) -> Ok (Checker.Equivalent stats)
-  | Some (_, W_not_equivalent (params, stats)) ->
-    Ok (Checker.Not_equivalent (Checker.cex_of_params ~slm ~rtl ~spec params, stats))
-  | Some (_, W_unknown _) -> assert false (* not conclusive *)
-  | None -> (
-    (* No strategy concluded: prefer a solver Unknown (an honest "ran
-       out of budget") over a worker failure. *)
-    let outcomes = Array.to_list r.Pool.outcomes in
-    let unknown =
-      List.find_map
-        (function Some (Ok (W_unknown (r, s))) -> Some (r, s) | _ -> None)
-        outcomes
+  (* The journal is bound to the structural content of the query — the
+     program, the elaborated netlist, the spec (its drives tabulated)
+     and the solver budget — so a replayed verdict is trusted exactly
+     when it answers the same question. *)
+  let jnl =
+    match journal with
+    | None -> Ok None
+    | Some path -> (
+      let key =
+        "sec-portfolio|" ^ Dfv_sec.Fingerprint.pair ~slm ~rtl ~spec
+        ^ "|budget=" ^ budget_key budget
+      in
+      match Journal.open_ ~path ~campaign:key with
+      | Ok j -> Ok (Some j)
+      | Error m -> Error (Dfv_error.Internal ("journal: " ^ m)))
+  in
+  match jnl with
+  | Error e -> Error e
+  | Ok jnl -> (
+    let fp name = Journal.fingerprint ("strategy|" ^ name) in
+    let replay name =
+      Option.bind jnl (fun j ->
+          Option.bind (Journal.find j (fp name)) (fun p ->
+              Result.to_option (slm_wire_of_json p)))
     in
-    match unknown with
-    | Some (r, stats) -> Ok (Checker.Unknown (r, stats))
+    let replayed =
+      List.filter_map
+        (fun (name, _) -> Option.map (fun w -> (name, w)) (replay name))
+        strategies
+    in
+    let finish result =
+      (match jnl with Some j -> Journal.close j | None -> ());
+      result
+    in
+    match List.find_opt (fun (_, w) -> slm_conclusive w) replayed with
+    | Some (_, w) ->
+      (* A conclusive verdict already on disk: no worker runs at all. *)
+      finish (reconstruct w)
     | None -> (
-      match List.find_map (function Some (Error e) -> Some e | _ -> None) outcomes with
-      | Some e -> Error e
-      | None ->
-        Error
-          (Dfv_error.Internal "portfolio produced no outcome (empty race?)")))
+      let missing =
+        List.filter
+          (fun (name, _) -> not (List.mem_assoc name replayed))
+          strategies
+      in
+      match missing with
+      | [] -> (
+        (* Every strategy replayed as a (deterministic, same-budget)
+           Unknown: report the first. *)
+        match replayed with
+        | (_, w) :: _ -> finish (reconstruct w)
+        | [] ->
+          finish
+            (Error
+               (Dfv_error.Internal "portfolio produced no outcome (empty race?)")))
+      | _ :: _ -> (
+        let missing_arr = Array.of_list missing in
+        let on_result k outcome =
+          match (jnl, outcome) with
+          | Some j, Ok w ->
+            Journal.append j ~fp:(fp (fst missing_arr.(k))) (slm_wire_to_json w)
+          | _ -> ()
+        in
+        let r =
+          Pool.race ?jobs ?timeout
+            ~label:(fun i -> "sec:" ^ fst missing_arr.(i))
+            ~on_result ~encode:slm_wire_to_json ~decode:slm_wire_of_json
+            ~conclusive:slm_conclusive run missing
+        in
+        match r.Pool.winner with
+        | Some (_, w) -> finish (reconstruct w)
+        | None ->
+          finish
+            (if Pool.stop_requested () then
+               Error (Dfv_error.Interrupted { job = "sec-portfolio" })
+             else begin
+               (* No strategy concluded: prefer a solver Unknown (an
+                  honest "ran out of budget") — replayed or fresh — over
+                  a worker failure. *)
+               let outcomes = Array.to_list r.Pool.outcomes in
+               let unknown =
+                 match
+                   List.find_map
+                     (function (_, W_unknown (r, s)) -> Some (r, s) | _ -> None)
+                     replayed
+                 with
+                 | Some u -> Some u
+                 | None ->
+                   List.find_map
+                     (function
+                       | Some (Ok (W_unknown (r, s))) -> Some (r, s)
+                       | _ -> None)
+                     outcomes
+               in
+               match unknown with
+               | Some (r, stats) -> Ok (Checker.Unknown (r, stats))
+               | None -> (
+                 match
+                   List.find_map
+                     (function Some (Error e) -> Some e | _ -> None)
+                     outcomes
+                 with
+                 | Some e -> Error e
+                 | None ->
+                   Error
+                     (Dfv_error.Internal
+                        "portfolio produced no outcome (empty race?)"))
+             end))))
 
 (* --- frame shards: RTL vs RTL ------------------------------------------ *)
 

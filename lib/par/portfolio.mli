@@ -34,6 +34,7 @@ val check_slm_rtl :
   ?jobs:int ->
   ?timeout:float ->
   ?budget:Dfv_sat.Solver.budget ->
+  ?journal:string ->
   slm:Dfv_hwir.Ast.program ->
   rtl:Dfv_rtl.Netlist.elaborated ->
   spec:Dfv_sec.Spec.t ->
@@ -44,7 +45,18 @@ val check_slm_rtl :
     the first strategy's [Unknown] is reported.  [Error] when every
     strategy's worker crashed or timed out.  [timeout] is the per-worker
     wall-clock budget in seconds; [budget] the per-query solver budget,
-    as in {!Dfv_sec.Checker.check_slm_rtl}. *)
+    as in {!Dfv_sec.Checker.check_slm_rtl}.
+
+    [journal] (a file path) makes the race durable: the journal is
+    bound to a campaign key derived from {!Dfv_sec.Fingerprint.pair}
+    (the structural content of the query) plus the solver budget, each
+    strategy's wire verdict is appended as it lands, and on resume a
+    journaled conclusive verdict short-circuits the race entirely (the
+    counterexample is rebuilt via {!Dfv_sec.Checker.cex_of_params})
+    while journaled [Unknown]s — deterministic under the same budget —
+    are not re-run.  If {!Pool.request_stop} fires before any verdict,
+    the result is [Error (Interrupted _)] so the CLI can exit with the
+    resumable code. *)
 
 val check_rtl_rtl :
   ?jobs:int ->

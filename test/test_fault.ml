@@ -232,6 +232,102 @@ let test_json_report () =
   check_bool "subject listed" true (contains "\"name\":\"alu\"");
   check_bool "verdicts serialized" true (contains "\"verdict\":\"detected\"")
 
+(* --- durability: kill-mid-campaign resume, deadline shedding ---------- *)
+
+module Journal = Dfv_par.Journal
+
+(* A report with every timing zeroed: what "byte-identical (timings
+   aside)" means, made executable. *)
+let canon (r : Campaign.report) =
+  let canon_verdict = function
+    | Campaign.Detected d -> Campaign.Detected { d with seconds = 0.0 }
+    | Campaign.Survived _ -> Campaign.Survived { seconds = 0.0 }
+    | Campaign.False_equivalent _ -> Campaign.False_equivalent { seconds = 0.0 }
+    | Campaign.Unknown u -> Campaign.Unknown { u with seconds = 0.0 }
+    | Campaign.Crashed e -> Campaign.Crashed e
+  in
+  {
+    r with
+    Campaign.r_wall = 0.0;
+    r_results =
+      List.map
+        (fun m -> { m with Campaign.verdict = canon_verdict m.Campaign.verdict })
+        r.Campaign.r_results;
+  }
+
+(* Simulate a SIGKILL mid-campaign: run the campaign journaled, chop the
+   journal down to a prefix of its records (a crash can stop the append
+   stream anywhere — even mid-line, which the torn-tail policy covers
+   in test_par), then resume.  The resumed report must equal the
+   uninterrupted one exactly, timings aside, with the prefix replayed
+   rather than re-run. *)
+let test_campaign_resume_byte_identical () =
+  let subject () = Campaign.Sec_pair (alu_pair ()) in
+  let reference =
+    Campaign.run ?budget ~max_rtl_faults:6 ~max_slm_faults:2 (subject ())
+  in
+  let path = Filename.temp_file "dfv_campaign" ".jsonl" in
+  Sys.remove path;
+  let j =
+    match Journal.open_ ~path ~campaign:"resume-test" with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "journal: %s" m
+  in
+  let full =
+    Campaign.run ?budget ~max_rtl_faults:6 ~max_slm_faults:2 ~journal:j
+      (subject ())
+  in
+  Journal.close j;
+  Alcotest.check Alcotest.bool "journaled run matches reference" true
+    (canon full = canon reference);
+  (* keep the header plus the first 3 records: the "crash point" *)
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let prefix =
+    match String.split_on_char '\n' contents with
+    | header :: records ->
+      String.concat "\n" (header :: List.filteri (fun i _ -> i < 3) records)
+      ^ "\n"
+    | [] -> Alcotest.fail "empty journal"
+  in
+  let oc = open_out_bin path in
+  output_string oc prefix;
+  close_out oc;
+  let j =
+    match Journal.open_ ~path ~campaign:"resume-test" with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "journal reopen: %s" m
+  in
+  check_int "prefix replayed" 3 (Journal.replayed j);
+  let resumed =
+    Campaign.run ?budget ~max_rtl_faults:6 ~max_slm_faults:2 ~journal:j
+      (subject ())
+  in
+  Journal.close j;
+  Sys.remove path;
+  check_bool "resumed report byte-identical (timings aside)" true
+    (canon resumed = canon reference);
+  check_int "total preserved" reference.Campaign.r_total
+    resumed.Campaign.r_total
+
+(* A deadline already in the past sheds every mutant to Unknown —
+   reported in r_shed, never silently — and the campaign still returns
+   a complete report instead of dying. *)
+let test_campaign_deadline_sheds () =
+  let r =
+    Campaign.run ?budget ~max_rtl_faults:4 ~max_slm_faults:2
+      ~deadline_at:(Unix.gettimeofday () -. 1.0)
+      (Campaign.Sec_pair (alu_pair ()))
+  in
+  check_int "everything shed" r.Campaign.r_total r.Campaign.r_shed;
+  check_int "shed mutants are unknowns" r.Campaign.r_total
+    r.Campaign.r_unknown;
+  check_int "nothing crashed" 0 r.Campaign.r_crashed;
+  (* shedding must not poison the gate denominator *)
+  check_bool "rate unaffected" true
+    (Campaign.detection_rate [ r ] = 1.0)
+
 let suite =
   [ Alcotest.test_case "enumerate rtl faults" `Quick test_enumerate_rtl;
     Alcotest.test_case "enumerate slm faults (reachable only)" `Quick
@@ -244,4 +340,8 @@ let suite =
       test_pooled_killed_worker;
     Alcotest.test_case "pooled campaign: timeout is Unknown" `Slow
       test_pooled_timeout_is_unknown;
-    Alcotest.test_case "json report" `Quick test_json_report ]
+    Alcotest.test_case "json report" `Quick test_json_report;
+    Alcotest.test_case "kill-mid-campaign resume is byte-identical" `Quick
+      test_campaign_resume_byte_identical;
+    Alcotest.test_case "deadline sheds to Unknown, never silently" `Quick
+      test_campaign_deadline_sheds ]

@@ -210,6 +210,210 @@ let test_portfolio_rtl_rtl_diverges () =
   | Ok _ -> Alcotest.fail "different resets must diverge"
   | Error e -> Alcotest.failf "portfolio error: %s" (Dfv_error.to_string e)
 
+(* --- journal: durability and the corruption policy -------------------- *)
+
+module Journal = Dfv_par.Journal
+
+let tmp_journal () = Filename.temp_file "dfv_journal" ".jsonl"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let jok = function
+  | Ok j -> j
+  | Error m -> Alcotest.failf "unexpected journal error: %s" m
+
+(* Fresh journal, three appends, reopen: everything replays, duplicate
+   appends are no-ops, and a different campaign key is refused. *)
+let test_journal_roundtrip () =
+  let path = tmp_journal () in
+  Sys.remove path;
+  let j = jok (Journal.open_ ~path ~campaign:"campaign-a") in
+  Journal.append j ~fp:"f1" (Json.Int 1);
+  Journal.append j ~fp:"f2" (Json.Int 2);
+  Journal.append j ~fp:"f2" (Json.Int 99);
+  (* dup: disk record stands *)
+  Journal.close j;
+  let j = jok (Journal.open_ ~path ~campaign:"campaign-a") in
+  Alcotest.(check int) "replayed" 2 (Journal.replayed j);
+  Alcotest.(check bool) "not torn" false (Journal.torn j);
+  Alcotest.(check (option int))
+    "f1 payload" (Some 1)
+    (match Journal.find j "f1" with Some (Json.Int i) -> Some i | _ -> None);
+  Alcotest.(check (option int))
+    "f2 kept the first payload" (Some 2)
+    (match Journal.find j "f2" with Some (Json.Int i) -> Some i | _ -> None);
+  Journal.close j;
+  (match Journal.open_ ~path ~campaign:"campaign-b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "campaign mismatch must be refused");
+  Sys.remove path
+
+(* A torn tail — one final segment cut mid-write — is tolerated: the
+   segment is dropped, reported, and truncated away so the resumed run
+   appends on a clean boundary. *)
+let test_journal_torn_tail () =
+  let path = tmp_journal () in
+  Sys.remove path;
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Journal.append j ~fp:"f1" (Json.Int 1);
+  Journal.close j;
+  let intact = read_file path in
+  write_file path (intact ^ {|{"schema":"dfv-jou|});
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Alcotest.(check bool) "torn reported" true (Journal.torn j);
+  Alcotest.(check int) "intact record survives" 1 (Journal.replayed j);
+  Journal.append j ~fp:"f2" (Json.Int 2);
+  Journal.close j;
+  (* the torn bytes are gone: a clean reopen sees two whole records *)
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Alcotest.(check bool) "repaired" false (Journal.torn j);
+  Alcotest.(check int) "both records" 2 (Journal.replayed j);
+  Journal.close j;
+  Sys.remove path
+
+(* More than one bad trailing segment cannot come from a single torn
+   write — that is external corruption, and it is rejected.  So is an
+   unparseable line in the interior.  A single unparseable final line
+   (terminated or not) stays within the torn-tail tolerance. *)
+let test_journal_garbage_rejected () =
+  let path = tmp_journal () in
+  Sys.remove path;
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Journal.append j ~fp:"f1" (Json.Int 1);
+  Journal.close j;
+  let intact = read_file path in
+  write_file path (intact ^ "not json\ntrailing");
+  (match Journal.open_ ~path ~campaign:"c" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "multi-segment garbage must be rejected");
+  write_file path (intact ^ "not json\n" ^ intact);
+  (match Journal.open_ ~path ~campaign:"c" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "an interior garbage line must be rejected");
+  write_file path (intact ^ "not json\n");
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Alcotest.(check bool) "single trailing bad line is torn" true (Journal.torn j);
+  Alcotest.(check int) "record survives" 1 (Journal.replayed j);
+  Journal.close j;
+  Sys.remove path
+
+(* Duplicate fingerprints on disk (a crash between fsync and resume
+   bookkeeping) are tolerated: first record wins, the rest are counted. *)
+let test_journal_duplicate_fp () =
+  let path = tmp_journal () in
+  Sys.remove path;
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Journal.append j ~fp:"f1" (Json.Int 1);
+  Journal.close j;
+  let intact = read_file path in
+  let last_record =
+    match String.split_on_char '\n' intact with
+    | [ _header; record; "" ] -> record
+    | _ -> Alcotest.fail "unexpected journal shape"
+  in
+  write_file path (intact ^ last_record ^ "\n");
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Alcotest.(check int) "one record" 1 (Journal.replayed j);
+  Alcotest.(check int) "one duplicate dropped" 1 (Journal.dropped j);
+  Journal.close j;
+  (* inspect agrees without touching the file *)
+  let info =
+    match Journal.inspect path with
+    | Ok i -> i
+    | Error m -> Alcotest.failf "inspect: %s" m
+  in
+  Alcotest.(check int) "inspect records" 1 info.Journal.info_records;
+  Alcotest.(check int) "inspect dropped" 1 info.Journal.info_dropped;
+  Sys.remove path
+
+(* A complete record from a different journal format version is not a
+   torn write; it is rejected rather than guessed at. *)
+let test_journal_version_mismatch () =
+  let path = tmp_journal () in
+  Sys.remove path;
+  let j = jok (Journal.open_ ~path ~campaign:"c") in
+  Journal.append j ~fp:"f1" (Json.Int 1);
+  Journal.close j;
+  let intact = read_file path in
+  let replace_all ~sub ~by s =
+    let buf = Buffer.create (String.length s) in
+    let n = String.length sub in
+    let i = ref 0 in
+    let len = String.length s in
+    while !i < len do
+      if !i + n <= len && String.sub s !i n = sub then begin
+        Buffer.add_string buf by;
+        i := !i + n
+      end
+      else begin
+        Buffer.add_char buf s.[!i];
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  in
+  write_file path
+    (replace_all ~sub:{|"version":1|} ~by:{|"version":2|} intact);
+  (match Journal.open_ ~path ~campaign:"c" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "version mismatch must be rejected");
+  Sys.remove path
+
+(* --- self-healing retry and cooperative stop -------------------------- *)
+
+(* A transient worker crash (dies once, succeeds on retry) is healed by
+   the pool without surfacing an error — visible only in the metrics. *)
+let test_retry_heals_transient_crash () =
+  let marker = Filename.temp_file "dfv_retry" ".marker" in
+  Sys.remove marker;
+  let healed = Dfv_obs.Metrics.counter "pool.retry.healed" in
+  let before = Dfv_obs.Metrics.counter_value healed in
+  let out =
+    Pool.map ~jobs:2 ~encode:encode_int ~decode:decode_int
+      (fun x ->
+        if x = 1 && not (Sys.file_exists marker) then begin
+          close_out (open_out marker);
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        x * 10)
+      [ 0; 1; 2 ]
+  in
+  if Sys.file_exists marker then Sys.remove marker;
+  Alcotest.(check (list int))
+    "crash healed, verdicts unchanged" [ 0; 10; 20 ] (List.map ok out);
+  Alcotest.(check bool)
+    "healed counted in metrics" true
+    (Dfv_obs.Metrics.counter_value healed > before)
+
+(* After request_stop, a map returns promptly with every unfinished job
+   marked Interrupted (exit code 4 material) — not Worker_crashed. *)
+let test_stop_interrupts_map () =
+  Fun.protect ~finally:Pool.reset_stop @@ fun () ->
+  Pool.request_stop ();
+  Alcotest.(check bool) "stop flag visible" true (Pool.stop_requested ());
+  let out =
+    Pool.map ~jobs:2 ~encode:encode_int ~decode:decode_int
+      (fun x -> x * 10)
+      [ 0; 1; 2 ]
+  in
+  List.iter
+    (function
+      | Error (Dfv_error.Interrupted _ as e) ->
+        Alcotest.(check int) "resumable exit code" 4 (Dfv_error.exit_code e)
+      | Ok _ -> Alcotest.fail "no job may run after request_stop"
+      | Error e ->
+        Alcotest.failf "expected Interrupted, got %s" (Dfv_error.to_string e))
+    out
+
 let suite =
   [ Alcotest.test_case "map preserves input order" `Quick test_map_order;
     Alcotest.test_case "map verdicts invariant under jobs" `Quick
@@ -233,4 +437,18 @@ let suite =
     Alcotest.test_case "portfolio rtl-rtl bounded equivalent" `Quick
       test_portfolio_rtl_rtl;
     Alcotest.test_case "portfolio rtl-rtl divergence" `Quick
-      test_portfolio_rtl_rtl_diverges ]
+      test_portfolio_rtl_rtl_diverges;
+    Alcotest.test_case "journal round-trip and campaign binding" `Quick
+      test_journal_roundtrip;
+    Alcotest.test_case "journal tolerates and repairs a torn tail" `Quick
+      test_journal_torn_tail;
+    Alcotest.test_case "journal rejects non-torn garbage" `Quick
+      test_journal_garbage_rejected;
+    Alcotest.test_case "journal drops duplicate fingerprints" `Quick
+      test_journal_duplicate_fp;
+    Alcotest.test_case "journal rejects a version mismatch" `Quick
+      test_journal_version_mismatch;
+    Alcotest.test_case "transient worker crash healed by retry" `Quick
+      test_retry_heals_transient_crash;
+    Alcotest.test_case "request_stop interrupts a map" `Quick
+      test_stop_interrupts_map ]
