@@ -1236,7 +1236,115 @@ let c5o () =
   print_endline
     "shape check: the instrumented run records every span event yet stays\n\
      within noise of the sinks-off baseline; disabled sinks reduce every\n\
-     instrumentation site to a branch."
+     instrumentation site to a branch.";
+  (* --- pooled shipping: parity and overhead across --jobs -------------- *)
+  (* The fork pool ships each worker's metric/trace/coverage deltas back
+     over the result pipe and merges them in the parent.  Three gates:
+     (1) a --jobs 4 campaign's merged trace carries spans from at least
+     2 distinct worker pids; (2) its merged metrics and coverage
+     snapshots equal the --jobs 1 run's byte for byte once
+     duration-valued fields are stripped; (3) shipping keeps the pooled
+     instrumented run inside the same 5% envelope. *)
+  let campaign jobs =
+    let t = Alu.make ~width:8 () in
+    let pair =
+      Dfv_core.Pair.create ~name:"alu" ~slm:t.Alu.slm ~rtl:t.Alu.rtl
+        ~spec:t.Alu.spec
+    in
+    ignore
+      (Dfv_fault.Campaign.run ?budget:!budget_opt ~seed:0 ~jobs ~pool:true
+         ~max_rtl_faults:8 ~max_slm_faults:4
+         (Dfv_fault.Campaign.Sec_pair pair))
+  in
+  let snapshots jobs =
+    Dfv_obs.Metrics.reset ();
+    Dfv_obs.Trace.enable ();
+    Dfv_obs.Coverage.enable ();
+    Dfv_obs.Coverage.reset ();
+    campaign jobs;
+    let m = Dfv_obs.Metrics.strip_timing (Dfv_obs.Metrics.snapshot ()) in
+    let c = Dfv_obs.Coverage.snapshot () in
+    let trace = Dfv_obs.Trace.to_json () in
+    Dfv_obs.Trace.disable ();
+    Dfv_obs.Coverage.disable ();
+    (Dfv_obs.Json.to_string m, Dfv_obs.Json.to_string c, trace)
+  in
+  let m1, c1, _ = snapshots 1 in
+  let m4, c4, trace4 = snapshots 4 in
+  let worker_pids =
+    match Dfv_obs.Json.field "traceEvents" trace4 with
+    | Some (Dfv_obs.Json.List evs) ->
+      let self = Unix.getpid () in
+      List.sort_uniq compare
+        (List.filter_map
+           (fun e ->
+             match Dfv_obs.Json.field "pid" e with
+             | Some (Dfv_obs.Json.Int p) when p <> self -> Some p
+             | _ -> None)
+           evs)
+    | _ -> []
+  in
+  Printf.printf
+    "  pooled --jobs 4: %d worker pid(s) in the merged trace; metrics \
+     parity %s; coverage parity %s\n"
+    (List.length worker_pids)
+    (if m1 = m4 then "ok" else "BROKEN")
+    (if c1 = c4 then "ok" else "BROKEN");
+  if List.length worker_pids < 2 then begin
+    Printf.printf
+      "REGRESSION: merged --jobs 4 trace has spans from %d worker \
+       process(es) (gate: >= 2)\n"
+      (List.length worker_pids);
+    exit 1
+  end;
+  if m1 <> m4 then begin
+    Printf.printf
+      "REGRESSION: merged --jobs 4 metrics snapshot differs from the \
+       --jobs 1 run's (timing fields excluded)\n\
+      \  jobs=1: %s\n\
+      \  jobs=4: %s\n"
+      m1 m4;
+    exit 1
+  end;
+  if c1 <> c4 then begin
+    Printf.printf
+      "REGRESSION: merged --jobs 4 coverage snapshot differs from the \
+       --jobs 1 run's\n";
+    exit 1
+  end;
+  let time_pooled sinks =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      if sinks then begin
+        Dfv_obs.Trace.enable ();
+        Dfv_obs.Coverage.enable ()
+      end;
+      let t0 = now () in
+      campaign 4;
+      best := min !best (now () -. t0);
+      Dfv_obs.Trace.disable ();
+      Dfv_obs.Coverage.disable ()
+    done;
+    !best
+  in
+  let tp_off = time_pooled false in
+  let tp_on = time_pooled true in
+  Printf.printf
+    "  pooled sinks off: %.3fs   sinks on (shipping): %.3fs   overhead \
+     %+.1f%%\n"
+    tp_off tp_on
+    (100.0 *. (tp_on -. tp_off) /. tp_off);
+  if tp_on > (tp_off *. 1.05) +. 0.05 then begin
+    Printf.printf
+      "REGRESSION: pooled instrumented run (%.3fs) exceeds 5%% overhead \
+       over the pooled uninstrumented baseline (%.3fs)\n"
+      tp_on tp_off;
+    exit 1
+  end;
+  print_endline
+    "shape check: worker telemetry merges into one multi-pid timeline, the\n\
+     sharded snapshots reproduce the sequential run's, and shipping the\n\
+     deltas costs no more than the sinks themselves."
 
 (* ---------------------------------------------------------------------- *)
 (* SIMT: compiled vs interpreted RTL simulation throughput                 *)

@@ -187,7 +187,12 @@ let wrap run = fun design bug ->
 
 (* --- observability flags ----------------------------------------------- *)
 
-type obs = { trace_file : string option; coverage_file : string option }
+type obs = {
+  trace_file : string option;
+  raw_trace : bool;
+  coverage_file : string option;
+  metrics_file : string option;
+}
 
 let obs_term =
   let trace =
@@ -197,7 +202,18 @@ let obs_term =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
             "Capture a span timeline of the run and write it to $(docv) as \
-             Chrome trace_event JSON (load in chrome://tracing or Perfetto).")
+             Chrome trace_event JSON (load in chrome://tracing or Perfetto). \
+             Pooled runs merge worker spans in under each worker's pid, so \
+             the timeline is multi-process.")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Write --trace output as the bare Chrome JSON array (no \
+             {schema, version} envelope) for consumers that reject the \
+             object form.  Raw traces do not pass $(b,dfv validate).")
   in
   let coverage =
     Arg.(
@@ -208,8 +224,20 @@ let obs_term =
             "Collect functional coverage (stimulus covergroups) and write \
              the report to $(docv).")
   in
-  let combine trace_file coverage_file = { trace_file; coverage_file } in
-  Term.(const combine $ trace $ coverage)
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Write the end-of-run metrics snapshot (counters, gauges, \
+             histograms; worker deltas merged in on pooled runs) to \
+             $(docv).")
+  in
+  let combine trace_file raw_trace coverage_file metrics_file =
+    { trace_file; raw_trace; coverage_file; metrics_file }
+  in
+  Term.(const combine $ trace $ raw $ coverage $ metrics)
 
 (* Enable the requested sinks around [f] and flush the files afterwards
    (also on exceptions: a crashed run still leaves its trace behind). *)
@@ -218,13 +246,25 @@ let with_obs obs f =
   if obs.coverage_file <> None then Dfv_obs.Coverage.enable ();
   let finish () =
     (match obs.trace_file with
-    | Some file -> Dfv_obs.Trace.write_file file
+    | Some file -> Dfv_obs.Trace.write_file ~raw:obs.raw_trace file
     | None -> ());
-    match obs.coverage_file with
+    (match obs.coverage_file with
     | Some file -> Dfv_obs.Json.write_file file (Dfv_obs.Coverage.snapshot ())
+    | None -> ());
+    match obs.metrics_file with
+    | Some file -> Dfv_obs.Json.write_file file (Dfv_obs.Metrics.snapshot ())
     | None -> ()
   in
   Fun.protect ~finally:finish f
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Render a live progress line on stderr: completion, rate, ETA, \
+           time to --deadline, and running verdict tallies.  Only when \
+           stderr is a TTY; off by default.")
 
 let report_arg =
   Arg.(
@@ -419,7 +459,7 @@ let sec_cmd =
      the check runs as a strategy portfolio: solving variants race in \
      forked workers and the first conclusive verdict cancels the rest."
   in
-  let run budget stats jobs journal obs design bug =
+  let run budget stats jobs journal progress obs design bug =
     with_obs obs @@ fun () ->
     with_interrupt @@ fun () ->
     (wrap (fun pair ->
@@ -453,13 +493,14 @@ let sec_cmd =
             finish stats;
             exit_unknown
         in
-        (* A journal implies the portfolio path (that is where verdicts
-           are journaled and replayed), even without --jobs. *)
-        if jobs = None && journal = None then report (Flow.sec ?budget pair)
+        (* A journal or --progress implies the portfolio path (that is
+           where verdicts are journaled/reported), even without --jobs. *)
+        if jobs = None && journal = None && not progress then
+          report (Flow.sec ?budget pair)
         else
           let jobs = Option.value jobs ~default:1 in
           match
-            Dfv_par.Portfolio.check_slm_rtl ~jobs ?budget ?journal
+            Dfv_par.Portfolio.check_slm_rtl ~jobs ?budget ?journal ~progress
               ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl ~spec:pair.Pair.spec ()
           with
           | Ok v -> report v
@@ -475,7 +516,7 @@ let sec_cmd =
   Cmd.v (Cmd.info "sec" ~doc ~exits)
     Term.(
       const run $ budget_term $ stats_arg $ jobs_term $ journal_term
-      $ obs_term $ design_arg $ bug_arg)
+      $ progress_arg $ obs_term $ design_arg $ bug_arg)
 
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
@@ -588,7 +629,7 @@ let faultsim_cmd =
           ~doc:"Write the machine-readable detection report to $(docv).")
   in
   let run budget designs seed max_faults max_slm_faults sim_vectors engine
-      jobs timeout deadline journal_path json obs =
+      jobs timeout deadline journal_path json progress obs =
     with_obs obs @@ fun () ->
     with_interrupt @@ fun () ->
     match
@@ -630,7 +671,7 @@ let faultsim_cmd =
           let reports =
             Dfv_fault.Suite.run ?budget ~seed ~sim_vectors ?engine ~jobs
               ?timeout ?deadline ?journal ?pool ~max_rtl_faults:max_faults
-              ~max_slm_faults ~designs ()
+              ~max_slm_faults ~progress ~designs ()
           in
           if Dfv_par.Pool.stop_requested () then begin
             (match journal_path with
@@ -685,16 +726,19 @@ let faultsim_cmd =
     Term.(
       const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
       $ max_slm_faults_arg $ sim_vectors_arg $ engine_term $ jobs_term
-      $ timeout_term $ deadline_term $ journal_term $ json_arg $ obs_term)
+      $ timeout_term $ deadline_term $ journal_term $ json_arg
+      $ progress_arg $ obs_term)
 
 let validate_cmd =
   let doc =
     "Validate machine-readable artifacts: each FILE must parse as JSON \
-     and carry the shared {\"schema\", \"version\"} envelope.  Exits 0 \
-     when every file passes, 3 otherwise.  Line-framed dfv-journal \
-     files are recognised by their first line and checked record by \
-     record.  CI runs this over uploaded BENCH_*.json / fault-report / \
-     trace / coverage / journal artifacts."
+     and carry the shared {\"schema\", \"version\"} envelope.  \
+     dfv-trace and dfv-metrics payloads are additionally checked for \
+     their expected shape (traceEvents array; counter/gauge/histogram \
+     objects).  Exits 0 when every file passes, 3 otherwise.  \
+     Line-framed dfv-journal files are recognised by their first line \
+     and checked record by record.  CI runs this over uploaded \
+     BENCH_*.json / fault-report / trace / coverage / journal artifacts."
   in
   let files_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE")
@@ -744,9 +788,40 @@ let validate_cmd =
           false
         | Ok v -> (
           match Dfv_obs.Json.envelope_of v with
-          | Some (schema, version) ->
-            Printf.printf "%-40s ok    %s v%d\n" file schema version;
-            true
+          | Some (schema, version) -> (
+            (* Structural checks for the schemas dfv itself consumes
+               back (trace merging, metrics merging): the envelope alone
+               does not prove the payload has the right shape. *)
+            let shape =
+              match schema with
+              | "dfv-trace" -> (
+                match Dfv_obs.Json.field "traceEvents" v with
+                | Some (Dfv_obs.Json.List evs) ->
+                  Ok (Printf.sprintf " (%d events)" (List.length evs))
+                | Some _ -> Error "traceEvents is not an array"
+                | None -> Error "missing traceEvents")
+              | "dfv-metrics" ->
+                let section name =
+                  match Dfv_obs.Json.field name v with
+                  | Some (Dfv_obs.Json.Obj _) -> None
+                  | Some _ -> Some (name ^ " is not an object")
+                  | None -> Some ("missing " ^ name)
+                in
+                let missing =
+                  List.filter_map section
+                    [ "counters"; "gauges"; "histograms" ]
+                in
+                if missing = [] then Ok "" else Error (List.hd missing)
+              | _ -> Ok ""
+            in
+            match shape with
+            | Ok extra ->
+              Printf.printf "%-40s ok    %s v%d%s\n" file schema version
+                extra;
+              true
+            | Error m ->
+              Printf.printf "%-40s FAIL  %s: %s\n" file schema m;
+              false)
           | None ->
             Printf.printf "%-40s FAIL  missing {schema, version} envelope\n"
               file;
@@ -758,6 +833,401 @@ let validate_cmd =
     if ok then exit_ok else exit_error
   in
   Cmd.v (Cmd.info "validate" ~doc ~exits) Term.(const run $ files_arg)
+
+(* --- report ----------------------------------------------------------- *)
+
+(* Human-readable rendering of the machine artifacts: one renderer per
+   schema, dispatched on the shared {"schema","version"} envelope. *)
+let report_cmd =
+  let doc =
+    "Summarize dfv JSON artifacts for humans: campaign reports (verdict \
+     tallies, slowest mutants), journals (resumable progress), metrics \
+     snapshots (counters, histograms, solver-time attribution), merged \
+     traces (per-span time attribution, slowest spans, worker pids) and \
+     coverage reports (holes).  Exits 0 when every file rendered, 3 \
+     otherwise."
+  in
+  let files_arg = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let top_arg =
+    Arg.(
+      value & opt int 5
+      & info [ "top" ] ~docv:"N"
+          ~doc:"List the $(docv) slowest mutants/spans and worst holes.")
+  in
+  let run top files =
+    let module J = Dfv_obs.Json in
+    let str_field name v =
+      match J.field name v with Some (J.String s) -> Some s | _ -> None
+    in
+    let int_field name v =
+      match J.field name v with Some (J.Int i) -> Some i | _ -> None
+    in
+    let num_field name v =
+      match J.field name v with
+      | Some (J.Float f) -> Some f
+      | Some (J.Int i) -> Some (float_of_int i)
+      | _ -> None
+    in
+    let ints name v = Option.value ~default:0 (int_field name v) in
+    let take n l = List.filteri (fun i _ -> i < n) l in
+    let report_faultsim v =
+      let subjects =
+        match J.field "subjects" v with Some (J.List l) -> l | _ -> []
+      in
+      List.iter
+        (fun s ->
+          Printf.printf
+            "  %-18s %3d mutants: %d detected, %d survived, %d unknown, %d \
+             crashed, %d false-eq%s (%.2fs)\n"
+            (Option.value ~default:"?" (str_field "name" s))
+            (ints "total" s) (ints "detected" s) (ints "survived" s)
+            (ints "unknown" s) (ints "crashed" s) (ints "false_equivalent" s)
+            (let shed = ints "shed" s in
+             if shed > 0 then Printf.sprintf ", %d shed" shed else "")
+            (Option.value ~default:0.0 (num_field "wall_seconds" s)))
+        subjects;
+      (match
+         (num_field "detection_rate" v, J.field "pass" v, int_field
+            "false_equivalents" v)
+       with
+      | Some rate, Some (J.Bool pass), Some false_eq ->
+        Printf.printf
+          "  detection rate %.1f%%, %d false equivalents: %s\n" (100.0 *. rate)
+          false_eq
+          (if pass then "PASS" else "FAIL")
+      | _ -> ());
+      let mutants =
+        List.concat_map
+          (fun s ->
+            let subject = Option.value ~default:"?" (str_field "name" s) in
+            match J.field "faults" s with
+            | Some (J.List fs) ->
+              List.filter_map
+                (fun f ->
+                  match num_field "seconds" f with
+                  | Some sec ->
+                    Some
+                      ( sec,
+                        subject,
+                        Option.value ~default:"?" (str_field "name" f),
+                        Option.value ~default:"?" (str_field "verdict" f) )
+                  | None -> None)
+                fs
+            | _ -> [])
+          subjects
+      in
+      let slowest =
+        take top
+          (List.sort (fun (a, _, _, _) (b, _, _, _) -> compare b a) mutants)
+      in
+      if slowest <> [] then begin
+        Printf.printf "  slowest mutants:\n";
+        List.iter
+          (fun (sec, subject, name, verdict) ->
+            Printf.printf "    %8.3fs  %-18s %-40s %s\n" sec subject name
+              verdict)
+          slowest
+      end
+    in
+    let report_metrics v =
+      (match J.field "counters" v with
+      | Some (J.Obj fs) when fs <> [] ->
+        Printf.printf "  counters:\n";
+        List.iter
+          (fun (name, c) ->
+            match c with
+            | J.Int n -> Printf.printf "    %-40s %d\n" name n
+            | _ -> ())
+          fs
+      | _ -> ());
+      (match J.field "gauges" v with
+      | Some (J.Obj fs) when fs <> [] ->
+        Printf.printf "  gauges:\n";
+        List.iter
+          (fun (name, g) ->
+            Printf.printf "    %-40s value=%d max=%d\n" name (ints "value" g)
+              (ints "max" g))
+          fs
+      | _ -> ());
+      match J.field "histograms" v with
+      | Some (J.Obj fs) when fs <> [] ->
+        Printf.printf "  histograms:\n";
+        List.iter
+          (fun (name, h) ->
+            let count = ints "count" h and sum = ints "sum" h in
+            Printf.printf "    %-40s n=%d sum=%d mean=%.1f\n" name count sum
+              (if count = 0 then 0.0
+               else float_of_int sum /. float_of_int count))
+          fs;
+        (* Time attribution: duration-valued histograms (the [_us]/
+           [_ns]/[_ms] naming convention) as shares of total solver/
+           engine time. *)
+        let unit_scale name =
+          if String.ends_with ~suffix:"_ns" name then 1e-9
+          else if String.ends_with ~suffix:"_us" name then 1e-6
+          else 1e-3
+        in
+        let timed =
+          List.filter_map
+            (fun (name, h) ->
+              if Dfv_obs.Metrics.timing_metric name then
+                Some
+                  ( name,
+                    float_of_int (ints "sum" h) *. unit_scale name,
+                    ints "count" h )
+              else None)
+            fs
+        in
+        let total = List.fold_left (fun a (_, s, _) -> a +. s) 0.0 timed in
+        if timed <> [] && total > 0.0 then begin
+          Printf.printf "  time attribution:\n";
+          List.iter
+            (fun (name, sec, n) ->
+              Printf.printf "    %-40s %8.3fs over %d samples (%4.1f%%)\n"
+                name sec n
+                (100.0 *. sec /. total))
+            (List.sort (fun (_, a, _) (_, b, _) -> compare b a) timed)
+        end
+      | _ -> ()
+    in
+    let report_trace v =
+      let evs =
+        match J.field "traceEvents" v with Some (J.List l) -> l | _ -> []
+      in
+      let spans =
+        List.filter_map
+          (fun e ->
+            match (str_field "ph" e, str_field "name" e) with
+            | Some "X", Some name ->
+              Some
+                ( name,
+                  Option.value ~default:0.0 (num_field "dur" e),
+                  ints "pid" e )
+            | _ -> None)
+          evs
+      in
+      let pids =
+        List.sort_uniq compare
+          (List.filter_map (fun e -> int_field "pid" e) evs)
+      in
+      Printf.printf "  %d spans across %d process(es)%s, %d events dropped\n"
+        (List.length spans) (List.length pids)
+        (match pids with
+        | [] -> ""
+        | _ ->
+          Printf.sprintf " (pids %s)"
+            (String.concat ", " (List.map string_of_int pids)))
+        (ints "dropped" v);
+      (* Per-name attribution, insertion order preserved then sorted by
+         total time. *)
+      let order = ref [] in
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (name, dur, _) ->
+          match Hashtbl.find_opt tbl name with
+          | Some (n, total, mx) ->
+            Hashtbl.replace tbl name (n + 1, total +. dur, max mx dur)
+          | None ->
+            order := name :: !order;
+            Hashtbl.add tbl name (1, dur, dur))
+        spans;
+      let by_name =
+        List.sort
+          (fun (_, (_, a, _)) (_, (_, b, _)) -> compare b a)
+          (List.rev_map (fun n -> (n, Hashtbl.find tbl n)) !order)
+      in
+      if by_name <> [] then begin
+        Printf.printf "  time per span name:\n";
+        List.iter
+          (fun (name, (n, total, mx)) ->
+            Printf.printf "    %-40s %9.3fms over %d spans (max %.3fms)\n"
+              name (total /. 1e3) n (mx /. 1e3))
+          by_name
+      end;
+      let slowest =
+        take top
+          (List.sort (fun (_, a, _) (_, b, _) -> compare b a) spans)
+      in
+      if slowest <> [] then begin
+        Printf.printf "  slowest spans:\n";
+        List.iter
+          (fun (name, dur, pid) ->
+            Printf.printf "    %9.3fms  pid %-7d %s\n" (dur /. 1e3) pid name)
+          slowest
+      end
+    in
+    let report_coverage v =
+      let groups =
+        match J.field "groups" v with Some (J.List l) -> l | _ -> []
+      in
+      let holes = ref [] in
+      List.iter
+        (fun g ->
+          let gname = Option.value ~default:"?" (str_field "name" g) in
+          Printf.printf "  %-30s %.1f%%\n" gname
+            (100.0 *. Option.value ~default:0.0 (num_field "coverage" g));
+          match J.field "points" g with
+          | Some (J.List ps) ->
+            List.iter
+              (fun p ->
+                let pname = Option.value ~default:"?" (str_field "name" p) in
+                Printf.printf "    %-28s %.1f%% (%d samples)\n" pname
+                  (100.0 *. Option.value ~default:0.0 (num_field "coverage" p))
+                  (ints "samples" p);
+                let at_least = max 1 (ints "at_least" p) in
+                match J.field "bins" p with
+                | Some (J.List bs) ->
+                  List.iter
+                    (fun b ->
+                      let hits = ints "hits" b in
+                      if
+                        str_field "kind" b = Some "count" && hits < at_least
+                      then
+                        holes :=
+                          ( at_least - hits,
+                            Printf.sprintf "%s/%s/%s" gname pname
+                              (Option.value ~default:"?" (str_field "name" b)),
+                            hits, at_least )
+                          :: !holes)
+                    bs
+                | _ -> ())
+              ps
+          | _ -> ())
+        groups;
+      let holes = List.rev !holes in
+      if holes <> [] then begin
+        Printf.printf "  %d coverage hole(s); worst:\n" (List.length holes);
+        List.iter
+          (fun (_, where, hits, need) ->
+            Printf.printf "    %-50s %d/%d hits\n" where hits need)
+          (take top
+             (List.sort
+                (fun (a, _, _, _) (b, _, _, _) -> compare b a)
+                holes))
+      end
+      else Printf.printf "  no coverage holes\n"
+    in
+    let report_generic v =
+      match v with
+      | J.Obj fields ->
+        List.iter
+          (fun (name, f) ->
+            if name <> "schema" && name <> "version" then
+              match f with
+              | J.Int n -> Printf.printf "  %-30s %d\n" name n
+              | J.Float x -> Printf.printf "  %-30s %g\n" name x
+              | J.Bool b -> Printf.printf "  %-30s %b\n" name b
+              | J.String s when String.length s <= 120 ->
+                Printf.printf "  %-30s %s\n" name s
+              | J.String s -> Printf.printf "  %-30s <%d chars>\n" name (String.length s)
+              | J.List l -> Printf.printf "  %-30s [%d items]\n" name (List.length l)
+              | J.Obj o -> Printf.printf "  %-30s {%d fields}\n" name (List.length o)
+              | J.Null -> ())
+          fields
+      | _ -> ()
+    in
+    (* A journal is a record stream, not one document: summarize the
+       header info and tally the journaled verdicts. *)
+    let report_journal file contents =
+      match Dfv_par.Journal.inspect file with
+      | Error m ->
+        Printf.printf "  FAIL %s\n" m;
+        false
+      | Ok info ->
+        Printf.printf "  %d result record(s)%s%s\n"
+          info.Dfv_par.Journal.info_records
+          (if info.Dfv_par.Journal.info_dropped > 0 then
+             Printf.sprintf ", %d duplicates dropped"
+               info.Dfv_par.Journal.info_dropped
+           else "")
+          (if info.Dfv_par.Journal.info_torn then ", torn tail" else "");
+        let order = ref [] in
+        let tally = Hashtbl.create 8 in
+        String.split_on_char '\n' contents
+        |> List.iter (fun line ->
+               if String.trim line <> "" then
+                 match J.parse line with
+                 | Ok r when str_field "kind" r = Some "result" -> (
+                   let label =
+                     match J.field "payload" r with
+                     | Some p -> (
+                       match (str_field "verdict" p, J.field "verdict" p) with
+                       | Some s, _ -> Some s
+                       | None, Some vk -> str_field "kind" vk
+                       | None, None -> str_field "kind" p)
+                     | None -> None
+                   in
+                   match label with
+                   | Some l ->
+                     (match Hashtbl.find_opt tally l with
+                     | Some n -> Hashtbl.replace tally l (n + 1)
+                     | None ->
+                       order := l :: !order;
+                       Hashtbl.add tally l 1)
+                   | None -> ())
+                 | _ -> ());
+        List.iter
+          (fun l -> Printf.printf "    %-30s %d\n" l (Hashtbl.find tally l))
+          (List.rev !order);
+        true
+    in
+    let render file =
+      let contents =
+        let ic = open_in_bin file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let first_line =
+        match String.index_opt contents '\n' with
+        | Some i -> String.sub contents 0 i
+        | None -> contents
+      in
+      let is_journal =
+        match J.parse first_line with
+        | Ok v -> (
+          match J.envelope_of v with
+          | Some ("dfv-journal", _) -> true
+          | Some _ | None -> false)
+        | Error _ -> false
+      in
+      if is_journal then begin
+        Printf.printf "%s — dfv-journal v1\n" file;
+        report_journal file contents
+      end
+      else
+        match J.parse contents with
+        | Error m ->
+          Printf.printf "%s — FAIL parse error: %s\n" file m;
+          false
+        | Ok v -> (
+          match J.envelope_of v with
+          | None ->
+            Printf.printf "%s — FAIL missing {schema, version} envelope\n"
+              file;
+            false
+          | Some (schema, version) ->
+            Printf.printf "%s — %s v%d\n" file schema version;
+            (match schema with
+            | "dfv-faultsim" -> report_faultsim v
+            | "dfv-metrics" -> report_metrics v
+            | "dfv-trace" -> report_trace v
+            | "dfv-coverage" -> report_coverage v
+            | _ -> report_generic v);
+            true)
+    in
+    let ok =
+      List.fold_left
+        (fun acc f ->
+          let r = render f in
+          print_newline ();
+          r && acc)
+        true files
+    in
+    if ok then exit_ok else exit_error
+  in
+  Cmd.v (Cmd.info "report" ~doc ~exits) Term.(const run $ top_arg $ files_arg)
 
 let triage_cmd =
   let doc =
@@ -824,7 +1294,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd; faultsim_cmd;
-           triage_cmd; validate_cmd ])
+           triage_cmd; validate_cmd; report_cmd ])
   in
   (* cmdliner's own cli-error (124) / internal-error (125) codes fold
      into the documented "usage or internal error" code. *)

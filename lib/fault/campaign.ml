@@ -165,9 +165,24 @@ let result_of_json v =
 let shed_prefix = "shed: "
 let is_shed reason = String.starts_with ~prefix:shed_prefix reason
 
+let verdict_label = function
+  | Detected _ -> "detected"
+  | Survived _ -> "survived"
+  | False_equivalent _ -> "false-equivalent"
+  | Unknown _ -> "unknown"
+  | Crashed _ -> "crashed"
+
+(* The tally tag a result files under on the live progress line: shed
+   mutants are their own category — they are the deadline's doing, not
+   an ordinary unknown. *)
+let progress_category r =
+  match r.verdict with
+  | Unknown { reason; _ } when is_shed reason -> "shed"
+  | v -> verdict_label v
+
 let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
     ?timeout ?deadline_at ?journal ?pool ?(max_rtl_faults = 16)
-    ?(max_slm_faults = 8) ?(extra_mutants = []) subject =
+    ?(max_slm_faults = 8) ?(extra_mutants = []) ?(progress = false) subject =
   let t_start = Unix.gettimeofday () in
   let subject_name =
     match subject with
@@ -341,6 +356,17 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
     }
   in
   let indexed = List.mapi (fun i m -> (i, m)) mutants in
+  let reporter =
+    if progress then
+      Dfv_par.Progress.create ?deadline_at ~label:("faultsim " ^ subject_name)
+        ~total:(List.length mutants) ()
+    else None
+  in
+  let prog_step r =
+    match reporter with
+    | Some p -> Dfv_par.Progress.step p (progress_category r)
+    | None -> ()
+  in
   let skeleton m verdict =
     {
       m_name = mutant_name m;
@@ -388,13 +414,16 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
     List.map
       (fun (i, m) ->
         match replay i m with
-        | Some r -> r
+        | Some r ->
+          prog_step r;
+          r
         | None ->
           if Pool.stop_requested () then
             skeleton m (Unknown { reason = "interrupted"; seconds = 0.0 })
           else begin
             let r = run_one (i, m) in
             journal_result i m r;
+            prog_step r;
             r
           end)
       indexed
@@ -405,6 +434,7 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
         (fun (i, m) -> Option.map (fun r -> (i, r)) (replay i m))
         indexed
     in
+    List.iter (fun (_, r) -> prog_step r) replayed;
     let missing =
       List.filter (fun (i, _) -> not (List.mem_assoc i replayed)) indexed
     in
@@ -416,8 +446,17 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
       match outcome with
       | Ok r ->
         let i, m = missing_arr.(k) in
-        journal_result i m r
-      | Error _ -> ()
+        journal_result i m r;
+        prog_step r
+      | Error (Dfv_error.Interrupted _) -> ()
+      | Error e ->
+        let _, m = missing_arr.(k) in
+        prog_step
+          (skeleton m
+             (match e with
+             | Dfv_error.Worker_timeout { seconds; _ } ->
+               Unknown { reason = Dfv_error.to_string e; seconds }
+             | e -> Crashed e))
     in
     let outcomes =
       Pool.map ~jobs:(max 1 jobs) ?timeout
@@ -459,6 +498,7 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
       "fault.campaign"
       (fun () -> if use_pool then run_pooled () else run_seq ())
   in
+  (match reporter with Some p -> Dfv_par.Progress.finish p | None -> ());
   let count p = List.length (List.filter p results) in
   {
     r_subject = subject_name;
@@ -492,13 +532,6 @@ let detection_rate reports =
 
 let false_equivalents reports =
   List.fold_left (fun a r -> a + r.r_false_eq) 0 reports
-
-let verdict_label = function
-  | Detected _ -> "detected"
-  | Survived _ -> "survived"
-  | False_equivalent _ -> "false-equivalent"
-  | Unknown _ -> "unknown"
-  | Crashed _ -> "crashed"
 
 let pp_report fmt r =
   Format.fprintf fmt

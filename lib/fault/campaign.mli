@@ -94,6 +94,7 @@ val run :
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?extra_mutants:mutant list ->
+  ?progress:bool ->
   subject ->
   report
 (** Run the campaign.  [budget] (per mutant) bounds each SEC query;
@@ -128,7 +129,12 @@ val run :
 
     If {!Dfv_par.Pool.request_stop} fires (the CLI's SIGINT/SIGTERM
     handlers), remaining mutants are marked [Unknown "interrupted"]
-    without running and the campaign returns promptly. *)
+    without running and the campaign returns promptly.
+
+    [progress] (default false) drives a live {!Dfv_par.Progress} line
+    on stderr — completion, rate, ETA, time to [deadline_at], and
+    per-verdict tallies — stepping on every finished (or replayed, or
+    shed) mutant; it renders only when stderr is a TTY. *)
 
 val result_to_json : mutant_result -> Dfv_obs.Json.t
 (** The exact wire form of one mutant result — the payload a pool

@@ -173,7 +173,8 @@ let subject name =
   | n -> failwith (Printf.sprintf "unknown faultsim design %s" n)
 
 let run ?budget ?(seed = 0) ?sim_vectors ?engine ?jobs ?timeout ?deadline
-    ?journal ?pool ?max_rtl_faults ?max_slm_faults ?(designs = names) () =
+    ?journal ?pool ?max_rtl_faults ?max_slm_faults ?progress
+    ?(designs = names) () =
   (* One absolute deadline across the whole suite: later campaigns see
      whatever window the earlier ones left. *)
   let deadline_at =
@@ -182,7 +183,7 @@ let run ?budget ?(seed = 0) ?sim_vectors ?engine ?jobs ?timeout ?deadline
   List.map
     (fun name ->
       Campaign.run ?budget ?sim_vectors ~seed ?engine ?jobs ?timeout
-        ?deadline_at ?journal ?pool ?max_rtl_faults ?max_slm_faults
+        ?deadline_at ?journal ?pool ?max_rtl_faults ?max_slm_faults ?progress
         (subject name))
     designs
 

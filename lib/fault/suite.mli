@@ -23,15 +23,17 @@ val run :
   ?pool:bool ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
+  ?progress:bool ->
   ?designs:string list ->
   unit ->
   Campaign.report list
 (** Run the campaigns ([designs] defaults to all of {!names}; raises
     [Failure] on an unknown name).  [jobs]/[timeout]/[pool] select the
     forked per-mutant worker pool inside each campaign, [journal]
-    makes every campaign durable/resumable, and [deadline] (seconds,
-    one budget across the whole suite) arms the degradation sentinel —
-    see {!Campaign.run}. *)
+    makes every campaign durable/resumable, [deadline] (seconds,
+    one budget across the whole suite) arms the degradation sentinel,
+    and [progress] renders a live per-campaign progress line on a TTY
+    stderr — see {!Campaign.run}. *)
 
 val campaign_key :
   budget:Dfv_sat.Solver.budget option ->

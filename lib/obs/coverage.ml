@@ -133,10 +133,17 @@ let kind_string = function
   | Ignore_bin -> "ignore"
   | Illegal -> "illegal"
 
+let kind_of_string = function
+  | "count" -> Some Count
+  | "ignore" -> Some Ignore_bin
+  | "illegal" -> Some Illegal
+  | _ -> None
+
 let point_json p =
   Json.Obj
     [ ("name", Json.String p.pt_name);
       ("samples", Json.Int p.pt_samples);
+      ("at_least", Json.Int p.pt_at_least);
       ("coverage", Json.Float (point_coverage p));
       ("illegal_hits", Json.Int p.pt_illegal);
       ("misses", Json.Int p.pt_misses);
@@ -162,3 +169,86 @@ let group_json g =
 let snapshot () =
   Json.envelope ~schema:"dfv-coverage" ~version:1
     [ ("groups", Json.List (List.map group_json (groups ()))) ]
+
+(* -- cross-process merge ---------------------------------------------- *)
+
+let int_field name j =
+  match Json.field name j with Some (Json.Int i) -> Some i | _ -> None
+
+let str_field name j =
+  match Json.field name j with Some (Json.String s) -> Some s | _ -> None
+
+(* Rebuild a worker's bins from their wire descriptors so the parent
+   needs no prior registration: groups and points are found-or-created
+   with the shipped shape, then hit counts are summed by bin position.
+   Merging never re-emits illegal-hit trace instants — the worker
+   already recorded those when it sampled. *)
+let merge_point g pj =
+  match (str_field "name" pj, Json.field "bins" pj) with
+  | Some name, Some (Json.List bins_j) ->
+    let descr =
+      List.map
+        (fun bj ->
+          match
+            ( str_field "name" bj,
+              str_field "kind" bj,
+              int_field "lo" bj,
+              int_field "hi" bj,
+              int_field "hits" bj )
+          with
+          | Some bname, Some k, Some lo, Some hi, Some hits -> (
+            match kind_of_string k with
+            | Some kind when hi >= lo -> Some (bin ~kind bname ~lo ~hi, hits)
+            | _ -> None)
+          | _ -> None)
+        bins_j
+    in
+    if List.exists (fun d -> d = None) descr then
+      Error ("Coverage.merge: malformed bin in point " ^ name)
+    else begin
+      let descr = List.filter_map Fun.id descr in
+      let at_least =
+        match int_field "at_least" pj with Some a when a >= 1 -> a | _ -> 1
+      in
+      let p = point g name ~at_least (List.map fst descr) in
+      if Array.length p.pt_bins <> List.length descr then
+        Error ("Coverage.merge: bin shape mismatch in point " ^ name)
+      else begin
+        List.iteri (fun i (_, hits) -> p.pt_hits.(i) <- p.pt_hits.(i) + hits)
+          descr;
+        (match int_field "illegal_hits" pj with
+        | Some n -> p.pt_illegal <- p.pt_illegal + n
+        | None -> ());
+        (match int_field "misses" pj with
+        | Some n -> p.pt_misses <- p.pt_misses + n
+        | None -> ());
+        (match int_field "samples" pj with
+        | Some n -> p.pt_samples <- p.pt_samples + n
+        | None -> ());
+        Ok ()
+      end
+    end
+  | _ -> Error "Coverage.merge: malformed point"
+
+let merge j =
+  match Json.envelope_of j with
+  | Some ("dfv-coverage", 1) -> (
+    match Json.field "groups" j with
+    | Some (Json.List gs) ->
+      List.fold_left
+        (fun acc gj ->
+          match (str_field "name" gj, Json.field "points" gj) with
+          | Some gname, Some (Json.List ps) ->
+            let g = group gname in
+            List.fold_left
+              (fun acc pj ->
+                match merge_point g pj with
+                | Ok () -> acc
+                | Error _ as e -> if acc = Ok () then e else acc)
+              acc ps
+          | _ ->
+            if acc = Ok () then Error "Coverage.merge: malformed group"
+            else acc)
+        (Ok ()) gs
+    | _ -> Error "Coverage.merge: missing groups")
+  | _ -> Error "Coverage.merge: not a dfv-coverage v1 snapshot"

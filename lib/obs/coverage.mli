@@ -64,4 +64,15 @@ val group_json : group -> Json.t
 
 val snapshot : unit -> Json.t
 (** All groups under the common envelope
-    [{"schema":"dfv-coverage","version":1,...}]. *)
+    [{"schema":"dfv-coverage","version":1,...}]; each point's bins
+    carry their full descriptor ([kind], [lo], [hi], [at_least]) so a
+    snapshot is self-contained enough to {!merge} elsewhere. *)
+
+val merge : Json.t -> (unit, string) result
+(** Fold another process's {!snapshot} into this registry: groups and
+    points are found-or-created from the shipped bin descriptors, bin
+    hits / illegal hits / misses / samples are summed.  Registration
+    happens even when {!enabled} is false — merging is bookkeeping, not
+    sampling, and never re-emits illegal-hit trace instants.  Errors
+    name the first malformed or shape-mismatched point; well-formed
+    points are still merged. *)

@@ -98,6 +98,103 @@ let reset () =
       h.h_sum <- 0)
     histograms
 
+(* Duration-valued metrics (wall-clock microseconds and friends) are
+   non-deterministic across runs; everything else in a snapshot is a
+   pure function of the workload.  The suffix convention is load-bearing:
+   name a histogram [foo_us] and parity comparisons will ignore it. *)
+let timing_metric name =
+  let suffixed s =
+    let n = String.length name and k = String.length s in
+    n > k && String.sub name (n - k) k = s
+  in
+  suffixed "_us" || suffixed "_ns" || suffixed "_ms"
+
+let merge j =
+  let err what = Error ("Metrics.merge: " ^ what) in
+  match Json.envelope_of j with
+  | Some ("dfv-metrics", 1) ->
+    let bad = ref None in
+    let fail what = if !bad = None then bad := Some what in
+    (match Json.field "counters" j with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Json.Int n -> add (counter name) n
+          | _ -> fail ("counter " ^ name))
+        fields
+    | _ -> fail "counters");
+    (match Json.field "gauges" j with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (name, v) ->
+          match (Json.field "value" v, Json.field "max" v) with
+          | Some (Json.Int value), Some (Json.Int max_v) ->
+            let g = gauge name in
+            (* Max-of-high-water: a merged gauge reports the peak any
+               process saw; the instantaneous value has no cross-process
+               meaning, so it too takes the max. *)
+            if value > g.g then g.g <- value;
+            if max_v > g.g_max then g.g_max <- max_v
+          | _ -> fail ("gauge " ^ name))
+        fields
+    | _ -> fail "gauges");
+    (match Json.field "histograms" j with
+    | Some (Json.Obj fields) ->
+      List.iter
+        (fun (name, v) ->
+          match
+            (Json.field "count" v, Json.field "sum" v, Json.field "buckets" v)
+          with
+          | Some (Json.Int count), Some (Json.Int sum), Some (Json.List bs) ->
+            let h = histogram name in
+            h.h_count <- h.h_count + count;
+            h.h_sum <- h.h_sum + sum;
+            List.iter
+              (fun b ->
+                match (Json.field "lo" b, Json.field "count" b) with
+                | Some (Json.Int lo), Some (Json.Int n) ->
+                  (* [bucket_of lo] inverts [bucket_bounds]: lo <= 0 is
+                     bucket 0, lo = 2^(i-1) is bucket i. *)
+                  let i = bucket_of lo in
+                  h.buckets.(i) <- h.buckets.(i) + n
+                | _ -> fail ("histogram bucket in " ^ name))
+              bs
+          | _ -> fail ("histogram " ^ name))
+        fields
+    | _ -> fail "histograms");
+    (match !bad with None -> Ok () | Some what -> err ("malformed " ^ what))
+  | _ -> err "not a dfv-metrics v1 snapshot"
+
+(* Reduce a snapshot to its run-deterministic core: drop duration-valued
+   metrics wholesale and keep only the high-water mark of each gauge, so
+   a sharded run's merged snapshot compares equal to the sequential
+   run's byte for byte. *)
+let strip_timing j =
+  let keep (name, _) = not (timing_metric name) in
+  match j with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           match (k, v) with
+           | ("counters", Json.Obj fs) | ("histograms", Json.Obj fs) ->
+             (k, Json.Obj (List.filter keep fs))
+           | ("gauges", Json.Obj fs) ->
+             ( k,
+               Json.Obj
+                 (List.filter_map
+                    (fun (name, v) ->
+                      if timing_metric name then None
+                      else
+                        match Json.field "max" v with
+                        | Some m -> Some (name, Json.Obj [ ("max", m) ])
+                        | None -> Some (name, v))
+                    fs) )
+           | _ -> (k, v))
+         fields)
+  | _ -> j
+
 let snapshot () =
   let cs = ref [] and gs = ref [] and hs = ref [] in
   List.iter

@@ -49,3 +49,22 @@ val snapshot : unit -> Json.t
 (** All registered metrics under the common envelope
     [{"schema":"dfv-metrics","version":1,...}]; histogram buckets are
     listed sparsely as [{"lo","hi","count"}]. *)
+
+val merge : Json.t -> (unit, string) result
+(** Fold another process's {!snapshot} into this registry: counters are
+    summed, gauges take the max of both value and high-water mark,
+    histogram [count]/[sum] are summed and buckets summed elementwise
+    (the bucket index is recovered from each bucket's [lo] bound).
+    This is how the {!Dfv_par.Pool} parent absorbs worker telemetry.
+    Unknown names register on the fly; a malformed snapshot reports the
+    first offending field (already-valid fields are still merged). *)
+
+val timing_metric : string -> bool
+(** Whether a metric name denotes a duration-valued (hence
+    run-nondeterministic) metric — suffix [_us], [_ns] or [_ms]. *)
+
+val strip_timing : Json.t -> Json.t
+(** Project a {!snapshot} onto its run-deterministic core: drop
+    {!timing_metric} entries and reduce gauges to their high-water
+    [max].  Two runs of the same workload — sequential or sharded and
+    merged — compare byte-identical after this projection. *)

@@ -5,12 +5,13 @@ type ev = {
   ev_ts : float; (* microseconds since sink install *)
   ev_dur : float; (* microseconds; 0 for instants *)
   ev_depth : int;
+  ev_pid : int; (* recording process; differs for absorbed worker events *)
   ev_args : (string * Json.t) list;
 }
 
 let dummy_ev =
   { ev_name = ""; ev_cat = ""; ev_ph = 'X'; ev_ts = 0.0; ev_dur = 0.0;
-    ev_depth = 0; ev_args = [] }
+    ev_depth = 0; ev_pid = 0; ev_args = [] }
 
 type sink = {
   ring : ev array;
@@ -19,9 +20,16 @@ type sink = {
   mutable max_depth : int;
   t0 : float; (* gettimeofday at install *)
   mutable last : float; (* monotonization high-water mark, us *)
+  pid : int; (* process that installed the sink *)
+  mutable foreign_dropped : int; (* drops reported by absorbed exports *)
+  mutable procs : (int * string) list; (* pid -> display label, rev *)
 }
 
 let current : sink option ref = ref None
+
+(* Registered eagerly so a truncated trace is detectable from the
+   metrics artifact alone, even when the count is zero. *)
+let dropped_counter = Metrics.counter "trace.dropped"
 
 (* Wall clock, monotonized: the reported time never decreases within a
    sink's lifetime even if the system clock steps backwards, so
@@ -34,6 +42,7 @@ let now_us s =
 
 let enable ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity must be >= 1";
+  let pid = Unix.getpid () in
   current :=
     Some
       {
@@ -43,12 +52,16 @@ let enable ?(capacity = 65536) () =
         max_depth = 0;
         t0 = Unix.gettimeofday ();
         last = 0.0;
+        pid;
+        foreign_dropped = 0;
+        procs = [ (pid, "dfv") ];
       }
 
 let disable () = current := None
 let enabled () = !current <> None
 
 let push s e =
+  if s.pushed >= Array.length s.ring then Metrics.incr dropped_counter;
   s.ring.(s.pushed mod Array.length s.ring) <- e;
   s.pushed <- s.pushed + 1
 
@@ -104,6 +117,7 @@ let end_span span =
             ev_ts = sp.sp_t0;
             ev_dur = now_us s -. sp.sp_t0;
             ev_depth = sp.sp_depth;
+            ev_pid = s.pid;
             ev_args = sp.sp_args;
           }
       end
@@ -128,6 +142,7 @@ let instant ?(cat = "dfv") ?(args = []) name =
         ev_ts = now_us s;
         ev_dur = 0.0;
         ev_depth = s.depth;
+        ev_pid = s.pid;
         ev_args = args;
       }
 
@@ -160,7 +175,7 @@ let json_of_ev e =
       ("cat", Json.String e.ev_cat);
       ("ph", Json.String (String.make 1 e.ev_ph));
       ("ts", Json.Float e.ev_ts);
-      ("pid", Json.Int 1);
+      ("pid", Json.Int e.ev_pid);
       ("tid", Json.Int 1) ]
   in
   let dur = if e.ev_ph = 'X' then [ ("dur", Json.Float e.ev_dur) ] else [] in
@@ -171,6 +186,21 @@ let json_of_ev e =
     | args -> [ ("args", Json.Obj args) ]
   in
   Json.Obj (base @ dur @ scope @ args)
+
+(* Chrome "M" metadata events naming each process lane, so a merged
+   multi-pid timeline labels the parent and every worker. *)
+let metadata_events s =
+  List.rev_map
+    (fun (pid, label) ->
+      Json.Obj
+        [ ("name", Json.String "process_name");
+          ("ph", Json.String "M");
+          ("pid", Json.Int pid);
+          ("tid", Json.Int 1);
+          ("args", Json.Obj [ ("name", Json.String label) ]) ])
+    s.procs
+
+let local_dropped s = s.pushed - stored s
 
 let recent_json ?(limit = 32) () =
   match !current with
@@ -189,8 +219,133 @@ let to_json () =
   | Some s ->
     Json.envelope ~schema:"dfv-trace" ~version:1
       [ ("displayTimeUnit", Json.String "ms");
-        ("traceEvents", Json.List (List.map json_of_ev (ordered s)));
-        ("dropped", Json.Int (s.pushed - stored s));
+        ( "traceEvents",
+          Json.List (metadata_events s @ List.map json_of_ev (ordered s)) );
+        ("dropped", Json.Int (local_dropped s + s.foreign_dropped));
         ("maxDepth", Json.Int s.max_depth) ]
 
-let write_file path = Json.write_file path (to_json ())
+(* The bare Chrome "JSON array format": no envelope keys at all, for
+   tools that choke on the object form.  The drop count still travels,
+   as an instant in the stream rather than a top-level field. *)
+let raw_json () =
+  match !current with
+  | None -> Json.List []
+  | Some s ->
+    let dropped = local_dropped s + s.foreign_dropped in
+    let drop_ev =
+      if dropped = 0 then []
+      else
+        [ Json.Obj
+            [ ("name", Json.String "trace.dropped");
+              ("ph", Json.String "i");
+              ("ts", Json.Float 0.0);
+              ("pid", Json.Int s.pid);
+              ("tid", Json.Int 1);
+              ("s", Json.String "g");
+              ("args", Json.Obj [ ("dropped", Json.Int dropped) ]) ] ]
+    in
+    Json.List (metadata_events s @ drop_ev @ List.map json_of_ev (ordered s))
+
+(* -- cross-process shipping ------------------------------------------- *)
+
+let wire_of_ev e =
+  let base =
+    [ ("name", Json.String e.ev_name);
+      ("cat", Json.String e.ev_cat);
+      ("ph", Json.String (String.make 1 e.ev_ph));
+      ("ts", Json.Float e.ev_ts);
+      ("dur", Json.Float e.ev_dur);
+      ("depth", Json.Int e.ev_depth) ]
+  in
+  match e.ev_args with
+  | [] -> Json.Obj base
+  | args -> Json.Obj (base @ [ ("args", Json.Obj args) ])
+
+let export () =
+  match !current with
+  | None -> Json.Null
+  | Some s ->
+    Json.envelope ~schema:"dfv-trace-export" ~version:1
+      [ ("pid", Json.Int s.pid);
+        ("t0_us", Json.Float (s.t0 *. 1e6));
+        ("dropped", Json.Int (local_dropped s + s.foreign_dropped));
+        ("max_depth", Json.Int s.max_depth);
+        ("events", Json.List (List.map wire_of_ev (ordered s))) ]
+
+let ev_of_wire ~pid ~job ~offset_us j =
+  let str name = match Json.field name j with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let num name = match Json.field name j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  match (str "name", str "ph", num "ts", num "dur") with
+  | Some name, Some ph, Some ts, Some dur when String.length ph = 1 ->
+    let args =
+      match Json.field "args" j with Some (Json.Obj a) -> a | _ -> []
+    in
+    let args =
+      match job with
+      | Some i -> args @ [ ("job", Json.Int i) ]
+      | None -> args
+    in
+    Some
+      {
+        ev_name = name;
+        ev_cat = (match str "cat" with Some c -> c | None -> "dfv");
+        ev_ph = ph.[0];
+        ev_ts = ts +. offset_us;
+        ev_dur = dur;
+        ev_depth =
+          (match Json.field "depth" j with Some (Json.Int d) -> d | _ -> 0);
+        ev_pid = pid;
+        ev_args = args;
+      }
+  | _ -> None
+
+let absorb ?job j =
+  match !current with
+  | None -> Ok () (* parent is not tracing; nothing to merge into *)
+  | Some s -> (
+    match Json.envelope_of j with
+    | Some ("dfv-trace-export", 1) -> (
+      match
+        (Json.field "pid" j, Json.field "t0_us" j, Json.field "events" j)
+      with
+      | Some (Json.Int pid), Some t0, Some (Json.List evs) ->
+        let t0_us =
+          match t0 with
+          | Json.Float f -> f
+          | Json.Int i -> float_of_int i
+          | _ -> s.t0 *. 1e6
+        in
+        (* Re-base onto this sink's epoch: both epochs come from the
+           same wall clock, so worker spans land where they actually
+           ran relative to the parent's own spans. *)
+        let offset_us = t0_us -. (s.t0 *. 1e6) in
+        (match Json.field "dropped" j with
+        | Some (Json.Int d) -> s.foreign_dropped <- s.foreign_dropped + d
+        | _ -> ());
+        (match Json.field "max_depth" j with
+        | Some (Json.Int d) -> if d > s.max_depth then s.max_depth <- d
+        | _ -> ());
+        if not (List.mem_assoc pid s.procs) then
+          s.procs <- (pid, Printf.sprintf "dfv worker %d" pid) :: s.procs;
+        let bad = ref 0 in
+        List.iter
+          (fun w ->
+            match ev_of_wire ~pid ~job ~offset_us w with
+            | Some e -> push s e
+            | None -> Stdlib.incr bad)
+          evs;
+        if !bad = 0 then Ok ()
+        else Error (Printf.sprintf "Trace.absorb: %d malformed events" !bad)
+      | _ -> Error "Trace.absorb: missing pid/t0_us/events"
+      )
+    | _ -> Error "Trace.absorb: not a dfv-trace-export v1 payload")
+
+let write_file ?(raw = false) path =
+  Json.write_file path (if raw then raw_json () else to_json ())

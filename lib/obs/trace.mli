@@ -56,6 +56,31 @@ val recent_json : ?limit:int -> unit -> Json.t
 val to_json : unit -> Json.t
 (** The whole buffer under the common envelope:
     [{"schema":"dfv-trace","version":1,"traceEvents":[...],...}].
-    Chrome's JSON object format ignores the extra keys. *)
+    Chrome's JSON object format ignores the extra keys.  Events carry
+    the pid of the process that recorded them (absorbed worker events
+    keep their worker's pid), preceded by ["process_name"] metadata
+    events labelling each lane; ["dropped"] counts ring overwrites here
+    {e plus} drops reported by absorbed exports. *)
 
-val write_file : string -> unit
+val raw_json : unit -> Json.t
+(** The bare Chrome "JSON array format" — just the event list, no
+    envelope keys — for consumers that reject the object form.  A
+    nonzero drop count is carried as a ["trace.dropped"] instant. *)
+
+val export : unit -> Json.t
+(** Worker side of cross-process shipping: the sink's whole buffer as a
+    [{"schema":"dfv-trace-export","version":1,...}] payload carrying
+    this process's pid, the sink's absolute epoch (so the parent can
+    re-base timestamps), the drop count, and every event with its
+    sink-relative timestamps.  [Json.Null] when disabled. *)
+
+val absorb : ?job:int -> Json.t -> (unit, string) result
+(** Parent side: merge an {!export}ed buffer into the current sink.
+    Timestamps are re-based from the worker's epoch onto this sink's,
+    events keep the worker's pid (rendering as a separate process lane)
+    and are tagged with [args.job] when [job] is given; the export's
+    drop count accumulates into this sink's reported [dropped].  A
+    no-op [Ok ()] when tracing is disabled here. *)
+
+val write_file : ?raw:bool -> string -> unit
+(** Write {!to_json} (or {!raw_json} when [raw]) to [path]. *)

@@ -1,6 +1,8 @@
 module Dfv_error = Dfv_core.Dfv_error
 module Json = Dfv_obs.Json
 module Metrics = Dfv_obs.Metrics
+module Trace = Dfv_obs.Trace
+module Coverage = Dfv_obs.Coverage
 
 let cores () = max 1 (Domain.recommended_domain_count ())
 
@@ -36,6 +38,8 @@ let m_retry_attempts = Metrics.counter "pool.retry.attempts"
 let m_retry_healed = Metrics.counter "pool.retry.healed"
 let m_retry_exhausted = Metrics.counter "pool.retry.exhausted"
 let m_interrupted = Metrics.counter "pool.interrupted"
+let m_telemetry_shipped = Metrics.counter "pool.telemetry.shipped"
+let m_telemetry_errors = Metrics.counter "pool.telemetry.errors"
 
 (* splitmix64-style finalizer over (seed, index), truncated to OCaml's
    63-bit int.  The point is not cryptography but spread: neighbouring
@@ -66,6 +70,16 @@ let heartbeat_line job = line "heartbeat" job []
 let result_line job payload = line "result" job [ ("payload", payload) ]
 let error_line job e = line "error" job [ ("error", Dfv_error.to_json e) ]
 
+(* The worker's observability deltas, shipped as one extra protocol line
+   just before the result.  The child reset its sinks at job start, so
+   each section is this job's contribution alone — the parent can merge
+   by plain summation. *)
+let telemetry_line job =
+  line "telemetry" job
+    [ ("metrics", Metrics.snapshot ());
+      ("trace", Trace.export ());
+      ("coverage", Coverage.snapshot ()) ]
+
 (* --- child side -------------------------------------------------------- *)
 
 let write_all fd s =
@@ -83,13 +97,22 @@ let write_all fd s =
    below the runtime stops beating — which is exactly the signal the
    parent wants).  The timer is disarmed before the result is written so
    a heartbeat can never tear the result line. *)
-let child ~heartbeat ~job ~fd f x encode =
+let child ~heartbeat ~job ~fd ~telemetry f x encode =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Sys.set_signal Sys.sigalrm
     (Sys.Signal_handle (fun _ -> write_all fd (heartbeat_line job)));
   ignore
     (Unix.setitimer Unix.ITIMER_REAL
        { Unix.it_value = heartbeat; it_interval = heartbeat });
+  (* The fork copied the parent's registries and trace ring wholesale.
+     Zero them (and re-install a fresh sink under this pid/epoch) so the
+     telemetry shipped at job end is this job's pure delta — the parent
+     merges deltas, never absolute copies of its own state. *)
+  if telemetry then begin
+    Metrics.reset ();
+    if Trace.enabled () then Trace.enable ();
+    Coverage.reset ()
+  end;
   let out =
     match Dfv_error.guard (fun () -> encode (f x)) with
     | Ok payload -> result_line job payload
@@ -99,6 +122,7 @@ let child ~heartbeat ~job ~fd f x encode =
   in
   ignore
     (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.0; it_interval = 0.0 });
+  if telemetry then write_all fd (telemetry_line job);
   write_all fd out;
   Unix._exit 0
 
@@ -112,6 +136,7 @@ type 'r worker = {
   mutable last_beat : float;
   buf : Buffer.t;
   mutable delivered : 'r outcome option;
+  mutable shipped : Json.t option; (* this attempt's telemetry line, if any *)
 }
 
 let signal_name s =
@@ -142,8 +167,32 @@ let kill_quietly pid =
    heartbeat periods is presumed wedged and killed. *)
 let stale_factor = 20.0
 
+(* Merge one worker's shipped telemetry into the parent-side sinks.
+   Called only when a job's outcome becomes *final*: a retried attempt's
+   telemetry dies with its worker record, so replays never double-count.
+   Merge failures are observable (pool.telemetry.errors) but never fail
+   the job — a campaign's verdicts must not depend on bookkeeping. *)
+let merge_telemetry ~job v =
+  let saw_error = ref false in
+  let note = function
+    | Ok () -> ()
+    | Error _ -> saw_error := true
+  in
+  (match Json.field "metrics" v with
+  | Some m -> note (Metrics.merge m)
+  | None -> ());
+  (match Json.field "trace" v with
+  | Some Json.Null | None -> ()
+  | Some t -> note (Trace.absorb ~job t));
+  (match Json.field "coverage" v with
+  | Some c -> note (Coverage.merge c)
+  | None -> ());
+  Metrics.incr m_telemetry_shipped;
+  if !saw_error then Metrics.incr m_telemetry_errors
+
 let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
-    ?(retry = default_retry) ?on_result ~(encode : r -> Json.t)
+    ?(retry = default_retry) ?(telemetry = true) ?on_result
+    ~(encode : r -> Json.t)
     ~(decode : Json.t -> (r, string) result)
     ~(conclusive : (r -> bool) option) (f : a -> r) (inputs : a list) :
     r race =
@@ -192,7 +241,7 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
          write ends, which the parent closed after each earlier fork). *)
       Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ())
         live;
-      child ~heartbeat ~job:i ~fd:wr f inputs.(i) encode
+      child ~heartbeat ~job:i ~fd:wr ~telemetry f inputs.(i) encode
     | pid ->
       Unix.close wr;
       let t = now () in
@@ -205,10 +254,14 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
           last_beat = t;
           buf = Buffer.create 256;
           delivered = None;
+          shipped = None;
         }
   in
   let deliver w outcome =
     outcomes.(w.job) <- Some outcome;
+    (match w.shipped with
+    | Some v -> merge_telemetry ~job:w.job v
+    | None -> ());
     if tries.(w.job) > 0 then
       (match outcome with
       | Error e when retryable e -> Metrics.incr m_retry_exhausted
@@ -268,6 +321,7 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
       | Ok v -> (
         match Json.field "kind" v with
         | Some (Json.String "heartbeat") -> ()
+        | Some (Json.String "telemetry") -> w.shipped <- Some v
         | Some (Json.String "result") -> (
           match Json.field "payload" v with
           | Some payload -> (
@@ -477,12 +531,12 @@ let run (type a r) ?jobs ?timeout ?(heartbeat = 0.5) ?label
   end;
   { winner = !winner; outcomes }
 
-let map ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode f
-    inputs =
+let map ?jobs ?timeout ?heartbeat ?label ?retry ?telemetry ?on_result ~encode
+    ~decode f inputs =
   let lbl = label in
   let r =
-    run ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode
-      ~conclusive:None f inputs
+    run ?jobs ?timeout ?heartbeat ?label ?retry ?telemetry ?on_result ~encode
+      ~decode ~conclusive:None f inputs
   in
   let label = match lbl with Some l -> l | None -> string_of_int in
   Array.to_list r.outcomes
@@ -497,7 +551,7 @@ let map ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode f
                (Dfv_error.Worker_crashed
                   { job = label i; detail = "job never completed" }))
 
-let race ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode
-    ~conclusive f inputs =
-  run ?jobs ?timeout ?heartbeat ?label ?retry ?on_result ~encode ~decode
-    ~conclusive:(Some conclusive) f inputs
+let race ?jobs ?timeout ?heartbeat ?label ?retry ?telemetry ?on_result ~encode
+    ~decode ~conclusive f inputs =
+  run ?jobs ?timeout ?heartbeat ?label ?retry ?telemetry ?on_result ~encode
+    ~decode ~conclusive:(Some conclusive) f inputs

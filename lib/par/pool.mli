@@ -37,7 +37,23 @@
     the failure is recorded; a deterministic crash exhausts its retry
     budget and stays [Worker_crashed].  Retry traffic is visible in the
     {!Dfv_obs.Metrics} registry as [pool.retry.attempts] /
-    [pool.retry.healed] / [pool.retry.exhausted]. *)
+    [pool.retry.healed] / [pool.retry.exhausted].
+
+    {2 Telemetry}
+
+    Observability is fork-transparent by default: each worker zeroes its
+    inherited {!Dfv_obs.Metrics} / {!Dfv_obs.Trace} /
+    {!Dfv_obs.Coverage} state at job start and ships the job's deltas
+    back as one extra [kind:"telemetry"] protocol line just before its
+    result.  The parent merges a job's telemetry exactly once, when the
+    job's outcome becomes final — counters summed, gauges max-of-high-
+    water, histogram buckets summed elementwise, coverage bins summed,
+    worker spans re-based into the parent trace under the worker's pid
+    and tagged with the job index — so retried attempts and journal-
+    replayed jobs (which never run) are never double-counted.  Shipping
+    volume is visible as [pool.telemetry.shipped], merge failures as
+    [pool.telemetry.errors]; pass [~telemetry:false] to turn the whole
+    mechanism off. *)
 
 val cores : unit -> int
 (** Number of CPU cores available to this process (>= 1). *)
@@ -82,6 +98,7 @@ val map :
   ?heartbeat:float ->
   ?label:(int -> string) ->
   ?retry:retry ->
+  ?telemetry:bool ->
   ?on_result:(int -> 'r outcome -> unit) ->
   encode:('r -> Dfv_obs.Json.t) ->
   decode:(Dfv_obs.Json.t -> ('r, string) result) ->
@@ -106,7 +123,9 @@ val map :
     class as a torn write).
 
     [retry] (default {!default_retry}) bounds the transient-failure
-    retry loop per job.  [on_result] is invoked in the {e parent}, in
+    retry loop per job.  [telemetry] (default [true]) controls worker
+    observability shipping — see {e Telemetry} above.  [on_result] is
+    invoked in the {e parent}, in
     completion order, each time a job's outcome becomes final (after
     any retries) — the hook durable campaigns use to append to their
     {!Journal} as results arrive rather than at the end.
@@ -129,6 +148,7 @@ val race :
   ?heartbeat:float ->
   ?label:(int -> string) ->
   ?retry:retry ->
+  ?telemetry:bool ->
   ?on_result:(int -> 'r outcome -> unit) ->
   encode:('r -> Dfv_obs.Json.t) ->
   decode:(Dfv_obs.Json.t -> ('r, string) result) ->

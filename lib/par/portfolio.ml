@@ -251,7 +251,14 @@ let budget_key = function
       | Some s -> Printf.sprintf "%g" s
       | None -> "-")
 
-let check_slm_rtl ?jobs ?timeout ?budget ?journal ~slm ~rtl ~spec () =
+let slm_wire_category = function
+  | Ok (W_equivalent _) -> "equivalent"
+  | Ok (W_not_equivalent _) -> "cex"
+  | Ok (W_unknown _) -> "unknown"
+  | Error _ -> "failed"
+
+let check_slm_rtl ?jobs ?timeout ?budget ?journal ?(progress = false) ~slm
+    ~rtl ~spec () =
   Dfv_obs.Trace.with_span ~cat:"par" "par.check_slm_rtl" @@ fun () ->
   let strategies = [ ("sweep", true); ("direct", false) ] in
   let run (_, sweep) =
@@ -325,7 +332,16 @@ let check_slm_rtl ?jobs ?timeout ?budget ?journal ~slm ~rtl ~spec () =
                (Dfv_error.Internal "portfolio produced no outcome (empty race?)")))
       | _ :: _ -> (
         let missing_arr = Array.of_list missing in
+        let reporter =
+          if progress then
+            Progress.create ~label:"sec portfolio"
+              ~total:(List.length missing) ()
+          else None
+        in
         let on_result k outcome =
+          (match reporter with
+          | Some p -> Progress.step p (slm_wire_category outcome)
+          | None -> ());
           match (jnl, outcome) with
           | Some j, Ok w ->
             Journal.append j ~fp:(fp (fst missing_arr.(k))) (slm_wire_to_json w)
@@ -337,6 +353,7 @@ let check_slm_rtl ?jobs ?timeout ?budget ?journal ~slm ~rtl ~spec () =
             ~on_result ~encode:slm_wire_to_json ~decode:slm_wire_of_json
             ~conclusive:slm_conclusive run missing
         in
+        (match reporter with Some p -> Progress.finish p | None -> ());
         match r.Pool.winner with
         | Some (_, w) -> finish (reconstruct w)
         | None ->
@@ -548,20 +565,36 @@ let check_frame ~budget ~a ~b t =
           { (Session.stats session) with wall_seconds = now () -. t0 } )
     | None -> failwith "internal: SAT model did not re-simulate to a divergence")
 
-let check_rtl_rtl ?jobs ?timeout ?budget ~a ~b ~bound () =
+let frame_wire_category = function
+  | Ok (F_unsat _) -> "unsat"
+  | Ok (F_sat _) -> "cex"
+  | Ok (F_unknown _) -> "unknown"
+  | Error _ -> "failed"
+
+let check_rtl_rtl ?jobs ?timeout ?budget ?(progress = false) ~a ~b ~bound () =
   Dfv_obs.Trace.with_span ~cat:"par" "par.check_rtl_rtl" @@ fun () ->
   if bound < 1 then
     Error (Dfv_error.Spec_violation "bound must be >= 1")
   else begin
     let t0 = now () in
     let frames = List.init bound (fun t -> t) in
+    let reporter =
+      if progress then Progress.create ~label:"sec bmc" ~total:bound ()
+      else None
+    in
+    let on_result _ outcome =
+      match reporter with
+      | Some p -> Progress.step p (frame_wire_category outcome)
+      | None -> ()
+    in
     let r =
       Pool.race ?jobs ?timeout
         ~label:(Printf.sprintf "bmc:frame%d")
-        ~encode:frame_wire_to_json ~decode:frame_wire_of_json
+        ~on_result ~encode:frame_wire_to_json ~decode:frame_wire_of_json
         ~conclusive:(function F_sat _ -> true | _ -> false)
         (check_frame ~budget ~a ~b) frames
     in
+    (match reporter with Some p -> Progress.finish p | None -> ());
     let stats_of_outcomes () =
       Array.fold_left
         (fun acc o ->

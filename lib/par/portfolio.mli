@@ -35,6 +35,7 @@ val check_slm_rtl :
   ?timeout:float ->
   ?budget:Dfv_sat.Solver.budget ->
   ?journal:string ->
+  ?progress:bool ->
   slm:Dfv_hwir.Ast.program ->
   rtl:Dfv_rtl.Netlist.elaborated ->
   spec:Dfv_sec.Spec.t ->
@@ -56,12 +57,14 @@ val check_slm_rtl :
     while journaled [Unknown]s — deterministic under the same budget —
     are not re-run.  If {!Pool.request_stop} fires before any verdict,
     the result is [Error (Interrupted _)] so the CLI can exit with the
-    resumable code. *)
+    resumable code.  [progress] (default false) renders a live
+    {!Progress} line per finished strategy on a TTY stderr. *)
 
 val check_rtl_rtl :
   ?jobs:int ->
   ?timeout:float ->
   ?budget:Dfv_sat.Solver.budget ->
+  ?progress:bool ->
   a:Dfv_rtl.Netlist.elaborated ->
   b:Dfv_rtl.Netlist.elaborated ->
   bound:int ->
@@ -75,4 +78,5 @@ val check_rtl_rtl :
     [Rtl_equivalent_to_bound].  A crashed worker yields [Error] — a
     crash must not silently weaken an equivalence claim.  Solver
     statistics are summed across workers; [wall_seconds] is the
-    parent's elapsed time. *)
+    parent's elapsed time.  [progress] (default false) renders a live
+    {!Progress} line per decided frame on a TTY stderr. *)

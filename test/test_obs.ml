@@ -292,6 +292,235 @@ let test_memsys_triage () =
     check_bool "bundle names the injected fault" true
       (contains ~needle:"injected fault" s)
 
+(* --- cross-process merge ---------------------------------------------- *)
+
+(* Merging a worker snapshot: counters sum, gauges take the max of both
+   value and high-water mark, histogram count/sum/buckets sum (the
+   bucket index recovered from each bucket's lo bound — including
+   bucket 0 and a large bucket), unknown names register on the fly. *)
+let test_metrics_merge () =
+  let c = Metrics.counter "t.merge.count" in
+  Metrics.add c 5;
+  let g = Metrics.gauge "t.merge.gauge" in
+  Metrics.set_gauge g 9;
+  Metrics.set_gauge g 3;
+  let h = Metrics.histogram "t.merge.hist" in
+  Metrics.observe h 0;
+  Metrics.observe h 5;
+  Metrics.observe h 1_000_000;
+  let worker =
+    Json.envelope ~schema:"dfv-metrics" ~version:1
+      [ ( "counters",
+          Json.Obj
+            [ ("t.merge.count", Json.Int 7); ("t.merge.fresh", Json.Int 2) ] );
+        ( "gauges",
+          Json.Obj
+            [ ( "t.merge.gauge",
+                Json.Obj [ ("value", Json.Int 4); ("max", Json.Int 11) ] ) ] );
+        ( "histograms",
+          Json.Obj
+            [ ( "t.merge.hist",
+                Json.Obj
+                  [ ("count", Json.Int 3);
+                    ("sum", Json.Int 1_000_006);
+                    ( "buckets",
+                      Json.List
+                        [ Json.Obj
+                            [ ("lo", Json.Int min_int);
+                              ("hi", Json.Int 0);
+                              ("count", Json.Int 1) ];
+                          Json.Obj
+                            [ ("lo", Json.Int 4);
+                              ("hi", Json.Int 7);
+                              ("count", Json.Int 1) ];
+                          Json.Obj
+                            [ ("lo", Json.Int 524_288);
+                              ("hi", Json.Int 1_048_575);
+                              ("count", Json.Int 1) ] ] ) ] ) ] ) ]
+  in
+  (match Metrics.merge worker with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merge failed: %s" e);
+  check_int "counters sum" 12 (Metrics.counter_value c);
+  check_int "unknown counter registers" 2
+    (Metrics.counter_value (Metrics.counter "t.merge.fresh"));
+  check_int "gauge value maxes" 4 (Metrics.gauge_value g);
+  check_int "gauge high-water maxes" 11 (Metrics.gauge_max g);
+  check_int "histogram count sums" 6 (Metrics.histogram_count h);
+  check_int "histogram sum sums" 2_000_011 (Metrics.histogram_sum h);
+  let buckets = Metrics.bucket_counts h in
+  check_int "bucket 0 (v <= 0) sums" 2 buckets.(0);
+  check_int "bucket of 5 sums" 2 buckets.(Metrics.bucket_of 5);
+  check_int "large bucket sums" 2 buckets.(Metrics.bucket_of 1_000_000)
+
+let test_metrics_merge_malformed () =
+  (match Metrics.merge (Json.Obj [ ("schema", Json.String "dfv-trace") ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "merge accepted a non-metrics envelope");
+  (* A malformed field is reported, but valid fields still merge. *)
+  let c = Metrics.counter "t.merge.partial" in
+  let before = Metrics.counter_value c in
+  let worker =
+    Json.envelope ~schema:"dfv-metrics" ~version:1
+      [ ( "counters",
+          Json.Obj
+            [ ("t.merge.bad", Json.String "nope");
+              ("t.merge.partial", Json.Int 3) ] ) ]
+  in
+  (match Metrics.merge worker with
+  | Error e ->
+    check_bool "error names the offender" true (contains ~needle:"bad" e)
+  | Ok () -> Alcotest.fail "merge accepted a string-valued counter");
+  check_int "valid sibling still merged" (before + 3) (Metrics.counter_value c)
+
+let test_metrics_strip_timing () =
+  check_bool "suffix _us is timing" true (Metrics.timing_metric "sat.solve_us");
+  check_bool "suffix _ns is timing" true (Metrics.timing_metric "x_ns");
+  check_bool "suffix _ms is timing" true (Metrics.timing_metric "x_ms");
+  check_bool "plain name is not" false (Metrics.timing_metric "sat.solves");
+  let snap =
+    Json.envelope ~schema:"dfv-metrics" ~version:1
+      [ ( "counters",
+          Json.Obj [ ("a.total", Json.Int 4); ("a.wait_us", Json.Int 9) ] );
+        ( "gauges",
+          Json.Obj
+            [ ( "a.depth",
+                Json.Obj [ ("value", Json.Int 1); ("max", Json.Int 6) ] ) ] );
+        ( "histograms",
+          Json.Obj
+            [ ("a.solve_us", Json.Obj [ ("count", Json.Int 2) ]);
+              ("a.size", Json.Obj [ ("count", Json.Int 2) ]) ] ) ]
+  in
+  check_string "timing dropped, gauges reduced to max"
+    "{\"schema\":\"dfv-metrics\",\"version\":1,\"counters\":{\"a.total\":4},\"gauges\":{\"a.depth\":{\"max\":6}},\"histograms\":{\"a.size\":{\"count\":2}}}"
+    (Json.to_string (Metrics.strip_timing snap))
+
+let test_coverage_merge () =
+  Coverage.clear ();
+  Coverage.enable ();
+  let g = Coverage.group "t.cg" in
+  let p =
+    Coverage.point g "val" ~at_least:2
+      [ Coverage.bin "lo" ~lo:0 ~hi:9; Coverage.bin "hi" ~lo:10 ~hi:19 ]
+  in
+  List.iter (Coverage.sample p) [ 5; 5; 12; 50 ];
+  let snap = Coverage.snapshot () in
+  Coverage.disable ();
+  (* Merge into an empty registry, twice: groups/points/bins rebuild
+     from the shipped descriptors (even while disabled — merging is
+     bookkeeping, not sampling) and hits sum. *)
+  Coverage.clear ();
+  (match Coverage.merge snap with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "first merge failed: %s" e);
+  (match Coverage.merge snap with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "second merge failed: %s" e);
+  let g = Coverage.group "t.cg" in
+  let p = List.hd (Coverage.points g) in
+  check_string "point survives the wire" "val" (Coverage.point_name p);
+  (match Coverage.bin_hits p with
+  | [ ("lo", Coverage.Count, 4); ("hi", Coverage.Count, 2) ] -> ()
+  | _ -> Alcotest.fail "expected summed bin hits [lo=4; hi=2]");
+  check_int "misses sum" 2 (Coverage.miss_count p);
+  check_int "samples sum" 8 (Coverage.samples p);
+  check_bool "at_least travels (4 and 2 hits >= 2)" true
+    (Coverage.point_coverage p = 1.0);
+  (* A shape mismatch (wrong bin count) is an error. *)
+  let bad =
+    Json.envelope ~schema:"dfv-coverage" ~version:1
+      [ ( "groups",
+          Json.List
+            [ Json.Obj
+                [ ("name", Json.String "t.cg");
+                  ( "points",
+                    Json.List
+                      [ Json.Obj
+                          [ ("name", Json.String "val");
+                            ("samples", Json.Int 0);
+                            ("at_least", Json.Int 2);
+                            ("illegal_hits", Json.Int 0);
+                            ("misses", Json.Int 0);
+                            ( "bins",
+                              Json.List
+                                [ Json.Obj
+                                    [ ("name", Json.String "lo");
+                                      ("kind", Json.String "count");
+                                      ("lo", Json.Int 0);
+                                      ("hi", Json.Int 9);
+                                      ("hits", Json.Int 1) ] ] ) ] ] ) ] ] ) ]
+  in
+  (match Coverage.merge bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "merge accepted a bin-count mismatch");
+  Coverage.clear ()
+
+(* Worker spans absorbed into the parent sink keep the worker's pid (a
+   separate Chrome process lane, with a process_name label), gain a
+   job tag, and the export's drop count accumulates. *)
+let test_trace_export_absorb () =
+  Trace.disable ();
+  check_bool "export while disabled is Null" true (Trace.export () = Json.Null);
+  check_bool "absorb while disabled is a no-op" true
+    (Trace.absorb (Json.Int 0) = Ok ());
+  Trace.enable ();
+  Trace.with_span ~cat:"t" "worker.op" (fun () -> ());
+  let forge pid dropped =
+    match Trace.export () with
+    | Json.Obj fs ->
+      Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match k with
+             | "pid" -> (k, Json.Int pid)
+             | "dropped" -> (k, Json.Int dropped)
+             | _ -> (k, v))
+           fs)
+    | _ -> Alcotest.fail "export is not an object"
+  in
+  let ex = forge 4242 3 in
+  Trace.enable () (* fresh parent sink *);
+  Trace.with_span "parent.op" (fun () -> ());
+  (match Trace.absorb ~job:7 ex with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "absorb failed: %s" e);
+  let j = Trace.to_json () in
+  let s = Json.to_string j in
+  check_bool "worker events keep their pid" true
+    (contains ~needle:"\"pid\":4242" s);
+  check_bool "worker lane labelled" true
+    (contains ~needle:"dfv worker 4242" s);
+  check_bool "events tagged with the job index" true
+    (contains ~needle:"\"job\":7" s);
+  check_bool "parent span kept" true (contains ~needle:"parent.op" s);
+  check_bool "worker span kept" true (contains ~needle:"worker.op" s);
+  check_bool "foreign drops accumulate" true
+    (Json.field "dropped" j = Some (Json.Int 3));
+  (match Trace.absorb (Json.Obj [ ("schema", Json.String "dfv-metrics") ]) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "absorb accepted a non-export payload");
+  (* The raw escape hatch: a bare JSON array, no envelope, drop count
+     carried as an instant. *)
+  (match Trace.raw_json () with
+  | Json.List evs ->
+    let raw = Json.to_string (Json.List evs) in
+    check_bool "no envelope keys" false (contains ~needle:"\"schema\"" raw);
+    check_bool "drop count travels as an instant" true
+      (contains ~needle:"trace.dropped" raw)
+  | _ -> Alcotest.fail "raw_json is not a bare list");
+  Trace.disable ()
+
+(* Ring overwrites surface in metrics, not just in the trace file. *)
+let test_trace_dropped_counter () =
+  let c = Metrics.counter "trace.dropped" in
+  let before = Metrics.counter_value c in
+  Trace.enable ~capacity:4 ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "ev%d" i)
+  done;
+  Trace.disable ();
+  check_int "overwrites counted" (before + 6) (Metrics.counter_value c)
+
 let suite =
   [ Alcotest.test_case "json escaping" `Quick test_json_escaping;
     Alcotest.test_case "json envelope" `Quick test_json_envelope;
@@ -316,4 +545,13 @@ let suite =
     Alcotest.test_case "coverage at_least threshold" `Quick
       test_coverage_at_least;
     Alcotest.test_case "triage bundle json" `Quick test_triage_bundle_json;
-    Alcotest.test_case "memsys triage bundle" `Quick test_memsys_triage ]
+    Alcotest.test_case "memsys triage bundle" `Quick test_memsys_triage;
+    Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+    Alcotest.test_case "metrics merge flags malformed fields" `Quick
+      test_metrics_merge_malformed;
+    Alcotest.test_case "strip_timing projects the deterministic core" `Quick
+      test_metrics_strip_timing;
+    Alcotest.test_case "coverage merge" `Quick test_coverage_merge;
+    Alcotest.test_case "trace export/absorb" `Quick test_trace_export_absorb;
+    Alcotest.test_case "ring overwrites hit trace.dropped" `Quick
+      test_trace_dropped_counter ]

@@ -414,6 +414,160 @@ let test_stop_interrupts_map () =
         Alcotest.failf "expected Interrupted, got %s" (Dfv_error.to_string e))
     out
 
+(* --- worker telemetry shipping ----------------------------------------- *)
+
+module Metrics = Dfv_obs.Metrics
+module Coverage = Dfv_obs.Coverage
+module Trace = Dfv_obs.Trace
+
+let telemetry_inputs = [ 0; 1; 2; 3; 4; 5 ]
+
+(* A job touching every telemetry kind: a counter, a histogram, a gauge
+   high-water mark, a covergroup sample, and a span. *)
+let telemetry_work x =
+  Metrics.add (Metrics.counter "t.par.count") (x + 1);
+  Metrics.observe (Metrics.histogram "t.par.size") (x * 3);
+  Metrics.set_gauge (Metrics.gauge "t.par.depth") (x + 1);
+  let g = Coverage.group "t.par.cg" in
+  let p =
+    Coverage.point g "val"
+      [ Coverage.bin "small" ~lo:0 ~hi:7; Coverage.bin "big" ~lo:8 ~hi:100 ]
+  in
+  Coverage.sample p (x * 3);
+  Trace.with_span ~cat:"t" "par.work" (fun () -> ());
+  x * 2
+
+let pooled_telemetry jobs =
+  Metrics.reset ();
+  Coverage.clear ();
+  Coverage.enable ();
+  Trace.enable ();
+  let out =
+    Pool.map ~jobs ~encode:encode_int ~decode:decode_int telemetry_work
+      telemetry_inputs
+  in
+  let m = Metrics.strip_timing (Metrics.snapshot ()) in
+  let c = Coverage.snapshot () in
+  let spans =
+    List.length
+      (List.filter (fun (n, _, _, _) -> n = "par.work") (Trace.events ()))
+  in
+  Trace.disable ();
+  Coverage.disable ();
+  (List.map ok out, Json.to_string m, Json.to_string c, spans)
+
+(* The tentpole property: a sharded run's merged telemetry equals the
+   jobs=1 run's byte for byte (timing fields projected away), and both
+   equal an in-process sequential run of the same work. *)
+let test_pool_telemetry_parity () =
+  let out1, m1, c1, spans1 = pooled_telemetry 1 in
+  let out4, m4, c4, spans4 = pooled_telemetry 4 in
+  Alcotest.(check (list int)) "verdicts invariant under jobs" out1 out4;
+  Alcotest.(check string) "merged metrics snapshots byte-identical" m1 m4;
+  Alcotest.(check string) "merged coverage snapshots byte-identical" c1 c4;
+  Alcotest.(check int) "every worker span absorbed (jobs=1)" 6 spans1;
+  Alcotest.(check int) "every worker span absorbed (jobs=4)" 6 spans4;
+  let pooled_count = Metrics.counter_value (Metrics.counter "t.par.count") in
+  let pooled_hist =
+    Metrics.histogram_count (Metrics.histogram "t.par.size")
+  in
+  let pooled_gmax = Metrics.gauge_max (Metrics.gauge "t.par.depth") in
+  let pooled_shipped =
+    Metrics.counter_value (Metrics.counter "pool.telemetry.shipped")
+  in
+  Alcotest.(check int)
+    "one telemetry record per job" (List.length telemetry_inputs)
+    pooled_shipped;
+  (* In-process sequential reference. *)
+  Metrics.reset ();
+  Coverage.clear ();
+  Coverage.enable ();
+  List.iter (fun x -> ignore (telemetry_work x)) telemetry_inputs;
+  Coverage.disable ();
+  Alcotest.(check int)
+    "merged counter equals sequential"
+    (Metrics.counter_value (Metrics.counter "t.par.count"))
+    pooled_count;
+  Alcotest.(check int)
+    "merged histogram count equals sequential"
+    (Metrics.histogram_count (Metrics.histogram "t.par.size"))
+    pooled_hist;
+  Alcotest.(check int)
+    "merged gauge high-water equals sequential"
+    (Metrics.gauge_max (Metrics.gauge "t.par.depth"))
+    pooled_gmax;
+  Coverage.clear ()
+
+(* A retried job's telemetry is merged exactly once: only the final
+   (delivered) attempt's record counts; the killed attempt never ships. *)
+let test_telemetry_retry_no_double_count () =
+  let marker = Filename.temp_file "dfv_telem" ".marker" in
+  Sys.remove marker;
+  Metrics.reset ();
+  let out =
+    Pool.map ~jobs:2 ~encode:encode_int ~decode:decode_int
+      (fun x ->
+        Metrics.incr (Metrics.counter "t.par.attempt");
+        if x = 1 && not (Sys.file_exists marker) then begin
+          close_out (open_out marker);
+          Unix.kill (Unix.getpid ()) Sys.sigkill
+        end;
+        x)
+      [ 0; 1; 2 ]
+  in
+  if Sys.file_exists marker then Sys.remove marker;
+  Alcotest.(check (list int)) "crash healed" [ 0; 1; 2 ] (List.map ok out);
+  Alcotest.(check int)
+    "each job merged exactly once despite the retry" 3
+    (Metrics.counter_value (Metrics.counter "t.par.attempt"));
+  Alcotest.(check int)
+    "only delivered attempts shipped" 3
+    (Metrics.counter_value (Metrics.counter "pool.telemetry.shipped"))
+
+(* Journal-resumed campaigns: replayed mutants never fork, so they ship
+   nothing and merged totals are not double-counted across the resume. *)
+let test_telemetry_journal_resume_no_double_count () =
+  let path = Filename.temp_file "dfv_tj" ".journal" in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let campaign () =
+    let slm, rtl, spec = alu_pair () in
+    let pair = Dfv_core.Pair.create ~name:"alu" ~slm ~rtl ~spec in
+    let j =
+      match Journal.open_ ~path ~campaign:"telemetry-resume" with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "journal: %s" e
+    in
+    Fun.protect ~finally:(fun () -> Journal.close j) @@ fun () ->
+    Dfv_fault.Campaign.run ~seed:0 ~jobs:2 ~pool:true ~max_rtl_faults:4
+      ~max_slm_faults:2 ~journal:j
+      (Dfv_fault.Campaign.Sec_pair pair)
+  in
+  Metrics.reset ();
+  let r1 = campaign () in
+  let shipped = Metrics.counter "pool.telemetry.shipped" in
+  Alcotest.(check bool)
+    "first run ships worker telemetry" true
+    (Metrics.counter_value shipped > 0);
+  Metrics.reset ();
+  let r2 = campaign () in
+  Alcotest.(check int)
+    "resumed run ships nothing (all mutants replayed)" 0
+    (Metrics.counter_value shipped);
+  Alcotest.(check int)
+    "no solver work re-done on resume" 0
+    (Metrics.counter_value (Metrics.counter "sat.solves"));
+  let verdicts r =
+    List.map
+      (fun m ->
+        ( m.Dfv_fault.Campaign.m_name,
+          Dfv_fault.Campaign.verdict_label m.Dfv_fault.Campaign.verdict ))
+      r.Dfv_fault.Campaign.r_results
+  in
+  Alcotest.(check (list (pair string string)))
+    "replayed verdicts identical" (verdicts r1) (verdicts r2)
+
 let suite =
   [ Alcotest.test_case "map preserves input order" `Quick test_map_order;
     Alcotest.test_case "map verdicts invariant under jobs" `Quick
@@ -451,4 +605,10 @@ let suite =
     Alcotest.test_case "transient worker crash healed by retry" `Quick
       test_retry_heals_transient_crash;
     Alcotest.test_case "request_stop interrupts a map" `Quick
-      test_stop_interrupts_map ]
+      test_stop_interrupts_map;
+    Alcotest.test_case "sharded telemetry merges to the sequential run"
+      `Quick test_pool_telemetry_parity;
+    Alcotest.test_case "retried job telemetry merged exactly once" `Quick
+      test_telemetry_retry_no_double_count;
+    Alcotest.test_case "journal resume ships no duplicate telemetry" `Quick
+      test_telemetry_journal_resume_no_double_count ]
