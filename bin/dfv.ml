@@ -10,10 +10,14 @@
      dfv triage <design>          reproduce a failure as a triage bundle
      dfv validate <file>...       check artifacts parse + carry the envelope
 
-   faultsim runs its mutants in forked workers (--jobs, default = core
+   faultsim runs its mutants in pooled workers (--jobs, default = core
    count, except on 1-core hosts where the default falls back to the
    in-process path; --timeout bounds each mutant's wall clock); sec
-   --jobs N races solving strategies in a portfolio.  Both commands
+   --jobs N races solving strategies in a portfolio.  --exec-mode
+   fork|domains|auto picks the executor backing either pool: forked
+   processes (crash isolation, timeouts), in-process work-stealing
+   domains (fastest on short jobs), or adaptive dispatch between the
+   two — verdicts are byte-identical across modes.  Both commands
    take --journal FILE (durable write-ahead journal of verdicts) and
    --resume FILE (replay a journal and run only what is missing);
    faultsim also takes --deadline S (graceful degradation: shrink
@@ -425,6 +429,29 @@ let timeout_term =
   in
   Term.(term_result (const check $ t))
 
+(* --exec-mode: which executor backs the worker pool.  The term yields
+   [None] when the flag was absent (the command then defaults to [`Auto]
+   once it decides to pool at all) so an explicit --exec-mode can also
+   force the pooled path where the resting default would have chosen the
+   plain in-process one. *)
+let exec_mode_term =
+  let mode_conv =
+    Arg.enum [ ("fork", `Fork); ("domains", `Domains); ("auto", `Auto) ]
+  in
+  Arg.(
+    value
+    & opt (some mode_conv) None
+    & info [ "exec-mode" ] ~docv:"MODE"
+        ~doc:
+          "Executor backing the worker pool: $(b,fork) runs each job in a \
+           forked process (crash isolation, --timeout support), \
+           $(b,domains) runs jobs on in-process work-stealing domains (no \
+           fork or pipe overhead — fastest on short jobs — but no crash \
+           isolation and incompatible with --timeout), $(b,auto) routes \
+           short jobs to domains and keeps fork for long or \
+           timeout-bearing workloads.  Verdicts are byte-identical across \
+           modes.  Default: auto.")
+
 let reason_string = function
   | Dfv_sat.Solver.Conflict_limit -> "conflict budget exhausted"
   | Dfv_sat.Solver.Time_limit -> "time budget exhausted"
@@ -459,7 +486,7 @@ let sec_cmd =
      the check runs as a strategy portfolio: solving variants race in \
      forked workers and the first conclusive verdict cancels the rest."
   in
-  let run budget stats jobs journal progress obs design bug =
+  let run budget stats jobs exec journal progress obs design bug =
     with_obs obs @@ fun () ->
     with_interrupt @@ fun () ->
     (wrap (fun pair ->
@@ -493,15 +520,18 @@ let sec_cmd =
             finish stats;
             exit_unknown
         in
-        (* A journal or --progress implies the portfolio path (that is
-           where verdicts are journaled/reported), even without --jobs. *)
-        if jobs = None && journal = None && not progress then
+        (* A journal, --progress or an explicit --exec-mode implies the
+           portfolio path (that is where verdicts are journaled/reported
+           and where the executor choice matters), even without --jobs. *)
+        if jobs = None && exec = None && journal = None && not progress then
           report (Flow.sec ?budget pair)
         else
           let jobs = Option.value jobs ~default:1 in
+          let exec = Option.value exec ~default:`Auto in
           match
-            Dfv_par.Portfolio.check_slm_rtl ~jobs ?budget ?journal ~progress
-              ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl ~spec:pair.Pair.spec ()
+            Dfv_par.Portfolio.check_slm_rtl ~jobs ~exec ?budget ?journal
+              ~progress ~slm:pair.Pair.slm ~rtl:pair.Pair.rtl
+              ~spec:pair.Pair.spec ()
           with
           | Ok v -> report v
           | Error e ->
@@ -515,8 +545,8 @@ let sec_cmd =
   in
   Cmd.v (Cmd.info "sec" ~doc ~exits)
     Term.(
-      const run $ budget_term $ stats_arg $ jobs_term $ journal_term
-      $ progress_arg $ obs_term $ design_arg $ bug_arg)
+      const run $ budget_term $ stats_arg $ jobs_term $ exec_mode_term
+      $ journal_term $ progress_arg $ obs_term $ design_arg $ bug_arg)
 
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
@@ -629,25 +659,38 @@ let faultsim_cmd =
           ~doc:"Write the machine-readable detection report to $(docv).")
   in
   let run budget designs seed max_faults max_slm_faults sim_vectors engine
-      jobs timeout deadline journal_path json progress obs =
+      jobs exec timeout deadline journal_path json progress obs =
     with_obs obs @@ fun () ->
     with_interrupt @@ fun () ->
+    (match (exec, timeout) with
+    | Some `Domains, Some _ ->
+      Printf.eprintf
+        "error: --exec-mode domains is incompatible with --timeout \
+         (in-process domains cannot be killed mid-job); use --exec-mode \
+         fork or drop --timeout\n";
+      exit exit_error
+    | _ -> ());
     match
       Dfv_error.guard (fun () ->
           let designs =
             match designs with [] -> Dfv_fault.Suite.names | ds -> ds
           in
-          (* Explicit --jobs (any N) forces the fork pool; the absent
-             default is the core count, except on a 1-core host with no
-             --timeout, where forking per mutant only adds overhead and
-             the in-process path is behaviourally identical. *)
+          (* Explicit --jobs (any N) forces the pool; the absent default
+             is the core count, except on a 1-core host with no --timeout
+             and no explicit --exec-mode, where pooling per mutant only
+             adds overhead and the in-process path is behaviourally
+             identical.  An explicit --exec-mode forces the pooled path
+             so the executor choice takes effect. *)
           let jobs, pool =
             match jobs with
             | Some n -> (n, Some true)
             | None ->
               let n = Dfv_par.Pool.cores () in
-              if n = 1 && timeout = None then (1, Some false) else (n, None)
+              if n = 1 && timeout = None && exec = None then (1, Some false)
+              else if exec = None then (n, None)
+              else (n, Some true)
           in
+          let exec = Option.value exec ~default:`Auto in
           let journal =
             match journal_path with
             | None -> None
@@ -670,8 +713,8 @@ let faultsim_cmd =
           | _ -> ());
           let reports =
             Dfv_fault.Suite.run ?budget ~seed ~sim_vectors ?engine ~jobs
-              ?timeout ?deadline ?journal ?pool ~max_rtl_faults:max_faults
-              ~max_slm_faults ~progress ~designs ()
+              ?timeout ?deadline ?journal ?pool ~exec
+              ~max_rtl_faults:max_faults ~max_slm_faults ~progress ~designs ()
           in
           if Dfv_par.Pool.stop_requested () then begin
             (match journal_path with
@@ -726,8 +769,8 @@ let faultsim_cmd =
     Term.(
       const run $ budget_term $ designs_arg $ seed_arg $ max_faults_arg
       $ max_slm_faults_arg $ sim_vectors_arg $ engine_term $ jobs_term
-      $ timeout_term $ deadline_term $ journal_term $ json_arg
-      $ progress_arg $ obs_term)
+      $ exec_mode_term $ timeout_term $ deadline_term $ journal_term
+      $ json_arg $ progress_arg $ obs_term)
 
 let validate_cmd =
   let doc =
@@ -812,6 +855,38 @@ let validate_cmd =
                     [ "counters"; "gauges"; "histograms" ]
                 in
                 if missing = [] then Ok "" else Error (List.hd missing)
+              | "dfv-bench" -> (
+                (* par_speedup now records one row per executor; the CI
+                   gate reads mode/cores out of those rows, so their
+                   shape is part of the artifact contract. *)
+                match Dfv_obs.Json.field "experiment" v with
+                | Some (Dfv_obs.Json.String "par_speedup") -> (
+                  match Dfv_obs.Json.field "modes" v with
+                  | Some (Dfv_obs.Json.List rows) ->
+                    let row_ok row =
+                      (match Dfv_obs.Json.field "mode" row with
+                      | Some (Dfv_obs.Json.String _) -> true
+                      | _ -> false)
+                      && (match Dfv_obs.Json.field "cores" row with
+                         | Some (Dfv_obs.Json.Int _) -> true
+                         | _ -> false)
+                      && (match Dfv_obs.Json.field "speedup" row with
+                         | Some (Dfv_obs.Json.Float _ | Dfv_obs.Json.Int _) ->
+                           true
+                         | _ -> false)
+                    in
+                    if rows = [] then Error "modes is empty"
+                    else if List.for_all row_ok rows then
+                      Ok
+                        (Printf.sprintf " (%d executor rows)"
+                           (List.length rows))
+                    else
+                      Error
+                        "modes rows need string mode, int cores, numeric \
+                         speedup"
+                  | Some _ -> Error "modes is not an array"
+                  | None -> Error "par_speedup is missing modes")
+                | _ -> Ok "")
               | _ -> Ok ""
             in
             match shape with

@@ -181,8 +181,9 @@ let progress_category r =
   | v -> verdict_label v
 
 let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
-    ?timeout ?deadline_at ?journal ?pool ?(max_rtl_faults = 16)
-    ?(max_slm_faults = 8) ?(extra_mutants = []) ?(progress = false) subject =
+    ?timeout ?deadline_at ?journal ?pool ?(exec = (`Fork : Pool.exec_mode))
+    ?(max_rtl_faults = 16) ?(max_slm_faults = 8) ?(extra_mutants = [])
+    ?(progress = false) subject =
   let t_start = Unix.gettimeofday () in
   let subject_name =
     match subject with
@@ -356,9 +357,14 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
     }
   in
   let indexed = List.mapi (fun i m -> (i, m)) mutants in
+  let use_pool =
+    match pool with Some b -> b | None -> jobs > 1 || timeout <> None
+  in
   let reporter =
     if progress then
-      Dfv_par.Progress.create ?deadline_at ~label:("faultsim " ^ subject_name)
+      Dfv_par.Progress.create ?deadline_at
+        ~mode:(if use_pool then Pool.exec_mode_to_string exec else "seq")
+        ~label:("faultsim " ^ subject_name)
         ~total:(List.length mutants) ()
     else None
   in
@@ -459,7 +465,7 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
              | e -> Crashed e))
     in
     let outcomes =
-      Pool.map ~jobs:(max 1 jobs) ?timeout
+      Dfv_par.Dpool.map_auto ~exec ~jobs:(max 1 jobs) ?timeout
         ~label:(fun k ->
           if k < Array.length missing_arr then mutant_name (snd missing_arr.(k))
           else string_of_int k)
@@ -488,9 +494,6 @@ let run ?budget ?(sim_vectors = 400) ?(seed = 0) ?engine ?(jobs = 1)
       (fun (i, _) r -> Hashtbl.replace by_index i r)
       missing missing_results;
     List.map (fun (i, _) -> Hashtbl.find by_index i) indexed
-  in
-  let use_pool =
-    match pool with Some b -> b | None -> jobs > 1 || timeout <> None
   in
   let results =
     Dfv_obs.Trace.with_span ~cat:"fault"

@@ -91,6 +91,7 @@ val run :
   ?deadline_at:float ->
   ?journal:Dfv_par.Journal.t ->
   ?pool:bool ->
+  ?exec:Dfv_par.Pool.exec_mode ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?extra_mutants:mutant list ->
@@ -108,9 +109,14 @@ val run :
     ({!Dfv_par.Pool.map}) with identical verdicts, and [pool] overrides
     that rule in either direction (the CLI forces [pool:true] for an
     explicit [--jobs], and [pool:false] on 1-core hosts where forking
-    only adds overhead).  [timeout] is the per-mutant wall-clock budget
-    in seconds: an expired mutant is killed and recorded as [Unknown]
-    (budget-like), while a worker that dies is recorded as [Crashed].
+    only adds overhead).  [exec] (default [`Fork]) selects the pooled
+    executor — the fork pool, the in-process domains executor, or
+    adaptive dispatch between them (see {!Dfv_par.Dpool.map_auto};
+    verdicts are byte-identical either way, and [`Domains] with a
+    [timeout] is an error).  [timeout] is the per-mutant wall-clock
+    budget in seconds: an expired mutant is killed and recorded as
+    [Unknown] (budget-like), while a worker that dies is recorded as
+    [Crashed].
 
     [journal] makes the campaign durable: each completed mutant verdict
     is appended (fsync'd) as it lands, keyed by a structural mutant

@@ -21,6 +21,7 @@ val run :
   ?deadline:float ->
   ?journal:Dfv_par.Journal.t ->
   ?pool:bool ->
+  ?exec:Dfv_par.Pool.exec_mode ->
   ?max_rtl_faults:int ->
   ?max_slm_faults:int ->
   ?progress:bool ->
@@ -29,11 +30,13 @@ val run :
   Campaign.report list
 (** Run the campaigns ([designs] defaults to all of {!names}; raises
     [Failure] on an unknown name).  [jobs]/[timeout]/[pool] select the
-    forked per-mutant worker pool inside each campaign, [journal]
-    makes every campaign durable/resumable, [deadline] (seconds,
-    one budget across the whole suite) arms the degradation sentinel,
-    and [progress] renders a live per-campaign progress line on a TTY
-    stderr — see {!Campaign.run}. *)
+    per-mutant worker pool inside each campaign and [exec] (default
+    [`Fork]) which executor backs it (fork processes, in-process
+    domains, or adaptive dispatch — see {!Dfv_par.Dpool.map_auto});
+    [journal] makes every campaign durable/resumable, [deadline]
+    (seconds, one budget across the whole suite) arms the degradation
+    sentinel, and [progress] renders a live per-campaign progress line
+    on a TTY stderr — see {!Campaign.run}. *)
 
 val campaign_key :
   budget:Dfv_sat.Solver.budget option ->
@@ -46,9 +49,10 @@ val campaign_key :
   string
 (** The canonical configuration key to open a suite journal under
     ({!Dfv_par.Journal.open_} fingerprints it): exactly the knobs that
-    can change verdicts.  [jobs]/[timeout]/[deadline] are excluded on
-    purpose — a campaign may be resumed at a different parallelism or
-    under different pressure without invalidating its journal. *)
+    can change verdicts.  [jobs]/[timeout]/[deadline]/[exec] are
+    excluded on purpose — a campaign may be resumed at a different
+    parallelism, on a different executor, or under different pressure
+    without invalidating its journal. *)
 
 val default_min_rate : float
 (** 0.95. *)

@@ -28,7 +28,10 @@ let truthy g (w : Word.w) = Word.reduce_or g w
 
 (* --- symbolic expression evaluation ----------------------------------- *)
 
-let elab_depth = ref 0
+(* Call-depth guard state is domain-local so concurrent elaborations on
+   {!Dfv_par.Dpool} worker domains track their own recursion depth. *)
+let elab_depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let elab_depth () = Domain.DLS.get elab_depth_key
 
 let rec eval (env : env) (e : expr) : Word.w * bool =
   let g = env.g in
@@ -265,9 +268,10 @@ and exec_branches env cond then_ else_ =
       fail "inconsistent return shapes across branches")
 
 and elab_func g prog (fn : func) (argv : shape list) : shape =
-  incr elab_depth;
-  if !elab_depth > 64 then begin
-    elab_depth := 0;
+  let depth = elab_depth () in
+  incr depth;
+  if !depth > 64 then begin
+    depth := 0;
     fail "call depth exceeded (recursion in %s?)" fn.fname
   end;
   let env =
@@ -306,7 +310,7 @@ and elab_func g prog (fn : func) (argv : shape list) : shape =
       | Tarray (Tarray _, _) -> fail "%s: nested array local" fn.fname)
     fn.locals;
   List.iter (exec env) fn.body;
-  decr elab_depth;
+  decr depth;
   match env.retval with
   | Some v -> v
   | None -> fail "%s: no path returns a value" fn.fname
@@ -315,7 +319,7 @@ let apply_func prog ~g fname args =
   match find_func prog fname with
   | None -> fail "function %s not found" fname
   | Some fn ->
-    elab_depth := 0;
+    elab_depth () := 0;
     elab_func g prog fn args
 
 let apply prog ~g args = apply_func prog ~g prog.entry args
@@ -324,7 +328,7 @@ let elaborate prog ~g =
   match find_func prog prog.entry with
   | None -> fail "entry function %s not found" prog.entry
   | Some fn ->
-    elab_depth := 0;
+    elab_depth () := 0;
     let params =
       List.map
         (fun (name, ty) ->

@@ -14,8 +14,37 @@ type point = {
 
 type group = { grp_name : string; mutable grp_points : point list (* rev *) }
 
-let registry : (string, group) Hashtbl.t = Hashtbl.create 8
-let registry_order : group list ref = ref []
+(* Registries keep insertion order so snapshots are stable. *)
+type registry_t = {
+  tbl : (string, group) Hashtbl.t;
+  mutable order : group list; (* rev *)
+}
+
+let fresh_registry () = { tbl = Hashtbl.create 8; order = [] }
+let registry = fresh_registry ()
+
+(* Cold-path guard: worker domains may find-or-create groups by name
+   while the main domain snapshots.  Points and samples only touch the
+   group/point records the caller already holds — under domain
+   isolation those live in the domain's own shadow, so the hot sampling
+   path needs no lock. *)
+let registry_lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+(* Domain-local shadow registries, mirroring {!Metrics}: a {!Dfv_par.Dpool}
+   worker domain resolves covergroups into its own private registry so
+   each job's coverage is a clean delta, merged back on the coordinating
+   domain through {!merge}. *)
+let shadows_active = Atomic.make 0
+
+let shadow_key : registry_t option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let shadow () =
+  if Atomic.get shadows_active = 0 then None else Domain.DLS.get shadow_key
 
 let on = ref false
 let enable () = on := true
@@ -26,14 +55,19 @@ let bin ?(kind = Count) name ~lo ~hi =
   if hi < lo then invalid_arg "Coverage.bin: hi < lo";
   { b_name = name; b_lo = lo; b_hi = hi; b_kind = kind }
 
-let group name =
-  match Hashtbl.find_opt registry name with
+let group_in r name =
+  match Hashtbl.find_opt r.tbl name with
   | Some g -> g
   | None ->
     let g = { grp_name = name; grp_points = [] } in
-    Hashtbl.add registry name g;
-    registry_order := g :: !registry_order;
+    Hashtbl.add r.tbl name g;
+    r.order <- g :: r.order;
     g
+
+let group name =
+  match shadow () with
+  | Some r -> group_in r name
+  | None -> with_lock (fun () -> group_in registry name)
 
 let point g name ?(at_least = 1) bins =
   match List.find_opt (fun p -> p.pt_name = name) g.grp_points with
@@ -110,7 +144,7 @@ let group_coverage g =
 let group_name g = g.grp_name
 let points g = List.rev g.grp_points
 let point_name p = p.pt_name
-let groups () = List.rev !registry_order
+let groups () = List.rev registry.order
 
 let reset () =
   Hashtbl.iter
@@ -122,11 +156,11 @@ let reset () =
           p.pt_misses <- 0;
           p.pt_samples <- 0)
         g.grp_points)
-    registry
+    registry.tbl
 
 let clear () =
-  Hashtbl.reset registry;
-  registry_order := []
+  Hashtbl.reset registry.tbl;
+  registry.order <- []
 
 let kind_string = function
   | Count -> "count"
@@ -166,9 +200,32 @@ let group_json g =
       ("coverage", Json.Float (group_coverage g));
       ("points", Json.List (List.map point_json (points g))) ]
 
-let snapshot () =
+let snapshot_of r =
   Json.envelope ~schema:"dfv-coverage" ~version:1
-    [ ("groups", Json.List (List.map group_json (groups ()))) ]
+    [ ("groups", Json.List (List.map group_json (List.rev r.order))) ]
+
+let snapshot () = snapshot_of registry
+
+(* --- domain-local isolation (the in-process worker protocol) ----------- *)
+
+let isolate_domain () =
+  (match Domain.DLS.get shadow_key with
+  | Some _ -> invalid_arg "Coverage.isolate_domain: already isolated"
+  | None -> ());
+  Domain.DLS.set shadow_key (Some (fresh_registry ()));
+  Atomic.incr shadows_active
+
+let domain_snapshot () =
+  match Domain.DLS.get shadow_key with
+  | Some r -> snapshot_of r
+  | None -> invalid_arg "Coverage.domain_snapshot: not isolated"
+
+let release_domain () =
+  match Domain.DLS.get shadow_key with
+  | Some _ ->
+    Domain.DLS.set shadow_key None;
+    Atomic.decr shadows_active
+  | None -> ()
 
 (* -- cross-process merge ---------------------------------------------- *)
 

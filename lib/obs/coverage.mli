@@ -76,3 +76,22 @@ val merge : Json.t -> (unit, string) result
     sampling, and never re-emits illegal-hit trace instants.  Errors
     name the first malformed or shape-mismatched point; well-formed
     points are still merged. *)
+
+(** {2 Domain-local isolation}
+
+    Mirrors {!Metrics}: a {!Dfv_par.Dpool} worker domain calls
+    {!isolate_domain} at job start, after which {!group} resolves into
+    a private shadow registry, so the job's covergroups are a clean
+    delta ready for {!merge} on the coordinating domain. *)
+
+val isolate_domain : unit -> unit
+(** Install a fresh shadow registry on the calling domain.  Raises
+    [Invalid_argument] if one is already installed. *)
+
+val domain_snapshot : unit -> Json.t
+(** The calling domain's shadow registry as a [dfv-coverage] snapshot.
+    Raises [Invalid_argument] when not isolated. *)
+
+val release_domain : unit -> unit
+(** Uninstall the calling domain's shadow registry (a no-op when none
+    is installed). *)

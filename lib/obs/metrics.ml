@@ -1,44 +1,202 @@
-type counter = { c_name : string; mutable c : int }
-type gauge = { g_name : string; mutable g : int; mutable g_max : int }
+(* A handle's [id] is its slot in the global registry's id space
+   (assigned under the lock at creation); shadow-born handles carry -1
+   and are already domain-local.  The id turns the shadow hot path into
+   an array access instead of a per-operation string hash. *)
+type counter = { c_name : string; c_id : int; mutable c : int }
+
+type gauge = {
+  g_name : string;
+  g_id : int;
+  mutable g : int;
+  mutable g_max : int;
+}
 
 let nbuckets = 63
 
 type histogram = {
   h_name : string;
+  h_id : int;
   buckets : int array; (* length nbuckets *)
   mutable h_count : int;
   mutable h_sum : int;
 }
 
-(* Registries keep insertion order so snapshots are stable. *)
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
-let order : [ `C of counter | `G of gauge | `H of histogram ] list ref = ref []
+(* Registries keep insertion order so snapshots are stable.  The
+   [*_slots] arrays are the id-indexed fast lanes a shadow registry uses
+   to find (or lazily create) its domain-local counterpart of a global
+   handle; the global registry leaves them empty. *)
+type registry = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+  mutable order : [ `C of counter | `G of gauge | `H of histogram ] list;
+  mutable c_slots : counter option array;
+  mutable g_slots : gauge option array;
+  mutable h_slots : histogram option array;
+}
 
-let counter name =
-  match Hashtbl.find_opt counters name with
+let fresh_registry () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 16;
+    histograms = Hashtbl.create 16;
+    order = [];
+    c_slots = [||];
+    g_slots = [||];
+    h_slots = [||];
+  }
+
+let global = fresh_registry ()
+
+(* Registration is a cold path but may race when worker domains create
+   handles by name while the main domain snapshots; a mutex keeps the
+   global tables consistent.  Hot-path operations never take it. *)
+let registry_lock = Mutex.create ()
+
+(* Global id allocators, bumped under [registry_lock]. *)
+let c_ids = ref 0
+let g_ids = ref 0
+let h_ids = ref 0
+
+(* Domain-local shadow registries: while a {!Dpool} worker domain runs
+   a job it records into its own private registry (installed via
+   {!isolate_domain}), so the hot paths stay free of cross-domain data
+   races and each job's telemetry is a clean delta — the in-process
+   analogue of the fork executor's reset-then-ship protocol.  The
+   [shadows_active] fast path keeps the cost on runs with no domain
+   workers to one atomic load and a branch. *)
+let shadows_active = Atomic.make 0
+
+let shadow_key : registry option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let shadow () =
+  if Atomic.get shadows_active = 0 then None else Domain.DLS.get shadow_key
+
+(* [id] is consumed only on actual creation (a thunk, so global id
+   allocation happens exactly once per name). *)
+let no_id () = -1
+
+let take ids () =
+  let i = !ids in
+  ids := i + 1;
+  i
+
+let counter_in ~id r name =
+  match Hashtbl.find_opt r.counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; c = 0 } in
-    Hashtbl.add counters name c;
-    order := `C c :: !order;
+    let c = { c_name = name; c_id = id (); c = 0 } in
+    Hashtbl.add r.counters name c;
+    r.order <- `C c :: r.order;
     c
 
-let incr c = c.c <- c.c + 1
-let add c n = c.c <- c.c + n
+let gauge_in ~id r name =
+  match Hashtbl.find_opt r.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_id = id (); g = 0; g_max = 0 } in
+    Hashtbl.add r.gauges name g;
+    r.order <- `G g :: r.order;
+    g
+
+let histogram_in ~id r name =
+  match Hashtbl.find_opt r.histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      {
+        h_name = name;
+        h_id = id ();
+        buckets = Array.make nbuckets 0;
+        h_count = 0;
+        h_sum = 0;
+      }
+    in
+    Hashtbl.add r.histograms name h;
+    r.order <- `H h :: r.order;
+    h
+
+(* Slot lookup: the shadow's counterpart of a global handle, created on
+   first touch (and entered into tbl/order so snapshots see it).  A
+   shadow-born handle (id -1) is already this domain's record. *)
+let grow slots i =
+  let n = max 16 (max (i + 1) (2 * Array.length slots)) in
+  let a = Array.make n None in
+  Array.blit slots 0 a 0 (Array.length slots);
+  a
+
+let slot_counter r (c : counter) =
+  let i = c.c_id in
+  if i < 0 then c
+  else begin
+    if i >= Array.length r.c_slots then r.c_slots <- grow r.c_slots i;
+    match r.c_slots.(i) with
+    | Some c' -> c'
+    | None ->
+      let c' = counter_in ~id:(fun () -> i) r c.c_name in
+      r.c_slots.(i) <- Some c';
+      c'
+  end
+
+let slot_gauge r (g : gauge) =
+  let i = g.g_id in
+  if i < 0 then g
+  else begin
+    if i >= Array.length r.g_slots then r.g_slots <- grow r.g_slots i;
+    match r.g_slots.(i) with
+    | Some g' -> g'
+    | None ->
+      let g' = gauge_in ~id:(fun () -> i) r g.g_name in
+      r.g_slots.(i) <- Some g';
+      g'
+  end
+
+let slot_histogram r (h : histogram) =
+  let i = h.h_id in
+  if i < 0 then h
+  else begin
+    if i >= Array.length r.h_slots then r.h_slots <- grow r.h_slots i;
+    match r.h_slots.(i) with
+    | Some h' -> h'
+    | None ->
+      let h' = histogram_in ~id:(fun () -> i) r h.h_name in
+      r.h_slots.(i) <- Some h';
+      h'
+  end
+
+let with_lock f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
+
+let counter name =
+  match shadow () with
+  | Some r -> counter_in ~id:no_id r name
+  | None -> with_lock (fun () -> counter_in ~id:(take c_ids) global name)
+
+let incr c =
+  match shadow () with
+  | Some r ->
+    let c = slot_counter r c in
+    c.c <- c.c + 1
+  | None -> c.c <- c.c + 1
+
+let add c n =
+  match shadow () with
+  | Some r ->
+    let c = slot_counter r c in
+    c.c <- c.c + n
+  | None -> c.c <- c.c + n
+
 let counter_value c = c.c
 
 let gauge name =
-  match Hashtbl.find_opt gauges name with
-  | Some g -> g
-  | None ->
-    let g = { g_name = name; g = 0; g_max = 0 } in
-    Hashtbl.add gauges name g;
-    order := `G g :: !order;
-    g
+  match shadow () with
+  | Some r -> gauge_in ~id:no_id r name
+  | None -> with_lock (fun () -> gauge_in ~id:(take g_ids) global name)
 
 let set_gauge g v =
+  let g = match shadow () with Some r -> slot_gauge r g | None -> g in
   g.g <- v;
   if v > g.g_max then g.g_max <- v
 
@@ -46,15 +204,9 @@ let gauge_value g = g.g
 let gauge_max g = g.g_max
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      { h_name = name; buckets = Array.make nbuckets 0; h_count = 0; h_sum = 0 }
-    in
-    Hashtbl.add histograms name h;
-    order := `H h :: !order;
-    h
+  match shadow () with
+  | Some r -> histogram_in ~id:no_id r name
+  | None -> with_lock (fun () -> histogram_in ~id:(take h_ids) global name)
 
 let bucket_of v =
   if v <= 0 then 0
@@ -74,6 +226,7 @@ let bucket_bounds i =
   else (1 lsl (i - 1), (1 lsl i) - 1)
 
 let observe h v =
+  let h = match shadow () with Some r -> slot_histogram r h | None -> h in
   let b = h.buckets in
   let i = bucket_of v in
   b.(i) <- b.(i) + 1;
@@ -85,18 +238,18 @@ let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c <- 0) counters;
+  Hashtbl.iter (fun _ c -> c.c <- 0) global.counters;
   Hashtbl.iter
     (fun _ g ->
       g.g <- 0;
       g.g_max <- 0)
-    gauges;
+    global.gauges;
   Hashtbl.iter
     (fun _ h ->
       Array.fill h.buckets 0 nbuckets 0;
       h.h_count <- 0;
       h.h_sum <- 0)
-    histograms
+    global.histograms
 
 (* Duration-valued metrics (wall-clock microseconds and friends) are
    non-deterministic across runs; everything else in a snapshot is a
@@ -195,7 +348,7 @@ let strip_timing j =
          fields)
   | _ -> j
 
-let snapshot () =
+let snapshot_of r =
   let cs = ref [] and gs = ref [] and hs = ref [] in
   List.iter
     (function
@@ -225,8 +378,31 @@ let snapshot () =
                 ("sum", Json.Int h.h_sum);
                 ("buckets", Json.List !buckets) ] )
           :: !hs)
-    !order;
+    r.order;
   Json.envelope ~schema:"dfv-metrics" ~version:1
     [ ("counters", Json.Obj !cs);
       ("gauges", Json.Obj !gs);
       ("histograms", Json.Obj !hs) ]
+
+let snapshot () = snapshot_of global
+
+(* --- domain-local isolation (the in-process worker protocol) ----------- *)
+
+let isolate_domain () =
+  (match Domain.DLS.get shadow_key with
+  | Some _ -> invalid_arg "Metrics.isolate_domain: already isolated"
+  | None -> ());
+  Domain.DLS.set shadow_key (Some (fresh_registry ()));
+  Atomic.incr shadows_active
+
+let domain_snapshot () =
+  match Domain.DLS.get shadow_key with
+  | Some r -> snapshot_of r
+  | None -> invalid_arg "Metrics.domain_snapshot: not isolated"
+
+let release_domain () =
+  match Domain.DLS.get shadow_key with
+  | Some _ ->
+    Domain.DLS.set shadow_key None;
+    Atomic.decr shadows_active
+  | None -> ()

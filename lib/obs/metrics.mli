@@ -45,6 +45,33 @@ val histogram_sum : histogram -> int
 val reset : unit -> unit
 (** Zero every registered value (registrations survive). *)
 
+(** {2 Domain-local isolation}
+
+    The in-process analogue of the fork executor's reset-then-ship
+    telemetry protocol (see {!Dfv_par.Pool}): a worker {e domain} calls
+    {!isolate_domain} at job start, after which every metric operation
+    on that domain — including operations through handles created
+    before isolation — records into a private, initially-empty shadow
+    registry instead of the process-wide one.  {!domain_snapshot} then
+    renders exactly the job's delta in the ordinary [dfv-metrics] wire
+    form, ready for {!merge} on the coordinating domain, and
+    {!release_domain} uninstalls the shadow.  Registries are never
+    shared across domains, so the hot paths stay race-free without
+    per-operation locking; when no domain is isolated the extra cost is
+    one atomic load and a branch. *)
+
+val isolate_domain : unit -> unit
+(** Install a fresh shadow registry on the calling domain.  Raises
+    [Invalid_argument] if one is already installed. *)
+
+val domain_snapshot : unit -> Json.t
+(** The calling domain's shadow registry as a [dfv-metrics] snapshot.
+    Raises [Invalid_argument] when not isolated. *)
+
+val release_domain : unit -> unit
+(** Uninstall the calling domain's shadow registry (a no-op when none
+    is installed); subsequent operations hit the global registry. *)
+
 val snapshot : unit -> Json.t
 (** All registered metrics under the common envelope
     [{"schema":"dfv-metrics","version":1,...}]; histogram buckets are

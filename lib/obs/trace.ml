@@ -27,6 +27,24 @@ type sink = {
 
 let current : sink option ref = ref None
 
+(* Domain-local shadow sinks, mirroring {!Metrics}: a worker domain
+   records spans into its own private ring (installed per job via
+   {!isolate_domain}) so the main sink's ring and depth counters are
+   never touched cross-domain.  The shadow is exported in the same
+   [dfv-trace-export] wire form the fork executor ships, with the
+   domain id standing in for the worker pid. *)
+let shadows_active = Atomic.make 0
+
+let shadow_key : sink option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let shadow () =
+  if Atomic.get shadows_active = 0 then None else Domain.DLS.get shadow_key
+
+(* The sink recording ops target: the domain's shadow when isolated,
+   the process-wide sink otherwise. *)
+let active () = match shadow () with Some _ as s -> s | None -> !current
+
 (* Registered eagerly so a truncated trace is detectable from the
    metrics artifact alone, even when the count is zero. *)
 let dropped_counter = Metrics.counter "trace.dropped"
@@ -40,25 +58,25 @@ let now_us s =
   s.last <- t;
   t
 
+let make_sink ~capacity ~pid =
+  {
+    ring = Array.make capacity dummy_ev;
+    pushed = 0;
+    depth = 0;
+    max_depth = 0;
+    t0 = Unix.gettimeofday ();
+    last = 0.0;
+    pid;
+    foreign_dropped = 0;
+    procs = [ (pid, "dfv") ];
+  }
+
 let enable ?(capacity = 65536) () =
   if capacity < 1 then invalid_arg "Trace.enable: capacity must be >= 1";
-  let pid = Unix.getpid () in
-  current :=
-    Some
-      {
-        ring = Array.make capacity dummy_ev;
-        pushed = 0;
-        depth = 0;
-        max_depth = 0;
-        t0 = Unix.gettimeofday ();
-        last = 0.0;
-        pid;
-        foreign_dropped = 0;
-        procs = [ (pid, "dfv") ];
-      }
+  current := Some (make_sink ~capacity ~pid:(Unix.getpid ()))
 
 let disable () = current := None
-let enabled () = !current <> None
+let enabled () = active () <> None
 
 let push s e =
   if s.pushed >= Array.length s.ring then Metrics.incr dropped_counter;
@@ -80,7 +98,7 @@ type span =
 let null_span = Null_span
 
 let begin_span ?(cat = "dfv") ?(args = []) name =
-  match !current with
+  match active () with
   | None -> Null_span
   | Some s ->
     let d = s.depth in
@@ -107,7 +125,7 @@ let end_span span =
       (* Only record into the sink the span was begun under: a span that
          straddles a disable/enable would otherwise write nonsense
          timestamps into the new sink. *)
-      if (match !current with Some c -> c == s | None -> false) then begin
+      if (match active () with Some c -> c == s | None -> false) then begin
         s.depth <- max 0 (s.depth - 1);
         push s
           {
@@ -124,14 +142,14 @@ let end_span span =
     end
 
 let with_span ?cat ?args name f =
-  match !current with
+  match active () with
   | None -> f ()
   | Some _ ->
     let sp = begin_span ?cat ?args name in
     Fun.protect ~finally:(fun () -> end_span sp) f
 
 let instant ?(cat = "dfv") ?(args = []) name =
-  match !current with
+  match active () with
   | None -> ()
   | Some s ->
     push s
@@ -146,8 +164,8 @@ let instant ?(cat = "dfv") ?(args = []) name =
         ev_args = args;
       }
 
-let depth () = match !current with Some s -> s.depth | None -> 0
-let max_depth () = match !current with Some s -> s.max_depth | None -> 0
+let depth () = match active () with Some s -> s.depth | None -> 0
+let max_depth () = match active () with Some s -> s.max_depth | None -> 0
 
 let stored s = min s.pushed (Array.length s.ring)
 
@@ -261,16 +279,49 @@ let wire_of_ev e =
   | [] -> Json.Obj base
   | args -> Json.Obj (base @ [ ("args", Json.Obj args) ])
 
+let export_of s =
+  Json.envelope ~schema:"dfv-trace-export" ~version:1
+    [ ("pid", Json.Int s.pid);
+      ("t0_us", Json.Float (s.t0 *. 1e6));
+      ("dropped", Json.Int (local_dropped s + s.foreign_dropped));
+      ("max_depth", Json.Int s.max_depth);
+      ("events", Json.List (List.map wire_of_ev (ordered s))) ]
+
 let export () =
+  match !current with None -> Json.Null | Some s -> export_of s
+
+(* --- domain-local isolation -------------------------------------------- *)
+
+(* A shadow is installed only when the process sink is live: with
+   tracing off there is nothing to merge into, and the worker's spans
+   stay the usual one-branch no-ops.  The shadow's [pid] field carries
+   the worker's domain id — {!absorb} turns it into a per-domain lane
+   exactly as it gives forked workers per-pid lanes. *)
+let isolate_domain () =
+  (match Domain.DLS.get shadow_key with
+  | Some _ -> invalid_arg "Trace.isolate_domain: already isolated"
+  | None -> ());
   match !current with
+  | None -> ()
+  | Some main ->
+    Domain.DLS.set shadow_key
+      (Some
+         (make_sink
+            ~capacity:(Array.length main.ring)
+            ~pid:(Domain.self () :> int)));
+    Atomic.incr shadows_active
+
+let domain_export () =
+  match Domain.DLS.get shadow_key with
   | None -> Json.Null
-  | Some s ->
-    Json.envelope ~schema:"dfv-trace-export" ~version:1
-      [ ("pid", Json.Int s.pid);
-        ("t0_us", Json.Float (s.t0 *. 1e6));
-        ("dropped", Json.Int (local_dropped s + s.foreign_dropped));
-        ("max_depth", Json.Int s.max_depth);
-        ("events", Json.List (List.map wire_of_ev (ordered s))) ]
+  | Some s -> export_of s
+
+let release_domain () =
+  match Domain.DLS.get shadow_key with
+  | Some _ ->
+    Domain.DLS.set shadow_key None;
+    Atomic.decr shadows_active
+  | None -> ()
 
 let ev_of_wire ~pid ~job ~offset_us j =
   let str name = match Json.field name j with
@@ -306,7 +357,7 @@ let ev_of_wire ~pid ~job ~offset_us j =
       }
   | _ -> None
 
-let absorb ?job j =
+let absorb ?label ?job j =
   match !current with
   | None -> Ok () (* parent is not tracing; nothing to merge into *)
   | Some s -> (
@@ -332,8 +383,14 @@ let absorb ?job j =
         (match Json.field "max_depth" j with
         | Some (Json.Int d) -> if d > s.max_depth then s.max_depth <- d
         | _ -> ());
-        if not (List.mem_assoc pid s.procs) then
-          s.procs <- (pid, Printf.sprintf "dfv worker %d" pid) :: s.procs;
+        if not (List.mem_assoc pid s.procs) then begin
+          let lane =
+            match label with
+            | Some l -> l
+            | None -> Printf.sprintf "dfv worker %d" pid
+          in
+          s.procs <- (pid, lane) :: s.procs
+        end;
         let bad = ref 0 in
         List.iter
           (fun w ->

@@ -74,13 +74,39 @@ val export : unit -> Json.t
     re-base timestamps), the drop count, and every event with its
     sink-relative timestamps.  [Json.Null] when disabled. *)
 
-val absorb : ?job:int -> Json.t -> (unit, string) result
+val absorb : ?label:string -> ?job:int -> Json.t -> (unit, string) result
 (** Parent side: merge an {!export}ed buffer into the current sink.
     Timestamps are re-based from the worker's epoch onto this sink's,
-    events keep the worker's pid (rendering as a separate process lane)
-    and are tagged with [args.job] when [job] is given; the export's
-    drop count accumulates into this sink's reported [dropped].  A
-    no-op [Ok ()] when tracing is disabled here. *)
+    events keep the worker's pid (rendering as a separate process lane,
+    named [label] when given — e.g. ["dfv domain 3"] — else
+    ["dfv worker <pid>"]) and are tagged with [args.job] when [job] is
+    given; the export's drop count accumulates into this sink's
+    reported [dropped].  A no-op [Ok ()] when tracing is disabled
+    here. *)
+
+(** {2 Domain-local isolation}
+
+    The in-process analogue of {!export}/{!absorb} for
+    {!Dfv_par.Dpool} worker domains: {!isolate_domain} installs a
+    private shadow sink on the calling domain (only when process-wide
+    tracing is enabled — otherwise spans stay no-ops), after which the
+    domain's spans record into its own ring, tagged with the domain id
+    in place of a worker pid.  {!domain_export} renders the shadow in
+    the same [dfv-trace-export] wire form, ready for {!absorb} on the
+    coordinating domain, and {!release_domain} uninstalls it. *)
+
+val isolate_domain : unit -> unit
+(** Install a fresh shadow sink on the calling domain (no-op when
+    tracing is disabled).  Raises [Invalid_argument] if the domain is
+    already isolated. *)
+
+val domain_export : unit -> Json.t
+(** The calling domain's shadow sink as a [dfv-trace-export] payload;
+    [Json.Null] when the domain is not isolated. *)
+
+val release_domain : unit -> unit
+(** Uninstall the calling domain's shadow sink (a no-op when none is
+    installed). *)
 
 val write_file : ?raw:bool -> string -> unit
 (** Write {!to_json} (or {!raw_json} when [raw]) to [path]. *)

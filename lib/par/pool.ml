@@ -8,16 +8,35 @@ let cores () = max 1 (Domain.recommended_domain_count ())
 
 (* --- cooperative interruption ------------------------------------------ *)
 
-(* One process-wide flag, set from the CLI's SIGINT/SIGTERM handlers
-   (signal handlers run at safe points in the same domain, so a plain
-   ref suffices).  The pool polls it each scheduling round: on stop it
-   kills every live worker, records nothing further, and returns with
-   the unfinished outcomes marked [Interrupted] — the caller flushes
-   its journal and exits resumable. *)
-let stop_flag = ref false
-let request_stop () = stop_flag := true
-let stop_requested () = !stop_flag
-let reset_stop () = stop_flag := false
+(* One process-wide flag, set from the CLI's SIGINT/SIGTERM handlers.
+   Atomic, not a plain ref, so {!Dpool} worker domains observe a stop
+   promptly.  The executors poll it each scheduling round: on stop the
+   fork pool kills every live worker (domains finish their in-flight
+   job, then stand down), nothing further is recorded, and unfinished
+   outcomes surface as [Interrupted] — the caller flushes its journal
+   and exits resumable. *)
+let stop_flag = Atomic.make false
+let request_stop () = Atomic.set stop_flag true
+let stop_requested () = Atomic.get stop_flag
+let reset_stop () = Atomic.set stop_flag false
+
+(* --- executor selection ------------------------------------------------ *)
+
+(* The mode type lives here (not in {!Dpool}) so both executors and
+   every caller can name it without a dependency cycle; the adaptive
+   dispatch logic itself lives in {!Dpool}, which can see both. *)
+type exec_mode = [ `Fork | `Domains | `Auto ]
+
+let exec_mode_to_string = function
+  | `Fork -> "fork"
+  | `Domains -> "domains"
+  | `Auto -> "auto"
+
+let exec_mode_of_string = function
+  | "fork" -> Some `Fork
+  | "domains" -> Some `Domains
+  | "auto" -> Some `Auto
+  | _ -> None
 
 (* --- transient-failure retry ------------------------------------------- *)
 
@@ -172,7 +191,7 @@ let stale_factor = 20.0
    telemetry dies with its worker record, so replays never double-count.
    Merge failures are observable (pool.telemetry.errors) but never fail
    the job — a campaign's verdicts must not depend on bookkeeping. *)
-let merge_telemetry ~job v =
+let merge_telemetry ?label ~job v =
   let saw_error = ref false in
   let note = function
     | Ok () -> ()
@@ -183,7 +202,7 @@ let merge_telemetry ~job v =
   | None -> ());
   (match Json.field "trace" v with
   | Some Json.Null | None -> ()
-  | Some t -> note (Trace.absorb ~job t));
+  | Some t -> note (Trace.absorb ?label ~job t));
   (match Json.field "coverage" v with
   | Some c -> note (Coverage.merge c)
   | None -> ());

@@ -68,6 +68,25 @@ val request_stop : unit -> unit
 val stop_requested : unit -> bool
 val reset_stop : unit -> unit
 
+type exec_mode = [ `Fork | `Domains | `Auto ]
+(** Which executor runs a parallel workload: this fork pool ([`Fork],
+    crash isolation and preemptive timeouts), the in-process
+    {!Dpool} ([`Domains], no fork or pipe cost — wins on short jobs),
+    or adaptive selection ([`Auto], see {!Dpool.choose_exec}).  The
+    type lives here so callers can name it without depending on the
+    domains executor. *)
+
+val exec_mode_to_string : exec_mode -> string
+val exec_mode_of_string : string -> exec_mode option
+
+val merge_telemetry : ?label:string -> job:int -> Dfv_obs.Json.t -> unit
+(** Merge one worker's shipped telemetry payload (the
+    [{"metrics";"trace";"coverage"}] object both executors produce)
+    into the process-wide sinks, counting [pool.telemetry.shipped] and
+    [pool.telemetry.errors].  [label] names the worker's trace lane
+    (default ["dfv worker <pid>"]).  Exposed for {!Dpool}; merge
+    failures are observable but never raise. *)
+
 type retry = {
   attempts : int;  (** extra attempts per job after the first failure *)
   backoff : float;  (** base delay in seconds before the first retry *)

@@ -257,8 +257,8 @@ let slm_wire_category = function
   | Ok (W_unknown _) -> "unknown"
   | Error _ -> "failed"
 
-let check_slm_rtl ?jobs ?timeout ?budget ?journal ?(progress = false) ~slm
-    ~rtl ~spec () =
+let check_slm_rtl ?jobs ?timeout ?budget ?journal ?(progress = false)
+    ?(exec = (`Fork : Pool.exec_mode)) ~slm ~rtl ~spec () =
   Dfv_obs.Trace.with_span ~cat:"par" "par.check_slm_rtl" @@ fun () ->
   let strategies = [ ("sweep", true); ("direct", false) ] in
   let run (_, sweep) =
@@ -348,7 +348,7 @@ let check_slm_rtl ?jobs ?timeout ?budget ?journal ?(progress = false) ~slm
           | _ -> ()
         in
         let r =
-          Pool.race ?jobs ?timeout
+          Dpool.race_auto ~exec ?jobs ?timeout
             ~label:(fun i -> "sec:" ^ fst missing_arr.(i))
             ~on_result ~encode:slm_wire_to_json ~decode:slm_wire_of_json
             ~conclusive:slm_conclusive run missing
@@ -571,7 +571,8 @@ let frame_wire_category = function
   | Ok (F_unknown _) -> "unknown"
   | Error _ -> "failed"
 
-let check_rtl_rtl ?jobs ?timeout ?budget ?(progress = false) ~a ~b ~bound () =
+let check_rtl_rtl ?jobs ?timeout ?budget ?(progress = false)
+    ?(exec = (`Fork : Pool.exec_mode)) ~a ~b ~bound () =
   Dfv_obs.Trace.with_span ~cat:"par" "par.check_rtl_rtl" @@ fun () ->
   if bound < 1 then
     Error (Dfv_error.Spec_violation "bound must be >= 1")
@@ -587,8 +588,11 @@ let check_rtl_rtl ?jobs ?timeout ?budget ?(progress = false) ~a ~b ~bound () =
       | Some p -> Progress.step p (frame_wire_category outcome)
       | None -> ()
     in
+    (* Shallow frame miters are short jobs (the fork tax dominates);
+       deep unrollings earn fork isolation under [`Auto]. *)
+    let hint = if bound <= 8 then Some `Short else None in
     let r =
-      Pool.race ?jobs ?timeout
+      Dpool.race_auto ~exec ?hint ?jobs ?timeout
         ~label:(Printf.sprintf "bmc:frame%d")
         ~on_result ~encode:frame_wire_to_json ~decode:frame_wire_of_json
         ~conclusive:(function F_sat _ -> true | _ -> false)

@@ -36,6 +36,7 @@ val check_slm_rtl :
   ?budget:Dfv_sat.Solver.budget ->
   ?journal:string ->
   ?progress:bool ->
+  ?exec:Pool.exec_mode ->
   slm:Dfv_hwir.Ast.program ->
   rtl:Dfv_rtl.Netlist.elaborated ->
   spec:Dfv_sec.Spec.t ->
@@ -58,13 +59,16 @@ val check_slm_rtl :
     are not re-run.  If {!Pool.request_stop} fires before any verdict,
     the result is [Error (Interrupted _)] so the CLI can exit with the
     resumable code.  [progress] (default false) renders a live
-    {!Progress} line per finished strategy on a TTY stderr. *)
+    {!Progress} line per finished strategy on a TTY stderr.  [exec]
+    (default [`Fork]) selects the racing executor — see
+    {!Dpool.race_auto}; [`Domains] with a [timeout] is an error. *)
 
 val check_rtl_rtl :
   ?jobs:int ->
   ?timeout:float ->
   ?budget:Dfv_sat.Solver.budget ->
   ?progress:bool ->
+  ?exec:Pool.exec_mode ->
   a:Dfv_rtl.Netlist.elaborated ->
   b:Dfv_rtl.Netlist.elaborated ->
   bound:int ->
@@ -79,4 +83,7 @@ val check_rtl_rtl :
     crash must not silently weaken an equivalence claim.  Solver
     statistics are summed across workers; [wall_seconds] is the
     parent's elapsed time.  [progress] (default false) renders a live
-    {!Progress} line per decided frame on a TTY stderr. *)
+    {!Progress} line per decided frame on a TTY stderr.  [exec]
+    (default [`Fork]) selects the sharding executor; under [`Auto] a
+    shallow [bound] (<= 8) hints the frames short and prefers domains
+    — see {!Dpool.race_auto}. *)

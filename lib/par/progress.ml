@@ -3,6 +3,7 @@ module Metrics = Dfv_obs.Metrics
 type t = {
   total : int;
   label : string;
+  mode : string option; (* active exec mode, shown after the label *)
   deadline_at : float option;
   t_start : float;
   mutable done_ : int;
@@ -15,7 +16,7 @@ type t = {
 
 let retry_counter = Metrics.counter "pool.retry.attempts"
 
-let create ?(force = false) ?deadline_at ~label ~total () =
+let create ?(force = false) ?mode ?deadline_at ~label ~total () =
   if total <= 0 then None
   else if not (force || Unix.isatty Unix.stderr) then None
   else
@@ -23,6 +24,7 @@ let create ?(force = false) ?deadline_at ~label ~total () =
       {
         total;
         label;
+        mode;
         deadline_at;
         t_start = Unix.gettimeofday ();
         done_ = 0;
@@ -45,12 +47,16 @@ let render t ~final =
   if final || now -. t.last_render >= 0.1 then begin
     t.last_render <- now;
     let elapsed = now -. t.t_start in
+    (* Zero-elapsed (first render lands within clock resolution) and
+       zero-done both yield no meaningful rate; show 0.0/s and "ETA --"
+       rather than dividing into inf/nan or a billion-hour ETA. *)
     let rate = if elapsed > 0.0 then float_of_int t.done_ /. elapsed else 0.0 in
     let eta =
-      if t.done_ = 0 || t.done_ >= t.total then ""
+      if t.done_ >= t.total then ""
+      else if t.done_ = 0 || rate <= 0.0 then " ETA --"
       else
         Printf.sprintf " ETA %s"
-          (fmt_eta (float_of_int (t.total - t.done_) /. Float.max rate 1e-9))
+          (fmt_eta (float_of_int (t.total - t.done_) /. rate))
     in
     let deadline =
       match t.deadline_at with
@@ -67,9 +73,12 @@ let render t ~final =
     in
     let retries = Metrics.counter_value retry_counter - t.retry0 in
     let retries = if retries > 0 then Printf.sprintf " retry:%d" retries else "" in
+    let mode =
+      match t.mode with Some m -> Printf.sprintf " [%s]" m | None -> ""
+    in
     let body =
-      Printf.sprintf "\r%s %d/%d (%.0f%%) %.1f/s%s%s%s%s" t.label t.done_
-        t.total
+      Printf.sprintf "\r%s%s %d/%d (%.0f%%) %.1f/s%s%s%s%s" t.label mode
+        t.done_ t.total
         (100.0 *. float_of_int t.done_ /. float_of_int t.total)
         rate eta deadline tallies retries
     in

@@ -15,12 +15,20 @@
 type t
 
 val create :
-  ?force:bool -> ?deadline_at:float -> label:string -> total:int -> unit ->
+  ?force:bool ->
+  ?mode:string ->
+  ?deadline_at:float ->
+  label:string ->
+  total:int ->
+  unit ->
   t option
 (** [None] when [total <= 0] or stderr is not a TTY (unless [force]).
-    [deadline_at] is the campaign's absolute degradation deadline
-    (compare {!Dfv_fault.Campaign}) — when given, the remaining wall
-    clock to it is shown alongside the ETA. *)
+    [mode] names the active executor ("fork" / "domains" / "seq"),
+    shown bracketed after the label.  [deadline_at] is the campaign's
+    absolute degradation deadline (compare {!Dfv_fault.Campaign}) —
+    when given, the remaining wall clock to it is shown alongside the
+    ETA.  Before any item completes (or within clock resolution of the
+    start) the ETA renders as ["--"], never [inf]/[nan]. *)
 
 val step : t -> string -> unit
 (** Count one completed item under a category tag and redraw. *)

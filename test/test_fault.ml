@@ -328,6 +328,61 @@ let test_campaign_deadline_sheds () =
   check_bool "rate unaffected" true
     (Campaign.detection_rate [ r ] = 1.0)
 
+(* Journal resume on the domains executor: the same kill-mid-campaign
+   scenario as test_campaign_resume_byte_identical, with the pooled legs
+   running on in-process domains instead of forked workers.  Lives in a
+   separate suite registered after every fork-using test: OCaml 5
+   forbids Unix.fork once a process has spawned a domain, so this must
+   be among the last pool work in the test binary. *)
+let test_campaign_resume_on_domains () =
+  let subject () = Campaign.Sec_pair (alu_pair ()) in
+  let run ?journal () =
+    Campaign.run ?budget ~jobs:2 ~pool:true ~exec:`Domains ~max_rtl_faults:6
+      ~max_slm_faults:2 ?journal (subject ())
+  in
+  let reference = run () in
+  let path = Filename.temp_file "dfv_campaign_dom" ".jsonl" in
+  Sys.remove path;
+  let j =
+    match Journal.open_ ~path ~campaign:"resume-domains" with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "journal: %s" m
+  in
+  let full = run ~journal:j () in
+  Journal.close j;
+  check_bool "journaled domains run matches reference" true
+    (canon full = canon reference);
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let prefix =
+    match String.split_on_char '\n' contents with
+    | header :: records ->
+      String.concat "\n" (header :: List.filteri (fun i _ -> i < 3) records)
+      ^ "\n"
+    | [] -> Alcotest.fail "empty journal"
+  in
+  let oc = open_out_bin path in
+  output_string oc prefix;
+  close_out oc;
+  let j =
+    match Journal.open_ ~path ~campaign:"resume-domains" with
+    | Ok j -> j
+    | Error m -> Alcotest.failf "journal reopen: %s" m
+  in
+  check_int "prefix replayed" 3 (Journal.replayed j);
+  let resumed = run ~journal:j () in
+  Journal.close j;
+  Sys.remove path;
+  check_bool "resumed domains report byte-identical (timings aside)" true
+    (canon resumed = canon reference);
+  check_int "total preserved" reference.Campaign.r_total
+    resumed.Campaign.r_total
+
+let domains_suite =
+  [ Alcotest.test_case "domains campaign journal resume is byte-identical"
+      `Quick test_campaign_resume_on_domains ]
+
 let suite =
   [ Alcotest.test_case "enumerate rtl faults" `Quick test_enumerate_rtl;
     Alcotest.test_case "enumerate slm faults (reachable only)" `Quick

@@ -23,4 +23,8 @@ let () =
       ("par", Test_par.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
-      ("behsyn", Test_behsyn.suite) ]
+      ("behsyn", Test_behsyn.suite);
+      (* Last on purpose: campaigns on the domains executor may spawn
+         worker domains, and OCaml 5 forbids Unix.fork in any process
+         that ever did — every fork-pool test must already be done. *)
+      ("fault-domains", Test_fault.domains_suite) ]

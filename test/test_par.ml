@@ -568,6 +568,276 @@ let test_telemetry_journal_resume_no_double_count () =
   Alcotest.(check (list (pair string string)))
     "replayed verdicts identical" (verdicts r1) (verdicts r2)
 
+(* --- the domains executor ---------------------------------------------- *)
+
+(* ORDERING MATTERS in this file's suite: OCaml 5 forbids Unix.fork in a
+   process that has ever spawned a domain, so every fork-pool test (and
+   every fork leg inside a mixed test) must run before the first test
+   that touches Dpool's domains.  The suite list below keeps all
+   fork-only tests first, then the campaign fork-parity leg, then the
+   adaptive-dispatch test (fork legs internally first), and only then
+   the domains-only tests. *)
+
+module Dpool = Dfv_par.Dpool
+
+let test_dpool_map_order () =
+  let inputs = [ 5; 3; 9; 1; 7; 2 ] in
+  let out = Dpool.map ~jobs:3 (fun x -> x * x) inputs in
+  Alcotest.(check (list int))
+    "squares in input order"
+    (List.map (fun x -> x * x) inputs)
+    (List.map ok out)
+
+let test_dpool_jobs_invariant () =
+  let inputs = List.init 9 (fun i -> i) in
+  let run jobs = Dpool.map ~jobs (fun x -> (x * 31) + 7) inputs |> List.map ok in
+  Alcotest.(check (list int)) "jobs=1 equals jobs=4" (run 1) (run 4);
+  Alcotest.(check int) "map of nothing" 0 (List.length (Dpool.map (fun x -> x) []))
+
+(* A raising job stays an in-taxonomy error on its own slot; every other
+   job still completes — the in-process analogue of crash isolation for
+   the benign (exception) failure class. *)
+let test_dpool_raise_isolated () =
+  let out =
+    Dpool.map ~jobs:2 (fun x -> if x = 1 then failwith "boom" else x) [ 0; 1; 2 ]
+  in
+  match out with
+  | [ Ok 0; Error (Dfv_error.Internal m); Ok 2 ] ->
+    Alcotest.(check string) "message survives" "boom" m
+  | _ -> Alcotest.fail "expected [Ok 0; Error Internal; Ok 2]"
+
+(* After request_stop, no queued job runs and every unfinished slot is
+   Interrupted — same contract as the fork pool's map. *)
+let test_dpool_stop_interrupts () =
+  Fun.protect ~finally:Pool.reset_stop @@ fun () ->
+  Pool.request_stop ();
+  let out = Dpool.map ~jobs:2 (fun x -> x * 10) [ 0; 1; 2 ] in
+  List.iter
+    (function
+      | Error (Dfv_error.Interrupted _ as e) ->
+        Alcotest.(check int) "resumable exit code" 4 (Dfv_error.exit_code e)
+      | Ok _ -> Alcotest.fail "no job may run after request_stop"
+      | Error e ->
+        Alcotest.failf "expected Interrupted, got %s" (Dfv_error.to_string e))
+    out
+
+(* Race: the lowest-index conclusive result wins, and cancellation stops
+   the remaining queue — jobs not yet started never run (they cannot be
+   killed mid-flight like fork workers, so in-flight stragglers may
+   finish, but their outcomes are discarded). *)
+let test_dpool_race_wins_and_cancels () =
+  let ran = Atomic.make 0 in
+  let n = 64 in
+  let r =
+    Dpool.race ~jobs:4
+      ~conclusive:(fun v -> v >= 0)
+      (fun x ->
+        Atomic.incr ran;
+        if x = 0 then 100
+        else begin
+          (* losers are slow enough for the coordinator to wake and
+             flip the cancel flag before the queue drains *)
+          Unix.sleepf 0.002;
+          -1
+        end)
+      (List.init n (fun i -> i))
+  in
+  (match r.Pool.winner with
+  | Some (0, 100) -> ()
+  | _ -> Alcotest.fail "expected job 0 to win with 100");
+  Alcotest.(check bool)
+    "cancellation pruned the queue" true
+    (Atomic.get ran < n);
+  (* a discarded straggler never surfaces as a recorded loss after the
+     winner: every non-winning outcome is either unrecorded or a result
+     delivered before the win *)
+  Array.iteri
+    (fun i o ->
+      match o with
+      | None -> ()
+      | Some (Ok v) ->
+        if i = 0 then Alcotest.(check int) "winner recorded" 100 v
+      | Some (Error e) ->
+        Alcotest.failf "unexpected error outcome: %s" (Dfv_error.to_string e))
+    r.Pool.outcomes
+
+(* Domains telemetry: merged worker-domain sinks equal an in-process
+   sequential run of the same work — same property the fork pool's
+   test_pool_telemetry_parity establishes, on the other executor.  The
+   sequential reference runs in this test (it never forks), so the test
+   is safe after the fork door has closed. *)
+let dpool_telemetry jobs =
+  Metrics.reset ();
+  Coverage.clear ();
+  Coverage.enable ();
+  Trace.enable ();
+  let out = Dpool.map ~jobs telemetry_work telemetry_inputs in
+  let c = Coverage.snapshot () in
+  let spans =
+    List.length
+      (List.filter (fun (n, _, _, _) -> n = "par.work") (Trace.events ()))
+  in
+  Trace.disable ();
+  Coverage.disable ();
+  let totals =
+    ( Metrics.counter_value (Metrics.counter "t.par.count"),
+      Metrics.histogram_count (Metrics.histogram "t.par.size"),
+      Metrics.gauge_max (Metrics.gauge "t.par.depth") )
+  in
+  (List.map ok out, totals, Json.to_string c, spans)
+
+let test_dpool_telemetry_parity () =
+  let out1, totals1, c1, spans1 = dpool_telemetry 1 in
+  let shipped1 =
+    Metrics.counter_value (Metrics.counter "pool.telemetry.shipped")
+  in
+  let out4, totals4, c4, spans4 = dpool_telemetry 4 in
+  Alcotest.(check (list int)) "verdicts invariant under jobs" out1 out4;
+  Alcotest.(check string) "merged coverage byte-identical" c1 c4;
+  Alcotest.(check int) "every domain span absorbed (jobs=1)" 6 spans1;
+  Alcotest.(check int) "every domain span absorbed (jobs=4)" 6 spans4;
+  Alcotest.(check int)
+    "one telemetry record per job" (List.length telemetry_inputs) shipped1;
+  (* In-process sequential reference: merged totals must coincide. *)
+  Metrics.reset ();
+  Coverage.clear ();
+  Coverage.enable ();
+  List.iter (fun x -> ignore (telemetry_work x)) telemetry_inputs;
+  Coverage.disable ();
+  let totals_seq =
+    ( Metrics.counter_value (Metrics.counter "t.par.count"),
+      Metrics.histogram_count (Metrics.histogram "t.par.size"),
+      Metrics.gauge_max (Metrics.gauge "t.par.depth") )
+  in
+  let pp3 (a, b, c) = Printf.sprintf "(%d,%d,%d)" a b c in
+  Alcotest.(check string)
+    "merged totals equal sequential (jobs=1)" (pp3 totals_seq) (pp3 totals1);
+  Alcotest.(check string)
+    "merged totals equal sequential (jobs=4)" (pp3 totals_seq) (pp3 totals4);
+  Coverage.clear ()
+
+(* --- cross-executor verdict determinism -------------------------------- *)
+
+(* The acceptance bar for the whole executor: a fault campaign's verdict
+   transcript is byte-identical across sequential, fork and domains at
+   any job count — seeds derive from (campaign seed, mutant index), never
+   from the executor. *)
+let campaign_transcript ?pool ?exec ~jobs () =
+  let slm, rtl, spec = alu_pair () in
+  let pair = Dfv_core.Pair.create ~name:"alu" ~slm ~rtl ~spec in
+  let r =
+    Dfv_fault.Campaign.run ~seed:0 ~jobs ?pool ?exec ~max_rtl_faults:4
+      ~max_slm_faults:2
+      (Dfv_fault.Campaign.Sec_pair pair)
+  in
+  List.map
+    (fun (m : Dfv_fault.Campaign.mutant_result) ->
+      Printf.sprintf "%s[%s@%s]=%s" m.Dfv_fault.Campaign.m_name
+        m.Dfv_fault.Campaign.m_class m.Dfv_fault.Campaign.m_site
+        (Dfv_fault.Campaign.verdict_label m.Dfv_fault.Campaign.verdict))
+    r.Dfv_fault.Campaign.r_results
+  |> String.concat "\n"
+
+(* Fork legs — runs while the fork door is still open (before any
+   domains test). *)
+let test_cross_executor_fork_parity () =
+  let seq = campaign_transcript ~pool:false ~jobs:1 () in
+  Alcotest.(check bool) "transcript non-trivial" true (String.length seq > 0);
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fork at %d jobs equals sequential" jobs)
+        seq
+        (campaign_transcript ~pool:true ~exec:`Fork ~jobs ()))
+    [ 2; 4 ]
+
+(* Domains legs — recomputes the sequential reference itself (running
+   sequentially never forks), so it stays valid after the door closes. *)
+let test_cross_executor_domains_parity () =
+  let seq = campaign_transcript ~pool:false ~jobs:1 () in
+  List.iter
+    (fun (name, exec, jobs) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s at %d jobs equals sequential" name jobs)
+        seq
+        (campaign_transcript ~pool:true ~exec ~jobs ()))
+    [ ("domains", `Domains, 1); ("domains", `Domains, 2);
+      ("domains", `Domains, 4); ("auto", `Auto, 3) ]
+
+(* --- adaptive dispatch -------------------------------------------------- *)
+
+let exec_counters () =
+  ( Metrics.counter_value (Metrics.counter "pool.exec.fork"),
+    Metrics.counter_value (Metrics.counter "pool.exec.domains") )
+
+(* `Auto resolves to exactly one executor per call (counted only under
+   `Auto so explicit-mode runs keep byte-identical telemetry), and a
+   cost hint decides without probing.  Fork legs run first inside the
+   test: on a multicore host the domains legs spawn worker domains and
+   close the fork door for the process. *)
+let test_map_auto_dispatch () =
+  let inputs = [ 1; 2; 3; 4 ] in
+  let expected = List.map (fun x -> x * 2) inputs in
+  let run ?hint exec =
+    Dpool.map_auto ?hint ~exec ~encode:encode_int ~decode:decode_int
+      (fun x -> x * 2)
+      inputs
+    |> List.map ok
+  in
+  Alcotest.(check bool)
+    "fork door still open at test start" true (Dpool.fork_available ());
+  (* fork legs *)
+  let f0, d0 = exec_counters () in
+  Alcotest.(check (list int)) "long hint verdicts" expected (run ~hint:`Long `Auto);
+  let f1, _ = exec_counters () in
+  Alcotest.(check int) "long hint routed to fork" (f0 + 1) f1;
+  Alcotest.(check (list int)) "explicit fork verdicts" expected (run `Fork);
+  let f2, d2 = exec_counters () in
+  Alcotest.(check int) "explicit fork uncounted" f1 f2;
+  Alcotest.(check int) "no domains so far" d0 d2;
+  (* domains legs *)
+  Alcotest.(check (list int)) "auto verdicts" expected (run `Auto);
+  let f3, d3 = exec_counters () in
+  Alcotest.(check int) "auto resolved to exactly one executor" 1
+    (f3 - f2 + (d3 - d2));
+  Alcotest.(check (list int)) "short hint verdicts" expected (run ~hint:`Short `Auto);
+  let _, d4 = exec_counters () in
+  Alcotest.(check int) "short hint routed to domains" (d3 + 1) d4;
+  Alcotest.(check (list int)) "explicit domains verdicts" expected (run `Domains);
+  let f5, d5 = exec_counters () in
+  Alcotest.(check int) "explicit domains uncounted" d4 d5;
+  Alcotest.(check int) "no stray fork dispatch" f3 f5;
+  (* Whether the domains legs closed the fork door depends on the host:
+     a single-worker pool runs inline on the calling domain (no spawn),
+     so a 1-core host leaves the door open, while a multicore host
+     spawned real worker domains and slammed it.  Exercise whichever
+     side this host is on. *)
+  let f6, d6 = exec_counters () in
+  Alcotest.(check (list int))
+    "long hint after the domains legs" expected (run ~hint:`Long `Auto);
+  let f7, d7 = exec_counters () in
+  if Dpool.fork_available () then begin
+    (* inline single-worker pools never spawned a domain *)
+    Alcotest.(check int) "door open: long hint still buys fork" (f6 + 1) f7;
+    Alcotest.(check int) "door open: no stray domains" d6 d7
+  end
+  else begin
+    Alcotest.(check int) "sticky dispatch: no fork" f6 f7;
+    Alcotest.(check int) "sticky dispatch: domains" (d6 + 1) d7
+  end
+
+let test_domains_timeout_rejected () =
+  Alcotest.check_raises "domains + timeout is a caller error"
+    (Invalid_argument
+       "Dpool: per-job timeouts require the fork executor (a domain \
+        cannot be killed preemptively)")
+    (fun () ->
+      ignore
+        (Dpool.map_auto ~exec:`Domains ~timeout:1.0 ~encode:encode_int
+           ~decode:decode_int
+           (fun x -> x)
+           [ 0 ]))
+
 let suite =
   [ Alcotest.test_case "map preserves input order" `Quick test_map_order;
     Alcotest.test_case "map verdicts invariant under jobs" `Quick
@@ -611,4 +881,26 @@ let suite =
     Alcotest.test_case "retried job telemetry merged exactly once" `Quick
       test_telemetry_retry_no_double_count;
     Alcotest.test_case "journal resume ships no duplicate telemetry" `Quick
-      test_telemetry_journal_resume_no_double_count ]
+      test_telemetry_journal_resume_no_double_count;
+    (* fork-leg tests first, then the first domains spawn, then
+       domains-only tests — see the ordering note above Dpool *)
+    Alcotest.test_case "campaign verdicts invariant under fork executor"
+      `Quick test_cross_executor_fork_parity;
+    Alcotest.test_case "adaptive dispatch routes, counts, and sticks" `Quick
+      test_map_auto_dispatch;
+    Alcotest.test_case "dpool map preserves input order" `Quick
+      test_dpool_map_order;
+    Alcotest.test_case "dpool verdicts invariant under jobs" `Quick
+      test_dpool_jobs_invariant;
+    Alcotest.test_case "dpool raising job stays isolated" `Quick
+      test_dpool_raise_isolated;
+    Alcotest.test_case "dpool request_stop interrupts a map" `Quick
+      test_dpool_stop_interrupts;
+    Alcotest.test_case "dpool race wins lowest index and cancels" `Quick
+      test_dpool_race_wins_and_cancels;
+    Alcotest.test_case "dpool telemetry merges to the sequential run" `Quick
+      test_dpool_telemetry_parity;
+    Alcotest.test_case "campaign verdicts invariant under domains executor"
+      `Quick test_cross_executor_domains_parity;
+    Alcotest.test_case "domains executor rejects a timeout" `Quick
+      test_domains_timeout_rejected ]
