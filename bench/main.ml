@@ -1533,13 +1533,170 @@ let sim_throughput () =
     sim_throughput_min_ratio
 
 (* ---------------------------------------------------------------------- *)
+(* SERVE_CACHE: the dfv serve daemon answers repeats from cache            *)
+(* ---------------------------------------------------------------------- *)
+
+(* Acceptance gate for the serve daemon (ISSUE 10): a repeated SEC
+   request answered from the content-addressed cache must come back at
+   least 10x faster than the cold solve, with a byte-identical verdict
+   (timing fields excluded — they record the original solve). *)
+let serve_cache_min_ratio = 10.0
+
+let serve_cache () =
+  header "SERVE_CACHE" "dfv serve: cached SEC requests vs the cold solve"
+    "a verification service keyed on structural fingerprints answers \
+     repeated questions from cache at interactive latency";
+  let module Protocol = Dfv_serve.Protocol in
+  let module Server = Dfv_serve.Server in
+  let module Client = Dfv_serve.Client in
+  let module Portfolio = Dfv_par.Portfolio in
+  let chain = Image_chain.make () in
+  let pair =
+    Dfv_core.Pair.create ~name:"chain" ~slm:chain.Image_chain.slm
+      ~rtl:chain.Image_chain.rtl_top ~spec:chain.Image_chain.chain_spec
+  in
+  (* Cold baseline: the single-shot CLI path, one full solve. *)
+  let t0 = now () in
+  let cold_verdict = Dfv_core.Flow.sec ?budget:!budget_opt pair in
+  let cold_s = now () -. t0 in
+  let cold_wire = Portfolio.slm_wire_of_verdict cold_verdict in
+  Printf.printf "  cold solve (single-shot CLI path): %.3fs\n%!" cold_s;
+  (* The daemon, forked on a private socket.  This experiment forks, so
+     it must not follow a domains-spawning experiment (par_speedup) in
+     the same invocation — both are off the default list and CI runs
+     them as separate processes. *)
+  let dir = Filename.temp_file "dfv_bench_serve" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let resolve ~design ~bug =
+    if design = "chain" && bug = "none" then Ok pair
+    else Error (Printf.sprintf "unknown %s/%s" design bug)
+  in
+  let pid =
+    match Unix.fork () with
+    | 0 ->
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      Unix.dup2 devnull Unix.stdout;
+      Unix.dup2 devnull Unix.stderr;
+      Unix.close devnull;
+      Dfv_par.Pool.reset_stop ();
+      let cfg =
+        { (Server.default_config ~socket) with Server.capacity = 16; jobs = 2 }
+      in
+      let code = try Server.run ~resolve cfg with _ -> 3 in
+      Unix._exit code
+    | pid -> pid
+  in
+  let c =
+    match Client.connect ~retries:100 ~delay:0.05 socket with
+    | Ok c -> c
+    | Error m -> failwith ("serve_cache connect: " ^ m)
+  in
+  let op =
+    Protocol.Sec
+      { design = "chain"; bug = "none"; budget = !budget_opt }
+  in
+  let call () =
+    let t0 = now () in
+    match Client.call c op with
+    | Ok r -> (r, now () -. t0)
+    | Error m -> failwith ("serve_cache call: " ^ m)
+  in
+  (* First request: a miss — the daemon pays one solve. *)
+  let first, first_s = call () in
+  if first.Protocol.cached then failwith "first request must be a cache miss";
+  Printf.printf "  first request (daemon miss + solve): %.3fs round-trip\n%!"
+    first_s;
+  (* Repeats: every one must be a hit; the mean round-trip is the
+     latency a client actually sees. *)
+  let n = 20 in
+  let times =
+    List.init n (fun _ ->
+        let r, dt = call () in
+        if not r.Protocol.cached then failwith "repeat was not served from cache";
+        dt)
+  in
+  let mean_s = List.fold_left ( +. ) 0.0 times /. float_of_int n in
+  let min_s = List.fold_left min infinity times in
+  let speedup = cold_s /. mean_s in
+  Printf.printf
+    "  %d cached repeats: mean %.4fs, min %.4fs round-trip   speedup %.0fx \
+     vs cold\n%!"
+    n mean_s min_s speedup;
+  (* Verdict parity: the served payload must equal the cold solve's wire
+     form byte for byte once the timing fields (which record the
+     original solve) are zeroed. *)
+  let strip_stats s =
+    { s with Checker.frame_seconds = []; wall_seconds = 0.0 }
+  in
+  let strip = function
+    | Portfolio.W_equivalent s -> Portfolio.W_equivalent (strip_stats s)
+    | Portfolio.W_not_equivalent (p, s) ->
+      Portfolio.W_not_equivalent (p, strip_stats s)
+    | Portfolio.W_unknown (r, s) -> Portfolio.W_unknown (r, strip_stats s)
+  in
+  let served_wire =
+    match first.Protocol.outcome with
+    | Ok (Protocol.R_sec w) -> w
+    | Ok _ -> failwith "sec request answered with a non-sec payload"
+    | Error e -> failwith ("serve_cache: " ^ Dfv_core.Dfv_error.to_string e)
+  in
+  let parity =
+    Dfv_obs.Json.to_string (Portfolio.slm_wire_to_json (strip cold_wire))
+    = Dfv_obs.Json.to_string (Portfolio.slm_wire_to_json (strip served_wire))
+  in
+  Printf.printf "  verdict parity vs cold solve: %s\n%!"
+    (if parity then "byte-identical (timings excluded)" else "MISMATCH");
+  (match Client.call c Protocol.Shutdown with
+  | Ok _ -> ()
+  | Error m -> failwith ("serve_cache shutdown: " ^ m));
+  Client.close c;
+  let exit_code =
+    match snd (Unix.waitpid [] pid) with Unix.WEXITED n -> n | _ -> -1
+  in
+  let open Dfv_obs.Json in
+  write_bench "serve_cache"
+    [ ("design", String "chain");
+      ("cold_seconds", Float cold_s);
+      ("first_request_seconds", Float first_s);
+      ("cached_repeats", Int n);
+      ("cached_mean_seconds", Float mean_s);
+      ("cached_min_seconds", Float min_s);
+      ("speedup", Float speedup);
+      ("min_ratio_gate", Float serve_cache_min_ratio);
+      ("verdict_parity", Bool parity);
+      ("daemon_exit", Int exit_code) ];
+  if exit_code <> 0 then begin
+    Printf.printf "REGRESSION: daemon exited %d after Shutdown (want 0)\n"
+      exit_code;
+    exit 1
+  end;
+  if not parity then begin
+    print_endline "REGRESSION: served verdict differs from the cold solve";
+    exit 1
+  end;
+  if speedup < serve_cache_min_ratio then begin
+    Printf.printf
+      "REGRESSION: cached request is only %.1fx the cold solve (gate: >= \
+       %.0fx)\n"
+      speedup serve_cache_min_ratio;
+    exit 1
+  end;
+  Printf.printf
+    "shape check: the daemon spends one solve on the first request and\n\
+     answers every repeat from the fingerprint-keyed cache, clearing the\n\
+     %.0fx gate with the verdict unchanged.\n"
+    serve_cache_min_ratio
+
+(* ---------------------------------------------------------------------- *)
 
 let experiments =
   [ ("f1", f1); ("f2", f2); ("c1", c1); ("c2", c2); ("c3", c3);
     ("c3_incremental_sec", c3); ("c4", c4); ("c4_fault_robustness", c4f);
     ("c5", c5); ("c5_obs_overhead", c5o); ("c6", c6); ("c7", c7); ("c8", c8);
     ("sim_throughput", sim_throughput); ("par_speedup", par_speedup);
-    ("journal_overhead", journal_overhead) ]
+    ("journal_overhead", journal_overhead); ("serve_cache", serve_cache) ]
 
 let () =
   let rec parse names = function
@@ -1569,7 +1726,8 @@ let () =
         (List.remove_assoc "c3_incremental_sec"
            (List.remove_assoc "c4_fault_robustness"
               (List.remove_assoc "c5_obs_overhead"
-                 (List.remove_assoc "par_speedup" experiments))))
+                 (List.remove_assoc "par_speedup"
+                    (List.remove_assoc "serve_cache" experiments)))))
     | names -> names
   in
   let t0 = now () in

@@ -7,6 +7,8 @@
      dfv sim    <design> [-n N]   simulation-based comparison
      dfv verify <design>          audit + SEC (or simulation fallback)
      dfv faultsim [--design D]    mutation campaign scoring the verifier
+     dfv serve [--socket S]       persistent verification daemon + cache
+     dfv client <op> ...          query a running daemon
      dfv triage <design>          reproduce a failure as a triage bundle
      dfv validate <file>...       check artifacts parse + carry the envelope
 
@@ -480,45 +482,102 @@ let print_stats (s : Checker.stats) =
        (List.map (Printf.sprintf "%.3fs") s.Checker.frame_seconds));
   Printf.printf "  wall             %.3fs\n" s.Checker.wall_seconds
 
+(* Shared verdict rendering for `dfv sec`, `dfv sec --serve-socket` and
+   `dfv client sec`.  All three print from the wire form (a cold verdict
+   is reduced via {!Dfv_par.Portfolio.slm_wire_of_verdict} first), so a
+   served answer is byte-identical on stdout to the cold CLI's by
+   construction — the CI smoke diffs the two. *)
+let print_slm_wire ~stats:want_stats w =
+  let finish s = if want_stats then print_stats s in
+  match w with
+  | Dfv_par.Portfolio.W_equivalent stats ->
+    Printf.printf
+      "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
+      stats.Checker.aig_ands stats.Checker.sat_conflicts
+      stats.Checker.sat_decisions stats.Checker.wall_seconds;
+    finish stats;
+    exit_ok
+  | Dfv_par.Portfolio.W_not_equivalent (params, stats) ->
+    Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
+      stats.Checker.wall_seconds;
+    List.iter
+      (fun (n, v) ->
+        match v with
+        | Dfv_hwir.Interp.Vint bv ->
+          Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
+        | Dfv_hwir.Interp.Varr a ->
+          Printf.printf "  %s = [%s]\n" n
+            (String.concat "; "
+               (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
+      params;
+    finish stats;
+    exit_cex
+  | Dfv_par.Portfolio.W_unknown (reason, stats) ->
+    Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
+      stats.Checker.wall_seconds;
+    finish stats;
+    exit_unknown
+
+let print_sim_wire = function
+  | Dfv_serve.Protocol.Sim_clean vectors ->
+    Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
+    exit_ok
+  | Dfv_serve.Protocol.Sim_mismatch vector_index ->
+    Printf.printf "MISMATCH at transaction %d\n" vector_index;
+    exit_cex
+
+(* One request-response against a daemon.  The cache-hit notice goes to
+   stderr so stdout stays diffable against the cold command. *)
+let client_call ~socket ~retries op k =
+  match Dfv_serve.Client.one_shot ~retries ~socket op with
+  | Error m ->
+    Printf.eprintf "error: %s\n" m;
+    exit_error
+  | Ok r ->
+    if r.Dfv_serve.Protocol.cached then
+      Printf.eprintf "dfv serve: served from cache in %.3fs\n"
+        r.Dfv_serve.Protocol.seconds;
+    (match r.Dfv_serve.Protocol.outcome with
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+      Dfv_error.exit_code e
+    | Ok p -> k p)
+
+let serve_socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "serve-socket" ] ~docv:"SOCK"
+        ~doc:
+          "Fast path: send the query to the $(b,dfv serve) daemon \
+           listening on $(docv) instead of solving locally.  A repeated \
+           query is answered from the daemon's content-addressed cache; \
+           stdout and the exit code are identical to the local run \
+           (cache notices go to stderr).")
+
 let sec_cmd =
   let doc =
     "Run sequential equivalence checking on a pair.  With --jobs above 1 \
      the check runs as a strategy portfolio: solving variants race in \
-     forked workers and the first conclusive verdict cancels the rest."
+     forked workers and the first conclusive verdict cancels the rest.  \
+     With --serve-socket the query is answered by a dfv serve daemon."
   in
-  let run budget stats jobs exec journal progress obs design bug =
+  let run budget stats jobs exec journal progress serve_socket obs design bug =
     with_obs obs @@ fun () ->
     with_interrupt @@ fun () ->
+    match serve_socket with
+    | Some socket ->
+      client_call ~socket ~retries:0
+        (Dfv_serve.Protocol.Sec { design; bug; budget })
+        (function
+          | Dfv_serve.Protocol.R_sec w -> print_slm_wire ~stats w
+          | _ ->
+            Printf.eprintf "error: unexpected response payload\n";
+            exit_error)
+    | None ->
     (wrap (fun pair ->
-        let finish s = if stats then print_stats s in
-        let report = function
-          | Checker.Equivalent stats ->
-            Printf.printf
-              "EQUIVALENT  (%d AIG nodes, %d conflicts, %d decisions, %.3fs)\n"
-              stats.Checker.aig_ands stats.Checker.sat_conflicts
-              stats.Checker.sat_decisions stats.Checker.wall_seconds;
-            finish stats;
-            exit_ok
-          | Checker.Not_equivalent (cex, stats) ->
-            Printf.printf "NOT EQUIVALENT  (%.3fs)\ncounterexample:\n"
-              stats.Checker.wall_seconds;
-            List.iter
-              (fun (n, v) ->
-                match v with
-                | Dfv_hwir.Interp.Vint bv ->
-                  Printf.printf "  %s = %s\n" n (Dfv_bitvec.Bitvec.to_string bv)
-                | Dfv_hwir.Interp.Varr a ->
-                  Printf.printf "  %s = [%s]\n" n
-                    (String.concat "; "
-                       (Array.to_list (Array.map Dfv_bitvec.Bitvec.to_string a))))
-              cex.Checker.params;
-            finish stats;
-            exit_cex
-          | Checker.Unknown (reason, stats) ->
-            Printf.printf "UNKNOWN  (%s after %.3fs)\n" (reason_string reason)
-              stats.Checker.wall_seconds;
-            finish stats;
-            exit_unknown
+        let report v =
+          print_slm_wire ~stats (Dfv_par.Portfolio.slm_wire_of_verdict v)
         in
         (* A journal, --progress or an explicit --exec-mode implies the
            portfolio path (that is where verdicts are journaled/reported
@@ -546,7 +605,8 @@ let sec_cmd =
   Cmd.v (Cmd.info "sec" ~doc ~exits)
     Term.(
       const run $ budget_term $ stats_arg $ jobs_term $ exec_mode_term
-      $ journal_term $ progress_arg $ obs_term $ design_arg $ bug_arg)
+      $ journal_term $ progress_arg $ serve_socket_arg $ obs_term
+      $ design_arg $ bug_arg)
 
 let vectors_arg =
   Arg.(value & opt int 1000 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Number of random transactions.")
@@ -566,24 +626,39 @@ let engine_term =
            interpreter.")
 
 let sim_cmd =
-  let doc = "Run simulation-based SLM/RTL comparison on a pair." in
-  let run vectors engine obs design bug =
+  let doc =
+    "Run simulation-based SLM/RTL comparison on a pair.  With \
+     --serve-socket the run is answered by a dfv serve daemon (--engine \
+     is then moot: the engines are behaviourally identical and the \
+     daemon picks)."
+  in
+  let run vectors engine serve_socket obs design bug =
     with_obs obs @@ fun () ->
+    match serve_socket with
+    | Some socket ->
+      client_call ~socket ~retries:0
+        (Dfv_serve.Protocol.Sim { design; bug; vectors; seed = 0 })
+        (function
+          | Dfv_serve.Protocol.R_sim w -> print_sim_wire w
+          | _ ->
+            Printf.eprintf "error: unexpected response payload\n";
+            exit_error)
+    | None ->
     (wrap (fun pair ->
          match Flow.simulate ?engine ~vectors pair with
          | Ok (Flow.Sim_clean { vectors }) ->
-           Printf.printf "CLEAN after %d transactions (no proof)\n" vectors;
-           exit_ok
+           print_sim_wire (Dfv_serve.Protocol.Sim_clean vectors)
          | Ok (Flow.Sim_mismatch { vector_index; _ }) ->
-           Printf.printf "MISMATCH at transaction %d\n" vector_index;
-           exit_cex
+           print_sim_wire (Dfv_serve.Protocol.Sim_mismatch vector_index)
          | Error e ->
            Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
            Dfv_error.exit_code e))
       design bug
   in
   Cmd.v (Cmd.info "sim" ~doc ~exits)
-    Term.(const run $ vectors_arg $ engine_term $ obs_term $ design_arg $ bug_arg)
+    Term.(
+      const run $ vectors_arg $ engine_term $ serve_socket_arg $ obs_term
+      $ design_arg $ bug_arg)
 
 let verify_cmd =
   let doc = "Audit, then SEC (or simulation when SEC is blocked)." in
@@ -772,6 +847,253 @@ let faultsim_cmd =
       $ exec_mode_term $ timeout_term $ deadline_term $ journal_term
       $ json_arg $ progress_arg $ obs_term)
 
+(* --- serve / client ---------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "dfv-serve.sock"
+    & info [ "socket" ] ~docv:"SOCK"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let doc =
+    "Run the persistent verification daemon: accept SEC, co-simulation \
+     and fault-campaign requests over a Unix-domain socket (line-framed \
+     JSON, see dfv client), answer repeats from a content-addressed \
+     result cache keyed by structural fingerprints, and batch the \
+     misses onto the worker executor.  SIGINT/SIGTERM (or a client \
+     shutdown request) stop the daemon cleanly; with --store the cache \
+     survives restarts — even a SIGKILL loses at most the in-flight \
+     solves."
+  in
+  let cache_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"In-memory cache capacity in entries (LRU eviction).")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "On-disk cache store: an append-only dfv-journal file, \
+             fsync'd per entry, replayed into the cache at startup \
+             (poisoned records are rejected and counted).")
+  in
+  let summary_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary" ] ~docv:"FILE"
+          ~doc:
+            "Write the dfv-serve summary artifact (per-endpoint hit \
+             rates, cache counters, request log) to $(docv) on exit.")
+  in
+  let run socket cache store summary jobs exec obs =
+    with_obs obs @@ fun () ->
+    with_interrupt @@ fun () ->
+    let resolve ~design ~bug =
+      match Dfv_error.guard (fun () -> make_pair design bug) with
+      | Ok p -> Ok p
+      | Error e -> Error (Dfv_error.to_string e)
+    in
+    match
+      Dfv_error.guard (fun () ->
+          let cfg =
+            {
+              (Dfv_serve.Server.default_config ~socket) with
+              Dfv_serve.Server.capacity = cache;
+              store;
+              summary;
+              jobs = Option.value jobs ~default:(Dfv_par.Pool.cores ());
+              exec = Option.value exec ~default:`Auto;
+            }
+          in
+          Dfv_serve.Server.run ~resolve cfg)
+    with
+    | Ok code -> code
+    | Error e ->
+      Printf.eprintf "error: %s\n" (Dfv_error.to_string e);
+      Dfv_error.exit_code e
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~exits)
+    Term.(
+      const run $ socket_arg $ cache_arg $ store_arg $ summary_arg
+      $ jobs_term $ exec_mode_term $ obs_term)
+
+let client_cmd =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry the connection up to $(docv) times (0.1s apart) — \
+             for racing a daemon that is still starting.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Stimulus seed.")
+  in
+  let sec =
+    let doc = "Request a SEC verdict from the daemon." in
+    let run socket retries budget stats design bug =
+      client_call ~socket ~retries
+        (Dfv_serve.Protocol.Sec { design; bug; budget })
+        (function
+          | Dfv_serve.Protocol.R_sec w -> print_slm_wire ~stats w
+          | _ ->
+            Printf.eprintf "error: unexpected response payload\n";
+            exit_error)
+    in
+    Cmd.v (Cmd.info "sec" ~doc ~exits)
+      Term.(
+        const run $ socket_arg $ retries_arg $ budget_term $ stats_arg
+        $ design_arg $ bug_arg)
+  in
+  let sim =
+    let doc = "Request a simulation comparison from the daemon." in
+    let run socket retries vectors seed design bug =
+      client_call ~socket ~retries
+        (Dfv_serve.Protocol.Sim { design; bug; vectors; seed })
+        (function
+          | Dfv_serve.Protocol.R_sim w -> print_sim_wire w
+          | _ ->
+            Printf.eprintf "error: unexpected response payload\n";
+            exit_error)
+    in
+    Cmd.v (Cmd.info "sim" ~doc ~exits)
+      Term.(
+        const run $ socket_arg $ retries_arg $ vectors_arg $ seed_arg
+        $ design_arg $ bug_arg)
+  in
+  let faultsim =
+    let doc = "Request a fault campaign from the daemon." in
+    let designs_arg =
+      Arg.(
+        value
+        & opt_all string []
+        & info [ "design" ] ~docv:"DESIGN"
+            ~doc:"Subject(s) to mutate (repeatable).  Default: all.")
+    in
+    let max_faults_arg =
+      Arg.(
+        value & opt int 16
+        & info [ "max-faults" ] ~docv:"N"
+            ~doc:"Structural RTL faults per subject.")
+    in
+    let max_slm_faults_arg =
+      Arg.(
+        value & opt int 8
+        & info [ "max-slm-faults" ] ~docv:"N"
+            ~doc:"Semantic SLM mutations per subject.")
+    in
+    let sim_vectors_arg =
+      Arg.(
+        value & opt int 400
+        & info [ "vectors" ] ~docv:"N"
+            ~doc:"Cross-check simulation vectors per Equivalent mutant.")
+    in
+    let json_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ] ~docv:"FILE"
+            ~doc:"Write the returned dfv-faultsim report to $(docv).")
+    in
+    let run socket retries budget designs seed max_faults max_slm_faults
+        sim_vectors json =
+      let designs =
+        match designs with [] -> Dfv_fault.Suite.names | ds -> ds
+      in
+      client_call ~socket ~retries
+        (Dfv_serve.Protocol.Faultsim
+           {
+             designs;
+             seed;
+             max_rtl_faults = max_faults;
+             max_slm_faults;
+             sim_vectors;
+             budget;
+           })
+        (function
+          | Dfv_serve.Protocol.R_faultsim f ->
+            (match json with
+            | Some file ->
+              Dfv_obs.Json.write_file file f.Dfv_serve.Protocol.f_report
+            | None -> ());
+            Printf.printf
+              "fault detection rate %.1f%% with %d false equivalents: %s\n"
+              (100.0 *. f.Dfv_serve.Protocol.f_rate)
+              f.Dfv_serve.Protocol.f_false_eq
+              (if f.Dfv_serve.Protocol.f_pass then "PASS" else "FAIL");
+            if f.Dfv_serve.Protocol.f_pass then exit_ok else exit_cex
+          | _ ->
+            Printf.eprintf "error: unexpected response payload\n";
+            exit_error)
+    in
+    Cmd.v (Cmd.info "faultsim" ~doc ~exits)
+      Term.(
+        const run $ socket_arg $ retries_arg $ budget_term $ designs_arg
+        $ seed_arg $ max_faults_arg $ max_slm_faults_arg $ sim_vectors_arg
+        $ json_arg)
+  in
+  let ping =
+    let doc = "Liveness probe: succeed iff the daemon answers." in
+    let run socket retries =
+      client_call ~socket ~retries Dfv_serve.Protocol.Ping (function
+        | Dfv_serve.Protocol.R_pong ->
+          Printf.printf "pong\n";
+          exit_ok
+        | _ ->
+          Printf.eprintf "error: unexpected response payload\n";
+          exit_error)
+    in
+    Cmd.v (Cmd.info "ping" ~doc ~exits)
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let stats =
+    let doc =
+      "Fetch the daemon's live summary document (requests, per-endpoint \
+       hit rates, cache counters) as one line of dfv-serve JSON."
+    in
+    let run socket retries =
+      client_call ~socket ~retries Dfv_serve.Protocol.Stats (function
+        | Dfv_serve.Protocol.R_stats s ->
+          print_endline (Dfv_obs.Json.to_string s);
+          exit_ok
+        | _ ->
+          Printf.eprintf "error: unexpected response payload\n";
+          exit_error)
+    in
+    Cmd.v (Cmd.info "stats" ~doc ~exits)
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let shutdown =
+    let doc = "Ask the daemon to exit cleanly (cache store stays valid)." in
+    let run socket retries =
+      client_call ~socket ~retries Dfv_serve.Protocol.Shutdown (function
+        | Dfv_serve.Protocol.R_shutdown ->
+          Printf.printf "shutdown acknowledged\n";
+          exit_ok
+        | _ ->
+          Printf.eprintf "error: unexpected response payload\n";
+          exit_error)
+    in
+    Cmd.v (Cmd.info "shutdown" ~doc ~exits)
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let doc =
+    "Talk to a dfv serve daemon: sec, sim and faultsim queries plus \
+     ping/stats/shutdown control.  Verify verdicts print byte-identically \
+     to the corresponding local command."
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc ~exits)
+    [ sec; sim; faultsim; ping; stats; shutdown ]
+
 let validate_cmd =
   let doc =
     "Validate machine-readable artifacts: each FILE must parse as JSON \
@@ -887,6 +1209,31 @@ let validate_cmd =
                   | Some _ -> Error "modes is not an array"
                   | None -> Error "par_speedup is missing modes")
                 | _ -> Ok "")
+              | "dfv-serve" -> (
+                (* The serve smoke uploads the daemon summary; its
+                   endpoint rows and cache counters are what the CI
+                   assertions read, so their shape is contractual. *)
+                match Dfv_obs.Json.field "kind" v with
+                | Some (Dfv_obs.Json.String "summary") -> (
+                  match
+                    ( Dfv_obs.Json.field "requests" v,
+                      Dfv_obs.Json.field "endpoints" v,
+                      Dfv_obs.Json.field "cache" v )
+                  with
+                  | ( Some (Dfv_obs.Json.Int n),
+                      Some (Dfv_obs.Json.List eps),
+                      Some (Dfv_obs.Json.Obj _) ) ->
+                    Ok
+                      (Printf.sprintf " (summary: %d requests, %d endpoints)"
+                         n (List.length eps))
+                  | _ ->
+                    Error
+                      "summary needs int requests, endpoints array, cache \
+                       object")
+                | Some (Dfv_obs.Json.String ("request" | "response")) -> Ok ""
+                | Some (Dfv_obs.Json.String k) ->
+                  Error ("unknown dfv-serve kind " ^ k)
+                | _ -> Error "missing kind")
               | _ -> Ok ""
             in
             match shape with
@@ -1182,6 +1529,82 @@ let report_cmd =
       end
       else Printf.printf "  no coverage holes\n"
     in
+    let report_serve v =
+      (match int_field "requests" v with
+      | Some n -> Printf.printf "  %d request(s)\n" n
+      | None -> ());
+      (match J.field "endpoints" v with
+      | Some (J.List eps) when eps <> [] ->
+        Printf.printf "  endpoints:\n";
+        List.iter
+          (fun e ->
+            Printf.printf
+              "    %-10s %4d requests: %d hits (%.1f%% hit rate), %d \
+               misses, %d solves, %d errors, mean %.3fs\n"
+              (Option.value ~default:"?" (str_field "op" e))
+              (ints "requests" e) (ints "hits" e)
+              (100.0 *. Option.value ~default:0.0 (num_field "hit_rate" e))
+              (ints "misses" e) (ints "solves" e) (ints "errors" e)
+              (Option.value ~default:0.0 (num_field "mean_seconds" e)))
+          eps
+      | _ -> ());
+      (match J.field "cache" v with
+      | Some c ->
+        let h = ints "hits" c and m = ints "misses" c in
+        Printf.printf
+          "  cache: %d/%d entries, %d hits / %d misses (%.1f%% hit rate), \
+           %d evicted, %d replayed, %d rejected\n"
+          (ints "size" c) (ints "capacity" c) h m
+          (if h + m = 0 then 0.0
+           else 100.0 *. float_of_int h /. float_of_int (h + m))
+          (ints "evicted" c) (ints "replayed" c) (ints "rejected" c)
+      | None -> ());
+      (match num_field "uptime_seconds" v with
+      | Some s -> Printf.printf "  uptime %.1fs\n" s
+      | None -> ());
+      match J.field "log" v with
+      | Some (J.List log) when log <> [] ->
+        (* Status tally over the request log, then the slowest entries. *)
+        let order = ref [] in
+        let tally = Hashtbl.create 8 in
+        List.iter
+          (fun e ->
+            let s = Option.value ~default:"?" (str_field "status" e) in
+            match Hashtbl.find_opt tally s with
+            | Some n -> Hashtbl.replace tally s (n + 1)
+            | None ->
+              order := s :: !order;
+              Hashtbl.add tally s 1)
+          log;
+        Printf.printf "  request log (%d entries%s):\n" (List.length log)
+          (match J.field "log_truncated" v with
+          | Some (J.Bool true) -> ", truncated"
+          | _ -> "");
+        List.iter
+          (fun s -> Printf.printf "    %-30s %d\n" s (Hashtbl.find tally s))
+          (List.rev !order);
+        let slow =
+          take top
+            (List.sort
+               (fun a b ->
+                 compare
+                   (Option.value ~default:0.0 (num_field "seconds" b))
+                   (Option.value ~default:0.0 (num_field "seconds" a)))
+               log)
+        in
+        Printf.printf "  slowest requests:\n";
+        List.iter
+          (fun e ->
+            Printf.printf "    %8.3fs  %-10s %s%s\n"
+              (Option.value ~default:0.0 (num_field "seconds" e))
+              (Option.value ~default:"?" (str_field "op" e))
+              (Option.value ~default:"?" (str_field "status" e))
+              (match J.field "cached" e with
+              | Some (J.Bool true) -> " (cached)"
+              | _ -> ""))
+          slow
+      | _ -> ()
+    in
     let report_generic v =
       match v with
       | J.Obj fields ->
@@ -1289,6 +1712,7 @@ let report_cmd =
             | "dfv-metrics" -> report_metrics v
             | "dfv-trace" -> report_trace v
             | "dfv-coverage" -> report_coverage v
+            | "dfv-serve" -> report_serve v
             | _ -> report_generic v);
             true)
     in
@@ -1369,7 +1793,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ list_cmd; audit_cmd; sec_cmd; sim_cmd; verify_cmd; faultsim_cmd;
-           triage_cmd; validate_cmd; report_cmd ])
+           serve_cmd; client_cmd; triage_cmd; validate_cmd; report_cmd ])
   in
   (* cmdliner's own cli-error (124) / internal-error (125) codes fold
      into the documented "usage or internal error" code. *)

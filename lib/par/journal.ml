@@ -24,6 +24,7 @@ type t = {
   campaign : string;
   results : (string, Json.t) Hashtbl.t;
   replayed : int;
+  replayed_entries : (string * Json.t) list;
   torn : bool;
   dropped : int;
 }
@@ -31,6 +32,7 @@ type t = {
 let campaign t = t.campaign
 let find t fp = Hashtbl.find_opt t.results fp
 let replayed t = t.replayed
+let replayed_entries t = t.replayed_entries
 let torn t = t.torn
 let dropped t = t.dropped
 
@@ -240,6 +242,7 @@ let open_ ~path ~campaign:key =
             campaign;
             results;
             replayed;
+            replayed_entries = l.l_results;
             torn = l.l_torn;
             dropped = l.l_dropped;
           }
@@ -257,6 +260,7 @@ let open_ ~path ~campaign:key =
         campaign;
         results = Hashtbl.create 64;
         replayed = 0;
+        replayed_entries = [];
         torn = false;
         dropped = 0;
       }

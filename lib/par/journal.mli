@@ -70,6 +70,11 @@ val find : t -> string -> Dfv_obs.Json.t option
 val replayed : t -> int
 (** Result records loaded from disk at {!open_} (0 for a fresh file). *)
 
+val replayed_entries : t -> (string * Dfv_obs.Json.t) list
+(** The records {!replayed} counts, as [(fp, payload)] in append order —
+    what a consumer that replays {e state} rather than single lookups
+    (the {!Dfv_serve} cache warming its LRU) iterates over. *)
+
 val torn : t -> bool
 (** Whether {!open_} dropped a torn final segment. *)
 

@@ -240,6 +240,18 @@ let slm_conclusive = function
   | W_equivalent _ | W_not_equivalent _ -> true
   | W_unknown _ -> false
 
+let slm_wire_of_verdict = function
+  | Checker.Equivalent stats -> W_equivalent stats
+  | Checker.Not_equivalent (cex, stats) ->
+    W_not_equivalent (cex.Checker.params, stats)
+  | Checker.Unknown (r, stats) -> W_unknown (r, stats)
+
+let verdict_of_slm_wire ~slm ~rtl ~spec = function
+  | W_equivalent stats -> Checker.Equivalent stats
+  | W_not_equivalent (params, stats) ->
+    Checker.Not_equivalent (Checker.cex_of_params ~slm ~rtl ~spec params, stats)
+  | W_unknown (r, stats) -> Checker.Unknown (r, stats)
+
 let budget_key = function
   | None -> "-"
   | Some b ->

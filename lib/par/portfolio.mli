@@ -30,6 +30,43 @@
     {!check_rtl_rtl}, which degrades to [Rtl_unknown] (it is the
     parallel analogue of a solver budget running out). *)
 
+(** {2 Wire forms}
+
+    The reduced SLM-vs-RTL verdict that crosses a worker pipe — and,
+    since the serve daemon speaks the same frames, a [dfv serve] result
+    cache entry and a [dfv client] response payload.  A counterexample
+    travels as its SLM parameter assignment alone; the receiving side
+    rebuilds the full {!Dfv_sec.Checker.cex} with
+    {!Dfv_sec.Checker.cex_of_params}, which requires having the design
+    itself (the assignment determines the counterexample completely). *)
+
+type slm_wire =
+  | W_equivalent of Dfv_sec.Checker.stats
+  | W_not_equivalent of
+      (string * Dfv_hwir.Interp.value) list * Dfv_sec.Checker.stats
+  | W_unknown of Dfv_sat.Solver.reason * Dfv_sec.Checker.stats
+
+val slm_wire_to_json : slm_wire -> Dfv_obs.Json.t
+val slm_wire_of_json : Dfv_obs.Json.t -> (slm_wire, string) result
+
+val slm_wire_of_verdict : Dfv_sec.Checker.verdict -> slm_wire
+(** Reduce a verdict to its wire form (the counterexample keeps only
+    [params]). *)
+
+val verdict_of_slm_wire :
+  slm:Dfv_hwir.Ast.program ->
+  rtl:Dfv_rtl.Netlist.elaborated ->
+  spec:Dfv_sec.Spec.t ->
+  slm_wire ->
+  Dfv_sec.Checker.verdict
+(** Rebuild the full verdict, re-deriving the counterexample from its
+    parameter assignment against the given design. *)
+
+val slm_conclusive : slm_wire -> bool
+(** [true] for [W_equivalent]/[W_not_equivalent]: the verdicts a cache
+    may serve unconditionally.  A [W_unknown] is only as good as the
+    budget that produced it. *)
+
 val check_slm_rtl :
   ?jobs:int ->
   ?timeout:float ->

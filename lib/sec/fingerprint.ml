@@ -32,3 +32,12 @@ let spec (s : Spec.t) =
   digest (s.Spec.rtl_cycles, drives, s.Spec.checks, s.Spec.constraints)
 
 let pair ~slm:p ~rtl:e ~spec:s = digest (slm p, rtl e, spec s)
+
+let aig g ~outputs =
+  (* The AIG carries internal arrays whose layout depends on build
+     order; the AIGER text form is the canonical structural view. *)
+  digest (Dfv_aig.Aiger.to_string g ~outputs)
+
+let stimulus ~seed ~vectors = digest ("stimulus", seed, vectors)
+
+let combine parts = digest ("combine", parts)

@@ -29,3 +29,19 @@ val spec : Spec.t -> string
 val pair : slm:Dfv_hwir.Ast.program -> rtl:Dfv_rtl.Netlist.elaborated ->
   spec:Spec.t -> string
 (** Combined key for one SLM-vs-RTL equivalence query. *)
+
+val aig : Dfv_aig.Aig.t -> outputs:(string * Dfv_aig.Aig.lit) list -> string
+(** Digest of an and-inverter graph through its canonical AIGER text
+    form (node arrays are an implementation detail; the AIGER view is
+    the structure). *)
+
+val stimulus : seed:int -> vectors:int -> string
+(** Digest of a constrained-random stimulus configuration: the seed and
+    the vector count determine every transaction drawn, so two runs
+    with equal fingerprints replay identical stimulus. *)
+
+val combine : string list -> string
+(** Digest of an ordered list of fingerprints/config atoms — the
+    request-level key of the {!Dfv_serve} verification cache: combine
+    the operation name, the structural fingerprints above, and the
+    budget/seed knobs that can change a verdict, and nothing else. *)

@@ -1,0 +1,183 @@
+module Json = Dfv_obs.Json
+module Metrics = Dfv_obs.Metrics
+module Journal = Dfv_par.Journal
+
+(* Every dfv-serve store ever written shares one campaign key: the
+   cache is content-addressed, so the *records* carry all the identity
+   there is (the key inside each payload), and a store outliving any
+   particular server configuration is the point. *)
+let store_campaign = "dfv-serve-store|v1"
+
+let m_hit = Metrics.counter "serve.cache.hit"
+let m_miss = Metrics.counter "serve.cache.miss"
+let m_evicted = Metrics.counter "serve.cache.evicted"
+let m_rejected = Metrics.counter "serve.cache.rejected"
+let g_size = Metrics.gauge "serve.cache.size"
+
+(* Intrusive doubly-linked LRU list; [head] is most recent, [tail]
+   least.  O(1) touch/insert/evict — a request's cache probe must never
+   be the slow part of a hit. *)
+type entry = {
+  key : string;
+  payload : Json.t;
+  mutable prev : entry option;  (** towards head (more recent) *)
+  mutable next : entry option;  (** towards tail (less recent) *)
+}
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  journal : Journal.t option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evicted : int;
+  mutable rejected : int;
+  replayed : int;
+}
+
+let size t = Hashtbl.length t.table
+let capacity t = t.capacity
+let hits t = t.hits
+let misses t = t.misses
+let evicted t = t.evicted
+let rejected t = t.rejected
+let replayed t = t.replayed
+
+let unlink t e =
+  (match e.prev with
+  | Some p -> p.next <- e.next
+  | None -> t.head <- e.next);
+  (match e.next with
+  | Some n -> n.prev <- e.prev
+  | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let evict_tail t =
+  match t.tail with
+  | None -> ()
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.table e.key;
+    t.evicted <- t.evicted + 1;
+    Metrics.incr m_evicted
+
+(* The on-disk record wraps the payload with its own key, so a record
+   landing under the wrong journal fingerprint — an FNV collision, or a
+   file edited/corrupted into a valid-looking line — is detectable and
+   rejected rather than served as someone else's verdict. *)
+let record_of ~key payload =
+  Json.Obj [ ("key", Json.String key); ("entry", payload) ]
+
+let record_fields v =
+  match (Json.field "key" v, Json.field "entry" v) with
+  | Some (Json.String k), Some payload -> Some (k, payload)
+  | _ -> None
+
+let insert_unchecked t ~key payload =
+  if t.capacity > 0 && not (Hashtbl.mem t.table key) then begin
+    while Hashtbl.length t.table >= t.capacity do
+      evict_tail t
+    done;
+    let e = { key; payload; prev = None; next = None } in
+    Hashtbl.replace t.table key e;
+    push_front t e;
+    Metrics.set_gauge g_size (Hashtbl.length t.table)
+  end
+
+let create ?(capacity = 256) ?store ?(validate = fun _ -> true) () =
+  if capacity < 1 then Error "cache capacity must be >= 1"
+  else begin
+    let journal =
+      match store with
+      | None -> Ok None
+      | Some path -> (
+        match Journal.open_ ~path ~campaign:store_campaign with
+        | Ok j -> Ok (Some j)
+        | Error m -> Error (Printf.sprintf "store %s: %s" path m))
+    in
+    match journal with
+    | Error _ as e -> e
+    | Ok journal ->
+      let t =
+        {
+          capacity;
+          table = Hashtbl.create (2 * capacity);
+          head = None;
+          tail = None;
+          journal;
+          hits = 0;
+          misses = 0;
+          evicted = 0;
+          rejected = 0;
+          replayed =
+            (match journal with Some j -> Journal.replayed j | None -> 0);
+        }
+      in
+      (match journal with
+      | None -> ()
+      | Some j ->
+        (* Warm the LRU in append order (oldest first), so when the
+           store holds more than [capacity] the oldest entries are the
+           ones that fall out — reload order is eviction order. *)
+        List.iter
+          (fun (fp, record) ->
+            match record_fields record with
+            | Some (key, payload)
+              when String.equal (Journal.fingerprint key) fp
+                   && validate payload ->
+              insert_unchecked t ~key payload
+            | Some _ | None ->
+              (* Poisoned: the record does not re-derive its own
+                 fingerprint, or its payload fails shape validation.
+                 Dropping it only costs a re-solve. *)
+              t.rejected <- t.rejected + 1;
+              Metrics.incr m_rejected)
+          (Journal.replayed_entries j));
+      Ok t
+  end
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+    unlink t e;
+    push_front t e;
+    t.hits <- t.hits + 1;
+    Metrics.incr m_hit;
+    Some e.payload
+  | None ->
+    t.misses <- t.misses + 1;
+    Metrics.incr m_miss;
+    None
+
+let mem t key = Hashtbl.mem t.table key
+
+let add t ~key payload =
+  if not (Hashtbl.mem t.table key) then begin
+    (* Disk first: a crash between the fsync'd append and the in-memory
+       insert re-serves from the store on restart; the reverse order
+       would serve from memory once and forget. *)
+    (match t.journal with
+    | Some j -> Journal.append j ~fp:(Journal.fingerprint key) (record_of ~key payload)
+    | None -> ());
+    insert_unchecked t ~key payload
+  end
+
+let lru_keys t =
+  let rec go acc = function
+    | None -> acc
+    | Some e -> go (e.key :: acc) e.next
+  in
+  (* Walk from head (most recent) consing, so the result is least-
+     recent first — the order eviction would take them. *)
+  go [] t.head
+
+let close t = match t.journal with Some j -> Journal.close j | None -> ()

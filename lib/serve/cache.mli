@@ -1,0 +1,77 @@
+(** The content-addressed verification-result cache behind [dfv serve].
+
+    Entries are keyed by structural fingerprints
+    ({!Dfv_sec.Fingerprint}) of {e what was verified} — design
+    structure, spec, stimulus seed, solver budget — never by file
+    names, request ids or wall-clock state, so two clients asking the
+    same question share one solve no matter when or from where they
+    ask.
+
+    Two layers:
+
+    - an in-memory LRU bounded by [capacity] (an [add] beyond it
+      evicts the least-recently-used entry);
+    - an optional on-disk store — an append-only {!Dfv_par.Journal}
+      ([{"schema":"dfv-journal"}] line framing, fsync per append, torn
+      tails truncated, duplicates first-wins) — replayed into the LRU
+      at {!create}, so a daemon killed at any instant restarts warm.
+
+    {2 Integrity}
+
+    Each disk record wraps the payload with its own cache key; on
+    reload a record is {e rejected} (counted, never served) when the
+    key does not re-derive the record's journal fingerprint (hash
+    collision or external corruption) or when the payload fails the
+    caller's [validate].  The disk store is append-only and unbounded:
+    eviction trims memory, not history — a store can hold more verdicts
+    than the LRU will warm (oldest fall out first). *)
+
+type t
+
+val store_campaign : string
+(** The campaign key every dfv-serve store journal is bound to.  One
+    constant on purpose: the cache is content-addressed, so the records
+    carry all the identity there is, and a store outliving any server
+    configuration is the point. *)
+
+val create :
+  ?capacity:int ->
+  ?store:string ->
+  ?validate:(Dfv_obs.Json.t -> bool) ->
+  unit ->
+  (t, string) result
+(** [capacity] defaults to 256 entries and must be >= 1.  [store]
+    opens (or creates) the on-disk journal at that path and replays it
+    through [validate] (default: accept).  Errors when the store file
+    exists but is not a valid dfv-serve store journal. *)
+
+val find : t -> string -> Dfv_obs.Json.t option
+(** Cache probe: a hit touches the entry most-recently-used and counts
+    in [serve.cache.hit]; a miss counts in [serve.cache.miss]. *)
+
+val mem : t -> string -> bool
+(** Presence test without touching LRU order or hit/miss counters. *)
+
+val add : t -> key:string -> Dfv_obs.Json.t -> unit
+(** Insert (no-op if the key is already present).  With a [store] the
+    record is journaled — written and fsync'd — {e before} the
+    in-memory insert, so no served-then-lost window exists across a
+    crash.  May evict the least-recently-used entry. *)
+
+val lru_keys : t -> string list
+(** Keys least-recently-used first — the order eviction takes them. *)
+
+val size : t -> int
+val capacity : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val evicted : t -> int
+
+val rejected : t -> int
+(** Poisoned/collided disk records dropped at {!create}. *)
+
+val replayed : t -> int
+(** Disk records read at {!create} (before validation). *)
+
+val close : t -> unit

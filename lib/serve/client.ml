@@ -1,0 +1,98 @@
+module Json = Dfv_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  mutable pending_input : string;
+  mutable next_id : int;
+}
+
+let connect ?(retries = 0) ?(delay = 0.1) path =
+  let attempt () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> Ok { fd; pending_input = ""; next_id = 1 }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+  in
+  let rec go n =
+    match attempt () with
+    | Ok _ as ok -> ok
+    | Error m ->
+      if n <= 0 then
+        Error (Printf.sprintf "cannot reach dfv serve at %s: %s" path m)
+      else begin
+        (* The daemon may still be binding; a short linear backoff is
+           all a CI smoke needs. *)
+        ignore (Unix.select [] [] [] delay);
+        go (n - 1)
+      end
+  in
+  go retries
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all t s =
+  let b = Bytes.of_string s in
+  let n = ref 0 in
+  while !n < Bytes.length b do
+    n := !n + Unix.write t.fd b !n (Bytes.length b - !n)
+  done
+
+let read_line t =
+  let rec go () =
+    match String.index_opt t.pending_input '\n' with
+    | Some i ->
+      let line = String.sub t.pending_input 0 i in
+      t.pending_input <-
+        String.sub t.pending_input (i + 1)
+          (String.length t.pending_input - i - 1);
+      Ok line
+    | None ->
+      let buf = Bytes.create 65536 in
+      let n =
+        try Unix.read t.fd buf 0 (Bytes.length buf)
+        with Unix.Unix_error (e, _, _) ->
+          failwith ("dfv serve connection: " ^ Unix.error_message e)
+      in
+      if n = 0 then Error "dfv serve closed the connection"
+      else begin
+        t.pending_input <- t.pending_input ^ Bytes.sub_string buf 0 n;
+        go ()
+      end
+  in
+  try go () with Failure m -> Error m
+
+let send t op =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  write_all t (Protocol.frame (Protocol.request_to_json { Protocol.id; op }));
+  id
+
+let receive t ~id =
+  (* Responses arrive in server completion order; skip frames for other
+     pipelined ids is not needed on a single-request connection, but a
+     pipelining caller matches by id. *)
+  let rec go () =
+    match read_line t with
+    | Error _ as e -> e
+    | Ok line -> (
+      match
+        Result.bind (Protocol.parse_frame line) Protocol.response_of_json
+      with
+      | Error _ as e -> e
+      | Ok r -> if r.Protocol.rsp_id = id then Ok r else go ())
+  in
+  go ()
+
+let call t op =
+  let id = send t op in
+  receive t ~id
+
+let one_shot ?retries ?delay ~socket op =
+  match connect ?retries ?delay socket with
+  | Error _ as e -> e
+  | Ok t ->
+    let r = call t op in
+    close t;
+    r

@@ -1,0 +1,33 @@
+(** A blocking client for the [dfv serve] socket.
+
+    One connection can pipeline many requests ({!send} assigns
+    monotonically increasing ids, {!receive} matches frames by id) or
+    run the simple {!call} / {!one_shot} request-response shape the
+    CLI uses.  All errors — connection refused, daemon gone, malformed
+    frame — surface as [Error string]; protocol-level verification
+    errors arrive inside a well-formed {!Protocol.response}. *)
+
+type t
+
+val connect : ?retries:int -> ?delay:float -> string -> (t, string) result
+(** Connect to the socket path; on failure retry up to [retries] times
+    (default 0) sleeping [delay] seconds (default 0.1) between
+    attempts — for racing a daemon that is still binding. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.op -> int
+(** Write one request frame; returns its correlation id. *)
+
+val receive : t -> id:int -> (Protocol.response, string) result
+(** Read frames until the response with [id] arrives. *)
+
+val call : t -> Protocol.op -> (Protocol.response, string) result
+
+val one_shot :
+  ?retries:int ->
+  ?delay:float ->
+  socket:string ->
+  Protocol.op ->
+  (Protocol.response, string) result
+(** Connect, {!call}, close. *)

@@ -21,6 +21,8 @@ let () =
       ("core", Test_core.suite);
       ("fault", Test_fault.suite);
       ("par", Test_par.suite);
+      (* Forks server children, so it must also precede fault-domains. *)
+      ("serve", Test_serve.suite);
       ("obs", Test_obs.suite);
       ("properties", Test_properties.suite);
       ("behsyn", Test_behsyn.suite);
